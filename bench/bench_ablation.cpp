@@ -1,0 +1,121 @@
+// Ablation of the design choices DESIGN.md calls out:
+//
+//   1. Orphaning displacement — our addition to the paper's described
+//      move set (a strictly laxer child yields its slot when adoption is
+//      impossible). Without it both algorithms deadlock on the
+//      capacity-tight Tf1 workload, so the paper's own convergence
+//      results imply some equivalent unstated mechanism.
+//   2. Maintenance patience — the hybrid damping ("wait for a
+//      maintenance timeout") versus knee-jerk reaction.
+//   3. Orphan timeout — how long a peer waits before contacting the
+//      source directly.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+
+namespace lagover {
+namespace {
+
+ExperimentResult run_cell(const bench::BenchOptions& options,
+                          WorkloadKind workload, AlgorithmKind algorithm,
+                          bool orphaning, int patience, int timeout,
+                          int knowledge_lag = 0) {
+  ExperimentSpec spec;
+  spec.population = bench::population_factory(workload, options.peers);
+  spec.config.algorithm = algorithm;
+  spec.config.orphaning_displacement = orphaning;
+  spec.config.maintenance_patience = patience;
+  spec.config.timeout_rounds = timeout;
+  spec.config.knowledge_lag = knowledge_lag;
+  spec.trials = options.trials;
+  spec.max_rounds = options.max_rounds;
+  spec.base_seed = options.seed;
+  return run_experiment(spec);
+}
+
+int run(int argc, char** argv) {
+  const auto options = bench::BenchOptions::parse(argc, argv);
+  std::cout << "# Ablations (Oracle Random-Delay, " << options.peers
+            << " peers, median of " << options.trials << ")\n";
+
+  {
+    Table table({"workload", "algorithm", "with orphaning displacement",
+                 "without (paper's literal moves)"});
+    for (auto workload : {WorkloadKind::kTf1, WorkloadKind::kBiCorr}) {
+      for (auto algorithm :
+           {AlgorithmKind::kGreedy, AlgorithmKind::kHybrid}) {
+        const auto with_move =
+            run_cell(options, workload, algorithm, true, 1, 4);
+        const auto without =
+            run_cell(options, workload, algorithm, false, 1, 4);
+        table.add_row({to_string(workload), to_string(algorithm),
+                       format_convergence_cell(with_move),
+                       format_convergence_cell(without)});
+      }
+    }
+    bench::print_table("ablation 1 — orphaning displacement", table, options,
+                       "ablation_orphaning");
+  }
+
+  {
+    Table table({"patience (rounds)", "hybrid Tf1", "hybrid BiCorr"});
+    for (int patience : {0, 1, 2, 4, 8}) {
+      const auto tf1 = run_cell(options, WorkloadKind::kTf1,
+                                AlgorithmKind::kHybrid, true, patience, 4);
+      const auto bicorr = run_cell(options, WorkloadKind::kBiCorr,
+                                   AlgorithmKind::kHybrid, true, patience, 4);
+      table.add_row({std::to_string(patience),
+                     format_convergence_cell(tf1),
+                     format_convergence_cell(bicorr)});
+    }
+    bench::print_table("ablation 2 — hybrid maintenance patience", table,
+                       options, "ablation_patience");
+  }
+
+  {
+    Table table({"orphan timeout (rounds)", "greedy Rand", "hybrid Rand",
+                 "greedy Tf1", "hybrid Tf1"});
+    for (int timeout : {1, 2, 4, 8, 16}) {
+      std::vector<std::string> row{std::to_string(timeout)};
+      for (auto workload : {WorkloadKind::kRand, WorkloadKind::kTf1})
+        for (auto algorithm :
+             {AlgorithmKind::kGreedy, AlgorithmKind::kHybrid})
+          row.push_back(format_convergence_cell(
+              run_cell(options, workload, algorithm, true, 1, timeout)));
+      // Row order: greedy Rand, hybrid Rand, greedy Tf1, hybrid Tf1.
+      table.add_row(std::move(row));
+    }
+    bench::print_table("ablation 3 — orphan timeout before source contact",
+                       table, options, "ablation_timeout");
+  }
+
+  {
+    // Section 2.1.3 realism: piggy-backed chain knowledge takes time to
+    // propagate. Maintenance decides on DelayAt/Root as observed
+    // `lag` rounds ago.
+    Table table({"knowledge lag (rounds)", "greedy Tf1", "hybrid Tf1",
+                 "hybrid BiCorr"});
+    for (int lag : {0, 2, 4, 8}) {
+      table.add_row(
+          {std::to_string(lag),
+           format_convergence_cell(run_cell(options, WorkloadKind::kTf1,
+                                            AlgorithmKind::kGreedy, true, 1,
+                                            4, lag)),
+           format_convergence_cell(run_cell(options, WorkloadKind::kTf1,
+                                            AlgorithmKind::kHybrid, true, 1,
+                                            4, lag)),
+           format_convergence_cell(run_cell(options, WorkloadKind::kBiCorr,
+                                            AlgorithmKind::kHybrid, true, 1,
+                                            4, lag))});
+    }
+    bench::print_table(
+        "ablation 4 — stale chain knowledge (Section 2.1.3)", table, options,
+        "ablation_knowledge");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace lagover
+
+int main(int argc, char** argv) { return lagover::run(argc, argv); }

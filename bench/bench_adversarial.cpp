@@ -1,0 +1,70 @@
+// Section 3.3.1 reproduction: adversarial workloads — feasible instances
+// that violate the sufficient condition and whose only feasible shapes
+// put a lax-latency high-fanout hub upstream of stricter nodes. Expected
+// shape: Greedy never converges (its ordering invariant forbids the only
+// feasible configuration), Hybrid converges on every instance.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "core/sufficiency.hpp"
+#include "workload/adversarial.hpp"
+
+namespace lagover {
+namespace {
+
+ExperimentResult run_cell(const Population& population,
+                          AlgorithmKind algorithm,
+                          const bench::BenchOptions& options) {
+  ExperimentSpec spec;
+  spec.population = [population](std::uint64_t) { return population; };
+  spec.config.algorithm = algorithm;
+  spec.config.oracle = OracleKind::kRandomDelay;
+  spec.trials = options.trials;
+  spec.max_rounds = options.max_rounds;
+  spec.base_seed = options.seed;
+  return run_experiment(spec);
+}
+
+int run(int argc, char** argv) {
+  auto options = bench::BenchOptions::parse(argc, argv);
+  if (options.max_rounds > 1000) options.max_rounds = 1000;
+
+  std::cout << "# Section 3.3.1 — adversarial workloads: greedy cannot, "
+               "hybrid can (Oracle Random-Delay, median of "
+            << options.trials << ", budget " << options.max_rounds
+            << " rounds)\n";
+
+  Table table({"instance", "consumers", "sufficiency holds",
+               "exactly feasible", "greedy", "hybrid"});
+
+  auto add_instance = [&](const std::string& name,
+                          const Population& population) {
+    const auto greedy = run_cell(population, AlgorithmKind::kGreedy, options);
+    const auto hybrid = run_cell(population, AlgorithmKind::kHybrid, options);
+    table.add_row({name, std::to_string(population.consumers.size()),
+                   sufficiency_condition(population).holds ? "yes" : "no",
+                   exactly_feasible(population) ? "yes" : "no",
+                   format_convergence_cell(greedy),
+                   format_convergence_cell(hybrid)});
+  };
+
+  add_instance("paper printed (infeasible as printed)",
+               paper_printed_counterexample());
+  add_instance("corrected counterexample", corrected_counterexample());
+  for (int k : {1, 2, 4, 8, 16})
+    add_instance("family k=" + std::to_string(k), adversarial_family(k));
+
+  bench::print_table(
+      "adversarial instances — construction latency (median rounds)", table,
+      options, "adversarial");
+  std::cout << "\nnote: the instance as printed in the paper is "
+               "infeasible under its own delay-equals-depth model (see "
+               "DESIGN.md), so both algorithms report DNC on it; the "
+               "corrected instance preserves the intended phenomenon.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace lagover
+
+int main(int argc, char** argv) { return lagover::run(argc, argv); }

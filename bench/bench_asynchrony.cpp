@@ -1,0 +1,92 @@
+// Section 5.3 (end) reproduction: asynchronous interactions — "different
+// peers need different amount of time to complete the interactions.
+// Asynchrony slowed down the overlay construction, but interestingly did
+// not affect the eventual convergence." We compare the synchronous
+// round-based engine against the event-driven engine with increasingly
+// dispersed interaction durations. Expected shape: construction time
+// grows with the mean/variance of interaction durations; convergence
+// rate stays 100%.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "core/async_engine.hpp"
+
+namespace lagover {
+namespace {
+
+struct DurationProfile {
+  const char* name;
+  double min;
+  double max;
+};
+
+constexpr DurationProfile kProfiles[] = {
+    {"sync-equivalent [1.0, 1.0]", 1.0, 1.0},
+    {"mild async     [0.5, 1.5]", 0.5, 1.5},
+    {"moderate async [0.5, 2.5]", 0.5, 2.5},
+    {"heavy async    [1.5, 4.5]", 1.5, 4.5},
+};
+
+int run(int argc, char** argv) {
+  auto options = bench::BenchOptions::parse(argc, argv);
+  if (options.peers > 120) options.peers = 120;
+
+  std::cout << "# Section 5.3 — asynchronous construction (hybrid, Oracle "
+               "Random-Delay, "
+            << options.peers << " peers, median of " << options.trials
+            << ")\n# time unit = one synchronous round's interaction\n";
+
+  Table table({"workload", "interaction durations", "median time",
+               "converged trials"});
+  for (auto kind : {WorkloadKind::kRand, WorkloadKind::kBiCorr}) {
+    // Synchronous reference (rounds == time units).
+    {
+      ExperimentSpec spec;
+      spec.population = bench::population_factory(kind, options.peers);
+      spec.config.algorithm = AlgorithmKind::kHybrid;
+      spec.trials = options.trials;
+      spec.max_rounds = options.max_rounds;
+      spec.base_seed = options.seed;
+      const auto result = run_experiment(spec);
+      table.add_row({to_string(kind), "synchronous rounds",
+                     format_convergence_cell(result),
+                     std::to_string(options.trials - result.failures) + "/" +
+                         std::to_string(options.trials)});
+    }
+    for (const auto& profile : kProfiles) {
+      Sample times;
+      int converged = 0;
+      for (int trial = 0; trial < options.trials; ++trial) {
+        const std::uint64_t seed =
+            options.seed + static_cast<std::uint64_t>(trial) * 7919;
+        WorkloadParams params;
+        params.peers = options.peers;
+        params.seed = seed;
+        AsyncConfig config;
+        config.algorithm = AlgorithmKind::kHybrid;
+        config.min_interaction_time = profile.min;
+        config.max_interaction_time = profile.max;
+        config.seed = seed;
+        AsyncEngine engine(generate_workload(kind, params), config);
+        const auto result = engine.run_until_converged(
+            static_cast<double>(options.max_rounds) * 4.0);
+        if (result.has_value()) {
+          times.add(*result);
+          ++converged;
+        }
+      }
+      table.add_row({to_string(kind), profile.name,
+                     times.empty() ? "DNC" : format_double(times.median(), 0),
+                     std::to_string(converged) + "/" +
+                         std::to_string(options.trials)});
+    }
+  }
+  bench::print_table("asynchrony slows construction, convergence unaffected",
+                     table, options, "asynchrony");
+  return 0;
+}
+
+}  // namespace
+}  // namespace lagover
+
+int main(int argc, char** argv) { return lagover::run(argc, argv); }

@@ -1,0 +1,64 @@
+// Figure 2 reproduction: variation in convergence of the Greedy
+// algorithm (Oracle Random-Delay) without churn. For each topological
+// constraint the paper plots per-trial construction latencies showing
+// high variance; we print per-trial values, order statistics, and an
+// ASCII histogram. The paper's takeaway — repeat 5x and use the median —
+// is exactly why the other benches do so.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "stats/histogram.hpp"
+
+namespace lagover {
+namespace {
+
+int run(int argc, char** argv) {
+  auto options = bench::BenchOptions::parse(argc, argv);
+  // The distribution needs more than 5 points to be visible.
+  if (options.trials == 5) options.trials = 20;
+
+  std::cout << "# Figure 2 — variation in convergence of greedy "
+               "(Oracle Random-Delay, "
+            << options.peers << " peers, no churn)\n";
+
+  Table table({"workload", "trials", "min", "q25", "median", "q75", "max",
+               "stddev"});
+  Sample all;
+  for (auto kind : kAllWorkloads) {
+    ExperimentSpec spec;
+    spec.population = bench::population_factory(kind, options.peers);
+    spec.config.algorithm = AlgorithmKind::kGreedy;
+    spec.config.oracle = OracleKind::kRandomDelay;
+    spec.trials = options.trials;
+    spec.max_rounds = options.max_rounds;
+    spec.base_seed = options.seed;
+    const auto result = run_experiment(spec);
+
+    const Sample& rounds = result.convergence_rounds;
+    table.add_row({to_string(kind), std::to_string(options.trials),
+                   format_double(rounds.min(), 0),
+                   format_double(rounds.quantile(0.25), 0),
+                   format_double(rounds.median(), 0),
+                   format_double(rounds.quantile(0.75), 0),
+                   format_double(rounds.max(), 0),
+                   format_double(rounds.stddev(), 1)});
+    all.add_all(rounds.values());
+
+    std::cout << "\n" << to_string(kind) << " per-trial rounds:";
+    for (double v : rounds.values()) std::cout << ' ' << v;
+    std::cout << '\n';
+  }
+  bench::print_table("convergence-time spread per workload", table, options,
+                     "fig2");
+
+  Histogram histogram(0.0, all.max() + 1.0, 12);
+  for (double v : all.values()) histogram.add(v);
+  std::cout << "\npooled convergence-time histogram (all workloads):\n"
+            << histogram.to_string() << '\n';
+  return 0;
+}
+
+}  // namespace
+}  // namespace lagover
+
+int main(int argc, char** argv) { return lagover::run(argc, argv); }

@@ -1,0 +1,92 @@
+// Extension: flash-crowd absorption (the Boston Globe scenario that
+// opens the paper — a popular feed suddenly gaining readers). A
+// fraction of the population joins an already-converged LagOver all at
+// once; we measure absorption time with and without the shallow-slack
+// optimizer (core/optimizer.hpp).
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_util.hpp"
+#include "core/engine.hpp"
+#include "core/optimizer.hpp"
+#include "workload/churn.hpp"
+
+namespace lagover {
+namespace {
+
+int run(int argc, char** argv) {
+  const auto options = bench::BenchOptions::parse(argc, argv);
+  std::cout << "# flash-crowd absorption (hybrid, BiUnCorr, "
+            << options.peers << " peers total, median of " << options.trials
+            << ")\n";
+
+  Table table({"crowd size", "optimizer", "shallow free slots (depth<=2)",
+               "median absorption rounds"});
+  for (double crowd_fraction : {0.1, 0.3, 0.5}) {
+    for (bool optimize : {false, true}) {
+      Sample absorption;
+      Sample slots;
+      int failures = 0;
+      for (int trial = 0; trial < options.trials; ++trial) {
+        const std::uint64_t seed =
+            options.seed + static_cast<std::uint64_t>(trial) * 7919;
+        WorkloadParams params;
+        params.peers = options.peers;
+        params.seed = seed;
+        EngineConfig config;
+        config.seed = seed;
+        Engine engine(generate_workload(WorkloadKind::kBiUnCorr, params),
+                      config);
+        const auto crowd = static_cast<NodeId>(
+            static_cast<double>(options.peers) * crowd_fraction);
+        for (NodeId id = static_cast<NodeId>(options.peers) - crowd + 1;
+             id <= options.peers; ++id)
+          engine.overlay().set_offline(id);
+        if (!engine.run_until_converged(options.max_rounds).has_value()) {
+          ++failures;
+          continue;
+        }
+        if (optimize) optimize_shallow_capacity(engine.overlay());
+        slots.add(static_cast<double>(
+            shallow_free_slots(engine.overlay(), 2)));
+        engine.set_churn(
+            std::make_unique<FlashCrowdChurn>(engine.round() + 1));
+        const Round before = engine.round();
+        engine.run_round();  // the crowd arrives here
+        const auto converged = engine.run_until_converged(options.max_rounds);
+        if (!converged.has_value()) {
+          ++failures;
+          continue;
+        }
+        absorption.add(static_cast<double>(*converged - before));
+      }
+      table.add_row(
+          {format_double(crowd_fraction * 100.0, 0) + "%",
+           optimize ? "on" : "off",
+           slots.empty() ? "-" : format_double(slots.median(), 0),
+           absorption.empty()
+               ? "DNC"
+               : format_double(absorption.median(), 0) +
+                     (failures > 0
+                          ? " (" +
+                                std::to_string(options.trials - failures) +
+                                "/" + std::to_string(options.trials) + ")"
+                          : "")});
+    }
+  }
+  bench::print_table("flash-crowd absorption vs shallow capacity", table,
+                     options, "flash_crowd");
+  std::cout << "\nshape: absorption is fast (a handful of rounds) and "
+               "scales mildly with crowd size. Negative result worth "
+               "recording: the slack optimizer does free shallow slots "
+               "but does NOT speed absorption — the construction "
+               "algorithms' orphaning-displacement move already reclaims "
+               "shallow capacity on demand, so pre-freeing it buys "
+               "nothing.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace lagover
+
+int main(int argc, char** argv) { return lagover::run(argc, argv); }

@@ -1,0 +1,92 @@
+// Extension (paper Section 7): locality-aware LagOver construction.
+// Sweeps the locality bias of the Oracle and reports the fraction of
+// cross-locality overlay edges versus construction latency — the
+// trade-off behind "clients within same domain, ISP or timezone forming
+// the overlay may substantially improve the global performance".
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_util.hpp"
+#include "core/engine.hpp"
+#include "core/locality.hpp"
+
+namespace lagover {
+namespace {
+
+int run(int argc, char** argv) {
+  const auto options = bench::BenchOptions::parse(argc, argv);
+  constexpr int kBuckets = 4;
+  std::cout << "# locality-aware construction (hybrid, Random-Delay base, "
+            << options.peers << " peers, " << kBuckets
+            << " localities, median of " << options.trials << ")\n";
+
+  Table table({"locality bias", "median rounds", "cross-locality edges",
+               "local samples / total"});
+  for (double bias : {0.0, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    Sample rounds;
+    Sample cross;
+    std::uint64_t local_samples = 0;
+    std::uint64_t total_samples = 0;
+    int failures = 0;
+    for (int trial = 0; trial < options.trials; ++trial) {
+      const std::uint64_t seed =
+          options.seed + static_cast<std::uint64_t>(trial) * 7919;
+      WorkloadParams params;
+      params.peers = options.peers;
+      params.seed = seed;
+      const Population population =
+          generate_workload(WorkloadKind::kBiUnCorr, params);
+      const LocalityMap localities =
+          random_localities(options.peers, kBuckets, seed ^ 0x10CA1ULL);
+
+      EngineConfig config;
+      config.algorithm = AlgorithmKind::kHybrid;
+      config.seed = seed;
+      Engine engine(population, config);
+      auto oracle = std::make_unique<LocalityBiasedOracle>(
+          OracleKind::kRandomDelay, localities, bias);
+      const auto* raw = oracle.get();
+      engine.set_oracle(std::move(oracle));
+      const auto converged = engine.run_until_converged(options.max_rounds);
+      if (!converged.has_value()) {
+        ++failures;
+        continue;
+      }
+      rounds.add(static_cast<double>(*converged));
+      cross.add(
+          compute_locality_metrics(engine.overlay(), localities)
+              .cross_fraction);
+      local_samples += raw->local_samples();
+      total_samples += raw->local_samples() + raw->global_samples();
+    }
+    table.add_row(
+        {format_double(bias, 2),
+         rounds.empty()
+             ? "DNC"
+             : format_double(rounds.median(), 0) +
+                   (failures > 0 ? " (" +
+                                       std::to_string(options.trials -
+                                                      failures) +
+                                       "/" + std::to_string(options.trials) +
+                                       ")"
+                                 : ""),
+         cross.empty() ? "-" : format_double(cross.median() * 100.0, 1) + "%",
+         total_samples == 0
+             ? "-"
+             : format_double(100.0 * static_cast<double>(local_samples) /
+                                 static_cast<double>(total_samples),
+                             1) +
+                   "%"});
+  }
+  bench::print_table("cross-locality edges vs bias", table, options,
+                     "locality");
+  std::cout << "\nshape: cross-locality traffic falls sharply with bias "
+               "while construction latency stays essentially flat (the "
+               "global fallback prevents starvation).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace lagover
+
+int main(int argc, char** argv) { return lagover::run(argc, argv); }

@@ -1,0 +1,156 @@
+// Micro-benchmarks (google-benchmark): costs of the core data-structure
+// operations, oracle sampling, engine rounds, the exact feasibility
+// checker, and Chord lookups. These bound how large a simulated
+// population the harness can handle.
+#include <benchmark/benchmark.h>
+
+#include "core/engine.hpp"
+#include "core/optimizer.hpp"
+#include "core/snapshot.hpp"
+#include "core/sufficiency.hpp"
+#include "core/validator.hpp"
+#include "dht/chord.hpp"
+#include "workload/constraints.hpp"
+
+namespace lagover {
+namespace {
+
+Population rand_population(std::size_t peers, std::uint64_t seed = 1) {
+  WorkloadParams params;
+  params.peers = peers;
+  params.seed = seed;
+  return generate_workload(WorkloadKind::kRand, params);
+}
+
+void BM_OverlayAttachDetach(benchmark::State& state) {
+  Overlay overlay(rand_population(static_cast<std::size_t>(state.range(0))));
+  // Find a hosting pair once.
+  NodeId parent = kNoNode;
+  for (NodeId id = 1; id < overlay.node_count(); ++id)
+    if (overlay.fanout_of(id) > 0) {
+      parent = id;
+      break;
+    }
+  const NodeId child = parent == 1 ? 2 : 1;
+  for (auto _ : state) {
+    overlay.attach(child, parent);
+    overlay.detach(child);
+  }
+}
+BENCHMARK(BM_OverlayAttachDetach)->Arg(120)->Arg(960);
+
+void BM_OverlayDelayAt(benchmark::State& state) {
+  // A maximal chain: delay_at cost is proportional to depth.
+  Population p;
+  p.source_fanout = 1;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (NodeId id = 1; id <= n; ++id)
+    p.consumers.push_back(
+        NodeSpec{id, Constraints{1, static_cast<Delay>(n)}});
+  Overlay overlay(p);
+  overlay.attach(1, kSourceId);
+  for (NodeId id = 2; id <= n; ++id) overlay.attach(id, id - 1);
+  const auto leaf = static_cast<NodeId>(n);
+  for (auto _ : state) benchmark::DoNotOptimize(overlay.delay_at(leaf));
+}
+BENCHMARK(BM_OverlayDelayAt)->Arg(16)->Arg(128);
+
+void BM_OracleSample(benchmark::State& state) {
+  Overlay overlay(rand_population(static_cast<std::size_t>(state.range(0))));
+  auto oracle = make_oracle(OracleKind::kRandomDelay);
+  Rng rng(7);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(oracle->sample(1, overlay, rng));
+}
+BENCHMARK(BM_OracleSample)->Arg(120)->Arg(960);
+
+void BM_EngineRound(benchmark::State& state) {
+  EngineConfig config;
+  config.seed = 3;
+  Engine engine(rand_population(static_cast<std::size_t>(state.range(0))),
+                config);
+  for (auto _ : state) benchmark::DoNotOptimize(engine.run_round());
+}
+BENCHMARK(BM_EngineRound)->Arg(120)->Arg(960);
+
+void BM_FullConstruction(benchmark::State& state) {
+  const Population population =
+      rand_population(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    EngineConfig config;
+    config.seed = ++seed;
+    Engine engine(population, config);
+    benchmark::DoNotOptimize(engine.run_until_converged(5000));
+  }
+}
+BENCHMARK(BM_FullConstruction)->Arg(120)->Unit(benchmark::kMillisecond);
+
+void BM_SufficiencyCondition(benchmark::State& state) {
+  const Population population =
+      rand_population(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sufficiency_condition(population));
+}
+BENCHMARK(BM_SufficiencyCondition)->Arg(120)->Arg(960);
+
+void BM_ExactFeasibility(benchmark::State& state) {
+  const Population population =
+      rand_population(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(feasible_depths(population));
+}
+BENCHMARK(BM_ExactFeasibility)->Arg(120)->Arg(960);
+
+void BM_SnapshotRoundTrip(benchmark::State& state) {
+  EngineConfig config;
+  config.seed = 5;
+  Engine engine(rand_population(static_cast<std::size_t>(state.range(0))),
+                config);
+  engine.run_until_converged(5000);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(from_snapshot(to_snapshot(engine.overlay())));
+}
+BENCHMARK(BM_SnapshotRoundTrip)->Arg(120)->Arg(960);
+
+void BM_ValidateOverlay(benchmark::State& state) {
+  EngineConfig config;
+  config.seed = 7;
+  Engine engine(rand_population(static_cast<std::size_t>(state.range(0))),
+                config);
+  engine.run_until_converged(5000);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(validate_overlay(engine.overlay()));
+}
+BENCHMARK(BM_ValidateOverlay)->Arg(120)->Arg(960);
+
+void BM_OptimizeShallowCapacity(benchmark::State& state) {
+  const Population population =
+      rand_population(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    EngineConfig config;
+    config.seed = 9;
+    Engine engine(population, config);
+    engine.run_until_converged(5000);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(optimize_shallow_capacity(engine.overlay()));
+  }
+}
+BENCHMARK(BM_OptimizeShallowCapacity)->Arg(120)->Unit(benchmark::kMillisecond);
+
+void BM_ChordLookup(benchmark::State& state) {
+  dht::ChordRing ring(static_cast<std::size_t>(state.range(0)),
+                      dht::ChordConfig{}, 5);
+  ring.run_until_stable(500.0);
+  ring.simulator().run_until(ring.simulator().now() + 200.0);
+  std::uint64_t key = 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ring.lookup_sync(0, dht::hash_u64(++key)));
+}
+BENCHMARK(BM_ChordLookup)->Arg(16)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace lagover
+
+BENCHMARK_MAIN();

@@ -1,0 +1,154 @@
+// Ablation: idealized Oracles vs their distributed realizations.
+//
+//   DirectoryOracle      the paper's simulation model (instant, fresh)
+//   DhtDirectoryOracle   registry at the owner of hash(feed) on a real
+//                        message-passing Chord ring; records go stale
+//                        between refreshes and every operation pays
+//                        routing hops (Section 2.1.4's OpenDHT model)
+//   GossipRandomOracle   Oracle Random via TTL random walks on an
+//                        unstructured partial-view overlay
+//
+// Expected shape: construction latency degrades gracefully with registry
+// staleness; the gossip realization tracks the ideal Random oracle.
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_util.hpp"
+#include "core/engine.hpp"
+#include "dht/directory.hpp"
+#include "gossip/unstructured.hpp"
+
+namespace lagover {
+namespace {
+
+struct Cell {
+  Sample rounds;
+  int failures = 0;
+  std::string cost;
+};
+
+Cell run_with(const bench::BenchOptions& options, WorkloadKind kind,
+              std::function<std::unique_ptr<Oracle>(std::uint64_t seed,
+                                                    std::size_t peers)>
+                  oracle_factory,
+              std::string* cost_out = nullptr) {
+  Cell cell;
+  for (int trial = 0; trial < options.trials; ++trial) {
+    const std::uint64_t seed =
+        options.seed + static_cast<std::uint64_t>(trial) * 7919;
+    WorkloadParams params;
+    params.peers = options.peers;
+    params.seed = seed;
+    EngineConfig config;
+    config.algorithm = AlgorithmKind::kHybrid;
+    config.seed = seed;
+    Engine engine(generate_workload(kind, params), config);
+    auto oracle = oracle_factory(seed, options.peers);
+    Oracle* raw = oracle.get();
+    engine.set_oracle(std::move(oracle));
+    const auto result = engine.run_until_converged(options.max_rounds);
+    if (result.has_value())
+      cell.rounds.add(static_cast<double>(*result));
+    else
+      ++cell.failures;
+    if (trial == 0 && cost_out != nullptr) {
+      if (const auto* dht = dynamic_cast<dht::DhtDirectoryOracle*>(raw)) {
+        *cost_out = format_double(dht->costs().query_hops.mean(), 1) +
+                    " hops/query, " +
+                    std::to_string(dht->costs().ring_messages) + " ring msgs";
+      } else if (const auto* walker =
+                     dynamic_cast<gossip::GossipRandomOracle*>(raw)) {
+        *cost_out =
+            std::to_string(walker->membership().walk_messages()) +
+            " walk msgs";
+      } else {
+        *cost_out = "-";
+      }
+    }
+  }
+  return cell;
+}
+
+std::string cell_to_string(const Cell& cell, int trials) {
+  if (cell.rounds.empty()) return "DNC";
+  std::string text = format_double(cell.rounds.median(), 0);
+  if (cell.failures > 0)
+    text += " (" + std::to_string(trials - cell.failures) + "/" +
+            std::to_string(trials) + ")";
+  return text;
+}
+
+int run(int argc, char** argv) {
+  auto options = bench::BenchOptions::parse(argc, argv);
+  // The DHT-backed oracle co-simulates a ring per trial; keep it light.
+  if (options.peers > 60) options.peers = 60;
+  if (options.max_rounds > 1500) options.max_rounds = 1500;
+
+  std::cout << "# Oracle realizations ablation (hybrid, " << options.peers
+            << " peers, BiUnCorr, median of " << options.trials << ")\n";
+
+  Table table({"oracle realization", "median rounds", "realization cost"});
+  const WorkloadKind kind = WorkloadKind::kBiUnCorr;
+
+  {
+    std::string cost = "-";
+    const Cell cell = run_with(
+        options, kind,
+        [](std::uint64_t, std::size_t) {
+          return make_oracle(OracleKind::kRandomDelay);
+        },
+        &cost);
+    table.add_row({"ideal Random-Delay (paper model)",
+                   cell_to_string(cell, options.trials), cost});
+  }
+  for (int refresh : {8, 32, 128}) {
+    std::string cost;
+    const Cell cell = run_with(
+        options, kind,
+        [refresh](std::uint64_t seed, std::size_t) {
+          dht::DhtOracleConfig config;
+          config.ring_size = 8;
+          config.refresh_every_queries = refresh;
+          config.seed = seed;
+          return std::make_unique<dht::DhtDirectoryOracle>(
+              OracleKind::kRandomDelay, config);
+        },
+        &cost);
+    table.add_row({"DHT directory, refresh every " + std::to_string(refresh) +
+                       " queries",
+                   cell_to_string(cell, options.trials), cost});
+  }
+  {
+    std::string cost = "-";
+    const Cell cell = run_with(
+        options, kind,
+        [](std::uint64_t, std::size_t) {
+          return make_oracle(OracleKind::kRandom);
+        },
+        &cost);
+    table.add_row({"ideal Random (paper model)",
+                   cell_to_string(cell, options.trials), cost});
+  }
+  {
+    std::string cost;
+    const Cell cell = run_with(
+        options, kind,
+        [](std::uint64_t seed, std::size_t peers) {
+          gossip::GossipConfig config;
+          config.seed = seed;
+          return std::make_unique<gossip::GossipRandomOracle>(peers, config);
+        },
+        &cost);
+    table.add_row({"gossip random walks (realizes Random)",
+                   cell_to_string(cell, options.trials), cost});
+  }
+
+  bench::print_table("idealized vs distributed oracle realizations", table,
+                     options, "oracle_realizations");
+  return 0;
+}
+
+}  // namespace
+}  // namespace lagover
+
+int main(int argc, char** argv) { return lagover::run(argc, argv); }

@@ -1,0 +1,58 @@
+// Extension: dissemination under message loss. Sweeps the per-push loss
+// rate with anti-entropy recovery on/off and reports delivery ratio and
+// staleness-budget violations — the robustness margin a deployed
+// LagOver client needs beyond the paper's lossless model.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "core/engine.hpp"
+#include "feed/reliability.hpp"
+
+namespace lagover {
+namespace {
+
+int run(int argc, char** argv) {
+  const auto options = bench::BenchOptions::parse(argc, argv);
+  std::cout << "# lossy dissemination (hybrid-converged overlay, "
+            << options.peers << " peers, BiUnCorr, 300 time units)\n";
+
+  WorkloadParams params;
+  params.peers = options.peers;
+  params.seed = options.seed;
+  EngineConfig config;
+  config.seed = options.seed;
+  Engine engine(generate_workload(WorkloadKind::kBiUnCorr, params), config);
+  if (!engine.run_until_converged(options.max_rounds) .has_value()) {
+    std::cout << "construction did not converge; aborting\n";
+    return 1;
+  }
+
+  Table table({"push loss", "recovery", "delivery ratio", "late deliveries",
+               "recovered items", "repair pulls"});
+  for (double loss : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+    for (bool recovery : {false, true}) {
+      feed::LossyConfig lossy;
+      lossy.base.seed = options.seed;
+      lossy.push_loss = loss;
+      lossy.enable_recovery = recovery;
+      const auto report =
+          feed::run_lossy_dissemination(engine.overlay(), lossy, 300.0);
+      table.add_row({format_double(loss, 2), recovery ? "on" : "off",
+                     format_double(report.delivery_ratio * 100.0, 2) + "%",
+                     std::to_string(report.late_deliveries),
+                     std::to_string(report.recovered_deliveries),
+                     std::to_string(report.recovery_pulls)});
+    }
+  }
+  bench::print_table("delivery under loss, with and without anti-entropy",
+                     table, options, "reliability");
+  std::cout << "\nshape: without recovery the delivery ratio decays "
+               "roughly like (1-loss)^depth; with recovery completeness "
+               "returns to ~100% at the cost of late deliveries.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace lagover
+
+int main(int argc, char** argv) { return lagover::run(argc, argv); }

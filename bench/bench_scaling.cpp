@@ -1,0 +1,64 @@
+// Extension: population scaling of construction latency (the paper
+// evaluates 120 peers; we sweep 30..960 to show the trend). Greedy vs
+// Hybrid with Oracle Random-Delay on the Rand workload. Expected shape:
+// construction latency grows slowly (interactions are parallel across
+// orphans), and Hybrid <= Greedy throughout.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "metrics/tree_metrics.hpp"
+
+namespace lagover {
+namespace {
+
+int run(int argc, char** argv) {
+  const auto options = bench::BenchOptions::parse(argc, argv);
+  std::cout << "# population scaling (Rand workload, Oracle Random-Delay, "
+               "median of "
+            << options.trials << ")\n";
+
+  Table table({"peers", "greedy median rounds", "hybrid median rounds",
+               "hybrid mean depth", "hybrid max depth"});
+  for (std::size_t peers : {30u, 60u, 120u, 240u, 480u, 960u}) {
+    std::string cells[2];
+    double mean_depth = 0.0;
+    int max_depth = 0;
+    int index = 0;
+    for (auto algorithm : {AlgorithmKind::kGreedy, AlgorithmKind::kHybrid}) {
+      ExperimentSpec spec;
+      spec.population = bench::population_factory(WorkloadKind::kRand, peers);
+      spec.config.algorithm = algorithm;
+      spec.trials = options.trials;
+      spec.max_rounds = options.max_rounds;
+      spec.base_seed = options.seed;
+      const auto result = run_experiment(spec);
+      cells[index++] = format_convergence_cell(result);
+
+      if (algorithm == AlgorithmKind::kHybrid) {
+        // Shape of one representative converged tree.
+        WorkloadParams params;
+        params.peers = peers;
+        params.seed = options.seed;
+        EngineConfig config;
+        config.algorithm = algorithm;
+        config.seed = options.seed;
+        Engine engine(generate_workload(WorkloadKind::kRand, params), config);
+        if (engine.run_until_converged(options.max_rounds).has_value()) {
+          const TreeMetrics metrics = compute_tree_metrics(engine.overlay());
+          mean_depth = metrics.mean_depth;
+          max_depth = metrics.max_depth;
+        }
+      }
+    }
+    table.add_row({std::to_string(peers), cells[0], cells[1],
+                   format_double(mean_depth, 2), std::to_string(max_depth)});
+  }
+  bench::print_table("construction latency vs population", table, options,
+                     "scaling");
+  return 0;
+}
+
+}  // namespace
+}  // namespace lagover
+
+int main(int argc, char** argv) { return lagover::run(argc, argv); }

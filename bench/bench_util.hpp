@@ -1,0 +1,67 @@
+// Shared helpers for the bench binaries: standard flag handling, the
+// paper's default experiment parameters, and table printing.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "metrics/experiment.hpp"
+#include "workload/constraints.hpp"
+
+namespace lagover::bench {
+
+/// Flags every bench accepts:
+///   --peers N       population size (default 120, the paper's)
+///   --trials N      repetitions per cell (default 5, paper Section 5.1)
+///   --max-rounds N  convergence budget before reporting DNC
+///   --seed N        base seed
+///   --csv PREFIX    also write each table as PREFIX<table>.csv
+///   --json PREFIX   also write each table as PREFIX<table>.json
+struct BenchOptions {
+  std::size_t peers = 120;
+  int trials = 5;
+  Round max_rounds = 3000;
+  std::uint64_t seed = 1;
+  std::string csv_prefix;
+  std::string json_prefix;
+
+  static BenchOptions parse(int argc, char** argv) {
+    const Flags flags(argc, argv);
+    BenchOptions options;
+    options.peers =
+        static_cast<std::size_t>(flags.get_int("peers", 120));
+    options.trials = static_cast<int>(flags.get_int("trials", 5));
+    options.max_rounds =
+        static_cast<Round>(flags.get_int("max-rounds", 3000));
+    options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+    options.csv_prefix = flags.get_string("csv", "");
+    options.json_prefix = flags.get_string("json", "");
+    return options;
+  }
+};
+
+inline void print_table(const std::string& title, const Table& table,
+                        const BenchOptions& options,
+                        const std::string& csv_name) {
+  std::cout << "\n## " << title << "\n\n" << table.to_string();
+  if (!options.csv_prefix.empty())
+    table.write_csv(options.csv_prefix + csv_name + ".csv");
+  if (!options.json_prefix.empty())
+    table.write_json(options.json_prefix + csv_name + ".json");
+}
+
+/// Population factory for a workload kind under the bench options.
+inline std::function<Population(std::uint64_t)> population_factory(
+    WorkloadKind kind, std::size_t peers) {
+  return [kind, peers](std::uint64_t seed) {
+    WorkloadParams params;
+    params.peers = peers;
+    params.seed = seed;
+    return generate_workload(kind, params);
+  };
+}
+
+}  // namespace lagover::bench

@@ -1,0 +1,172 @@
+// lagover_cli — a command-line driver over the library, the way a
+// downstream user would script it. Subcommands:
+//
+//   generate  --kind tf1|rand|bicorr|biuncorr --peers N [--seed S]
+//             [--out FILE]             emit a population file
+//   check     --population FILE        sufficiency + exact feasibility
+//   construct --population FILE [--algorithm greedy|hybrid]
+//             [--oracle o1|o2a|o2b|o3] [--seed S] [--max-rounds R]
+//             [--snapshot FILE]        build a LagOver, report, save
+//   validate  --snapshot FILE          diagnose a saved overlay
+//   disseminate --snapshot FILE [--duration T] [--push-source]
+//             replay feed items over a saved overlay, report staleness
+//
+// Exit code 0 = success/converged/feasible; 1 otherwise.
+#include <fstream>
+#include <iostream>
+
+#include "common/flags.hpp"
+#include "core/engine.hpp"
+#include "core/snapshot.hpp"
+#include "core/sufficiency.hpp"
+#include "core/validator.hpp"
+#include "feed/dissemination.hpp"
+#include "workload/constraints.hpp"
+#include "workload/population_io.hpp"
+
+namespace lagover {
+namespace {
+
+int usage() {
+  std::cerr << "usage: lagover_cli "
+               "generate|check|construct|validate|disseminate [flags]\n"
+               "(see the header comment of examples/lagover_cli.cpp)\n";
+  return 2;
+}
+
+WorkloadKind parse_kind(const std::string& name) {
+  if (name == "tf1") return WorkloadKind::kTf1;
+  if (name == "rand") return WorkloadKind::kRand;
+  if (name == "bicorr") return WorkloadKind::kBiCorr;
+  if (name == "biuncorr") return WorkloadKind::kBiUnCorr;
+  throw InvalidArgument("unknown workload kind: " + name);
+}
+
+OracleKind parse_oracle(const std::string& name) {
+  if (name == "o1") return OracleKind::kRandom;
+  if (name == "o2a") return OracleKind::kRandomCapacity;
+  if (name == "o2b") return OracleKind::kRandomDelayCapacity;
+  if (name == "o3") return OracleKind::kRandomDelay;
+  throw InvalidArgument("unknown oracle (use o1|o2a|o2b|o3): " + name);
+}
+
+int cmd_generate(const Flags& flags) {
+  WorkloadParams params;
+  params.peers = static_cast<std::size_t>(flags.get_int("peers", 120));
+  params.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const Population population =
+      generate_workload(parse_kind(flags.get_string("kind", "rand")), params);
+  const std::string text = to_population_text(population);
+  const std::string out = flags.get_string("out", "");
+  if (out.empty()) {
+    std::cout << text;
+  } else if (!save_population(population, out)) {
+    std::cerr << "cannot write " << out << '\n';
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_check(const Flags& flags) {
+  const Population population =
+      load_population(flags.get_string("population", ""));
+  const auto report = sufficiency_condition(population);
+  std::cout << "consumers: " << population.size()
+            << ", source fanout: " << population.source_fanout << '\n';
+  std::cout << "sufficient condition: " << (report.holds ? "holds" : "fails");
+  if (!report.holds)
+    std::cout << " (first overloaded latency class: " << report.failing_level
+              << ")";
+  std::cout << '\n';
+  const bool feasible = exactly_feasible(population);
+  std::cout << "exactly feasible: " << (feasible ? "yes" : "no") << '\n';
+  return feasible ? 0 : 1;
+}
+
+int cmd_construct(const Flags& flags) {
+  const Population population =
+      load_population(flags.get_string("population", ""));
+  EngineConfig config;
+  config.algorithm = flags.get_string("algorithm", "hybrid") == "greedy"
+                         ? AlgorithmKind::kGreedy
+                         : AlgorithmKind::kHybrid;
+  config.oracle = parse_oracle(flags.get_string("oracle", "o3"));
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  Engine engine(population, config);
+  const auto converged = engine.run_until_converged(
+      static_cast<Round>(flags.get_int("max-rounds", 5000)));
+
+  if (converged.has_value())
+    std::cout << "converged in " << *converged << " rounds\n";
+  else
+    std::cout << "did not converge\n"
+              << validate_overlay(engine.overlay()).to_string();
+
+  const std::string snapshot_path = flags.get_string("snapshot", "");
+  if (!snapshot_path.empty()) {
+    std::ofstream out(snapshot_path);
+    if (!out) {
+      std::cerr << "cannot write " << snapshot_path << '\n';
+      return 1;
+    }
+    write_snapshot(engine.overlay(), out);
+    std::cout << "snapshot written to " << snapshot_path << '\n';
+  }
+  return converged.has_value() ? 0 : 1;
+}
+
+int cmd_validate(const Flags& flags) {
+  std::ifstream in(flags.get_string("snapshot", ""));
+  if (!in) {
+    std::cerr << "cannot read snapshot\n";
+    return 1;
+  }
+  const Overlay overlay = read_snapshot(in);
+  const ValidationReport report = validate_overlay(overlay);
+  std::cout << report.to_string();
+  return report.converged() ? 0 : 1;
+}
+
+int cmd_disseminate(const Flags& flags) {
+  std::ifstream in(flags.get_string("snapshot", ""));
+  if (!in) {
+    std::cerr << "cannot read snapshot\n";
+    return 1;
+  }
+  const Overlay overlay = read_snapshot(in);
+  feed::DisseminationConfig config;
+  config.push_source = flags.get_bool("push-source", false);
+  config.source.publish_period = flags.get_double("publish-period", 3.0);
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto duration = flags.get_double("duration", 200.0);
+  const auto report = feed::run_dissemination(overlay, config, duration);
+  std::cout << "published " << report.items_published << " items over "
+            << duration << " time units\n"
+            << "source requests/unit: " << report.source_request_rate
+            << " (" << report.source_empty_requests << " empty)\n"
+            << "push messages: " << report.push_messages << '\n'
+            << "staleness-budget violations: " << report.violations << '\n';
+  return report.violations == 0 ? 0 : 1;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Flags flags(argc - 1, argv + 1);
+  try {
+    if (command == "generate") return cmd_generate(flags);
+    if (command == "check") return cmd_check(flags);
+    if (command == "construct") return cmd_construct(flags);
+    if (command == "validate") return cmd_validate(flags);
+    if (command == "disseminate") return cmd_disseminate(flags);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+  return usage();
+}
+
+}  // namespace
+}  // namespace lagover
+
+int main(int argc, char** argv) { return lagover::run(argc, argv); }

@@ -1,0 +1,129 @@
+#include "baseline/feedtree.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "common/error.hpp"
+#include "dht/hash_space.hpp"
+
+namespace lagover::baseline {
+
+using dht::Address;
+using dht::Key;
+
+FeedTreeReport build_and_analyze_feedtree(const Population& population,
+                                          const FeedTreeConfig& config) {
+  validate(population);
+  LAGOVER_EXPECTS(config.feeds >= 1);
+  const std::size_t n = population.consumers.size();
+  LAGOVER_EXPECTS(n >= 1);
+
+  // All consumers join one DHT ring regardless of which feed they want —
+  // the structural premise of FeedTree that the paper critiques.
+  dht::ChordRing ring(n, config.chord, config.seed);
+  const bool stable = ring.run_until_stable(500.0);
+  LAGOVER_ASSERT_MSG(stable, "feedtree ring failed to stabilize");
+  // Extra warm-up so finger tables converge and routes are logarithmic.
+  ring.simulator().run_until(ring.simulator().now() + config.warmup);
+
+  FeedTreeReport report;
+  report.ring_maintenance_messages = ring.network().total_messages();
+
+  for (std::size_t feed = 0; feed < config.feeds; ++feed) {
+    const Key rendezvous_key =
+        dht::hash_string("feed-" + std::to_string(feed));
+    // Resolve the rendezvous: the ring member owning the feed key.
+    Address rendezvous = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ring.node(i).owns(rendezvous_key)) {
+        rendezvous = ring.node(i).address();
+        break;
+      }
+    }
+
+    // Scribe join: each subscriber routes toward the rendezvous; the
+    // union of (reverse) routes is the multicast tree. parent[] points
+    // one hop closer to the rendezvous.
+    std::map<Address, Address> parent;
+    std::vector<Address> subscribers;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Consumer ids are 1-based; addresses are 0-based ring indices.
+      if ((i % config.feeds) != feed) continue;
+      subscribers.push_back(ring.node(i).address());
+      Address cursor = ring.node(i).address();
+      std::size_t guard = 0;
+      while (cursor != rendezvous) {
+        LAGOVER_ASSERT_MSG(++guard <= 2 * n,
+                           "scribe join route failed to terminate");
+        if (parent.count(cursor) != 0) break;  // joined an existing branch
+        const Address next = ring.node(cursor).route_next(rendezvous_key);
+        LAGOVER_ASSERT(next != cursor || cursor == rendezvous);
+        parent[cursor] = next;
+        cursor = next;
+      }
+    }
+
+    PerFeedStats stats;
+    stats.feed = feed;
+    stats.subscribers = subscribers.size();
+
+    // Tree membership and per-node load (children counts).
+    std::map<Address, int> children_count;
+    std::map<Address, int> depth;  // hops from the rendezvous
+    auto depth_of = [&](Address a) {
+      int d = 0;
+      Address cursor = a;
+      while (cursor != rendezvous) {
+        cursor = parent.at(cursor);
+        ++d;
+      }
+      return d;
+    };
+    for (const auto& [child, p] : parent) {
+      ++children_count[p];
+      depth[child] = 0;  // filled below
+    }
+    depth[rendezvous] = 0;
+    for (auto& [node, d] : depth) d = depth_of(node);
+
+    stats.tree_nodes = depth.size();
+    for (const auto& [node, d] : depth) {
+      const bool is_subscriber =
+          std::find(subscribers.begin(), subscribers.end(), node) !=
+          subscribers.end();
+      if (!is_subscriber && node != rendezvous) ++stats.pure_forwarders;
+      stats.max_depth = std::max(stats.max_depth, d);
+    }
+    double depth_sum = 0.0;
+    for (Address s : subscribers) depth_sum += depth.at(s);
+    stats.mean_depth =
+        subscribers.empty()
+            ? 0.0
+            : depth_sum / static_cast<double>(subscribers.size());
+
+    for (const auto& [node, count] : children_count) {
+      stats.max_fanout = std::max(stats.max_fanout, count);
+      // Scribe ignores declared fanout budgets; count how often the tree
+      // overloads a consumer relative to what it volunteered.
+      const auto& spec = population.consumers[node];
+      if (count > spec.constraints.fanout) ++stats.fanout_violations;
+    }
+
+    // Delivery delay of a subscriber at depth d is d + 1 (rendezvous
+    // poll costs one period, each forwarding hop one unit).
+    for (Address s : subscribers) {
+      const auto& spec = population.consumers[s];
+      if (depth.at(s) + 1 > spec.constraints.latency)
+        ++stats.latency_violations;
+    }
+
+    report.total_pure_forwarders += stats.pure_forwarders;
+    report.total_latency_violations += stats.latency_violations;
+    report.total_fanout_violations += stats.fanout_violations;
+    report.feeds.push_back(stats);
+  }
+  return report;
+}
+
+}  // namespace lagover::baseline

@@ -1,0 +1,57 @@
+// FeedTree-style baseline (Sandler et al., IPTPS'05): feed dissemination
+// over Scribe multicast trees built on a DHT that *all* consumers of
+// *all* feeds join. The paper's related-work critique (Section 6): the
+// underlying DHT churns independently of the per-feed trees, and peers
+// uninterested in a feed still forward its traffic; moreover Scribe
+// trees ignore individual latency and fanout constraints. This module
+// materializes Scribe trees over our Chord ring and measures exactly
+// those effects for comparison against LagOver.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "dht/chord.hpp"
+
+namespace lagover::baseline {
+
+struct FeedTreeConfig {
+  std::size_t feeds = 4;  ///< consumers are spread round-robin over feeds
+  dht::ChordConfig chord;
+  std::uint64_t seed = 1;
+  /// Simulated time to let the ring stabilize fingers before building
+  /// trees (fingers drive route shape).
+  double warmup = 150.0;
+};
+
+struct PerFeedStats {
+  std::size_t feed = 0;
+  std::size_t subscribers = 0;
+  std::size_t tree_nodes = 0;  ///< rendezvous + forwarders + subscribers
+  std::size_t pure_forwarders = 0;  ///< tree members not subscribed
+  int max_depth = 0;    ///< delivery hops from the rendezvous
+  double mean_depth = 0.0;
+  int max_fanout = 0;   ///< children per tree node (unbounded in Scribe)
+  std::size_t latency_violations = 0;  ///< delivery depth + 1 > l_i
+  std::size_t fanout_violations = 0;   ///< tree load > declared fanout
+};
+
+struct FeedTreeReport {
+  std::vector<PerFeedStats> feeds;
+  std::size_t total_pure_forwarders = 0;
+  std::size_t total_latency_violations = 0;
+  std::size_t total_fanout_violations = 0;
+  std::uint64_t ring_maintenance_messages = 0;
+};
+
+/// Builds one Scribe tree per feed over a Chord ring of all consumers
+/// and reports structure and constraint violations. Consumer i
+/// subscribes to feed (i - 1) % feeds; delivery delay of a subscriber at
+/// tree depth d is d + 1 time units (rendezvous polls the source at
+/// period 1, each forwarding hop costs 1) — directly comparable to the
+/// LagOver delay model.
+FeedTreeReport build_and_analyze_feedtree(const Population& population,
+                                          const FeedTreeConfig& config);
+
+}  // namespace lagover::baseline

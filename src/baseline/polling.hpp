@@ -1,0 +1,31 @@
+// The status-quo baseline the paper's introduction argues against:
+// every consumer polls the source directly (RSS as deployed). Each
+// consumer with latency constraint l polls at period l — the laxest
+// schedule that still meets its staleness bound — so the source absorbs
+// sum(1/l_i) requests per time unit, growing linearly with the
+// population ("If a million people subscribe ... their constant hits on
+// the site could overwhelm our servers").
+#pragma once
+
+#include "core/types.hpp"
+#include "feed/dissemination.hpp"
+
+namespace lagover::baseline {
+
+struct AllPollAnalysis {
+  double source_requests_per_unit = 0.0;  ///< sum over consumers of 1/l_i
+  std::size_t consumers = 0;
+};
+
+/// Closed-form request rate of direct polling.
+AllPollAnalysis analyze_all_poll(const Population& population);
+
+/// Message-level simulation of the same baseline: every consumer polls a
+/// FeedSource at period l_i with random phase. Reported in the same
+/// shape as run_dissemination so benches can print both side by side
+/// (push_messages is always 0; every consumer is a "poller").
+feed::DisseminationReport run_all_poll(const Population& population,
+                                       const feed::DisseminationConfig& config,
+                                       SimTime duration);
+
+}  // namespace lagover::baseline

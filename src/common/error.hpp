@@ -1,0 +1,57 @@
+// Error-handling helpers: contract checks that abort with a readable
+// message. Following C++ Core Guidelines I.6/E.12 we use explicit
+// precondition checks at API boundaries; internal invariants use
+// LAGOVER_ASSERT which can be compiled out.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace lagover {
+
+/// Thrown when a user-facing API receives arguments that violate its
+/// documented preconditions (e.g. negative fanout).
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an operation cannot proceed because the object is in an
+/// incompatible state (e.g. attaching a node that already has a parent).
+class InvalidState : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void fail_check(const char* kind, const char* expr,
+                                    const char* file, int line,
+                                    const std::string& msg) {
+  std::fprintf(stderr, "[lagover] %s failed: %s at %s:%d%s%s\n", kind, expr,
+               file, line, msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+}  // namespace lagover
+
+/// Precondition check at public API boundaries; always on.
+#define LAGOVER_EXPECTS(cond)                                              \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::lagover::fail_check("precondition", #cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// Internal invariant check; always on (simulation code is not hot enough
+/// to justify compiling these out, and silent corruption is worse).
+#define LAGOVER_ASSERT(cond)                                            \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::lagover::fail_check("invariant", #cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define LAGOVER_ASSERT_MSG(cond, msg)                                     \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::lagover::fail_check("invariant", #cond, __FILE__, __LINE__, msg); \
+  } while (false)

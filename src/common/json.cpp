@@ -1,0 +1,177 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace lagover {
+
+std::string json_escape(const std::string& text) {
+  std::string out = "\"";
+  for (unsigned char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (ch < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += static_cast<char>(ch);
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+Json Json::null() { return Json(); }
+
+Json Json::boolean(bool value) {
+  Json json;
+  json.kind_ = Kind::kBool;
+  json.bool_value_ = value;
+  return json;
+}
+
+Json Json::number(double value) {
+  Json json;
+  json.kind_ = Kind::kNumber;
+  json.number_value_ = value;
+  return json;
+}
+
+Json Json::integer(std::int64_t value) {
+  Json json;
+  json.kind_ = Kind::kInteger;
+  json.integer_value_ = value;
+  return json;
+}
+
+Json Json::string(std::string value) {
+  Json json;
+  json.kind_ = Kind::kString;
+  json.string_value_ = std::move(value);
+  return json;
+}
+
+Json Json::array() {
+  Json json;
+  json.kind_ = Kind::kArray;
+  return json;
+}
+
+Json Json::object() {
+  Json json;
+  json.kind_ = Kind::kObject;
+  return json;
+}
+
+Json& Json::push_back(Json value) {
+  LAGOVER_EXPECTS(kind_ == Kind::kArray);
+  elements_.push_back(std::move(value));
+  return *this;
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  LAGOVER_EXPECTS(kind_ == Kind::kObject);
+  for (auto& [existing, member] : members_) {
+    if (existing == key) {
+      member = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+void Json::write(std::string& out, int indent, bool pretty) const {
+  const std::string pad(pretty ? static_cast<std::size_t>(indent) * 2 : 0,
+                        ' ');
+  const std::string inner_pad(
+      pretty ? (static_cast<std::size_t>(indent) + 1) * 2 : 0, ' ');
+  const char* newline = pretty ? "\n" : "";
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_value_ ? "true" : "false";
+      break;
+    case Kind::kInteger: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%lld",
+                    static_cast<long long>(integer_value_));
+      out += buf;
+      break;
+    }
+    case Kind::kNumber: {
+      if (!std::isfinite(number_value_)) {
+        out += "null";
+        break;
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.10g", number_value_);
+      out += buf;
+      break;
+    }
+    case Kind::kString:
+      out += json_escape(string_value_);
+      break;
+    case Kind::kArray: {
+      if (elements_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      out += newline;
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        out += inner_pad;
+        elements_[i].write(out, indent + 1, pretty);
+        if (i + 1 < elements_.size()) out += ',';
+        out += newline;
+      }
+      out += pad;
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      out += newline;
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        out += inner_pad;
+        out += json_escape(members_[i].first);
+        out += pretty ? ": " : ":";
+        members_[i].second.write(out, indent + 1, pretty);
+        if (i + 1 < members_.size()) out += ',';
+        out += newline;
+      }
+      out += pad;
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  write(out, 0, false);
+  return out;
+}
+
+std::string Json::dump_pretty() const {
+  std::string out;
+  write(out, 0, true);
+  return out;
+}
+
+}  // namespace lagover

@@ -1,0 +1,60 @@
+// Minimal JSON writer (no parsing): enough to emit experiment results
+// for downstream tooling without a third-party dependency. Values are
+// built bottom-up; serialization escapes strings per RFC 8259 and
+// renders non-finite doubles as null.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lagover {
+
+/// A JSON value (object keys stay in insertion order).
+class Json {
+ public:
+  Json() : kind_(Kind::kNull) {}
+
+  static Json null();
+  static Json boolean(bool value);
+  static Json number(double value);
+  static Json integer(std::int64_t value);
+  static Json string(std::string value);
+  static Json array();
+  static Json object();
+
+  /// Array append (precondition: this is an array).
+  Json& push_back(Json value);
+
+  /// Object insert/overwrite (precondition: this is an object).
+  Json& set(const std::string& key, Json value);
+
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  /// Compact serialization.
+  std::string dump() const;
+
+  /// Pretty serialization with 2-space indentation.
+  std::string dump_pretty() const;
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kInteger, kString, kArray, kObject };
+
+  void write(std::string& out, int indent, bool pretty) const;
+
+  Kind kind_;
+  bool bool_value_ = false;
+  double number_value_ = 0.0;
+  std::int64_t integer_value_ = 0;
+  std::string string_value_;
+  std::vector<Json> elements_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// Escapes a string for embedding in JSON (adds surrounding quotes).
+std::string json_escape(const std::string& text);
+
+}  // namespace lagover

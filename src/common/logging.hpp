@@ -1,0 +1,67 @@
+// Minimal leveled logger. Simulation code logs through this so tests can
+// silence output and benches can raise verbosity with a flag.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace lagover {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide logger. Not thread-safe by design: the simulators are
+/// single-threaded and the benches run sequentially.
+class Logger {
+ public:
+  static Logger& instance() noexcept {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  LogLevel level() const noexcept { return level_; }
+  bool enabled(LogLevel level) const noexcept { return level >= level_; }
+
+  void log(LogLevel level, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4))) {
+    if (!enabled(level)) return;
+    std::va_list args;
+    va_start(args, fmt);
+    std::fprintf(stderr, "[%s] ", name(level));
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+    va_end(args);
+  }
+
+ private:
+  Logger() = default;
+
+  static const char* name(LogLevel level) noexcept {
+    switch (level) {
+      case LogLevel::kTrace: return "trace";
+      case LogLevel::kDebug: return "debug";
+      case LogLevel::kInfo: return "info";
+      case LogLevel::kWarn: return "warn";
+      case LogLevel::kError: return "error";
+      case LogLevel::kOff: return "off";
+    }
+    return "?";
+  }
+
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+}  // namespace lagover
+
+#define LAGOVER_LOG(level, ...)                                      \
+  do {                                                               \
+    if (::lagover::Logger::instance().enabled(level))                \
+      ::lagover::Logger::instance().log(level, __VA_ARGS__);         \
+  } while (false)
+
+#define LAGOVER_TRACE(...) LAGOVER_LOG(::lagover::LogLevel::kTrace, __VA_ARGS__)
+#define LAGOVER_DEBUG(...) LAGOVER_LOG(::lagover::LogLevel::kDebug, __VA_ARGS__)
+#define LAGOVER_INFO(...) LAGOVER_LOG(::lagover::LogLevel::kInfo, __VA_ARGS__)
+#define LAGOVER_WARN(...) LAGOVER_LOG(::lagover::LogLevel::kWarn, __VA_ARGS__)
+#define LAGOVER_ERROR(...) LAGOVER_LOG(::lagover::LogLevel::kError, __VA_ARGS__)

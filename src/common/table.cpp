@@ -1,0 +1,117 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace lagover {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  LAGOVER_EXPECTS(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  LAGOVER_EXPECTS(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << row[c] << std::string(width[c] - row[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+  emit_row(header_);
+  out << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    out << std::string(width[c] + 2, '-') << '|';
+  out << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << ',';
+      out << csv_escape(row[c]);
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_csv();
+  return static_cast<bool>(out);
+}
+
+std::string Table::to_json() const {
+  Json header = Json::array();
+  for (const auto& cell : header_) header.push_back(Json::string(cell));
+  Json rows = Json::array();
+  for (const auto& row : rows_) {
+    Json json_row = Json::array();
+    for (const auto& cell : row) json_row.push_back(Json::string(cell));
+    rows.push_back(std::move(json_row));
+  }
+  Json root = Json::object();
+  root.set("header", std::move(header));
+  root.set("rows", std::move(rows));
+  return root.dump_pretty();
+}
+
+bool Table::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json() << '\n';
+  return static_cast<bool>(out);
+}
+
+void Table::print(std::ostream& os) const { os << to_string(); }
+
+std::string format_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string format_pair(double a, double b, int precision) {
+  return format_double(a, precision) + " / " + format_double(b, precision);
+}
+
+}  // namespace lagover

@@ -1,0 +1,51 @@
+// Fixed-width console table and CSV emission. The bench binaries print
+// each paper figure/table as an aligned console table and can mirror the
+// same rows into a CSV file for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lagover {
+
+/// Accumulates rows of string cells and renders them either as an aligned
+/// console table or as CSV. Cheap by design; benches build a handful of
+/// tables per run.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+  std::size_t column_count() const noexcept { return header_.size(); }
+
+  /// Renders an aligned, pipe-separated table with a rule under the header.
+  std::string to_string() const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing separators).
+  std::string to_csv() const;
+
+  /// JSON form: {"header": [...], "rows": [[...], ...]}.
+  std::string to_json() const;
+  bool write_json(const std::string& path) const;
+
+  /// Writes the CSV form to a file; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision, trimming to a compact form.
+std::string format_double(double value, int precision = 2);
+
+/// Formats "value1 / value2" style cells used in figure tables.
+std::string format_pair(double a, double b, int precision = 2);
+
+}  // namespace lagover

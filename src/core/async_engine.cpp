@@ -1,0 +1,116 @@
+#include "core/async_engine.hpp"
+
+#include "common/error.hpp"
+
+namespace lagover {
+
+AsyncEngine::AsyncEngine(Population population, AsyncConfig config)
+    : config_(config),
+      overlay_(std::move(population)),
+      protocol_(make_protocol(config.algorithm, config.source_mode,
+                              config.maintenance_patience)),
+      oracle_(make_oracle(config.oracle)),
+      core_(std::make_unique<ConstructionCore>(overlay_, *protocol_, *oracle_,
+                                               config.timeout_steps)),
+      rng_(config.seed) {
+  LAGOVER_EXPECTS(config.min_interaction_time > 0.0);
+  LAGOVER_EXPECTS(config.max_interaction_time >= config.min_interaction_time);
+  LAGOVER_EXPECTS(config.maintenance_period > 0.0);
+  // Stagger the first wake-ups so nodes are desynchronized from t = 0.
+  for (NodeId id = 1; id < overlay_.node_count(); ++id)
+    schedule_node(id, draw_duration());
+}
+
+void AsyncEngine::set_oracle(std::unique_ptr<Oracle> oracle) {
+  LAGOVER_EXPECTS(oracle != nullptr);
+  LAGOVER_EXPECTS(!started_);
+  oracle_ = std::move(oracle);
+  core_ = std::make_unique<ConstructionCore>(overlay_, *protocol_, *oracle_,
+                                             config_.timeout_steps);
+}
+
+void AsyncEngine::set_churn(std::unique_ptr<ChurnModel> churn) {
+  LAGOVER_EXPECTS(!started_);
+  churn_ = std::move(churn);
+  sim_.schedule_periodic(1.0, [this] { apply_churn(); });
+}
+
+void AsyncEngine::apply_churn() {
+  if (!churn_) return;
+  const ChurnModel::Decision decision =
+      churn_->decide(++churn_ticks_, overlay_, rng_);
+  for (NodeId id : decision.leave) {
+    if (!overlay_.online(id)) continue;
+    overlay_.set_offline(id);
+    core_->reset_node(id);
+  }
+  for (NodeId id : decision.join) {
+    if (overlay_.online(id)) continue;
+    overlay_.set_online(id);
+    core_->reset_node(id);
+    // Rejoined nodes resume their action loop (their previous wake-up
+    // chain died at the offline check).
+    schedule_node(id, draw_duration());
+  }
+  // Churn can invalidate a previous "converged" observation.
+  if (!overlay_.all_satisfied()) converged_ = false;
+}
+
+double AsyncEngine::run_for(SimTime duration) {
+  started_ = true;
+  const SimTime horizon = sim_.now() + duration;
+  while (sim_.step(horizon)) {
+  }
+  sim_.run_until(horizon);
+  return overlay_.satisfied_fraction();
+}
+
+double AsyncEngine::draw_duration() {
+  return rng_.uniform_real(config_.min_interaction_time,
+                           config_.max_interaction_time);
+}
+
+void AsyncEngine::schedule_node(NodeId id, SimTime delay) {
+  sim_.schedule_after(delay, [this, id] { on_wake(id); });
+}
+
+void AsyncEngine::on_wake(NodeId id) {
+  // Without churn, a converged overlay is final and the wake chains may
+  // die out; under churn they must keep running (convergence is
+  // transient).
+  if ((converged_ && !churn_) || !overlay_.online(id)) return;
+  // The round label for trace events is the integer simulated time.
+  const Round label = static_cast<Round>(sim_.now());
+  if (overlay_.has_parent(id)) {
+    core_->maintenance_step(id, protocol_->maintenance_patience(), label);
+    // Attached nodes only need periodic maintenance checks; detached
+    // ones resume the construction loop at their own pace either way.
+    schedule_node(id, overlay_.has_parent(id) ? config_.maintenance_period
+                                              : draw_duration());
+  } else {
+    const NodeId partner = core_->orphan_step(id, rng_, label);
+    double duration = draw_duration();
+    if (config_.network_latency != nullptr && partner != kNoNode) {
+      // The negotiation round-trips with the partner: far peers cost
+      // more wall-clock before the next action can start.
+      duration += config_.rtt_weight * 2.0 *
+                  config_.network_latency->latency(id, partner, rng_);
+    }
+    schedule_node(id, duration);
+  }
+  if (overlay_.all_satisfied()) {
+    converged_ = true;
+    converged_at_ = sim_.now();
+  }
+}
+
+std::optional<SimTime> AsyncEngine::run_until_converged(SimTime horizon) {
+  started_ = true;
+  if (overlay_.all_satisfied()) return sim_.now();
+  while (!converged_ && sim_.step(horizon)) {
+  }
+  if (converged_) return converged_at_;
+  return std::nullopt;
+}
+
+}  // namespace lagover

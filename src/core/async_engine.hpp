@@ -1,0 +1,102 @@
+// Event-driven (asynchronous) LagOver construction (paper Section 5.3:
+// "peers interacted asynchronously, i.e. different peers need different
+// amount of time to complete the interactions. Asynchrony slowed down
+// the overlay construction, but interestingly did not affect the
+// eventual convergence").
+//
+// Each consumer runs its own action loop on the discrete-event kernel:
+// while parentless it performs one construction step and then sleeps for
+// an interaction duration drawn uniformly from
+// [min_interaction_time, max_interaction_time]; while attached it wakes
+// every maintenance_period to evaluate the maintenance condition.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "core/construction_core.hpp"
+#include "core/engine.hpp"
+#include "core/types.hpp"
+#include "net/latency_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace lagover {
+
+struct AsyncConfig {
+  AlgorithmKind algorithm = AlgorithmKind::kHybrid;
+  OracleKind oracle = OracleKind::kRandomDelay;
+  SourceMode source_mode = SourceMode::kPullOnly;
+  int timeout_steps = 4;       ///< orphan actions before source contact
+  int maintenance_patience = 1;
+  /// Interaction duration bounds; the synchronous engine corresponds to
+  /// every duration being exactly 1.0 (one round).
+  double min_interaction_time = 0.5;
+  double max_interaction_time = 2.5;
+  double maintenance_period = 1.0;
+  /// Optional network model: when set, an interaction with partner j
+  /// additionally costs rtt_weight * 2 * latency(i, j) — geographically
+  /// far partners take longer to negotiate with (the model must cover
+  /// addresses [0, consumers]; address = NodeId, 0 = the source).
+  std::shared_ptr<net::LatencyModel> network_latency;
+  double rtt_weight = 1.0;
+  std::uint64_t seed = 1;
+};
+
+/// Runs construction on the event kernel and reports the simulated time
+/// at which every online consumer became satisfied.
+class AsyncEngine {
+ public:
+  AsyncEngine(Population population, AsyncConfig config);
+
+  // The construction core and scheduled events reference this object,
+  // so it is pinned in place.
+  AsyncEngine(const AsyncEngine&) = delete;
+  AsyncEngine& operator=(const AsyncEngine&) = delete;
+  AsyncEngine(AsyncEngine&&) = delete;
+  AsyncEngine& operator=(AsyncEngine&&) = delete;
+
+  const Overlay& overlay() const noexcept { return overlay_; }
+  const Oracle& oracle() const noexcept { return *oracle_; }
+  const Simulator& simulator() const noexcept { return sim_; }
+
+  /// Replaces the Oracle (e.g. a locality-biased or DHT-backed
+  /// realization). Must be called before the first run.
+  void set_oracle(std::unique_ptr<Oracle> oracle);
+
+  /// Installs a churn model, applied once per time unit (the same
+  /// cadence as the synchronous engine's rounds). Must be called before
+  /// the first run. Newly joined nodes re-enter the construction loop
+  /// at their own pace.
+  void set_churn(std::unique_ptr<ChurnModel> churn);
+
+  /// Runs for exactly `duration` time units (under churn there is no
+  /// stable "converged" endpoint) and reports the final satisfied
+  /// fraction.
+  double run_for(SimTime duration);
+
+  /// Runs until convergence or `horizon` simulated time units. Returns
+  /// the convergence time, or nullopt on timeout.
+  std::optional<SimTime> run_until_converged(SimTime horizon);
+
+ private:
+  void schedule_node(NodeId id, SimTime delay);
+  void on_wake(NodeId id);
+  void apply_churn();
+  double draw_duration();
+
+  AsyncConfig config_;
+  Overlay overlay_;
+  std::unique_ptr<Protocol> protocol_;
+  std::unique_ptr<Oracle> oracle_;
+  std::unique_ptr<ConstructionCore> core_;
+  std::unique_ptr<ChurnModel> churn_;
+  Simulator sim_;
+  Rng rng_;
+  Round churn_ticks_ = 0;
+  bool started_ = false;
+  bool converged_ = false;
+  SimTime converged_at_ = 0.0;
+};
+
+}  // namespace lagover

@@ -1,0 +1,105 @@
+#include "core/construction_core.hpp"
+
+namespace lagover {
+
+ConstructionCore::ConstructionCore(Overlay& overlay, Protocol& protocol,
+                                   Oracle& oracle, int timeout_limit)
+    : overlay_(overlay),
+      protocol_(protocol),
+      oracle_(oracle),
+      timeout_limit_(timeout_limit) {
+  const std::size_t n = overlay.node_count();
+  timeout_counter_.assign(n, 0);
+  violation_streak_.assign(n, 0);
+  referral_.assign(n, kNoNode);
+  pending_source_.assign(n, 0);
+}
+
+void ConstructionCore::reset_node(NodeId id) {
+  timeout_counter_[id] = 0;
+  violation_streak_[id] = 0;
+  referral_[id] = kNoNode;
+  pending_source_[id] = 0;
+}
+
+NodeId ConstructionCore::orphan_step(NodeId i, Rng& rng, Round round) {
+  if (!overlay_.online(i) || overlay_.has_parent(i)) return kNoNode;
+
+  // Timeout / explicit source referral => direct source contact
+  // (Algorithm 2 steps 2-8), resetting the timeout counter regardless of
+  // the outcome ("Reset counter for Timeout").
+  if (pending_source_[i] != 0 || timeout_counter_[i] >= timeout_limit_) {
+    pending_source_[i] = 0;
+    timeout_counter_[i] = 0;
+    referral_[i] = kNoNode;
+    const bool attached = protocol_.contact_source(overlay_, i);
+    emit({round, TraceEventType::kSourceContact, i, kSourceId, attached});
+    return kSourceId;
+  }
+
+  // Pick a partner: last referral when still usable, Oracle otherwise.
+  NodeId partner = kNoNode;
+  if (referral_[i] != kNoNode) {
+    const NodeId r = referral_[i];
+    referral_[i] = kNoNode;
+    if (r != i && r != kSourceId && overlay_.online(r)) partner = r;
+  }
+  if (partner == kNoNode) {
+    const auto sampled = oracle_.sample(i, overlay_, rng);
+    if (!sampled.has_value()) {
+      // "It may happen that the Oracle finds no suitable j, and the peer
+      // needs to wait and try again." Waiting still counts toward the
+      // timeout, which is the escape hatch for starved peers.
+      ++timeout_counter_[i];
+      emit({round, TraceEventType::kOracleEmpty, i, kNoNode, false});
+      return kNoNode;
+    }
+    partner = *sampled;
+  }
+
+  const InteractionResult result = protocol_.interact(overlay_, i, partner);
+  emit({round, TraceEventType::kInteraction, i, partner, result.attached});
+  if (result.referral.has_value()) {
+    if (*result.referral == kSourceId) {
+      pending_source_[i] = 1;
+    } else {
+      referral_[i] = *result.referral;
+    }
+  }
+  if (overlay_.has_parent(i)) {
+    timeout_counter_[i] = 0;
+  } else {
+    ++timeout_counter_[i];
+  }
+  return partner;
+}
+
+bool ConstructionCore::maintenance_step(NodeId i, int patience, Round round,
+                                        std::optional<bool> observed_violated) {
+  if (!overlay_.online(i) || !overlay_.has_parent(i)) {
+    violation_streak_[i] = 0;
+    return false;
+  }
+  // For connected nodes this is the paper's condition (DelayAt > l with
+  // Root = 0). For detached nodes DelayAt is the *optimistic* delay —
+  // the best achievable once the group root attaches — so exceeding l
+  // means the position is hopeless and waiting for Root = 0 only delays
+  // the inevitable detach.
+  const bool violated = observed_violated.has_value()
+                            ? *observed_violated
+                            : overlay_.delay_at(i) > overlay_.latency_of(i);
+  if (!violated) {
+    violation_streak_[i] = 0;
+    return false;
+  }
+  if (++violation_streak_[i] > patience) {
+    overlay_.detach(i);
+    violation_streak_[i] = 0;
+    ++maintenance_detaches_;
+    emit({round, TraceEventType::kMaintenanceDetach, i, kNoNode, false});
+    return true;
+  }
+  return false;
+}
+
+}  // namespace lagover

@@ -1,0 +1,97 @@
+// Per-node construction behaviour shared by the synchronous round-based
+// Engine and the event-driven AsyncEngine: one "orphan step" (timeout /
+// referral / Oracle interaction) and one maintenance evaluation, plus
+// the per-node bookkeeping both need (timeout counters, violation
+// streaks, referrals).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/oracle.hpp"
+#include "core/overlay.hpp"
+#include "core/protocol.hpp"
+#include "core/types.hpp"
+
+namespace lagover {
+
+/// Construction trace events, for tests and the Figure-1 style toy trace.
+enum class TraceEventType {
+  kChurnLeave,
+  kChurnJoin,
+  kMaintenanceDetach,
+  kSourceContact,
+  kInteraction,
+  kOracleEmpty,
+};
+
+struct TraceEvent {
+  Round round = 0;
+  TraceEventType type{};
+  NodeId subject = kNoNode;
+  NodeId partner = kNoNode;
+  bool attached = false;  ///< for kInteraction / kSourceContact
+};
+
+/// Owns the per-node construction state and executes single steps.
+/// Overlay/protocol/oracle are borrowed; the owner guarantees they
+/// outlive this object.
+class ConstructionCore {
+ public:
+  ConstructionCore(Overlay& overlay, Protocol& protocol, Oracle& oracle,
+                   int timeout_limit);
+
+  /// One step of the `while i is parentless` loop (Algorithm 2 body):
+  /// source contact when the timeout fired or a source referral is
+  /// pending; otherwise one interaction with the last referral or an
+  /// Oracle sample. No-op if i is offline or already has a parent.
+  /// `round` only labels trace events. Returns the peer interacted with
+  /// (kSourceId for a source contact; kNoNode when nothing happened),
+  /// so callers modelling interaction costs know who was contacted.
+  NodeId orphan_step(NodeId i, Rng& rng, Round round);
+
+  /// Maintenance evaluation for i: tracks the consecutive-violation
+  /// streak and detaches i from its parent once the streak exceeds
+  /// `patience` (0 = immediate, the greedy rule). Returns true when a
+  /// detach happened. `observed_violated` overrides the live violation
+  /// check — used to model stale piggy-backed chain knowledge (paper
+  /// Section 2.1.3): the node acts on DelayAt/Root as it believed them
+  /// some rounds ago, not as they are now.
+  bool maintenance_step(NodeId i, int patience, Round round,
+                        std::optional<bool> observed_violated = std::nullopt);
+
+  /// Clears i's timeout counter, violation streak, and referral (used
+  /// when a node leaves or rejoins).
+  void reset_node(NodeId id);
+
+  void set_trace(std::function<void(const TraceEvent&)> trace) {
+    trace_ = std::move(trace);
+  }
+
+  std::uint64_t maintenance_detaches() const noexcept {
+    return maintenance_detaches_;
+  }
+
+  void emit(const TraceEvent& event) {
+    if (trace_) trace_(event);
+  }
+
+ private:
+  Overlay& overlay_;
+  Protocol& protocol_;
+  Oracle& oracle_;
+  int timeout_limit_;
+  std::uint64_t maintenance_detaches_ = 0;
+  std::function<void(const TraceEvent&)> trace_;
+
+  // Per-node state (index = node id; [0] unused).
+  std::vector<int> timeout_counter_;
+  std::vector<int> violation_streak_;
+  std::vector<NodeId> referral_;      // kNoNode = none
+  std::vector<char> pending_source_;  // "refer i to 0"
+};
+
+}  // namespace lagover

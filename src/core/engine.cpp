@@ -1,0 +1,146 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/fanout_greedy.hpp"
+#include "core/greedy.hpp"
+#include "core/hybrid.hpp"
+
+namespace lagover {
+
+std::unique_ptr<Protocol> make_protocol(AlgorithmKind kind,
+                                        SourceMode source_mode,
+                                        int maintenance_patience) {
+  switch (kind) {
+    case AlgorithmKind::kGreedy:
+      return std::make_unique<GreedyProtocol>(source_mode);
+    case AlgorithmKind::kHybrid:
+      return std::make_unique<HybridProtocol>(source_mode,
+                                              maintenance_patience);
+    case AlgorithmKind::kFanoutGreedy:
+      return std::make_unique<FanoutGreedyProtocol>(source_mode);
+  }
+  throw InvalidArgument("unknown algorithm kind");
+}
+
+Engine::Engine(Population population, EngineConfig config)
+    : config_(config),
+      overlay_(std::move(population)),
+      protocol_(make_protocol(config.algorithm, config.source_mode,
+                              config.maintenance_patience)),
+      oracle_(make_oracle(config.oracle)),
+      core_(std::make_unique<ConstructionCore>(overlay_, *protocol_, *oracle_,
+                                               config.timeout_rounds)),
+      rng_(config.seed) {
+  LAGOVER_EXPECTS(config.timeout_rounds >= 1);
+  LAGOVER_EXPECTS(config.maintenance_patience >= 0);
+  protocol_->set_orphaning_displacement(config.orphaning_displacement);
+}
+
+void Engine::set_oracle(std::unique_ptr<Oracle> oracle) {
+  LAGOVER_EXPECTS(oracle != nullptr);
+  LAGOVER_EXPECTS(!started_);
+  oracle_ = std::move(oracle);
+  // The core borrows the oracle; rebuild it against the new one,
+  // preserving any installed trace observer.
+  core_ = std::make_unique<ConstructionCore>(overlay_, *protocol_, *oracle_,
+                                             config_.timeout_rounds);
+  core_->set_trace(trace_);
+}
+
+void Engine::set_churn(std::unique_ptr<ChurnModel> churn) {
+  churn_ = std::move(churn);
+}
+
+void Engine::set_trace(std::function<void(const TraceEvent&)> trace) {
+  trace_ = std::move(trace);
+  core_->set_trace(trace_);
+}
+
+void Engine::apply_churn() {
+  if (!churn_) return;
+  const ChurnModel::Decision decision = churn_->decide(round_, overlay_, rng_);
+  for (NodeId id : decision.leave) {
+    if (!overlay_.online(id)) continue;
+    overlay_.set_offline(id);
+    core_->reset_node(id);
+    core_->emit({round_, TraceEventType::kChurnLeave, id, kNoNode, false});
+  }
+  for (NodeId id : decision.join) {
+    if (overlay_.online(id)) continue;
+    overlay_.set_online(id);
+    core_->reset_node(id);
+    core_->emit({round_, TraceEventType::kChurnJoin, id, kNoNode, false});
+  }
+}
+
+RoundStats Engine::run_round() {
+  started_ = true;
+  ++round_;
+  apply_churn();
+
+  // With stale chain knowledge, snapshot each node's violation state
+  // BEFORE this round's maintenance so decisions can be based on what a
+  // node believed `knowledge_lag` rounds ago.
+  if (config_.knowledge_lag > 0) {
+    std::vector<char> snapshot(overlay_.node_count(), 0);
+    for (NodeId id = 1; id < overlay_.node_count(); ++id) {
+      if (!overlay_.online(id) || !overlay_.has_parent(id)) continue;
+      snapshot[id] =
+          overlay_.delay_at(id) > overlay_.latency_of(id) ? 1 : 0;
+    }
+    violation_snapshots_.push_front(std::move(snapshot));
+    while (violation_snapshots_.size() >
+           static_cast<std::size_t>(config_.knowledge_lag))
+      violation_snapshots_.pop_back();
+  }
+
+  // Maintenance pass over connected nodes. With instantaneous knowledge
+  // it is evaluated on live state: an upstream detach earlier in the
+  // pass already changed downstream Root()/DelayAt() values.
+  const int patience = protocol_->maintenance_patience();
+  const bool lagged =
+      config_.knowledge_lag > 0 &&
+      violation_snapshots_.size() ==
+          static_cast<std::size_t>(config_.knowledge_lag);
+  for (NodeId id = 1; id < overlay_.node_count(); ++id) {
+    std::optional<bool> observed;
+    if (config_.knowledge_lag > 0)
+      observed = lagged && violation_snapshots_.back()[id] != 0;
+    core_->maintenance_step(id, patience, round_, observed);
+  }
+
+  // Interaction pass: every parentless chain root acts once, in random
+  // order (nodes are not synchronized; the shuffle models arbitrary
+  // arrival order within a round).
+  std::vector<NodeId> roots;
+  roots.reserve(overlay_.node_count());
+  for (NodeId id = 1; id < overlay_.node_count(); ++id)
+    if (overlay_.online(id) && !overlay_.has_parent(id)) roots.push_back(id);
+  rng_.shuffle(roots);
+  for (NodeId i : roots) core_->orphan_step(i, rng_, round_);
+
+  RoundStats stats;
+  stats.round = round_;
+  stats.online = overlay_.online_count();
+  stats.satisfied = overlay_.satisfied_count();
+  stats.satisfied_fraction = overlay_.satisfied_fraction();
+  std::size_t orphans = 0;
+  for (NodeId id = 1; id < overlay_.node_count(); ++id)
+    if (overlay_.online(id) && !overlay_.has_parent(id)) ++orphans;
+  stats.orphan_roots = orphans;
+  if (record_history_) history_.push_back(stats);
+  return stats;
+}
+
+std::optional<Round> Engine::run_until_converged(Round max_rounds) {
+  if (overlay_.all_satisfied()) return round_;
+  for (Round r = 0; r < max_rounds; ++r) {
+    run_round();
+    if (overlay_.all_satisfied()) return round_;
+  }
+  return std::nullopt;
+}
+
+}  // namespace lagover

@@ -1,0 +1,144 @@
+// Round-based LagOver construction engine (paper Section 2.1.1's
+// "decoupled time": construction proceeds in rounds, independent of the
+// latency unit). Each round:
+//
+//   1. churn is applied (paper Section 5.3 model, pluggable),
+//   2. connected nodes run maintenance (Algorithm 1 / hybrid timeout),
+//   3. every parentless chain root performs one step of its construction
+//      loop: direct source contact when its timeout has fired or it was
+//      referred to the source, otherwise one interaction with a partner
+//      from its last referral or the Oracle.
+//
+// The engine is deterministic given (population, config seed).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/construction_core.hpp"
+#include "core/oracle.hpp"
+#include "core/overlay.hpp"
+#include "core/protocol.hpp"
+#include "core/types.hpp"
+
+namespace lagover {
+
+/// Tunable parameters of a construction run.
+struct EngineConfig {
+  AlgorithmKind algorithm = AlgorithmKind::kHybrid;
+  OracleKind oracle = OracleKind::kRandomDelay;
+  SourceMode source_mode = SourceMode::kPullOnly;
+  /// Rounds an orphan waits (without acquiring a parent) before
+  /// contacting the source directly.
+  int timeout_rounds = 4;
+  /// Hybrid maintenance damping: consecutive violated rounds tolerated
+  /// before discarding the parent (greedy always reacts immediately).
+  int maintenance_patience = 1;
+  /// Allow the orphaning-displacement move (Protocol docs); disabling it
+  /// approximates the paper's literally-described move set for ablation.
+  bool orphaning_displacement = true;
+  /// Stale chain knowledge (paper Section 2.1.3 ablation): maintenance
+  /// decisions use each node's DelayAt/Root as observed this many
+  /// rounds ago — piggy-backed information takes time to ride down the
+  /// chain. 0 = instantaneous (the paper's simulator and our default).
+  int knowledge_lag = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Per-round snapshot used by convergence tracking.
+struct RoundStats {
+  Round round = 0;
+  std::size_t online = 0;
+  std::size_t satisfied = 0;
+  std::size_t orphan_roots = 0;
+  double satisfied_fraction = 1.0;
+};
+
+/// Membership-dynamics model: returns which nodes leave and which
+/// (offline) nodes rejoin this round.
+class ChurnModel {
+ public:
+  virtual ~ChurnModel() = default;
+  struct Decision {
+    std::vector<NodeId> leave;
+    std::vector<NodeId> join;
+  };
+  virtual Decision decide(Round round, const Overlay& overlay, Rng& rng) = 0;
+};
+
+/// Drives one LagOver construction run.
+class Engine {
+ public:
+  Engine(Population population, EngineConfig config);
+
+  // The construction core holds references into this object, so the
+  // engine is pinned in place (heap-allocate it to hand it around).
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  Engine(Engine&&) = delete;
+  Engine& operator=(Engine&&) = delete;
+
+  /// Replaces the Oracle (e.g. with a DHT- or gossip-backed
+  /// realization). Must be called before the first round.
+  void set_oracle(std::unique_ptr<Oracle> oracle);
+
+  /// Installs a churn model; nullptr disables churn.
+  void set_churn(std::unique_ptr<ChurnModel> churn);
+
+  /// Installs a trace observer (nullptr to disable).
+  void set_trace(std::function<void(const TraceEvent&)> trace);
+
+  /// When enabled, every round's RoundStats is retained in history().
+  void set_record_history(bool record) { record_history_ = record; }
+
+  const Overlay& overlay() const noexcept { return overlay_; }
+  Overlay& overlay() noexcept { return overlay_; }
+  const Protocol& protocol() const noexcept { return *protocol_; }
+  const Oracle& oracle() const noexcept { return *oracle_; }
+  Round round() const noexcept { return round_; }
+  std::uint64_t maintenance_detaches() const noexcept {
+    return core_->maintenance_detaches();
+  }
+  const std::vector<RoundStats>& history() const noexcept { return history_; }
+  const EngineConfig& config() const noexcept { return config_; }
+
+  /// Executes one construction round and returns its statistics.
+  RoundStats run_round();
+
+  /// Runs rounds until every online consumer is satisfied or max_rounds
+  /// is exhausted. Returns the converged round, or nullopt on timeout
+  /// ("did not converge" in the paper's evaluation).
+  std::optional<Round> run_until_converged(Round max_rounds);
+
+ private:
+  void apply_churn();
+
+  EngineConfig config_;
+  Overlay overlay_;
+  std::unique_ptr<Protocol> protocol_;
+  std::unique_ptr<Oracle> oracle_;
+  std::unique_ptr<ConstructionCore> core_;
+  std::unique_ptr<ChurnModel> churn_;
+  std::function<void(const TraceEvent&)> trace_;
+  Rng rng_;
+
+  Round round_ = 0;
+  bool started_ = false;
+  bool record_history_ = false;
+  std::vector<RoundStats> history_;
+  /// Ring buffer of per-node violation observations for knowledge_lag
+  /// (entry k: the snapshot taken k rounds ago, newest first).
+  std::deque<std::vector<char>> violation_snapshots_;
+};
+
+/// Convenience: builds the protocol for an algorithm kind.
+std::unique_ptr<Protocol> make_protocol(AlgorithmKind kind,
+                                        SourceMode source_mode,
+                                        int maintenance_patience);
+
+}  // namespace lagover

@@ -1,0 +1,79 @@
+#include "core/fanout_greedy.hpp"
+
+#include "common/error.hpp"
+
+namespace lagover {
+
+bool FanoutGreedyProtocol::attach_ignoring_latency(Overlay& overlay, NodeId c,
+                                                   NodeId p) {
+  if (!overlay.can_attach(c, p)) return false;
+  overlay.attach(c, p);
+  ++counters_.plain_attaches;
+  return true;
+}
+
+InteractionResult FanoutGreedyProtocol::interact(Overlay& overlay, NodeId i,
+                                                 NodeId j) {
+  ++counters_.interactions;
+  InteractionResult result;
+  if (overlay.in_subtree(j, i)) {
+    ++counters_.wasted_interactions;
+    return result;
+  }
+
+  const NodeId pj = overlay.parent(j);
+  if (pj == kNoNode) {
+    // Two group roots: the larger total fanout hosts (ties: lower id).
+    const int fi = overlay.fanout_of(i);
+    const int fj = overlay.fanout_of(j);
+    NodeId parent = fi != fj ? (fi > fj ? i : j) : (i < j ? i : j);
+    NodeId child = parent == i ? j : i;
+    if (!attach_ignoring_latency(overlay, child, parent)) {
+      // Preferred host saturated: try the other orientation.
+      attach_ignoring_latency(overlay, parent, child);
+    }
+    result.attached = overlay.has_parent(i);
+    return result;
+  }
+
+  // j is in a chain. A strictly higher-fanout i takes j's slot and
+  // adopts it (the latency-blind analogue of hybrid's interior rule:
+  // capacity bubbles upward, which is what actually minimizes depth).
+  if (overlay.fanout_of(i) > overlay.fanout_of(j) &&
+      overlay.fanout_of(i) >= 1 && !overlay.in_subtree(pj, i)) {
+    overlay.detach(j);
+    if (overlay.free_fanout(i) <= 0) {
+      // Make room by discarding the smallest-fanout child (it brings
+      // the least capacity upward).
+      NodeId discard = kNoNode;
+      for (NodeId child : overlay.children(i))
+        if (discard == kNoNode ||
+            overlay.fanout_of(child) < overlay.fanout_of(discard))
+          discard = child;
+      overlay.detach(discard);
+      ++counters_.child_discards;
+    }
+    overlay.attach(i, pj);
+    LAGOVER_ASSERT(overlay.can_attach(j, i));
+    overlay.attach(j, i);
+    ++counters_.replacements;
+    result.attached = true;
+    return result;
+  }
+
+  // Otherwise take any free slot; a saturated host refers i upstream
+  // (shallower nodes are the ones with spare capacity in a min-depth
+  // tree).
+  if (attach_ignoring_latency(overlay, i, j)) {
+    result.attached = true;
+    return result;
+  }
+  if (pj != kSourceId) {
+    result.referral = pj;
+  } else {
+    result.referral = kSourceId;
+  }
+  return result;
+}
+
+}  // namespace lagover

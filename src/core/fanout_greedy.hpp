@@ -1,0 +1,38 @@
+// Pure fanout-greedy baseline (paper Section 3.4, first paragraph):
+// "a greedy preference of only fanout would have worked best in keeping
+// the dissemination tree depth least and minimizing the achieved
+// average latency IF there were no individual and diverse latency
+// constraints." This protocol implements exactly that hypothetical —
+// high-fanout nodes upstream, latency constraints ignored entirely —
+// as a comparison baseline: it builds the shallowest trees and connects
+// everyone quickly, but leaves latency-strict consumers violated,
+// which is the gap the hybrid algorithm exists to close
+// (bench_fanout_baseline).
+#pragma once
+
+#include "core/protocol.hpp"
+
+namespace lagover {
+
+class FanoutGreedyProtocol final : public Protocol {
+ public:
+  explicit FanoutGreedyProtocol(SourceMode source_mode = SourceMode::kPullOnly)
+      : Protocol(source_mode) {}
+
+  AlgorithmKind kind() const noexcept override {
+    return AlgorithmKind::kFanoutGreedy;
+  }
+
+  InteractionResult interact(Overlay& overlay, NodeId i, NodeId j) override;
+
+  /// Latency violations are invisible to this baseline: it never
+  /// discards a parent (effectively infinite patience).
+  int maintenance_patience() const noexcept override { return 1 << 24; }
+
+ private:
+  /// Attach c under p ignoring c's latency constraint (fanout and
+  /// cycle checks still apply).
+  bool attach_ignoring_latency(Overlay& overlay, NodeId c, NodeId p);
+};
+
+}  // namespace lagover

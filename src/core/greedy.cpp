@@ -1,0 +1,91 @@
+#include "core/greedy.hpp"
+
+namespace lagover {
+
+InteractionResult GreedyProtocol::interact(Overlay& overlay, NodeId i,
+                                           NodeId j) {
+  ++counters_.interactions;
+  InteractionResult result;
+  if (overlay.in_subtree(j, i)) {
+    // Partner inside i's own group: nothing to do, re-consult the Oracle.
+    ++counters_.wasted_interactions;
+    return result;
+  }
+
+  const Delay li = overlay.latency_of(i);
+  const Delay lj = overlay.latency_of(j);
+  const NodeId pj = overlay.parent(j);
+
+  if (pj == kNoNode) return merge_orphan_groups(overlay, i, j);
+
+  if (lj <= li) {
+    // j is at least as strict: i may become j's child (displacing a
+    // laxer child when j is saturated).
+    if (try_attach_with_displacement(overlay, i, j,
+                                     /*require_greedy_order=*/true)) {
+      result.attached = true;
+      return result;
+    }
+    // "Unless node i finds a suitable parent, it is referred to k,
+    // parent of node j, which is further upstream."
+    result.referral = pj;
+    return result;
+  }
+
+  // l_i < l_j: i is stricter and belongs upstream of j. Reconfigure by
+  // inserting i into j's slot under k = Parent(j), preserving the
+  // ordering invariant (requires l_k <= l_i, i.e. k at least as strict).
+  const bool order_ok =
+      pj == kSourceId || overlay.latency_of(pj) <= li;
+  if (order_ok &&
+      try_replace_at(overlay, i, j, pj, /*allow_child_discard=*/false)) {
+    result.attached = true;
+    return result;
+  }
+  result.referral = pj;
+  return result;
+}
+
+InteractionResult GreedyProtocol::merge_orphan_groups(Overlay& overlay,
+                                                      NodeId i, NodeId j) {
+  InteractionResult result;
+  const Delay li = overlay.latency_of(i);
+  const Delay lj = overlay.latency_of(j);
+
+  // The stricter node becomes the upstream (parent) side. On a tie the
+  // node with more free capacity hosts (more room for the other group),
+  // with id as the final deterministic tie-break.
+  NodeId parent = kNoNode;
+  NodeId child = kNoNode;
+  if (li < lj) {
+    parent = i;
+    child = j;
+  } else if (lj < li) {
+    parent = j;
+    child = i;
+  } else {
+    const int free_i = overlay.free_fanout(i);
+    const int free_j = overlay.free_fanout(j);
+    if (free_i != free_j) {
+      parent = free_i > free_j ? i : j;
+    } else {
+      parent = i < j ? i : j;
+    }
+    child = parent == i ? j : i;
+  }
+
+  if (try_attach_with_displacement(overlay, child, parent,
+                                   /*require_greedy_order=*/true)) {
+    result.attached = overlay.has_parent(i);
+    return result;
+  }
+  // Equal constraints allow either orientation; retry reversed.
+  if (li == lj &&
+      try_attach_with_displacement(overlay, parent, child,
+                                   /*require_greedy_order=*/true)) {
+    result.attached = overlay.has_parent(i);
+  }
+  return result;
+}
+
+}  // namespace lagover

@@ -1,0 +1,42 @@
+// Greedy LagOver construction (paper Section 3.1).
+//
+// The paper defers greedy's pseudocode to its extended version; this
+// implementation reconstructs it from the three stated principles and
+// the invariant the paper proves the maintenance lemma against:
+//
+//   i <- j  ==>  l_j <= l_i      (parents are at least as strict)
+//
+// Interaction rules: peers with stricter delay constraints are pushed
+// upstream. Orphan-orphan interactions merge groups with the stricter
+// node as parent; meeting a connected, stricter-or-equal node j, i tries
+// to become j's child (displacing a laxer child m when j is full);
+// meeting a laxer node j, i tries to take j's slot under j's parent
+// (reconfiguration "upon encountering peers with stricter delay
+// constraints"); otherwise i is referred upstream to Parent(j).
+#pragma once
+
+#include "core/protocol.hpp"
+
+namespace lagover {
+
+class GreedyProtocol final : public Protocol {
+ public:
+  explicit GreedyProtocol(SourceMode source_mode = SourceMode::kPullOnly)
+      : Protocol(source_mode) {}
+
+  AlgorithmKind kind() const noexcept override {
+    return AlgorithmKind::kGreedy;
+  }
+
+  InteractionResult interact(Overlay& overlay, NodeId i, NodeId j) override;
+
+  /// Greedy reacts to a violated constraint immediately: under the
+  /// ordering invariant the first violated node in a chain observes
+  /// exactly DelayAt = l + 1 (Section 3.2 lemma), so no damping is needed.
+  int maintenance_patience() const noexcept override { return 0; }
+
+ private:
+  InteractionResult merge_orphan_groups(Overlay& overlay, NodeId i, NodeId j);
+};
+
+}  // namespace lagover

@@ -1,0 +1,109 @@
+#include "core/hybrid.hpp"
+
+namespace lagover {
+
+InteractionResult HybridProtocol::interact(Overlay& overlay, NodeId i,
+                                           NodeId j) {
+  ++counters_.interactions;
+  if (overlay.in_subtree(j, i)) {
+    ++counters_.wasted_interactions;
+    return {};
+  }
+  const NodeId pj = overlay.parent(j);
+  if (pj == kNoNode) return merge_orphan_groups(overlay, i, j);
+  if (pj == kSourceId) return interact_at_source_child(overlay, i, j);
+  return interact_interior(overlay, i, j, pj);
+}
+
+InteractionResult HybridProtocol::merge_orphan_groups(Overlay& overlay,
+                                                      NodeId i, NodeId j) {
+  // Algorithm 2 steps 16-20: give preference to the node with larger
+  // fanout to be the parent if fanout is available at both; on equal
+  // fanout, the node with the stricter latency constraint hosts.
+  InteractionResult result;
+  const bool i_free = overlay.free_fanout(i) > 0;
+  const bool j_free = overlay.free_fanout(j) > 0;
+  if (!i_free && !j_free) return result;
+
+  NodeId parent;
+  if (i_free && j_free) {
+    const int fi = overlay.fanout_of(i);
+    const int fj = overlay.fanout_of(j);
+    if (fi != fj) {
+      parent = fi > fj ? i : j;
+    } else if (overlay.latency_of(i) != overlay.latency_of(j)) {
+      parent = overlay.latency_of(i) < overlay.latency_of(j) ? i : j;
+    } else {
+      parent = i < j ? i : j;
+    }
+  } else {
+    parent = i_free ? i : j;
+  }
+  const NodeId child = parent == i ? j : i;
+
+  if (!try_plain_attach(overlay, child, parent) && i_free && j_free) {
+    // The preferred orientation can fail on the child's (optimistic)
+    // delay bound; try the other one before giving up.
+    try_plain_attach(overlay, parent, child);
+  }
+  result.attached = overlay.has_parent(i);
+  return result;
+}
+
+InteractionResult HybridProtocol::interact_at_source_child(Overlay& overlay,
+                                                           NodeId i,
+                                                           NodeId j) {
+  // Algorithm 2 steps 21-35: j is a direct child of the source.
+  InteractionResult result;
+  const bool replace_preferred =
+      source_mode() == SourceMode::kPullOnly
+          // Pull-only: the direct pollers should be the latency-strict
+          // nodes (step 24).
+          ? overlay.latency_of(i) < overlay.latency_of(j)
+          // Push source: any node can sit at the source, prefer fanout
+          // (step 30).
+          : overlay.fanout_of(i) > overlay.fanout_of(j);
+
+  if (replace_preferred &&
+      try_replace_at(overlay, i, j, kSourceId, /*allow_child_discard=*/true)) {
+    result.attached = true;
+    return result;
+  }
+  if (try_attach_with_displacement(overlay, i, j,
+                                   /*require_greedy_order=*/false)) {
+    result.attached = true;
+    return result;
+  }
+  // "Refer i to 0 otherwise": the engine turns a source referral into a
+  // direct source contact on i's next step.
+  result.referral = kSourceId;
+  return result;
+}
+
+InteractionResult HybridProtocol::interact_interior(Overlay& overlay, NodeId i,
+                                                    NodeId j, NodeId k) {
+  // Algorithm 2 steps 36-43: j <- k with k interior. The paper's step 36
+  // reads f_i >= f_j, but replacing on *equal* fanout is a zero-gain
+  // reconfiguration that only churns the tree (and with it every delay
+  // downstream), so we require a strict capacity win and fall through to
+  // plain attachment on ties.
+  InteractionResult result;
+  if (overlay.fanout_of(i) > overlay.fanout_of(j) &&
+      try_replace_at(overlay, i, j, k, /*allow_child_discard=*/true)) {
+    // j <- i <- k: the higher-fanout node moves upstream.
+    result.attached = true;
+    return result;
+  }
+  if (try_attach_with_displacement(overlay, i, j,
+                                   /*require_greedy_order=*/false)) {
+    result.attached = true;
+    return result;
+  }
+  // Neither configuration possible. If j's delay already reaches i's
+  // constraint, move closer to the source via k; otherwise re-consult
+  // the Oracle.
+  if (overlay.delay_at(j) >= overlay.latency_of(i)) result.referral = k;
+  return result;
+}
+
+}  // namespace lagover

@@ -1,0 +1,42 @@
+// Hybrid LagOver construction (paper Section 3.4, Algorithm 2).
+//
+// Jointly optimizes latency and capacity: high-fanout nodes are
+// preferred upstream so more nodes can be accommodated downstream, and
+// latency drives decisions only where a constraint would otherwise be
+// violated (or at a pull-only source, whose direct children should be
+// the latency-strict pollers). Because i <- j carries no ordering
+// information here, maintenance needs the aggressive condition
+// DelayAt > l damped by a timeout (maintenance_patience rounds).
+#pragma once
+
+#include "core/protocol.hpp"
+
+namespace lagover {
+
+class HybridProtocol final : public Protocol {
+ public:
+  explicit HybridProtocol(SourceMode source_mode = SourceMode::kPullOnly,
+                          int maintenance_patience = 1)
+      : Protocol(source_mode), maintenance_patience_(maintenance_patience) {}
+
+  AlgorithmKind kind() const noexcept override {
+    return AlgorithmKind::kHybrid;
+  }
+
+  InteractionResult interact(Overlay& overlay, NodeId i, NodeId j) override;
+
+  int maintenance_patience() const noexcept override {
+    return maintenance_patience_;
+  }
+
+ private:
+  InteractionResult merge_orphan_groups(Overlay& overlay, NodeId i, NodeId j);
+  InteractionResult interact_at_source_child(Overlay& overlay, NodeId i,
+                                             NodeId j);
+  InteractionResult interact_interior(Overlay& overlay, NodeId i, NodeId j,
+                                      NodeId k);
+
+  int maintenance_patience_;
+};
+
+}  // namespace lagover

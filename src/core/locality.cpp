@@ -1,0 +1,75 @@
+#include "core/locality.hpp"
+
+#include "common/error.hpp"
+
+namespace lagover {
+
+LocalityMap random_localities(std::size_t consumer_count, int buckets,
+                              std::uint64_t seed) {
+  LAGOVER_EXPECTS(buckets >= 1);
+  Rng rng(seed);
+  LocalityMap localities(consumer_count + 1, 0);
+  for (std::size_t id = 1; id <= consumer_count; ++id)
+    localities[id] = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(buckets)));
+  return localities;
+}
+
+LocalityBiasedOracle::LocalityBiasedOracle(OracleKind base,
+                                           LocalityMap localities,
+                                           double bias)
+    : base_(base), localities_(std::move(localities)), bias_(bias) {
+  LAGOVER_EXPECTS(bias >= 0.0 && bias <= 1.0);
+}
+
+std::optional<NodeId> LocalityBiasedOracle::sample_impl(NodeId querier,
+                                                        const Overlay& overlay,
+                                                        Rng& rng) {
+  LAGOVER_EXPECTS(querier < localities_.size());
+  const bool restrict_local = rng.bernoulli(bias_);
+
+  // Reservoir sample with the base filter, optionally restricted to the
+  // querier's locality.
+  auto reservoir = [&](bool local_only) -> std::optional<NodeId> {
+    std::optional<NodeId> chosen;
+    std::uint64_t seen = 0;
+    for (NodeId id = 1; id < overlay.node_count(); ++id) {
+      if (!DirectoryOracle::eligible(base_, querier, id, overlay)) continue;
+      if (local_only && localities_[id] != localities_[querier]) continue;
+      ++seen;
+      if (rng.next_below(seen) == 0) chosen = id;
+    }
+    return chosen;
+  };
+
+  if (restrict_local) {
+    if (auto local = reservoir(true); local.has_value()) {
+      ++local_samples_;
+      return local;
+    }
+    // No same-locality candidate qualifies: fall back globally so the
+    // bias never starves construction.
+  }
+  auto sample = reservoir(false);
+  if (sample.has_value()) ++global_samples_;
+  return sample;
+}
+
+LocalityMetrics compute_locality_metrics(const Overlay& overlay,
+                                         const LocalityMap& localities) {
+  LAGOVER_EXPECTS(localities.size() >= overlay.node_count());
+  LocalityMetrics metrics;
+  for (NodeId id = 1; id < overlay.node_count(); ++id) {
+    if (!overlay.online(id)) continue;
+    const NodeId parent = overlay.parent(id);
+    if (parent == kNoNode || parent == kSourceId) continue;
+    ++metrics.edges;
+    if (localities[id] != localities[parent]) ++metrics.cross_edges;
+  }
+  if (metrics.edges > 0)
+    metrics.cross_fraction = static_cast<double>(metrics.cross_edges) /
+                             static_cast<double>(metrics.edges);
+  return metrics;
+}
+
+}  // namespace lagover

@@ -1,0 +1,167 @@
+#include "core/multi_feed.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace lagover {
+
+MultiFeedSystem::MultiFeedSystem(std::vector<int> source_fanouts,
+                                 std::vector<MultiConsumerSpec> consumers,
+                                 MultiFeedConfig config)
+    : consumers_(std::move(consumers)), config_(config) {
+  const std::size_t feeds = source_fanouts.size();
+  if (feeds == 0) throw InvalidArgument("at least one feed required");
+  for (std::size_t k = 0; k < consumers_.size(); ++k) {
+    const MultiConsumerSpec& consumer = consumers_[k];
+    if (consumer.id != static_cast<NodeId>(k + 1))
+      throw InvalidArgument("consumer ids must be 1..N in order");
+    if (consumer.total_fanout < 0)
+      throw InvalidArgument("total fanout must be non-negative");
+    for (const FeedSubscription& sub : consumer.subscriptions) {
+      if (sub.feed >= feeds) throw InvalidArgument("subscription to unknown feed");
+      if (sub.latency < 1)
+        throw InvalidArgument("subscription latency must be >= 1");
+    }
+  }
+
+  // Feed demand (subscriber counts) for demand-weighted allocation.
+  std::vector<std::size_t> demand(feeds, 0);
+  for (const auto& consumer : consumers_)
+    for (const auto& sub : consumer.subscriptions) ++demand[sub.feed];
+
+  // Split each consumer's budget across its subscribed feeds.
+  allocation_.assign(feeds, std::vector<int>(consumers_.size() + 1, 0));
+  for (const auto& consumer : consumers_) {
+    const auto& subs = consumer.subscriptions;
+    if (subs.empty()) continue;
+    std::vector<double> weight(subs.size(), 1.0);
+    if (config_.policy == BudgetPolicy::kDemandWeighted)
+      for (std::size_t s = 0; s < subs.size(); ++s)
+        weight[s] = static_cast<double>(std::max<std::size_t>(
+            demand[subs[s].feed], 1));
+    const double total_weight =
+        std::accumulate(weight.begin(), weight.end(), 0.0);
+
+    // Floor shares, then hand out the remainder to the largest weights.
+    int assigned = 0;
+    std::vector<std::pair<double, std::size_t>> fractional;
+    for (std::size_t s = 0; s < subs.size(); ++s) {
+      const double exact =
+          consumer.total_fanout * weight[s] / total_weight;
+      const int share = static_cast<int>(exact);
+      allocation_[subs[s].feed][consumer.id] = share;
+      assigned += share;
+      fractional.emplace_back(exact - share, s);
+    }
+    std::sort(fractional.rbegin(), fractional.rend());
+    const int extras = consumer.total_fanout - assigned;
+    for (int e = 0; e < extras; ++e) {
+      const std::size_t s =
+          fractional[static_cast<std::size_t>(e) % subs.size()].second;
+      ++allocation_[subs[s].feed][consumer.id];
+    }
+  }
+
+  // Build one population + engine per feed (dense per-feed ids).
+  to_local_.assign(feeds, std::vector<NodeId>(consumers_.size() + 1, kNoNode));
+  to_global_.assign(feeds, {kNoNode});  // per-feed id 0 = feed source
+  for (std::size_t f = 0; f < feeds; ++f) {
+    Population population;
+    population.source_fanout = source_fanouts[f];
+    for (const auto& consumer : consumers_) {
+      const auto sub = std::find_if(
+          consumer.subscriptions.begin(), consumer.subscriptions.end(),
+          [f](const FeedSubscription& s) { return s.feed == f; });
+      if (sub == consumer.subscriptions.end()) continue;
+      const auto local_id = static_cast<NodeId>(to_global_[f].size());
+      to_local_[f][consumer.id] = local_id;
+      to_global_[f].push_back(consumer.id);
+      population.consumers.push_back(NodeSpec{
+          local_id,
+          Constraints{allocation_[f][consumer.id], sub->latency}});
+    }
+    EngineConfig engine_config = config_.engine;
+    engine_config.seed = config_.engine.seed + 1000003ULL * (f + 1);
+    engines_.push_back(
+        std::make_unique<Engine>(std::move(population), engine_config));
+  }
+}
+
+const Engine& MultiFeedSystem::engine(std::size_t feed) const {
+  LAGOVER_EXPECTS(feed < engines_.size());
+  return *engines_[feed];
+}
+
+Engine& MultiFeedSystem::engine(std::size_t feed) {
+  LAGOVER_EXPECTS(feed < engines_.size());
+  return *engines_[feed];
+}
+
+int MultiFeedSystem::allocated_fanout(NodeId consumer,
+                                      std::size_t feed) const {
+  LAGOVER_EXPECTS(feed < allocation_.size());
+  LAGOVER_EXPECTS(consumer < allocation_[feed].size());
+  return allocation_[feed][consumer];
+}
+
+void MultiFeedSystem::run_round() {
+  ++round_;
+  for (auto& engine : engines_) engine->run_round();
+}
+
+std::optional<Round> MultiFeedSystem::run_until_converged(Round max_rounds) {
+  auto all_done = [&] {
+    for (const auto& engine : engines_)
+      if (!engine->overlay().all_satisfied()) return false;
+    return true;
+  };
+  if (all_done()) return round_;
+  for (Round r = 0; r < max_rounds; ++r) {
+    run_round();
+    if (all_done()) return round_;
+  }
+  return std::nullopt;
+}
+
+bool MultiFeedSystem::fully_served(NodeId consumer) const {
+  LAGOVER_EXPECTS(consumer >= 1 && consumer <= consumers_.size());
+  for (const auto& sub : consumers_[consumer - 1].subscriptions) {
+    const NodeId local = to_local_[sub.feed][consumer];
+    if (!engines_[sub.feed]->overlay().satisfied(local)) return false;
+  }
+  return true;
+}
+
+MultiFeedStats MultiFeedSystem::stats() const {
+  MultiFeedStats stats;
+  stats.consumers = consumers_.size();
+  for (const auto& engine : engines_)
+    stats.per_feed_satisfied.push_back(engine->overlay().satisfied_fraction());
+  for (const auto& consumer : consumers_)
+    if (fully_served(consumer.id)) ++stats.fully_served;
+  stats.fully_served_fraction =
+      consumers_.empty()
+          ? 1.0
+          : static_cast<double>(stats.fully_served) /
+                static_cast<double>(consumers_.size());
+  return stats;
+}
+
+void MultiFeedSystem::audit_budgets() const {
+  for (const auto& consumer : consumers_) {
+    int used = 0;
+    for (std::size_t f = 0; f < engines_.size(); ++f) {
+      const NodeId local = to_local_[f][consumer.id];
+      if (local == kNoNode) continue;
+      used += static_cast<int>(
+          engines_[f]->overlay().children(local).size());
+    }
+    LAGOVER_ASSERT_MSG(used <= consumer.total_fanout,
+                       "shared fanout budget exceeded at consumer " +
+                           std::to_string(consumer.id));
+  }
+}
+
+}  // namespace lagover

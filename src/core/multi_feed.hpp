@@ -1,0 +1,105 @@
+// Multiple feeds over intersecting consumers — the paper's Section 7
+// future work ("Reusing part of the LagOver for multiple sources by
+// exploiting intersecting consumers" and the multipath-video
+// application where "each peer participates in multiple LagOvers with
+// different time constraints").
+//
+// Each consumer has ONE total fanout budget (its upload capacity) and a
+// set of subscriptions, each with its own latency constraint. The
+// system splits every consumer's budget across the feeds it subscribes
+// to (even or demand-weighted), runs one construction engine per feed,
+// and enforces the invariant that the summed per-feed children of a
+// consumer never exceed its total budget.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/types.hpp"
+
+namespace lagover {
+
+struct FeedSubscription {
+  std::size_t feed = 0;
+  Delay latency = 1;  ///< tolerated delay for this feed
+};
+
+struct MultiConsumerSpec {
+  NodeId id = kNoNode;  ///< global consumer id (1..N)
+  int total_fanout = 0;
+  std::vector<FeedSubscription> subscriptions;
+};
+
+/// How a consumer's total fanout is split across its feeds.
+enum class BudgetPolicy {
+  kEven,            ///< equal share per subscribed feed
+  kDemandWeighted,  ///< shares proportional to each feed's population
+};
+
+struct MultiFeedConfig {
+  EngineConfig engine;  ///< per-feed engine parameters (seed is offset)
+  BudgetPolicy policy = BudgetPolicy::kEven;
+};
+
+/// Aggregate state of a multi-feed run.
+struct MultiFeedStats {
+  std::vector<double> per_feed_satisfied;  ///< fraction per feed
+  /// Fraction of consumers with every subscription satisfied.
+  double fully_served_fraction = 0.0;
+  std::size_t fully_served = 0;
+  std::size_t consumers = 0;
+};
+
+/// Owns one Engine per feed plus the global-budget bookkeeping.
+class MultiFeedSystem {
+ public:
+  /// `source_fanouts[f]` is feed f's source capacity. Consumer ids must
+  /// be 1..N in order; subscriptions must reference valid feeds and
+  /// carry latency >= 1. Throws InvalidArgument otherwise.
+  MultiFeedSystem(std::vector<int> source_fanouts,
+                  std::vector<MultiConsumerSpec> consumers,
+                  MultiFeedConfig config);
+
+  std::size_t feed_count() const noexcept { return engines_.size(); }
+  std::size_t consumer_count() const noexcept { return consumers_.size(); }
+
+  const Engine& engine(std::size_t feed) const;
+  Engine& engine(std::size_t feed);
+
+  /// The per-feed fanout share allocated to a consumer for a feed it
+  /// subscribes to (0 when not subscribed).
+  int allocated_fanout(NodeId consumer, std::size_t feed) const;
+
+  /// Runs one construction round on every feed's engine.
+  void run_round();
+
+  /// Rounds until every subscription of every consumer is satisfied, or
+  /// nullopt after max_rounds.
+  std::optional<Round> run_until_converged(Round max_rounds);
+
+  MultiFeedStats stats() const;
+
+  /// True iff every subscription of `consumer` is satisfied.
+  bool fully_served(NodeId consumer) const;
+
+  /// Verifies the shared-budget invariant: summed per-feed children of
+  /// each consumer <= its total fanout. Aborts on violation.
+  void audit_budgets() const;
+
+ private:
+  std::vector<MultiConsumerSpec> consumers_;
+  MultiFeedConfig config_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  // Per feed: global id -> per-feed id (kNoNode when not subscribed),
+  // and per-feed id -> global id.
+  std::vector<std::vector<NodeId>> to_local_;
+  std::vector<std::vector<NodeId>> to_global_;
+  // allocation_[feed][global id] = fanout share.
+  std::vector<std::vector<int>> allocation_;
+  Round round_ = 0;
+};
+
+}  // namespace lagover

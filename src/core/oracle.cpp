@@ -1,0 +1,44 @@
+#include "core/oracle.hpp"
+
+#include <vector>
+
+namespace lagover {
+
+bool DirectoryOracle::eligible(OracleKind kind, NodeId querier,
+                               NodeId candidate, const Overlay& overlay) {
+  if (candidate == querier || candidate == kSourceId) return false;
+  if (!overlay.online(candidate)) return false;
+  switch (kind) {
+    case OracleKind::kRandom:
+      return true;
+    case OracleKind::kRandomCapacity:
+      return overlay.free_fanout(candidate) > 0;
+    case OracleKind::kRandomDelayCapacity:
+      return overlay.free_fanout(candidate) > 0 &&
+             overlay.delay_at(candidate) < overlay.latency_of(querier);
+    case OracleKind::kRandomDelay:
+      return overlay.delay_at(candidate) < overlay.latency_of(querier);
+  }
+  return false;
+}
+
+std::optional<NodeId> DirectoryOracle::sample_impl(NodeId querier,
+                                                   const Overlay& overlay,
+                                                   Rng& rng) {
+  // Reservoir-of-one over eligible candidates: uniform without building
+  // the full candidate list.
+  std::optional<NodeId> chosen;
+  std::uint64_t seen = 0;
+  for (NodeId id = 1; id < overlay.node_count(); ++id) {
+    if (!eligible(kind_, querier, id, overlay)) continue;
+    ++seen;
+    if (rng.next_below(seen) == 0) chosen = id;
+  }
+  return chosen;
+}
+
+std::unique_ptr<Oracle> make_oracle(OracleKind kind) {
+  return std::make_unique<DirectoryOracle>(kind);
+}
+
+}  // namespace lagover

@@ -1,0 +1,140 @@
+#include "core/protocol.hpp"
+
+#include "common/error.hpp"
+
+namespace lagover {
+
+bool Protocol::contact_source(Overlay& overlay, NodeId i) {
+  LAGOVER_EXPECTS(i != kSourceId);
+  LAGOVER_EXPECTS(!overlay.has_parent(i));
+
+  if (overlay.can_attach(i, kSourceId)) {
+    overlay.attach(i, kSourceId);
+    ++counters_.source_attaches;
+    return true;
+  }
+
+  // No free capacity: displace the laxest direct child c with l_c > l_i
+  // (Algorithm 2 step 5: "else if exists c <- 0 s.t. l_c > l_i then
+  // c <- i <- 0"). The displaced child is re-adopted by i when i has a
+  // free slot; otherwise it restarts construction as a chain root.
+  const Delay li = overlay.latency_of(i);
+  NodeId victim = kNoNode;
+  for (NodeId c : overlay.children(kSourceId)) {
+    if (overlay.latency_of(c) <= li) continue;
+    if (victim == kNoNode ||
+        overlay.latency_of(c) > overlay.latency_of(victim))
+      victim = c;
+  }
+  if (victim == kNoNode) {
+    ++counters_.failed_source_contacts;
+    return false;
+  }
+
+  overlay.detach(victim);
+  overlay.attach(i, kSourceId);
+  if (overlay.can_attach(victim, i)) overlay.attach(victim, i);
+  ++counters_.source_replacements;
+  return true;
+}
+
+bool Protocol::try_plain_attach(Overlay& overlay, NodeId c, NodeId p) {
+  if (!overlay.can_attach(c, p)) return false;
+  if (overlay.delay_at(p) + 1 > overlay.latency_of(c)) return false;
+  overlay.attach(c, p);
+  ++counters_.plain_attaches;
+  return true;
+}
+
+bool Protocol::try_attach_with_displacement(Overlay& overlay, NodeId i,
+                                            NodeId j,
+                                            bool require_greedy_order) {
+  if (overlay.in_subtree(j, i)) return false;
+  const Delay li = overlay.latency_of(i);
+  if (require_greedy_order && overlay.latency_of(j) > li) return false;
+  const Delay dj = overlay.delay_at(j);
+  if (dj + 1 > li) return false;
+
+  if (try_plain_attach(overlay, i, j)) return true;
+
+  // j's fanout is saturated: find a child m to push down under i
+  // ("possibly by becoming parent of one of j's current children m
+  // provided m's latency constraint is not violated").
+  if (overlay.free_fanout(i) > 0) {
+    NodeId m = kNoNode;
+    for (NodeId candidate : overlay.children(j)) {
+      const Delay lm = overlay.latency_of(candidate);
+      if (dj + 2 > lm) continue;  // would violate m's constraint
+      if (require_greedy_order && lm < li) continue;  // would break ordering
+      if (m == kNoNode || lm > overlay.latency_of(m)) m = candidate;
+    }
+    if (m != kNoNode) {
+      overlay.detach(m);
+      overlay.attach(i, j);
+      LAGOVER_ASSERT(overlay.can_attach(m, i));
+      overlay.attach(m, i);
+      ++counters_.displacements;
+      return true;
+    }
+  }
+
+  // Adoption impossible (i's fanout is full, or no child survives the
+  // extra hop). A strictly laxer child may still yield its slot and
+  // restart construction as a chain root: without this move a saturated
+  // group root deadlocks whenever every shallow slot is occupied by a
+  // laxer node (tight workloads like Tf1). Strictness of l_m > l_i
+  // guarantees termination: a slot's occupant latency only decreases.
+  if (!orphaning_displacement_) return false;
+  NodeId victim = kNoNode;
+  for (NodeId candidate : overlay.children(j)) {
+    const Delay lm = overlay.latency_of(candidate);
+    if (lm <= li) continue;
+    if (victim == kNoNode || lm > overlay.latency_of(victim))
+      victim = candidate;
+  }
+  if (victim == kNoNode) return false;
+  overlay.detach(victim);
+  overlay.attach(i, j);
+  ++counters_.displacements;
+  return true;
+}
+
+bool Protocol::try_replace_at(Overlay& overlay, NodeId i, NodeId j, NodeId k,
+                              bool allow_child_discard) {
+  LAGOVER_EXPECTS(overlay.parent(j) == k);
+  if (overlay.in_subtree(j, i) || overlay.in_subtree(k, i)) return false;
+  if (overlay.fanout_of(i) < 1) return false;  // i must adopt j
+
+  const Delay new_delay_i =
+      k == kSourceId ? 1 : overlay.delay_at(k) + 1;
+  if (new_delay_i > overlay.latency_of(i)) return false;
+  if (new_delay_i + 1 > overlay.latency_of(j)) return false;
+
+  const bool needs_discard = overlay.free_fanout(i) <= 0;
+  if (needs_discard && !allow_child_discard) return false;
+
+  overlay.detach(j);
+  if (needs_discard) {
+    const NodeId evicted = laxest_child(overlay, i);
+    LAGOVER_ASSERT(evicted != kNoNode);
+    overlay.detach(evicted);
+    ++counters_.child_discards;
+  }
+  overlay.attach(i, k);
+  LAGOVER_ASSERT(overlay.can_attach(j, i));
+  overlay.attach(j, i);
+  ++counters_.replacements;
+  return true;
+}
+
+NodeId Protocol::laxest_child(const Overlay& overlay, NodeId p) {
+  NodeId best = kNoNode;
+  for (NodeId c : overlay.children(p)) {
+    if (best == kNoNode || overlay.latency_of(c) > overlay.latency_of(best) ||
+        (overlay.latency_of(c) == overlay.latency_of(best) && c > best))
+      best = c;
+  }
+  return best;
+}
+
+}  // namespace lagover

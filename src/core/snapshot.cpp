@@ -1,0 +1,130 @@
+#include "core/snapshot.hpp"
+
+#include <functional>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace lagover {
+
+void write_snapshot(const Overlay& overlay, std::ostream& out) {
+  out << "lagover-snapshot v1\n";
+  out << "source " << overlay.fanout_of(kSourceId) << '\n';
+  for (NodeId id = 1; id < overlay.node_count(); ++id) {
+    const NodeSpec& spec = overlay.spec_of(id);
+    out << "node " << id << ' ' << spec.constraints.fanout << ' '
+        << spec.constraints.latency << ' ' << (overlay.online(id) ? 1 : 0)
+        << ' ';
+    if (overlay.has_parent(id))
+      out << overlay.parent(id);
+    else
+      out << '-';
+    out << '\n';
+  }
+}
+
+std::string to_snapshot(const Overlay& overlay) {
+  std::ostringstream out;
+  write_snapshot(overlay, out);
+  return out.str();
+}
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& detail) {
+  throw InvalidArgument("malformed snapshot: " + detail);
+}
+
+}  // namespace
+
+Overlay read_snapshot(std::istream& in) {
+  std::string line;
+  // Header.
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line != "lagover-snapshot v1") malformed("bad header '" + line + "'");
+    break;
+  }
+
+  Population population;
+  bool have_source = false;
+  struct NodeLine {
+    NodeSpec spec;
+    bool online = true;
+    NodeId parent = kNoNode;
+  };
+  std::vector<NodeLine> nodes;
+
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string keyword;
+    fields >> keyword;
+    if (keyword == "source") {
+      if (!(fields >> population.source_fanout)) malformed("source line");
+      have_source = true;
+    } else if (keyword == "node") {
+      NodeLine node;
+      int online_flag = 1;
+      std::string parent_token;
+      if (!(fields >> node.spec.id >> node.spec.constraints.fanout >>
+            node.spec.constraints.latency >> online_flag >> parent_token))
+        malformed("node line '" + line + "'");
+      node.online = online_flag != 0;
+      if (parent_token != "-") {
+        std::size_t consumed = 0;
+        node.parent =
+            static_cast<NodeId>(std::stoul(parent_token, &consumed));
+        if (consumed != parent_token.size()) malformed("parent id");
+      }
+      nodes.push_back(node);
+    } else {
+      malformed("unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!have_source) malformed("missing source line");
+
+  for (const NodeLine& node : nodes) population.consumers.push_back(node.spec);
+  Overlay overlay(population);  // validates ids/constraints
+
+  for (const NodeLine& node : nodes)
+    if (!node.online) overlay.set_offline(node.spec.id);
+
+  // Replay attaches parent-first so every edge passes can_attach().
+  std::vector<char> attached(overlay.node_count(), 0);
+  attached[kSourceId] = 1;
+  std::function<void(NodeId)> attach_chain = [&](NodeId id) {
+    if (attached[id]) return;
+    attached[id] = 1;  // set first: a parent cycle would otherwise recurse
+    const NodeId parent = nodes[id - 1].parent;
+    if (parent == kNoNode) return;
+    if (parent >= overlay.node_count()) malformed("parent out of range");
+    attach_chain(parent);
+    if (!overlay.can_attach(id, parent))
+      malformed("edge " + std::to_string(id) + " <- " +
+                std::to_string(parent) + " violates constraints");
+    overlay.attach(id, parent);
+  };
+  for (NodeId id = 1; id < overlay.node_count(); ++id) attach_chain(id);
+  overlay.audit();
+  return overlay;
+}
+
+Overlay from_snapshot(const std::string& text) {
+  std::istringstream in(text);
+  return read_snapshot(in);
+}
+
+bool same_structure(const Overlay& a, const Overlay& b) {
+  if (a.node_count() != b.node_count()) return false;
+  if (a.fanout_of(kSourceId) != b.fanout_of(kSourceId)) return false;
+  for (NodeId id = 1; id < a.node_count(); ++id) {
+    if (a.spec_of(id) != b.spec_of(id)) return false;
+    if (a.online(id) != b.online(id)) return false;
+    if (a.parent(id) != b.parent(id)) return false;
+  }
+  return true;
+}
+
+}  // namespace lagover

@@ -1,0 +1,31 @@
+// Overlay snapshots: serialize a population + tree state to a compact
+// line-oriented text format and restore it. Used to checkpoint long
+// experiments, diff overlay states in tests, and ship repro cases.
+//
+// Format (one record per line, '#' comments ignored):
+//   lagover-snapshot v1
+//   source <fanout>
+//   node <id> <fanout> <latency> <online 0|1> <parent id|-)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/overlay.hpp"
+
+namespace lagover {
+
+/// Serializes population, online flags, and parent edges.
+std::string to_snapshot(const Overlay& overlay);
+void write_snapshot(const Overlay& overlay, std::ostream& out);
+
+/// Parses a snapshot and reconstructs the overlay (attaches are replayed
+/// parent-first, so fanout/cycle invariants are re-validated on load).
+/// Throws InvalidArgument on malformed input or constraint violations.
+Overlay from_snapshot(const std::string& text);
+Overlay read_snapshot(std::istream& in);
+
+/// Structural equality: same specs, online flags, and parent edges.
+bool same_structure(const Overlay& a, const Overlay& b);
+
+}  // namespace lagover

@@ -1,0 +1,217 @@
+#include "core/sufficiency.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace lagover {
+
+SufficiencyReport sufficiency_condition(const Population& population) {
+  validate(population);
+  SufficiencyReport report;
+
+  std::map<Delay, std::vector<const NodeSpec*>> classes;
+  for (const NodeSpec& spec : population.consumers)
+    classes[spec.constraints.latency].push_back(&spec);
+  if (classes.empty()) {
+    report.holds = true;
+    return report;
+  }
+
+  const Delay max_latency = classes.rbegin()->first;
+  long surplus = 0;
+  // Fanout contributed by class N_{l-1}; N_0 is the source.
+  long previous_class_fanout = population.source_fanout;
+  for (Delay l = 1; l <= max_latency; ++l) {
+    SufficiencyLevel level;
+    level.latency = l;
+    const auto it = classes.find(l);
+    level.demand = it == classes.end() ? 0 : it->second.size();
+    level.capacity = previous_class_fanout + surplus;
+    level.surplus = level.capacity - static_cast<long>(level.demand);
+    report.levels.push_back(level);
+    if (level.surplus < 0) {
+      report.holds = false;
+      report.failing_level = l;
+      return report;
+    }
+    surplus = level.surplus;
+    previous_class_fanout = 0;
+    if (it != classes.end())
+      for (const NodeSpec* spec : it->second)
+        previous_class_fanout += spec->constraints.fanout;
+  }
+  report.holds = true;
+  return report;
+}
+
+std::optional<std::vector<int>> feasible_depths(const Population& population) {
+  validate(population);
+  const std::size_t n = population.consumers.size();
+  std::vector<int> depths(n, 0);
+  if (n == 0) return depths;
+
+  auto fanout_of = [&](NodeId id) {
+    return population.consumers[id - 1].constraints.fanout;
+  };
+  auto deadline_of = [&](NodeId id) {
+    return population.consumers[id - 1].constraints.latency;
+  };
+
+  Delay max_latency = 1;
+  std::vector<NodeId> pool;  // unplaced nodes; all deadlines >= current depth
+  pool.reserve(n);
+  for (const NodeSpec& spec : population.consumers) {
+    pool.push_back(spec.id);
+    max_latency = std::max(max_latency, spec.constraints.latency);
+  }
+
+  long capacity = population.source_fanout;  // slots at the current depth
+  std::size_t placed = 0;
+
+  for (Delay depth = 1; depth <= max_latency && placed < n; ++depth) {
+    // Nodes whose deadline equals this depth must be placed now or never.
+    std::vector<NodeId> mandatory;
+    std::vector<NodeId> later;
+    later.reserve(pool.size());
+    for (NodeId id : pool) {
+      LAGOVER_ASSERT(deadline_of(id) >= depth);
+      (deadline_of(id) == depth ? mandatory : later).push_back(id);
+    }
+    if (static_cast<long>(mandatory.size()) > capacity)
+      return std::nullopt;  // deadline miss: infeasible
+
+    long next_capacity = 0;
+    for (NodeId id : mandatory) {
+      depths[id - 1] = depth;
+      next_capacity += fanout_of(id);
+      ++placed;
+    }
+    capacity -= static_cast<long>(mandatory.size());
+
+    // Fill the remaining slots with the highest-fanout later-deadline
+    // nodes: capacity not used at this depth is lost, while placing a
+    // node earlier than its deadline is never worse.
+    std::sort(later.begin(), later.end(), [&](NodeId a, NodeId b) {
+      if (fanout_of(a) != fanout_of(b)) return fanout_of(a) > fanout_of(b);
+      return a < b;
+    });
+    const std::size_t take = std::min<std::size_t>(
+        capacity > 0 ? static_cast<std::size_t>(capacity) : 0, later.size());
+    for (std::size_t idx = 0; idx < take; ++idx) {
+      const NodeId id = later[idx];
+      depths[id - 1] = depth;
+      next_capacity += fanout_of(id);
+      ++placed;
+    }
+    pool.assign(later.begin() + static_cast<std::ptrdiff_t>(take),
+                later.end());
+    capacity = next_capacity;
+  }
+  if (placed < n) return std::nullopt;
+  return depths;
+}
+
+bool exactly_feasible(const Population& population) {
+  return feasible_depths(population).has_value();
+}
+
+Overlay build_witness_overlay(const Population& population,
+                              const std::vector<int>& depths) {
+  LAGOVER_EXPECTS(depths.size() == population.consumers.size());
+  Overlay overlay(population);
+
+  int max_depth = 0;
+  for (int d : depths) max_depth = std::max(max_depth, d);
+  std::vector<std::vector<NodeId>> by_depth(
+      static_cast<std::size_t>(max_depth) + 1);
+  by_depth[0].push_back(kSourceId);
+  for (std::size_t k = 0; k < depths.size(); ++k) {
+    LAGOVER_EXPECTS(depths[k] >= 1 && depths[k] <= max_depth);
+    by_depth[static_cast<std::size_t>(depths[k])].push_back(
+        static_cast<NodeId>(k + 1));
+  }
+
+  for (int d = 1; d <= max_depth; ++d) {
+    std::size_t parent_idx = 0;
+    const auto& parents = by_depth[static_cast<std::size_t>(d - 1)];
+    for (NodeId child : by_depth[static_cast<std::size_t>(d)]) {
+      while (parent_idx < parents.size() &&
+             overlay.free_fanout(parents[parent_idx]) == 0)
+        ++parent_idx;
+      LAGOVER_ASSERT_MSG(parent_idx < parents.size(),
+                         "witness depths exceed level capacity");
+      overlay.attach(child, parents[parent_idx]);
+    }
+  }
+  LAGOVER_ASSERT_MSG(overlay.all_satisfied(),
+                     "witness overlay does not satisfy all constraints");
+  return overlay;
+}
+
+namespace {
+
+bool brute_force_recurse(const Population& population,
+                         std::vector<int>& depths, std::size_t next,
+                         Delay max_latency) {
+  const std::size_t n = population.consumers.size();
+  if (next == n) {
+    // Verify level capacities for the complete assignment.
+    int max_depth = 0;
+    for (int d : depths) max_depth = std::max(max_depth, d);
+    std::vector<long> count(static_cast<std::size_t>(max_depth) + 1, 0);
+    std::vector<long> fanout(static_cast<std::size_t>(max_depth) + 1, 0);
+    fanout[0] = population.source_fanout;
+    for (std::size_t k = 0; k < n; ++k) {
+      const auto d = static_cast<std::size_t>(depths[k]);
+      ++count[d];
+      if (d < fanout.size())
+        fanout[d] += population.consumers[k].constraints.fanout;
+    }
+    for (int d = 1; d <= max_depth; ++d)
+      if (count[static_cast<std::size_t>(d)] >
+          fanout[static_cast<std::size_t>(d - 1)])
+        return false;
+    return true;
+  }
+  const Delay deadline = population.consumers[next].constraints.latency;
+  for (Delay d = 1; d <= std::min(deadline, max_latency); ++d) {
+    depths[next] = d;
+    if (brute_force_recurse(population, depths, next + 1, max_latency))
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool brute_force_feasible(const Population& population) {
+  validate(population);
+  LAGOVER_EXPECTS(population.consumers.size() <= 12);
+  if (population.consumers.empty()) return true;
+  Delay max_latency = 1;
+  for (const NodeSpec& spec : population.consumers)
+    max_latency = std::max(max_latency, spec.constraints.latency);
+  std::vector<int> depths(population.consumers.size(), 0);
+  return brute_force_recurse(population, depths, 0, max_latency);
+}
+
+std::optional<int> minimum_source_fanout(Population population) {
+  const int upper = static_cast<int>(population.consumers.size());
+  int lo = 0;
+  int hi = upper;
+  population.source_fanout = hi;
+  if (!exactly_feasible(population)) return std::nullopt;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    population.source_fanout = mid;
+    if (exactly_feasible(population))
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  return lo;
+}
+
+}  // namespace lagover

@@ -1,0 +1,67 @@
+// Existence of a LagOver for a given population (paper Section 3.3).
+//
+// The paper's sufficient condition processes latency classes N_l in
+// order: class l can be hosted if |N_l| does not exceed the fanout of
+// class N_{l-1} plus the surplus capacity carried from earlier classes.
+// The condition is sufficient but NOT necessary (Section 3.3.1), so we
+// also provide an exact feasibility test: choose a depth d_i in [1, l_i]
+// for every node so that the number of nodes at depth d never exceeds
+// the total fanout of nodes at depth d-1 (depth 0 = the source). The
+// exact test uses earliest-deadline-first placement with
+// largest-fanout-first filling of leftover capacity, which is optimal
+// here because unused capacity at a level is lost while placing a node
+// earlier only helps; a brute-force enumerator cross-checks this in the
+// test suite.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/overlay.hpp"
+#include "core/types.hpp"
+
+namespace lagover {
+
+/// Per-latency-class accounting of the paper's sufficient condition.
+struct SufficiencyLevel {
+  Delay latency = 0;       ///< the class N_l
+  std::size_t demand = 0;  ///< |N_l|
+  long capacity = 0;       ///< fanout of N_{l-1} + carried surplus
+  long surplus = 0;        ///< capacity - demand (what carries forward)
+};
+
+struct SufficiencyReport {
+  bool holds = false;
+  /// First latency class whose demand exceeds capacity (meaningful only
+  /// when !holds).
+  Delay failing_level = 0;
+  std::vector<SufficiencyLevel> levels;
+};
+
+/// Evaluates the paper's sufficient condition for existence of a LagOver.
+SufficiencyReport sufficiency_condition(const Population& population);
+
+/// Exact feasibility: is there any tree satisfying every latency and
+/// fanout constraint? Returns the depth assignment (index = consumer
+/// id - 1) of a witness, or nullopt when infeasible.
+std::optional<std::vector<int>> feasible_depths(const Population& population);
+
+/// True iff feasible_depths() finds a witness.
+bool exactly_feasible(const Population& population);
+
+/// Materializes a witness depth assignment as a concrete satisfied
+/// Overlay (children distributed over the previous level's open slots).
+/// Precondition: `depths` came from feasible_depths(population).
+Overlay build_witness_overlay(const Population& population,
+                              const std::vector<int>& depths);
+
+/// Exponential-time reference implementation for cross-checking
+/// feasible_depths on small populations (tests only).
+/// Precondition: population.size() <= 12.
+bool brute_force_feasible(const Population& population);
+
+/// Smallest source fanout for which the population is exactly feasible,
+/// or nullopt if even fanout = population size does not suffice.
+std::optional<int> minimum_source_fanout(Population population);
+
+}  // namespace lagover

@@ -1,0 +1,65 @@
+#include "core/types.hpp"
+
+#include "common/error.hpp"
+
+namespace lagover {
+
+std::string to_string(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kGreedy: return "greedy";
+    case AlgorithmKind::kHybrid: return "hybrid";
+    case AlgorithmKind::kFanoutGreedy: return "fanout-greedy";
+  }
+  return "?";
+}
+
+std::string to_string(OracleKind kind) {
+  switch (kind) {
+    case OracleKind::kRandom: return "Random";
+    case OracleKind::kRandomCapacity: return "Random-Capacity";
+    case OracleKind::kRandomDelayCapacity: return "Random-Delay-Capacity";
+    case OracleKind::kRandomDelay: return "Random-Delay";
+  }
+  return "?";
+}
+
+std::string to_string(SourceMode mode) {
+  switch (mode) {
+    case SourceMode::kPullOnly: return "pull-only";
+    case SourceMode::kPush: return "push";
+  }
+  return "?";
+}
+
+std::string paper_label(OracleKind kind) {
+  switch (kind) {
+    case OracleKind::kRandom: return "O1";
+    case OracleKind::kRandomCapacity: return "O2a";
+    case OracleKind::kRandomDelayCapacity: return "O2b";
+    case OracleKind::kRandomDelay: return "O3";
+  }
+  return "?";
+}
+
+std::string to_notation(const NodeSpec& spec) {
+  return std::to_string(spec.id) + "_" + std::to_string(spec.constraints.fanout) +
+         "^" + std::to_string(spec.constraints.latency);
+}
+
+void validate(const Population& population) {
+  if (population.source_fanout < 0)
+    throw InvalidArgument("source fanout must be non-negative");
+  for (std::size_t k = 0; k < population.consumers.size(); ++k) {
+    const NodeSpec& spec = population.consumers[k];
+    if (spec.id != static_cast<NodeId>(k + 1))
+      throw InvalidArgument("consumer ids must be 1..N in order");
+    if (spec.constraints.fanout < 0)
+      throw InvalidArgument("fanout must be non-negative for node " +
+                            std::to_string(spec.id));
+    if (spec.constraints.latency < 1)
+      throw InvalidArgument("latency constraint must be >= 1 for node " +
+                            std::to_string(spec.id));
+  }
+}
+
+}  // namespace lagover

@@ -1,0 +1,102 @@
+// Fundamental vocabulary types for LagOver (paper Table 1).
+//
+// A node i is written i_f^l in the paper: f is its maximum fanout (how
+// many children it will serve) and l its delay constraint (the maximum
+// staleness, in overlay time units, it tolerates). Node 0 is the feed
+// source; it only supports pulls, and a direct child polling at period
+// T = 1 observes delay 1, so a node at tree depth d observes delay d.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace lagover {
+
+/// Node identifier. Node 0 is always the feed source.
+using NodeId = std::uint32_t;
+
+/// The feed source (paper: "Node 0").
+inline constexpr NodeId kSourceId = 0;
+
+/// Sentinel for "no node" (e.g. Parent() of a chain root).
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Construction proceeds in discrete rounds (decoupled from the latency
+/// unit, per paper Section 2.1.1).
+using Round = std::uint64_t;
+
+/// Delay measured in overlay time units (= tree depth under the
+/// delay-equals-depth model established in Section 3.2's example).
+using Delay = int;
+
+/// A consumer's declared constraints: i_f^l in the paper's notation.
+struct Constraints {
+  /// Maximum number of children this node will serve (f_i >= 0).
+  int fanout = 0;
+  /// Maximum tolerated delay in time units (l_i >= 1).
+  Delay latency = 1;
+
+  friend bool operator==(const Constraints&, const Constraints&) = default;
+};
+
+/// A node together with its constraints. Populations are given as the
+/// source fanout plus one NodeSpec per consumer (ids 1..N).
+struct NodeSpec {
+  NodeId id = kNoNode;
+  Constraints constraints;
+
+  friend bool operator==(const NodeSpec&, const NodeSpec&) = default;
+};
+
+/// Which construction algorithm drives interactions (Section 3).
+enum class AlgorithmKind {
+  kGreedy,  ///< strictly latency-ordered: i <- j implies l_j <= l_i
+  kHybrid,  ///< Algorithm 2: jointly optimizes fanout and latency
+  /// Pure fanout preference ignoring latency constraints — the paper's
+  /// Section 3.4 hypothetical, as a baseline (min-depth trees, but
+  /// strict consumers end up violated).
+  kFanoutGreedy,
+};
+
+/// The four Oracles of Section 2.1.4 (paper evaluation labels O1..O3).
+enum class OracleKind {
+  kRandom,               ///< O1: any random peer (no global information)
+  kRandomCapacity,       ///< O2a: random peer with free fanout
+  kRandomDelayCapacity,  ///< O2b: free fanout AND delay below querier's l
+  kRandomDelay,          ///< O3: delay below querier's l, capacity ignored
+};
+
+/// Whether the source supports only pulls (RSS-style) or can push to its
+/// direct children (Section 2.1.2; Algorithm 2 branches on this).
+enum class SourceMode {
+  kPullOnly,
+  kPush,
+};
+
+std::string to_string(AlgorithmKind kind);
+std::string to_string(OracleKind kind);
+std::string to_string(SourceMode mode);
+
+/// Paper evaluation label for an Oracle ("O1", "O2a", "O2b", "O3").
+std::string paper_label(OracleKind kind);
+
+/// Renders a node in the paper's i_f^l notation, e.g. "3_2^4".
+std::string to_notation(const NodeSpec& spec);
+
+/// A complete experiment population: the source's fanout plus all
+/// consumer specs (ids are 1..consumers.size() in order).
+struct Population {
+  int source_fanout = 0;
+  std::vector<NodeSpec> consumers;
+
+  /// Total number of consumers (excluding the source).
+  std::size_t size() const noexcept { return consumers.size(); }
+};
+
+/// Validates ids are 1..N in order and constraints are in range; throws
+/// InvalidArgument otherwise. Called by Overlay's constructor.
+void validate(const Population& population);
+
+}  // namespace lagover

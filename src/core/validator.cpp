@@ -1,0 +1,62 @@
+#include "core/validator.hpp"
+
+#include <sstream>
+
+namespace lagover {
+
+std::string to_string(NodeIssue issue) {
+  switch (issue) {
+    case NodeIssue::kNone: return "satisfied";
+    case NodeIssue::kOffline: return "offline";
+    case NodeIssue::kParentless: return "parentless";
+    case NodeIssue::kDisconnected: return "in detached group";
+    case NodeIssue::kDelayExceeded: return "delay exceeds constraint";
+  }
+  return "?";
+}
+
+ValidationReport validate_overlay(const Overlay& overlay) {
+  ValidationReport report;
+  report.consumers = overlay.consumer_count();
+  for (NodeId id = 1; id < overlay.node_count(); ++id) {
+    NodeDiagnosis diagnosis;
+    diagnosis.node = id;
+    diagnosis.delay = overlay.delay_at(id);
+    diagnosis.constraint = overlay.latency_of(id);
+
+    if (!overlay.online(id)) {
+      diagnosis.issue = NodeIssue::kOffline;
+    } else if (!overlay.has_parent(id)) {
+      diagnosis.issue = NodeIssue::kParentless;
+    } else if (!overlay.connected(id)) {
+      diagnosis.issue = NodeIssue::kDisconnected;
+    } else if (diagnosis.delay > diagnosis.constraint) {
+      diagnosis.issue = NodeIssue::kDelayExceeded;
+    } else {
+      diagnosis.issue = NodeIssue::kNone;
+      ++report.satisfied;
+      continue;
+    }
+    report.issues.push_back(diagnosis);
+  }
+  return report;
+}
+
+std::string ValidationReport::to_string() const {
+  std::ostringstream out;
+  out << satisfied << '/' << consumers << " consumers satisfied";
+  if (issues.empty()) {
+    out << " — LagOver constructed\n";
+    return out.str();
+  }
+  out << "; " << issues.size() << " issue(s):\n";
+  for (const NodeDiagnosis& diagnosis : issues) {
+    out << "  node " << diagnosis.node << ": "
+        << lagover::to_string(diagnosis.issue) << " (delay "
+        << diagnosis.delay << ", constraint " << diagnosis.constraint
+        << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace lagover

@@ -1,0 +1,46 @@
+// Constraint-satisfaction report: a downstream-facing audit of a LagOver
+// snapshot that explains *why* each unsatisfied node is unsatisfied.
+// Complements Overlay::audit() (which checks structural invariants and
+// aborts) with a non-fatal, per-node diagnosis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/overlay.hpp"
+
+namespace lagover {
+
+enum class NodeIssue {
+  kNone,           ///< satisfied
+  kOffline,        ///< not currently participating
+  kParentless,     ///< chain root still seeking a parent
+  kDisconnected,   ///< attached, but the chain root is not the source
+  kDelayExceeded,  ///< connected but DelayAt > l
+};
+
+std::string to_string(NodeIssue issue);
+
+struct NodeDiagnosis {
+  NodeId node = kNoNode;
+  NodeIssue issue = NodeIssue::kNone;
+  Delay delay = 0;       ///< DelayAt (optimistic when detached)
+  Delay constraint = 0;  ///< l
+};
+
+struct ValidationReport {
+  std::size_t consumers = 0;
+  std::size_t satisfied = 0;
+  /// Diagnoses of every node that is NOT satisfied (empty = converged).
+  std::vector<NodeDiagnosis> issues;
+
+  bool converged() const noexcept { return issues.empty(); }
+
+  /// Human-readable multi-line summary.
+  std::string to_string() const;
+};
+
+/// Diagnoses every consumer of the overlay.
+ValidationReport validate_overlay(const Overlay& overlay);
+
+}  // namespace lagover

@@ -1,0 +1,532 @@
+#include "dht/chord.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace lagover::dht {
+
+ChordNode::ChordNode(Address address, ChordNetwork& network,
+                     const ChordConfig& config, std::uint64_t seed)
+    : address_(address),
+      id_(hash_u64(address)),
+      network_(network),
+      config_(config),
+      rng_(seed) {
+  LAGOVER_EXPECTS(config.finger_bits > 0 && config.finger_bits <= 64);
+  LAGOVER_EXPECTS(config.successor_list_size >= 1);
+  successors_.assign(1, address_);
+  fingers_.assign(static_cast<std::size_t>(config.finger_bits), address_);
+  network_.register_node(address_,
+                         [this](Address from, const Message& message) {
+                           handle(from, message);
+                         });
+}
+
+Address ChordNode::successor() const { return successors_.front(); }
+
+void ChordNode::create() {
+  predecessor_.reset();
+  successors_.assign(1, address_);
+}
+
+void ChordNode::join(Address bootstrap) {
+  predecessor_.reset();
+  const std::uint64_t request_id = next_request_id_++;
+  PendingLookup pending;
+  pending.callback = [this](Address owner, int hops) {
+    if (hops >= 0) successors_.front() = owner;
+  };
+  pending.key = id_;
+  pending.via = bootstrap;
+  pending_lookups_.emplace(request_id, std::move(pending));
+  start_pending_lookup(request_id);
+}
+
+void ChordNode::start_timers() {
+  if (timers_running_) return;
+  timers_running_ = true;
+  stabilize_timer_ = network_.simulator().schedule_periodic(
+      config_.stabilize_period, [this] { stabilize(); });
+  fingers_timer_ = network_.simulator().schedule_periodic(
+      config_.fix_fingers_period, [this] { fix_next_finger(); });
+}
+
+void ChordNode::stop_timers() {
+  if (!timers_running_) return;
+  timers_running_ = false;
+  network_.simulator().cancel(stabilize_timer_);
+  network_.simulator().cancel(fingers_timer_);
+}
+
+bool ChordNode::owns(Key key) const {
+  if (!predecessor_.has_value()) return successor() == address_;
+  return in_interval_open_closed(key, hash_u64(*predecessor_), id_);
+}
+
+Address ChordNode::route_next(Key key) const {
+  if (owns(key)) return address_;
+  if (in_interval_open_closed(key, id_, hash_u64(successor())))
+    return successor();
+  const Address next = closest_preceding(key);
+  return next == address_ ? successor() : next;
+}
+
+void ChordNode::lookup(Key key, LookupCallback callback) {
+  LAGOVER_EXPECTS(callback != nullptr);
+  if (owns(key)) {
+    callback(address_, 0);
+    return;
+  }
+  const std::uint64_t request_id = next_request_id_++;
+  PendingLookup pending;
+  pending.callback = std::move(callback);
+  pending.key = key;
+  pending_lookups_.emplace(request_id, std::move(pending));
+  start_pending_lookup(request_id);
+}
+
+void ChordNode::start_pending_lookup(std::uint64_t request_id) {
+  const auto it = pending_lookups_.find(request_id);
+  LAGOVER_ASSERT(it != pending_lookups_.end());
+  const PendingLookup& pending = it->second;
+  const FindSuccessorReq request{request_id, pending.key, address_, 0};
+  if (pending.via.has_value()) {
+    network_.send(address_, *pending.via, request);
+  } else {
+    forward_or_answer(request);
+  }
+  network_.simulator().schedule_after(
+      config_.rpc_timeout,
+      [this, request_id] { on_lookup_timeout(request_id); });
+}
+
+void ChordNode::on_lookup_timeout(std::uint64_t request_id) {
+  const auto it = pending_lookups_.find(request_id);
+  if (it == pending_lookups_.end()) return;  // resolved in time
+  if (crashed_) return;
+  if (it->second.attempts < config_.max_lookup_attempts) {
+    ++it->second.attempts;
+    // Re-forward: routing state may have healed around a crashed hop.
+    start_pending_lookup(request_id);
+    return;
+  }
+  PendingLookup pending = std::move(it->second);
+  pending_lookups_.erase(it);
+  ++lookup_failures_;
+  pending.callback(address_, -1);
+}
+
+void ChordNode::store_and_replicate(Key key, const std::string& value) {
+  auto& values = storage_[key];
+  if (std::find(values.begin(), values.end(), value) == values.end())
+    values.push_back(value);
+  // Push replicas to the first r-1 distinct successors.
+  int copies = config_.replication_factor - 1;
+  for (Address successor_address : successors_) {
+    if (copies <= 0) break;
+    if (successor_address == address_) continue;
+    network_.send(address_, successor_address, Replicate{key, value},
+                  value.size());
+    --copies;
+  }
+}
+
+void ChordNode::replicate_owned() {
+  for (const auto& [key, values] : storage_) {
+    if (!owns(key)) continue;
+    int copies = config_.replication_factor - 1;
+    for (Address successor_address : successors_) {
+      if (copies <= 0) break;
+      if (successor_address == address_) continue;
+      for (const std::string& value : values)
+        network_.send(address_, successor_address, Replicate{key, value},
+                      value.size());
+      --copies;
+    }
+  }
+}
+
+void ChordNode::put(Key key, std::string value) {
+  lookup(key, [this, key, value = std::move(value)](Address owner, int hops) {
+    if (hops < 0) return;  // route failed; caller may re-publish later
+    if (owner == address_) {
+      store_and_replicate(key, value);
+      return;
+    }
+    network_.send(address_, owner, Put{key, value}, value.size());
+  });
+}
+
+void ChordNode::remove(Key key, std::string value) {
+  lookup(key, [this, key, value = std::move(value)](Address owner, int hops) {
+    if (hops < 0) return;
+    if (owner == address_) {
+      handle(address_, Remove{key, value});
+      return;
+    }
+    network_.send(address_, owner, Remove{key, value}, value.size());
+  });
+}
+
+void ChordNode::get(Key key, GetCallback callback) {
+  LAGOVER_EXPECTS(callback != nullptr);
+  lookup(key, [this, key, callback = std::move(callback)](
+                  Address owner, int hops) mutable {
+    if (hops < 0) {
+      callback({});  // unresolvable route reads as empty
+      return;
+    }
+    if (owner == address_) {
+      const auto it = storage_.find(key);
+      callback(it == storage_.end() ? std::vector<std::string>{} : it->second);
+      return;
+    }
+    const std::uint64_t request_id = next_request_id_++;
+    pending_gets_[request_id] = std::move(callback);
+    network_.send(address_, owner, GetReq{request_id, key, address_});
+  });
+}
+
+Address ChordNode::closest_preceding(Key key) const {
+  for (auto it = fingers_.rbegin(); it != fingers_.rend(); ++it) {
+    const Address finger = *it;
+    if (finger == address_) continue;
+    if (in_interval_open_open(hash_u64(finger), id_, key)) return finger;
+  }
+  return successor();
+}
+
+void ChordNode::forward_or_answer(FindSuccessorReq req) {
+  const Key successor_id = hash_u64(successor());
+  if (in_interval_open_closed(req.key, id_, successor_id)) {
+    network_.send(address_, req.reply_to,
+                  FindSuccessorResp{req.request_id, req.key, successor(),
+                                    req.hops});
+    return;
+  }
+  Address next = closest_preceding(req.key);
+  if (next == address_) next = successor();
+  if (next == address_) {
+    // Degenerate single-node ring: we own everything.
+    network_.send(address_, req.reply_to,
+                  FindSuccessorResp{req.request_id, req.key, address_,
+                                    req.hops});
+    return;
+  }
+  ++req.hops;
+  network_.send(address_, next, req);
+}
+
+void ChordNode::on_find_successor(const FindSuccessorReq& req) {
+  forward_or_answer(req);
+}
+
+void ChordNode::evict_successor() {
+  const Address dead = successors_.front();
+  successors_.erase(successors_.begin());
+  if (successors_.empty()) successors_.push_back(address_);
+  ++evicted_successors_;
+  for (Address& finger : fingers_)
+    if (finger == dead) finger = successor();
+  if (predecessor_.has_value() && *predecessor_ == dead) predecessor_.reset();
+}
+
+void ChordNode::check_predecessor() {
+  // Standard Chord check_predecessor: ping it each stabilize tick; after
+  // enough unanswered pings, forget it so a live node's Notify can take
+  // the slot (without this, rings never re-close after a crash).
+  if (!predecessor_.has_value() || *predecessor_ == address_) {
+    awaiting_pong_ = false;
+    predecessor_misses_ = 0;
+    return;
+  }
+  if (awaiting_pong_ && pinged_predecessor_ == *predecessor_) {
+    if (++predecessor_misses_ >= config_.successor_miss_threshold) {
+      predecessor_.reset();
+      awaiting_pong_ = false;
+      predecessor_misses_ = 0;
+      return;
+    }
+  } else {
+    predecessor_misses_ = 0;
+  }
+  awaiting_pong_ = true;
+  pinged_predecessor_ = *predecessor_;
+  network_.send(address_, *predecessor_, Ping{});
+}
+
+void ChordNode::stabilize() {
+  check_predecessor();
+  if (config_.replication_factor > 1 &&
+      ++stabilizes_since_replication_ >= config_.replicate_every_stabilizes) {
+    stabilizes_since_replication_ = 0;
+    replicate_owned();
+  }
+  if (successor() == address_) {
+    // We are our own successor. If someone notified us (ring of two
+    // forming), adopt them as successor; a genuine single-node ring has
+    // nothing to reconcile.
+    if (predecessor_.has_value() && *predecessor_ != address_)
+      successors_.front() = *predecessor_;
+    return;
+  }
+  // Failure detection: the previous probe to this same successor is
+  // still unanswered when the next stabilize tick arrives.
+  if (awaiting_stabilize_reply_ && awaited_successor_ == successor()) {
+    if (++successor_misses_ >= config_.successor_miss_threshold) {
+      evict_successor();
+      awaiting_stabilize_reply_ = false;
+      successor_misses_ = 0;
+      if (successor() == address_) return;
+    }
+  } else {
+    successor_misses_ = 0;
+  }
+  awaiting_stabilize_reply_ = true;
+  awaited_successor_ = successor();
+  network_.send(address_, successor(), GetPredecessorReq{});
+}
+
+void ChordNode::on_stabilize_reply(Address from,
+                                   const GetPredecessorResp& resp) {
+  if (from != successor()) return;  // stale reply from an old successor
+  awaiting_stabilize_reply_ = false;
+  successor_misses_ = 0;
+  if (resp.has_predecessor && resp.predecessor != address_) {
+    const Key candidate_id = hash_u64(resp.predecessor);
+    if (in_interval_open_open(candidate_id, id_, hash_u64(successor())))
+      successors_.front() = resp.predecessor;
+  }
+  // Refresh the successor list with the successor's (piggy-backed) list.
+  std::vector<Address> updated;
+  updated.push_back(successor());
+  for (Address a : resp.successors) {
+    if (a == address_) continue;
+    if (std::find(updated.begin(), updated.end(), a) != updated.end())
+      continue;
+    updated.push_back(a);
+    if (static_cast<int>(updated.size()) >= config_.successor_list_size)
+      break;
+  }
+  successors_ = std::move(updated);
+  network_.send(address_, successor(), Notify{address_});
+}
+
+void ChordNode::fix_next_finger() {
+  const int k = next_finger_;
+  next_finger_ = (next_finger_ + 1) % config_.finger_bits;
+  lookup(finger_target(id_, k), [this, k](Address owner, int hops) {
+    if (hops >= 0) fingers_[static_cast<std::size_t>(k)] = owner;
+  });
+}
+
+void ChordNode::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  stop_timers();
+  network_.deregister_node(address_);
+  pending_lookups_.clear();
+  pending_gets_.clear();
+}
+
+void ChordNode::handle(Address from, const Message& message) {
+  std::visit(
+      [&](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, FindSuccessorReq>) {
+          on_find_successor(msg);
+        } else if constexpr (std::is_same_v<T, FindSuccessorResp>) {
+          const auto it = pending_lookups_.find(msg.request_id);
+          if (it != pending_lookups_.end()) {
+            LookupCallback callback = std::move(it->second.callback);
+            pending_lookups_.erase(it);
+            callback(msg.owner, msg.hops);
+          }
+        } else if constexpr (std::is_same_v<T, GetPredecessorReq>) {
+          network_.send(address_, from,
+                        GetPredecessorResp{predecessor_.has_value(),
+                                           predecessor_.value_or(0),
+                                           successors_});
+        } else if constexpr (std::is_same_v<T, GetPredecessorResp>) {
+          on_stabilize_reply(from, msg);
+        } else if constexpr (std::is_same_v<T, Notify>) {
+          if (!predecessor_.has_value() ||
+              in_interval_open_open(hash_u64(msg.candidate),
+                                    hash_u64(*predecessor_), id_))
+            predecessor_ = msg.candidate;
+        } else if constexpr (std::is_same_v<T, Put>) {
+          store_and_replicate(msg.key, msg.value);
+        } else if constexpr (std::is_same_v<T, Replicate>) {
+          auto& values = storage_[msg.key];
+          if (std::find(values.begin(), values.end(), msg.value) ==
+              values.end())
+            values.push_back(msg.value);
+        } else if constexpr (std::is_same_v<T, Remove>) {
+          const auto it = storage_.find(msg.key);
+          if (it != storage_.end()) {
+            auto& values = it->second;
+            const auto pos =
+                std::find(values.begin(), values.end(), msg.value);
+            if (pos != values.end()) values.erase(pos);
+            if (values.empty()) storage_.erase(it);
+          }
+          // The owner propagates the removal to its replicas (which do
+          // not own the key, so the fan-out stops there).
+          if (config_.replication_factor > 1 && owns(msg.key)) {
+            int copies = config_.replication_factor - 1;
+            for (Address successor_address : successors_) {
+              if (copies <= 0) break;
+              if (successor_address == address_) continue;
+              network_.send(address_, successor_address,
+                            Remove{msg.key, msg.value}, msg.value.size());
+              --copies;
+            }
+          }
+        } else if constexpr (std::is_same_v<T, GetReq>) {
+          const auto it = storage_.find(msg.key);
+          network_.send(address_, msg.reply_to,
+                        GetResp{msg.request_id, msg.key,
+                                it == storage_.end()
+                                    ? std::vector<std::string>{}
+                                    : it->second});
+        } else if constexpr (std::is_same_v<T, GetResp>) {
+          const auto it = pending_gets_.find(msg.request_id);
+          if (it != pending_gets_.end()) {
+            GetCallback callback = std::move(it->second);
+            pending_gets_.erase(it);
+            callback(msg.values);
+          }
+        } else if constexpr (std::is_same_v<T, Ping>) {
+          network_.send(address_, from, Pong{});
+        } else if constexpr (std::is_same_v<T, Pong>) {
+          if (awaiting_pong_ && from == pinged_predecessor_) {
+            awaiting_pong_ = false;
+            predecessor_misses_ = 0;
+          }
+        }
+      },
+      message);
+}
+
+// --- ChordRing ----------------------------------------------------------
+
+ChordRing::ChordRing(std::size_t node_count, ChordConfig config,
+                     std::uint64_t seed,
+                     std::unique_ptr<net::LatencyModel> latency)
+    : network_(sim_,
+               latency != nullptr
+                   ? std::move(latency)
+                   : std::make_unique<net::UniformLatency>(0.01, 0.05),
+               seed),
+      config_(config) {
+  LAGOVER_EXPECTS(node_count >= 1);
+  Rng seeder(seed ^ 0xD1E5ULL);
+  for (std::size_t i = 0; i < node_count; ++i)
+    nodes_.push_back(std::make_unique<ChordNode>(
+        static_cast<Address>(i), network_, config_, seeder()));
+  nodes_[0]->create();
+  nodes_[0]->start_timers();
+  // Staggered joins through node 0.
+  for (std::size_t i = 1; i < node_count; ++i) {
+    sim_.schedule_after(0.1 * static_cast<double>(i), [this, i] {
+      nodes_[i]->join(0);
+      nodes_[i]->start_timers();
+    });
+  }
+}
+
+ChordNode& ChordRing::node(std::size_t index) {
+  LAGOVER_EXPECTS(index < nodes_.size());
+  return *nodes_[index];
+}
+
+void ChordRing::fail_node(std::size_t index) {
+  LAGOVER_EXPECTS(index < nodes_.size());
+  nodes_[index]->crash();
+}
+
+std::size_t ChordRing::live_count() const {
+  std::size_t live = 0;
+  for (const auto& node : nodes_)
+    if (!node->crashed()) ++live;
+  return live;
+}
+
+bool ChordRing::ring_consistent() const {
+  // Follow successor pointers from the first live node; the walk must
+  // visit every live node exactly once and return to the start.
+  std::size_t start = nodes_.size();
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i]->crashed()) continue;
+    ++live;
+    if (start == nodes_.size()) start = i;
+  }
+  if (live == 0) return true;
+  if (live == 1)
+    return nodes_[start]->successor() == nodes_[start]->address();
+
+  std::vector<char> seen(nodes_.size(), 0);
+  Address cursor = nodes_[start]->address();
+  for (std::size_t steps = 0; steps < live; ++steps) {
+    // Addresses are ring indices by construction.
+    const ChordNode& node = *nodes_[cursor];
+    if (node.crashed()) return false;  // someone points at a dead node
+    if (seen[cursor]) return false;
+    seen[cursor] = 1;
+    if (!node.predecessor().has_value()) return false;
+    cursor = node.successor();
+  }
+  if (cursor != nodes_[start]->address()) return false;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (!nodes_[i]->crashed() && !seen[i]) return false;
+  return true;
+}
+
+bool ChordRing::run_until_stable(SimTime horizon) {
+  while (sim_.now() < horizon) {
+    sim_.run_until(sim_.now() + 1.0);
+    if (ring_consistent()) return true;
+  }
+  return ring_consistent();
+}
+
+std::pair<Address, int> ChordRing::lookup_sync(std::size_t from_index,
+                                               Key key) {
+  bool done = false;
+  Address owner = 0;
+  int hops = -1;
+  node(from_index).lookup(key, [&](Address o, int h) {
+    done = true;
+    owner = o;
+    hops = h;
+  });
+  const SimTime deadline = sim_.now() + 1000.0;
+  while (!done && sim_.now() < deadline) sim_.run_until(sim_.now() + 0.5);
+  LAGOVER_ASSERT_MSG(done, "chord lookup did not resolve");
+  // hops == -1 signals a failed lookup (e.g. the route died); callers
+  // that expect success assert on it themselves.
+  return {owner, hops};
+}
+
+void ChordRing::put_sync(std::size_t from_index, Key key, std::string value) {
+  node(from_index).put(key, std::move(value));
+  sim_.run_until(sim_.now() + 20.0);
+}
+
+std::vector<std::string> ChordRing::get_sync(std::size_t from_index, Key key) {
+  bool done = false;
+  std::vector<std::string> result;
+  node(from_index).get(key, [&](std::vector<std::string> values) {
+    done = true;
+    result = std::move(values);
+  });
+  const SimTime deadline = sim_.now() + 1000.0;
+  while (!done && sim_.now() < deadline) sim_.run_until(sim_.now() + 0.5);
+  LAGOVER_ASSERT_MSG(done, "chord get did not resolve");
+  return result;
+}
+
+}  // namespace lagover::dht

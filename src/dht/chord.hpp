@@ -1,0 +1,271 @@
+// Message-passing Chord ring (Stoica et al.) over the simulated network:
+// recursive find_successor routing via finger tables, periodic
+// stabilization and finger repair, successor lists for fault tolerance,
+// and a replicated key -> string multimap as the storage layer. It is
+// the substrate under the DHT-backed directory Oracle (paper Section
+// 2.1.4: "can also be realized if the nodes organize as a distributed
+// hash table") and the FeedTree/Scribe baseline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dht/hash_space.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace lagover::dht {
+
+using net::Address;
+
+// --- wire messages ----------------------------------------------------
+
+struct FindSuccessorReq {
+  std::uint64_t request_id;
+  Key key;
+  Address reply_to;
+  int hops;
+};
+struct FindSuccessorResp {
+  std::uint64_t request_id;
+  Key key;
+  Address owner;
+  int hops;
+};
+struct GetPredecessorReq {};
+struct GetPredecessorResp {
+  bool has_predecessor;
+  Address predecessor;
+  std::vector<Address> successors;  ///< piggy-backed successor list
+};
+struct Notify {
+  Address candidate;
+};
+struct Put {
+  Key key;
+  std::string value;
+};
+/// Replica copy: stored as-is, never re-replicated (prevents storms).
+struct Replicate {
+  Key key;
+  std::string value;
+};
+struct Remove {
+  Key key;
+  std::string value;
+};
+struct GetReq {
+  std::uint64_t request_id;
+  Key key;
+  Address reply_to;
+};
+struct GetResp {
+  std::uint64_t request_id;
+  Key key;
+  std::vector<std::string> values;
+};
+struct Ping {};
+struct Pong {};
+
+using Message =
+    std::variant<FindSuccessorReq, FindSuccessorResp, GetPredecessorReq,
+                 GetPredecessorResp, Notify, Put, Replicate, Remove, GetReq,
+                 GetResp, Ping, Pong>;
+
+using ChordNetwork = net::Network<Message>;
+
+// --- a single ring member ---------------------------------------------
+
+struct ChordConfig {
+  int finger_bits = 64;
+  int successor_list_size = 4;
+  double stabilize_period = 1.0;
+  double fix_fingers_period = 0.5;
+  /// Lookup retry timeout: a pending lookup is re-forwarded after this
+  /// long without a response (routes through crashed nodes vanish).
+  double rpc_timeout = 3.0;
+  /// Retries before a lookup is reported failed (hops = -1).
+  int max_lookup_attempts = 4;
+  /// Consecutive unanswered stabilize probes before the successor is
+  /// declared dead and the successor list fails over.
+  int successor_miss_threshold = 2;
+  /// Copies of each stored value: 1 = owner only; r > 1 additionally
+  /// pushes replicas to the owner's first r-1 successors on every put,
+  /// refreshed periodically so replicas survive membership changes.
+  int replication_factor = 1;
+  /// Every this many stabilize ticks, an owner re-pushes its owned keys
+  /// to its current successors (no-op when replication_factor == 1).
+  int replicate_every_stabilizes = 4;
+};
+
+/// One Chord node: owns its routing state and storage, reacts to
+/// messages, and runs periodic stabilize / fix-fingers timers.
+class ChordNode {
+ public:
+  ChordNode(Address address, ChordNetwork& network, const ChordConfig& config,
+            std::uint64_t seed);
+
+  Address address() const noexcept { return address_; }
+  Key id() const noexcept { return id_; }
+  Address successor() const;
+  std::optional<Address> predecessor() const noexcept { return predecessor_; }
+  const std::vector<Address>& successor_list() const noexcept {
+    return successors_;
+  }
+
+  /// Bootstraps the ring: the first node creates, later nodes join via
+  /// any existing member.
+  void create();
+  void join(Address bootstrap);
+
+  /// Starts the periodic stabilize / fix-fingers timers.
+  void start_timers();
+  void stop_timers();
+
+  /// Fail-stop crash: the node stops answering (deregistered from the
+  /// network) and its timers stop. Its stored keys are lost; the ring
+  /// heals around it via successor-list failover. Irreversible.
+  void crash();
+  bool crashed() const noexcept { return crashed_; }
+
+  /// Asynchronous lookup: resolves the owner of `key`, reporting the
+  /// route length in hops. On failure (all retries exhausted) the
+  /// callback receives hops = -1 and the owner value is meaningless.
+  using LookupCallback = std::function<void(Address owner, int hops)>;
+  void lookup(Key key, LookupCallback callback);
+
+  std::uint64_t lookup_failures() const noexcept { return lookup_failures_; }
+  std::uint64_t evicted_successors() const noexcept {
+    return evicted_successors_;
+  }
+
+  /// Storage operations routed to the key's owner.
+  void put(Key key, std::string value);
+  void remove(Key key, std::string value);
+  using GetCallback = std::function<void(std::vector<std::string> values)>;
+  void get(Key key, GetCallback callback);
+
+  /// Local storage of this node (what the ring assigned to it).
+  const std::map<Key, std::vector<std::string>>& storage() const noexcept {
+    return storage_;
+  }
+
+  /// True iff this node believes `key` belongs to it.
+  bool owns(Key key) const;
+
+  /// Next hop this node would route a message for `key` to (itself when
+  /// it owns the key). Exposes the routing decision so Scribe-style
+  /// baselines can materialize reverse-path trees.
+  Address route_next(Key key) const;
+
+  void handle(Address from, const Message& message);
+
+ private:
+  struct PendingLookup {
+    LookupCallback callback;
+    Key key = 0;
+    int attempts = 1;
+    /// Fixed first hop (used by join, whose own routing state is empty).
+    std::optional<Address> via;
+  };
+
+  void on_find_successor(const FindSuccessorReq& req);
+  void forward_or_answer(FindSuccessorReq req);
+  Address closest_preceding(Key key) const;
+  void stabilize();
+  void on_stabilize_reply(Address from, const GetPredecessorResp& resp);
+  void check_predecessor();
+  void fix_next_finger();
+  void start_pending_lookup(std::uint64_t request_id);
+  void on_lookup_timeout(std::uint64_t request_id);
+  void evict_successor();
+  void store_and_replicate(Key key, const std::string& value);
+  void replicate_owned();
+
+  Address address_;
+  Key id_;
+  ChordNetwork& network_;
+  ChordConfig config_;
+  Rng rng_;
+
+  std::optional<Address> predecessor_;
+  std::vector<Address> successors_;  ///< [0] is the successor; never empty
+  std::vector<Address> fingers_;     ///< finger_bits entries
+  std::map<Key, Address> finger_keys_;  // reserved for diagnostics
+  int next_finger_ = 0;
+
+  std::uint64_t next_request_id_ = 1;
+  std::map<std::uint64_t, PendingLookup> pending_lookups_;
+  std::map<std::uint64_t, GetCallback> pending_gets_;
+
+  std::map<Key, std::vector<std::string>> storage_;
+
+  EventId stabilize_timer_ = 0;
+  EventId fingers_timer_ = 0;
+  bool timers_running_ = false;
+  bool crashed_ = false;
+
+  // Failure-detection state.
+  bool awaiting_stabilize_reply_ = false;
+  Address awaited_successor_ = 0;
+  int successor_misses_ = 0;
+  bool awaiting_pong_ = false;
+  Address pinged_predecessor_ = 0;
+  int predecessor_misses_ = 0;
+  std::uint64_t lookup_failures_ = 0;
+  std::uint64_t evicted_successors_ = 0;
+  int stabilizes_since_replication_ = 0;
+};
+
+// --- whole-ring harness -------------------------------------------------
+
+/// Owns the simulator, network, and nodes of a complete ring; the unit
+/// of deployment the oracle realizations and baselines build on.
+class ChordRing {
+ public:
+  ChordRing(std::size_t node_count, ChordConfig config, std::uint64_t seed,
+            std::unique_ptr<net::LatencyModel> latency = nullptr);
+
+  Simulator& simulator() noexcept { return sim_; }
+  ChordNetwork& network() noexcept { return network_; }
+  std::size_t size() const noexcept { return nodes_.size(); }
+  ChordNode& node(std::size_t index);
+
+  /// Runs the simulator until the ring is stabilized (successor cycle
+  /// covers all *live* nodes and predecessors are consistent) or
+  /// `horizon`. Returns true when stabilized.
+  bool run_until_stable(SimTime horizon);
+
+  /// Crashes the node at `index` (fail-stop); the ring heals via
+  /// successor-list failover on subsequent stabilize rounds.
+  void fail_node(std::size_t index);
+  std::size_t live_count() const;
+
+  /// Convenience synchronous lookup: issues the lookup from the given
+  /// node and drives the simulator until it resolves. Returns
+  /// (owner, hops).
+  std::pair<Address, int> lookup_sync(std::size_t from_index, Key key);
+
+  /// Synchronous storage helpers (drive the simulator until quiescent).
+  void put_sync(std::size_t from_index, Key key, std::string value);
+  std::vector<std::string> get_sync(std::size_t from_index, Key key);
+
+  /// True iff the successor pointers of live nodes form one consistent
+  /// cycle over exactly the live membership.
+  bool ring_consistent() const;
+
+ private:
+  Simulator sim_;
+  ChordNetwork network_;
+  ChordConfig config_;
+  std::vector<std::unique_ptr<ChordNode>> nodes_;
+};
+
+}  // namespace lagover::dht

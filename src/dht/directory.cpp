@@ -1,0 +1,120 @@
+#include "dht/directory.hpp"
+
+#include "common/error.hpp"
+
+namespace lagover::dht {
+
+DhtDirectoryOracle::DhtDirectoryOracle(OracleKind kind, DhtOracleConfig config)
+    : kind_(kind),
+      config_(std::move(config)),
+      feed_key_(hash_string(config_.feed_name)),
+      entry_rng_(config_.seed ^ 0x0AC1EULL) {
+  LAGOVER_EXPECTS(config_.ring_size >= 1);
+  LAGOVER_EXPECTS(config_.refresh_every_queries >= 1);
+  ring_ = std::make_unique<ChordRing>(config_.ring_size, config_.chord,
+                                      config_.seed);
+  const bool stable = ring_->run_until_stable(/*horizon=*/500.0);
+  LAGOVER_ASSERT_MSG(stable, "directory ring failed to stabilize");
+  registry_owner_ = ring_->lookup_sync(0, feed_key_).first;
+}
+
+DhtDirectoryOracle::~DhtDirectoryOracle() = default;
+
+void DhtDirectoryOracle::fail_directory_server(Address address) {
+  LAGOVER_EXPECTS(address < ring_->size());
+  ring_->fail_node(address);
+}
+
+int DhtDirectoryOracle::routed_hops(std::size_t entry_index, Key key) {
+  // Enter through a live gateway (clients would retry another one).
+  std::size_t entry = entry_index % ring_->size();
+  for (std::size_t probe = 0; probe < ring_->size(); ++probe) {
+    if (!ring_->node(entry).crashed()) break;
+    entry = (entry + 1) % ring_->size();
+  }
+  if (ring_->node(entry).crashed()) return -1;  // whole ring down
+  const auto [owner, hops] = ring_->lookup_sync(entry, key);
+  if (hops >= 0) registry_owner_ = owner;
+  return hops;
+}
+
+void DhtDirectoryOracle::refresh_registry(const Overlay& overlay) {
+  ++costs_.refreshes;
+  registry_.assign(overlay.node_count(), std::nullopt);
+  for (NodeId id = 1; id < overlay.node_count(); ++id) {
+    if (!overlay.online(id)) continue;
+    // Each consumer routes its record to the registry owner through a
+    // random ring entry point (its "OpenDHT gateway").
+    const auto entry =
+        static_cast<std::size_t>(entry_rng_.next_below(ring_->size()));
+    const int hops = routed_hops(entry, feed_key_);
+    if (hops < 0) {
+      // Routing failed mid-heal: this node stays invisible to the
+      // directory until the next refresh cycle.
+      ++failed_operations_;
+      continue;
+    }
+    costs_.publish_hops.add(static_cast<double>(hops + 1));
+    ++costs_.publishes;
+    registry_[id] = Record{overlay.delay_at(id), overlay.free_fanout(id)};
+  }
+  costs_.ring_messages = ring_->network().total_messages();
+}
+
+std::optional<NodeId> DhtDirectoryOracle::sample_impl(NodeId querier,
+                                                      const Overlay& overlay,
+                                                      Rng& rng) {
+  if (registry_.size() != overlay.node_count() ||
+      ++queries_since_refresh_ >= config_.refresh_every_queries) {
+    refresh_registry(overlay);
+    queries_since_refresh_ = 0;
+  }
+
+  // The query itself is routed to the registry owner.
+  const auto entry =
+      static_cast<std::size_t>(entry_rng_.next_below(ring_->size()));
+  const int hops = routed_hops(entry, feed_key_);
+  costs_.ring_messages = ring_->network().total_messages();
+  if (hops < 0) {
+    // The directory was unreachable; the peer waits and retries later
+    // (counts toward its construction timeout like any empty result).
+    ++failed_operations_;
+    return std::nullopt;
+  }
+  costs_.query_hops.add(static_cast<double>(hops + 1));
+  ++costs_.queries;
+
+  // Filter the *snapshot* records with the same semantics as the
+  // idealized DirectoryOracle; staleness means a record may no longer
+  // reflect the node's true delay or capacity — exactly the error a
+  // real deployment exhibits between refreshes. Liveness (online) is
+  // checked against truth: a dead partner would simply not answer.
+  const Delay querier_latency = overlay.latency_of(querier);
+  std::optional<NodeId> chosen;
+  std::uint64_t seen = 0;
+  for (NodeId id = 1; id < overlay.node_count(); ++id) {
+    if (id == querier || !overlay.online(id)) continue;
+    const auto& record = registry_[id];
+    if (!record.has_value()) continue;
+    bool eligible = true;
+    switch (kind_) {
+      case OracleKind::kRandom:
+        break;
+      case OracleKind::kRandomCapacity:
+        eligible = record->free_fanout > 0;
+        break;
+      case OracleKind::kRandomDelayCapacity:
+        eligible = record->free_fanout > 0 && record->delay < querier_latency;
+        break;
+      case OracleKind::kRandomDelay:
+        eligible = record->delay < querier_latency;
+        break;
+    }
+    if (!eligible) continue;
+    ++seen;
+    if (rng.next_below(seen) == 0) chosen = id;
+  }
+  return chosen;
+}
+
+}  // namespace lagover::dht

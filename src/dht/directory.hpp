@@ -1,0 +1,97 @@
+// DHT-backed realization of the directory Oracles (paper Section 2.1.4:
+// the Random-Delay / -Capacity oracles "require a directory service,
+// which ... can also be realized if the nodes organize as a distributed
+// hash table", ideally "a separate open service like OpenDHT ... run in
+// a single trust domain using a relatively stable and dedicated
+// infrastructure").
+//
+// Model: a small, stable Chord ring of dedicated directory servers. The
+// feed's registry lives at the owner of hash(feed name). Consumers
+// publish (delay, free-fanout) records periodically — so the directory
+// serves *stale* state between refreshes — and every publish or query
+// pays the ring's routing cost, which this adapter accounts. The core
+// experiments use the idealized DirectoryOracle (as the paper's
+// simulations do); this adapter quantifies what the realization costs
+// and whether staleness hurts convergence (see bench_oracle_realizations).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/oracle.hpp"
+#include "dht/chord.hpp"
+#include "stats/summary.hpp"
+
+namespace lagover::dht {
+
+struct DirectoryCosts {
+  std::uint64_t publishes = 0;       ///< records pushed to the registry
+  std::uint64_t queries = 0;         ///< oracle samples served
+  std::uint64_t refreshes = 0;       ///< snapshot refresh cycles
+  RunningSummary publish_hops;       ///< chord route length per publish
+  RunningSummary query_hops;         ///< chord route length per query
+  std::uint64_t ring_messages = 0;   ///< total messages inside the ring
+};
+
+struct DhtOracleConfig {
+  std::size_t ring_size = 16;
+  /// Oracle samples served between registry refreshes; larger = staler
+  /// records. One engine round issues roughly one sample per orphan.
+  int refresh_every_queries = 32;
+  std::string feed_name = "feed";
+  ChordConfig chord;
+  std::uint64_t seed = 1;
+};
+
+/// Oracle adapter: same filtering semantics as DirectoryOracle but
+/// evaluated over the (possibly stale) registry snapshot, with every
+/// operation routed through a real message-passing Chord ring.
+class DhtDirectoryOracle final : public Oracle {
+ public:
+  DhtDirectoryOracle(OracleKind kind, DhtOracleConfig config);
+  ~DhtDirectoryOracle() override;
+
+  OracleKind kind() const noexcept override { return kind_; }
+  const DirectoryCosts& costs() const noexcept { return costs_; }
+
+  /// The ring node owning the feed registry (for tests).
+  Address registry_owner() const noexcept { return registry_owner_; }
+
+  /// Fail-stop crash of a directory server (fault-injection hook): the
+  /// ring heals via successor failover and registry ownership moves to
+  /// the next live node; records are re-pushed on the next refresh.
+  void fail_directory_server(Address address);
+
+  std::uint64_t failed_operations() const noexcept {
+    return failed_operations_;
+  }
+
+ protected:
+  std::optional<NodeId> sample_impl(NodeId querier, const Overlay& overlay,
+                                    Rng& rng) override;
+
+ private:
+  struct Record {
+    Delay delay = 0;
+    int free_fanout = 0;
+  };
+
+  void refresh_registry(const Overlay& overlay);
+  int routed_hops(std::size_t entry_index, Key key);
+
+  OracleKind kind_;
+  DhtOracleConfig config_;
+  std::unique_ptr<ChordRing> ring_;
+  Key feed_key_;
+  Address registry_owner_ = 0;
+  int queries_since_refresh_ = 0;
+  std::vector<std::optional<Record>> registry_;  // index = overlay NodeId
+  DirectoryCosts costs_;
+  std::uint64_t failed_operations_ = 0;
+  Rng entry_rng_;
+};
+
+}  // namespace lagover::dht

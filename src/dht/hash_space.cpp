@@ -1,0 +1,42 @@
+#include "dht/hash_space.hpp"
+
+#include "common/error.hpp"
+
+namespace lagover::dht {
+
+Key hash_string(const std::string& text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char ch : text) {
+    hash ^= ch;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+Key hash_u64(std::uint64_t value) {
+  std::uint64_t z = value + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+bool in_interval_open_closed(Key key, Key from, Key to) {
+  if (from == to) return true;  // whole ring
+  if (from < to) return key > from && key <= to;
+  return key > from || key <= to;  // wrapped
+}
+
+bool in_interval_open_open(Key key, Key from, Key to) {
+  if (from == to) return key != from;  // whole ring minus the endpoint
+  if (from < to) return key > from && key < to;
+  return key > from || key < to;  // wrapped
+}
+
+Key clockwise_distance(Key from, Key to) { return to - from; }
+
+Key finger_target(Key from, int k) {
+  LAGOVER_EXPECTS(k >= 0 && k < 64);
+  return from + (Key{1} << k);
+}
+
+}  // namespace lagover::dht

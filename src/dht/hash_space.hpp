@@ -1,0 +1,33 @@
+// 64-bit circular identifier space for the Chord ring (consistent
+// hashing). The paper suggests realizing the directory Oracles on a DHT
+// service (OpenDHT); this is the identifier arithmetic that ring needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lagover::dht {
+
+using Key = std::uint64_t;
+
+/// Stable 64-bit hash of an arbitrary string (FNV-1a).
+Key hash_string(const std::string& text);
+
+/// Stable 64-bit hash of an integer (SplitMix64 finalizer).
+Key hash_u64(std::uint64_t value);
+
+/// True iff key lies in the half-open ring interval (from, to].
+/// Handles wrap-around; an empty interval (from == to) spans the whole
+/// ring (Chord's single-node case).
+bool in_interval_open_closed(Key key, Key from, Key to);
+
+/// True iff key lies in the open ring interval (from, to).
+bool in_interval_open_open(Key key, Key from, Key to);
+
+/// Clockwise distance from `from` to `to` on the ring.
+Key clockwise_distance(Key from, Key to);
+
+/// from + 2^k on the ring (finger-table targets).
+Key finger_target(Key from, int k);
+
+}  // namespace lagover::dht

@@ -1,0 +1,128 @@
+#include "feed/dissemination.hpp"
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace lagover::feed {
+
+namespace {
+
+/// Transient simulation state for one dissemination run.
+class Dissemination {
+ public:
+  Dissemination(const Overlay& overlay, const DisseminationConfig& config)
+      : overlay_(overlay),
+        config_(config),
+        source_(sim_, config.source),
+        tracker_(overlay.node_count()),
+        rng_(config.seed ^ 0xFEEDULL) {
+    LAGOVER_EXPECTS(config.poll_period > 0.0);
+    LAGOVER_EXPECTS(config.hop_delay >= 0.0);
+  }
+
+  DisseminationReport run(SimTime duration) {
+    source_.start();
+    last_pulled_.assign(overlay_.node_count(), 0);
+
+    if (config_.push_source) {
+      // Push-capable source: every published item is pushed straight to
+      // the direct children (no poll-period staleness, no empty
+      // requests); each delivery still costs a hop delay.
+      source_.set_on_publish([this](const FeedItem& item) {
+        for (NodeId child : overlay_.children(kSourceId)) {
+          if (!overlay_.online(child)) continue;
+          ++push_messages_;
+          sim_.schedule_after(config_.hop_delay,
+                              [this, child, item] { deliver(child, item); });
+        }
+      });
+    } else {
+      // Pull-only source (RSS): each direct child polls with period T
+      // at a random phase (real aggregators are not synchronized).
+      for (NodeId poller : overlay_.children(kSourceId)) {
+        if (!overlay_.online(poller)) continue;
+        ++pollers_;
+        const double phase = rng_.uniform_real(0.0, config_.poll_period);
+        sim_.schedule_after(phase, [this, poller] { poll(poller); });
+      }
+    }
+
+    sim_.run_until(duration);
+    return build_report(duration);
+  }
+
+ private:
+  void poll(NodeId poller) {
+    for (const FeedItem& item : source_.pull(last_pulled_[poller])) {
+      last_pulled_[poller] = item.seq;
+      deliver(poller, item);
+    }
+    sim_.schedule_after(config_.poll_period, [this, poller] { poll(poller); });
+  }
+
+  void deliver(NodeId node, FeedItem item) {
+    tracker_.record(node, item, sim_.now());
+    for (NodeId child : overlay_.children(node)) {
+      if (!overlay_.online(child)) continue;
+      ++push_messages_;
+      sim_.schedule_after(config_.hop_delay,
+                          [this, child, item] { deliver(child, item); });
+    }
+  }
+
+  DisseminationReport build_report(SimTime duration) const {
+    DisseminationReport report;
+    report.duration = duration;
+    report.items_published = source_.published();
+    report.source_requests = source_.requests();
+    report.source_empty_requests = source_.empty_requests();
+    report.source_request_rate =
+        duration > 0.0 ? static_cast<double>(source_.requests()) / duration
+                       : 0.0;
+    report.push_messages = push_messages_;
+    report.pollers = pollers_;
+
+    for (NodeId id = 1; id < overlay_.node_count(); ++id) {
+      if (!overlay_.online(id) || !overlay_.connected(id)) continue;
+      NodeDeliveryStats stats;
+      stats.node = id;
+      stats.items = tracker_.items_received(static_cast<std::uint32_t>(id));
+      stats.max_staleness =
+          tracker_.max_staleness(static_cast<std::uint32_t>(id));
+      stats.mean_staleness =
+          tracker_.mean_staleness(static_cast<std::uint32_t>(id));
+      stats.latency_constraint = overlay_.latency_of(id);
+      // Small epsilon: the staleness bound is exactly l in the idealized
+      // unit model; floating-point scheduling noise must not flag it.
+      stats.constraint_met =
+          stats.max_staleness <=
+          static_cast<double>(stats.latency_constraint) + 1e-9;
+      if (!stats.constraint_met) ++report.violations;
+      report.nodes.push_back(stats);
+    }
+    return report;
+  }
+
+  const Overlay& overlay_;
+  DisseminationConfig config_;
+  Simulator sim_;
+  FeedSource source_;
+  StalenessTracker tracker_;
+  Rng rng_;
+  std::vector<std::uint64_t> last_pulled_;
+  std::uint64_t push_messages_ = 0;
+  std::size_t pollers_ = 0;
+};
+
+}  // namespace
+
+DisseminationReport run_dissemination(const Overlay& overlay,
+                                      const DisseminationConfig& config,
+                                      SimTime duration) {
+  Dissemination dissemination(overlay, config);
+  return dissemination.run(duration);
+}
+
+}  // namespace lagover::feed

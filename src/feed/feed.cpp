@@ -1,0 +1,71 @@
+#include "feed/feed.hpp"
+
+#include <algorithm>
+
+namespace lagover::feed {
+
+FeedSource::FeedSource(Simulator& sim, SourceConfig config)
+    : sim_(sim), config_(config), rng_(config.seed) {
+  LAGOVER_EXPECTS(config.publish_period > 0.0);
+}
+
+void FeedSource::start() {
+  if (started_) return;
+  started_ = true;
+  publish_next();
+}
+
+void FeedSource::publish_next() {
+  const double gap = config_.schedule == PublishSchedule::kPeriodic
+                         ? config_.publish_period
+                         : rng_.exponential(1.0 / config_.publish_period);
+  sim_.schedule_after(gap, [this] {
+    items_.push_back(FeedItem{items_.size() + 1, sim_.now()});
+    if (on_publish_) on_publish_(items_.back());
+    publish_next();
+  });
+}
+
+std::vector<FeedItem> FeedSource::pull(std::uint64_t since_seq) {
+  ++requests_;
+  std::vector<FeedItem> fresh;
+  for (auto it = items_.rbegin(); it != items_.rend(); ++it) {
+    if (it->seq <= since_seq) break;
+    fresh.push_back(*it);
+  }
+  if (fresh.empty()) ++empty_requests_;
+  std::reverse(fresh.begin(), fresh.end());
+  return fresh;
+}
+
+StalenessTracker::StalenessTracker(std::size_t node_count)
+    : per_node_(node_count) {}
+
+void StalenessTracker::record(std::uint32_t node, const FeedItem& item,
+                              SimTime received_at) {
+  LAGOVER_EXPECTS(node < per_node_.size());
+  LAGOVER_EXPECTS(received_at >= item.published_at);
+  auto& entry = per_node_[node];
+  const double staleness = received_at - item.published_at;
+  ++entry.count;
+  entry.sum += staleness;
+  if (staleness > entry.max) entry.max = staleness;
+}
+
+std::uint64_t StalenessTracker::items_received(std::uint32_t node) const {
+  LAGOVER_EXPECTS(node < per_node_.size());
+  return per_node_[node].count;
+}
+
+double StalenessTracker::max_staleness(std::uint32_t node) const {
+  LAGOVER_EXPECTS(node < per_node_.size());
+  return per_node_[node].max;
+}
+
+double StalenessTracker::mean_staleness(std::uint32_t node) const {
+  LAGOVER_EXPECTS(node < per_node_.size());
+  const auto& entry = per_node_[node];
+  return entry.count == 0 ? 0.0 : entry.sum / static_cast<double>(entry.count);
+}
+
+}  // namespace lagover::feed

@@ -1,0 +1,94 @@
+#include "feed/live.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace lagover::feed {
+
+LiveReport run_live_dissemination(const Population& population,
+                                  const LiveConfig& config) {
+  LAGOVER_EXPECTS(config.publish_every >= 1);
+  Engine engine(population, config.engine);
+  if (config.churn) engine.set_churn(config.churn());
+  const Overlay& overlay = engine.overlay();
+
+  // Item seq s (1-based) was published at published_at[s].
+  std::vector<Round> published_at{0};  // index 0 unused
+  std::vector<std::uint64_t> last_seq(overlay.node_count(), 0);
+  std::uint64_t source_seq = 0;
+
+  LiveReport report;
+  report.nodes.resize(overlay.consumer_count());
+  for (NodeId id = 1; id < overlay.node_count(); ++id)
+    report.nodes[id - 1].node = id;
+
+  const Round total_rounds = config.warmup_rounds + config.measured_rounds;
+  for (Round tick = 1; tick <= total_rounds; ++tick) {
+    engine.run_round();
+
+    // Items visible to the source's pollers this tick: everything
+    // published strictly earlier (one poll period of delay).
+    const std::uint64_t source_seq_prev = source_seq;
+    if (tick % config.publish_every == 0) {
+      ++source_seq;
+      published_at.push_back(tick);
+      if (tick > config.warmup_rounds) ++report.items_published;
+    }
+
+    // Synchronous one-hop propagation over the *current* tree.
+    std::vector<std::uint64_t> previous = last_seq;
+    for (NodeId id = 1; id < overlay.node_count(); ++id) {
+      if (!overlay.online(id)) continue;
+      const NodeId parent = overlay.parent(id);
+      if (parent == kNoNode) continue;
+      const std::uint64_t target =
+          parent == kSourceId ? source_seq_prev : previous[parent];
+      for (std::uint64_t seq = previous[id] + 1; seq <= target; ++seq) {
+        const Round staleness = tick - published_at[seq];
+        if (published_at[seq] > config.warmup_rounds) {
+          auto& stats = report.nodes[id - 1];
+          ++stats.deliveries;
+          ++report.total_deliveries;
+          if (static_cast<Delay>(staleness) > overlay.latency_of(id)) {
+            ++stats.late_deliveries;
+            ++report.total_late;
+          }
+          stats.max_staleness =
+              std::max(stats.max_staleness, static_cast<double>(staleness));
+        }
+      }
+      if (target > last_seq[id]) last_seq[id] = target;
+    }
+
+    // Freshness: a node is fresh when it already has every item old
+    // enough that its budget requires it.
+    if (tick > config.warmup_rounds && overlay.online_count() > 0) {
+      std::size_t fresh = 0;
+      for (NodeId id = 1; id < overlay.node_count(); ++id) {
+        if (!overlay.online(id)) continue;
+        // Newest seq whose age is at least the node's budget.
+        std::uint64_t due = 0;
+        for (std::uint64_t seq = source_seq; seq >= 1; --seq) {
+          if (published_at[seq] + overlay.latency_of(id) <= tick) {
+            due = seq;
+            break;
+          }
+        }
+        if (last_seq[id] >= due) ++fresh;
+      }
+      report.freshness.add(static_cast<double>(tick),
+                           static_cast<double>(fresh) /
+                               static_cast<double>(overlay.online_count()));
+    }
+  }
+
+  report.on_time_fraction =
+      report.total_deliveries == 0
+          ? 1.0
+          : 1.0 - static_cast<double>(report.total_late) /
+                      static_cast<double>(report.total_deliveries);
+  return report;
+}
+
+}  // namespace lagover::feed

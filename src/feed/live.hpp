@@ -1,0 +1,60 @@
+// Live dissemination: feed delivery over an overlay that is being
+// built and churned AT THE SAME TIME — the end-to-end situation a real
+// RSS swarm lives in, which the paper's evaluation splits into separate
+// construction and (implicit) dissemination phases.
+//
+// Time advances in ticks; one tick = one construction round = one
+// latency unit. Every tick: churn + construction act, the source
+// publishes on its schedule, direct children poll the source, and every
+// other connected node catches up to the items its *current* parent had
+// one tick ago (one-hop store-and-forward, exactly the delay model the
+// constraints are written against). A node that is detached or offline
+// stops receiving and catches up through its next parent after
+// reattaching — the staleness spike is the cost of the reconfiguration.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "stats/timeseries.hpp"
+
+namespace lagover::feed {
+
+struct LiveConfig {
+  EngineConfig engine;
+  /// Optional churn factory (fresh model per run).
+  std::function<std::unique_ptr<ChurnModel>()> churn;
+  /// One new item every `publish_every` ticks.
+  Round publish_every = 3;
+  Round warmup_rounds = 50;  ///< construction before measurement starts
+  Round measured_rounds = 400;
+};
+
+struct LiveNodeStats {
+  NodeId node = kNoNode;
+  std::uint64_t deliveries = 0;       ///< measured items received
+  std::uint64_t late_deliveries = 0;  ///< staleness above the budget
+  double max_staleness = 0.0;
+};
+
+struct LiveReport {
+  std::uint64_t items_published = 0;  ///< during the measured window
+  std::vector<LiveNodeStats> nodes;
+  /// Fraction of (item, node) deliveries within the node's budget,
+  /// over the measured window.
+  double on_time_fraction = 0.0;
+  std::uint64_t total_deliveries = 0;
+  std::uint64_t total_late = 0;
+  /// Per-tick fraction of online nodes whose newest item is within
+  /// their staleness budget ("freshness"), for timelines.
+  TimeSeries freshness;
+};
+
+/// Runs construction + churn + dissemination in one timeline.
+LiveReport run_live_dissemination(const Population& population,
+                                  const LiveConfig& config);
+
+}  // namespace lagover::feed

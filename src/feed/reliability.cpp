@@ -1,0 +1,180 @@
+#include "feed/reliability.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "feed/feed.hpp"
+#include "metrics/tree_metrics.hpp"
+
+namespace lagover::feed {
+
+namespace {
+
+class LossyDissemination {
+ public:
+  LossyDissemination(const Overlay& overlay, const LossyConfig& config)
+      : overlay_(overlay),
+        config_(config),
+        source_(sim_, config.base.source),
+        rng_(config.seed_mix()) {}
+
+  LossyReport run(SimTime duration) {
+    source_.start();
+    last_polled_.assign(overlay_.node_count(), 0);
+    received_.assign(overlay_.node_count(), {});
+    delivery_time_.assign(overlay_.node_count(), {});
+
+    for (NodeId poller : overlay_.children(kSourceId)) {
+      if (!overlay_.online(poller)) continue;
+      const double phase = rng_.uniform_real(0.0, config_.base.poll_period);
+      sim_.schedule_after(phase, [this, poller] { poll(poller); });
+    }
+    if (config_.enable_recovery) {
+      for (NodeId id = 1; id < overlay_.node_count(); ++id) {
+        if (!overlay_.online(id) || !overlay_.connected(id)) continue;
+        if (overlay_.parent(id) == kSourceId) continue;  // polls are reliable
+        const double phase =
+            rng_.uniform_real(0.0, config_.recovery_period);
+        sim_.schedule_after(phase, [this, id] { recover(id); });
+      }
+    }
+    sim_.run_until(duration);
+    return build_report(duration);
+  }
+
+ private:
+  bool has(NodeId node, std::uint64_t seq) const {
+    const auto& got = received_[node];
+    return seq < got.size() && got[seq] != 0;
+  }
+
+  void mark(NodeId node, std::uint64_t seq, SimTime when) {
+    auto& got = received_[node];
+    auto& times = delivery_time_[node];
+    if (seq >= got.size()) {
+      got.resize(seq + 1, 0);
+      times.resize(seq + 1, -1.0);
+    }
+    got[seq] = 1;
+    times[seq] = when;
+  }
+
+  void deliver(NodeId node, FeedItem item, bool via_recovery) {
+    if (has(node, item.seq)) return;
+    mark(node, item.seq, sim_.now());
+    if (via_recovery)
+      ++recovered_;
+    else
+      ++pushed_;
+    // First receipt: forward downstream (lossy), regardless of how the
+    // item arrived — recovered items keep flowing.
+    for (NodeId child : overlay_.children(node)) {
+      if (!overlay_.online(child)) continue;
+      if (rng_.bernoulli(config_.push_loss)) {
+        ++lost_;
+        continue;
+      }
+      sim_.schedule_after(config_.base.hop_delay, [this, child, item] {
+        deliver(child, item, /*via_recovery=*/false);
+      });
+    }
+  }
+
+  void poll(NodeId poller) {
+    for (const FeedItem& item : source_.pull(last_polled_[poller])) {
+      last_polled_[poller] = item.seq;
+      deliver(poller, item, /*via_recovery=*/false);
+    }
+    sim_.schedule_after(config_.base.poll_period,
+                        [this, poller] { poll(poller); });
+  }
+
+  void recover(NodeId node) {
+    const NodeId parent = overlay_.parent(node);
+    LAGOVER_ASSERT(parent != kNoNode && parent != kSourceId);
+    ++recovery_pulls_;
+    // Ask the parent for everything it has that we lack; responses land
+    // after one hop delay.
+    const auto& parent_got = received_[parent];
+    for (std::uint64_t seq = 1; seq < parent_got.size(); ++seq) {
+      if (parent_got[seq] == 0 || has(node, seq)) continue;
+      const FeedItem item = source_.items()[seq - 1];
+      sim_.schedule_after(config_.base.hop_delay, [this, node, item] {
+        deliver(node, item, /*via_recovery=*/true);
+      });
+    }
+    sim_.schedule_after(config_.recovery_period,
+                        [this, node] { recover(node); });
+  }
+
+  LossyReport build_report(SimTime duration) const {
+    LossyReport report;
+    report.duration = duration;
+    report.items_published = source_.published();
+    report.push_deliveries = pushed_;
+    report.recovered_deliveries = recovered_;
+    report.lost_pushes = lost_;
+    report.recovery_pulls = recovery_pulls_;
+
+    // Exclude the tail window where deliveries may still be in flight.
+    const TreeMetrics metrics = compute_tree_metrics(overlay_);
+    const double settle = config_.base.poll_period +
+                          metrics.max_depth * config_.base.hop_delay +
+                          2.0 * config_.recovery_period;
+    const double cutoff = duration - settle;
+
+    std::uint64_t counted_items = 0;
+    for (const FeedItem& item : source_.items())
+      if (item.published_at <= cutoff) ++counted_items;
+
+    std::uint64_t delivered = 0;
+    for (NodeId id = 1; id < overlay_.node_count(); ++id) {
+      if (!overlay_.online(id) || !overlay_.connected(id)) continue;
+      ++report.connected_consumers;
+      const double budget = static_cast<double>(overlay_.latency_of(id));
+      for (const FeedItem& item : source_.items()) {
+        if (item.published_at > cutoff) break;
+        if (!has(id, item.seq)) continue;
+        ++delivered;
+        const double staleness =
+            delivery_time_[id][item.seq] - item.published_at;
+        if (staleness > budget + 1e-9) ++report.late_deliveries;
+      }
+    }
+    report.expected_deliveries =
+        counted_items * report.connected_consumers;
+    report.delivery_ratio =
+        report.expected_deliveries == 0
+            ? 1.0
+            : static_cast<double>(delivered) /
+                  static_cast<double>(report.expected_deliveries);
+    return report;
+  }
+
+  const Overlay& overlay_;
+  LossyConfig config_;
+  Simulator sim_;
+  FeedSource source_;
+  Rng rng_;
+  std::vector<std::uint64_t> last_polled_;
+  std::vector<std::vector<char>> received_;       // [node][seq]
+  std::vector<std::vector<double>> delivery_time_;  // [node][seq]
+  std::uint64_t pushed_ = 0;
+  std::uint64_t recovered_ = 0;
+  std::uint64_t lost_ = 0;
+  std::uint64_t recovery_pulls_ = 0;
+};
+
+}  // namespace
+
+LossyReport run_lossy_dissemination(const Overlay& overlay,
+                                    const LossyConfig& config,
+                                    SimTime duration) {
+  LAGOVER_EXPECTS(config.push_loss >= 0.0 && config.push_loss < 1.0);
+  LAGOVER_EXPECTS(config.recovery_period > 0.0);
+  LossyDissemination dissemination(overlay, config);
+  return dissemination.run(duration);
+}
+
+}  // namespace lagover::feed

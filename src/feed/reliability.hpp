@@ -1,0 +1,53 @@
+// Lossy dissemination and recovery. The base dissemination model
+// assumes perfect push delivery; real overlay links drop messages. This
+// module adds per-push loss and an anti-entropy repair loop: every
+// child periodically pulls from its parent the items the parent holds
+// and it lacks (each edge heals itself, so repairs cascade downstream).
+// This quantifies the robustness a deployed LagOver client would need
+// beyond the paper's idealized model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/overlay.hpp"
+#include "feed/dissemination.hpp"
+
+namespace lagover::feed {
+
+struct LossyConfig {
+  DisseminationConfig base;
+  double push_loss = 0.1;        ///< per-push drop probability
+  bool enable_recovery = true;   ///< anti-entropy repair on/off
+  double recovery_period = 2.0;  ///< child-from-parent repair interval
+
+  /// RNG stream for loss decisions, derived from the base seed.
+  std::uint64_t seed_mix() const noexcept {
+    return base.seed ^ 0x1055E5ULL;
+  }
+};
+
+struct LossyReport {
+  SimTime duration = 0.0;
+  std::uint64_t items_published = 0;
+  std::size_t connected_consumers = 0;
+  std::uint64_t expected_deliveries = 0;  ///< published x connected
+  std::uint64_t push_deliveries = 0;
+  std::uint64_t lost_pushes = 0;
+  std::uint64_t recovered_deliveries = 0;  ///< via anti-entropy
+  std::uint64_t recovery_pulls = 0;        ///< repair requests sent
+  double delivery_ratio = 0.0;             ///< all deliveries / expected
+  /// Deliveries later than the node's staleness budget (recovered items
+  /// typically are; this is the price of losing the original push).
+  std::uint64_t late_deliveries = 0;
+};
+
+/// Runs lossy dissemination over a (typically converged) overlay.
+/// Items published in the final max-staleness window are excluded from
+/// the expected-delivery accounting (they may legitimately still be in
+/// flight at the horizon).
+LossyReport run_lossy_dissemination(const Overlay& overlay,
+                                    const LossyConfig& config,
+                                    SimTime duration);
+
+}  // namespace lagover::feed

@@ -1,0 +1,104 @@
+#include "gossip/unstructured.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace lagover::gossip {
+
+UnstructuredOverlay::UnstructuredOverlay(std::size_t consumer_count,
+                                         GossipConfig config)
+    : config_(config) {
+  LAGOVER_EXPECTS(config.view_size >= 1);
+  LAGOVER_EXPECTS(config.walk_ttl >= 1);
+  views_.resize(consumer_count + 1);
+  if (consumer_count <= 1) return;
+  Rng rng(config.seed);
+  for (NodeId id = 1; id <= consumer_count; ++id) {
+    auto& view = views_[id];
+    const int degree =
+        std::min<int>(config.view_size, static_cast<int>(consumer_count) - 1);
+    while (static_cast<int>(view.size()) < degree) {
+      const auto peer = static_cast<NodeId>(
+          1 + rng.next_below(consumer_count));
+      if (peer == id ||
+          std::find(view.begin(), view.end(), peer) != view.end())
+        continue;
+      view.push_back(peer);
+    }
+  }
+}
+
+const std::vector<NodeId>& UnstructuredOverlay::view(NodeId id) const {
+  LAGOVER_EXPECTS(id >= 1 && id < views_.size());
+  return views_[id];
+}
+
+std::optional<NodeId> UnstructuredOverlay::random_walk(NodeId start,
+                                                       const Overlay& overlay,
+                                                       Rng& rng) const {
+  NodeId current = start;
+  for (int step = 0; step < config_.walk_ttl; ++step) {
+    // Gather live neighbours of the current holder of the walker.
+    std::vector<NodeId> live;
+    for (NodeId peer : views_[current])
+      if (overlay.online(peer)) live.push_back(peer);
+    if (live.empty()) break;
+    current = rng.pick(live);
+    ++walk_messages_;
+  }
+  if (current == start) return std::nullopt;
+  return current;
+}
+
+void UnstructuredOverlay::shuffle_views(const Overlay& overlay, Rng& rng) {
+  for (NodeId id = 1; id < views_.size(); ++id) {
+    if (!overlay.online(id)) continue;
+    auto& view = views_[id];
+    // Drop one offline entry if we notice any.
+    const auto dead = std::find_if(view.begin(), view.end(), [&](NodeId p) {
+      return !overlay.online(p);
+    });
+    if (dead != view.end()) view.erase(dead);
+    if (view.empty()) continue;
+    // Swap one entry with a random live neighbour's random entry
+    // (neighbour-of-neighbour exchange).
+    const NodeId neighbour = rng.pick(view);
+    const auto& other_view = views_[neighbour];
+    if (other_view.empty()) continue;
+    const NodeId candidate = rng.pick(other_view);
+    if (candidate == id || !overlay.online(candidate)) continue;
+    if (std::find(view.begin(), view.end(), candidate) != view.end())
+      continue;
+    if (static_cast<int>(view.size()) < config_.view_size) {
+      view.push_back(candidate);
+    } else {
+      view[static_cast<std::size_t>(
+          rng.next_below(view.size()))] = candidate;
+    }
+  }
+}
+
+GossipRandomOracle::GossipRandomOracle(std::size_t consumer_count,
+                                       GossipConfig config)
+    : overlay_(consumer_count, config), shuffle_every_(config.shuffle_every) {
+  LAGOVER_EXPECTS(config.shuffle_every >= 1);
+}
+
+std::optional<NodeId> GossipRandomOracle::sample_impl(NodeId querier,
+                                                      const Overlay& overlay,
+                                                      Rng& rng) {
+  if (++samples_since_shuffle_ >= shuffle_every_) {
+    overlay_.shuffle_views(overlay, rng);
+    samples_since_shuffle_ = 0;
+  }
+  // A walk can legitimately end back at its origin (even-length cycles);
+  // a real peer would simply launch another walker.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const auto endpoint = overlay_.random_walk(querier, overlay, rng);
+    if (endpoint.has_value()) return endpoint;
+  }
+  return std::nullopt;
+}
+
+}  // namespace lagover::gossip

@@ -1,0 +1,78 @@
+// Unstructured membership overlay with random walks — the paper's
+// suggested realization of Oracle Random ("if nodes participate in an
+// unstructured network, random walkers can be used to implement Oracle
+// Random"). Nodes keep a bounded partial view (random peers); a TTL
+// random walk over live views yields an approximately uniform sample
+// without any global state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/oracle.hpp"
+#include "core/types.hpp"
+
+namespace lagover::gossip {
+
+struct GossipConfig {
+  int view_size = 6;   ///< partial-view degree per node
+  int walk_ttl = 8;    ///< random-walk length for one sample
+  std::uint64_t seed = 1;
+  /// Periodic view repair: every `shuffle_every` samples each node
+  /// replaces one view entry with a random neighbour-of-neighbour
+  /// (a minimal Newscast/Cyclon-style shuffle keeping views fresh).
+  int shuffle_every = 64;
+};
+
+/// Partial-view membership graph over the consumers of one feed.
+class UnstructuredOverlay {
+ public:
+  UnstructuredOverlay(std::size_t consumer_count, GossipConfig config);
+
+  /// A node's current partial view (may contain offline peers until the
+  /// next repair touches them).
+  const std::vector<NodeId>& view(NodeId id) const;
+
+  /// TTL random walk starting at `start`, stepping only through peers
+  /// that are online in `overlay`; returns the endpoint, or nullopt when
+  /// the walk is stuck (no live neighbour).
+  std::optional<NodeId> random_walk(NodeId start, const Overlay& overlay,
+                                    Rng& rng) const;
+
+  /// One round of view shuffling: every online node swaps a random view
+  /// entry with a random entry of a random live neighbour, dropping
+  /// offline entries it notices. Keeps the graph connected under churn.
+  void shuffle_views(const Overlay& overlay, Rng& rng);
+
+  std::uint64_t walk_messages() const noexcept { return walk_messages_; }
+
+ private:
+  GossipConfig config_;
+  std::vector<std::vector<NodeId>> views_;  // index = NodeId (0 unused)
+  mutable std::uint64_t walk_messages_ = 0;
+};
+
+/// Oracle Random realized by random walks on the unstructured overlay.
+/// Approximately uniform; the deviation from the idealized
+/// DirectoryOracle(kRandom) is itself an experiment
+/// (bench_oracle_realizations).
+class GossipRandomOracle final : public Oracle {
+ public:
+  GossipRandomOracle(std::size_t consumer_count, GossipConfig config);
+
+  OracleKind kind() const noexcept override { return OracleKind::kRandom; }
+  const UnstructuredOverlay& membership() const noexcept { return overlay_; }
+
+ protected:
+  std::optional<NodeId> sample_impl(NodeId querier, const Overlay& overlay,
+                                    Rng& rng) override;
+
+ private:
+  UnstructuredOverlay overlay_;
+  int shuffle_every_;
+  int samples_since_shuffle_ = 0;
+};
+
+}  // namespace lagover::gossip

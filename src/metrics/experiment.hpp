@@ -1,0 +1,70 @@
+// Experiment harness shared by the bench binaries: runs repeated
+// construction trials (fresh seeds per trial), collects convergence
+// rounds and failure counts, and reports the median-of-N statistic the
+// paper uses (Section 5.1: "experiments were repeated 5 times and the
+// median performance was chosen").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "stats/sample.hpp"
+#include "stats/timeseries.hpp"
+
+namespace lagover {
+
+/// One construction run, described declaratively so trials can rebuild
+/// fresh engines.
+struct ExperimentSpec {
+  /// Builds the (trial-specific) population; receives the trial seed.
+  std::function<Population(std::uint64_t seed)> population;
+  /// Engine parameters; `seed` is overridden per trial.
+  EngineConfig config;
+  /// Optional churn model factory (fresh per trial); null = no churn.
+  std::function<std::unique_ptr<ChurnModel>()> churn;
+  int trials = 5;
+  Round max_rounds = 5000;
+  std::uint64_t base_seed = 1;
+  /// Record the satisfied-fraction time series of each trial.
+  bool record_series = false;
+  /// With churn the overlay is never "done"; run exactly max_rounds and
+  /// measure the first round reaching full satisfaction plus steady-state
+  /// behaviour instead of stopping at convergence.
+  bool run_full_horizon = false;
+};
+
+struct TrialResult {
+  bool converged = false;
+  Round convergence_round = 0;  ///< meaningful when converged
+  double final_fraction = 0.0;
+  std::uint64_t maintenance_detaches = 0;
+  std::uint64_t interactions = 0;
+  std::uint64_t oracle_queries = 0;
+  std::uint64_t oracle_empty = 0;
+  TimeSeries fraction_series;  ///< populated when record_series
+};
+
+struct ExperimentResult {
+  std::vector<TrialResult> trials;
+  Sample convergence_rounds;  ///< converged trials only
+  int failures = 0;           ///< trials that never fully satisfied
+
+  /// Median convergence round over converged trials; negative when every
+  /// trial failed (the benches print "DNC" — did not converge).
+  double median_rounds() const;
+  double min_rounds() const;
+  double max_rounds_observed() const;
+  bool any_converged() const { return !convergence_rounds.empty(); }
+};
+
+ExperimentResult run_experiment(const ExperimentSpec& spec);
+
+/// Formats a median cell: the number, or "DNC" when no trial converged,
+/// with "(k/n)" appended when only some trials converged.
+std::string format_convergence_cell(const ExperimentResult& result);
+
+}  // namespace lagover

@@ -1,0 +1,54 @@
+#include "metrics/tree_metrics.hpp"
+
+#include <algorithm>
+
+namespace lagover {
+
+TreeMetrics compute_tree_metrics(const Overlay& overlay) {
+  TreeMetrics metrics;
+  metrics.online = overlay.online_count();
+  metrics.satisfied = overlay.satisfied_count();
+  metrics.source_children = overlay.children(kSourceId).size();
+
+  long depth_sum = 0;
+  long slack_sum = 0;
+  bool first_slack = true;
+  long capacity_total = 0;
+  long capacity_used = 0;
+
+  for (NodeId id = 1; id < overlay.node_count(); ++id) {
+    if (!overlay.online(id)) continue;
+    if (!overlay.has_parent(id)) ++metrics.detached_groups;
+    if (!overlay.connected(id)) continue;
+    ++metrics.connected;
+    const Delay depth = overlay.delay_at(id);
+    depth_sum += depth;
+    metrics.max_depth = std::max(metrics.max_depth, depth);
+    if (static_cast<std::size_t>(depth) >= metrics.depth_histogram.size())
+      metrics.depth_histogram.resize(static_cast<std::size_t>(depth) + 1, 0);
+    ++metrics.depth_histogram[static_cast<std::size_t>(depth)];
+
+    const int slack = overlay.latency_of(id) - depth;
+    slack_sum += slack;
+    if (first_slack || slack < metrics.min_slack) {
+      metrics.min_slack = slack;
+      first_slack = false;
+    }
+
+    capacity_total += overlay.fanout_of(id);
+    capacity_used += static_cast<long>(overlay.children(id).size());
+  }
+
+  if (metrics.connected > 0) {
+    metrics.mean_depth =
+        static_cast<double>(depth_sum) / static_cast<double>(metrics.connected);
+    metrics.mean_slack =
+        static_cast<double>(slack_sum) / static_cast<double>(metrics.connected);
+  }
+  if (capacity_total > 0)
+    metrics.fanout_utilization = static_cast<double>(capacity_used) /
+                                 static_cast<double>(capacity_total);
+  return metrics;
+}
+
+}  // namespace lagover

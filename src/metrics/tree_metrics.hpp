@@ -1,0 +1,37 @@
+// Structural metrics of a LagOver snapshot: depth and slack
+// distributions, fanout utilization, and dissemination-tree shape.
+// Used by the benches to report *why* one configuration beats another
+// (e.g. hybrid's shallower trees under BiCorr).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/overlay.hpp"
+
+namespace lagover {
+
+struct TreeMetrics {
+  std::size_t online = 0;
+  std::size_t connected = 0;        ///< nodes with Root() == source
+  std::size_t satisfied = 0;
+  std::size_t detached_groups = 0;  ///< parentless roots other than source
+  std::size_t source_children = 0;  ///< direct pollers (source load proxy)
+
+  int max_depth = 0;        ///< over connected nodes
+  double mean_depth = 0.0;  ///< over connected nodes
+  /// depth_histogram[d] = number of connected nodes at depth d.
+  std::vector<std::size_t> depth_histogram;
+
+  /// Slack = l_i - DelayAt(i) over connected nodes; negative = violated.
+  int min_slack = 0;
+  double mean_slack = 0.0;
+
+  /// Used child slots / total fanout, over connected non-leaf-capacity
+  /// nodes (how much of the donated capacity the tree consumes).
+  double fanout_utilization = 0.0;
+};
+
+TreeMetrics compute_tree_metrics(const Overlay& overlay);
+
+}  // namespace lagover

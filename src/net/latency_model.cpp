@@ -1,0 +1,24 @@
+#include "net/latency_model.hpp"
+
+#include <cmath>
+
+namespace lagover::net {
+
+CoordinateLatency::CoordinateLatency(std::size_t max_addresses, double base,
+                                     double scale, std::uint64_t seed)
+    : base_(base), scale_(scale) {
+  LAGOVER_EXPECTS(base >= 0.0 && scale >= 0.0);
+  Rng rng(seed);
+  points_.reserve(max_addresses);
+  for (std::size_t i = 0; i < max_addresses; ++i)
+    points_.push_back({rng.uniform01(), rng.uniform01()});
+}
+
+double CoordinateLatency::latency(Address from, Address to, Rng&) {
+  LAGOVER_EXPECTS(from < points_.size() && to < points_.size());
+  const double dx = points_[from].x - points_[to].x;
+  const double dy = points_[from].y - points_[to].y;
+  return base_ + scale_ * std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace lagover::net

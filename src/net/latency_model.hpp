@@ -1,0 +1,74 @@
+// Link-latency models for the simulated network. The paper's evaluation
+// abstracts latency as overlay hops; the network substrate lets the
+// feed-dissemination and DHT experiments attach concrete per-message
+// delays (constant, jittered, or geometric from synthetic coordinates).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace lagover::net {
+
+/// Network endpoint identifier (distinct from overlay NodeId: the DHT
+/// directory ring and the consumers live in different address spaces).
+using Address = std::uint32_t;
+
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  /// One-way delivery delay for a message from -> to, in time units.
+  virtual double latency(Address from, Address to, Rng& rng) = 0;
+};
+
+/// Fixed one-way delay on every link.
+class ConstantLatency final : public LatencyModel {
+ public:
+  explicit ConstantLatency(double delay) : delay_(delay) {
+    LAGOVER_EXPECTS(delay >= 0.0);
+  }
+  double latency(Address, Address, Rng&) override { return delay_; }
+
+ private:
+  double delay_;
+};
+
+/// Uniformly jittered delay in [lo, hi).
+class UniformLatency final : public LatencyModel {
+ public:
+  UniformLatency(double lo, double hi) : lo_(lo), hi_(hi) {
+    LAGOVER_EXPECTS(lo >= 0.0 && hi >= lo);
+  }
+  double latency(Address, Address, Rng& rng) override {
+    return rng.uniform_real(lo_, hi_);
+  }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Synthetic-coordinate model: each address is assigned a random point
+/// in the unit square; latency = base + scale * euclidean distance.
+/// A cheap stand-in for geographic RTT structure (triangle inequality
+/// holds, near nodes are fast).
+class CoordinateLatency final : public LatencyModel {
+ public:
+  CoordinateLatency(std::size_t max_addresses, double base, double scale,
+                    std::uint64_t seed);
+  double latency(Address from, Address to, Rng& rng) override;
+
+ private:
+  struct Point {
+    double x;
+    double y;
+  };
+  std::vector<Point> points_;
+  double base_;
+  double scale_;
+};
+
+}  // namespace lagover::net

@@ -1,0 +1,100 @@
+// Simulated message-passing network on top of the discrete-event kernel.
+// Messages are delivered asynchronously after a LatencyModel-determined
+// delay; per-address traffic counters feed the load experiments
+// (the RSS "bandwidth overload problem" is ultimately a message-count
+// argument).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "net/latency_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace lagover::net {
+
+struct TrafficCounters {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+/// Typed network: Message is any copyable payload type. Undeliverable
+/// messages (no registered handler at arrival time) are dropped and
+/// counted, modelling crashes mid-flight.
+template <typename Message>
+class Network {
+ public:
+  using Handler = std::function<void(Address from, const Message&)>;
+
+  Network(Simulator& sim, std::unique_ptr<LatencyModel> latency,
+          std::uint64_t seed)
+      : sim_(sim), latency_(std::move(latency)), rng_(seed) {
+    LAGOVER_EXPECTS(latency_ != nullptr);
+  }
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers (or replaces) the message handler for an address.
+  void register_node(Address address, Handler handler) {
+    LAGOVER_EXPECTS(handler != nullptr);
+    handlers_[address] = std::move(handler);
+  }
+
+  /// Removes the handler; in-flight messages to it will be dropped.
+  void deregister_node(Address address) { handlers_.erase(address); }
+
+  bool registered(Address address) const {
+    return handlers_.count(address) != 0;
+  }
+
+  /// Sends a message; delivery is scheduled after the model latency.
+  /// `size_bytes` is accounting-only (0 = count messages, not bytes).
+  void send(Address from, Address to, Message message,
+            std::size_t size_bytes = 0) {
+    auto& sent = counters_[from];
+    ++sent.messages_sent;
+    sent.bytes_sent += size_bytes;
+    ++total_messages_;
+    const double delay = latency_->latency(from, to, rng_);
+    sim_.schedule_after(
+        delay, [this, from, to, message = std::move(message), size_bytes] {
+          const auto it = handlers_.find(to);
+          if (it == handlers_.end()) {
+            ++dropped_;
+            return;
+          }
+          auto& received = counters_[to];
+          ++received.messages_received;
+          received.bytes_received += size_bytes;
+          it->second(from, message);
+        });
+  }
+
+  const TrafficCounters& counters(Address address) const {
+    static const TrafficCounters kEmpty{};
+    const auto it = counters_.find(address);
+    return it == counters_.end() ? kEmpty : it->second;
+  }
+
+  std::uint64_t total_messages() const noexcept { return total_messages_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  Simulator& simulator() noexcept { return sim_; }
+
+ private:
+  Simulator& sim_;
+  std::unique_ptr<LatencyModel> latency_;
+  Rng rng_;
+  std::unordered_map<Address, Handler> handlers_;
+  std::unordered_map<Address, TrafficCounters> counters_;
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace lagover::net

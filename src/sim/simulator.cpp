@@ -1,0 +1,88 @@
+#include "sim/simulator.hpp"
+
+#include <limits>
+#include <utility>
+
+namespace lagover {
+
+EventId Simulator::schedule_at(SimTime when, Action action) {
+  LAGOVER_EXPECTS(when >= now_);
+  LAGOVER_EXPECTS(action != nullptr);
+  const EventId id = next_id_++;
+  actions_.emplace(id, std::move(action));
+  queue_.push(Entry{when, next_seq_++, id});
+  return id;
+}
+
+EventId Simulator::schedule_after(SimTime delay, Action action) {
+  LAGOVER_EXPECTS(delay >= 0.0);
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+bool Simulator::cancel(EventId id) {
+  if (cancelled_.count(id) != 0) return false;  // already cancelled
+  const bool was_periodic = periodics_.erase(id) != 0;
+  if (actions_.erase(id) == 0 && !was_periodic) return false;
+  cancelled_.insert(id);
+  return true;
+}
+
+bool Simulator::step(SimTime horizon) {
+  while (!queue_.empty()) {
+    const Entry top = queue_.top();
+    if (cancelled_.count(top.id) != 0) {
+      queue_.pop();
+      cancelled_.erase(top.id);
+      continue;
+    }
+    if (top.when > horizon) return false;
+    queue_.pop();
+    now_ = top.when;
+
+    const auto periodic_it = periodics_.find(top.id);
+    if (periodic_it != periodics_.end()) {
+      // Re-arm before firing, and fire a copy so the action may safely
+      // cancel its own timer (which erases the map entry mid-call).
+      queue_.push(Entry{now_ + periodic_it->second.period, next_seq_++, top.id});
+      Action action = periodic_it->second.action;
+      ++executed_;
+      action();
+      return true;
+    }
+
+    auto it = actions_.find(top.id);
+    LAGOVER_ASSERT(it != actions_.end());
+    Action action = std::move(it->second);
+    actions_.erase(it);
+    ++executed_;
+    action();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::run_until(SimTime horizon) {
+  std::uint64_t fired = 0;
+  while (step(horizon)) ++fired;
+  // Advance the clock to the horizon so callers' time arithmetic stays
+  // simple even when the last event fell short of it.
+  if (now_ < horizon) now_ = horizon;
+  return fired;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t fired = 0;
+  while (step(std::numeric_limits<SimTime>::infinity())) ++fired;
+  return fired;
+}
+
+EventId Simulator::schedule_periodic(SimTime period, Action action) {
+  LAGOVER_EXPECTS(period > 0.0);
+  LAGOVER_EXPECTS(action != nullptr);
+  const EventId id = next_id_++;
+  periodics_.emplace(id, Periodic{period, std::move(action)});
+  queue_.push(Entry{now_ + period, next_seq_++, id});
+  return id;
+}
+
+}  // namespace lagover

@@ -1,0 +1,28 @@
+// Bootstrap confidence intervals for the small-sample experiment
+// summaries (the paper uses the median of 5 runs; we additionally report
+// uncertainty so shape comparisons are honest).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace lagover {
+
+struct ConfidenceInterval {
+  double lower;
+  double point;
+  double upper;
+};
+
+/// Percentile-bootstrap CI for the median of `values`.
+ConfidenceInterval bootstrap_median_ci(const std::vector<double>& values,
+                                       double confidence, int resamples,
+                                       Rng& rng);
+
+/// Percentile-bootstrap CI for the mean of `values`.
+ConfidenceInterval bootstrap_mean_ci(const std::vector<double>& values,
+                                     double confidence, int resamples,
+                                     Rng& rng);
+
+}  // namespace lagover

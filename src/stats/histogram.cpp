@@ -1,0 +1,63 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace lagover {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins) {
+  LAGOVER_EXPECTS(hi > lo);
+  LAGOVER_EXPECTS(bins > 0);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  if (bin >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[bin];
+}
+
+std::uint64_t Histogram::count_in_bin(std::size_t bin) const {
+  LAGOVER_EXPECTS(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_lower(std::size_t bin) const {
+  LAGOVER_EXPECTS(bin < counts_.size());
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_upper(std::size_t bin) const {
+  return bin_lower(bin) + width_;
+}
+
+std::string Histogram::to_string(std::size_t max_bar_width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  char label[96];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    std::snprintf(label, sizeof label, "[%8.1f, %8.1f) ", bin_lower(b),
+                  bin_upper(b));
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[b]) / static_cast<double>(peak) *
+        static_cast<double>(max_bar_width));
+    out << label << std::string(bar, '#') << ' ' << counts_[b] << '\n';
+  }
+  if (underflow_ != 0) out << "underflow: " << underflow_ << '\n';
+  if (overflow_ != 0) out << "overflow: " << overflow_ << '\n';
+  return out.str();
+}
+
+}  // namespace lagover

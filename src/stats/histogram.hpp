@@ -1,0 +1,40 @@
+// Fixed-width histogram used for convergence-time distributions
+// (paper Figure 2 reports the spread of construction latency).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lagover {
+
+/// Histogram over [lo, hi) with uniform bin width; values outside the
+/// range land in saturating under/overflow bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::uint64_t count_in_bin(std::size_t bin) const;
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::uint64_t total() const noexcept { return total_; }
+
+  double bin_lower(std::size_t bin) const;
+  double bin_upper(std::size_t bin) const;
+
+  /// ASCII rendering ("[lo, hi) ###### n") for bench output.
+  std::string to_string(std::size_t max_bar_width = 40) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace lagover

@@ -1,0 +1,84 @@
+#include "stats/sample.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace lagover {
+
+void Sample::add(double x) {
+  values_.push_back(x);
+  sorted_valid_ = false;
+}
+
+void Sample::add_all(const std::vector<double>& xs) {
+  values_.insert(values_.end(), xs.begin(), xs.end());
+  sorted_valid_ = false;
+}
+
+double Sample::mean() const {
+  LAGOVER_EXPECTS(!values_.empty());
+  return std::accumulate(values_.begin(), values_.end(), 0.0) /
+         static_cast<double>(values_.size());
+}
+
+double Sample::min() const {
+  LAGOVER_EXPECTS(!values_.empty());
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Sample::max() const {
+  LAGOVER_EXPECTS(!values_.empty());
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Sample::quantile(double q) const {
+  LAGOVER_EXPECTS(!values_.empty());
+  LAGOVER_EXPECTS(q >= 0.0 && q <= 1.0);
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_.front();
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double Sample::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double x : values_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Sample::trimmed_mean(std::size_t trim_each) const {
+  LAGOVER_EXPECTS(values_.size() > 2 * trim_each);
+  ensure_sorted();
+  const auto first = sorted_.begin() + static_cast<std::ptrdiff_t>(trim_each);
+  const auto last = sorted_.end() - static_cast<std::ptrdiff_t>(trim_each);
+  return std::accumulate(first, last, 0.0) /
+         static_cast<double>(last - first);
+}
+
+std::vector<double> Sample::sorted() const {
+  ensure_sorted();
+  return sorted_;
+}
+
+void Sample::clear() noexcept {
+  values_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+}
+
+void Sample::ensure_sorted() const {
+  if (sorted_valid_) return;
+  sorted_ = values_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+}  // namespace lagover

@@ -1,0 +1,50 @@
+// Retained-sample statistics: exact quantiles, median, trimmed means.
+// Experiments in the paper report the *median of 5 repetitions*
+// (Section 5.1), so quantile support is a first-class need.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lagover {
+
+/// Collects observations and answers exact order statistics. Values are
+/// kept unsorted until queried; queries sort lazily and cache.
+class Sample {
+ public:
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t size() const noexcept { return values_.size(); }
+  bool empty() const noexcept { return values_.empty(); }
+
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// Quantile with linear interpolation between order statistics,
+  /// q in [0, 1]. Precondition: non-empty.
+  double quantile(double q) const;
+
+  double median() const { return quantile(0.5); }
+
+  /// Standard deviation (sample, n-1 denominator); 0 for n < 2.
+  double stddev() const;
+
+  /// Mean after dropping the lowest and highest `trim_each` observations.
+  double trimmed_mean(std::size_t trim_each) const;
+
+  const std::vector<double>& values() const noexcept { return values_; }
+  std::vector<double> sorted() const;
+
+  void clear() noexcept;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace lagover

@@ -1,0 +1,11 @@
+#include "stats/summary.hpp"
+
+#include <cmath>
+
+namespace lagover {
+
+double RunningSummary::stddev() const noexcept {
+  return std::sqrt(sample_variance());
+}
+
+}  // namespace lagover

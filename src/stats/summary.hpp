@@ -1,0 +1,66 @@
+// Streaming summary statistics (Welford's algorithm): count, mean,
+// variance, min, max — used by metrics recorders that cannot afford to
+// retain every observation.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace lagover {
+
+/// Numerically stable streaming mean/variance with min/max tracking.
+class RunningSummary {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  void merge(const RunningSummary& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double total = static_cast<double>(count_ + other.count_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                           static_cast<double>(other.count_) / total;
+    mean_ += delta * static_cast<double>(other.count_) / total;
+    count_ += other.count_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+  double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+
+  /// Population variance; 0 for fewer than two samples.
+  double variance() const noexcept {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+  }
+
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double sample_variance() const noexcept {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+
+  double stddev() const noexcept;
+
+  void reset() noexcept { *this = RunningSummary{}; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace lagover

@@ -1,0 +1,87 @@
+#include "stats/timeseries.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace lagover {
+
+void TimeSeries::add(double t, double value) {
+  LAGOVER_EXPECTS(points_.empty() || t >= points_.back().t);
+  points_.push_back({t, value});
+}
+
+double TimeSeries::time_at(std::size_t i) const {
+  LAGOVER_EXPECTS(i < points_.size());
+  return points_[i].t;
+}
+
+double TimeSeries::value_at(std::size_t i) const {
+  LAGOVER_EXPECTS(i < points_.size());
+  return points_[i].value;
+}
+
+double TimeSeries::mean_after(double t_from) const {
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (const auto& p : points_) {
+    if (p.t >= t_from) {
+      acc += p.value;
+      ++n;
+    }
+  }
+  LAGOVER_EXPECTS(n > 0);
+  return acc / static_cast<double>(n);
+}
+
+double TimeSeries::min_after(double t_from) const {
+  bool found = false;
+  double best = 0.0;
+  for (const auto& p : points_) {
+    if (p.t >= t_from && (!found || p.value < best)) {
+      best = p.value;
+      found = true;
+    }
+  }
+  LAGOVER_EXPECTS(found);
+  return best;
+}
+
+double TimeSeries::first_time_at_least(double threshold) const {
+  for (const auto& p : points_)
+    if (p.value >= threshold) return p.t;
+  return -1.0;
+}
+
+double TimeSeries::step_value_at(double t) const {
+  LAGOVER_EXPECTS(!points_.empty());
+  LAGOVER_EXPECTS(t >= points_.front().t);
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](double lhs, const Point& rhs) { return lhs < rhs.t; });
+  return (it - 1)->value;
+}
+
+TimeSeries TimeSeries::downsample(std::size_t max_points) const {
+  LAGOVER_EXPECTS(max_points >= 2);
+  if (points_.size() <= max_points) return *this;
+  TimeSeries out;
+  const double t0 = points_.front().t;
+  const double t1 = points_.back().t;
+  for (std::size_t i = 0; i < max_points; ++i) {
+    const double t = t0 + (t1 - t0) * static_cast<double>(i) /
+                              static_cast<double>(max_points - 1);
+    out.add(t, step_value_at(t));
+  }
+  return out;
+}
+
+std::string TimeSeries::to_csv(const std::string& value_name) const {
+  std::ostringstream out;
+  out << "t," << value_name << '\n';
+  for (const auto& p : points_) out << p.t << ',' << p.value << '\n';
+  return out.str();
+}
+
+}  // namespace lagover

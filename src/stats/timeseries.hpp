@@ -1,0 +1,51 @@
+// (time, value) series with resampling helpers. Used for
+// satisfied-fraction-over-time curves in the churn experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lagover {
+
+/// Append-only time series with non-decreasing timestamps.
+class TimeSeries {
+ public:
+  void add(double t, double value);
+
+  std::size_t size() const noexcept { return points_.size(); }
+  bool empty() const noexcept { return points_.empty(); }
+
+  double time_at(std::size_t i) const;
+  double value_at(std::size_t i) const;
+
+  /// Mean of values with t >= t_from (e.g. steady-state mean after
+  /// a burn-in period). Precondition: at least one qualifying point.
+  double mean_after(double t_from) const;
+
+  /// Minimum value with t >= t_from.
+  double min_after(double t_from) const;
+
+  /// First time at which value >= threshold; negative if never.
+  double first_time_at_least(double threshold) const;
+
+  /// Value at the latest point with time <= t (step interpolation);
+  /// precondition: series non-empty and t >= first timestamp.
+  double step_value_at(double t) const;
+
+  /// Down-samples to at most `max_points` evenly spaced points
+  /// (step semantics) for compact printing.
+  TimeSeries downsample(std::size_t max_points) const;
+
+  /// CSV body ("t,value" lines).
+  std::string to_csv(const std::string& value_name = "value") const;
+
+ private:
+  struct Point {
+    double t;
+    double value;
+  };
+  std::vector<Point> points_;
+};
+
+}  // namespace lagover

@@ -1,0 +1,46 @@
+#include "workload/adversarial.hpp"
+
+#include "common/error.hpp"
+
+namespace lagover {
+
+Population paper_printed_counterexample() {
+  Population population;
+  population.source_fanout = 1;
+  population.consumers = {
+      NodeSpec{1, Constraints{1, 1}},  // 1_1^1
+      NodeSpec{2, Constraints{1, 2}},  // 2_1^2
+      NodeSpec{3, Constraints{2, 4}},  // 3_2^4
+      NodeSpec{4, Constraints{1, 3}},  // 4_1^3
+      NodeSpec{5, Constraints{0, 3}},  // 5_0^3
+  };
+  return population;
+}
+
+Population corrected_counterexample() {
+  Population population;
+  population.source_fanout = 1;
+  population.consumers = {
+      NodeSpec{1, Constraints{1, 1}},  // the gate: must poll the source
+      NodeSpec{2, Constraints{2, 4}},  // the hub: lax latency, the fanout
+      NodeSpec{3, Constraints{0, 3}},  // must sit under the hub
+      NodeSpec{4, Constraints{1, 3}},  // must sit under the hub
+      NodeSpec{5, Constraints{0, 4}},  // fits under node 4
+  };
+  return population;
+}
+
+Population adversarial_family(int k) {
+  LAGOVER_EXPECTS(k >= 1);
+  Population population;
+  population.source_fanout = 1;
+  population.consumers.push_back(NodeSpec{1, Constraints{1, 1}});  // gate
+  population.consumers.push_back(NodeSpec{2, Constraints{k, 4}});  // hub
+  for (int i = 0; i < k; ++i) {
+    const auto id = static_cast<NodeId>(3 + i);
+    population.consumers.push_back(NodeSpec{id, Constraints{0, 3}});
+  }
+  return population;
+}
+
+}  // namespace lagover

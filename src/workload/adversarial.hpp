@@ -1,0 +1,39 @@
+// Adversarial workloads (paper Section 3.3.1): instances that are
+// feasible — a LagOver satisfying every latency and fanout constraint
+// exists — yet violate the sufficient condition, and whose only feasible
+// configurations place a lax-latency, high-fanout node upstream of
+// stricter-latency nodes. The greedy algorithm's ordering invariant
+// (parents at least as strict as children) makes such configurations
+// unreachable; the hybrid algorithm finds them.
+//
+// Note on the paper's printed instance {0_1, 1_1^1, 2_1^2, 3_2^4, 4_1^3,
+// 5_0^3}: under the paper's own delay-equals-depth accounting
+// (established by the Section 3.2 toy example) its claimed configuration
+// 0->1->2->3->{4,5} puts nodes 4 and 5 at delay 4 against l = 3, so the
+// instance as printed is infeasible — an off-by-one slip. We keep the
+// printed instance for regression tests of the exact feasibility checker
+// and provide a corrected instance with the same fanout multiset that
+// preserves the intended phenomenon.
+#pragma once
+
+#include "core/types.hpp"
+
+namespace lagover {
+
+/// The Section 3.3.1 instance exactly as printed (infeasible under
+/// delay-equals-depth; see header comment).
+Population paper_printed_counterexample();
+
+/// Corrected 5-consumer instance, fanouts {1, 2, 0, 1, 0} like the
+/// paper's: 1_1^1, 2_2^4, 3_0^3, 4_1^3, 5_0^4. Unique feasible shape is
+/// 0 -> 1 -> 2 -> {3, 4}, 5 under 4 — node 2 (l = 4) must parent nodes
+/// 3 and 4 (l = 3), which greedy can never establish.
+Population corrected_counterexample();
+
+/// Scalable family: a latency-1 gate at the source, one hub with fanout
+/// k but lax latency 4, and k zero-fanout leaves with latency 3. The
+/// only feasible shape is 0 -> gate -> hub -> leaves; greedy cannot
+/// converge for any k >= 1, hybrid can.
+Population adversarial_family(int k);
+
+}  // namespace lagover

@@ -1,0 +1,87 @@
+#include "workload/churn.hpp"
+
+#include "common/error.hpp"
+
+namespace lagover {
+
+BernoulliChurn::BernoulliChurn(double p_leave, double p_join)
+    : p_leave_(p_leave), p_join_(p_join) {
+  LAGOVER_EXPECTS(p_leave >= 0.0 && p_leave <= 1.0);
+  LAGOVER_EXPECTS(p_join >= 0.0 && p_join <= 1.0);
+}
+
+ChurnModel::Decision BernoulliChurn::decide(Round /*round*/,
+                                            const Overlay& overlay,
+                                            Rng& rng) {
+  Decision decision;
+  for (NodeId id = 1; id < overlay.node_count(); ++id) {
+    if (overlay.online(id)) {
+      if (rng.bernoulli(p_leave_)) decision.leave.push_back(id);
+    } else {
+      if (rng.bernoulli(p_join_)) decision.join.push_back(id);
+    }
+  }
+  return decision;
+}
+
+MassFailureChurn::MassFailureChurn(Round fail_round, double fail_fraction,
+                                   double p_join)
+    : fail_round_(fail_round), fail_fraction_(fail_fraction), p_join_(p_join) {
+  LAGOVER_EXPECTS(fail_fraction >= 0.0 && fail_fraction <= 1.0);
+  LAGOVER_EXPECTS(p_join >= 0.0 && p_join <= 1.0);
+}
+
+ChurnModel::Decision MassFailureChurn::decide(Round round,
+                                              const Overlay& overlay,
+                                              Rng& rng) {
+  Decision decision;
+  if (round == fail_round_) {
+    std::vector<NodeId> online;
+    for (NodeId id = 1; id < overlay.node_count(); ++id)
+      if (overlay.online(id)) online.push_back(id);
+    rng.shuffle(online);
+    const auto kill = static_cast<std::size_t>(
+        fail_fraction_ * static_cast<double>(online.size()));
+    decision.leave.assign(online.begin(),
+                          online.begin() + static_cast<std::ptrdiff_t>(kill));
+    return decision;
+  }
+  if (round > fail_round_) {
+    for (NodeId id = 1; id < overlay.node_count(); ++id)
+      if (!overlay.online(id) && rng.bernoulli(p_join_))
+        decision.join.push_back(id);
+  }
+  return decision;
+}
+
+FlashCrowdChurn::FlashCrowdChurn(Round join_round)
+    : join_round_(join_round) {}
+
+ChurnModel::Decision FlashCrowdChurn::decide(Round round,
+                                             const Overlay& overlay,
+                                             Rng& /*rng*/) {
+  Decision decision;
+  if (round != join_round_) return decision;
+  for (NodeId id = 1; id < overlay.node_count(); ++id)
+    if (!overlay.online(id)) decision.join.push_back(id);
+  return decision;
+}
+
+WindowedChurn::WindowedChurn(Round active_rounds, double p_leave,
+                             double p_join)
+    : active_rounds_(active_rounds), inner_(p_leave, p_join) {}
+
+ChurnModel::Decision WindowedChurn::decide(Round round, const Overlay& overlay,
+                                           Rng& rng) {
+  if (round > active_rounds_) {
+    // Churn phase over: everyone still offline rejoins so the system can
+    // reconverge with the full population.
+    Decision decision;
+    for (NodeId id = 1; id < overlay.node_count(); ++id)
+      if (!overlay.online(id)) decision.join.push_back(id);
+    return decision;
+  }
+  return inner_.decide(round, overlay, rng);
+}
+
+}  // namespace lagover

@@ -1,0 +1,71 @@
+// Membership-dynamics models (paper Section 5.3: "online peers leave
+// the network with a probability 0.01, while offline peers re-join with
+// a probability 0.2" per time step).
+#pragma once
+
+#include <cstdint>
+
+#include "core/engine.hpp"
+
+namespace lagover {
+
+/// Independent per-node Bernoulli churn each round.
+class BernoulliChurn final : public ChurnModel {
+ public:
+  explicit BernoulliChurn(double p_leave = 0.01, double p_join = 0.2);
+
+  Decision decide(Round round, const Overlay& overlay, Rng& rng) override;
+
+  double p_leave() const noexcept { return p_leave_; }
+  double p_join() const noexcept { return p_join_; }
+
+ private:
+  double p_leave_;
+  double p_join_;
+};
+
+/// Failure-injection model: at `fail_round` a uniformly chosen fraction
+/// of the online population leaves at once; afterwards offline nodes
+/// rejoin with p_join per round. Used to study recovery from correlated
+/// failures (an extension beyond the paper's steady churn).
+class MassFailureChurn final : public ChurnModel {
+ public:
+  MassFailureChurn(Round fail_round, double fail_fraction,
+                   double p_join = 0.2);
+
+  Decision decide(Round round, const Overlay& overlay, Rng& rng) override;
+
+ private:
+  Round fail_round_;
+  double fail_fraction_;
+  double p_join_;
+};
+
+/// Flash crowd: every offline node joins at once at `join_round`
+/// (experiments pre-set part of the population offline). Measures how
+/// fast an established LagOver absorbs a burst of arrivals.
+class FlashCrowdChurn final : public ChurnModel {
+ public:
+  explicit FlashCrowdChurn(Round join_round);
+
+  Decision decide(Round round, const Overlay& overlay, Rng& rng) override;
+
+ private:
+  Round join_round_;
+};
+
+/// Churn that stops after `active_rounds` rounds — lets experiments
+/// measure reconvergence time after a churn phase ends.
+class WindowedChurn final : public ChurnModel {
+ public:
+  WindowedChurn(Round active_rounds, double p_leave = 0.01,
+                double p_join = 0.2);
+
+  Decision decide(Round round, const Overlay& overlay, Rng& rng) override;
+
+ private:
+  Round active_rounds_;
+  BernoulliChurn inner_;
+};
+
+}  // namespace lagover

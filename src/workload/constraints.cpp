@@ -1,0 +1,114 @@
+#include "workload/constraints.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/sufficiency.hpp"
+
+namespace lagover {
+
+std::string to_string(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kTf1: return "Tf1";
+    case WorkloadKind::kRand: return "Rand";
+    case WorkloadKind::kBiCorr: return "BiCorr";
+    case WorkloadKind::kBiUnCorr: return "BiUnCorr";
+  }
+  return "?";
+}
+
+namespace {
+
+int auto_source_fanout(WorkloadKind kind, const WorkloadParams& params) {
+  if (params.source_fanout > 0) return params.source_fanout;
+  if (kind == WorkloadKind::kTf1) return params.tf1_fanout;
+  return std::max<int>(3, static_cast<int>(params.peers / 8));
+}
+
+Population generate_tf1(const WorkloadParams& params) {
+  // Level l holds up to f^l nodes (all fanout f), so the whole fanout of
+  // level l-1 is needed to host level l: with 120 peers and f = 3 this
+  // is exactly the paper's 3 / 9 / 27 / 81 at l = 1..4.
+  Population population;
+  population.source_fanout = auto_source_fanout(WorkloadKind::kTf1, params);
+  const int f = params.tf1_fanout;
+  LAGOVER_EXPECTS(f >= 1);
+  NodeId next = 1;
+  Delay level = 1;
+  // Capacity of the current level given everything above is full.
+  long level_capacity = population.source_fanout;
+  while (population.consumers.size() < params.peers) {
+    long remaining = level_capacity;
+    level_capacity = 0;
+    while (remaining-- > 0 && population.consumers.size() < params.peers) {
+      population.consumers.push_back(
+          NodeSpec{next++, Constraints{f, level}});
+      level_capacity += f;
+    }
+    ++level;
+  }
+  return population;
+}
+
+int draw_bimodal_fanout(Rng& rng, const WorkloadParams& params, bool high) {
+  return high ? static_cast<int>(rng.uniform_int(params.high_fanout_min,
+                                                 params.high_fanout_max))
+              : static_cast<int>(rng.uniform_int(params.low_fanout_min,
+                                                 params.low_fanout_max));
+}
+
+Population draw_once(WorkloadKind kind, const WorkloadParams& params,
+                     Rng& rng) {
+  Population population;
+  population.source_fanout = auto_source_fanout(kind, params);
+  population.consumers.reserve(params.peers);
+  for (NodeId id = 1; id <= params.peers; ++id) {
+    const auto latency =
+        static_cast<Delay>(rng.uniform_int(1, params.max_latency));
+    int fanout = 0;
+    switch (kind) {
+      case WorkloadKind::kRand:
+        fanout = static_cast<int>(rng.uniform_int(0, params.rand_fanout_max));
+        break;
+      case WorkloadKind::kBiCorr:
+        // Worst case: strict-latency peers are also the low-capacity
+        // (modem) peers.
+        fanout = draw_bimodal_fanout(
+            rng, params,
+            latency >= params.bicorr_strict_threshold &&
+                rng.bernoulli(params.high_fanout_probability));
+        break;
+      case WorkloadKind::kBiUnCorr:
+        fanout = draw_bimodal_fanout(
+            rng, params, rng.bernoulli(params.high_fanout_probability));
+        break;
+      case WorkloadKind::kTf1:
+        LAGOVER_ASSERT_MSG(false, "Tf1 is deterministic");
+    }
+    population.consumers.push_back(NodeSpec{id, Constraints{fanout, latency}});
+  }
+  return population;
+}
+
+}  // namespace
+
+Population generate_workload(WorkloadKind kind, const WorkloadParams& params) {
+  LAGOVER_EXPECTS(params.peers >= 1);
+  if (kind == WorkloadKind::kTf1) {
+    Population population = generate_tf1(params);
+    LAGOVER_ASSERT_MSG(sufficiency_condition(population).holds,
+                       "Tf1 violates its own sufficiency by construction");
+    return population;
+  }
+  Rng rng(params.seed);
+  for (int attempt = 0; attempt < params.max_retries; ++attempt) {
+    Population population = draw_once(kind, params, rng);
+    if (sufficiency_condition(population).holds) return population;
+  }
+  throw InvalidState("no sufficient " + to_string(kind) +
+                     " instance found within retry budget; raise "
+                     "source_fanout or max_retries");
+}
+
+}  // namespace lagover

@@ -1,0 +1,59 @@
+// Topological-constraint workload generators (paper Section 4.1).
+//
+//   Tf1      "Use full available capacity": uniform fanout f, and the
+//            latency classes sized f, f^2, f^3, ... so every upstream
+//            slot is needed (3/9/27/81 at 120 peers with f = 3).
+//   Rand     uncorrelated random latency and fanout.
+//   BiCorr   bimodal fanout (modem vs broadband) where the
+//            latency-strict peers (l below a threshold) are also the
+//            low-fanout ones — the adversarial correlation.
+//   BiUnCorr bimodal fanout uncorrelated with latency.
+//
+// The paper assumes generated populations meet the Section 3.3
+// sufficiency condition; generators resample until it holds (and the
+// exact feasibility witness exists), so every experiment starts from a
+// constructible instance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace lagover {
+
+enum class WorkloadKind { kTf1, kRand, kBiCorr, kBiUnCorr };
+
+std::string to_string(WorkloadKind kind);
+
+/// All four workload kinds, in the paper's presentation order.
+inline constexpr WorkloadKind kAllWorkloads[] = {
+    WorkloadKind::kTf1, WorkloadKind::kRand, WorkloadKind::kBiCorr,
+    WorkloadKind::kBiUnCorr};
+
+struct WorkloadParams {
+  std::size_t peers = 120;  ///< paper Section 5.2 population
+  /// Source fanout; 0 = automatic (Tf1: tf1_fanout; others:
+  /// max(3, peers/8), enough to host the expected latency-1 class).
+  int source_fanout = 0;
+  Delay max_latency = 10;  ///< Rand/Bi* draw l uniformly in [1, max]
+  int tf1_fanout = 3;
+  int rand_fanout_max = 8;  ///< Rand draws f uniformly in [0, max]
+  int low_fanout_min = 1;   ///< "modem" class
+  int low_fanout_max = 2;
+  int high_fanout_min = 7;  ///< "broadband" class
+  int high_fanout_max = 8;
+  /// BiCorr: peers with l < this threshold are forced low-fanout.
+  Delay bicorr_strict_threshold = 3;
+  double high_fanout_probability = 0.5;
+  std::uint64_t seed = 1;
+  /// Resampling budget for meeting the sufficiency condition.
+  int max_retries = 10000;
+};
+
+/// Generates a population of the given kind; deterministic in
+/// params.seed. Throws InvalidState if no sufficient instance is found
+/// within max_retries resamples.
+Population generate_workload(WorkloadKind kind, const WorkloadParams& params);
+
+}  // namespace lagover

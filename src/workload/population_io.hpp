@@ -1,0 +1,31 @@
+// Text format for populations, so experiments can be specified in
+// files and shipped as repro cases (the CLI consumes these):
+//
+//   # comment
+//   source <fanout>
+//   peer <fanout> <latency>        # one line per consumer, ids implicit
+//   peers <count> <fanout> <latency>   # shorthand for a block of equals
+//
+// plus serialization back to the same format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace lagover {
+
+/// Parses the population format; throws InvalidArgument on malformed
+/// input (unknown keywords, missing source, out-of-range values).
+Population parse_population(std::istream& in);
+Population parse_population_text(const std::string& text);
+
+/// Loads from a file; throws InvalidArgument if unreadable.
+Population load_population(const std::string& path);
+
+/// Serializes (uses `peers` shorthand for runs of identical specs).
+std::string to_population_text(const Population& population);
+bool save_population(const Population& population, const std::string& path);
+
+}  // namespace lagover

@@ -1,0 +1,53 @@
+#include "workload/sessions.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lagover {
+
+SessionChurn::SessionChurn(SessionChurnConfig config) : config_(config) {
+  LAGOVER_EXPECTS(config.mean_online > 0.0);
+  LAGOVER_EXPECTS(config.mean_offline > 0.0);
+  LAGOVER_EXPECTS(config.pareto_alpha == 0.0 || config.pareto_alpha > 1.0);
+}
+
+double SessionChurn::draw_online(Rng& rng) const {
+  if (config_.pareto_alpha == 0.0)
+    return rng.exponential(1.0 / config_.mean_online);
+  // Pareto with shape alpha and mean = x_m * alpha / (alpha - 1); choose
+  // x_m so the configured mean holds.
+  const double alpha = config_.pareto_alpha;
+  const double x_m = config_.mean_online * (alpha - 1.0) / alpha;
+  double u = rng.uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return x_m * std::pow(u, -1.0 / alpha);
+}
+
+ChurnModel::Decision SessionChurn::decide(Round /*round*/,
+                                          const Overlay& overlay, Rng& rng) {
+  if (!initialized_) {
+    remaining_.assign(overlay.node_count(), 0.0);
+    for (NodeId id = 1; id < overlay.node_count(); ++id)
+      remaining_[id] = overlay.online(id)
+                           ? draw_online(rng)
+                           : rng.exponential(1.0 / config_.mean_offline);
+    initialized_ = true;
+  }
+
+  Decision decision;
+  for (NodeId id = 1; id < overlay.node_count(); ++id) {
+    remaining_[id] -= 1.0;
+    if (remaining_[id] > 0.0) continue;
+    if (overlay.online(id)) {
+      decision.leave.push_back(id);
+      remaining_[id] = rng.exponential(1.0 / config_.mean_offline);
+    } else {
+      decision.join.push_back(id);
+      remaining_[id] = draw_online(rng);
+    }
+  }
+  return decision;
+}
+
+}  // namespace lagover

@@ -1,0 +1,42 @@
+// Session-length churn: instead of the paper's memoryless per-round
+// coin flips, each peer alternates between online sessions and offline
+// gaps with drawn durations. Measurement studies of P2P systems report
+// heavy-tailed session lengths, so both exponential and Pareto
+// lifetimes are supported; the Bernoulli model of Section 5.3
+// corresponds to exponential sessions with mean 1/p.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace lagover {
+
+struct SessionChurnConfig {
+  double mean_online = 100.0;   ///< mean session length, rounds
+  double mean_offline = 5.0;    ///< mean downtime, rounds
+  /// Heavy-tailed sessions: Pareto with this shape (alpha > 1 keeps the
+  /// mean finite); 0 = exponential sessions.
+  double pareto_alpha = 0.0;
+};
+
+/// Alternating online/offline sessions per peer. Durations are drawn
+/// from the engine's RNG stream, so runs stay deterministic per seed.
+class SessionChurn final : public ChurnModel {
+ public:
+  explicit SessionChurn(SessionChurnConfig config);
+
+  Decision decide(Round round, const Overlay& overlay, Rng& rng) override;
+
+ private:
+  double draw_online(Rng& rng) const;
+
+  SessionChurnConfig config_;
+  /// Rounds remaining in each node's current state; lazily initialized
+  /// on the first decide() call (index = NodeId).
+  std::vector<double> remaining_;
+  bool initialized_ = false;
+};
+
+}  // namespace lagover

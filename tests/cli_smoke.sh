@@ -1,0 +1,46 @@
+#!/bin/sh
+# End-to-end smoke test of the lagover_cli binary: generate a
+# population, check feasibility, construct, validate the snapshot, and
+# disseminate over it. Invoked by ctest with the binary path as $1.
+set -e
+CLI="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$CLI" generate --kind bicorr --peers 40 --seed 5 --out "$WORK/pop.txt"
+test -s "$WORK/pop.txt"
+
+"$CLI" check --population "$WORK/pop.txt" | grep -q "sufficient condition: holds"
+
+"$CLI" construct --population "$WORK/pop.txt" --algorithm hybrid \
+  --oracle o3 --snapshot "$WORK/snap.txt" | grep -q "converged in"
+test -s "$WORK/snap.txt"
+
+"$CLI" validate --snapshot "$WORK/snap.txt" | grep -q "LagOver constructed"
+
+"$CLI" disseminate --snapshot "$WORK/snap.txt" --duration 100 \
+  | grep -q "staleness-budget violations: 0"
+
+# Greedy on an unsolvable instance must exit non-zero.
+cat > "$WORK/adversarial.txt" <<EOF
+source 1
+peer 1 1
+peer 2 4
+peer 0 3
+peer 0 3
+EOF
+if "$CLI" construct --population "$WORK/adversarial.txt" \
+     --algorithm greedy --max-rounds 300 > "$WORK/greedy.out"; then
+  echo "expected non-zero exit for greedy on adversarial instance" >&2
+  exit 1
+fi
+grep -q "did not converge" "$WORK/greedy.out"
+
+# Bad input is rejected with a readable error.
+if "$CLI" check --population /nonexistent/nope.txt 2> "$WORK/err.txt"; then
+  echo "expected failure on missing population file" >&2
+  exit 1
+fi
+grep -q "error:" "$WORK/err.txt"
+
+echo "cli smoke ok"

@@ -1,0 +1,163 @@
+// Asynchronous construction (paper Section 5.3 end): asynchrony slows
+// construction but does not affect eventual convergence.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/async_engine.hpp"
+#include "stats/sample.hpp"
+#include "workload/churn.hpp"
+#include "workload/adversarial.hpp"
+#include "workload/constraints.hpp"
+
+namespace lagover {
+namespace {
+
+Population workload(WorkloadKind kind, std::size_t peers,
+                    std::uint64_t seed) {
+  WorkloadParams params;
+  params.peers = peers;
+  params.seed = seed;
+  return generate_workload(kind, params);
+}
+
+TEST(AsyncEngineTest, ConvergesOnAllWorkloads) {
+  for (auto kind : kAllWorkloads) {
+    AsyncConfig config;
+    config.seed = 11;
+    AsyncEngine engine(workload(kind, 60, 7), config);
+    const auto converged = engine.run_until_converged(/*horizon=*/20000.0);
+    ASSERT_TRUE(converged.has_value()) << to_string(kind);
+    EXPECT_TRUE(engine.overlay().all_satisfied()) << to_string(kind);
+  }
+}
+
+TEST(AsyncEngineTest, GreedyAlsoConvergesAsynchronously) {
+  AsyncConfig config;
+  config.algorithm = AlgorithmKind::kGreedy;
+  config.seed = 13;
+  AsyncEngine engine(workload(WorkloadKind::kRand, 60, 3), config);
+  const auto converged = engine.run_until_converged(20000.0);
+  ASSERT_TRUE(converged.has_value());
+  EXPECT_EQ(engine.overlay().first_greedy_order_violation(), kNoNode);
+}
+
+TEST(AsyncEngineTest, HybridSolvesAdversarialAsynchronously) {
+  AsyncConfig config;
+  config.seed = 17;
+  AsyncEngine engine(adversarial_family(4), config);
+  EXPECT_TRUE(engine.run_until_converged(50000.0).has_value());
+}
+
+TEST(AsyncEngineTest, DeterministicGivenSeed) {
+  AsyncConfig config;
+  config.seed = 19;
+  const Population population = workload(WorkloadKind::kBiUnCorr, 40, 5);
+  AsyncEngine a(population, config);
+  AsyncEngine b(population, config);
+  const auto ra = a.run_until_converged(20000.0);
+  const auto rb = b.run_until_converged(20000.0);
+  ASSERT_TRUE(ra.has_value());
+  ASSERT_TRUE(rb.has_value());
+  EXPECT_DOUBLE_EQ(*ra, *rb);
+}
+
+TEST(AsyncEngineTest, AcceptsInjectedOracle) {
+  const Population population = workload(WorkloadKind::kBiUnCorr, 40, 21);
+  AsyncConfig config;
+  config.seed = 31;
+  AsyncEngine engine(population, config);
+  engine.set_oracle(make_oracle(OracleKind::kRandom));
+  const auto converged = engine.run_until_converged(30000.0);
+  ASSERT_TRUE(converged.has_value());
+  EXPECT_EQ(engine.oracle().kind(), OracleKind::kRandom);
+  EXPECT_GT(engine.oracle().stats().queries, 0u);
+}
+
+TEST(AsyncEngineTest, NetworkLatencySlowsConstruction) {
+  const Population population = workload(WorkloadKind::kBiUnCorr, 60, 23);
+  Sample baseline_times;
+  Sample rtt_times;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    AsyncConfig config;
+    config.min_interaction_time = 0.2;
+    config.max_interaction_time = 0.6;
+    config.seed = seed;
+    AsyncEngine baseline(population, config);
+    const auto base = baseline.run_until_converged(50000.0);
+    ASSERT_TRUE(base.has_value());
+    baseline_times.add(*base);
+
+    AsyncConfig with_rtt = config;
+    with_rtt.network_latency = std::make_shared<net::ConstantLatency>(1.0);
+    with_rtt.rtt_weight = 1.0;  // +2.0 per interaction
+    AsyncEngine slower(population, with_rtt);
+    const auto slow = slower.run_until_converged(50000.0);
+    ASSERT_TRUE(slow.has_value());
+    rtt_times.add(*slow);
+  }
+  EXPECT_GT(rtt_times.median(), baseline_times.median());
+}
+
+TEST(AsyncEngineTest, SustainsSatisfactionUnderChurn) {
+  AsyncConfig config;
+  config.seed = 41;
+  AsyncEngine engine(workload(WorkloadKind::kBiUnCorr, 80, 25), config);
+  engine.set_churn(std::make_unique<BernoulliChurn>(0.01, 0.2));
+  // Warm up, then sample the satisfied fraction across a long window.
+  engine.run_for(200.0);
+  double sum = 0.0;
+  int samples = 0;
+  for (int window = 0; window < 20; ++window) {
+    sum += engine.run_for(20.0);
+    ++samples;
+  }
+  engine.overlay().audit();
+  EXPECT_GT(sum / samples, 0.8);
+}
+
+TEST(AsyncEngineTest, RecoversAfterChurnWindow) {
+  AsyncConfig config;
+  config.seed = 43;
+  AsyncEngine engine(workload(WorkloadKind::kRand, 60, 27), config);
+  engine.set_churn(std::make_unique<WindowedChurn>(
+      /*active_rounds=*/150, 0.02, 0.2));
+  engine.run_for(400.0);
+  // Churn ended at t=150 and everyone rejoined; the overlay must be
+  // fully satisfied again by now.
+  EXPECT_DOUBLE_EQ(engine.overlay().satisfied_fraction(), 1.0);
+}
+
+TEST(AsyncEngineTest, SlowerInteractionsDelayConvergence) {
+  // Mean interaction duration 3x: convergence time should grow
+  // substantially (the paper's "asynchrony slowed down the overlay
+  // construction"). Compare medians over several seeds to tame variance.
+  const Population population = workload(WorkloadKind::kBiCorr, 60, 9);
+  std::vector<double> fast_times;
+  std::vector<double> slow_times;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    AsyncConfig fast;
+    fast.min_interaction_time = 0.5;
+    fast.max_interaction_time = 1.5;
+    fast.seed = seed;
+    AsyncEngine fast_engine(population, fast);
+    const auto fast_result = fast_engine.run_until_converged(50000.0);
+    ASSERT_TRUE(fast_result.has_value());
+    fast_times.push_back(*fast_result);
+
+    AsyncConfig slow = fast;
+    slow.min_interaction_time = 1.5;
+    slow.max_interaction_time = 4.5;
+    AsyncEngine slow_engine(population, slow);
+    const auto slow_result = slow_engine.run_until_converged(50000.0);
+    ASSERT_TRUE(slow_result.has_value());
+    slow_times.push_back(*slow_result);
+  }
+  std::sort(fast_times.begin(), fast_times.end());
+  std::sort(slow_times.begin(), slow_times.end());
+  EXPECT_GT(slow_times[2], fast_times[2]);
+}
+
+}  // namespace
+}  // namespace lagover

@@ -1,0 +1,122 @@
+// Tests for the baselines: all-poll RSS and the FeedTree/Scribe
+// comparator.
+#include <gtest/gtest.h>
+
+#include "baseline/feedtree.hpp"
+#include "baseline/polling.hpp"
+#include "core/engine.hpp"
+#include "feed/dissemination.hpp"
+#include "workload/constraints.hpp"
+
+namespace lagover {
+namespace {
+
+Population workload(std::size_t peers, std::uint64_t seed) {
+  WorkloadParams params;
+  params.peers = peers;
+  params.seed = seed;
+  return generate_workload(WorkloadKind::kBiUnCorr, params);
+}
+
+TEST(AllPollTest, AnalysisSumsInverseLatencies) {
+  Population p;
+  p.source_fanout = 1;
+  p.consumers = {
+      NodeSpec{1, Constraints{0, 1}},
+      NodeSpec{2, Constraints{0, 2}},
+      NodeSpec{3, Constraints{0, 4}},
+  };
+  const auto analysis = baseline::analyze_all_poll(p);
+  EXPECT_EQ(analysis.consumers, 3u);
+  EXPECT_DOUBLE_EQ(analysis.source_requests_per_unit, 1.0 + 0.5 + 0.25);
+}
+
+TEST(AllPollTest, SimulationMatchesAnalysisAndMeetsConstraints) {
+  const Population population = workload(50, 3);
+  feed::DisseminationConfig config;
+  config.source.publish_period = 2.0;
+  const auto report = baseline::run_all_poll(population, config, 500.0);
+  const auto analysis = baseline::analyze_all_poll(population);
+  EXPECT_NEAR(report.source_request_rate, analysis.source_requests_per_unit,
+              0.1 * analysis.source_requests_per_unit);
+  // Direct polling always meets staleness budgets; it just hammers the
+  // source.
+  EXPECT_EQ(report.violations, 0u);
+  EXPECT_EQ(report.pollers, 50u);
+  EXPECT_EQ(report.push_messages, 0u);
+}
+
+TEST(AllPollTest, LagOverReducesSourceLoad) {
+  const Population population = workload(120, 4);
+  EngineConfig config;
+  config.seed = 8;
+  Engine engine(population, config);
+  ASSERT_TRUE(engine.run_until_converged(3000).has_value());
+
+  feed::DisseminationConfig dconfig;
+  const auto lagover_report =
+      feed::run_dissemination(engine.overlay(), dconfig, 300.0);
+  const auto allpoll_report =
+      baseline::run_all_poll(population, dconfig, 300.0);
+  // The headline claim: the source sees Theta(source fanout) requests
+  // per unit instead of Theta(N).
+  EXPECT_LT(lagover_report.source_request_rate * 2.0,
+            allpoll_report.source_request_rate);
+}
+
+TEST(FeedTreeTest, BuildsTreesForEveryFeed) {
+  const Population population = workload(48, 5);
+  baseline::FeedTreeConfig config;
+  config.feeds = 4;
+  config.seed = 7;
+  const auto report = baseline::build_and_analyze_feedtree(population, config);
+  ASSERT_EQ(report.feeds.size(), 4u);
+  std::size_t total_subscribers = 0;
+  for (const auto& feed : report.feeds) {
+    EXPECT_EQ(feed.subscribers, 12u);
+    EXPECT_GE(feed.tree_nodes, feed.subscribers);
+    EXPECT_GE(feed.max_depth, 1);
+    total_subscribers += feed.subscribers;
+  }
+  EXPECT_EQ(total_subscribers, 48u);
+  EXPECT_GT(report.ring_maintenance_messages, 0u);
+}
+
+TEST(FeedTreeTest, InvolvesUninterestedForwarders) {
+  // The paper's Section 6 critique: with multiple feeds on one DHT,
+  // peers forward traffic for feeds they never subscribed to.
+  const Population population = workload(64, 6);
+  baseline::FeedTreeConfig config;
+  config.feeds = 8;
+  config.seed = 9;
+  const auto report = baseline::build_and_analyze_feedtree(population, config);
+  EXPECT_GT(report.total_pure_forwarders, 0u);
+}
+
+TEST(FeedTreeTest, IgnoresIndividualConstraints) {
+  // Scribe trees are oblivious to declared latency/fanout budgets; on a
+  // constraint-rich population some violations are essentially certain,
+  // while a converged LagOver has none by construction.
+  const Population population = workload(96, 7);
+  baseline::FeedTreeConfig config;
+  config.feeds = 2;  // deeper trees per feed
+  config.seed = 11;
+  const auto report = baseline::build_and_analyze_feedtree(population, config);
+  EXPECT_GT(report.total_latency_violations + report.total_fanout_violations,
+            0u);
+}
+
+TEST(FeedTreeTest, SingleFeedHasNoPureForwardersAmongSubscribers) {
+  // With one feed everyone subscribes, so any tree member except the
+  // rendezvous is a subscriber.
+  const Population population = workload(32, 8);
+  baseline::FeedTreeConfig config;
+  config.feeds = 1;
+  config.seed = 13;
+  const auto report = baseline::build_and_analyze_feedtree(population, config);
+  ASSERT_EQ(report.feeds.size(), 1u);
+  EXPECT_EQ(report.feeds[0].pure_forwarders, 0u);
+}
+
+}  // namespace
+}  // namespace lagover

@@ -1,0 +1,148 @@
+// Tests for the common utilities: tables/CSV, flag parsing, logging
+// levels, and notation helpers.
+#include <gtest/gtest.h>
+
+#include "common/flags.hpp"
+#include "common/json.hpp"
+#include "common/logging.hpp"
+#include "common/table.hpp"
+#include "core/types.hpp"
+
+namespace lagover {
+namespace {
+
+TEST(TableTest, AlignedRendering) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "12345"});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(text.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(text.find("| b     | 12345 |"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+  EXPECT_EQ(table.column_count(), 2u);
+}
+
+TEST(TableTest, CsvEscapesSpecialCells) {
+  Table table({"a", "b"});
+  table.add_row({"plain", "with,comma"});
+  table.add_row({"quote\"inside", "multi\nline"});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+  EXPECT_NE(csv.find("\"multi\nline\""), std::string::npos);
+}
+
+TEST(TableTest, RowArityEnforced) {
+  Table table({"one", "two"});
+  EXPECT_DEATH(table.add_row({"only-one"}), "precondition");
+}
+
+TEST(TableTest, FormatHelpers) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_pair(1.0, 2.5, 1), "1.0 / 2.5");
+}
+
+TEST(FlagsTest, ParsesAllForms) {
+  const char* argv[] = {"prog",      "--peers=120", "--trials", "7",
+                        "positional", "--verbose"};
+  Flags flags(6, argv);
+  EXPECT_EQ(flags.get_int("peers", 0), 120);
+  EXPECT_EQ(flags.get_int("trials", 0), 7);
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_TRUE(flags.has("peers"));
+  EXPECT_FALSE(flags.has("absent"));
+  EXPECT_EQ(flags.get_int("absent", 42), 42);
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "positional");
+}
+
+TEST(FlagsTest, DoublesAndStrings) {
+  const char* argv[] = {"prog", "--rate=0.25", "--name", "bench"};
+  Flags flags(4, argv);
+  EXPECT_DOUBLE_EQ(flags.get_double("rate", 0.0), 0.25);
+  EXPECT_EQ(flags.get_string("name", ""), "bench");
+  EXPECT_DOUBLE_EQ(flags.get_double("missing", 1.5), 1.5);
+}
+
+TEST(FlagsTest, BoolSpellings) {
+  const char* argv[] = {"prog", "--a=true", "--b=1", "--c=yes", "--d=false"};
+  Flags flags(5, argv);
+  EXPECT_TRUE(flags.get_bool("a", false));
+  EXPECT_TRUE(flags.get_bool("b", false));
+  EXPECT_TRUE(flags.get_bool("c", false));
+  EXPECT_FALSE(flags.get_bool("d", true));
+}
+
+TEST(JsonTest, ScalarsSerialize) {
+  EXPECT_EQ(Json::null().dump(), "null");
+  EXPECT_EQ(Json::boolean(true).dump(), "true");
+  EXPECT_EQ(Json::integer(-42).dump(), "-42");
+  EXPECT_EQ(Json::number(2.5).dump(), "2.5");
+  EXPECT_EQ(Json::number(std::numeric_limits<double>::infinity()).dump(),
+            "null");
+  EXPECT_EQ(Json::string("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonTest, EscapesStrings) {
+  EXPECT_EQ(Json::string("a\"b\\c\nd").dump(), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(JsonTest, NestedStructures) {
+  Json root = Json::object();
+  Json list = Json::array();
+  list.push_back(Json::integer(1)).push_back(Json::integer(2));
+  root.set("name", Json::string("lagover"));
+  root.set("values", std::move(list));
+  root.set("empty", Json::array());
+  EXPECT_EQ(root.dump(),
+            "{\"name\":\"lagover\",\"values\":[1,2],\"empty\":[]}");
+  // Overwriting a key keeps insertion order.
+  root.set("name", Json::string("v2"));
+  EXPECT_EQ(root.dump(), "{\"name\":\"v2\",\"values\":[1,2],\"empty\":[]}");
+}
+
+TEST(JsonTest, PrettyPrintIndents) {
+  Json root = Json::object();
+  root.set("k", Json::integer(1));
+  EXPECT_EQ(root.dump_pretty(), "{\n  \"k\": 1\n}");
+}
+
+TEST(TableTest, JsonFormContainsHeaderAndRows) {
+  Table table({"a", "b"});
+  table.add_row({"x", "1"});
+  const std::string json = table.to_json();
+  EXPECT_NE(json.find("\"header\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows\""), std::string::npos);
+  EXPECT_NE(json.find("\"x\""), std::string::npos);
+}
+
+TEST(LoggingTest, LevelsGateOutput) {
+  Logger& logger = Logger::instance();
+  const LogLevel original = logger.level();
+  logger.set_level(LogLevel::kError);
+  EXPECT_FALSE(logger.enabled(LogLevel::kDebug));
+  EXPECT_FALSE(logger.enabled(LogLevel::kInfo));
+  EXPECT_TRUE(logger.enabled(LogLevel::kError));
+  logger.set_level(LogLevel::kTrace);
+  EXPECT_TRUE(logger.enabled(LogLevel::kDebug));
+  logger.set_level(original);
+}
+
+TEST(TypesTest, NotationMatchesPaper) {
+  EXPECT_EQ(to_notation(NodeSpec{3, Constraints{2, 4}}), "3_2^4");
+  EXPECT_EQ(to_notation(NodeSpec{10, Constraints{0, 1}}), "10_0^1");
+}
+
+TEST(TypesTest, EnumNames) {
+  EXPECT_EQ(to_string(AlgorithmKind::kGreedy), "greedy");
+  EXPECT_EQ(to_string(AlgorithmKind::kHybrid), "hybrid");
+  EXPECT_EQ(to_string(SourceMode::kPullOnly), "pull-only");
+  EXPECT_EQ(to_string(SourceMode::kPush), "push");
+  EXPECT_EQ(to_string(OracleKind::kRandomDelay), "Random-Delay");
+}
+
+}  // namespace
+}  // namespace lagover

@@ -1,0 +1,271 @@
+// Unit tests for the shared per-node construction behaviour
+// (ConstructionCore): timeout-driven source contact, referral reuse,
+// source referrals, oracle starvation, and state resets — driven by a
+// scripted oracle for full control.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "core/construction_core.hpp"
+#include "core/greedy.hpp"
+#include "core/hybrid.hpp"
+
+namespace lagover {
+namespace {
+
+/// Oracle returning a pre-programmed sequence of answers (kNoNode
+/// entries mean "no suitable partner"); an exhausted script answers
+/// empty forever.
+class ScriptedOracle final : public Oracle {
+ public:
+  explicit ScriptedOracle(std::vector<NodeId> script)
+      : script_(script.begin(), script.end()) {}
+
+  OracleKind kind() const noexcept override { return OracleKind::kRandom; }
+
+ protected:
+  std::optional<NodeId> sample_impl(NodeId, const Overlay&, Rng&) override {
+    if (script_.empty()) return std::nullopt;
+    const NodeId next = script_.front();
+    script_.pop_front();
+    if (next == kNoNode) return std::nullopt;
+    return next;
+  }
+
+ private:
+  std::deque<NodeId> script_;
+};
+
+Population chain_population() {
+  Population p;
+  p.source_fanout = 1;
+  p.consumers = {
+      NodeSpec{1, Constraints{1, 1}},
+      NodeSpec{2, Constraints{1, 3}},
+      NodeSpec{3, Constraints{1, 5}},
+  };
+  return p;
+}
+
+struct Harness {
+  explicit Harness(std::vector<NodeId> script,
+                   int timeout_limit = 3)
+      : overlay(chain_population()),
+        protocol(SourceMode::kPullOnly),
+        oracle(std::move(script)),
+        core(overlay, protocol, oracle, timeout_limit),
+        rng(7) {
+    core.set_trace([this](const TraceEvent& event) {
+      events.push_back(event);
+    });
+  }
+
+  Overlay overlay;
+  GreedyProtocol protocol;
+  ScriptedOracle oracle;
+  ConstructionCore core;
+  Rng rng;
+  std::vector<TraceEvent> events;
+};
+
+TEST(ConstructionCoreTest, TimeoutTriggersSourceContact) {
+  // Oracle always empty: after timeout_limit starved steps the node
+  // contacts the source directly.
+  Harness h({}, /*timeout_limit=*/3);
+  for (int step = 0; step < 3; ++step) h.core.orphan_step(1, h.rng, step);
+  EXPECT_FALSE(h.overlay.has_parent(1));
+  h.core.orphan_step(1, h.rng, 3);
+  EXPECT_EQ(h.overlay.parent(1), kSourceId);
+  ASSERT_FALSE(h.events.empty());
+  EXPECT_EQ(h.events.back().type, TraceEventType::kSourceContact);
+  EXPECT_TRUE(h.events.back().attached);
+}
+
+TEST(ConstructionCoreTest, OracleEmptyEventsEmitted) {
+  Harness h({});
+  h.core.orphan_step(2, h.rng, 0);
+  ASSERT_EQ(h.events.size(), 1u);
+  EXPECT_EQ(h.events[0].type, TraceEventType::kOracleEmpty);
+}
+
+TEST(ConstructionCoreTest, ReferralPartnerUsedOnNextStep) {
+  // Querier 4 meets the saturated node 2 (no attach or displacement is
+  // legal), gets referred upstream to Parent(2) = node 1, and the next
+  // step interacts with node 1 WITHOUT consulting the Oracle again.
+  Population p;
+  p.source_fanout = 1;
+  p.consumers = {
+      NodeSpec{1, Constraints{1, 2}},  // chain: 0 <- 1
+      NodeSpec{2, Constraints{1, 3}},  //        1 <- 2
+      NodeSpec{3, Constraints{0, 3}},  //        2 <- 3 (saturates 2)
+      NodeSpec{4, Constraints{2, 4}},  // querier
+  };
+  Overlay overlay(p);
+  GreedyProtocol protocol;
+  overlay.attach(1, kSourceId);
+  overlay.attach(2, 1);
+  overlay.attach(3, 2);
+  // Script holds exactly ONE answer: if the second step asked the
+  // Oracle it would starve instead of interacting.
+  ScriptedOracle oracle({2});
+  ConstructionCore core(overlay, protocol, oracle, 10);
+  Rng rng(9);
+  std::vector<TraceEvent> events;
+  core.set_trace([&](const TraceEvent& e) { events.push_back(e); });
+
+  // Node 2 cannot host 4 (full; child 3 would be violated one deeper,
+  // and 3 is stricter than 4 so it won't yield its slot either).
+  core.orphan_step(4, rng, 0);
+  EXPECT_FALSE(overlay.has_parent(4));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, TraceEventType::kInteraction);
+  EXPECT_EQ(events[0].partner, 2u);
+
+  // The referral (node 1) is the next partner.
+  core.orphan_step(4, rng, 1);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].type, TraceEventType::kInteraction);
+  EXPECT_EQ(events[1].partner, 1u);
+}
+
+TEST(ConstructionCoreTest, UpstreamReferralChainsToSource) {
+  // Node 1 (l=1) interacts with connected node 2 (delay 2): greedy
+  // cannot host it there and refers it upstream; following referrals it
+  // reaches a source contact and displaces the laxer chain.
+  Population p;
+  p.source_fanout = 1;
+  p.consumers = {
+      NodeSpec{1, Constraints{1, 1}},
+      NodeSpec{2, Constraints{1, 2}},
+      NodeSpec{3, Constraints{1, 4}},
+  };
+  Overlay overlay(p);
+  GreedyProtocol protocol;
+  overlay.attach(2, kSourceId);
+  overlay.attach(3, 2);
+  // Script: node 1's oracle sample is the deep node 3.
+  ScriptedOracle oracle({3});
+  ConstructionCore core(overlay, protocol, oracle, 10);
+  Rng rng(11);
+  std::vector<TraceEvent> events;
+  core.set_trace([&](const TraceEvent& e) { events.push_back(e); });
+
+  // Step 1: interact with 3 (l=4 > l=1): tries to take 3's slot under 2,
+  // but l_2 = 2 > l_1 = 1 fails the insertion delay check? delay_at(3)=2
+  // > l_1=1, so referral = parent(3) = 2.
+  core.orphan_step(1, rng, 0);
+  EXPECT_FALSE(overlay.has_parent(1));
+  // Step 2: uses referral 2; l_2=2 > l_1: try insertion above 2 (under
+  // the source): delay 1 <= 1, order ok (source), fanout(1) free.
+  core.orphan_step(1, rng, 1);
+  EXPECT_EQ(overlay.parent(1), kSourceId);
+  EXPECT_EQ(overlay.parent(2), 1u);
+  EXPECT_EQ(overlay.first_greedy_order_violation(), kNoNode);
+}
+
+TEST(ConstructionCoreTest, HybridSourceReferralContactsSourceNextStep) {
+  Population p;
+  p.source_fanout = 1;
+  p.consumers = {
+      NodeSpec{1, Constraints{0, 1}},
+      NodeSpec{2, Constraints{0, 3}},
+  };
+  Overlay overlay(p);
+  HybridProtocol protocol;
+  overlay.attach(1, kSourceId);
+  // Node 2 meets the source child 1 (fanout 0): nothing possible,
+  // hybrid says "refer i to 0".
+  ScriptedOracle oracle({1});
+  ConstructionCore core(overlay, protocol, oracle, 10);
+  Rng rng(13);
+  std::vector<TraceEvent> events;
+  core.set_trace([&](const TraceEvent& e) { events.push_back(e); });
+
+  core.orphan_step(2, rng, 0);
+  EXPECT_FALSE(overlay.has_parent(2));
+  core.orphan_step(2, rng, 1);
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_EQ(events[1].type, TraceEventType::kSourceContact);
+  // Source is full with a stricter node (l=1 < l=3): contact fails.
+  EXPECT_FALSE(events[1].attached);
+}
+
+TEST(ConstructionCoreTest, StepsAreNoOpsForAttachedOrOfflineNodes) {
+  Harness h({2, 2});
+  h.overlay.attach(1, kSourceId);
+  h.core.orphan_step(1, h.rng, 0);  // already attached
+  EXPECT_TRUE(h.events.empty());
+
+  h.overlay.set_offline(2);
+  h.core.orphan_step(2, h.rng, 0);  // offline
+  EXPECT_TRUE(h.events.empty());
+}
+
+TEST(ConstructionCoreTest, ResetClearsTimeoutProgress) {
+  Harness h({}, /*timeout_limit=*/2);
+  h.core.orphan_step(1, h.rng, 0);
+  h.core.orphan_step(1, h.rng, 1);
+  h.core.reset_node(1);  // e.g. the node churned out and back in
+  // Two more starved steps are needed before the source contact.
+  h.core.orphan_step(1, h.rng, 2);
+  EXPECT_FALSE(h.overlay.has_parent(1));
+  h.core.orphan_step(1, h.rng, 3);
+  EXPECT_FALSE(h.overlay.has_parent(1));
+  h.core.orphan_step(1, h.rng, 4);
+  EXPECT_EQ(h.overlay.parent(1), kSourceId);
+}
+
+TEST(ConstructionCoreTest, MaintenanceRespectsPatience) {
+  Population p;
+  p.source_fanout = 1;
+  p.consumers = {
+      NodeSpec{1, Constraints{1, 5}},
+      NodeSpec{2, Constraints{1, 1}},  // will be violated at depth 2
+  };
+  Overlay overlay(p);
+  GreedyProtocol protocol;
+  ScriptedOracle oracle({});
+  ConstructionCore core(overlay, protocol, oracle, 10);
+  overlay.attach(1, kSourceId);
+  overlay.attach(2, 1);  // delay 2 > l=1
+
+  // patience 2: two violated evaluations tolerated, detach on the third.
+  EXPECT_FALSE(core.maintenance_step(2, /*patience=*/2, 0));
+  EXPECT_FALSE(core.maintenance_step(2, 2, 1));
+  EXPECT_TRUE(core.maintenance_step(2, 2, 2));
+  EXPECT_FALSE(overlay.has_parent(2));
+  EXPECT_EQ(core.maintenance_detaches(), 1u);
+}
+
+TEST(ConstructionCoreTest, MaintenanceStreakResetsWhenHealthy) {
+  Population p;
+  p.source_fanout = 1;
+  p.consumers = {
+      NodeSpec{1, Constraints{1, 5}},
+      NodeSpec{2, Constraints{1, 1}},
+  };
+  Overlay overlay(p);
+  GreedyProtocol protocol;
+  ScriptedOracle oracle({});
+  ConstructionCore core(overlay, protocol, oracle, 10);
+  overlay.attach(1, kSourceId);
+  overlay.attach(2, 1);
+
+  EXPECT_FALSE(core.maintenance_step(2, 2, 0));
+  EXPECT_FALSE(core.maintenance_step(2, 2, 1));
+  // The violation heals (node 2 moves to the source side temporarily).
+  overlay.detach(2);
+  overlay.detach(1);
+  overlay.attach(2, kSourceId);
+  EXPECT_FALSE(core.maintenance_step(2, 2, 2));  // healthy: streak resets
+  overlay.detach(2);
+  overlay.attach(1, kSourceId);
+  overlay.attach(2, 1);
+  // Needs three fresh violated evaluations again.
+  EXPECT_FALSE(core.maintenance_step(2, 2, 3));
+  EXPECT_FALSE(core.maintenance_step(2, 2, 4));
+  EXPECT_TRUE(core.maintenance_step(2, 2, 5));
+}
+
+}  // namespace
+}  // namespace lagover

@@ -1,0 +1,146 @@
+// Tests for the Chord ring: identifier arithmetic, stabilization,
+// lookup correctness, storage routing, and the DHT-backed oracle.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "dht/chord.hpp"
+#include "dht/directory.hpp"
+#include "dht/hash_space.hpp"
+
+namespace lagover::dht {
+namespace {
+
+TEST(HashSpaceTest, IntervalOpenClosed) {
+  EXPECT_TRUE(in_interval_open_closed(5, 3, 7));
+  EXPECT_TRUE(in_interval_open_closed(7, 3, 7));
+  EXPECT_FALSE(in_interval_open_closed(3, 3, 7));
+  EXPECT_FALSE(in_interval_open_closed(8, 3, 7));
+  // Wrap-around.
+  EXPECT_TRUE(in_interval_open_closed(1, ~0ULL - 2, 3));
+  EXPECT_TRUE(in_interval_open_closed(~0ULL, ~0ULL - 2, 3));
+  EXPECT_FALSE(in_interval_open_closed(100, ~0ULL - 2, 3));
+  // Whole ring.
+  EXPECT_TRUE(in_interval_open_closed(42, 9, 9));
+}
+
+TEST(HashSpaceTest, IntervalOpenOpen) {
+  EXPECT_TRUE(in_interval_open_open(5, 3, 7));
+  EXPECT_FALSE(in_interval_open_open(7, 3, 7));
+  EXPECT_FALSE(in_interval_open_open(3, 3, 7));
+  EXPECT_TRUE(in_interval_open_open(0, 7, 3));
+}
+
+TEST(HashSpaceTest, HashesAreStable) {
+  EXPECT_EQ(hash_string("feed"), hash_string("feed"));
+  EXPECT_NE(hash_string("feed-a"), hash_string("feed-b"));
+  EXPECT_EQ(hash_u64(7), hash_u64(7));
+  EXPECT_NE(hash_u64(7), hash_u64(8));
+}
+
+TEST(HashSpaceTest, FingerTargets) {
+  EXPECT_EQ(finger_target(10, 0), 11u);
+  EXPECT_EQ(finger_target(10, 3), 18u);
+  // Wraps modulo 2^64.
+  EXPECT_EQ(finger_target(~0ULL, 0), 0u);
+}
+
+TEST(ChordRingTest, SingleNodeOwnsEverything) {
+  ChordRing ring(1, ChordConfig{}, 1);
+  ring.simulator().run_until(5.0);
+  EXPECT_TRUE(ring.node(0).owns(hash_string("anything")));
+  const auto [owner, hops] = ring.lookup_sync(0, hash_string("key"));
+  EXPECT_EQ(owner, ring.node(0).address());
+  EXPECT_EQ(hops, 0);
+}
+
+TEST(ChordRingTest, RingStabilizes) {
+  for (std::size_t n : {2u, 5u, 16u}) {
+    ChordRing ring(n, ChordConfig{}, 7);
+    EXPECT_TRUE(ring.run_until_stable(300.0)) << "n=" << n;
+    EXPECT_TRUE(ring.ring_consistent());
+  }
+}
+
+TEST(ChordRingTest, LookupFindsTheUniqueOwner) {
+  ChordRing ring(12, ChordConfig{}, 3);
+  ASSERT_TRUE(ring.run_until_stable(300.0));
+  // Let fingers converge for efficient routing.
+  ring.simulator().run_until(ring.simulator().now() + 100.0);
+
+  for (int k = 0; k < 20; ++k) {
+    const Key key = hash_string("key-" + std::to_string(k));
+    // Exactly one node claims ownership.
+    std::set<Address> owners;
+    for (std::size_t i = 0; i < ring.size(); ++i)
+      if (ring.node(i).owns(key)) owners.insert(ring.node(i).address());
+    ASSERT_EQ(owners.size(), 1u) << "key " << k;
+    // Every starting point resolves to that owner.
+    for (std::size_t from : {0u, 5u, 11u}) {
+      const auto [owner, hops] = ring.lookup_sync(from, key);
+      EXPECT_EQ(owner, *owners.begin());
+      EXPECT_GE(hops, 0);
+    }
+  }
+}
+
+TEST(ChordRingTest, LookupHopsAreLogarithmicish) {
+  ChordRing ring(32, ChordConfig{}, 5);
+  ASSERT_TRUE(ring.run_until_stable(500.0));
+  ring.simulator().run_until(ring.simulator().now() + 200.0);
+  double total_hops = 0;
+  constexpr int kLookups = 50;
+  for (int k = 0; k < kLookups; ++k) {
+    const auto [owner, hops] =
+        ring.lookup_sync(static_cast<std::size_t>(k) % 32,
+                         hash_string("q" + std::to_string(k)));
+    (void)owner;
+    total_hops += hops;
+  }
+  // log2(32) = 5; allow generous slack but reject linear routing (~16).
+  EXPECT_LT(total_hops / kLookups, 8.0);
+}
+
+TEST(ChordRingTest, PutGetRoundTrip) {
+  ChordRing ring(8, ChordConfig{}, 9);
+  ASSERT_TRUE(ring.run_until_stable(300.0));
+  ring.simulator().run_until(ring.simulator().now() + 50.0);
+  const Key key = hash_string("registry");
+  ring.put_sync(2, key, "alpha");
+  ring.put_sync(5, key, "beta");
+  const auto values = ring.get_sync(7, key);
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_NE(std::find(values.begin(), values.end(), "alpha"), values.end());
+  EXPECT_NE(std::find(values.begin(), values.end(), "beta"), values.end());
+}
+
+TEST(ChordRingTest, RemoveDeletesValue) {
+  ChordRing ring(8, ChordConfig{}, 11);
+  ASSERT_TRUE(ring.run_until_stable(300.0));
+  ring.simulator().run_until(ring.simulator().now() + 50.0);
+  const Key key = hash_string("registry");
+  ring.put_sync(0, key, "gone");
+  ring.node(3).remove(key, "gone");
+  ring.simulator().run_until(ring.simulator().now() + 20.0);
+  EXPECT_TRUE(ring.get_sync(1, key).empty());
+}
+
+TEST(ChordRingTest, RouteNextConvergesToOwner) {
+  ChordRing ring(16, ChordConfig{}, 13);
+  ASSERT_TRUE(ring.run_until_stable(300.0));
+  ring.simulator().run_until(ring.simulator().now() + 100.0);
+  const Key key = hash_string("scribe-feed");
+  Address cursor = ring.node(4).address();
+  int steps = 0;
+  while (!ring.node(cursor).owns(key)) {
+    cursor = ring.node(cursor).route_next(key);
+    ASSERT_LE(++steps, 32) << "route did not converge";
+  }
+  const auto [owner, hops] = ring.lookup_sync(4, key);
+  (void)hops;
+  EXPECT_EQ(cursor, owner);
+}
+
+}  // namespace
+}  // namespace lagover::dht

@@ -1,0 +1,101 @@
+// Tests for the pure fanout-greedy baseline (Section 3.4's
+// hypothetical): connects everyone quickly, ignores latency, never
+// runs maintenance.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/fanout_greedy.hpp"
+#include "metrics/tree_metrics.hpp"
+#include "workload/constraints.hpp"
+
+namespace lagover {
+namespace {
+
+Population workload(std::size_t peers, std::uint64_t seed) {
+  WorkloadParams params;
+  params.peers = peers;
+  params.seed = seed;
+  return generate_workload(WorkloadKind::kBiCorr, params);
+}
+
+TEST(FanoutGreedyTest, ConnectsEveryoneQuickly) {
+  EngineConfig config;
+  config.algorithm = AlgorithmKind::kFanoutGreedy;
+  config.seed = 3;
+  Engine engine(workload(80, 3), config);
+  bool all_connected = false;
+  for (int round = 0; round < 200 && !all_connected; ++round) {
+    engine.run_round();
+    engine.overlay().audit();
+    const TreeMetrics metrics = compute_tree_metrics(engine.overlay());
+    all_connected = metrics.connected == engine.overlay().online_count();
+  }
+  EXPECT_TRUE(all_connected);
+}
+
+TEST(FanoutGreedyTest, LatencyBlindAttachIsAllowed) {
+  // A strict node ends up at an illegal depth and stays there: the
+  // baseline neither refuses the attach nor repairs it.
+  Population p;
+  p.source_fanout = 1;
+  p.consumers = {
+      NodeSpec{1, Constraints{1, 5}},
+      NodeSpec{2, Constraints{1, 5}},
+      NodeSpec{3, Constraints{0, 1}},  // needs depth 1, will sit at 3
+  };
+  EngineConfig config;
+  config.algorithm = AlgorithmKind::kFanoutGreedy;
+  config.seed = 5;
+  Engine engine(p, config);
+  engine.overlay().attach(1, kSourceId);
+  engine.overlay().attach(2, 1);
+  FanoutGreedyProtocol protocol;
+  const auto result = protocol.interact(engine.overlay(), 3, 2);
+  EXPECT_TRUE(result.attached);
+  EXPECT_EQ(engine.overlay().delay_at(3), 3);
+  EXPECT_FALSE(engine.overlay().satisfied(3));
+  // Maintenance never fires (astronomical patience).
+  for (int round = 0; round < 50; ++round) engine.run_round();
+  EXPECT_EQ(engine.overlay().parent(3), 2u);
+}
+
+TEST(FanoutGreedyTest, HigherFanoutReplacesInChains) {
+  // f=5 node takes the slot of an f=1 node and adopts it.
+  Population p;
+  p.source_fanout = 1;
+  p.consumers = {
+      NodeSpec{1, Constraints{1, 9}},
+      NodeSpec{2, Constraints{1, 9}},
+      NodeSpec{3, Constraints{5, 9}},
+  };
+  Overlay overlay(p);
+  FanoutGreedyProtocol protocol;
+  overlay.attach(1, kSourceId);
+  overlay.attach(2, 1);
+  const auto result = protocol.interact(overlay, 3, 2);
+  EXPECT_TRUE(result.attached);
+  EXPECT_EQ(overlay.parent(3), 1u);
+  EXPECT_EQ(overlay.parent(2), 3u);
+  overlay.audit();
+}
+
+TEST(FanoutGreedyTest, ViolatesConstraintsWhereConstraintAwareDoesNot) {
+  const Population population = workload(100, 7);
+  EngineConfig baseline_config;
+  baseline_config.algorithm = AlgorithmKind::kFanoutGreedy;
+  baseline_config.seed = 11;
+  Engine baseline(population, baseline_config);
+  for (int round = 0; round < 300; ++round) baseline.run_round();
+
+  EngineConfig hybrid_config;
+  hybrid_config.algorithm = AlgorithmKind::kHybrid;
+  hybrid_config.seed = 11;
+  Engine hybrid(population, hybrid_config);
+  ASSERT_TRUE(hybrid.run_until_converged(3000).has_value());
+
+  EXPECT_LT(baseline.overlay().satisfied_fraction(), 0.9);
+  EXPECT_DOUBLE_EQ(hybrid.overlay().satisfied_fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace lagover

@@ -1,0 +1,159 @@
+// Tests for the feed layer: source publication/pull semantics, staleness
+// tracking, and end-to-end dissemination over a constructed LagOver.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/sufficiency.hpp"
+#include "feed/dissemination.hpp"
+#include "feed/feed.hpp"
+#include "workload/constraints.hpp"
+
+namespace lagover {
+namespace {
+
+TEST(FeedSourceTest, PeriodicPublication) {
+  Simulator sim;
+  feed::SourceConfig config;
+  config.publish_period = 2.0;
+  feed::FeedSource source(sim, config);
+  source.start();
+  sim.run_until(10.0);
+  EXPECT_EQ(source.published(), 5u);
+  for (std::size_t i = 0; i < source.items().size(); ++i) {
+    EXPECT_EQ(source.items()[i].seq, i + 1);
+    EXPECT_DOUBLE_EQ(source.items()[i].published_at, 2.0 * (i + 1));
+  }
+}
+
+TEST(FeedSourceTest, PoissonPublicationHasRequestedMeanRate) {
+  Simulator sim;
+  feed::SourceConfig config;
+  config.schedule = feed::PublishSchedule::kPoisson;
+  config.publish_period = 2.0;
+  config.seed = 3;
+  feed::FeedSource source(sim, config);
+  source.start();
+  sim.run_until(10000.0);
+  EXPECT_NEAR(static_cast<double>(source.published()), 5000.0, 300.0);
+}
+
+TEST(FeedSourceTest, PullReturnsOnlyNewItemsAndCountsRequests) {
+  Simulator sim;
+  feed::FeedSource source(sim, feed::SourceConfig{});
+  source.start();
+  sim.run_until(10.0);  // 3 items at period 3
+  auto fresh = source.pull(0);
+  EXPECT_EQ(fresh.size(), 3u);
+  fresh = source.pull(3);
+  EXPECT_TRUE(fresh.empty());
+  EXPECT_EQ(source.requests(), 2u);
+  EXPECT_EQ(source.empty_requests(), 1u);
+  fresh = source.pull(1);
+  EXPECT_EQ(fresh.size(), 2u);
+  EXPECT_EQ(fresh.front().seq, 2u);
+}
+
+TEST(StalenessTrackerTest, TracksMaxAndMean) {
+  feed::StalenessTracker tracker(3);
+  feed::FeedItem item{1, 10.0};
+  tracker.record(1, item, 11.0);
+  tracker.record(1, item, 13.0);  // same item seen again (re-push)
+  EXPECT_EQ(tracker.items_received(1), 2u);
+  EXPECT_DOUBLE_EQ(tracker.max_staleness(1), 3.0);
+  EXPECT_DOUBLE_EQ(tracker.mean_staleness(1), 2.0);
+  EXPECT_EQ(tracker.items_received(2), 0u);
+}
+
+TEST(DisseminationTest, SatisfiedOverlayMeetsEveryStalenessBudget) {
+  // Build a converged LagOver, then actually disseminate items over it:
+  // no connected node may observe staleness above its constraint.
+  WorkloadParams params;
+  params.peers = 60;
+  params.seed = 5;
+  const Population population =
+      generate_workload(WorkloadKind::kBiUnCorr, params);
+  EngineConfig config;
+  config.seed = 9;
+  Engine engine(population, config);
+  ASSERT_TRUE(engine.run_until_converged(3000).has_value());
+
+  feed::DisseminationConfig dconfig;
+  dconfig.source.publish_period = 2.5;
+  const auto report = feed::run_dissemination(engine.overlay(), dconfig,
+                                              /*duration=*/200.0);
+  EXPECT_EQ(report.violations, 0u);
+  EXPECT_EQ(report.nodes.size(), 60u);
+  for (const auto& node : report.nodes) {
+    EXPECT_GT(node.items, 0u) << "node " << node.node << " starved";
+    EXPECT_TRUE(node.constraint_met);
+  }
+}
+
+TEST(DisseminationTest, SourceLoadIsPollersOverPeriod) {
+  WorkloadParams params;
+  params.peers = 60;
+  params.seed = 6;
+  const Population population = generate_workload(WorkloadKind::kRand, params);
+  EngineConfig config;
+  config.seed = 10;
+  Engine engine(population, config);
+  ASSERT_TRUE(engine.run_until_converged(3000).has_value());
+
+  feed::DisseminationConfig dconfig;
+  const auto report =
+      feed::run_dissemination(engine.overlay(), dconfig, 300.0);
+  // Request rate == pollers / poll_period (each direct child polls once
+  // per period, regardless of updates).
+  EXPECT_NEAR(report.source_request_rate, static_cast<double>(report.pollers),
+              0.15 * static_cast<double>(report.pollers));
+  EXPECT_EQ(report.pollers,
+            engine.overlay().children(kSourceId).size());
+}
+
+TEST(DisseminationTest, DeeperNodesSeeMoreStaleness) {
+  // On a witness tree (depths known exactly), mean staleness must grow
+  // with depth.
+  Population p;
+  p.source_fanout = 1;
+  p.consumers = {
+      NodeSpec{1, Constraints{1, 1}},
+      NodeSpec{2, Constraints{1, 2}},
+      NodeSpec{3, Constraints{0, 3}},
+  };
+  const auto depths = feasible_depths(p);
+  ASSERT_TRUE(depths.has_value());
+  const Overlay overlay = build_witness_overlay(p, *depths);
+  feed::DisseminationConfig dconfig;
+  dconfig.source.publish_period = 1.7;
+  const auto report = feed::run_dissemination(overlay, dconfig, 500.0);
+  ASSERT_EQ(report.nodes.size(), 3u);
+  EXPECT_LT(report.nodes[0].mean_staleness, report.nodes[1].mean_staleness);
+  EXPECT_LT(report.nodes[1].mean_staleness, report.nodes[2].mean_staleness);
+  EXPECT_EQ(report.violations, 0u);
+}
+
+TEST(DisseminationTest, PushMessageCountMatchesTreeEdges) {
+  Population p;
+  p.source_fanout = 1;
+  p.consumers = {
+      NodeSpec{1, Constraints{2, 1}},
+      NodeSpec{2, Constraints{0, 2}},
+      NodeSpec{3, Constraints{0, 2}},
+  };
+  Overlay overlay(p);
+  overlay.attach(1, kSourceId);
+  overlay.attach(2, 1);
+  overlay.attach(3, 1);
+  feed::DisseminationConfig dconfig;
+  dconfig.source.publish_period = 5.0;
+  const auto report = feed::run_dissemination(overlay, dconfig, 100.0);
+  // Every item delivered to nodes 2 and 3 crossed exactly one push edge
+  // (items published right at the horizon may still be in flight, so
+  // compare against deliveries, not publications).
+  EXPECT_EQ(report.push_messages,
+            report.nodes[1].items + report.nodes[2].items);
+  EXPECT_GT(report.push_messages, 0u);
+}
+
+}  // namespace
+}  // namespace lagover

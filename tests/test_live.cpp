@@ -1,0 +1,104 @@
+// Tests for live dissemination (construction + churn + delivery in one
+// timeline).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "feed/live.hpp"
+#include "workload/churn.hpp"
+#include "workload/constraints.hpp"
+
+namespace lagover {
+namespace {
+
+Population workload(std::size_t peers, std::uint64_t seed) {
+  WorkloadParams params;
+  params.peers = peers;
+  params.seed = seed;
+  return generate_workload(WorkloadKind::kBiUnCorr, params);
+}
+
+TEST(LiveDisseminationTest, StableOverlayDeliversEverythingOnTime) {
+  feed::LiveConfig config;
+  config.engine.seed = 3;
+  config.warmup_rounds = 80;  // enough to converge before measuring
+  config.measured_rounds = 300;
+  const auto report = run_live_dissemination(workload(60, 3), config);
+  EXPECT_GT(report.items_published, 0u);
+  EXPECT_GT(report.total_deliveries, 0u);
+  EXPECT_EQ(report.total_late, 0u);
+  EXPECT_DOUBLE_EQ(report.on_time_fraction, 1.0);
+  // Every consumer received every measured item except those still in
+  // flight at the horizon (at most ceil(max_depth / publish_every)).
+  for (const auto& node : report.nodes) {
+    EXPECT_GE(node.deliveries + 4, report.items_published) << node.node;
+    EXPECT_LE(node.deliveries, report.items_published) << node.node;
+  }
+  // Freshness stays at 1.0 throughout.
+  EXPECT_DOUBLE_EQ(
+      report.freshness.min_after(config.warmup_rounds + 20.0), 1.0);
+}
+
+TEST(LiveDisseminationTest, PaperChurnKeepsDeliveryMostlyOnTime) {
+  feed::LiveConfig config;
+  config.engine.seed = 5;
+  config.churn = [] { return std::make_unique<BernoulliChurn>(0.01, 0.2); };
+  config.warmup_rounds = 100;
+  config.measured_rounds = 400;
+  const auto report = run_live_dissemination(workload(100, 5), config);
+  EXPECT_GT(report.total_deliveries, 0u);
+  EXPECT_GT(report.on_time_fraction, 0.85);
+  EXPECT_GT(report.freshness.mean_after(config.warmup_rounds + 50.0), 0.8);
+}
+
+TEST(LiveDisseminationTest, HeavierChurnDegradesTimeliness) {
+  auto run_with = [&](double p_leave) {
+    feed::LiveConfig config;
+    config.engine.seed = 7;
+    config.churn = [p_leave] {
+      return std::make_unique<BernoulliChurn>(p_leave, 0.2);
+    };
+    config.warmup_rounds = 100;
+    config.measured_rounds = 400;
+    return run_live_dissemination(workload(100, 7), config);
+  };
+  const auto light = run_with(0.005);
+  const auto heavy = run_with(0.08);
+  EXPECT_GT(light.on_time_fraction, heavy.on_time_fraction);
+}
+
+TEST(LiveDisseminationTest, RejoiningNodesCatchUpThroughParents) {
+  // A windowed churn phase, then quiet: every published item must
+  // eventually reach every consumer (catch-up through the new parents),
+  // even if some deliveries were late.
+  feed::LiveConfig config;
+  config.engine.seed = 9;
+  config.churn = [] {
+    return std::make_unique<WindowedChurn>(/*active_rounds=*/250, 0.02, 0.2);
+  };
+  config.warmup_rounds = 100;
+  config.measured_rounds = 600;  // churn ends mid-window; tail is quiet
+  const auto report = run_live_dissemination(workload(80, 9), config);
+  // All but the newest items (still propagating at the horizon) arrive.
+  for (const auto& node : report.nodes)
+    EXPECT_GE(node.deliveries + 12, report.items_published)
+        << "node " << node.node << " missed items for good";
+  // And the tail of the run is fully fresh again.
+  EXPECT_DOUBLE_EQ(report.freshness.value_at(report.freshness.size() - 1),
+                   1.0);
+}
+
+TEST(LiveDisseminationTest, DeterministicPerSeed) {
+  feed::LiveConfig config;
+  config.engine.seed = 11;
+  config.churn = [] { return std::make_unique<BernoulliChurn>(0.02, 0.2); };
+  config.warmup_rounds = 50;
+  config.measured_rounds = 200;
+  const auto a = run_live_dissemination(workload(60, 11), config);
+  const auto b = run_live_dissemination(workload(60, 11), config);
+  EXPECT_EQ(a.total_deliveries, b.total_deliveries);
+  EXPECT_EQ(a.total_late, b.total_late);
+}
+
+}  // namespace
+}  // namespace lagover

@@ -1,0 +1,142 @@
+// Tests for the locality extension (paper Section 7 future work):
+// biased oracle semantics, metric accounting, and the end-to-end effect
+// on cross-locality edges.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/engine.hpp"
+#include "core/locality.hpp"
+#include "workload/constraints.hpp"
+
+namespace lagover {
+namespace {
+
+Population workload(std::size_t peers, std::uint64_t seed) {
+  WorkloadParams params;
+  params.peers = peers;
+  params.seed = seed;
+  return generate_workload(WorkloadKind::kBiUnCorr, params);
+}
+
+TEST(LocalityTest, RandomLocalitiesCoverAllBuckets) {
+  const LocalityMap localities = random_localities(200, 4, 9);
+  ASSERT_EQ(localities.size(), 201u);
+  std::vector<int> counts(4, 0);
+  for (std::size_t id = 1; id <= 200; ++id) {
+    ASSERT_GE(localities[id], 0);
+    ASSERT_LT(localities[id], 4);
+    ++counts[static_cast<std::size_t>(localities[id])];
+  }
+  for (int c : counts) EXPECT_GT(c, 25);  // roughly balanced
+}
+
+TEST(LocalityTest, FullBiasSamplesOwnLocalityWhenPossible) {
+  const Population population = workload(60, 2);
+  Overlay overlay(population);
+  const LocalityMap localities = random_localities(60, 3, 5);
+  LocalityBiasedOracle oracle(OracleKind::kRandom, localities, 1.0);
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const auto sample = oracle.sample(1, overlay, rng);
+    ASSERT_TRUE(sample.has_value());
+    EXPECT_EQ(localities[*sample], localities[1]);
+  }
+  EXPECT_EQ(oracle.local_samples(), 200u);
+  EXPECT_EQ(oracle.global_samples(), 0u);
+}
+
+TEST(LocalityTest, ZeroBiasBehavesLikeBaseOracle) {
+  const Population population = workload(60, 3);
+  Overlay overlay(population);
+  const LocalityMap localities = random_localities(60, 3, 6);
+  LocalityBiasedOracle oracle(OracleKind::kRandom, localities, 0.0);
+  Rng rng(8);
+  bool saw_foreign = false;
+  for (int i = 0; i < 200; ++i) {
+    const auto sample = oracle.sample(1, overlay, rng);
+    ASSERT_TRUE(sample.has_value());
+    if (localities[*sample] != localities[1]) saw_foreign = true;
+  }
+  EXPECT_TRUE(saw_foreign);
+  EXPECT_EQ(oracle.local_samples(), 0u);
+}
+
+TEST(LocalityTest, FallsBackGloballyWhenLocalityStarved) {
+  // Querier is alone in its bucket: full bias must still return someone.
+  Population p;
+  p.source_fanout = 2;
+  p.consumers = {NodeSpec{1, Constraints{1, 5}}, NodeSpec{2, Constraints{1, 5}},
+                 NodeSpec{3, Constraints{1, 5}}};
+  Overlay overlay(p);
+  LocalityMap localities{0, 0, 1, 1};  // node 1 alone in bucket 0
+  LocalityBiasedOracle oracle(OracleKind::kRandom, localities, 1.0);
+  Rng rng(9);
+  const auto sample = oracle.sample(1, overlay, rng);
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_NE(localities[*sample], localities[1]);
+  EXPECT_GT(oracle.global_samples(), 0u);
+}
+
+TEST(LocalityTest, RespectsBaseFilter) {
+  // Delay-filtered base: even with locality bias, candidates must obey
+  // the delay constraint filter.
+  const Population population = workload(40, 4);
+  Overlay overlay(population);
+  overlay.attach(1, kSourceId);
+  const LocalityMap localities = random_localities(40, 2, 7);
+  LocalityBiasedOracle oracle(OracleKind::kRandomDelay, localities, 0.7);
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) {
+    const auto sample = oracle.sample(2, overlay, rng);
+    if (!sample.has_value()) continue;
+    EXPECT_LT(overlay.delay_at(*sample), overlay.latency_of(2));
+  }
+}
+
+TEST(LocalityTest, MetricsCountCrossEdges) {
+  Population p;
+  p.source_fanout = 2;
+  p.consumers = {NodeSpec{1, Constraints{2, 1}}, NodeSpec{2, Constraints{1, 3}},
+                 NodeSpec{3, Constraints{0, 4}}};
+  Overlay overlay(p);
+  overlay.attach(1, kSourceId);
+  overlay.attach(2, 1);  // edge 2->1
+  overlay.attach(3, 2);  // edge 3->2
+  const LocalityMap localities{0, 0, 0, 1};  // node 3 in another bucket
+  const auto metrics = compute_locality_metrics(overlay, localities);
+  EXPECT_EQ(metrics.edges, 2u);        // source edge excluded
+  EXPECT_EQ(metrics.cross_edges, 1u);  // 3 -> 2
+  EXPECT_DOUBLE_EQ(metrics.cross_fraction, 0.5);
+}
+
+TEST(LocalityTest, BiasReducesCrossEdgesEndToEnd) {
+  // Construct with bias 0 and bias 0.9 on the same population/localities:
+  // the biased run should produce (weakly) fewer cross-locality edges,
+  // aggregated over a few seeds to tame randomness.
+  const Population population = workload(120, 5);
+  const LocalityMap localities = random_localities(120, 4, 11);
+  double cross_unbiased = 0.0;
+  double cross_biased = 0.0;
+  int runs = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    for (double bias : {0.0, 0.9}) {
+      EngineConfig config;
+      config.algorithm = AlgorithmKind::kHybrid;
+      config.seed = seed;
+      Engine engine(population, config);
+      engine.set_oracle(std::make_unique<LocalityBiasedOracle>(
+          OracleKind::kRandomDelay, localities, bias));
+      ASSERT_TRUE(engine.run_until_converged(3000).has_value());
+      const auto metrics =
+          compute_locality_metrics(engine.overlay(), localities);
+      (bias == 0.0 ? cross_unbiased : cross_biased) +=
+          metrics.cross_fraction;
+    }
+    ++runs;
+  }
+  EXPECT_LT(cross_biased, cross_unbiased);
+}
+
+}  // namespace
+}  // namespace lagover

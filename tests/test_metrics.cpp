@@ -1,0 +1,144 @@
+// Tests for tree metrics and the experiment harness.
+#include <gtest/gtest.h>
+
+#include "metrics/experiment.hpp"
+#include "metrics/tree_metrics.hpp"
+#include "workload/adversarial.hpp"
+#include "workload/constraints.hpp"
+
+namespace lagover {
+namespace {
+
+TEST(TreeMetricsTest, HandComputedSnapshot) {
+  Population p;
+  p.source_fanout = 2;
+  p.consumers = {
+      NodeSpec{1, Constraints{2, 1}}, NodeSpec{2, Constraints{1, 3}},
+      NodeSpec{3, Constraints{0, 4}}, NodeSpec{4, Constraints{1, 5}},
+  };
+  Overlay overlay(p);
+  overlay.attach(1, kSourceId);  // depth 1, slack 0
+  overlay.attach(2, 1);          // depth 2, slack 1
+  overlay.attach(3, 2);          // depth 3, slack 1
+  // node 4 stays detached.
+  const TreeMetrics m = compute_tree_metrics(overlay);
+  EXPECT_EQ(m.online, 4u);
+  EXPECT_EQ(m.connected, 3u);
+  EXPECT_EQ(m.satisfied, 3u);
+  EXPECT_EQ(m.detached_groups, 1u);
+  EXPECT_EQ(m.source_children, 1u);
+  EXPECT_EQ(m.max_depth, 3);
+  EXPECT_DOUBLE_EQ(m.mean_depth, 2.0);
+  EXPECT_EQ(m.min_slack, 0);
+  EXPECT_NEAR(m.mean_slack, 2.0 / 3.0, 1e-12);
+  ASSERT_EQ(m.depth_histogram.size(), 4u);
+  EXPECT_EQ(m.depth_histogram[1], 1u);
+  EXPECT_EQ(m.depth_histogram[2], 1u);
+  EXPECT_EQ(m.depth_histogram[3], 1u);
+  // fanout: node1 uses 1/2, node2 uses 1/1, node3 0/0 => 2 used, 3 total.
+  EXPECT_NEAR(m.fanout_utilization, 2.0 / 3.0, 1e-12);
+}
+
+TEST(TreeMetricsTest, EmptyOverlay) {
+  Population p;
+  p.source_fanout = 3;
+  const TreeMetrics m = compute_tree_metrics(Overlay(p));
+  EXPECT_EQ(m.online, 0u);
+  EXPECT_EQ(m.connected, 0u);
+  EXPECT_EQ(m.max_depth, 0);
+}
+
+TEST(ExperimentTest, TrialsAreIndependentAndSeeded) {
+  ExperimentSpec spec;
+  spec.population = [](std::uint64_t seed) {
+    WorkloadParams params;
+    params.peers = 30;
+    params.seed = seed;
+    return generate_workload(WorkloadKind::kRand, params);
+  };
+  spec.trials = 5;
+  spec.max_rounds = 2000;
+  const auto result = run_experiment(spec);
+  EXPECT_EQ(result.trials.size(), 5u);
+  EXPECT_EQ(result.failures, 0);
+  EXPECT_EQ(result.convergence_rounds.size(), 5u);
+  EXPECT_GE(result.median_rounds(), 1.0);
+  EXPECT_LE(result.min_rounds(), result.median_rounds());
+  EXPECT_LE(result.median_rounds(), result.max_rounds_observed());
+  // Deterministic when repeated.
+  const auto again = run_experiment(spec);
+  EXPECT_DOUBLE_EQ(result.median_rounds(), again.median_rounds());
+}
+
+TEST(ExperimentTest, FailuresReportedAsDnc) {
+  ExperimentSpec spec;
+  spec.population = [](std::uint64_t) { return adversarial_family(3); };
+  spec.config.algorithm = AlgorithmKind::kGreedy;  // provably cannot solve
+  spec.trials = 3;
+  spec.max_rounds = 150;
+  const auto result = run_experiment(spec);
+  EXPECT_EQ(result.failures, 3);
+  EXPECT_FALSE(result.any_converged());
+  EXPECT_LT(result.median_rounds(), 0.0);
+  EXPECT_EQ(format_convergence_cell(result), "DNC");
+}
+
+TEST(ExperimentTest, PartialConvergenceAnnotated) {
+  // Mix: hybrid solves the adversarial family, greedy cannot; fabricate
+  // a partial outcome by alternating algorithm through the population
+  // hook is not possible, so instead run hybrid with a tiny round budget
+  // that some seeds miss. Budget chosen so at least one trial fails and
+  // at least one succeeds across the seeds used.
+  ExperimentSpec spec;
+  spec.population = [](std::uint64_t) { return adversarial_family(2); };
+  spec.config.algorithm = AlgorithmKind::kHybrid;
+  spec.trials = 8;
+  spec.max_rounds = 40;
+  const auto result = run_experiment(spec);
+  if (result.failures > 0 && result.any_converged()) {
+    const std::string cell = format_convergence_cell(result);
+    EXPECT_NE(cell.find('/'), std::string::npos);
+  }
+  // Regardless of split, accounting must be consistent.
+  EXPECT_EQ(static_cast<int>(result.convergence_rounds.size()) +
+                result.failures,
+            8);
+}
+
+TEST(ExperimentTest, SeriesRecordingCapturesProgress) {
+  ExperimentSpec spec;
+  spec.population = [](std::uint64_t seed) {
+    WorkloadParams params;
+    params.peers = 20;
+    params.seed = seed;
+    return generate_workload(WorkloadKind::kTf1, params);
+  };
+  spec.trials = 1;
+  spec.record_series = true;
+  spec.max_rounds = 500;
+  const auto result = run_experiment(spec);
+  ASSERT_EQ(result.trials.size(), 1u);
+  const auto& series = result.trials[0].fraction_series;
+  ASSERT_FALSE(series.empty());
+  EXPECT_DOUBLE_EQ(series.value_at(series.size() - 1), 1.0);
+}
+
+TEST(ExperimentTest, FullHorizonKeepsRunningPastConvergence) {
+  ExperimentSpec spec;
+  spec.population = [](std::uint64_t seed) {
+    WorkloadParams params;
+    params.peers = 20;
+    params.seed = seed;
+    return generate_workload(WorkloadKind::kTf1, params);
+  };
+  spec.trials = 1;
+  spec.record_series = true;
+  spec.run_full_horizon = true;
+  spec.max_rounds = 300;
+  const auto result = run_experiment(spec);
+  EXPECT_EQ(result.trials[0].fraction_series.size(), 300u);
+  EXPECT_TRUE(result.trials[0].converged);
+}
+
+}  // namespace
+}  // namespace lagover

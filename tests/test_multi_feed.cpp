@@ -1,0 +1,134 @@
+// Tests for the multi-feed system: budget splitting, per-feed
+// construction, shared-budget invariants, and aggregate stats.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/multi_feed.hpp"
+
+namespace lagover {
+namespace {
+
+std::vector<MultiConsumerSpec> striped_consumers(std::size_t n, int feeds,
+                                                 std::uint64_t seed) {
+  // Every consumer subscribes to all feeds; later feeds tolerate more
+  // buffering (the multipath-video pattern).
+  Rng rng(seed);
+  std::vector<MultiConsumerSpec> consumers;
+  for (NodeId id = 1; id <= n; ++id) {
+    MultiConsumerSpec spec;
+    spec.id = id;
+    spec.total_fanout = static_cast<int>(rng.uniform_int(0, 2)) * feeds;
+    const auto base = static_cast<Delay>(rng.uniform_int(2, 6));
+    for (int f = 0; f < feeds; ++f)
+      spec.subscriptions.push_back(
+          {static_cast<std::size_t>(f), static_cast<Delay>(base + f)});
+    consumers.push_back(spec);
+  }
+  return consumers;
+}
+
+TEST(MultiFeedTest, EvenBudgetSplitSumsToTotal) {
+  MultiFeedConfig config;
+  auto consumers = striped_consumers(30, 3, 1);
+  MultiFeedSystem system({4, 4, 4}, consumers, config);
+  for (const auto& consumer : consumers) {
+    int total = 0;
+    for (std::size_t f = 0; f < 3; ++f)
+      total += system.allocated_fanout(consumer.id, f);
+    EXPECT_EQ(total, consumer.total_fanout) << "consumer " << consumer.id;
+  }
+}
+
+TEST(MultiFeedTest, DemandWeightedFavorsPopularFeeds) {
+  // One consumer with budget 4 subscribed to a feed with 20 subscribers
+  // and a feed with 5: the popular feed gets the larger share.
+  std::vector<MultiConsumerSpec> consumers;
+  for (NodeId id = 1; id <= 20; ++id) {
+    MultiConsumerSpec spec;
+    spec.id = id;
+    spec.total_fanout = id == 1 ? 4 : 1;
+    spec.subscriptions.push_back({0, 5});
+    if (id == 1 || id <= 5) spec.subscriptions.push_back({1, 5});
+    consumers.push_back(spec);
+  }
+  MultiFeedConfig config;
+  config.policy = BudgetPolicy::kDemandWeighted;
+  MultiFeedSystem system({4, 4}, consumers, config);
+  EXPECT_GT(system.allocated_fanout(1, 0), system.allocated_fanout(1, 1));
+  EXPECT_EQ(system.allocated_fanout(1, 0) + system.allocated_fanout(1, 1), 4);
+}
+
+TEST(MultiFeedTest, NonSubscriberHasZeroAllocation) {
+  std::vector<MultiConsumerSpec> consumers;
+  MultiConsumerSpec only_feed0;
+  only_feed0.id = 1;
+  only_feed0.total_fanout = 3;
+  only_feed0.subscriptions.push_back({0, 4});
+  consumers.push_back(only_feed0);
+  MultiFeedSystem system({2, 2}, consumers, MultiFeedConfig{});
+  EXPECT_EQ(system.allocated_fanout(1, 0), 3);
+  EXPECT_EQ(system.allocated_fanout(1, 1), 0);
+  EXPECT_EQ(system.engine(1).overlay().consumer_count(), 0u);
+}
+
+TEST(MultiFeedTest, ConvergesAndServesAllSubscriptions) {
+  MultiFeedConfig config;
+  config.engine.seed = 77;
+  MultiFeedSystem system({5, 5, 5}, striped_consumers(45, 3, 2), config);
+  const auto converged = system.run_until_converged(5000);
+  ASSERT_TRUE(converged.has_value());
+  const auto stats = system.stats();
+  EXPECT_EQ(stats.fully_served, 45u);
+  EXPECT_DOUBLE_EQ(stats.fully_served_fraction, 1.0);
+  for (double fraction : stats.per_feed_satisfied)
+    EXPECT_DOUBLE_EQ(fraction, 1.0);
+  system.audit_budgets();
+}
+
+TEST(MultiFeedTest, BudgetInvariantHoldsMidConstruction) {
+  MultiFeedConfig config;
+  config.engine.seed = 13;
+  MultiFeedSystem system({4, 4}, striped_consumers(40, 2, 3), config);
+  for (int round = 0; round < 50; ++round) {
+    system.run_round();
+    system.audit_budgets();
+  }
+}
+
+TEST(MultiFeedTest, ValidatesInput) {
+  std::vector<MultiConsumerSpec> bad_ids;
+  bad_ids.push_back({2, 1, {{0, 1}}});
+  EXPECT_THROW(MultiFeedSystem({1}, bad_ids, MultiFeedConfig{}),
+               InvalidArgument);
+
+  std::vector<MultiConsumerSpec> bad_feed;
+  bad_feed.push_back({1, 1, {{7, 1}}});
+  EXPECT_THROW(MultiFeedSystem({1}, bad_feed, MultiFeedConfig{}),
+               InvalidArgument);
+
+  std::vector<MultiConsumerSpec> bad_latency;
+  bad_latency.push_back({1, 1, {{0, 0}}});
+  EXPECT_THROW(MultiFeedSystem({1}, bad_latency, MultiFeedConfig{}),
+               InvalidArgument);
+
+  EXPECT_THROW(MultiFeedSystem({}, {}, MultiFeedConfig{}), InvalidArgument);
+}
+
+TEST(MultiFeedTest, StatsCountPartiallyServedConsumers) {
+  // Two feeds; consumer 1 subscribes to both but feed 1's source has no
+  // capacity, so it can never be fully served.
+  std::vector<MultiConsumerSpec> consumers;
+  consumers.push_back({1, 2, {{0, 3}, {1, 3}}});
+  MultiFeedConfig config;
+  MultiFeedSystem system({1, 0}, consumers, config);
+  for (int round = 0; round < 30; ++round) system.run_round();
+  EXPECT_FALSE(system.fully_served(1));
+  const auto stats = system.stats();
+  EXPECT_EQ(stats.fully_served, 0u);
+  EXPECT_DOUBLE_EQ(stats.per_feed_satisfied[0], 1.0);
+  EXPECT_DOUBLE_EQ(stats.per_feed_satisfied[1], 0.0);
+}
+
+}  // namespace
+}  // namespace lagover

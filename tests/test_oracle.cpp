@@ -1,0 +1,144 @@
+// Tests for the four directory Oracles' filtering semantics and
+// statistics.
+#include <gtest/gtest.h>
+
+#include "core/oracle.hpp"
+
+namespace lagover {
+namespace {
+
+Population population() {
+  Population p;
+  p.source_fanout = 2;
+  p.consumers = {
+      NodeSpec{1, Constraints{1, 1}},  // will sit at the source
+      NodeSpec{2, Constraints{0, 3}},  // zero fanout
+      NodeSpec{3, Constraints{2, 5}},  // free fanout, deep
+      NodeSpec{4, Constraints{1, 2}},
+  };
+  return p;
+}
+
+TEST(OracleTest, RandomReturnsAnyOtherConsumer) {
+  Overlay overlay(population());
+  auto oracle = make_oracle(OracleKind::kRandom);
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const auto sample = oracle->sample(4, overlay, rng);
+    ASSERT_TRUE(sample.has_value());
+    EXPECT_NE(*sample, 4u);
+    EXPECT_NE(*sample, kSourceId);
+  }
+  EXPECT_EQ(oracle->stats().queries, 50u);
+  EXPECT_EQ(oracle->stats().empty_results, 0u);
+}
+
+TEST(OracleTest, RandomCapacityFiltersSaturatedNodes) {
+  Overlay overlay(population());
+  overlay.attach(1, kSourceId);
+  overlay.attach(4, 1);  // node 1 now saturated (fanout 1)
+  auto oracle = make_oracle(OracleKind::kRandomCapacity);
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const auto sample = oracle->sample(2, overlay, rng);
+    ASSERT_TRUE(sample.has_value());
+    // Only nodes 3 (fanout 2, unused) and 4 (fanout 1, unused) qualify.
+    EXPECT_TRUE(*sample == 3u || *sample == 4u);
+  }
+}
+
+TEST(OracleTest, RandomDelayFiltersByQuerierConstraint) {
+  Overlay overlay(population());
+  overlay.attach(1, kSourceId);  // delay 1
+  overlay.attach(4, 1);          // delay 2
+  auto oracle = make_oracle(OracleKind::kRandomDelay);
+  Rng rng(3);
+  // Querier 4 has l = 2: only nodes with delay < 2 qualify; detached
+  // nodes 2 and 3 report optimistic delay 1 and also qualify.
+  for (int i = 0; i < 50; ++i) {
+    const auto sample = oracle->sample(4, overlay, rng);
+    ASSERT_TRUE(sample.has_value());
+    EXPECT_LT(overlay.delay_at(*sample), 2);
+  }
+}
+
+TEST(OracleTest, RandomDelayIgnoresCapacity) {
+  Overlay overlay(population());
+  overlay.attach(1, kSourceId);
+  overlay.attach(4, 1);  // node 1 saturated but delay 1
+  auto oracle = make_oracle(OracleKind::kRandomDelay);
+  Rng rng(4);
+  bool saw_saturated = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto sample = oracle->sample(2, overlay, rng);
+    ASSERT_TRUE(sample.has_value());
+    if (*sample == 1u) saw_saturated = true;
+  }
+  EXPECT_TRUE(saw_saturated);  // the key property behind the paper's O3
+}
+
+TEST(OracleTest, RandomDelayCapacityRequiresBoth) {
+  Overlay overlay(population());
+  overlay.attach(1, kSourceId);
+  overlay.attach(4, 1);
+  auto oracle = make_oracle(OracleKind::kRandomDelayCapacity);
+  Rng rng(5);
+  // Querier 4 (l=2): needs delay < 2 AND free fanout. Node 1 is
+  // saturated; nodes 2 (fanout 0) fails capacity; node 3 qualifies
+  // (optimistic delay 1, fanout free).
+  for (int i = 0; i < 50; ++i) {
+    const auto sample = oracle->sample(4, overlay, rng);
+    ASSERT_TRUE(sample.has_value());
+    EXPECT_EQ(*sample, 3u);
+  }
+}
+
+TEST(OracleTest, EmptyResultWhenNoCandidateQualifies) {
+  Overlay overlay(population());
+  auto oracle = make_oracle(OracleKind::kRandomDelay);
+  Rng rng(6);
+  // Querier 1 has l = 1: no node can have delay < 1.
+  const auto sample = oracle->sample(1, overlay, rng);
+  EXPECT_FALSE(sample.has_value());
+  EXPECT_EQ(oracle->stats().empty_results, 1u);
+}
+
+TEST(OracleTest, OfflineNodesNeverSampled) {
+  Overlay overlay(population());
+  overlay.set_offline(2);
+  overlay.set_offline(3);
+  auto oracle = make_oracle(OracleKind::kRandom);
+  Rng rng(7);
+  for (int i = 0; i < 30; ++i) {
+    const auto sample = oracle->sample(1, overlay, rng);
+    ASSERT_TRUE(sample.has_value());
+    EXPECT_EQ(*sample, 4u);
+  }
+}
+
+TEST(OracleTest, SamplingIsApproximatelyUniform) {
+  Overlay overlay(population());
+  auto oracle = make_oracle(OracleKind::kRandom);
+  Rng rng(8);
+  std::vector<int> counts(5, 0);
+  constexpr int kTrials = 30000;
+  for (int i = 0; i < kTrials; ++i) {
+    const auto sample = oracle->sample(4, overlay, rng);
+    ASSERT_TRUE(sample.has_value());
+    ++counts[*sample];
+  }
+  // Candidates 1, 2, 3 each ~1/3.
+  for (NodeId id = 1; id <= 3; ++id)
+    EXPECT_NEAR(counts[id] / static_cast<double>(kTrials), 1.0 / 3.0, 0.02);
+  EXPECT_EQ(counts[4], 0);
+}
+
+TEST(OracleTest, PaperLabels) {
+  EXPECT_EQ(paper_label(OracleKind::kRandom), "O1");
+  EXPECT_EQ(paper_label(OracleKind::kRandomCapacity), "O2a");
+  EXPECT_EQ(paper_label(OracleKind::kRandomDelayCapacity), "O2b");
+  EXPECT_EQ(paper_label(OracleKind::kRandomDelay), "O3");
+}
+
+}  // namespace
+}  // namespace lagover

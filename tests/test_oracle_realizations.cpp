@@ -1,0 +1,169 @@
+// Tests for the distributed Oracle realizations: the DHT-backed
+// directory (staleness + routing costs) and the gossip random-walk
+// oracle — including end-to-end construction runs using them.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/engine.hpp"
+#include "dht/directory.hpp"
+#include "gossip/unstructured.hpp"
+#include "workload/constraints.hpp"
+
+namespace lagover {
+namespace {
+
+Population small_workload(std::uint64_t seed) {
+  WorkloadParams params;
+  params.peers = 40;
+  params.seed = seed;
+  return generate_workload(WorkloadKind::kBiUnCorr, params);
+}
+
+TEST(DhtOracleTest, SamplesRespectFilterSemantics) {
+  const Population population = small_workload(3);
+  Overlay overlay(population);
+  dht::DhtOracleConfig config;
+  config.ring_size = 8;
+  config.refresh_every_queries = 4;
+  dht::DhtDirectoryOracle oracle(OracleKind::kRandomDelay, config);
+  Rng rng(5);
+  overlay.attach(1, kSourceId);
+  for (int i = 0; i < 40; ++i) {
+    const auto sample = oracle.sample(2, overlay, rng);
+    if (!sample.has_value()) continue;
+    EXPECT_NE(*sample, 2u);
+    EXPECT_NE(*sample, kSourceId);
+    // Fresh-enough records: the sampled node's snapshot delay was below
+    // the querier's constraint when recorded.
+    EXPECT_TRUE(overlay.online(*sample));
+  }
+  EXPECT_GT(oracle.costs().queries, 0u);
+  EXPECT_GT(oracle.costs().publishes, 0u);
+  EXPECT_GT(oracle.costs().ring_messages, 0u);
+}
+
+TEST(DhtOracleTest, AccountsRoutingHops) {
+  dht::DhtOracleConfig config;
+  config.ring_size = 16;
+  dht::DhtDirectoryOracle oracle(OracleKind::kRandom, config);
+  const Population population = small_workload(4);
+  Overlay overlay(population);
+  Rng rng(6);
+  for (int i = 0; i < 10; ++i) oracle.sample(1, overlay, rng);
+  EXPECT_GT(oracle.costs().query_hops.count(), 0u);
+  EXPECT_GE(oracle.costs().query_hops.mean(), 1.0);
+}
+
+TEST(DhtOracleTest, EngineConvergesWithDhtBackedOracle) {
+  EngineConfig config;
+  config.algorithm = AlgorithmKind::kHybrid;
+  config.oracle = OracleKind::kRandomDelay;
+  config.seed = 21;
+  Engine engine(small_workload(7), config);
+  dht::DhtOracleConfig oracle_config;
+  oracle_config.ring_size = 8;
+  oracle_config.refresh_every_queries = 16;
+  engine.set_oracle(std::make_unique<dht::DhtDirectoryOracle>(
+      OracleKind::kRandomDelay, oracle_config));
+  const auto converged = engine.run_until_converged(3000);
+  ASSERT_TRUE(converged.has_value());
+  EXPECT_TRUE(engine.overlay().all_satisfied());
+}
+
+TEST(GossipOracleTest, WalksReturnOtherLiveNodes) {
+  const Population population = small_workload(8);
+  Overlay overlay(population);
+  gossip::GossipConfig config;
+  gossip::GossipRandomOracle oracle(population.consumers.size(), config);
+  Rng rng(9);
+  int produced = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto sample = oracle.sample(1, overlay, rng);
+    if (!sample.has_value()) continue;  // walk ended at its origin
+    ++produced;
+    EXPECT_NE(*sample, 1u);
+    EXPECT_TRUE(overlay.online(*sample));
+  }
+  EXPECT_GT(produced, 90);
+  EXPECT_GT(oracle.membership().walk_messages(), 0u);
+}
+
+TEST(GossipOracleTest, WalksAvoidOfflineNodes) {
+  const Population population = small_workload(10);
+  Overlay overlay(population);
+  for (NodeId id = 2; id <= 20; ++id) overlay.set_offline(id);
+  gossip::GossipConfig config;
+  gossip::GossipRandomOracle oracle(population.consumers.size(), config);
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) {
+    const auto sample = oracle.sample(1, overlay, rng);
+    if (!sample.has_value()) continue;  // walk can be stuck, that's fine
+    EXPECT_TRUE(overlay.online(*sample));
+  }
+}
+
+TEST(GossipOracleTest, SamplesTouchMostOfTheMembership) {
+  const Population population = small_workload(11);
+  Overlay overlay(population);
+  gossip::GossipConfig config;
+  config.walk_ttl = 10;
+  gossip::GossipRandomOracle oracle(population.consumers.size(), config);
+  Rng rng(11);
+  std::set<NodeId> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto sample = oracle.sample(1, overlay, rng);
+    if (sample.has_value()) seen.insert(*sample);
+  }
+  // A healthy random walk on a connected graph reaches nearly everyone.
+  EXPECT_GT(seen.size(), population.consumers.size() * 3 / 4);
+}
+
+TEST(GossipOracleTest, EngineConvergesWithGossipOracle) {
+  const Population population = small_workload(12);
+  EngineConfig config;
+  config.algorithm = AlgorithmKind::kHybrid;
+  config.oracle = OracleKind::kRandom;
+  config.seed = 23;
+  Engine engine(population, config);
+  engine.set_oracle(std::make_unique<gossip::GossipRandomOracle>(
+      population.consumers.size(), gossip::GossipConfig{}));
+  const auto converged = engine.run_until_converged(5000);
+  ASSERT_TRUE(converged.has_value());
+}
+
+TEST(UnstructuredOverlayTest, ViewsHaveRequestedDegree) {
+  gossip::GossipConfig config;
+  config.view_size = 5;
+  gossip::UnstructuredOverlay membership(30, config);
+  for (NodeId id = 1; id <= 30; ++id) {
+    EXPECT_EQ(membership.view(id).size(), 5u);
+    for (NodeId peer : membership.view(id)) {
+      EXPECT_NE(peer, id);
+      EXPECT_GE(peer, 1u);
+      EXPECT_LE(peer, 30u);
+    }
+  }
+}
+
+TEST(UnstructuredOverlayTest, ShuffleKeepsViewsValid) {
+  const Population population = small_workload(13);
+  Overlay overlay(population);
+  gossip::GossipConfig config;
+  gossip::UnstructuredOverlay membership(population.consumers.size(), config);
+  Rng rng(14);
+  for (int round = 0; round < 50; ++round)
+    membership.shuffle_views(overlay, rng);
+  for (NodeId id = 1; id <= population.consumers.size(); ++id) {
+    std::set<NodeId> unique;
+    for (NodeId peer : membership.view(id)) {
+      EXPECT_NE(peer, id);
+      unique.insert(peer);
+    }
+    EXPECT_EQ(unique.size(), membership.view(id).size()) << "duplicates";
+  }
+}
+
+}  // namespace
+}  // namespace lagover

@@ -1,0 +1,347 @@
+// Unit tests of the construction protocols' interaction rules: the
+// greedy ordering behaviour, the hybrid fanout preference, source
+// contact with displacement, and the reconfiguration primitives.
+#include <gtest/gtest.h>
+
+#include "core/greedy.hpp"
+#include "core/hybrid.hpp"
+#include "core/overlay.hpp"
+
+namespace lagover {
+namespace {
+
+Population population_from(std::vector<std::pair<int, Delay>> specs,
+                           int source_fanout) {
+  Population p;
+  p.source_fanout = source_fanout;
+  NodeId id = 1;
+  for (auto [f, l] : specs)
+    p.consumers.push_back(NodeSpec{id++, Constraints{f, l}});
+  return p;
+}
+
+// --- source contact (shared by both protocols) -------------------------
+
+TEST(SourceContactTest, AttachesOnFreeCapacity) {
+  Overlay overlay(population_from({{1, 2}}, 1));
+  GreedyProtocol greedy;
+  EXPECT_TRUE(greedy.contact_source(overlay, 1));
+  EXPECT_EQ(overlay.parent(1), kSourceId);
+  EXPECT_EQ(greedy.counters().source_attaches, 1u);
+}
+
+TEST(SourceContactTest, DisplacesLaxestChildWhenFull) {
+  // Source fanout 1 occupied by a lax node; a stricter node displaces it
+  // and re-adopts it.
+  Overlay overlay(population_from({{1, 5}, {1, 1}}, 1));
+  GreedyProtocol greedy;
+  overlay.attach(1, kSourceId);
+  EXPECT_TRUE(greedy.contact_source(overlay, 2));
+  EXPECT_EQ(overlay.parent(2), kSourceId);
+  EXPECT_EQ(overlay.parent(1), 2u);  // adopted by the displacer
+  EXPECT_EQ(greedy.counters().source_replacements, 1u);
+  overlay.audit();
+}
+
+TEST(SourceContactTest, DisplacedChildOrphanedWhenDisplacerFull) {
+  // Node 3 (fanout 0, l=1) displaces node 1 but cannot adopt it.
+  Overlay overlay(population_from({{1, 5}, {1, 4}, {0, 1}}, 1));
+  GreedyProtocol greedy;
+  overlay.attach(1, kSourceId);
+  overlay.attach(2, 1);
+  EXPECT_TRUE(greedy.contact_source(overlay, 3));
+  EXPECT_EQ(overlay.parent(3), kSourceId);
+  EXPECT_EQ(overlay.parent(1), kNoNode);  // orphaned with its subtree
+  EXPECT_EQ(overlay.parent(2), 1u);
+  overlay.audit();
+}
+
+TEST(SourceContactTest, FailsWhenAllChildrenStricter) {
+  Overlay overlay(population_from({{1, 1}, {1, 3}}, 1));
+  GreedyProtocol greedy;
+  overlay.attach(1, kSourceId);
+  EXPECT_FALSE(greedy.contact_source(overlay, 2));
+  EXPECT_EQ(greedy.counters().failed_source_contacts, 1u);
+  EXPECT_EQ(overlay.parent(2), kNoNode);
+}
+
+// --- greedy interactions ------------------------------------------------
+
+TEST(GreedyTest, OrphanMergeStricterBecomesParent) {
+  Overlay overlay(population_from({{1, 2}, {1, 5}}, 1));
+  GreedyProtocol greedy;
+  const auto result = greedy.interact(overlay, 2, 1);
+  EXPECT_TRUE(result.attached);
+  EXPECT_EQ(overlay.parent(2), 1u);  // l_1 = 2 < l_2 = 5
+  EXPECT_EQ(overlay.first_greedy_order_violation(), kNoNode);
+}
+
+TEST(GreedyTest, OrphanMergeInitiatorCanBecomeParent) {
+  Overlay overlay(population_from({{1, 2}, {1, 5}}, 1));
+  GreedyProtocol greedy;
+  // Initiated by the stricter node: it still ends up the parent.
+  const auto result = greedy.interact(overlay, 1, 2);
+  EXPECT_FALSE(result.attached);  // i itself stays parentless
+  EXPECT_EQ(overlay.parent(2), 1u);
+}
+
+TEST(GreedyTest, EqualLatencyTieBreaksOnFreeFanout) {
+  Overlay overlay(population_from({{1, 3}, {4, 3}}, 1));
+  GreedyProtocol greedy;
+  greedy.interact(overlay, 1, 2);
+  EXPECT_EQ(overlay.parent(1), 2u);  // node 2 has more free fanout
+}
+
+TEST(GreedyTest, AttachUnderConnectedStricterNode) {
+  Overlay overlay(population_from({{2, 1}, {1, 4}}, 1));
+  GreedyProtocol greedy;
+  overlay.attach(1, kSourceId);
+  const auto result = greedy.interact(overlay, 2, 1);
+  EXPECT_TRUE(result.attached);
+  EXPECT_EQ(overlay.parent(2), 1u);
+  EXPECT_TRUE(overlay.satisfied(2));
+}
+
+TEST(GreedyTest, RefusesAttachViolatingOwnDelay) {
+  // Node 3 (l=1) cannot go at depth 2 under node 2.
+  Overlay overlay(population_from({{1, 1}, {1, 2}, {1, 1}}, 2));
+  GreedyProtocol greedy;
+  overlay.attach(1, kSourceId);
+  overlay.attach(2, 1);
+  const auto result = greedy.interact(overlay, 3, 2);
+  EXPECT_FALSE(result.attached);
+  // Referred upstream toward the source (node 1).
+  ASSERT_TRUE(result.referral.has_value());
+  EXPECT_EQ(*result.referral, 1u);
+}
+
+TEST(GreedyTest, DisplacementPushesLaxChildDown) {
+  // Node 1 (l=1, fanout 1) is full with node 2 (l=5); node 3 (l=2, f=1)
+  // takes the slot and adopts node 2.
+  Overlay overlay(population_from({{1, 1}, {1, 5}, {1, 2}}, 1));
+  GreedyProtocol greedy;
+  overlay.attach(1, kSourceId);
+  overlay.attach(2, 1);
+  const auto result = greedy.interact(overlay, 3, 1);
+  EXPECT_TRUE(result.attached);
+  EXPECT_EQ(overlay.parent(3), 1u);
+  EXPECT_EQ(overlay.parent(2), 3u);
+  EXPECT_EQ(greedy.counters().displacements, 1u);
+  EXPECT_EQ(overlay.first_greedy_order_violation(), kNoNode);
+  overlay.audit();
+}
+
+TEST(GreedyTest, StricterInitiatorInsertsAboveLaxerNode) {
+  // Chain 0 <- 1(l=1) <- 2(l=5); node 3 (l=2, fanout 1) meets node 2 and
+  // takes its slot, adopting it.
+  Overlay overlay(population_from({{1, 1}, {0, 5}, {1, 2}}, 1));
+  GreedyProtocol greedy;
+  overlay.attach(1, kSourceId);
+  overlay.attach(2, 1);
+  const auto result = greedy.interact(overlay, 3, 2);
+  EXPECT_TRUE(result.attached);
+  EXPECT_EQ(overlay.parent(3), 1u);
+  EXPECT_EQ(overlay.parent(2), 3u);
+  EXPECT_EQ(overlay.first_greedy_order_violation(), kNoNode);
+}
+
+TEST(GreedyTest, PartnerInOwnGroupIsWasted) {
+  Overlay overlay(population_from({{1, 2}, {1, 5}}, 1));
+  GreedyProtocol greedy;
+  overlay.attach(2, 1);
+  const auto result = greedy.interact(overlay, 1, 2);
+  EXPECT_FALSE(result.attached);
+  EXPECT_FALSE(result.referral.has_value());
+  EXPECT_EQ(greedy.counters().wasted_interactions, 1u);
+}
+
+// --- hybrid interactions -----------------------------------------------
+
+TEST(HybridTest, OrphanMergePrefersLargerFanout) {
+  // Unlike greedy, the *higher-fanout* node hosts even with laxer l.
+  Overlay overlay(population_from({{0, 2}, {5, 9}}, 1));
+  HybridProtocol hybrid;
+  const auto result = hybrid.interact(overlay, 1, 2);
+  EXPECT_TRUE(result.attached);
+  EXPECT_EQ(overlay.parent(1), 2u);
+}
+
+TEST(HybridTest, OrphanMergeFanoutTieUsesStricterLatency) {
+  Overlay overlay(population_from({{2, 2}, {2, 7}}, 1));
+  HybridProtocol hybrid;
+  hybrid.interact(overlay, 2, 1);
+  EXPECT_EQ(overlay.parent(2), 1u);  // same fanout, stricter l hosts
+}
+
+TEST(HybridTest, PullSourceChildReplacedByStricterNode) {
+  // j <- 0 with l_i < l_j: i takes the slot, j becomes i's child.
+  Overlay overlay(population_from({{1, 6}, {1, 2}}, 1));
+  HybridProtocol hybrid(SourceMode::kPullOnly);
+  overlay.attach(1, kSourceId);
+  const auto result = hybrid.interact(overlay, 2, 1);
+  EXPECT_TRUE(result.attached);
+  EXPECT_EQ(overlay.parent(2), kSourceId);
+  EXPECT_EQ(overlay.parent(1), 2u);
+  EXPECT_EQ(hybrid.counters().replacements, 1u);
+}
+
+TEST(HybridTest, PushSourceChildReplacedByLargerFanout) {
+  // Same topology but a push source: fanout decides, not latency.
+  Overlay overlay(population_from({{1, 2}, {4, 6}}, 1));
+  HybridProtocol hybrid(SourceMode::kPush);
+  overlay.attach(1, kSourceId);
+  const auto result = hybrid.interact(overlay, 2, 1);
+  EXPECT_TRUE(result.attached);
+  EXPECT_EQ(overlay.parent(2), kSourceId);
+  EXPECT_EQ(overlay.parent(1), 2u);
+}
+
+TEST(HybridTest, PullModeKeepsStricterChildAtSource) {
+  // With a pull-only source the laxer initiator must NOT displace the
+  // stricter child; it attaches underneath instead.
+  Overlay overlay(population_from({{1, 1}, {1, 6}}, 1));
+  HybridProtocol hybrid(SourceMode::kPullOnly);
+  overlay.attach(1, kSourceId);
+  const auto result = hybrid.interact(overlay, 2, 1);
+  EXPECT_TRUE(result.attached);
+  EXPECT_EQ(overlay.parent(1), kSourceId);
+  EXPECT_EQ(overlay.parent(2), 1u);
+}
+
+TEST(HybridTest, InteriorReplaceByLargerFanout) {
+  // Chain 0 <- 1 <- 2 (fanout 1); node 3 with fanout 3 takes 2's slot.
+  Overlay overlay(population_from({{1, 1}, {1, 8}, {3, 8}}, 1));
+  HybridProtocol hybrid;
+  overlay.attach(1, kSourceId);
+  overlay.attach(2, 1);
+  const auto result = hybrid.interact(overlay, 3, 2);
+  EXPECT_TRUE(result.attached);
+  EXPECT_EQ(overlay.parent(3), 1u);
+  EXPECT_EQ(overlay.parent(2), 3u);
+  overlay.audit();
+}
+
+TEST(HybridTest, ReplaceDiscardsChildWhenAdopterFull) {
+  // Node 3 (fanout 2) already parents nodes 4 and 5; replacing node 2
+  // under node 1 forces it to discard its laxest child to adopt node 2.
+  Overlay overlay(
+      population_from({{1, 1}, {1, 8}, {2, 8}, {0, 9}, {0, 9}}, 1));
+  HybridProtocol hybrid;
+  overlay.attach(1, kSourceId);
+  overlay.attach(2, 1);
+  overlay.attach(4, 3);
+  overlay.attach(5, 3);
+  const auto result = hybrid.interact(overlay, 3, 2);
+  EXPECT_TRUE(result.attached);
+  EXPECT_EQ(overlay.parent(3), 1u);
+  EXPECT_EQ(overlay.parent(2), 3u);
+  // One of the equal-latency children was evicted, the other kept.
+  EXPECT_TRUE((overlay.parent(4) == kNoNode) !=
+              (overlay.parent(5) == kNoNode));
+  EXPECT_EQ(hybrid.counters().child_discards, 1u);
+  overlay.audit();
+}
+
+TEST(HybridTest, EqualFanoutDoesNotReplaceInterior) {
+  // Replacing on equal fanout is a zero-gain reconfiguration; the node
+  // attaches underneath instead.
+  Overlay overlay(population_from({{1, 1}, {1, 8}, {1, 8}}, 1));
+  HybridProtocol hybrid;
+  overlay.attach(1, kSourceId);
+  overlay.attach(2, 1);
+  const auto result = hybrid.interact(overlay, 3, 2);
+  EXPECT_TRUE(result.attached);
+  EXPECT_EQ(overlay.parent(3), 2u);
+  EXPECT_EQ(hybrid.counters().replacements, 0u);
+}
+
+TEST(HybridTest, ReferralWalksUpstreamWhenDelayTooHigh) {
+  // Node 4 (l=1) meets a deep node: everything at or below j violates
+  // its constraint, so it is referred to k = Parent(j).
+  Overlay overlay(population_from({{1, 1}, {1, 4}, {1, 4}, {0, 1}}, 2));
+  HybridProtocol hybrid;
+  overlay.attach(1, kSourceId);
+  overlay.attach(2, 1);
+  overlay.attach(3, 2);
+  const auto result = hybrid.interact(overlay, 4, 3);
+  EXPECT_FALSE(result.attached);
+  ASSERT_TRUE(result.referral.has_value());
+  EXPECT_EQ(*result.referral, 2u);
+}
+
+TEST(HybridTest, SourceChildInteractionFallsBackToSourceReferral) {
+  // Nothing works at a full source child: i is referred to the source.
+  Overlay overlay(population_from({{0, 1}, {0, 3}}, 1));
+  HybridProtocol hybrid;
+  overlay.attach(1, kSourceId);
+  const auto result = hybrid.interact(overlay, 2, 1);
+  EXPECT_FALSE(result.attached);
+  ASSERT_TRUE(result.referral.has_value());
+  EXPECT_EQ(*result.referral, kSourceId);
+}
+
+TEST(GreedyTest, OrphaningDisplacementWhenAdoptionImpossible) {
+  // Node 3 (saturated: its own fanout is fully used) meets node 1 whose
+  // only slot is held by the much laxer node 2. Adoption is impossible
+  // (3 has no free slot), so node 2 is orphaned and node 3 takes the
+  // slot — the move that unblocks capacity-tight workloads.
+  Overlay overlay(population_from({{1, 1}, {1, 9}, {1, 2}, {0, 3}}, 1));
+  GreedyProtocol greedy;
+  overlay.attach(1, kSourceId);
+  overlay.attach(2, 1);  // lax occupant
+  overlay.attach(4, 3);  // saturates node 3
+  const auto result = greedy.interact(overlay, 3, 1);
+  EXPECT_TRUE(result.attached);
+  EXPECT_EQ(overlay.parent(3), 1u);
+  EXPECT_EQ(overlay.parent(2), kNoNode);  // orphaned, restarts
+  EXPECT_EQ(overlay.parent(4), 3u);       // 3's subtree came along
+  overlay.audit();
+}
+
+TEST(GreedyTest, OrphaningRequiresStrictlyLaxerVictim) {
+  // Equal-latency occupants never yield their slot (would ping-pong).
+  Overlay overlay(population_from({{1, 1}, {1, 2}, {1, 2}, {0, 3}}, 1));
+  GreedyProtocol greedy;
+  overlay.attach(1, kSourceId);
+  overlay.attach(2, 1);
+  overlay.attach(4, 3);
+  const auto result = greedy.interact(overlay, 3, 1);
+  EXPECT_FALSE(result.attached);
+  EXPECT_EQ(overlay.parent(2), 1u);  // untouched
+}
+
+TEST(GreedyTest, DisplacementDisabledViaToggle) {
+  Overlay overlay(population_from({{1, 1}, {1, 9}, {1, 2}, {0, 3}}, 1));
+  GreedyProtocol greedy;
+  greedy.set_orphaning_displacement(false);
+  overlay.attach(1, kSourceId);
+  overlay.attach(2, 1);
+  overlay.attach(4, 3);
+  const auto result = greedy.interact(overlay, 3, 1);
+  EXPECT_FALSE(result.attached);
+  EXPECT_EQ(overlay.parent(2), 1u);
+}
+
+TEST(SourceContactTest, PicksLaxestVictimAmongSeveral) {
+  Overlay overlay(population_from({{1, 4}, {1, 7}, {1, 5}, {1, 1}}, 3));
+  GreedyProtocol greedy;
+  overlay.attach(1, kSourceId);
+  overlay.attach(2, kSourceId);
+  overlay.attach(3, kSourceId);
+  EXPECT_TRUE(greedy.contact_source(overlay, 4));
+  EXPECT_EQ(overlay.parent(4), kSourceId);
+  // The laxest child (node 2, l=7) was displaced and re-adopted.
+  EXPECT_EQ(overlay.parent(2), 4u);
+  EXPECT_EQ(overlay.parent(1), kSourceId);
+  EXPECT_EQ(overlay.parent(3), kSourceId);
+}
+
+TEST(HybridTest, MaintenancePatienceIsConfigurable) {
+  HybridProtocol hybrid(SourceMode::kPullOnly, 7);
+  EXPECT_EQ(hybrid.maintenance_patience(), 7);
+  GreedyProtocol greedy;
+  EXPECT_EQ(greedy.maintenance_patience(), 0);
+}
+
+}  // namespace
+}  // namespace lagover

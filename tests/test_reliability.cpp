@@ -1,0 +1,103 @@
+// Tests for lossy dissemination and anti-entropy recovery.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "feed/reliability.hpp"
+#include "workload/constraints.hpp"
+
+namespace lagover {
+namespace {
+
+Overlay converged_overlay(std::size_t peers, std::uint64_t seed) {
+  WorkloadParams params;
+  params.peers = peers;
+  params.seed = seed;
+  EngineConfig config;
+  config.seed = seed;
+  Engine engine(generate_workload(WorkloadKind::kBiUnCorr, params), config);
+  EXPECT_TRUE(engine.run_until_converged(3000).has_value());
+  return engine.overlay();
+}
+
+TEST(ReliabilityTest, NoLossDeliversEverything) {
+  const Overlay overlay = converged_overlay(60, 3);
+  feed::LossyConfig config;
+  config.push_loss = 0.0;
+  config.enable_recovery = false;
+  const auto report =
+      feed::run_lossy_dissemination(overlay, config, /*duration=*/200.0);
+  EXPECT_DOUBLE_EQ(report.delivery_ratio, 1.0);
+  EXPECT_EQ(report.lost_pushes, 0u);
+  EXPECT_EQ(report.recovered_deliveries, 0u);
+  EXPECT_EQ(report.late_deliveries, 0u);
+}
+
+TEST(ReliabilityTest, LossWithoutRecoveryDropsDeliveries) {
+  const Overlay overlay = converged_overlay(60, 4);
+  feed::LossyConfig config;
+  config.push_loss = 0.2;
+  config.enable_recovery = false;
+  const auto report = feed::run_lossy_dissemination(overlay, config, 200.0);
+  EXPECT_LT(report.delivery_ratio, 0.99);
+  EXPECT_GT(report.lost_pushes, 0u);
+  EXPECT_EQ(report.recovery_pulls, 0u);
+}
+
+TEST(ReliabilityTest, RecoveryRestoresDeliveryRatio) {
+  const Overlay overlay = converged_overlay(60, 5);
+  feed::LossyConfig lossy;
+  lossy.push_loss = 0.2;
+  lossy.enable_recovery = false;
+  const auto without = feed::run_lossy_dissemination(overlay, lossy, 300.0);
+
+  lossy.enable_recovery = true;
+  const auto with = feed::run_lossy_dissemination(overlay, lossy, 300.0);
+
+  EXPECT_GT(with.delivery_ratio, without.delivery_ratio);
+  EXPECT_GT(with.delivery_ratio, 0.999);
+  EXPECT_GT(with.recovered_deliveries, 0u);
+  EXPECT_GT(with.recovery_pulls, 0u);
+}
+
+TEST(ReliabilityTest, RecoveredDeliveriesCanBeLate) {
+  // Recovery repairs completeness, not timeliness: with serious loss a
+  // nonzero fraction of deliveries exceed the staleness budget.
+  const Overlay overlay = converged_overlay(80, 6);
+  feed::LossyConfig config;
+  config.push_loss = 0.3;
+  config.enable_recovery = true;
+  config.recovery_period = 4.0;
+  const auto report = feed::run_lossy_dissemination(overlay, config, 300.0);
+  EXPECT_GT(report.delivery_ratio, 0.99);
+  EXPECT_GT(report.late_deliveries, 0u);
+}
+
+TEST(ReliabilityTest, SourcePollersAreNeverLossy) {
+  // A star topology (everyone polls the source) has no push edges, so
+  // loss cannot affect it.
+  Population p;
+  p.source_fanout = 5;
+  for (NodeId id = 1; id <= 5; ++id)
+    p.consumers.push_back(NodeSpec{id, Constraints{0, 2}});
+  Overlay overlay(p);
+  for (NodeId id = 1; id <= 5; ++id) overlay.attach(id, kSourceId);
+  feed::LossyConfig config;
+  config.push_loss = 0.9;
+  const auto report = feed::run_lossy_dissemination(overlay, config, 100.0);
+  EXPECT_DOUBLE_EQ(report.delivery_ratio, 1.0);
+  EXPECT_EQ(report.lost_pushes, 0u);
+}
+
+TEST(ReliabilityTest, DeterministicPerSeed) {
+  const Overlay overlay = converged_overlay(40, 7);
+  feed::LossyConfig config;
+  config.push_loss = 0.15;
+  const auto a = feed::run_lossy_dissemination(overlay, config, 150.0);
+  const auto b = feed::run_lossy_dissemination(overlay, config, 150.0);
+  EXPECT_EQ(a.push_deliveries, b.push_deliveries);
+  EXPECT_EQ(a.recovered_deliveries, b.recovered_deliveries);
+  EXPECT_DOUBLE_EQ(a.delivery_ratio, b.delivery_ratio);
+}
+
+}  // namespace
+}  // namespace lagover

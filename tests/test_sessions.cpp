@@ -1,0 +1,138 @@
+// Tests for session-length churn: duration semantics, alternation, and
+// end-to-end construction under heavy-tailed sessions.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/engine.hpp"
+#include "workload/constraints.hpp"
+#include "workload/sessions.hpp"
+
+namespace lagover {
+namespace {
+
+Population workload(std::size_t peers, std::uint64_t seed) {
+  WorkloadParams params;
+  params.peers = peers;
+  params.seed = seed;
+  return generate_workload(WorkloadKind::kBiUnCorr, params);
+}
+
+TEST(SessionChurnTest, ValidatesConfig) {
+  SessionChurnConfig bad;
+  bad.mean_online = 0.0;
+  EXPECT_DEATH(SessionChurn{bad}, "precondition");
+
+  SessionChurnConfig bad_alpha;
+  bad_alpha.pareto_alpha = 0.5;  // infinite-mean regime rejected
+  EXPECT_DEATH(SessionChurn{bad_alpha}, "precondition");
+}
+
+TEST(SessionChurnTest, NodesAlternateStates) {
+  const Population population = workload(30, 1);
+  Overlay overlay(population);
+  SessionChurnConfig config;
+  config.mean_online = 10.0;
+  config.mean_offline = 5.0;
+  SessionChurn churn(config);
+  Rng rng(3);
+  int leaves = 0;
+  int joins = 0;
+  for (Round round = 0; round < 500; ++round) {
+    const auto decision = churn.decide(round, overlay, rng);
+    for (NodeId id : decision.leave) {
+      overlay.set_offline(id);
+      ++leaves;
+    }
+    for (NodeId id : decision.join) {
+      overlay.set_online(id);
+      ++joins;
+    }
+  }
+  EXPECT_GT(leaves, 100);  // ~30 nodes cycling every ~15 rounds
+  EXPECT_GT(joins, 100);
+}
+
+TEST(SessionChurnTest, MeanSessionLengthApproximatelyHonored) {
+  const Population population = workload(50, 2);
+  Overlay overlay(population);
+  SessionChurnConfig config;
+  config.mean_online = 20.0;
+  config.mean_offline = 20.0;
+  SessionChurn churn(config);
+  Rng rng(5);
+  // Long-run fraction of time online should be about
+  // mean_online / (mean_online + mean_offline) = 0.5.
+  long online_node_rounds = 0;
+  const int kRounds = 4000;
+  for (Round round = 0; round < kRounds; ++round) {
+    const auto decision = churn.decide(round, overlay, rng);
+    for (NodeId id : decision.leave) overlay.set_offline(id);
+    for (NodeId id : decision.join) overlay.set_online(id);
+    online_node_rounds += static_cast<long>(overlay.online_count());
+  }
+  const double online_fraction =
+      static_cast<double>(online_node_rounds) / (kRounds * 50.0);
+  EXPECT_NEAR(online_fraction, 0.5, 0.06);
+}
+
+TEST(SessionChurnTest, ParetoProducesHeavyTail) {
+  // With the same mean, Pareto sessions should show a much larger
+  // maximum than exponential ones.
+  SessionChurnConfig exp_config;
+  exp_config.mean_online = 50.0;
+  SessionChurnConfig pareto_config = exp_config;
+  pareto_config.pareto_alpha = 1.5;
+
+  const Population population = workload(100, 3);
+  auto longest_session = [&](SessionChurnConfig config,
+                             std::uint64_t seed) {
+    Overlay overlay(population);
+    SessionChurn churn(config);
+    Rng rng(seed);
+    std::vector<Round> online_since(overlay.node_count(), 0);
+    Round longest = 0;
+    for (Round round = 1; round <= 5000; ++round) {
+      const auto decision = churn.decide(round, overlay, rng);
+      for (NodeId id : decision.leave) {
+        overlay.set_offline(id);
+        longest = std::max(longest, round - online_since[id]);
+      }
+      for (NodeId id : decision.join) {
+        overlay.set_online(id);
+        online_since[id] = round;
+      }
+    }
+    return longest;
+  };
+  EXPECT_GT(longest_session(pareto_config, 7),
+            longest_session(exp_config, 7));
+}
+
+TEST(SessionChurnTest, ConstructionSurvivesSessionChurn) {
+  EngineConfig config;
+  config.algorithm = AlgorithmKind::kHybrid;
+  config.seed = 9;
+  Engine engine(workload(80, 4), config);
+  SessionChurnConfig churn_config;
+  churn_config.mean_online = 150.0;
+  churn_config.mean_offline = 10.0;
+  churn_config.pareto_alpha = 1.8;
+  engine.set_churn(std::make_unique<SessionChurn>(churn_config));
+  engine.set_record_history(true);
+  for (int round = 0; round < 500; ++round) {
+    engine.run_round();
+    engine.overlay().audit();
+  }
+  double mean_fraction = 0.0;
+  int counted = 0;
+  for (const auto& stats : engine.history()) {
+    if (stats.round <= 150) continue;
+    mean_fraction += stats.satisfied_fraction;
+    ++counted;
+  }
+  EXPECT_GT(mean_fraction / counted, 0.85);
+}
+
+}  // namespace
+}  // namespace lagover

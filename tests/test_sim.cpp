@@ -1,0 +1,116 @@
+// Tests for the discrete-event kernel: ordering, cancellation, periodic
+// timers, horizons.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace lagover {
+namespace {
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(SimulatorTest, SimultaneousEventsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesRelativeTime) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(5.0, [&] {
+    sim.schedule_after(2.5, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // already cancelled
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, RunUntilRespectsHorizonAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(10.0, [&] { ++fired; });
+  const auto count = sim.run_until(5.0);
+  EXPECT_EQ(count, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, PeriodicTimerFiresRepeatedly) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_periodic(1.0, [&] { ++fired; });
+  sim.run_until(5.5);
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(SimulatorTest, PeriodicTimerCanCancelItself) {
+  Simulator sim;
+  int fired = 0;
+  EventId id = 0;
+  id = sim.schedule_periodic(1.0, [&] {
+    if (++fired == 3) sim.cancel(id);
+  });
+  sim.run_until(10.0);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulatorTest, EventsScheduledDuringExecutionRun) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_after(1.0, recurse);
+  };
+  sim.schedule_after(1.0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(SimulatorTest, StepExecutesExactlyOneEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.step(10.0));
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step(10.0));
+  EXPECT_FALSE(sim.step(10.0));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, ExecutedEventsCounter) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 7u);
+}
+
+}  // namespace
+}  // namespace lagover

@@ -1,0 +1,124 @@
+// Tests for overlay snapshot serialization: round-trips, validation of
+// malformed input, and constraint re-checking on load.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/engine.hpp"
+#include "core/snapshot.hpp"
+#include "workload/constraints.hpp"
+
+namespace lagover {
+namespace {
+
+Overlay converged_overlay(std::size_t peers, std::uint64_t seed) {
+  WorkloadParams params;
+  params.peers = peers;
+  params.seed = seed;
+  EngineConfig config;
+  config.seed = seed;
+  Engine engine(generate_workload(WorkloadKind::kBiUnCorr, params), config);
+  EXPECT_TRUE(engine.run_until_converged(3000).has_value());
+  return engine.overlay();
+}
+
+TEST(SnapshotTest, RoundTripPreservesStructure) {
+  const Overlay original = converged_overlay(60, 3);
+  const Overlay restored = from_snapshot(to_snapshot(original));
+  EXPECT_TRUE(same_structure(original, restored));
+  restored.audit();
+  EXPECT_TRUE(restored.all_satisfied());
+}
+
+TEST(SnapshotTest, RoundTripPreservesOfflineNodesAndDetachedGroups) {
+  Population p;
+  p.source_fanout = 2;
+  p.consumers = {
+      NodeSpec{1, Constraints{2, 1}}, NodeSpec{2, Constraints{1, 3}},
+      NodeSpec{3, Constraints{0, 4}}, NodeSpec{4, Constraints{1, 5}},
+  };
+  Overlay overlay(p);
+  overlay.attach(1, kSourceId);
+  overlay.attach(3, 2);  // detached group rooted at 2
+  overlay.set_offline(4);
+  const Overlay restored = from_snapshot(to_snapshot(overlay));
+  EXPECT_TRUE(same_structure(overlay, restored));
+  EXPECT_FALSE(restored.online(4));
+  EXPECT_EQ(restored.parent(3), 2u);
+  EXPECT_EQ(restored.root(3), 2u);
+}
+
+TEST(SnapshotTest, EmptyPopulation) {
+  Population p;
+  p.source_fanout = 5;
+  const Overlay restored = from_snapshot(to_snapshot(Overlay(p)));
+  EXPECT_EQ(restored.consumer_count(), 0u);
+  EXPECT_EQ(restored.fanout_of(kSourceId), 5);
+}
+
+TEST(SnapshotTest, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# saved by test\n"
+      "lagover-snapshot v1\n"
+      "\n"
+      "source 1\n"
+      "# the only consumer\n"
+      "node 1 0 2 1 0\n";
+  const Overlay overlay = from_snapshot(text);
+  EXPECT_EQ(overlay.parent(1), kSourceId);
+  EXPECT_TRUE(overlay.satisfied(1));
+}
+
+TEST(SnapshotTest, RejectsBadHeader) {
+  EXPECT_THROW(from_snapshot("not-a-snapshot\n"), InvalidArgument);
+}
+
+TEST(SnapshotTest, RejectsMissingSource) {
+  EXPECT_THROW(from_snapshot("lagover-snapshot v1\nnode 1 0 1 1 -\n"),
+               InvalidArgument);
+}
+
+TEST(SnapshotTest, RejectsFanoutViolationOnLoad) {
+  // Source fanout 1, two children claimed.
+  const std::string text =
+      "lagover-snapshot v1\n"
+      "source 1\n"
+      "node 1 0 1 1 0\n"
+      "node 2 0 1 1 0\n";
+  EXPECT_THROW(from_snapshot(text), InvalidArgument);
+}
+
+TEST(SnapshotTest, RejectsParentCycle) {
+  const std::string text =
+      "lagover-snapshot v1\n"
+      "source 1\n"
+      "node 1 1 3 1 2\n"
+      "node 2 1 3 1 1\n";
+  EXPECT_THROW(from_snapshot(text), InvalidArgument);
+}
+
+TEST(SnapshotTest, RejectsEdgeToOfflineParent) {
+  const std::string text =
+      "lagover-snapshot v1\n"
+      "source 1\n"
+      "node 1 1 3 0 -\n"
+      "node 2 1 3 1 1\n";
+  EXPECT_THROW(from_snapshot(text), InvalidArgument);
+}
+
+TEST(SnapshotTest, SameStructureDetectsDifferences) {
+  Population p;
+  p.source_fanout = 2;
+  p.consumers = {NodeSpec{1, Constraints{1, 2}}, NodeSpec{2, Constraints{0, 3}}};
+  Overlay a(p);
+  Overlay b(p);
+  EXPECT_TRUE(same_structure(a, b));
+  a.attach(1, kSourceId);
+  EXPECT_FALSE(same_structure(a, b));
+  b.attach(1, kSourceId);
+  EXPECT_TRUE(same_structure(a, b));
+  a.set_offline(2);
+  EXPECT_FALSE(same_structure(a, b));
+}
+
+}  // namespace
+}  // namespace lagover

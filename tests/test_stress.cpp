@@ -1,0 +1,155 @@
+// Stress and robustness tests: randomized operation sequences against
+// the overlay with continuous invariant auditing, engines fed
+// *infeasible* populations (must degrade gracefully, never corrupt
+// state), and long mixed-churn runs.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+#include "core/sufficiency.hpp"
+#include "workload/churn.hpp"
+#include "workload/constraints.hpp"
+
+namespace lagover {
+namespace {
+
+TEST(StressTest, RandomOverlayOperationsKeepInvariants) {
+  Rng rng(2025);
+  for (int trial = 0; trial < 20; ++trial) {
+    Population p;
+    p.source_fanout = static_cast<int>(rng.uniform_int(1, 4));
+    const auto n = static_cast<std::size_t>(rng.uniform_int(5, 40));
+    for (NodeId id = 1; id <= n; ++id)
+      p.consumers.push_back(
+          NodeSpec{id, Constraints{static_cast<int>(rng.uniform_int(0, 4)),
+                                   static_cast<Delay>(rng.uniform_int(1, 8))}});
+    Overlay overlay(p);
+
+    for (int op = 0; op < 400; ++op) {
+      const auto choice = rng.next_below(4);
+      const auto node =
+          static_cast<NodeId>(1 + rng.next_below(n));
+      switch (choice) {
+        case 0: {  // try attach to a random parent (or source)
+          const auto parent = static_cast<NodeId>(rng.next_below(n + 1));
+          if (overlay.can_attach(node, parent)) overlay.attach(node, parent);
+          break;
+        }
+        case 1:  // detach if attached
+          if (overlay.has_parent(node)) overlay.detach(node);
+          break;
+        case 2:
+          overlay.set_offline(node);
+          break;
+        case 3:
+          overlay.set_online(node);
+          break;
+      }
+      overlay.audit();
+    }
+    // Queries never crash on arbitrary reachable states.
+    for (NodeId id = 1; id <= n; ++id) {
+      overlay.delay_at(id);
+      overlay.root(id);
+      overlay.satisfied(id);
+    }
+    overlay.satisfied_fraction();
+    overlay.to_ascii();
+  }
+}
+
+TEST(StressTest, EngineNeverCorruptsOnInfeasiblePopulations) {
+  // Populations drawn WITHOUT the sufficiency filter: many are
+  // infeasible. The engine must keep invariants and report
+  // non-convergence rather than misbehave.
+  Rng rng(77);
+  int infeasible_seen = 0;
+  for (int trial = 0; trial < 15; ++trial) {
+    Population p;
+    p.source_fanout = static_cast<int>(rng.uniform_int(0, 2));
+    const auto n = static_cast<std::size_t>(rng.uniform_int(5, 25));
+    for (NodeId id = 1; id <= n; ++id)
+      p.consumers.push_back(
+          NodeSpec{id, Constraints{static_cast<int>(rng.uniform_int(0, 2)),
+                                   static_cast<Delay>(rng.uniform_int(1, 4))}});
+    const bool feasible = exactly_feasible(p);
+    if (!feasible) ++infeasible_seen;
+
+    for (auto algorithm : {AlgorithmKind::kGreedy, AlgorithmKind::kHybrid}) {
+      EngineConfig config;
+      config.algorithm = algorithm;
+      config.seed = rng();
+      Engine engine(p, config);
+      const auto converged = engine.run_until_converged(200);
+      engine.overlay().audit();
+      if (!feasible) {
+        EXPECT_FALSE(converged.has_value());
+      }
+      if (algorithm == AlgorithmKind::kGreedy) {
+        EXPECT_EQ(engine.overlay().first_greedy_order_violation(), kNoNode);
+      }
+    }
+  }
+  EXPECT_GT(infeasible_seen, 3);  // the sweep must exercise the hard case
+}
+
+TEST(StressTest, LongRunUnderHeavyChurnStaysSane) {
+  WorkloadParams params;
+  params.peers = 100;
+  params.seed = 31;
+  EngineConfig config;
+  config.algorithm = AlgorithmKind::kHybrid;
+  config.seed = 31;
+  Engine engine(generate_workload(WorkloadKind::kRand, params), config);
+  // 10x the paper's leave rate.
+  engine.set_churn(std::make_unique<BernoulliChurn>(0.1, 0.3));
+  for (int round = 0; round < 1500; ++round) {
+    engine.run_round();
+    if (round % 50 == 0) engine.overlay().audit();
+  }
+  engine.overlay().audit();
+  // Under extreme churn satisfaction is partial but the system must
+  // still be serving a nontrivial fraction.
+  EXPECT_GT(engine.overlay().satisfied_fraction(), 0.2);
+}
+
+TEST(StressTest, RepeatedConvergeDetachCycles) {
+  // Converge, rip out a chunk of the tree, reconverge — many times.
+  WorkloadParams params;
+  params.peers = 60;
+  params.seed = 17;
+  EngineConfig config;
+  config.seed = 17;
+  Engine engine(generate_workload(WorkloadKind::kBiUnCorr, params), config);
+  Rng rng(99);
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    ASSERT_TRUE(engine.run_until_converged(3000).has_value())
+        << "cycle " << cycle;
+    // Detach 10 random attached nodes (their subtrees detach with them).
+    for (int k = 0; k < 10; ++k) {
+      const auto id = static_cast<NodeId>(1 + rng.next_below(60));
+      if (engine.overlay().has_parent(id)) engine.overlay().detach(id);
+    }
+    engine.overlay().audit();
+  }
+}
+
+TEST(StressTest, ZeroFanoutEverywhereDegradesGracefully) {
+  // Only the source has capacity: exactly source_fanout nodes can ever
+  // be satisfied (at depth 1); everyone else must keep waiting.
+  Population p;
+  p.source_fanout = 3;
+  for (NodeId id = 1; id <= 10; ++id)
+    p.consumers.push_back(NodeSpec{id, Constraints{0, 5}});
+  EngineConfig config;
+  config.seed = 7;
+  Engine engine(p, config);
+  EXPECT_FALSE(engine.run_until_converged(300).has_value());
+  EXPECT_EQ(engine.overlay().satisfied_count(), 3u);
+  engine.overlay().audit();
+}
+
+}  // namespace
+}  // namespace lagover

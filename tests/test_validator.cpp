@@ -1,0 +1,111 @@
+// Tests for the constraint-satisfaction validator and push-source feed
+// dissemination.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/validator.hpp"
+#include "feed/dissemination.hpp"
+#include "workload/constraints.hpp"
+
+namespace lagover {
+namespace {
+
+TEST(ValidatorTest, DiagnosesEveryIssueKind) {
+  Population p;
+  p.source_fanout = 2;
+  p.consumers = {
+      NodeSpec{1, Constraints{2, 5}},  // satisfied
+      NodeSpec{2, Constraints{1, 1}},  // delay exceeded (depth 2)
+      NodeSpec{3, Constraints{0, 4}},  // in detached group
+      NodeSpec{4, Constraints{1, 3}},  // parentless root of that group
+      NodeSpec{5, Constraints{0, 2}},  // offline
+  };
+  Overlay overlay(p);
+  overlay.attach(1, kSourceId);
+  overlay.attach(2, 1);
+  overlay.attach(3, 4);
+  overlay.set_offline(5);
+
+  const ValidationReport report = validate_overlay(overlay);
+  EXPECT_EQ(report.consumers, 5u);
+  EXPECT_EQ(report.satisfied, 1u);
+  ASSERT_EQ(report.issues.size(), 4u);
+  EXPECT_FALSE(report.converged());
+
+  auto issue_of = [&](NodeId id) {
+    for (const auto& diagnosis : report.issues)
+      if (diagnosis.node == id) return diagnosis.issue;
+    return NodeIssue::kNone;
+  };
+  EXPECT_EQ(issue_of(2), NodeIssue::kDelayExceeded);
+  EXPECT_EQ(issue_of(3), NodeIssue::kDisconnected);
+  EXPECT_EQ(issue_of(4), NodeIssue::kParentless);
+  EXPECT_EQ(issue_of(5), NodeIssue::kOffline);
+
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("1/5 consumers satisfied"), std::string::npos);
+  EXPECT_NE(text.find("delay exceeds constraint"), std::string::npos);
+}
+
+TEST(ValidatorTest, ConvergedOverlayHasNoIssues) {
+  WorkloadParams params;
+  params.peers = 40;
+  params.seed = 5;
+  EngineConfig config;
+  config.seed = 5;
+  Engine engine(generate_workload(WorkloadKind::kRand, params), config);
+  ASSERT_TRUE(engine.run_until_converged(3000).has_value());
+  const ValidationReport report = validate_overlay(engine.overlay());
+  EXPECT_TRUE(report.converged());
+  EXPECT_EQ(report.satisfied, 40u);
+  EXPECT_NE(report.to_string().find("LagOver constructed"),
+            std::string::npos);
+}
+
+TEST(PushSourceTest, NoRequestsAndNoEmptyPolls) {
+  Population p;
+  p.source_fanout = 2;
+  p.consumers = {
+      NodeSpec{1, Constraints{1, 1}}, NodeSpec{2, Constraints{1, 1}},
+      NodeSpec{3, Constraints{0, 2}},
+  };
+  Overlay overlay(p);
+  overlay.attach(1, kSourceId);
+  overlay.attach(2, kSourceId);
+  overlay.attach(3, 1);
+
+  feed::DisseminationConfig config;
+  config.push_source = true;
+  config.source.publish_period = 2.0;
+  const auto report = feed::run_dissemination(overlay, config, 100.0);
+  EXPECT_EQ(report.source_requests, 0u);
+  EXPECT_EQ(report.source_empty_requests, 0u);
+  EXPECT_EQ(report.pollers, 0u);
+  for (const auto& node : report.nodes) {
+    EXPECT_GT(node.items, 0u);
+    EXPECT_TRUE(node.constraint_met);
+  }
+}
+
+TEST(PushSourceTest, StalenessEqualsDepthHops) {
+  Population p;
+  p.source_fanout = 1;
+  p.consumers = {NodeSpec{1, Constraints{1, 1}},
+                 NodeSpec{2, Constraints{0, 2}}};
+  Overlay overlay(p);
+  overlay.attach(1, kSourceId);
+  overlay.attach(2, 1);
+  feed::DisseminationConfig config;
+  config.push_source = true;
+  config.hop_delay = 1.0;
+  config.source.publish_period = 3.0;
+  const auto report = feed::run_dissemination(overlay, config, 90.0);
+  ASSERT_EQ(report.nodes.size(), 2u);
+  // Deterministic staleness: exactly depth hops, no polling phase.
+  EXPECT_DOUBLE_EQ(report.nodes[0].max_staleness, 1.0);
+  EXPECT_DOUBLE_EQ(report.nodes[0].mean_staleness, 1.0);
+  EXPECT_DOUBLE_EQ(report.nodes[1].max_staleness, 2.0);
+}
+
+}  // namespace
+}  // namespace lagover

@@ -1,0 +1,174 @@
+// Tests for the workload generators (Section 4.1) and churn models
+// (Section 5.3).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/sufficiency.hpp"
+#include "workload/churn.hpp"
+#include "workload/constraints.hpp"
+
+namespace lagover {
+namespace {
+
+TEST(WorkloadTest, Tf1MatchesPaperLevels) {
+  WorkloadParams params;
+  params.peers = 120;
+  const Population p = generate_workload(WorkloadKind::kTf1, params);
+  ASSERT_EQ(p.consumers.size(), 120u);
+  EXPECT_EQ(p.source_fanout, 3);
+  // 3 / 9 / 27 / 81 nodes at latency 1 / 2 / 3 / 4.
+  std::vector<int> counts(6, 0);
+  for (const auto& spec : p.consumers) {
+    ASSERT_LE(spec.constraints.latency, 4);
+    ++counts[static_cast<std::size_t>(spec.constraints.latency)];
+    EXPECT_EQ(spec.constraints.fanout, 3);
+  }
+  EXPECT_EQ(counts[1], 3);
+  EXPECT_EQ(counts[2], 9);
+  EXPECT_EQ(counts[3], 27);
+  EXPECT_EQ(counts[4], 81);
+}
+
+TEST(WorkloadTest, Tf1PartialLastLevel) {
+  WorkloadParams params;
+  params.peers = 20;  // 3 + 9 + 8 of the 27-level
+  const Population p = generate_workload(WorkloadKind::kTf1, params);
+  EXPECT_EQ(p.consumers.size(), 20u);
+  EXPECT_TRUE(sufficiency_condition(p).holds);
+}
+
+TEST(WorkloadTest, GeneratorsAreDeterministicInSeed) {
+  for (auto kind :
+       {WorkloadKind::kRand, WorkloadKind::kBiCorr, WorkloadKind::kBiUnCorr}) {
+    WorkloadParams params;
+    params.peers = 50;
+    params.seed = 33;
+    const Population a = generate_workload(kind, params);
+    const Population b = generate_workload(kind, params);
+    EXPECT_EQ(a.consumers, b.consumers) << to_string(kind);
+  }
+}
+
+TEST(WorkloadTest, AllGeneratedWorkloadsSatisfySufficiency) {
+  for (auto kind : kAllWorkloads) {
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+      WorkloadParams params;
+      params.peers = 120;
+      params.seed = seed;
+      const Population p = generate_workload(kind, params);
+      EXPECT_TRUE(sufficiency_condition(p).holds)
+          << to_string(kind) << " seed " << seed;
+    }
+  }
+}
+
+TEST(WorkloadTest, BiCorrStrictPeersHaveLowFanout) {
+  WorkloadParams params;
+  params.peers = 120;
+  params.seed = 5;
+  const Population p = generate_workload(WorkloadKind::kBiCorr, params);
+  for (const auto& spec : p.consumers) {
+    EXPECT_GE(spec.constraints.latency, 1);
+    EXPECT_LE(spec.constraints.latency, 10);
+    const bool low = spec.constraints.fanout >= params.low_fanout_min &&
+                     spec.constraints.fanout <= params.low_fanout_max;
+    const bool high = spec.constraints.fanout >= params.high_fanout_min &&
+                      spec.constraints.fanout <= params.high_fanout_max;
+    EXPECT_TRUE(low || high);
+    if (spec.constraints.latency < params.bicorr_strict_threshold) {
+      EXPECT_TRUE(low) << "strict peer " << spec.id << " must be low-fanout";
+    }
+  }
+}
+
+TEST(WorkloadTest, BiUnCorrHasHighFanoutStrictPeers) {
+  // The uncorrelated variant must produce at least some strict-latency
+  // high-fanout peers (the thing BiCorr forbids), over a few seeds.
+  bool found = false;
+  for (std::uint64_t seed = 1; seed <= 5 && !found; ++seed) {
+    WorkloadParams params;
+    params.peers = 120;
+    params.seed = seed;
+    const Population p = generate_workload(WorkloadKind::kBiUnCorr, params);
+    for (const auto& spec : p.consumers)
+      if (spec.constraints.latency < params.bicorr_strict_threshold &&
+          spec.constraints.fanout >= params.high_fanout_min)
+        found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(WorkloadTest, RandRespectsConfiguredRanges) {
+  WorkloadParams params;
+  params.peers = 200;
+  params.seed = 9;
+  params.max_latency = 6;
+  params.rand_fanout_max = 4;
+  params.source_fanout = 60;  // generous so sufficiency resampling is easy
+  const Population p = generate_workload(WorkloadKind::kRand, params);
+  for (const auto& spec : p.consumers) {
+    EXPECT_GE(spec.constraints.latency, 1);
+    EXPECT_LE(spec.constraints.latency, 6);
+    EXPECT_GE(spec.constraints.fanout, 0);
+    EXPECT_LE(spec.constraints.fanout, 4);
+  }
+}
+
+// --- churn models -------------------------------------------------------
+
+TEST(ChurnTest, BernoulliRatesRoughlyHonored) {
+  WorkloadParams params;
+  params.peers = 100;
+  Overlay overlay(generate_workload(WorkloadKind::kTf1, params));
+  BernoulliChurn churn(0.1, 0.5);
+  Rng rng(1);
+  int leaves = 0;
+  constexpr int kRounds = 200;
+  for (int r = 0; r < kRounds; ++r) {
+    const auto decision = churn.decide(r, overlay, rng);
+    leaves += static_cast<int>(decision.leave.size());
+    EXPECT_TRUE(decision.join.empty());  // everyone is online
+  }
+  const double rate = leaves / static_cast<double>(kRounds * 100);
+  EXPECT_NEAR(rate, 0.1, 0.02);
+}
+
+TEST(ChurnTest, OfflineNodesRejoin) {
+  WorkloadParams params;
+  params.peers = 50;
+  Overlay overlay(generate_workload(WorkloadKind::kTf1, params));
+  for (NodeId id = 1; id <= 25; ++id) overlay.set_offline(id);
+  BernoulliChurn churn(0.0, 1.0);
+  Rng rng(2);
+  const auto decision = churn.decide(0, overlay, rng);
+  EXPECT_TRUE(decision.leave.empty());
+  EXPECT_EQ(decision.join.size(), 25u);
+}
+
+TEST(ChurnTest, MassFailureKillsRequestedFraction) {
+  WorkloadParams params;
+  params.peers = 100;
+  Overlay overlay(generate_workload(WorkloadKind::kTf1, params));
+  MassFailureChurn churn(/*fail_round=*/10, /*fail_fraction=*/0.3);
+  Rng rng(3);
+  EXPECT_TRUE(churn.decide(9, overlay, rng).leave.empty());
+  const auto decision = churn.decide(10, overlay, rng);
+  EXPECT_EQ(decision.leave.size(), 30u);
+}
+
+TEST(ChurnTest, WindowedChurnStopsAndRejoinsEveryone) {
+  WorkloadParams params;
+  params.peers = 40;
+  Overlay overlay(generate_workload(WorkloadKind::kTf1, params));
+  for (NodeId id = 1; id <= 10; ++id) overlay.set_offline(id);
+  WindowedChurn churn(/*active_rounds=*/5, 0.5, 0.0);
+  Rng rng(4);
+  // After the window every offline node rejoins, none leave.
+  const auto decision = churn.decide(6, overlay, rng);
+  EXPECT_TRUE(decision.leave.empty());
+  EXPECT_EQ(decision.join.size(), 10u);
+}
+
+}  // namespace
+}  // namespace lagover
