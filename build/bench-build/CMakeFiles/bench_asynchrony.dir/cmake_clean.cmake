@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_asynchrony"
+  "../bench/bench_asynchrony.pdb"
+  "CMakeFiles/bench_asynchrony.dir/bench_asynchrony.cpp.o"
+  "CMakeFiles/bench_asynchrony.dir/bench_asynchrony.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_asynchrony.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

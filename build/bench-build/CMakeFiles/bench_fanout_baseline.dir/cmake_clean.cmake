@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fanout_baseline"
+  "../bench/bench_fanout_baseline.pdb"
+  "CMakeFiles/bench_fanout_baseline.dir/bench_fanout_baseline.cpp.o"
+  "CMakeFiles/bench_fanout_baseline.dir/bench_fanout_baseline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fanout_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

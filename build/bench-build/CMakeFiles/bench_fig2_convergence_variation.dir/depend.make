@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig2_convergence_variation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_oracles"
+  "../bench/bench_fig3_oracles.pdb"
+  "CMakeFiles/bench_fig3_oracles.dir/bench_fig3_oracles.cpp.o"
+  "CMakeFiles/bench_fig3_oracles.dir/bench_fig3_oracles.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_oracles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

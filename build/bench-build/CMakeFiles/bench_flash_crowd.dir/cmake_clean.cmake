@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_flash_crowd"
+  "../bench/bench_flash_crowd.pdb"
+  "CMakeFiles/bench_flash_crowd.dir/bench_flash_crowd.cpp.o"
+  "CMakeFiles/bench_flash_crowd.dir/bench_flash_crowd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flash_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_geo_construction"
+  "../bench/bench_geo_construction.pdb"
+  "CMakeFiles/bench_geo_construction.dir/bench_geo_construction.cpp.o"
+  "CMakeFiles/bench_geo_construction.dir/bench_geo_construction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_geo_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

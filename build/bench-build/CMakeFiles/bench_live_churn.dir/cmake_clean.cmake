@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_live_churn"
+  "../bench/bench_live_churn.pdb"
+  "CMakeFiles/bench_live_churn.dir/bench_live_churn.cpp.o"
+  "CMakeFiles/bench_live_churn.dir/bench_live_churn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_live_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

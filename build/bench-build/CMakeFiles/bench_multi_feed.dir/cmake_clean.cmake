@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_multi_feed"
+  "../bench/bench_multi_feed.pdb"
+  "CMakeFiles/bench_multi_feed.dir/bench_multi_feed.cpp.o"
+  "CMakeFiles/bench_multi_feed.dir/bench_multi_feed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

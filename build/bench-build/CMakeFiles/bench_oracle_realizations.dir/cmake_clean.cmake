@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_oracle_realizations"
+  "../bench/bench_oracle_realizations.pdb"
+  "CMakeFiles/bench_oracle_realizations.dir/bench_oracle_realizations.cpp.o"
+  "CMakeFiles/bench_oracle_realizations.dir/bench_oracle_realizations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oracle_realizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_oracle_realizations.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_push_source"
+  "../bench/bench_push_source.pdb"
+  "CMakeFiles/bench_push_source.dir/bench_push_source.cpp.o"
+  "CMakeFiles/bench_push_source.dir/bench_push_source.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_push_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

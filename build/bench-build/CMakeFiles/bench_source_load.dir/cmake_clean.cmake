@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_source_load"
+  "../bench/bench_source_load.pdb"
+  "CMakeFiles/bench_source_load.dir/bench_source_load.cpp.o"
+  "CMakeFiles/bench_source_load.dir/bench_source_load.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_source_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversarial_workload.dir/adversarial_workload.cpp.o"
+  "CMakeFiles/adversarial_workload.dir/adversarial_workload.cpp.o.d"
+  "adversarial_workload"
+  "adversarial_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lagover_cli.dir/lagover_cli.cpp.o"
+  "CMakeFiles/lagover_cli.dir/lagover_cli.cpp.o.d"
+  "lagover_cli"
+  "lagover_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lagover_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/live_swarm.cpp" "examples/CMakeFiles/live_swarm.dir/live_swarm.cpp.o" "gcc" "examples/CMakeFiles/live_swarm.dir/live_swarm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/lagover_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/feed/CMakeFiles/lagover_feed.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/lagover_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/gossip/CMakeFiles/lagover_gossip.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/lagover_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lagover_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lagover_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lagover_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lagover_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lagover_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lagover_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_swarm.dir/live_swarm.cpp.o"
+  "CMakeFiles/live_swarm.dir/live_swarm.cpp.o.d"
+  "live_swarm"
+  "live_swarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_swarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipath_video.dir/multipath_video.cpp.o"
+  "CMakeFiles/multipath_video.dir/multipath_video.cpp.o.d"
+  "multipath_video"
+  "multipath_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipath_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rss_aggregator.dir/rss_aggregator.cpp.o"
+  "CMakeFiles/rss_aggregator.dir/rss_aggregator.cpp.o.d"
+  "rss_aggregator"
+  "rss_aggregator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rss_aggregator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_quickstart "/root/repo/build/examples/quickstart" "--peers" "40")
+set_tests_properties(smoke_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_rss_aggregator "/root/repo/build/examples/rss_aggregator" "--peers" "40")
+set_tests_properties(smoke_rss_aggregator PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_churn_resilience "/root/repo/build/examples/churn_resilience" "--peers" "40" "--rounds" "200")
+set_tests_properties(smoke_churn_resilience PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_adversarial_workload "/root/repo/build/examples/adversarial_workload" "--k" "2")
+set_tests_properties(smoke_adversarial_workload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_multipath_video "/root/repo/build/examples/multipath_video" "--peers" "30" "--stripes" "2")
+set_tests_properties(smoke_multipath_video PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_live_swarm "/root/repo/build/examples/live_swarm" "--peers" "40")
+set_tests_properties(smoke_live_swarm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")

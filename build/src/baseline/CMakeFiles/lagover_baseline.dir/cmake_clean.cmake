@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lagover_baseline.dir/feedtree.cpp.o"
+  "CMakeFiles/lagover_baseline.dir/feedtree.cpp.o.d"
+  "CMakeFiles/lagover_baseline.dir/polling.cpp.o"
+  "CMakeFiles/lagover_baseline.dir/polling.cpp.o.d"
+  "liblagover_baseline.a"
+  "liblagover_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lagover_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lagover_common.dir/flags.cpp.o"
+  "CMakeFiles/lagover_common.dir/flags.cpp.o.d"
+  "CMakeFiles/lagover_common.dir/json.cpp.o"
+  "CMakeFiles/lagover_common.dir/json.cpp.o.d"
+  "CMakeFiles/lagover_common.dir/table.cpp.o"
+  "CMakeFiles/lagover_common.dir/table.cpp.o.d"
+  "liblagover_common.a"
+  "liblagover_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lagover_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

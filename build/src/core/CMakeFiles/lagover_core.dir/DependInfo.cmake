@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/async_engine.cpp" "src/core/CMakeFiles/lagover_core.dir/async_engine.cpp.o" "gcc" "src/core/CMakeFiles/lagover_core.dir/async_engine.cpp.o.d"
+  "/root/repo/src/core/construction_core.cpp" "src/core/CMakeFiles/lagover_core.dir/construction_core.cpp.o" "gcc" "src/core/CMakeFiles/lagover_core.dir/construction_core.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/lagover_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/lagover_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/fanout_greedy.cpp" "src/core/CMakeFiles/lagover_core.dir/fanout_greedy.cpp.o" "gcc" "src/core/CMakeFiles/lagover_core.dir/fanout_greedy.cpp.o.d"
+  "/root/repo/src/core/greedy.cpp" "src/core/CMakeFiles/lagover_core.dir/greedy.cpp.o" "gcc" "src/core/CMakeFiles/lagover_core.dir/greedy.cpp.o.d"
+  "/root/repo/src/core/hybrid.cpp" "src/core/CMakeFiles/lagover_core.dir/hybrid.cpp.o" "gcc" "src/core/CMakeFiles/lagover_core.dir/hybrid.cpp.o.d"
+  "/root/repo/src/core/locality.cpp" "src/core/CMakeFiles/lagover_core.dir/locality.cpp.o" "gcc" "src/core/CMakeFiles/lagover_core.dir/locality.cpp.o.d"
+  "/root/repo/src/core/multi_feed.cpp" "src/core/CMakeFiles/lagover_core.dir/multi_feed.cpp.o" "gcc" "src/core/CMakeFiles/lagover_core.dir/multi_feed.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/lagover_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/lagover_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/oracle.cpp" "src/core/CMakeFiles/lagover_core.dir/oracle.cpp.o" "gcc" "src/core/CMakeFiles/lagover_core.dir/oracle.cpp.o.d"
+  "/root/repo/src/core/overlay.cpp" "src/core/CMakeFiles/lagover_core.dir/overlay.cpp.o" "gcc" "src/core/CMakeFiles/lagover_core.dir/overlay.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/core/CMakeFiles/lagover_core.dir/protocol.cpp.o" "gcc" "src/core/CMakeFiles/lagover_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/core/snapshot.cpp" "src/core/CMakeFiles/lagover_core.dir/snapshot.cpp.o" "gcc" "src/core/CMakeFiles/lagover_core.dir/snapshot.cpp.o.d"
+  "/root/repo/src/core/sufficiency.cpp" "src/core/CMakeFiles/lagover_core.dir/sufficiency.cpp.o" "gcc" "src/core/CMakeFiles/lagover_core.dir/sufficiency.cpp.o.d"
+  "/root/repo/src/core/types.cpp" "src/core/CMakeFiles/lagover_core.dir/types.cpp.o" "gcc" "src/core/CMakeFiles/lagover_core.dir/types.cpp.o.d"
+  "/root/repo/src/core/validator.cpp" "src/core/CMakeFiles/lagover_core.dir/validator.cpp.o" "gcc" "src/core/CMakeFiles/lagover_core.dir/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lagover_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lagover_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lagover_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dht/chord.cpp" "src/dht/CMakeFiles/lagover_dht.dir/chord.cpp.o" "gcc" "src/dht/CMakeFiles/lagover_dht.dir/chord.cpp.o.d"
+  "/root/repo/src/dht/directory.cpp" "src/dht/CMakeFiles/lagover_dht.dir/directory.cpp.o" "gcc" "src/dht/CMakeFiles/lagover_dht.dir/directory.cpp.o.d"
+  "/root/repo/src/dht/hash_space.cpp" "src/dht/CMakeFiles/lagover_dht.dir/hash_space.cpp.o" "gcc" "src/dht/CMakeFiles/lagover_dht.dir/hash_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/lagover_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lagover_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lagover_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lagover_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lagover_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lagover_dht.dir/chord.cpp.o"
+  "CMakeFiles/lagover_dht.dir/chord.cpp.o.d"
+  "CMakeFiles/lagover_dht.dir/directory.cpp.o"
+  "CMakeFiles/lagover_dht.dir/directory.cpp.o.d"
+  "CMakeFiles/lagover_dht.dir/hash_space.cpp.o"
+  "CMakeFiles/lagover_dht.dir/hash_space.cpp.o.d"
+  "liblagover_dht.a"
+  "liblagover_dht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lagover_dht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lagover_feed.dir/dissemination.cpp.o"
+  "CMakeFiles/lagover_feed.dir/dissemination.cpp.o.d"
+  "CMakeFiles/lagover_feed.dir/feed.cpp.o"
+  "CMakeFiles/lagover_feed.dir/feed.cpp.o.d"
+  "CMakeFiles/lagover_feed.dir/live.cpp.o"
+  "CMakeFiles/lagover_feed.dir/live.cpp.o.d"
+  "CMakeFiles/lagover_feed.dir/reliability.cpp.o"
+  "CMakeFiles/lagover_feed.dir/reliability.cpp.o.d"
+  "liblagover_feed.a"
+  "liblagover_feed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lagover_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

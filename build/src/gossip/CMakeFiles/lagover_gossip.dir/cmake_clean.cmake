@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lagover_gossip.dir/unstructured.cpp.o"
+  "CMakeFiles/lagover_gossip.dir/unstructured.cpp.o.d"
+  "liblagover_gossip.a"
+  "liblagover_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lagover_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

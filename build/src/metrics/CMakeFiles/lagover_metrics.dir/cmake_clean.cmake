@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lagover_metrics.dir/experiment.cpp.o"
+  "CMakeFiles/lagover_metrics.dir/experiment.cpp.o.d"
+  "CMakeFiles/lagover_metrics.dir/tree_metrics.cpp.o"
+  "CMakeFiles/lagover_metrics.dir/tree_metrics.cpp.o.d"
+  "liblagover_metrics.a"
+  "liblagover_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lagover_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lagover_net.dir/latency_model.cpp.o"
+  "CMakeFiles/lagover_net.dir/latency_model.cpp.o.d"
+  "liblagover_net.a"
+  "liblagover_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lagover_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

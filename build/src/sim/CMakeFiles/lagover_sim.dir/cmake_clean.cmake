@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lagover_sim.dir/simulator.cpp.o"
+  "CMakeFiles/lagover_sim.dir/simulator.cpp.o.d"
+  "liblagover_sim.a"
+  "liblagover_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lagover_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

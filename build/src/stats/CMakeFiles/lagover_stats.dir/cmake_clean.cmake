@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lagover_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/lagover_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/lagover_stats.dir/histogram.cpp.o"
+  "CMakeFiles/lagover_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/lagover_stats.dir/sample.cpp.o"
+  "CMakeFiles/lagover_stats.dir/sample.cpp.o.d"
+  "CMakeFiles/lagover_stats.dir/summary.cpp.o"
+  "CMakeFiles/lagover_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/lagover_stats.dir/timeseries.cpp.o"
+  "CMakeFiles/lagover_stats.dir/timeseries.cpp.o.d"
+  "liblagover_stats.a"
+  "liblagover_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lagover_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

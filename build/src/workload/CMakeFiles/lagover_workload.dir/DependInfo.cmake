@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/adversarial.cpp" "src/workload/CMakeFiles/lagover_workload.dir/adversarial.cpp.o" "gcc" "src/workload/CMakeFiles/lagover_workload.dir/adversarial.cpp.o.d"
+  "/root/repo/src/workload/churn.cpp" "src/workload/CMakeFiles/lagover_workload.dir/churn.cpp.o" "gcc" "src/workload/CMakeFiles/lagover_workload.dir/churn.cpp.o.d"
+  "/root/repo/src/workload/constraints.cpp" "src/workload/CMakeFiles/lagover_workload.dir/constraints.cpp.o" "gcc" "src/workload/CMakeFiles/lagover_workload.dir/constraints.cpp.o.d"
+  "/root/repo/src/workload/population_io.cpp" "src/workload/CMakeFiles/lagover_workload.dir/population_io.cpp.o" "gcc" "src/workload/CMakeFiles/lagover_workload.dir/population_io.cpp.o.d"
+  "/root/repo/src/workload/sessions.cpp" "src/workload/CMakeFiles/lagover_workload.dir/sessions.cpp.o" "gcc" "src/workload/CMakeFiles/lagover_workload.dir/sessions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lagover_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lagover_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lagover_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lagover_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

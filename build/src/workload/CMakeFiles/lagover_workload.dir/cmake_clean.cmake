@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lagover_workload.dir/adversarial.cpp.o"
+  "CMakeFiles/lagover_workload.dir/adversarial.cpp.o.d"
+  "CMakeFiles/lagover_workload.dir/churn.cpp.o"
+  "CMakeFiles/lagover_workload.dir/churn.cpp.o.d"
+  "CMakeFiles/lagover_workload.dir/constraints.cpp.o"
+  "CMakeFiles/lagover_workload.dir/constraints.cpp.o.d"
+  "CMakeFiles/lagover_workload.dir/population_io.cpp.o"
+  "CMakeFiles/lagover_workload.dir/population_io.cpp.o.d"
+  "CMakeFiles/lagover_workload.dir/sessions.cpp.o"
+  "CMakeFiles/lagover_workload.dir/sessions.cpp.o.d"
+  "liblagover_workload.a"
+  "liblagover_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lagover_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

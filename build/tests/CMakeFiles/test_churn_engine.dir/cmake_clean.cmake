@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_churn_engine.dir/test_churn_engine.cpp.o"
+  "CMakeFiles/test_churn_engine.dir/test_churn_engine.cpp.o.d"
+  "test_churn_engine"
+  "test_churn_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_churn_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_construction_core.dir/test_construction_core.cpp.o"
+  "CMakeFiles/test_construction_core.dir/test_construction_core.cpp.o.d"
+  "test_construction_core"
+  "test_construction_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_construction_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

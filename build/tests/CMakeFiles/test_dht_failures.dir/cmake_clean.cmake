@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dht_failures.dir/test_dht_failures.cpp.o"
+  "CMakeFiles/test_dht_failures.dir/test_dht_failures.cpp.o.d"
+  "test_dht_failures"
+  "test_dht_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dht_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

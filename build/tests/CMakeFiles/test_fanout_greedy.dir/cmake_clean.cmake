@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fanout_greedy.dir/test_fanout_greedy.cpp.o"
+  "CMakeFiles/test_fanout_greedy.dir/test_fanout_greedy.cpp.o.d"
+  "test_fanout_greedy"
+  "test_fanout_greedy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fanout_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_feed.dir/test_multi_feed.cpp.o"
+  "CMakeFiles/test_multi_feed.dir/test_multi_feed.cpp.o.d"
+  "test_multi_feed"
+  "test_multi_feed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oracle_realizations.dir/test_oracle_realizations.cpp.o"
+  "CMakeFiles/test_oracle_realizations.dir/test_oracle_realizations.cpp.o.d"
+  "test_oracle_realizations"
+  "test_oracle_realizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oracle_realizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sufficiency.dir/test_sufficiency.cpp.o"
+  "CMakeFiles/test_sufficiency.dir/test_sufficiency.cpp.o.d"
+  "test_sufficiency"
+  "test_sufficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sufficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
