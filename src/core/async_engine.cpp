@@ -1,6 +1,9 @@
 #include "core/async_engine.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
+#include "fault/faulty_oracle.hpp"
 
 namespace lagover {
 
@@ -16,9 +19,30 @@ AsyncEngine::AsyncEngine(Population population, AsyncConfig config)
   LAGOVER_EXPECTS(config.min_interaction_time > 0.0);
   LAGOVER_EXPECTS(config.max_interaction_time >= config.min_interaction_time);
   LAGOVER_EXPECTS(config.maintenance_period > 0.0);
+  LAGOVER_EXPECTS(config.backoff_base > 0.0);
+  LAGOVER_EXPECTS(config.backoff_max >= config.backoff_base);
+  LAGOVER_EXPECTS(config.backoff_jitter >= 0.0 && config.backoff_jitter < 1.0);
+  LAGOVER_EXPECTS(config.parent_poll_miss_limit >= 1);
+  install_fault_hooks();
   // Stagger the first wake-ups so nodes are desynchronized from t = 0.
   for (NodeId id = 1; id < overlay_.node_count(); ++id)
     schedule_node(id, draw_duration());
+}
+
+void AsyncEngine::install_fault_hooks() {
+  if (config_.faults == nullptr) return;
+  failed_attempts_.assign(overlay_.node_count(), 0);
+  parent_poll_misses_.assign(overlay_.node_count(), 0);
+  auto clock = [this] { return sim_.now(); };
+  oracle_ = fault::maybe_wrap_oracle(std::move(oracle_), config_.faults,
+                                     clock);
+  core_ = std::make_unique<ConstructionCore>(overlay_, *protocol_, *oracle_,
+                                             config_.timeout_steps);
+  core_->set_delivery_probe([this](NodeId from, NodeId to) {
+    return config_.faults->deliver(from, to, sim_.now());
+  });
+  core_->set_oracle_outage_probe(
+      [this] { return config_.faults->oracle_down(sim_.now()); });
 }
 
 void AsyncEngine::set_oracle(std::unique_ptr<Oracle> oracle) {
@@ -27,12 +51,28 @@ void AsyncEngine::set_oracle(std::unique_ptr<Oracle> oracle) {
   oracle_ = std::move(oracle);
   core_ = std::make_unique<ConstructionCore>(overlay_, *protocol_, *oracle_,
                                              config_.timeout_steps);
+  // Re-apply the fault layer around the replacement oracle.
+  install_fault_hooks();
 }
 
 void AsyncEngine::set_churn(std::unique_ptr<ChurnModel> churn) {
   LAGOVER_EXPECTS(!started_);
   churn_ = std::move(churn);
   sim_.schedule_periodic(1.0, [this] { apply_churn(); });
+}
+
+void AsyncEngine::set_sampler(double period,
+                              std::function<void(SimTime)> sampler) {
+  LAGOVER_EXPECTS(!started_);
+  LAGOVER_EXPECTS(period > 0.0);
+  LAGOVER_EXPECTS(sampler != nullptr);
+  sim_.schedule_periodic(
+      period, [this, sampler = std::move(sampler)] { sampler(sim_.now()); });
+}
+
+void AsyncEngine::set_trace(std::function<void(const TraceEvent&)> trace) {
+  LAGOVER_EXPECTS(!started_);
+  core_->set_trace(std::move(trace));
 }
 
 void AsyncEngine::apply_churn() {
@@ -70,38 +110,115 @@ double AsyncEngine::draw_duration() {
                            config_.max_interaction_time);
 }
 
+double AsyncEngine::backoff_delay(NodeId id) {
+  const int attempts = std::min(failed_attempts_[id], 16);
+  const double base = std::min(
+      config_.backoff_base * static_cast<double>(1u << attempts),
+      config_.backoff_max);
+  // Jitter desynchronizes retry storms after a window lifts.
+  const double jitter =
+      rng_.uniform_real(1.0 - config_.backoff_jitter,
+                        1.0 + config_.backoff_jitter);
+  return base * jitter;
+}
+
 void AsyncEngine::schedule_node(NodeId id, SimTime delay) {
   sim_.schedule_after(delay, [this, id] { on_wake(id); });
 }
 
+void AsyncEngine::crash_node(NodeId id) {
+  // The crash orphans the node's children (the overlay is the shared
+  // ground truth, as with churn) and erases its session state; the node
+  // rejoins after the window's configured downtime.
+  overlay_.set_offline(id);
+  core_->reset_node(id);
+  converged_ = false;
+  const double downtime =
+      std::max(config_.faults->crash_downtime(sim_.now()), 0.1);
+  sim_.schedule_after(downtime, [this, id] {
+    if (overlay_.online(id)) return;  // churn already rejoined it
+    overlay_.set_online(id);
+    core_->reset_node(id);
+    schedule_node(id, draw_duration());
+  });
+}
+
 void AsyncEngine::on_wake(NodeId id) {
-  // Without churn, a converged overlay is final and the wake chains may
-  // die out; under churn they must keep running (convergence is
-  // transient).
-  if ((converged_ && !churn_) || !overlay_.online(id)) return;
-  // The round label for trace events is the integer simulated time.
-  const Round label = static_cast<Round>(sim_.now());
+  // Without churn or faults, a converged overlay is final and the wake
+  // chains may die out; otherwise they must keep running (convergence
+  // is transient).
+  if ((converged_ && !churn_ && !config_.faults) || !overlay_.online(id))
+    return;
+  // Crash fault: the node dies mid-action instead of proceeding —
+  // attached nodes orphan their subtree, orphans just disappear.
+  if (config_.faults != nullptr &&
+      config_.faults->crash_roll(id, sim_.now())) {
+    crash_node(id);
+    return;
+  }
   if (overlay_.has_parent(id)) {
-    core_->maintenance_step(id, protocol_->maintenance_patience(), label);
-    // Attached nodes only need periodic maintenance checks; detached
-    // ones resume the construction loop at their own pace either way.
-    schedule_node(id, overlay_.has_parent(id) ? config_.maintenance_period
-                                              : draw_duration());
+    wake_attached(id);
   } else {
-    const NodeId partner = core_->orphan_step(id, rng_, label);
-    double duration = draw_duration();
-    if (config_.network_latency != nullptr && partner != kNoNode) {
-      // The negotiation round-trips with the partner: far peers cost
-      // more wall-clock before the next action can start.
-      duration += config_.rtt_weight * 2.0 *
-                  config_.network_latency->latency(id, partner, rng_);
-    }
-    schedule_node(id, duration);
+    wake_orphan(id);
   }
   if (overlay_.all_satisfied()) {
     converged_ = true;
     converged_at_ = sim_.now();
   }
+}
+
+void AsyncEngine::wake_attached(NodeId id) {
+  const Round label = static_cast<Round>(sim_.now());
+  // Dead-parent detection: each maintenance wake-up doubles as a poll of
+  // the parent. A poll the fault layer cannot deliver (partition or
+  // message loss) is a miss; enough consecutive misses and the node
+  // concludes its parent is gone and re-orphans itself — its subtree
+  // stays with it and follows once it re-attaches.
+  if (config_.faults != nullptr) {
+    const NodeId parent = overlay_.parent(id);
+    if (!config_.faults->deliver(id, parent, sim_.now())) {
+      if (++parent_poll_misses_[id] >= config_.parent_poll_miss_limit) {
+        parent_poll_misses_[id] = 0;
+        overlay_.detach(id);
+        converged_ = false;
+        core_->emit({label, TraceEventType::kParentLost, id, parent, false});
+        schedule_node(id, draw_duration());
+        return;
+      }
+      // Missed poll: retry a full maintenance period later.
+      schedule_node(id, config_.maintenance_period);
+      return;
+    }
+    parent_poll_misses_[id] = 0;
+  }
+  core_->maintenance_step(id, protocol_->maintenance_patience(), label);
+  // Attached nodes only need periodic maintenance checks; detached
+  // ones resume the construction loop at their own pace either way.
+  schedule_node(id, overlay_.has_parent(id) ? config_.maintenance_period
+                                            : draw_duration());
+}
+
+void AsyncEngine::wake_orphan(NodeId id) {
+  const Round label = static_cast<Round>(sim_.now());
+  const StepOutcome outcome = core_->orphan_step(id, rng_, label);
+  const bool fault_setback =
+      config_.faults != nullptr &&
+      (!outcome.delivered ||
+       (outcome.partner == kNoNode && config_.faults->active(sim_.now())));
+  if (fault_setback) {
+    ++failed_attempts_[id];
+    schedule_node(id, backoff_delay(id));
+    return;
+  }
+  if (config_.faults != nullptr) failed_attempts_[id] = 0;
+  double duration = draw_duration();
+  if (config_.network_latency != nullptr && outcome.partner != kNoNode) {
+    // The negotiation round-trips with the partner: far peers cost
+    // more wall-clock before the next action can start.
+    duration += config_.rtt_weight * 2.0 *
+                config_.network_latency->latency(id, outcome.partner, rng_);
+  }
+  schedule_node(id, duration);
 }
 
 std::optional<SimTime> AsyncEngine::run_until_converged(SimTime horizon) {

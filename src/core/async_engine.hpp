@@ -13,11 +13,13 @@
 
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "core/construction_core.hpp"
 #include "core/engine.hpp"
 #include "core/types.hpp"
+#include "fault/fault_injector.hpp"
 #include "net/latency_model.hpp"
 #include "sim/simulator.hpp"
 
@@ -40,6 +42,22 @@ struct AsyncConfig {
   /// addresses [0, consumers]; address = NodeId, 0 = the source).
   std::shared_ptr<net::LatencyModel> network_latency;
   double rtt_weight = 1.0;
+  /// Optional chaos layer. Null (or an empty FaultPlan) leaves the run
+  /// byte-identical to the fault-free engine for the same seed: no
+  /// extra engine-RNG draws happen and every hook below is inert.
+  std::shared_ptr<fault::FaultInjector> faults;
+  /// Exponential backoff with jitter for failed interactions / source
+  /// contacts (dropped request, partitioned peer, dead stale-Oracle
+  /// partner, or a starved Oracle during an outage): the k-th
+  /// consecutive failure reschedules the node after
+  ///   min(backoff_base * 2^k, backoff_max) * (1 ± backoff_jitter).
+  double backoff_base = 0.5;
+  double backoff_max = 8.0;
+  double backoff_jitter = 0.25;
+  /// Attached nodes poll their parent every maintenance_period; this
+  /// many consecutive undeliverable polls (partition / message loss)
+  /// convince a node its parent is dead and it re-orphans itself.
+  int parent_poll_miss_limit = 3;
   std::uint64_t seed = 1;
 };
 
@@ -79,11 +97,29 @@ class AsyncEngine {
   /// the convergence time, or nullopt on timeout.
   std::optional<SimTime> run_until_converged(SimTime horizon);
 
+  /// Installs a periodic observer (e.g. a metrics::RecoveryRecorder's
+  /// sample method) invoked every `period` time units once the run
+  /// starts. Must be called before the first run.
+  void set_sampler(double period, std::function<void(SimTime)> sampler);
+
+  /// Installs a trace observer (nullptr to disable). Must be called
+  /// before the first run.
+  void set_trace(std::function<void(const TraceEvent&)> trace);
+
+  const fault::FaultInjector* faults() const noexcept {
+    return config_.faults.get();
+  }
+
  private:
   void schedule_node(NodeId id, SimTime delay);
   void on_wake(NodeId id);
+  void wake_attached(NodeId id);
+  void wake_orphan(NodeId id);
   void apply_churn();
+  void crash_node(NodeId id);
+  void install_fault_hooks();
   double draw_duration();
+  double backoff_delay(NodeId id);
 
   AsyncConfig config_;
   Overlay overlay_;
@@ -97,6 +133,11 @@ class AsyncEngine {
   bool started_ = false;
   bool converged_ = false;
   SimTime converged_at_ = 0.0;
+  /// Consecutive failed attempts per node (drives the backoff; sized
+  /// only when a fault layer is installed).
+  std::vector<int> failed_attempts_;
+  /// Consecutive missed parent polls per attached node.
+  std::vector<int> parent_poll_misses_;
 };
 
 }  // namespace lagover

@@ -1,5 +1,7 @@
 #include "core/construction_core.hpp"
 
+#include <algorithm>
+
 namespace lagover {
 
 ConstructionCore::ConstructionCore(Overlay& overlay, Protocol& protocol,
@@ -13,6 +15,7 @@ ConstructionCore::ConstructionCore(Overlay& overlay, Protocol& protocol,
   violation_streak_.assign(n, 0);
   referral_.assign(n, kNoNode);
   pending_source_.assign(n, 0);
+  recent_partners_.assign(n, {});
 }
 
 void ConstructionCore::reset_node(NodeId id) {
@@ -20,21 +23,40 @@ void ConstructionCore::reset_node(NodeId id) {
   violation_streak_[id] = 0;
   referral_[id] = kNoNode;
   pending_source_[id] = 0;
+  // A node that left (or crashed) loses its session state, including
+  // the partner cache.
+  recent_partners_[id].clear();
 }
 
-NodeId ConstructionCore::orphan_step(NodeId i, Rng& rng, Round round) {
-  if (!overlay_.online(i) || overlay_.has_parent(i)) return kNoNode;
+void ConstructionCore::remember_partner(NodeId i, NodeId partner) {
+  auto& cache = recent_partners_[i];
+  const auto it = std::find(cache.begin(), cache.end(), partner);
+  if (it != cache.end()) cache.erase(it);
+  cache.insert(cache.begin(), partner);
+  if (cache.size() > kPartnerCacheSize) cache.resize(kPartnerCacheSize);
+}
+
+StepOutcome ConstructionCore::orphan_step(NodeId i, Rng& rng, Round round) {
+  if (!overlay_.online(i) || overlay_.has_parent(i)) return {};
 
   // Timeout / explicit source referral => direct source contact
   // (Algorithm 2 steps 2-8), resetting the timeout counter regardless of
   // the outcome ("Reset counter for Timeout").
   if (pending_source_[i] != 0 || timeout_counter_[i] >= timeout_limit_) {
+    if (delivery_probe_ && !delivery_probe_(i, kSourceId)) {
+      // The request was lost in flight: keep the pending referral so
+      // the next step retries the source instead of re-earning the
+      // timeout from scratch.
+      pending_source_[i] = 1;
+      emit({round, TraceEventType::kSourceContactFailed, i, kSourceId, false});
+      return {kSourceId, false, false};
+    }
     pending_source_[i] = 0;
     timeout_counter_[i] = 0;
     referral_[i] = kNoNode;
     const bool attached = protocol_.contact_source(overlay_, i);
     emit({round, TraceEventType::kSourceContact, i, kSourceId, attached});
-    return kSourceId;
+    return {kSourceId, true, attached};
   }
 
   // Pick a partner: last referral when still usable, Oracle otherwise.
@@ -46,19 +68,43 @@ NodeId ConstructionCore::orphan_step(NodeId i, Rng& rng, Round round) {
   }
   if (partner == kNoNode) {
     const auto sampled = oracle_.sample(i, overlay_, rng);
-    if (!sampled.has_value()) {
+    if (sampled.has_value()) {
+      partner = *sampled;
+    } else if (oracle_outage_probe_ && oracle_outage_probe_()) {
+      // Oracle outage: fall back to the most recent cached partner that
+      // is still a plausible peer. Deterministic (no RNG) and only
+      // engaged during declared outage windows.
+      for (const NodeId cached : recent_partners_[i]) {
+        if (cached != i && cached != kSourceId && overlay_.online(cached)) {
+          partner = cached;
+          break;
+        }
+      }
+    }
+    if (partner == kNoNode) {
       // "It may happen that the Oracle finds no suitable j, and the peer
       // needs to wait and try again." Waiting still counts toward the
       // timeout, which is the escape hatch for starved peers.
       ++timeout_counter_[i];
       emit({round, TraceEventType::kOracleEmpty, i, kNoNode, false});
-      return kNoNode;
+      return {kNoNode, true, false};
     }
-    partner = *sampled;
+  }
+
+  // A stale Oracle view can hand out a peer that has already left; the
+  // contact then simply fails. Likewise the fault layer can lose the
+  // interaction request. Both count toward the timeout (the node wasted
+  // a step) and trigger the caller's retry/backoff policy.
+  if (!overlay_.online(partner) ||
+      (delivery_probe_ && !delivery_probe_(i, partner))) {
+    ++timeout_counter_[i];
+    emit({round, TraceEventType::kInteractionFailed, i, partner, false});
+    return {partner, false, false};
   }
 
   const InteractionResult result = protocol_.interact(overlay_, i, partner);
   emit({round, TraceEventType::kInteraction, i, partner, result.attached});
+  remember_partner(i, partner);
   if (result.referral.has_value()) {
     if (*result.referral == kSourceId) {
       pending_source_[i] = 1;
@@ -71,7 +117,7 @@ NodeId ConstructionCore::orphan_step(NodeId i, Rng& rng, Round round) {
   } else {
     ++timeout_counter_[i];
   }
-  return partner;
+  return {partner, true, overlay_.has_parent(i)};
 }
 
 bool ConstructionCore::maintenance_step(NodeId i, int patience, Round round,

@@ -26,6 +26,16 @@ enum class TraceEventType {
   kSourceContact,
   kInteraction,
   kOracleEmpty,
+  /// The interaction request never reached the partner (fault layer:
+  /// dropped message, partition, or a stale-Oracle partner that is
+  /// already offline).
+  kInteractionFailed,
+  /// The source-contact request was lost; the node keeps a pending
+  /// source referral and retries on its next step.
+  kSourceContactFailed,
+  /// An attached node missed too many consecutive polls to its parent
+  /// (partition / message loss) and re-orphaned itself.
+  kParentLost,
 };
 
 struct TraceEvent {
@@ -36,6 +46,23 @@ struct TraceEvent {
   bool attached = false;  ///< for kInteraction / kSourceContact
 };
 
+/// Result of one orphan step, for callers that model interaction costs
+/// and retry policies.
+struct StepOutcome {
+  /// Peer the node tried to reach (kSourceId for a source contact,
+  /// kNoNode when the Oracle starved the node).
+  NodeId partner = kNoNode;
+  /// False when the fault layer lost the request (or the partner turned
+  /// out to be dead) — the step made no protocol progress and the
+  /// caller should apply its retry/backoff policy.
+  bool delivered = true;
+  /// Did i end the step with a parent?
+  bool attached = false;
+
+  /// Convenience: partner for the legacy NodeId-returning contract.
+  operator NodeId() const noexcept { return partner; }
+};
+
 /// Owns the per-node construction state and executes single steps.
 /// Overlay/protocol/oracle are borrowed; the owner guarantees they
 /// outlive this object.
@@ -44,14 +71,30 @@ class ConstructionCore {
   ConstructionCore(Overlay& overlay, Protocol& protocol, Oracle& oracle,
                    int timeout_limit);
 
+  /// Transport check consulted before every interaction / source
+  /// contact: does a request from `from` reach `to` right now? Null
+  /// (the default) = perfect transport; the fault-free path is
+  /// untouched.
+  using DeliveryProbe = std::function<bool(NodeId from, NodeId to)>;
+  void set_delivery_probe(DeliveryProbe probe) {
+    delivery_probe_ = std::move(probe);
+  }
+
+  /// Is the Oracle currently in an outage window? Gated fallback: only
+  /// while this returns true does an empty Oracle answer fall back to
+  /// the node's cache of recently seen partners, so fault-free runs
+  /// keep the paper's exact starvation semantics.
+  using OutageProbe = std::function<bool()>;
+  void set_oracle_outage_probe(OutageProbe probe) {
+    oracle_outage_probe_ = std::move(probe);
+  }
+
   /// One step of the `while i is parentless` loop (Algorithm 2 body):
   /// source contact when the timeout fired or a source referral is
   /// pending; otherwise one interaction with the last referral or an
   /// Oracle sample. No-op if i is offline or already has a parent.
-  /// `round` only labels trace events. Returns the peer interacted with
-  /// (kSourceId for a source contact; kNoNode when nothing happened),
-  /// so callers modelling interaction costs know who was contacted.
-  NodeId orphan_step(NodeId i, Rng& rng, Round round);
+  /// `round` only labels trace events.
+  StepOutcome orphan_step(NodeId i, Rng& rng, Round round);
 
   /// Maintenance evaluation for i: tracks the consecutive-violation
   /// streak and detaches i from its parent once the streak exceeds
@@ -79,19 +122,34 @@ class ConstructionCore {
     if (trace_) trace_(event);
   }
 
+  /// Partners node i interacted with most recently (most recent first),
+  /// the fallback pool during Oracle outages.
+  const std::vector<NodeId>& recent_partners(NodeId i) const {
+    return recent_partners_[i];
+  }
+
  private:
+  void remember_partner(NodeId i, NodeId partner);
+
+  /// How many recently seen partners each node remembers as its Oracle
+  /// -outage fallback.
+  static constexpr std::size_t kPartnerCacheSize = 4;
+
   Overlay& overlay_;
   Protocol& protocol_;
   Oracle& oracle_;
   int timeout_limit_;
   std::uint64_t maintenance_detaches_ = 0;
   std::function<void(const TraceEvent&)> trace_;
+  DeliveryProbe delivery_probe_;
+  OutageProbe oracle_outage_probe_;
 
   // Per-node state (index = node id; [0] unused).
   std::vector<int> timeout_counter_;
   std::vector<int> violation_streak_;
   std::vector<NodeId> referral_;      // kNoNode = none
   std::vector<char> pending_source_;  // "refer i to 0"
+  std::vector<std::vector<NodeId>> recent_partners_;
 };
 
 }  // namespace lagover

@@ -1,11 +1,13 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 #include "core/fanout_greedy.hpp"
 #include "core/greedy.hpp"
 #include "core/hybrid.hpp"
+#include "fault/faulty_oracle.hpp"
 
 namespace lagover {
 
@@ -35,7 +37,27 @@ Engine::Engine(Population population, EngineConfig config)
       rng_(config.seed) {
   LAGOVER_EXPECTS(config.timeout_rounds >= 1);
   LAGOVER_EXPECTS(config.maintenance_patience >= 0);
+  LAGOVER_EXPECTS(config.parent_poll_miss_limit >= 1);
   protocol_->set_orphaning_displacement(config.orphaning_displacement);
+  install_fault_hooks();
+}
+
+void Engine::install_fault_hooks() {
+  if (config_.faults == nullptr) return;
+  parent_poll_misses_.assign(overlay_.node_count(), 0);
+  // The synchronous engine's clock is the round number.
+  oracle_ = fault::maybe_wrap_oracle(
+      std::move(oracle_), config_.faults,
+      [this] { return static_cast<SimTime>(round_); });
+  core_ = std::make_unique<ConstructionCore>(overlay_, *protocol_, *oracle_,
+                                             config_.timeout_rounds);
+  core_->set_trace(trace_);
+  core_->set_delivery_probe([this](NodeId from, NodeId to) {
+    return config_.faults->deliver(from, to, static_cast<SimTime>(round_));
+  });
+  core_->set_oracle_outage_probe([this] {
+    return config_.faults->oracle_down(static_cast<SimTime>(round_));
+  });
 }
 
 void Engine::set_oracle(std::unique_ptr<Oracle> oracle) {
@@ -47,6 +69,8 @@ void Engine::set_oracle(std::unique_ptr<Oracle> oracle) {
   core_ = std::make_unique<ConstructionCore>(overlay_, *protocol_, *oracle_,
                                              config_.timeout_rounds);
   core_->set_trace(trace_);
+  // Re-apply the fault layer around the replacement oracle.
+  install_fault_hooks();
 }
 
 void Engine::set_churn(std::unique_ptr<ChurnModel> churn) {
@@ -75,10 +99,38 @@ void Engine::apply_churn() {
   }
 }
 
+void Engine::crash_node(NodeId id) {
+  overlay_.set_offline(id);
+  core_->reset_node(id);
+  core_->emit({round_, TraceEventType::kChurnLeave, id, kNoNode, false});
+  const double downtime =
+      config_.faults->crash_downtime(static_cast<SimTime>(round_));
+  const Round back =
+      round_ + std::max<Round>(1, static_cast<Round>(std::ceil(downtime)));
+  crash_rejoins_.emplace_back(back, id);
+}
+
+void Engine::apply_fault_rejoins() {
+  auto due = crash_rejoins_.begin();
+  for (auto it = crash_rejoins_.begin(); it != crash_rejoins_.end(); ++it) {
+    if (it->first > round_) {
+      *due++ = *it;
+      continue;
+    }
+    const NodeId id = it->second;
+    if (overlay_.online(id)) continue;  // churn already rejoined it
+    overlay_.set_online(id);
+    core_->reset_node(id);
+    core_->emit({round_, TraceEventType::kChurnJoin, id, kNoNode, false});
+  }
+  crash_rejoins_.erase(due, crash_rejoins_.end());
+}
+
 RoundStats Engine::run_round() {
   started_ = true;
   ++round_;
   apply_churn();
+  if (config_.faults != nullptr) apply_fault_rejoins();
 
   // With stale chain knowledge, snapshot each node's violation state
   // BEFORE this round's maintenance so decisions can be based on what a
@@ -105,6 +157,32 @@ RoundStats Engine::run_round() {
       violation_snapshots_.size() ==
           static_cast<std::size_t>(config_.knowledge_lag);
   for (NodeId id = 1; id < overlay_.node_count(); ++id) {
+    // Crash fault for attached nodes (orphans roll in the interaction
+    // pass below): the node dies, its subtree is orphaned.
+    if (config_.faults != nullptr && overlay_.online(id) &&
+        overlay_.has_parent(id) &&
+        config_.faults->crash_roll(id, static_cast<SimTime>(round_))) {
+      crash_node(id);
+      continue;
+    }
+    // Dead-parent detection (fault layer): the maintenance check
+    // doubles as a poll of the parent. Enough consecutive undeliverable
+    // polls (partition / loss) and the node re-orphans itself.
+    if (config_.faults != nullptr && overlay_.online(id) &&
+        overlay_.has_parent(id)) {
+      const NodeId parent = overlay_.parent(id);
+      if (!config_.faults->deliver(id, parent,
+                                   static_cast<SimTime>(round_))) {
+        if (++parent_poll_misses_[id] >= config_.parent_poll_miss_limit) {
+          parent_poll_misses_[id] = 0;
+          overlay_.detach(id);
+          core_->emit({round_, TraceEventType::kParentLost, id, parent,
+                       false});
+        }
+        continue;  // the poll never arrived; no maintenance this round
+      }
+      parent_poll_misses_[id] = 0;
+    }
     std::optional<bool> observed;
     if (config_.knowledge_lag > 0)
       observed = lagged && violation_snapshots_.back()[id] != 0;
@@ -119,7 +197,15 @@ RoundStats Engine::run_round() {
   for (NodeId id = 1; id < overlay_.node_count(); ++id)
     if (overlay_.online(id) && !overlay_.has_parent(id)) roots.push_back(id);
   rng_.shuffle(roots);
-  for (NodeId i : roots) core_->orphan_step(i, rng_, round_);
+  for (NodeId i : roots) {
+    // Crash fault: the node dies mid-interaction instead of acting.
+    if (config_.faults != nullptr &&
+        config_.faults->crash_roll(i, static_cast<SimTime>(round_))) {
+      crash_node(i);
+      continue;
+    }
+    core_->orphan_step(i, rng_, round_);
+  }
 
   RoundStats stats;
   stats.round = round_;

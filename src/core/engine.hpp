@@ -17,6 +17,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -25,6 +26,7 @@
 #include "core/overlay.hpp"
 #include "core/protocol.hpp"
 #include "core/types.hpp"
+#include "fault/fault_injector.hpp"
 
 namespace lagover {
 
@@ -47,6 +49,14 @@ struct EngineConfig {
   /// rounds ago — piggy-backed information takes time to ride down the
   /// chain. 0 = instantaneous (the paper's simulator and our default).
   int knowledge_lag = 0;
+  /// Optional chaos layer (clocked by the round number). Null or an
+  /// empty FaultPlan leaves rounds byte-identical to the fault-free
+  /// engine: no hook fires and no extra engine-RNG draw happens.
+  std::shared_ptr<fault::FaultInjector> faults;
+  /// Consecutive rounds an attached node tolerates undeliverable parent
+  /// polls (partition / loss) before declaring the parent dead and
+  /// re-orphaning itself.
+  int parent_poll_miss_limit = 3;
   std::uint64_t seed = 1;
 };
 
@@ -117,6 +127,11 @@ class Engine {
 
  private:
   void apply_churn();
+  void install_fault_hooks();
+  void apply_fault_rejoins();
+  /// Crashes node i this round (fault layer): offline + scheduled
+  /// rejoin after the active window's crash downtime.
+  void crash_node(NodeId id);
 
   EngineConfig config_;
   Overlay overlay_;
@@ -134,6 +149,9 @@ class Engine {
   /// Ring buffer of per-node violation observations for knowledge_lag
   /// (entry k: the snapshot taken k rounds ago, newest first).
   std::deque<std::vector<char>> violation_snapshots_;
+  /// Fault-layer state (sized only when config_.faults is set).
+  std::vector<int> parent_poll_misses_;
+  std::vector<std::pair<Round, NodeId>> crash_rejoins_;
 };
 
 /// Convenience: builds the protocol for an algorithm kind.

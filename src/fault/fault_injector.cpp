@@ -1,0 +1,76 @@
+#include "fault/fault_injector.hpp"
+
+#include <cmath>
+
+namespace lagover::fault {
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : plan_(std::move(plan)), seed_(seed), rng_(seed) {}
+
+bool FaultInjector::partition_isolated(NodeId node, SimTime t) const noexcept {
+  if (node == kSourceId) return false;
+  const FaultSpec spec = plan_.effective(t);
+  if (spec.partition_fraction <= 0.0) return false;
+  // Deterministic membership: hash (seed, window epoch, node) to [0, 1).
+  // Same node + same window => same side, across all queries.
+  const SimTime epoch = plan_.partition_epoch(t);
+  const auto epoch_bits =
+      static_cast<std::uint64_t>(std::llround(epoch * 1024.0));
+  SplitMix64 h{seed_ ^ (epoch_bits * 0x9e3779b97f4a7c15ULL) ^
+               (static_cast<std::uint64_t>(node) << 32)};
+  const double u =
+      static_cast<double>(h.next() >> 11) * 0x1.0p-53;
+  return u < spec.partition_fraction;
+}
+
+bool FaultInjector::reachable(NodeId a, NodeId b, SimTime t) const noexcept {
+  return partition_isolated(a, t) == partition_isolated(b, t);
+}
+
+bool FaultInjector::deliver(NodeId from, NodeId to, SimTime t) {
+  const FaultSpec spec = plan_.effective(t);
+  if (spec.partition_fraction > 0.0 && !reachable(from, to, t)) {
+    ++stats_.partition_blocks;
+    return false;
+  }
+  if (spec.drop_probability > 0.0 && rng_.bernoulli(spec.drop_probability)) {
+    ++stats_.messages_dropped;
+    return false;
+  }
+  return true;
+}
+
+double FaultInjector::extra_latency(SimTime t) {
+  const FaultSpec spec = plan_.effective(t);
+  if (spec.delay_probability <= 0.0 || !rng_.bernoulli(spec.delay_probability))
+    return 0.0;
+  ++stats_.latency_spikes;
+  return spec.delay_amount;
+}
+
+bool FaultInjector::duplicate(SimTime t) {
+  const FaultSpec spec = plan_.effective(t);
+  if (spec.duplicate_probability <= 0.0 ||
+      !rng_.bernoulli(spec.duplicate_probability))
+    return false;
+  ++stats_.messages_duplicated;
+  return true;
+}
+
+bool FaultInjector::oracle_down(SimTime t) noexcept {
+  if (!plan_.effective(t).oracle_outage) return false;
+  ++stats_.oracle_outage_queries;
+  return true;
+}
+
+bool FaultInjector::crash_roll(NodeId node, SimTime t) {
+  (void)node;
+  const FaultSpec spec = plan_.effective(t);
+  if (spec.crash_probability <= 0.0 ||
+      !rng_.bernoulli(spec.crash_probability))
+    return false;
+  ++stats_.crashes;
+  return true;
+}
+
+}  // namespace lagover::fault

@@ -1,0 +1,85 @@
+// Interprets a FaultPlan against a clock: every engine-facing fault
+// decision (drop this message? spike its latency? crash this node?
+// is the Oracle down?) is answered here. The injector draws from its
+// OWN RNG stream, never the engine's, so installing an injector with an
+// empty plan perturbs nothing — engines stay byte-identical to a run
+// without any fault layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "core/types.hpp"
+#include "fault/fault_plan.hpp"
+#include "sim/simulator.hpp"
+
+namespace lagover::fault {
+
+/// Everything the injector did, for experiment reports and tests.
+struct FaultStats {
+  std::uint64_t messages_dropped = 0;    ///< lost to drop_probability
+  std::uint64_t partition_blocks = 0;    ///< lost to a partition
+  std::uint64_t latency_spikes = 0;
+  std::uint64_t messages_duplicated = 0;
+  std::uint64_t oracle_outage_queries = 0;
+  std::uint64_t stale_oracle_refreshes = 0;
+  std::uint64_t crashes = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan, std::uint64_t seed = 0x5eed);
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+  const FaultStats& stats() const noexcept { return stats_; }
+  FaultStats& stats() noexcept { return stats_; }
+
+  /// Any fault window active at t? (Cheap pre-check for hot paths.)
+  bool active(SimTime t) const noexcept { return plan_.active(t); }
+
+  // --- partitions -----------------------------------------------------
+  /// Is `node` on the isolated side of the partition active at t?
+  /// The source (node 0) is always on the majority side. Membership is
+  /// a deterministic per-window hash, so it is stable for the window's
+  /// duration and independent of query order.
+  bool partition_isolated(NodeId node, SimTime t) const noexcept;
+
+  /// Can a message flow between a and b at t? False iff exactly one of
+  /// them is isolated (isolated nodes still reach each other).
+  bool reachable(NodeId a, NodeId b, SimTime t) const noexcept;
+
+  // --- message fate ---------------------------------------------------
+  /// Decides whether a message from -> to sent at t gets through;
+  /// counts drops and partition blocks. Consumes injector RNG only when
+  /// a drop probability is active.
+  bool deliver(NodeId from, NodeId to, SimTime t);
+
+  /// Extra delivery latency for a message sent at t (0 when no spike).
+  double extra_latency(SimTime t);
+
+  /// Should a message sent at t be delivered twice?
+  bool duplicate(SimTime t);
+
+  // --- Oracle ---------------------------------------------------------
+  bool oracle_down(SimTime t) noexcept;
+  double oracle_staleness(SimTime t) const noexcept {
+    return plan_.effective(t).oracle_staleness;
+  }
+
+  // --- crashes ---------------------------------------------------------
+  /// Rolls the mid-interaction crash die for `node` at t; counts a
+  /// crash on success.
+  bool crash_roll(NodeId node, SimTime t);
+  double crash_downtime(SimTime t) const noexcept {
+    return plan_.effective(t).crash_downtime;
+  }
+
+ private:
+  FaultPlan plan_;
+  std::uint64_t seed_;
+  Rng rng_;
+  FaultStats stats_;
+};
+
+}  // namespace lagover::fault

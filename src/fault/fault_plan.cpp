@@ -1,0 +1,153 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace lagover::fault {
+
+bool FaultSpec::benign() const noexcept {
+  return drop_probability == 0.0 && delay_probability == 0.0 &&
+         duplicate_probability == 0.0 && !oracle_outage &&
+         oracle_staleness == 0.0 && crash_probability == 0.0 &&
+         partition_fraction == 0.0;
+}
+
+FaultPlan& FaultPlan::add(FaultWindow window) {
+  LAGOVER_EXPECTS(window.start <= window.end);
+  LAGOVER_EXPECTS(window.spec.drop_probability >= 0.0 &&
+                  window.spec.drop_probability <= 1.0);
+  LAGOVER_EXPECTS(window.spec.delay_probability >= 0.0 &&
+                  window.spec.delay_probability <= 1.0);
+  LAGOVER_EXPECTS(window.spec.duplicate_probability >= 0.0 &&
+                  window.spec.duplicate_probability <= 1.0);
+  LAGOVER_EXPECTS(window.spec.crash_probability >= 0.0 &&
+                  window.spec.crash_probability <= 1.0);
+  LAGOVER_EXPECTS(window.spec.partition_fraction >= 0.0 &&
+                  window.spec.partition_fraction < 1.0);
+  windows_.push_back(window);
+  return *this;
+}
+
+bool FaultPlan::active(SimTime t) const noexcept {
+  for (const auto& w : windows_)
+    if (w.contains(t)) return true;
+  return false;
+}
+
+FaultSpec FaultPlan::effective(SimTime t) const noexcept {
+  FaultSpec combined;
+  for (const auto& w : windows_) {
+    if (!w.contains(t)) continue;
+    const FaultSpec& s = w.spec;
+    combined.drop_probability =
+        std::max(combined.drop_probability, s.drop_probability);
+    combined.delay_probability =
+        std::max(combined.delay_probability, s.delay_probability);
+    combined.delay_amount = std::max(combined.delay_amount, s.delay_amount);
+    combined.duplicate_probability =
+        std::max(combined.duplicate_probability, s.duplicate_probability);
+    combined.oracle_outage = combined.oracle_outage || s.oracle_outage;
+    combined.oracle_staleness =
+        std::max(combined.oracle_staleness, s.oracle_staleness);
+    combined.crash_probability =
+        std::max(combined.crash_probability, s.crash_probability);
+    if (s.crash_probability > 0.0)
+      combined.crash_downtime = std::max(combined.crash_downtime,
+                                         s.crash_downtime);
+    combined.partition_fraction =
+        std::max(combined.partition_fraction, s.partition_fraction);
+  }
+  return combined;
+}
+
+SimTime FaultPlan::last_end() const noexcept {
+  SimTime end = 0.0;
+  for (const auto& w : windows_) end = std::max(end, w.end);
+  return end;
+}
+
+bool FaultPlan::has_oracle_faults() const noexcept {
+  for (const auto& w : windows_)
+    if (w.spec.oracle_outage || w.spec.oracle_staleness > 0.0) return true;
+  return false;
+}
+
+SimTime FaultPlan::partition_epoch(SimTime t) const noexcept {
+  for (const auto& w : windows_)
+    if (w.contains(t) && w.spec.partition_fraction > 0.0) return w.start;
+  return -1.0;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  os << "FaultPlan{" << windows_.size() << " windows";
+  for (const auto& w : windows_) {
+    os << "; [" << w.start << "," << w.end << ")";
+    const FaultSpec& s = w.spec;
+    if (s.drop_probability > 0) os << " drop=" << s.drop_probability;
+    if (s.delay_probability > 0)
+      os << " delay=" << s.delay_probability << "x" << s.delay_amount;
+    if (s.duplicate_probability > 0) os << " dup=" << s.duplicate_probability;
+    if (s.oracle_outage) os << " oracle-outage";
+    if (s.oracle_staleness > 0) os << " oracle-stale=" << s.oracle_staleness;
+    if (s.crash_probability > 0)
+      os << " crash=" << s.crash_probability << "/" << s.crash_downtime;
+    if (s.partition_fraction > 0)
+      os << " partition=" << s.partition_fraction;
+  }
+  os << "}";
+  return os.str();
+}
+
+FaultWindow FaultPlan::drop(SimTime start, SimTime end, double probability) {
+  FaultWindow w{start, end, {}};
+  w.spec.drop_probability = probability;
+  return w;
+}
+
+FaultWindow FaultPlan::latency_spike(SimTime start, SimTime end,
+                                     double probability, double amount) {
+  FaultWindow w{start, end, {}};
+  w.spec.delay_probability = probability;
+  w.spec.delay_amount = amount;
+  return w;
+}
+
+FaultWindow FaultPlan::duplicates(SimTime start, SimTime end,
+                                  double probability) {
+  FaultWindow w{start, end, {}};
+  w.spec.duplicate_probability = probability;
+  return w;
+}
+
+FaultWindow FaultPlan::oracle_outage(SimTime start, SimTime end) {
+  FaultWindow w{start, end, {}};
+  w.spec.oracle_outage = true;
+  return w;
+}
+
+FaultWindow FaultPlan::oracle_staleness(SimTime start, SimTime end,
+                                        double age) {
+  FaultWindow w{start, end, {}};
+  w.spec.oracle_staleness = age;
+  return w;
+}
+
+FaultWindow FaultPlan::crashes(SimTime start, SimTime end, double probability,
+                               double downtime) {
+  FaultWindow w{start, end, {}};
+  w.spec.crash_probability = probability;
+  w.spec.crash_downtime = downtime;
+  return w;
+}
+
+FaultWindow FaultPlan::partition(SimTime start, SimTime end,
+                                 double fraction) {
+  FaultWindow w{start, end, {}};
+  w.spec.partition_fraction = fraction;
+  return w;
+}
+
+}  // namespace lagover::fault

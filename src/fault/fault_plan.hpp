@@ -1,0 +1,123 @@
+// Declarative fault schedules for chaos experiments. A FaultPlan is a
+// list of time windows, each activating a set of fault modes (message
+// drop/delay/duplication, Oracle outage or staleness, node crashes,
+// address-space partitions). The plan itself is pure data; the
+// FaultInjector interprets it against a clock and an independent RNG
+// stream so that an empty plan leaves every engine byte-identical to a
+// fault-free run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace lagover::fault {
+
+/// The fault modes a window can activate. All probabilities are per
+/// message / per attempt; zero (the default) disables the mode.
+struct FaultSpec {
+  // --- message-level faults (interaction requests, polls, network) ---
+  /// Probability that a message is silently dropped.
+  double drop_probability = 0.0;
+  /// Probability that a message suffers a latency spike.
+  double delay_probability = 0.0;
+  /// Extra delivery delay (time units) applied to a spiked message.
+  double delay_amount = 0.0;
+  /// Probability that a message is delivered twice.
+  double duplicate_probability = 0.0;
+
+  // --- Oracle faults ---
+  /// The Oracle answers no query during the window.
+  bool oracle_outage = false;
+  /// When > 0, the Oracle serves views from a snapshot refreshed only
+  /// once its age exceeds this many time units (stale candidates may be
+  /// offline or violate the filter by the time they are returned).
+  double oracle_staleness = 0.0;
+
+  // --- node faults ---
+  /// Probability that a node crashes mid-interaction (per interaction
+  /// attempt it initiates during the window).
+  double crash_probability = 0.0;
+  /// Time units a crashed node stays down before rejoining.
+  double crash_downtime = 5.0;
+
+  // --- partitions ---
+  /// Fraction of the consumer address space isolated from the
+  /// source-side majority for the duration of the window. Isolated
+  /// nodes can still reach each other.
+  double partition_fraction = 0.0;
+
+  /// True when no mode is active (the all-defaults spec).
+  bool benign() const noexcept;
+};
+
+/// One fault window: `spec` is active over the half-open interval
+/// [start, end).
+struct FaultWindow {
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+  FaultSpec spec;
+
+  bool contains(SimTime t) const noexcept { return t >= start && t < end; }
+};
+
+/// An ordered schedule of fault windows. Windows may overlap; the
+/// effective spec at time t combines all active windows (max of each
+/// probability/amount, OR of outage) so that layered chaos composes
+/// predictably.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Appends a window (start <= end required; throws InvalidArgument
+  /// otherwise). Returns *this for chaining.
+  FaultPlan& add(FaultWindow window);
+
+  const std::vector<FaultWindow>& windows() const noexcept {
+    return windows_;
+  }
+  bool empty() const noexcept { return windows_.empty(); }
+
+  /// Any window active at t?
+  bool active(SimTime t) const noexcept;
+
+  /// Combined spec of all windows active at t (benign when none).
+  FaultSpec effective(SimTime t) const noexcept;
+
+  /// End of the last window (0 for an empty plan): after this instant
+  /// the system is fault-free and must reconverge.
+  SimTime last_end() const noexcept;
+
+  /// True when any window uses an Oracle fault mode — only then does an
+  /// engine need to interpose on its Oracle.
+  bool has_oracle_faults() const noexcept;
+
+  /// Start of the first partition window active at t, or a negative
+  /// value when none — used to salt the per-window partition assignment
+  /// so membership is stable within a window but reshuffles across
+  /// windows.
+  SimTime partition_epoch(SimTime t) const noexcept;
+
+  std::string to_string() const;
+
+  // --- convenience window builders -----------------------------------
+  static FaultWindow drop(SimTime start, SimTime end, double probability);
+  static FaultWindow latency_spike(SimTime start, SimTime end,
+                                   double probability, double amount);
+  static FaultWindow duplicates(SimTime start, SimTime end,
+                                double probability);
+  static FaultWindow oracle_outage(SimTime start, SimTime end);
+  static FaultWindow oracle_staleness(SimTime start, SimTime end,
+                                      double age);
+  static FaultWindow crashes(SimTime start, SimTime end, double probability,
+                             double downtime = 5.0);
+  static FaultWindow partition(SimTime start, SimTime end, double fraction);
+
+ private:
+  std::vector<FaultWindow> windows_;
+};
+
+}  // namespace lagover::fault

@@ -1,0 +1,45 @@
+#include "fault/faulty_oracle.hpp"
+
+#include "common/error.hpp"
+
+namespace lagover::fault {
+
+FaultyOracle::FaultyOracle(std::unique_ptr<Oracle> inner,
+                           std::shared_ptr<FaultInjector> faults,
+                           std::function<SimTime()> clock)
+    : inner_(std::move(inner)),
+      faults_(std::move(faults)),
+      clock_(std::move(clock)) {
+  LAGOVER_EXPECTS(inner_ != nullptr);
+  LAGOVER_EXPECTS(faults_ != nullptr);
+  LAGOVER_EXPECTS(clock_ != nullptr);
+}
+
+std::optional<NodeId> FaultyOracle::sample_impl(NodeId querier,
+                                                const Overlay& overlay,
+                                                Rng& rng) {
+  const SimTime now = clock_();
+  if (faults_->oracle_down(now)) return std::nullopt;
+  const double max_age = faults_->oracle_staleness(now);
+  if (max_age > 0.0) {
+    if (stale_view_ == nullptr || now - snapshot_time_ > max_age) {
+      stale_view_ = std::make_unique<Overlay>(overlay);
+      snapshot_time_ = now;
+      ++faults_->stats().stale_oracle_refreshes;
+    }
+    return inner_->sample(querier, *stale_view_, rng);
+  }
+  // Leaving a staleness window invalidates the snapshot.
+  stale_view_.reset();
+  return inner_->sample(querier, overlay, rng);
+}
+
+std::unique_ptr<Oracle> maybe_wrap_oracle(std::unique_ptr<Oracle> inner,
+                                          std::shared_ptr<FaultInjector> faults,
+                                          std::function<SimTime()> clock) {
+  if (faults == nullptr || !faults->plan().has_oracle_faults()) return inner;
+  return std::make_unique<FaultyOracle>(std::move(inner), std::move(faults),
+                                        std::move(clock));
+}
+
+}  // namespace lagover::fault

@@ -1,0 +1,52 @@
+// Oracle decorator realizing the two Oracle fault modes of a FaultPlan:
+// outage windows (every query answered empty) and staleness windows
+// (queries answered against a snapshot of the overlay refreshed only
+// once its age exceeds the configured bound — returned candidates may
+// have gone offline or acquired disqualifying delays since). Outside
+// fault windows the decorator is a pure pass-through.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/oracle.hpp"
+#include "core/overlay.hpp"
+#include "fault/fault_injector.hpp"
+#include "sim/simulator.hpp"
+
+namespace lagover::fault {
+
+class FaultyOracle final : public Oracle {
+ public:
+  /// `clock` supplies the current simulated time (sim.now() for the
+  /// async engine, the round number for the synchronous one).
+  FaultyOracle(std::unique_ptr<Oracle> inner,
+               std::shared_ptr<FaultInjector> faults,
+               std::function<SimTime()> clock);
+
+  OracleKind kind() const noexcept override { return inner_->kind(); }
+  const Oracle& inner() const noexcept { return *inner_; }
+
+ protected:
+  std::optional<NodeId> sample_impl(NodeId querier, const Overlay& overlay,
+                                    Rng& rng) override;
+
+ private:
+  std::unique_ptr<Oracle> inner_;
+  std::shared_ptr<FaultInjector> faults_;
+  std::function<SimTime()> clock_;
+  /// Snapshot served during staleness windows (copy of the overlay as
+  /// it was at snapshot_time_).
+  std::unique_ptr<Overlay> stale_view_;
+  SimTime snapshot_time_ = 0.0;
+};
+
+/// Wraps `inner` when (and only when) the plan carries Oracle faults;
+/// returns `inner` unchanged otherwise, so fault-free configurations
+/// keep their exact Oracle object.
+std::unique_ptr<Oracle> maybe_wrap_oracle(std::unique_ptr<Oracle> inner,
+                                          std::shared_ptr<FaultInjector> faults,
+                                          std::function<SimTime()> clock);
+
+}  // namespace lagover::fault

@@ -24,6 +24,18 @@ struct TrafficCounters {
   std::uint64_t bytes_received = 0;
 };
 
+/// Verdict of the fault layer on one message (see set_fault_filter):
+/// drop it, delay it by extra time units, and/or deliver it twice.
+struct FaultDecision {
+  bool drop = false;
+  double extra_delay = 0.0;
+  bool duplicate = false;
+};
+
+/// Per-message fault hook. Kept as a plain std::function so the network
+/// layer stays independent of the fault subsystem that implements it.
+using FaultFilter = std::function<FaultDecision(Address from, Address to)>;
+
 /// Typed network: Message is any copyable payload type. Undeliverable
 /// messages (no registered handler at arrival time) are dropped and
 /// counted, modelling crashes mid-flight.
@@ -54,6 +66,10 @@ class Network {
     return handlers_.count(address) != 0;
   }
 
+  /// Installs (or clears, with nullptr) the per-message fault hook.
+  /// Without a filter the send path is exactly the fault-free one.
+  void set_fault_filter(FaultFilter filter) { fault_filter_ = std::move(filter); }
+
   /// Sends a message; delivery is scheduled after the model latency.
   /// `size_bytes` is accounting-only (0 = count messages, not bytes).
   void send(Address from, Address to, Message message,
@@ -62,7 +78,44 @@ class Network {
     ++sent.messages_sent;
     sent.bytes_sent += size_bytes;
     ++total_messages_;
-    const double delay = latency_->latency(from, to, rng_);
+    double delay = latency_->latency(from, to, rng_);
+    bool duplicate = false;
+    if (fault_filter_) {
+      const FaultDecision fate = fault_filter_(from, to);
+      if (fate.drop) {
+        ++fault_dropped_;
+        return;
+      }
+      if (fate.extra_delay > 0.0) {
+        ++fault_delayed_;
+        delay += fate.extra_delay;
+      }
+      duplicate = fate.duplicate;
+    }
+    schedule_delivery(from, to, message, size_bytes, delay);
+    if (duplicate) {
+      ++fault_duplicated_;
+      schedule_delivery(from, to, std::move(message), size_bytes, delay);
+    }
+  }
+
+  const TrafficCounters& counters(Address address) const {
+    static const TrafficCounters kEmpty{};
+    const auto it = counters_.find(address);
+    return it == counters_.end() ? kEmpty : it->second;
+  }
+
+  std::uint64_t total_messages() const noexcept { return total_messages_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  /// Messages lost / delayed / cloned by the fault filter.
+  std::uint64_t fault_dropped() const noexcept { return fault_dropped_; }
+  std::uint64_t fault_delayed() const noexcept { return fault_delayed_; }
+  std::uint64_t fault_duplicated() const noexcept { return fault_duplicated_; }
+  Simulator& simulator() noexcept { return sim_; }
+
+ private:
+  void schedule_delivery(Address from, Address to, Message message,
+                         std::size_t size_bytes, double delay) {
     sim_.schedule_after(
         delay, [this, from, to, message = std::move(message), size_bytes] {
           const auto it = handlers_.find(to);
@@ -77,24 +130,34 @@ class Network {
         });
   }
 
-  const TrafficCounters& counters(Address address) const {
-    static const TrafficCounters kEmpty{};
-    const auto it = counters_.find(address);
-    return it == counters_.end() ? kEmpty : it->second;
-  }
-
-  std::uint64_t total_messages() const noexcept { return total_messages_; }
-  std::uint64_t dropped() const noexcept { return dropped_; }
-  Simulator& simulator() noexcept { return sim_; }
-
- private:
   Simulator& sim_;
   std::unique_ptr<LatencyModel> latency_;
   Rng rng_;
   std::unordered_map<Address, Handler> handlers_;
   std::unordered_map<Address, TrafficCounters> counters_;
+  FaultFilter fault_filter_;
   std::uint64_t total_messages_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t fault_dropped_ = 0;
+  std::uint64_t fault_delayed_ = 0;
+  std::uint64_t fault_duplicated_ = 0;
 };
+
+/// Builds a FaultFilter from any object exposing deliver/extra_latency/
+/// duplicate (i.e. fault::FaultInjector) and a clock, without making
+/// net depend on the fault library.
+template <typename Injector, typename Clock>
+FaultFilter make_fault_filter(Injector& injector, Clock clock) {
+  return [&injector, clock](Address from, Address to) {
+    const double now = clock();
+    FaultDecision fate;
+    fate.drop = !injector.deliver(from, to, now);
+    if (!fate.drop) {
+      fate.extra_delay = injector.extra_latency(now);
+      fate.duplicate = injector.duplicate(now);
+    }
+    return fate;
+  };
+}
 
 }  // namespace lagover::net

@@ -1,0 +1,205 @@
+// Engine-level chaos tests: under a FaultPlan with message loss, a
+// population partition, and an Oracle outage, both construction
+// algorithms must reconverge (zero orphans, zero latency-constraint
+// violations) once the last fault window closes — and with an empty
+// plan the fault layer must be invisible (byte-identical runs).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/async_engine.hpp"
+#include "core/engine.hpp"
+#include "fault/fault_injector.hpp"
+#include "metrics/recovery.hpp"
+#include "workload/constraints.hpp"
+
+namespace lagover {
+namespace {
+
+using fault::FaultInjector;
+using fault::FaultPlan;
+
+Population workload(std::size_t peers, std::uint64_t seed) {
+  WorkloadParams params;
+  params.peers = peers;
+  params.seed = seed;
+  return generate_workload(WorkloadKind::kBiUnCorr, params);
+}
+
+/// The acceptance-criteria plan: 20% message drop, a 10%-population
+/// partition, and a full Oracle outage. The outage overlaps the
+/// partition tail so partition-orphaned nodes hit a dead Oracle and
+/// must lean on their partner caches / backoff until it lifts.
+FaultPlan acceptance_plan() {
+  FaultPlan plan;
+  plan.add(FaultPlan::drop(30.0, 80.0, 0.2))
+      .add(FaultPlan::partition(100.0, 150.0, 0.1))
+      .add(FaultPlan::oracle_outage(140.0, 190.0));
+  return plan;
+}
+
+void expect_fully_healthy(const Overlay& overlay) {
+  EXPECT_TRUE(overlay.all_satisfied());
+  for (NodeId id = 1; id < overlay.node_count(); ++id) {
+    if (!overlay.online(id)) continue;
+    EXPECT_TRUE(overlay.has_parent(id)) << "permanent orphan " << id;
+    EXPECT_LE(overlay.delay_at(id), overlay.latency_of(id))
+        << "constraint violation at " << id;
+  }
+  overlay.audit();
+}
+
+TEST(ChaosRecoveryTest, AsyncEnginesReconvergeAfterAcceptancePlan) {
+  for (auto algorithm : {AlgorithmKind::kGreedy, AlgorithmKind::kHybrid}) {
+    AsyncConfig config;
+    config.algorithm = algorithm;
+    config.seed = 33;
+    config.faults = std::make_shared<FaultInjector>(acceptance_plan(), 9);
+    AsyncEngine engine(workload(60, 13), config);
+    RecoveryRecorder recorder(engine.overlay(), acceptance_plan());
+    engine.set_sampler(1.0, [&](SimTime t) { recorder.sample(t); });
+    engine.run_for(600.0);
+    expect_fully_healthy(engine.overlay());
+    // The recorder agrees, and pins down when recovery happened.
+    EXPECT_TRUE(recorder.healthy_at_end()) << to_string(algorithm);
+    const double ttr = recorder.final_time_to_reconverge();
+    EXPECT_GE(ttr, 0.0) << to_string(algorithm);
+    EXPECT_LE(ttr, 390.0) << to_string(algorithm);
+    // The plan actually did damage (the windows were not no-ops).
+    const auto& stats = engine.faults()->stats();
+    EXPECT_GT(stats.messages_dropped, 0u) << to_string(algorithm);
+    EXPECT_GT(stats.oracle_outage_queries, 0u) << to_string(algorithm);
+  }
+}
+
+TEST(ChaosRecoveryTest, SyncEnginesReconvergeAfterAcceptancePlan) {
+  for (auto algorithm : {AlgorithmKind::kGreedy, AlgorithmKind::kHybrid}) {
+    EngineConfig config;
+    config.algorithm = algorithm;
+    config.seed = 35;
+    config.faults = std::make_shared<FaultInjector>(acceptance_plan(), 11);
+    Engine engine(workload(60, 15), config);
+    RecoveryRecorder recorder(engine.overlay(), acceptance_plan());
+    for (int r = 0; r < 600; ++r) {
+      engine.run_round();
+      recorder.sample(static_cast<double>(engine.round()));
+    }
+    expect_fully_healthy(engine.overlay());
+    EXPECT_TRUE(recorder.healthy_at_end()) << to_string(algorithm);
+    EXPECT_GE(recorder.final_time_to_reconverge(), 0.0);
+  }
+}
+
+TEST(ChaosRecoveryTest, EmptyPlanIsByteIdenticalToNoFaultLayer) {
+  const Population population = workload(50, 21);
+  AsyncConfig plain;
+  plain.seed = 77;
+  AsyncEngine baseline(population, plain);
+  const auto base_time = baseline.run_until_converged(20000.0);
+
+  AsyncConfig with_empty_plan = plain;
+  with_empty_plan.faults = std::make_shared<FaultInjector>(FaultPlan{});
+  AsyncEngine chaos(population, with_empty_plan);
+  const auto chaos_time = chaos.run_until_converged(20000.0);
+
+  ASSERT_TRUE(base_time.has_value());
+  ASSERT_TRUE(chaos_time.has_value());
+  // Identical convergence instant AND identical final structure: the
+  // fault layer consumed no engine randomness and changed no decision.
+  EXPECT_DOUBLE_EQ(*base_time, *chaos_time);
+  for (NodeId id = 1; id < baseline.overlay().node_count(); ++id)
+    EXPECT_EQ(baseline.overlay().parent(id), chaos.overlay().parent(id));
+}
+
+TEST(ChaosRecoveryTest, EmptyPlanIsByteIdenticalForSyncEngine) {
+  const Population population = workload(50, 22);
+  EngineConfig plain;
+  plain.seed = 78;
+  Engine baseline(population, plain);
+  const auto base_round = baseline.run_until_converged(3000);
+
+  EngineConfig with_empty_plan = plain;
+  with_empty_plan.faults = std::make_shared<FaultInjector>(FaultPlan{});
+  Engine chaos(population, with_empty_plan);
+  const auto chaos_round = chaos.run_until_converged(3000);
+
+  ASSERT_TRUE(base_round.has_value());
+  ASSERT_TRUE(chaos_round.has_value());
+  EXPECT_EQ(*base_round, *chaos_round);
+  for (NodeId id = 1; id < baseline.overlay().node_count(); ++id)
+    EXPECT_EQ(baseline.overlay().parent(id), chaos.overlay().parent(id));
+}
+
+TEST(ChaosRecoveryTest, CrashesOrphanSubtreesAndHeal) {
+  AsyncConfig config;
+  config.seed = 41;
+  FaultPlan plan;
+  plan.add(FaultPlan::crashes(20.0, 60.0, /*probability=*/0.05,
+                              /*downtime=*/8.0));
+  config.faults = std::make_shared<FaultInjector>(plan, 17);
+  AsyncEngine engine(workload(60, 19), config);
+  engine.run_for(400.0);
+  EXPECT_GT(engine.faults()->stats().crashes, 0u);
+  // Everyone is back online and satisfied well after the crash window.
+  EXPECT_EQ(engine.overlay().online_count(),
+            engine.overlay().consumer_count());
+  expect_fully_healthy(engine.overlay());
+}
+
+TEST(ChaosRecoveryTest, PartitionedChildrenDetectDeadParents) {
+  // A long partition: attached nodes on the isolated side lose their
+  // parents (or their parents' side) and must re-orphan via missed
+  // polls, then rejoin the majority-side tree after the window.
+  AsyncConfig config;
+  config.seed = 43;
+  FaultPlan plan;
+  plan.add(FaultPlan::partition(50.0, 120.0, 0.25));
+  config.faults = std::make_shared<FaultInjector>(plan, 23);
+  AsyncEngine engine(workload(60, 23), config);
+  std::uint64_t parent_losses = 0;
+  engine.set_trace([&](const TraceEvent& event) {
+    if (event.type == TraceEventType::kParentLost) ++parent_losses;
+  });
+  engine.run_for(500.0);
+  EXPECT_GT(engine.faults()->stats().partition_blocks, 0u);
+  EXPECT_GT(parent_losses, 0u);
+  expect_fully_healthy(engine.overlay());
+}
+
+TEST(ChaosRecoveryTest, LatencySpikesAndStaleOracleStillConverge) {
+  AsyncConfig config;
+  config.seed = 47;
+  FaultPlan plan;
+  plan.add(FaultPlan::latency_spike(0.0, 100.0, 0.3, 4.0))
+      .add(FaultPlan::oracle_staleness(0.0, 100.0, /*age=*/10.0));
+  config.faults = std::make_shared<FaultInjector>(plan, 29);
+  AsyncEngine engine(workload(60, 29), config);
+  const auto converged = engine.run_until_converged(20000.0);
+  ASSERT_TRUE(converged.has_value());
+  expect_fully_healthy(engine.overlay());
+}
+
+TEST(ChaosRecoveryTest, RecorderTracksPerWindowDamage) {
+  AsyncConfig config;
+  config.seed = 51;
+  const FaultPlan plan = acceptance_plan();
+  config.faults = std::make_shared<FaultInjector>(plan, 31);
+  AsyncEngine engine(workload(60, 31), config);
+  RecoveryRecorder recorder(engine.overlay(), plan);
+  engine.set_sampler(1.0, [&](SimTime t) { recorder.sample(t); });
+  engine.run_for(600.0);
+  const auto recoveries = recorder.window_recoveries();
+  ASSERT_EQ(recoveries.size(), 3u);
+  for (const auto& r : recoveries) {
+    EXPECT_TRUE(r.recovered) << "window " << r.window;
+    EXPECT_GE(r.time_to_reconverge, 0.0);
+  }
+  // The orphan series actually moved (damage was observed).
+  double peak = 0.0;
+  for (std::size_t i = 0; i < recorder.orphan_series().size(); ++i)
+    peak = std::max(peak, recorder.orphan_series().value_at(i));
+  EXPECT_GT(peak, 0.0);
+}
+
+}  // namespace
+}  // namespace lagover

@@ -91,6 +91,58 @@ TEST(ChurnEngineTest, RecoversFromMassFailure) {
   engine.overlay().audit();
 }
 
+TEST(ChurnEngineTest, MassFailureRecoveryIsBoundedWithNoPermanentOrphans) {
+  // Sharper contract than RecoversFromMassFailure: once the last failed
+  // node has rejoined, full reconvergence must follow within a bounded
+  // number of rounds — and no online node may end the run parentless.
+  for (auto algorithm : {AlgorithmKind::kGreedy, AlgorithmKind::kHybrid}) {
+    EngineConfig config;
+    config.algorithm = algorithm;
+    config.seed = 17;
+    Engine engine(bicorr(80, 11), config);
+    engine.set_churn(std::make_unique<MassFailureChurn>(
+        /*fail_round=*/150, /*fail_fraction=*/0.5, /*p_join=*/0.3));
+    // Converge first; stop one round short of the failure round so the
+    // assertion sees the healthy overlay, not the fresh damage.
+    for (int r = 0; r < 149; ++r) engine.run_round();
+    ASSERT_TRUE(engine.overlay().all_satisfied()) << to_string(algorithm);
+
+    // Phase 1: everyone is back online. p_join = 0.3 rejoins half the
+    // population in ~20 rounds in expectation; 300 is a generous cap.
+    int all_online_round = -1;
+    for (int r = 0; r < 300 && all_online_round < 0; ++r) {
+      engine.run_round();
+      if (engine.overlay().online_count() == engine.overlay().consumer_count())
+        all_online_round = static_cast<int>(engine.round());
+    }
+    ASSERT_GE(all_online_round, 0)
+        << to_string(algorithm) << ": nodes never all rejoined";
+
+    // Phase 2: bounded reconvergence. The last rejoiner still has to
+    // attach and propagate; 150 rounds is several times the from-scratch
+    // construction time for this population.
+    int reconverged_round = -1;
+    for (int r = 0; r < 150 && reconverged_round < 0; ++r) {
+      if (engine.overlay().all_satisfied())
+        reconverged_round = static_cast<int>(engine.round());
+      else
+        engine.run_round();
+    }
+    ASSERT_GE(reconverged_round, 0)
+        << to_string(algorithm) << ": no reconvergence within bound";
+    EXPECT_LE(reconverged_round - all_online_round, 150);
+
+    // No permanent orphans: every online consumer has a parent and
+    // meets its constraint.
+    for (NodeId id = 1; id < engine.overlay().node_count(); ++id) {
+      if (!engine.overlay().online(id)) continue;
+      EXPECT_TRUE(engine.overlay().has_parent(id))
+          << to_string(algorithm) << ": permanent orphan " << id;
+    }
+    engine.overlay().audit();
+  }
+}
+
 TEST(ChurnEngineTest, ChurnEventsAppearInTrace) {
   EngineConfig config;
   config.seed = 8;
