@@ -42,6 +42,11 @@ int run(int argc, char** argv) {
             << options.peers << " peers, " << options.trials
             << " trials per cell, horizon " << horizon << "\n";
 
+  bench::BenchJson bench_json("bench_chaos", options);
+  int total_recovered = 0;
+  int total_cells = 0;
+  Sample all_ttr;
+
   Table table({"algorithm", "drop prob", "recovered", "median ttr",
                "peak orphans", "median drops"});
   for (auto algorithm : {AlgorithmKind::kGreedy, AlgorithmKind::kHybrid}) {
@@ -87,10 +92,26 @@ int run(int argc, char** argv) {
                      ttr.empty() ? "DNR" : format_double(ttr.median(), 1),
                      peaks.empty() ? "-" : format_double(peaks.median(), 1),
                      drops.empty() ? "-" : format_double(drops.median(), 0)});
+      total_recovered += recovered;
+      total_cells += options.trials;
+      all_ttr.add_all(ttr.values());
     }
   }
   bench::print_table("reconvergence under swept fault intensity", table,
                      options, "chaos");
+  bench_json.add_count("recovered_trials",
+                       static_cast<std::uint64_t>(total_recovered));
+  bench_json.add_count("total_trials",
+                       static_cast<std::uint64_t>(total_cells));
+  bench_json.add_scalar("recovery_rate",
+                        total_cells == 0
+                            ? 1.0
+                            : static_cast<double>(total_recovered) /
+                                  static_cast<double>(total_cells));
+  bench_json.add_scalar("median_time_to_reconverge",
+                        all_ttr.empty() ? -1.0 : all_ttr.median());
+  bench_json.add_table("chaos", table);
+  bench_json.write(options);
   return 0;
 }
 

@@ -3,10 +3,12 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "common/flags.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 #include "metrics/experiment.hpp"
 #include "workload/constraints.hpp"
@@ -14,12 +16,14 @@
 namespace lagover::bench {
 
 /// Flags every bench accepts:
-///   --peers N       population size (default 120, the paper's)
-///   --trials N      repetitions per cell (default 5, paper Section 5.1)
-///   --max-rounds N  convergence budget before reporting DNC
-///   --seed N        base seed
-///   --csv PREFIX    also write each table as PREFIX<table>.csv
-///   --json PREFIX   also write each table as PREFIX<table>.json
+///   --peers N         population size (default 120, the paper's)
+///   --trials N        repetitions per cell (default 5, paper Section 5.1)
+///   --max-rounds N    convergence budget before reporting DNC
+///   --seed N          base seed
+///   --csv PREFIX      also write each table as PREFIX<table>.csv
+///   --json PREFIX     also write each table as PREFIX<table>.json
+///   --bench-json PATH machine-readable run summary (see BenchJson);
+///                     default <bench>.bench.json, "-" disables
 struct BenchOptions {
   std::size_t peers = 120;
   int trials = 5;
@@ -27,6 +31,7 @@ struct BenchOptions {
   std::uint64_t seed = 1;
   std::string csv_prefix;
   std::string json_prefix;
+  std::string bench_json;  ///< "" = default path, "-" = disabled
 
   static BenchOptions parse(int argc, char** argv) {
     const Flags flags(argc, argv);
@@ -39,8 +44,87 @@ struct BenchOptions {
     options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
     options.csv_prefix = flags.get_string("csv", "");
     options.json_prefix = flags.get_string("json", "");
+    options.bench_json = flags.get_string("bench-json", "");
     return options;
   }
+};
+
+/// Machine-readable bench summary, schema "lagover.bench.v1":
+///
+///   {
+///     "schema":  "lagover.bench.v1",
+///     "bench":   "<binary name>",
+///     "options": {"peers": N, "trials": N, "max_rounds": N, "seed": N},
+///     "summary": {"<metric>": <number>, ...},   // headline scalars
+///     "tables":  {"<name>": {"header": [...],   // the printed tables,
+///                            "rows": [[...]]}}  // cells as strings
+///   }
+///
+/// "summary" holds the bench's acceptance-relevant scalars (e.g.
+/// bench_failover's mean orphan time per detection policy) so CI and
+/// scripts can assert on them without parsing console tables.
+class BenchJson {
+ public:
+  BenchJson(std::string bench, const BenchOptions& options)
+      : bench_(std::move(bench)) {
+    root_ = Json::object();
+    root_.set("schema", Json::string("lagover.bench.v1"));
+    root_.set("bench", Json::string(bench_));
+    Json opts = Json::object();
+    opts.set("peers", Json::integer(static_cast<std::int64_t>(options.peers)));
+    opts.set("trials", Json::integer(options.trials));
+    opts.set("max_rounds",
+             Json::integer(static_cast<std::int64_t>(options.max_rounds)));
+    opts.set("seed", Json::integer(static_cast<std::int64_t>(options.seed)));
+    root_.set("options", std::move(opts));
+    summary_ = Json::object();
+    tables_ = Json::object();
+  }
+
+  void add_scalar(const std::string& key, double value) {
+    summary_.set(key, Json::number(value));
+  }
+  void add_count(const std::string& key, std::uint64_t value) {
+    summary_.set(key, Json::integer(static_cast<std::int64_t>(value)));
+  }
+
+  void add_table(const std::string& name, const Table& table) {
+    Json t = Json::object();
+    Json header = Json::array();
+    for (const std::string& cell : table.header())
+      header.push_back(Json::string(cell));
+    t.set("header", std::move(header));
+    Json rows = Json::array();
+    for (const auto& row : table.rows()) {
+      Json r = Json::array();
+      for (const std::string& cell : row) r.push_back(Json::string(cell));
+      rows.push_back(std::move(r));
+    }
+    t.set("rows", std::move(rows));
+    tables_.set(name, std::move(t));
+  }
+
+  /// Writes to the path implied by the options ("-" disables; empty
+  /// selects "<bench>.bench.json"). Returns false on I/O failure.
+  bool write(const BenchOptions& options) {
+    if (options.bench_json == "-") return true;
+    const std::string path = options.bench_json.empty()
+                                 ? bench_ + ".bench.json"
+                                 : options.bench_json;
+    root_.set("summary", summary_);
+    root_.set("tables", tables_);
+    std::ofstream out(path);
+    if (!out) return false;
+    out << root_.dump_pretty() << '\n';
+    if (out) std::cout << "\nwrote " << path << '\n';
+    return static_cast<bool>(out);
+  }
+
+ private:
+  std::string bench_;
+  Json root_;
+  Json summary_;
+  Json tables_;
 };
 
 inline void print_table(const std::string& title, const Table& table,

@@ -22,6 +22,11 @@ class Table {
   std::size_t row_count() const noexcept { return rows_.size(); }
   std::size_t column_count() const noexcept { return header_.size(); }
 
+  const std::vector<std::string>& header() const noexcept { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
   /// Renders an aligned, pipe-separated table with a rule under the header.
   std::string to_string() const;
 

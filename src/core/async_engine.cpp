@@ -23,7 +23,24 @@ AsyncEngine::AsyncEngine(Population population, AsyncConfig config)
   LAGOVER_EXPECTS(config.backoff_max >= config.backoff_base);
   LAGOVER_EXPECTS(config.backoff_jitter >= 0.0 && config.backoff_jitter < 1.0);
   LAGOVER_EXPECTS(config.parent_poll_miss_limit >= 1);
+  const std::size_t n = overlay_.node_count();
+  epochs_.resize(n);
+  detector_.resize(n, config_.health.phi);
+  grandparent_hint_.assign(n, kNoNode);
+  failover_pending_.assign(n, 0);
+  // Lease bookkeeping rides on the overlay's edge observers: pure
+  // record-keeping (no RNG, no scheduling), so the fault-free path is
+  // untouched.
+  overlay_.set_attach_observer([this](NodeId child, NodeId parent) {
+    epochs_.record_attachment(child, parent);
+    detector_.reset(child);
+  });
+  overlay_.set_detach_observer([this](NodeId child, NodeId /*parent*/) {
+    epochs_.clear_lease(child);
+    detector_.reset(child);
+  });
   install_fault_hooks();
+  install_core_hooks();
   // Stagger the first wake-ups so nodes are desynchronized from t = 0.
   for (NodeId id = 1; id < overlay_.node_count(); ++id)
     schedule_node(id, draw_duration());
@@ -45,6 +62,15 @@ void AsyncEngine::install_fault_hooks() {
       [this] { return config_.faults->oracle_down(sim_.now()); });
 }
 
+void AsyncEngine::install_core_hooks() {
+  core_->set_clock([this] { return sim_.now(); });
+  // The epoch fence only guards construction state once a fault layer
+  // can actually re-incarnate nodes out from under it; without faults
+  // the probe stays uninstalled and churn-only runs are byte-stable.
+  if (config_.faults != nullptr)
+    core_->set_epoch_probe([this](NodeId id) { return epochs_.epoch(id); });
+}
+
 void AsyncEngine::set_oracle(std::unique_ptr<Oracle> oracle) {
   LAGOVER_EXPECTS(oracle != nullptr);
   LAGOVER_EXPECTS(!started_);
@@ -53,6 +79,7 @@ void AsyncEngine::set_oracle(std::unique_ptr<Oracle> oracle) {
                                              config_.timeout_steps);
   // Re-apply the fault layer around the replacement oracle.
   install_fault_hooks();
+  install_core_hooks();
 }
 
 void AsyncEngine::set_churn(std::unique_ptr<ChurnModel> churn) {
@@ -77,17 +104,25 @@ void AsyncEngine::set_trace(std::function<void(const TraceEvent&)> trace) {
 
 void AsyncEngine::apply_churn() {
   if (!churn_) return;
+  const Round label = static_cast<Round>(sim_.now());
   const ChurnModel::Decision decision =
       churn_->decide(++churn_ticks_, overlay_, rng_);
   for (NodeId id : decision.leave) {
     if (!overlay_.online(id)) continue;
+    core_->emit({label, TraceEventType::kChurnLeave, id, kNoNode, false});
     overlay_.set_offline(id);
     core_->reset_node(id);
+    grandparent_hint_[id] = kNoNode;
+    failover_pending_[id] = 0;
   }
   for (NodeId id : decision.join) {
     if (overlay_.online(id)) continue;
     overlay_.set_online(id);
     core_->reset_node(id);
+    // A rejoining node is a new incarnation: state naming its previous
+    // life (referrals, cached partners, hints) is now fenced.
+    epochs_.bump(id);
+    core_->emit({label, TraceEventType::kChurnJoin, id, kNoNode, false});
     // Rejoined nodes resume their action loop (their previous wake-up
     // chain died at the offline check).
     schedule_node(id, draw_duration());
@@ -129,9 +164,24 @@ void AsyncEngine::schedule_node(NodeId id, SimTime delay) {
 void AsyncEngine::crash_node(NodeId id) {
   // The crash orphans the node's children (the overlay is the shared
   // ground truth, as with churn) and erases its session state; the node
-  // rejoins after the window's configured downtime.
+  // rejoins after the window's configured downtime. kCrash is emitted
+  // BEFORE the structural change so observers (metrics recorders) can
+  // still see the children the crash is about to orphan.
+  const Round label = static_cast<Round>(sim_.now());
+  core_->emit({label, TraceEventType::kCrash, id, kNoNode, false});
+  if (config_.health.failover == health::FailoverPolicy::kLadder) {
+    // Arm the ladder for the children this crash orphans: their best
+    // local candidate is the crashed parent's own parent.
+    const NodeId grandparent = overlay_.parent(id);
+    for (const NodeId child : overlay_.children(id)) {
+      grandparent_hint_[child] = grandparent;
+      failover_pending_[child] = 1;
+    }
+  }
   overlay_.set_offline(id);
   core_->reset_node(id);
+  grandparent_hint_[id] = kNoNode;
+  failover_pending_[id] = 0;
   converged_ = false;
   const double downtime =
       std::max(config_.faults->crash_downtime(sim_.now()), 0.1);
@@ -139,6 +189,10 @@ void AsyncEngine::crash_node(NodeId id) {
     if (overlay_.online(id)) return;  // churn already rejoined it
     overlay_.set_online(id);
     core_->reset_node(id);
+    // New incarnation: fence anything that still names the old one.
+    epochs_.bump(id);
+    core_->emit({static_cast<Round>(sim_.now()), TraceEventType::kRejoin, id,
+                 kNoNode, false});
     schedule_node(id, draw_duration());
   });
 }
@@ -167,29 +221,63 @@ void AsyncEngine::on_wake(NodeId id) {
   }
 }
 
+bool AsyncEngine::suspect_parent(NodeId id) {
+  if (config_.health.detection == health::DetectionPolicy::kPhiAccrual &&
+      detector_.primed(id)) {
+    // Adaptive rule: suspicion accrues with silence relative to the
+    // link's own observed poll cadence. The miss counter still runs so
+    // metrics stay comparable, but the verdict is phi's.
+    ++parent_poll_misses_[id];
+    return detector_.suspect(id, sim_.now());
+  }
+  // Fixed rule (and the fallback while the phi window is unprimed).
+  return ++parent_poll_misses_[id] >= config_.parent_poll_miss_limit;
+}
+
+void AsyncEngine::detach_suspected(NodeId id, NodeId parent, Round label,
+                                   TraceEventType type) {
+  parent_poll_misses_[id] = 0;
+  overlay_.detach(id);
+  converged_ = false;
+  core_->emit({label, type, id, parent, false});
+  if (config_.health.failover == health::FailoverPolicy::kLadder)
+    failover_pending_[id] = 1;
+  schedule_node(id, draw_duration());
+}
+
 void AsyncEngine::wake_attached(NodeId id) {
   const Round label = static_cast<Round>(sim_.now());
   // Dead-parent detection: each maintenance wake-up doubles as a poll of
   // the parent. A poll the fault layer cannot deliver (partition or
-  // message loss) is a miss; enough consecutive misses and the node
-  // concludes its parent is gone and re-orphans itself — its subtree
-  // stays with it and follows once it re-attaches.
+  // message loss) is a miss; enough misses — fixed count or phi-accrual
+  // suspicion, per the health config — and the node concludes its parent
+  // is gone and re-orphans itself. Its subtree stays with it and follows
+  // once it re-attaches.
   if (config_.faults != nullptr) {
     const NodeId parent = overlay_.parent(id);
+    // Epoch fence: a lease on a previous incarnation of the parent is
+    // invalid no matter how healthy the link looks — re-orphan at once.
+    if (!epochs_.lease_valid(id, parent)) {
+      epochs_.note_fence();
+      protocol_->note_stale_epoch();
+      detach_suspected(id, parent, label, TraceEventType::kEpochFenced);
+      return;
+    }
     if (!config_.faults->deliver(id, parent, sim_.now())) {
-      if (++parent_poll_misses_[id] >= config_.parent_poll_miss_limit) {
-        parent_poll_misses_[id] = 0;
-        overlay_.detach(id);
-        converged_ = false;
-        core_->emit({label, TraceEventType::kParentLost, id, parent, false});
-        schedule_node(id, draw_duration());
+      if (suspect_parent(id)) {
+        detach_suspected(id, parent, label, TraceEventType::kParentLost);
         return;
       }
-      // Missed poll: retry a full maintenance period later.
+      // Missed poll but not yet suspicious: retry a full maintenance
+      // period later.
       schedule_node(id, config_.maintenance_period);
       return;
     }
     parent_poll_misses_[id] = 0;
+    detector_.heartbeat(id, sim_.now());
+    // Poll replies piggy-back the parent's own parent: the first rung
+    // of the failover ladder should the parent die.
+    grandparent_hint_[id] = overlay_.parent(parent);
   }
   core_->maintenance_step(id, protocol_->maintenance_patience(), label);
   // Attached nodes only need periodic maintenance checks; detached
@@ -200,6 +288,20 @@ void AsyncEngine::wake_attached(NodeId id) {
 
 void AsyncEngine::wake_orphan(NodeId id) {
   const Round label = static_cast<Round>(sim_.now());
+  // Failover ladder: a node orphaned by a suspicion event gets one shot
+  // at local recovery (grandparent hint, then cached partners) before
+  // rejoining the Oracle-driven loop. Deterministic and only ever armed
+  // by faults, so the fault-free path is untouched.
+  if (failover_pending_[id] != 0) {
+    failover_pending_[id] = 0;
+    const NodeId hint = grandparent_hint_[id];
+    grandparent_hint_[id] = kNoNode;
+    if (core_->failover_step(id, hint, label)) {
+      if (config_.faults != nullptr) failed_attempts_[id] = 0;
+      schedule_node(id, config_.maintenance_period);
+      return;
+    }
+  }
   const StepOutcome outcome = core_->orphan_step(id, rng_, label);
   const bool fault_setback =
       config_.faults != nullptr &&

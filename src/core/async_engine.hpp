@@ -20,6 +20,7 @@
 #include "core/engine.hpp"
 #include "core/types.hpp"
 #include "fault/fault_injector.hpp"
+#include "health/health.hpp"
 #include "net/latency_model.hpp"
 #include "sim/simulator.hpp"
 
@@ -57,7 +58,13 @@ struct AsyncConfig {
   /// Attached nodes poll their parent every maintenance_period; this
   /// many consecutive undeliverable polls (partition / message loss)
   /// convince a node its parent is dead and it re-orphans itself.
+  /// (The fixed fallback when health.detection selects phi-accrual.)
   int parent_poll_miss_limit = 3;
+  /// Health layer: failure detection + failover policy. The defaults
+  /// (fixed misses, Oracle rejoin) reproduce the legacy behavior
+  /// byte-for-byte; epoch bookkeeping is always on but inert without
+  /// faults.
+  health::HealthConfig health;
   std::uint64_t seed = 1;
 };
 
@@ -110,6 +117,14 @@ class AsyncEngine {
     return config_.faults.get();
   }
 
+  /// Health-layer state, for validators and metrics.
+  const health::EpochBook& epochs() const noexcept { return epochs_; }
+  const health::PhiAccrualDetector& detector() const noexcept {
+    return detector_;
+  }
+  const Protocol& protocol() const noexcept { return *protocol_; }
+  const ConstructionCore& core() const noexcept { return *core_; }
+
  private:
   void schedule_node(NodeId id, SimTime delay);
   void on_wake(NodeId id);
@@ -118,6 +133,15 @@ class AsyncEngine {
   void apply_churn();
   void crash_node(NodeId id);
   void install_fault_hooks();
+  void install_core_hooks();
+  /// One undeliverable poll from id to its parent: updates the active
+  /// detection policy's state and reports whether the parent is now
+  /// suspected dead.
+  bool suspect_parent(NodeId id);
+  /// Re-orphans id after a suspicion / epoch fence, arming the failover
+  /// ladder when configured.
+  void detach_suspected(NodeId id, NodeId parent, Round label,
+                        TraceEventType type);
   double draw_duration();
   double backoff_delay(NodeId id);
 
@@ -138,6 +162,16 @@ class AsyncEngine {
   std::vector<int> failed_attempts_;
   /// Consecutive missed parent polls per attached node.
   std::vector<int> parent_poll_misses_;
+  /// Health layer (always sized; pure bookkeeping without faults).
+  health::EpochBook epochs_;
+  health::PhiAccrualDetector detector_;
+  /// Last known parent-of-parent per node, piggy-backed on successful
+  /// polls — the first rung of the failover ladder.
+  std::vector<NodeId> grandparent_hint_;
+  /// Armed by a suspicion event (kParentLost / kEpochFenced / parent
+  /// crash): the node's next orphan wake tries the failover ladder
+  /// before the Oracle. Never set on the fault-free path.
+  std::vector<char> failover_pending_;
 };
 
 }  // namespace lagover

@@ -14,6 +14,7 @@ ConstructionCore::ConstructionCore(Overlay& overlay, Protocol& protocol,
   timeout_counter_.assign(n, 0);
   violation_streak_.assign(n, 0);
   referral_.assign(n, kNoNode);
+  referral_epoch_.assign(n, health::kNoEpoch);
   pending_source_.assign(n, 0);
   recent_partners_.assign(n, {});
 }
@@ -22,6 +23,7 @@ void ConstructionCore::reset_node(NodeId id) {
   timeout_counter_[id] = 0;
   violation_streak_[id] = 0;
   referral_[id] = kNoNode;
+  referral_epoch_[id] = health::kNoEpoch;
   pending_source_[id] = 0;
   // A node that left (or crashed) loses its session state, including
   // the partner cache.
@@ -30,10 +32,70 @@ void ConstructionCore::reset_node(NodeId id) {
 
 void ConstructionCore::remember_partner(NodeId i, NodeId partner) {
   auto& cache = recent_partners_[i];
-  const auto it = std::find(cache.begin(), cache.end(), partner);
+  const auto it =
+      std::find_if(cache.begin(), cache.end(),
+                   [partner](const CachedPartner& c) {
+                     return c.node == partner;
+                   });
   if (it != cache.end()) cache.erase(it);
-  cache.insert(cache.begin(), partner);
+  const health::Epoch epoch =
+      epoch_probe_ ? epoch_probe_(partner) : health::kNoEpoch;
+  cache.insert(cache.begin(), CachedPartner{partner, epoch});
   if (cache.size() > kPartnerCacheSize) cache.resize(kPartnerCacheSize);
+}
+
+std::vector<NodeId> ConstructionCore::recent_partners(NodeId i) const {
+  std::vector<NodeId> out;
+  out.reserve(recent_partners_[i].size());
+  for (const CachedPartner& c : recent_partners_[i]) out.push_back(c.node);
+  return out;
+}
+
+bool ConstructionCore::fenced(NodeId node, health::Epoch stamped) {
+  if (!epoch_probe_ || stamped == health::kNoEpoch) return false;
+  if (epoch_probe_(node) == stamped) return false;
+  protocol_.note_stale_epoch();
+  return true;
+}
+
+bool ConstructionCore::failover_step(NodeId i, NodeId grandparent_hint,
+                                     Round round) {
+  if (!overlay_.online(i) || overlay_.has_parent(i)) return false;
+
+  // Ladder rung 1: the grandparent hint (piggy-backed on poll replies
+  // by the owning engine, already epoch-checked there).
+  // Ladder rung 2..: cached recent partners, most recent first.
+  std::vector<CachedPartner> candidates;
+  if (grandparent_hint != kNoNode && grandparent_hint != i)
+    candidates.push_back(
+        {grandparent_hint,
+         epoch_probe_ ? epoch_probe_(grandparent_hint) : health::kNoEpoch});
+  for (const CachedPartner& c : recent_partners_[i])
+    if (c.node != grandparent_hint) candidates.push_back(c);
+
+  for (const CachedPartner& c : candidates) {
+    if (c.node == i || !overlay_.online(c.node)) continue;
+    if (fenced(c.node, c.epoch)) continue;
+    if (c.node != kSourceId) {
+      if (!overlay_.can_attach(i, c.node)) continue;
+      // Keep i's own bound: attaching under c must not leave i violated.
+      if (overlay_.delay_at(c.node) + 1 > overlay_.latency_of(i)) continue;
+    }
+    if (delivery_probe_ && !delivery_probe_(i, c.node)) continue;
+    bool attached = false;
+    if (c.node == kSourceId) {
+      attached = protocol_.contact_source(overlay_, i);
+    } else {
+      overlay_.attach(i, c.node);
+      attached = true;
+    }
+    if (!attached) continue;
+    timeout_counter_[i] = 0;
+    ++failover_attaches_;
+    emit({round, TraceEventType::kFailoverAttach, i, c.node, true});
+    return true;
+  }
+  return false;
 }
 
 StepOutcome ConstructionCore::orphan_step(NodeId i, Rng& rng, Round round) {
@@ -60,11 +122,16 @@ StepOutcome ConstructionCore::orphan_step(NodeId i, Rng& rng, Round round) {
   }
 
   // Pick a partner: last referral when still usable, Oracle otherwise.
+  // A referral naming a peer that re-incarnated since it was issued is
+  // fenced: the grant belonged to the previous incarnation.
   NodeId partner = kNoNode;
   if (referral_[i] != kNoNode) {
     const NodeId r = referral_[i];
+    const health::Epoch r_epoch = referral_epoch_[i];
     referral_[i] = kNoNode;
-    if (r != i && r != kSourceId && overlay_.online(r)) partner = r;
+    referral_epoch_[i] = health::kNoEpoch;
+    if (r != i && r != kSourceId && overlay_.online(r) && !fenced(r, r_epoch))
+      partner = r;
   }
   if (partner == kNoNode) {
     const auto sampled = oracle_.sample(i, overlay_, rng);
@@ -74,9 +141,11 @@ StepOutcome ConstructionCore::orphan_step(NodeId i, Rng& rng, Round round) {
       // Oracle outage: fall back to the most recent cached partner that
       // is still a plausible peer. Deterministic (no RNG) and only
       // engaged during declared outage windows.
-      for (const NodeId cached : recent_partners_[i]) {
-        if (cached != i && cached != kSourceId && overlay_.online(cached)) {
-          partner = cached;
+      for (const CachedPartner& cached : recent_partners_[i]) {
+        if (cached.node != i && cached.node != kSourceId &&
+            overlay_.online(cached.node) &&
+            !fenced(cached.node, cached.epoch)) {
+          partner = cached.node;
           break;
         }
       }
@@ -110,6 +179,8 @@ StepOutcome ConstructionCore::orphan_step(NodeId i, Rng& rng, Round round) {
       pending_source_[i] = 1;
     } else {
       referral_[i] = *result.referral;
+      referral_epoch_[i] =
+          epoch_probe_ ? epoch_probe_(*result.referral) : health::kNoEpoch;
     }
   }
   if (overlay_.has_parent(i)) {

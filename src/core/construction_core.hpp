@@ -15,6 +15,8 @@
 #include "core/overlay.hpp"
 #include "core/protocol.hpp"
 #include "core/types.hpp"
+#include "health/lease.hpp"
+#include "sim/simulator.hpp"
 
 namespace lagover {
 
@@ -34,8 +36,20 @@ enum class TraceEventType {
   /// source referral and retries on its next step.
   kSourceContactFailed,
   /// An attached node missed too many consecutive polls to its parent
-  /// (partition / message loss) and re-orphaned itself.
+  /// (partition / message loss) and re-orphaned itself. Emitted for
+  /// both detection policies (fixed-miss and phi-accrual).
   kParentLost,
+  /// A node crashed (fault layer). Emitted BEFORE the node is taken
+  /// offline, so observers can still see its children.
+  kCrash,
+  /// A crashed node rejoined, or a churned node re-entered.
+  kRejoin,
+  /// A parent lease was rejected because the parent re-incarnated
+  /// (epoch fence): the child re-orphans without waiting for misses.
+  kEpochFenced,
+  /// A suspected-orphan re-attached via the local failover ladder
+  /// (grandparent hint / cached partner) without consulting the Oracle.
+  kFailoverAttach,
 };
 
 struct TraceEvent {
@@ -44,6 +58,10 @@ struct TraceEvent {
   NodeId subject = kNoNode;
   NodeId partner = kNoNode;
   bool attached = false;  ///< for kInteraction / kSourceContact
+  /// Event time: simulation time in the async engine, the round number
+  /// in the synchronous one. Filled by ConstructionCore::emit when
+  /// negative (the emitter's clock, or `round` as a fallback).
+  SimTime when = -1.0;
 };
 
 /// Result of one orphan step, for callers that model interaction costs
@@ -89,6 +107,20 @@ class ConstructionCore {
     oracle_outage_probe_ = std::move(probe);
   }
 
+  /// Current epoch (incarnation) of a node, from the owning engine's
+  /// EpochBook. When installed, referrals and cached partners are
+  /// stamped with the epoch they were learned under and fenced (dropped,
+  /// counted via Protocol::note_stale_epoch) when the named node has
+  /// since re-incarnated. Null (the default) disables stamping — the
+  /// churn-only paths stay byte-identical.
+  using EpochProbe = std::function<health::Epoch(NodeId)>;
+  void set_epoch_probe(EpochProbe probe) { epoch_probe_ = std::move(probe); }
+
+  /// Clock used to stamp TraceEvent::when (the async engine installs
+  /// sim.now). Without one, `when` falls back to the round number.
+  using Clock = std::function<SimTime()>;
+  void set_clock(Clock clock) { clock_ = std::move(clock); }
+
   /// One step of the `while i is parentless` loop (Algorithm 2 body):
   /// source contact when the timeout fired or a source referral is
   /// pending; otherwise one interaction with the last referral or an
@@ -106,6 +138,18 @@ class ConstructionCore {
   bool maintenance_step(NodeId i, int patience, Round round,
                         std::optional<bool> observed_violated = std::nullopt);
 
+  /// Local failover ladder (health layer): a node that just lost its
+  /// parent to a suspected crash tries to re-attach WITHOUT a round trip
+  /// to the Oracle — first under `grandparent_hint` (its late parent's
+  /// parent, piggy-backed on earlier poll replies; kNoNode = none), then
+  /// under each cached recent partner. A candidate is taken only when it
+  /// is online, structurally attachable, keeps i's delay bound
+  /// (DelayAt(c) + 1 <= l_i), passes the delivery probe, and — when an
+  /// epoch probe is installed — has not re-incarnated since i learned of
+  /// it. Deterministic (no RNG). Returns true on re-attach (emits
+  /// kFailoverAttach); false sends the caller down the Oracle path.
+  bool failover_step(NodeId i, NodeId grandparent_hint, Round round);
+
   /// Clears i's timeout counter, violation streak, and referral (used
   /// when a node leaves or rejoins).
   void reset_node(NodeId id);
@@ -117,19 +161,35 @@ class ConstructionCore {
   std::uint64_t maintenance_detaches() const noexcept {
     return maintenance_detaches_;
   }
+  std::uint64_t failover_attaches() const noexcept {
+    return failover_attaches_;
+  }
 
-  void emit(const TraceEvent& event) {
-    if (trace_) trace_(event);
+  void emit(TraceEvent event) {
+    if (!trace_) return;
+    if (event.when < 0.0)
+      event.when = clock_ ? clock_() : static_cast<SimTime>(event.round);
+    trace_(event);
   }
 
   /// Partners node i interacted with most recently (most recent first),
-  /// the fallback pool during Oracle outages.
-  const std::vector<NodeId>& recent_partners(NodeId i) const {
-    return recent_partners_[i];
-  }
+  /// the fallback pool during Oracle outages and the failover ladder.
+  /// By value: the cache is stored epoch-stamped internally.
+  std::vector<NodeId> recent_partners(NodeId i) const;
 
  private:
+  /// A cached peer plus the incarnation it was learned under (kNoEpoch
+  /// when no epoch probe is installed).
+  struct CachedPartner {
+    NodeId node = kNoNode;
+    health::Epoch epoch = health::kNoEpoch;
+  };
+
   void remember_partner(NodeId i, NodeId partner);
+
+  /// True iff the epoch fence rejects `stamped` as naming a previous
+  /// incarnation of `node`. Counts the rejection on the protocol.
+  bool fenced(NodeId node, health::Epoch stamped);
 
   /// How many recently seen partners each node remembers as its Oracle
   /// -outage fallback.
@@ -140,16 +200,20 @@ class ConstructionCore {
   Oracle& oracle_;
   int timeout_limit_;
   std::uint64_t maintenance_detaches_ = 0;
+  std::uint64_t failover_attaches_ = 0;
   std::function<void(const TraceEvent&)> trace_;
   DeliveryProbe delivery_probe_;
   OutageProbe oracle_outage_probe_;
+  EpochProbe epoch_probe_;
+  Clock clock_;
 
   // Per-node state (index = node id; [0] unused).
   std::vector<int> timeout_counter_;
   std::vector<int> violation_streak_;
-  std::vector<NodeId> referral_;      // kNoNode = none
-  std::vector<char> pending_source_;  // "refer i to 0"
-  std::vector<std::vector<NodeId>> recent_partners_;
+  std::vector<NodeId> referral_;            // kNoNode = none
+  std::vector<health::Epoch> referral_epoch_;
+  std::vector<char> pending_source_;        // "refer i to 0"
+  std::vector<std::vector<CachedPartner>> recent_partners_;
 };
 
 }  // namespace lagover

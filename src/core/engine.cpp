@@ -39,7 +39,31 @@ Engine::Engine(Population population, EngineConfig config)
   LAGOVER_EXPECTS(config.maintenance_patience >= 0);
   LAGOVER_EXPECTS(config.parent_poll_miss_limit >= 1);
   protocol_->set_orphaning_displacement(config.orphaning_displacement);
+  const std::size_t n = overlay_.node_count();
+  epochs_.resize(n);
+  detector_.resize(n, config_.health.phi);
+  grandparent_hint_.assign(n, kNoNode);
+  failover_pending_.assign(n, 0);
+  // Lease bookkeeping rides on the overlay's edge observers: pure
+  // record-keeping (no RNG), so the fault-free path is untouched.
+  overlay_.set_attach_observer([this](NodeId child, NodeId parent) {
+    epochs_.record_attachment(child, parent);
+    detector_.reset(child);
+  });
+  overlay_.set_detach_observer([this](NodeId child, NodeId /*parent*/) {
+    epochs_.clear_lease(child);
+    detector_.reset(child);
+  });
   install_fault_hooks();
+  install_core_hooks();
+}
+
+void Engine::install_core_hooks() {
+  // The epoch fence only guards construction state once a fault layer
+  // can actually re-incarnate nodes out from under it; without faults
+  // the probe stays uninstalled and churn-only runs are byte-stable.
+  if (config_.faults != nullptr)
+    core_->set_epoch_probe([this](NodeId id) { return epochs_.epoch(id); });
 }
 
 void Engine::install_fault_hooks() {
@@ -71,6 +95,7 @@ void Engine::set_oracle(std::unique_ptr<Oracle> oracle) {
   core_->set_trace(trace_);
   // Re-apply the fault layer around the replacement oracle.
   install_fault_hooks();
+  install_core_hooks();
 }
 
 void Engine::set_churn(std::unique_ptr<ChurnModel> churn) {
@@ -89,20 +114,36 @@ void Engine::apply_churn() {
     if (!overlay_.online(id)) continue;
     overlay_.set_offline(id);
     core_->reset_node(id);
+    grandparent_hint_[id] = kNoNode;
+    failover_pending_[id] = 0;
     core_->emit({round_, TraceEventType::kChurnLeave, id, kNoNode, false});
   }
   for (NodeId id : decision.join) {
     if (overlay_.online(id)) continue;
     overlay_.set_online(id);
     core_->reset_node(id);
+    // A rejoining node is a new incarnation: state naming its previous
+    // life (referrals, cached partners, hints) is now fenced.
+    epochs_.bump(id);
     core_->emit({round_, TraceEventType::kChurnJoin, id, kNoNode, false});
   }
 }
 
 void Engine::crash_node(NodeId id) {
+  // kCrash is emitted BEFORE the structural change so observers
+  // (metrics recorders) can still see the children the crash orphans.
+  core_->emit({round_, TraceEventType::kCrash, id, kNoNode, false});
+  if (config_.health.failover == health::FailoverPolicy::kLadder) {
+    const NodeId grandparent = overlay_.parent(id);
+    for (const NodeId child : overlay_.children(id)) {
+      grandparent_hint_[child] = grandparent;
+      failover_pending_[child] = 1;
+    }
+  }
   overlay_.set_offline(id);
   core_->reset_node(id);
-  core_->emit({round_, TraceEventType::kChurnLeave, id, kNoNode, false});
+  grandparent_hint_[id] = kNoNode;
+  failover_pending_[id] = 0;
   const double downtime =
       config_.faults->crash_downtime(static_cast<SimTime>(round_));
   const Round back =
@@ -121,9 +162,32 @@ void Engine::apply_fault_rejoins() {
     if (overlay_.online(id)) continue;  // churn already rejoined it
     overlay_.set_online(id);
     core_->reset_node(id);
-    core_->emit({round_, TraceEventType::kChurnJoin, id, kNoNode, false});
+    // New incarnation: fence anything that still names the old one.
+    epochs_.bump(id);
+    core_->emit({round_, TraceEventType::kRejoin, id, kNoNode, false});
   }
   crash_rejoins_.erase(due, crash_rejoins_.end());
+}
+
+bool Engine::suspect_parent(NodeId id) {
+  if (config_.health.detection == health::DetectionPolicy::kPhiAccrual &&
+      detector_.primed(id)) {
+    // Adaptive rule: suspicion accrues with silence relative to the
+    // link's own observed poll cadence. The miss counter still runs so
+    // metrics stay comparable, but the verdict is phi's.
+    ++parent_poll_misses_[id];
+    return detector_.suspect(id, static_cast<double>(round_));
+  }
+  // Fixed rule (and the fallback while the phi window is unprimed).
+  return ++parent_poll_misses_[id] >= config_.parent_poll_miss_limit;
+}
+
+void Engine::detach_suspected(NodeId id, NodeId parent, TraceEventType type) {
+  parent_poll_misses_[id] = 0;
+  overlay_.detach(id);
+  core_->emit({round_, type, id, parent, false});
+  if (config_.health.failover == health::FailoverPolicy::kLadder)
+    failover_pending_[id] = 1;
 }
 
 RoundStats Engine::run_round() {
@@ -171,17 +235,25 @@ RoundStats Engine::run_round() {
     if (config_.faults != nullptr && overlay_.online(id) &&
         overlay_.has_parent(id)) {
       const NodeId parent = overlay_.parent(id);
+      // Epoch fence: a lease on a previous incarnation of the parent is
+      // invalid no matter how healthy the link looks.
+      if (!epochs_.lease_valid(id, parent)) {
+        epochs_.note_fence();
+        protocol_->note_stale_epoch();
+        detach_suspected(id, parent, TraceEventType::kEpochFenced);
+        continue;
+      }
       if (!config_.faults->deliver(id, parent,
                                    static_cast<SimTime>(round_))) {
-        if (++parent_poll_misses_[id] >= config_.parent_poll_miss_limit) {
-          parent_poll_misses_[id] = 0;
-          overlay_.detach(id);
-          core_->emit({round_, TraceEventType::kParentLost, id, parent,
-                       false});
-        }
+        if (suspect_parent(id))
+          detach_suspected(id, parent, TraceEventType::kParentLost);
         continue;  // the poll never arrived; no maintenance this round
       }
       parent_poll_misses_[id] = 0;
+      detector_.heartbeat(id, static_cast<double>(round_));
+      // Poll replies piggy-back the parent's own parent: the first rung
+      // of the failover ladder should the parent die.
+      grandparent_hint_[id] = overlay_.parent(parent);
     }
     std::optional<bool> observed;
     if (config_.knowledge_lag > 0)
@@ -203,6 +275,15 @@ RoundStats Engine::run_round() {
         config_.faults->crash_roll(i, static_cast<SimTime>(round_))) {
       crash_node(i);
       continue;
+    }
+    // Failover ladder: a node orphaned by a suspicion event gets one
+    // shot at local recovery before the Oracle-driven loop. Only ever
+    // armed by faults, so the fault-free path is untouched.
+    if (failover_pending_[i] != 0) {
+      failover_pending_[i] = 0;
+      const NodeId hint = grandparent_hint_[i];
+      grandparent_hint_[i] = kNoNode;
+      if (core_->failover_step(i, hint, round_)) continue;
     }
     core_->orphan_step(i, rng_, round_);
   }

@@ -27,6 +27,7 @@
 #include "core/protocol.hpp"
 #include "core/types.hpp"
 #include "fault/fault_injector.hpp"
+#include "health/health.hpp"
 
 namespace lagover {
 
@@ -55,8 +56,12 @@ struct EngineConfig {
   std::shared_ptr<fault::FaultInjector> faults;
   /// Consecutive rounds an attached node tolerates undeliverable parent
   /// polls (partition / loss) before declaring the parent dead and
-  /// re-orphaning itself.
+  /// re-orphaning itself. (The fixed fallback when health.detection
+  /// selects phi-accrual.)
   int parent_poll_miss_limit = 3;
+  /// Health layer: failure detection + failover policy. Defaults
+  /// reproduce the legacy behavior byte-for-byte.
+  health::HealthConfig health;
   std::uint64_t seed = 1;
 };
 
@@ -117,6 +122,13 @@ class Engine {
   const std::vector<RoundStats>& history() const noexcept { return history_; }
   const EngineConfig& config() const noexcept { return config_; }
 
+  /// Health-layer state, for validators and metrics.
+  const health::EpochBook& epochs() const noexcept { return epochs_; }
+  const health::PhiAccrualDetector& detector() const noexcept {
+    return detector_;
+  }
+  const ConstructionCore& core() const noexcept { return *core_; }
+
   /// Executes one construction round and returns its statistics.
   RoundStats run_round();
 
@@ -128,10 +140,18 @@ class Engine {
  private:
   void apply_churn();
   void install_fault_hooks();
+  void install_core_hooks();
   void apply_fault_rejoins();
   /// Crashes node i this round (fault layer): offline + scheduled
   /// rejoin after the active window's crash downtime.
   void crash_node(NodeId id);
+  /// One undeliverable poll from id to its parent: updates the active
+  /// detection policy's state and reports whether the parent is now
+  /// suspected dead.
+  bool suspect_parent(NodeId id);
+  /// Re-orphans id after a suspicion / epoch fence, arming the failover
+  /// ladder when configured.
+  void detach_suspected(NodeId id, NodeId parent, TraceEventType type);
 
   EngineConfig config_;
   Overlay overlay_;
@@ -152,6 +172,14 @@ class Engine {
   /// Fault-layer state (sized only when config_.faults is set).
   std::vector<int> parent_poll_misses_;
   std::vector<std::pair<Round, NodeId>> crash_rejoins_;
+  /// Health layer (always sized; pure bookkeeping without faults).
+  health::EpochBook epochs_;
+  health::PhiAccrualDetector detector_;
+  /// Last known parent-of-parent per node, learned on successful polls.
+  std::vector<NodeId> grandparent_hint_;
+  /// Armed by a suspicion event; the node's next orphan turn tries the
+  /// failover ladder before the Oracle.
+  std::vector<char> failover_pending_;
 };
 
 /// Convenience: builds the protocol for an algorithm kind.

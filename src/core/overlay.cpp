@@ -20,6 +20,29 @@ Overlay::Overlay(Population population) : population_(std::move(population)) {
   online_count_ = population_.consumers.size();
 }
 
+Overlay::Overlay(const Overlay& other)
+    : population_(other.population_),
+      specs_(other.specs_),
+      parent_(other.parent_),
+      children_(other.children_),
+      online_(other.online_),
+      online_count_(other.online_count_),
+      counters_(other.counters_) {}
+
+Overlay& Overlay::operator=(const Overlay& other) {
+  if (this == &other) return *this;
+  population_ = other.population_;
+  specs_ = other.specs_;
+  parent_ = other.parent_;
+  children_ = other.children_;
+  online_ = other.online_;
+  online_count_ = other.online_count_;
+  counters_ = other.counters_;
+  attach_observer_ = nullptr;
+  detach_observer_ = nullptr;
+  return *this;
+}
+
 void Overlay::check_id(NodeId id) const {
   LAGOVER_EXPECTS(id < specs_.size());
 }
@@ -154,12 +177,14 @@ void Overlay::attach(NodeId child, NodeId parent) {
   parent_[child] = parent;
   children_[parent].push_back(child);
   ++counters_.attaches;
+  if (attach_observer_) attach_observer_(child, parent);
 }
 
 void Overlay::detach(NodeId child) {
   check_id(child);
   const NodeId p = parent_[child];
   LAGOVER_EXPECTS(p != kNoNode);
+  if (detach_observer_) detach_observer_(child, p);
   auto& siblings = children_[p];
   const auto it = std::find(siblings.begin(), siblings.end(), child);
   LAGOVER_ASSERT(it != siblings.end());

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,14 @@ class Overlay {
   /// Constructs the overlay for a validated population; all consumers
   /// start online and parentless.
   explicit Overlay(Population population);
+
+  /// Copies carry the structure but NOT the edge observers: observers
+  /// are wiring installed by the owning engine (e.g. the health layer's
+  /// lease book) and must not dangle into it from a snapshot copy.
+  Overlay(const Overlay& other);
+  Overlay& operator=(const Overlay& other);
+  Overlay(Overlay&&) = default;
+  Overlay& operator=(Overlay&&) = default;
 
   // --- population ---------------------------------------------------
   std::size_t consumer_count() const noexcept { return specs_.size() - 1; }
@@ -95,6 +104,19 @@ class Overlay {
   /// subtree stays with it). Precondition: has_parent(child).
   void detach(NodeId child);
 
+  // --- edge observers ---------------------------------------------------
+  /// Invoked after every successful attach / before every detach with
+  /// (child, parent). Installed by the owning engine (the health layer
+  /// records epoch leases through these); nullptr disables. Observers
+  /// must not mutate the overlay. Not propagated by copies.
+  using EdgeObserver = std::function<void(NodeId child, NodeId parent)>;
+  void set_attach_observer(EdgeObserver observer) {
+    attach_observer_ = std::move(observer);
+  }
+  void set_detach_observer(EdgeObserver observer) {
+    detach_observer_ = std::move(observer);
+  }
+
   // --- constraint satisfaction ------------------------------------------
   /// True iff id is online, connected, and DelayAt(id) <= l_id.
   bool satisfied(NodeId id) const;
@@ -135,6 +157,8 @@ class Overlay {
   std::vector<char> online_;          // [0] always true
   std::size_t online_count_ = 0;      // consumers only
   OverlayCounters counters_;
+  EdgeObserver attach_observer_;
+  EdgeObserver detach_observer_;
 };
 
 }  // namespace lagover

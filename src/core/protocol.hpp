@@ -34,6 +34,10 @@ struct ProtocolCounters {
   std::uint64_t source_attaches = 0;      ///< i <- 0 on free capacity
   std::uint64_t source_replacements = 0;  ///< c <- i <- 0 displacing laxer c
   std::uint64_t failed_source_contacts = 0;
+  /// Construction state (referral / cached partner / failover grant)
+  /// rejected because it named a previous incarnation of the target —
+  /// the epoch fence of the health layer (see health/lease.hpp).
+  std::uint64_t stale_epoch_rejections = 0;
 };
 
 /// A LagOver construction algorithm: decides what happens when a
@@ -66,6 +70,10 @@ class Protocol {
 
   SourceMode source_mode() const noexcept { return source_mode_; }
   const ProtocolCounters& counters() const noexcept { return counters_; }
+
+  /// Counts one epoch-fence rejection (called by the construction core,
+  /// which owns the epoch-stamped state the fence guards).
+  void note_stale_epoch() noexcept { ++counters_.stale_epoch_rejections; }
 
   /// Enables/disables the orphaning-displacement move (a strictly laxer
   /// child yields its slot and restarts as a chain root when adoption is

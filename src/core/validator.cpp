@@ -59,4 +59,40 @@ std::string ValidationReport::to_string() const {
   return out.str();
 }
 
+EpochAudit audit_epochs(const Overlay& overlay,
+                        const health::EpochBook& epochs) {
+  EpochAudit audit;
+  const std::size_t n = overlay.node_count();
+  for (NodeId id = 1; id < n; ++id) {
+    const NodeId parent = overlay.parent(id);
+    if (parent == kNoNode) continue;
+    if (!epochs.has_lease(id)) {
+      audit.unleased_edges.push_back(id);
+      continue;
+    }
+    if (!epochs.lease_valid(id, parent)) audit.stale_edges.push_back(id);
+  }
+  // Acyclicity: walking up from any node must terminate within n steps.
+  for (NodeId id = 1; id < n && audit.acyclic; ++id) {
+    NodeId cur = id;
+    std::size_t steps = 0;
+    while (overlay.parent(cur) != kNoNode) {
+      cur = overlay.parent(cur);
+      if (++steps > n) {
+        audit.acyclic = false;
+        break;
+      }
+    }
+  }
+  return audit;
+}
+
+std::string EpochAudit::to_string() const {
+  std::ostringstream out;
+  out << "epoch audit: " << stale_edges.size() << " stale edge(s), "
+      << unleased_edges.size() << " unleased edge(s), "
+      << (acyclic ? "acyclic" : "CYCLE DETECTED");
+  return out.str();
+}
+
 }  // namespace lagover

@@ -4,10 +4,12 @@
 // aborts) with a non-fatal, per-node diagnosis.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/overlay.hpp"
+#include "health/lease.hpp"
 
 namespace lagover {
 
@@ -42,5 +44,26 @@ struct ValidationReport {
 
 /// Diagnoses every consumer of the overlay.
 ValidationReport validate_overlay(const Overlay& overlay);
+
+/// Epoch-consistency audit of an overlay against a lease book (the
+/// health layer's fencing invariant): no edge may connect a child to a
+/// parent incarnation other than the one it leased, and the forest must
+/// be acyclic. A clean audit means no stale-epoch attachment survived.
+struct EpochAudit {
+  /// Edges whose recorded lease names a previous incarnation of the
+  /// parent (lease epoch != parent's current epoch).
+  std::vector<NodeId> stale_edges;
+  /// Attached children with no recorded lease at all. Benign for
+  /// overlays built before the health layer was wired in; should be
+  /// empty for engine-built overlays.
+  std::vector<NodeId> unleased_edges;
+  bool acyclic = true;
+
+  bool ok() const noexcept { return stale_edges.empty() && acyclic; }
+  std::string to_string() const;
+};
+
+EpochAudit audit_epochs(const Overlay& overlay,
+                        const health::EpochBook& epochs);
 
 }  // namespace lagover

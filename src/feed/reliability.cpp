@@ -61,7 +61,13 @@ class LossyDissemination {
   }
 
   void deliver(NodeId node, FeedItem item, bool via_recovery) {
-    if (has(node, item.seq)) return;
+    // Duplicate suppression: the sequence number is the identity, so a
+    // copy of an already-applied item is dropped (and counted) here —
+    // each consumer applies every item at most once.
+    if (has(node, item.seq)) {
+      ++suppressed_;
+      return;
+    }
     mark(node, item.seq, sim_.now());
     if (via_recovery)
       ++recovered_;
@@ -78,6 +84,16 @@ class LossyDissemination {
       sim_.schedule_after(config_.base.hop_delay, [this, child, item] {
         deliver(child, item, /*via_recovery=*/false);
       });
+      // Duplicate injection (at-least-once transport): the guard comes
+      // first so duplicate_probability == 0 draws no extra RNG and
+      // legacy runs stay byte-identical.
+      if (config_.duplicate_probability > 0.0 &&
+          rng_.bernoulli(config_.duplicate_probability)) {
+        ++duplicate_pushes_;
+        sim_.schedule_after(config_.base.hop_delay, [this, child, item] {
+          deliver(child, item, /*via_recovery=*/false);
+        });
+      }
     }
   }
 
@@ -93,16 +109,36 @@ class LossyDissemination {
   void recover(NodeId node) {
     const NodeId parent = overlay_.parent(node);
     LAGOVER_ASSERT(parent != kNoNode && parent != kSourceId);
-    ++recovery_pulls_;
-    // Ask the parent for everything it has that we lack; responses land
-    // after one hop delay.
     const auto& parent_got = received_[parent];
-    for (std::uint64_t seq = 1; seq < parent_got.size(); ++seq) {
-      if (parent_got[seq] == 0 || has(node, seq)) continue;
-      const FeedItem item = source_.items()[seq - 1];
-      sim_.schedule_after(config_.base.hop_delay, [this, node, item] {
-        deliver(node, item, /*via_recovery=*/true);
-      });
+    if (config_.repair == RepairMode::kNack) {
+      // Gap detection: scan the sequence space up to the parent's
+      // high-water mark and NACK exactly the missing numbers — but only
+      // when there is something to ask for. Identical repair set to the
+      // blanket pull, strictly fewer repair messages.
+      std::vector<std::uint64_t> gaps;
+      for (std::uint64_t seq = 1; seq < parent_got.size(); ++seq)
+        if (parent_got[seq] != 0 && !has(node, seq)) gaps.push_back(seq);
+      if (!gaps.empty()) {
+        ++recovery_pulls_;
+        nacked_items_ += gaps.size();
+        for (const std::uint64_t seq : gaps) {
+          const FeedItem item = source_.items()[seq - 1];
+          sim_.schedule_after(config_.base.hop_delay, [this, node, item] {
+            deliver(node, item, /*via_recovery=*/true);
+          });
+        }
+      }
+    } else {
+      // Blanket anti-entropy: one pull per tick, the parent answers
+      // with everything it has that we lack, after one hop delay.
+      ++recovery_pulls_;
+      for (std::uint64_t seq = 1; seq < parent_got.size(); ++seq) {
+        if (parent_got[seq] == 0 || has(node, seq)) continue;
+        const FeedItem item = source_.items()[seq - 1];
+        sim_.schedule_after(config_.base.hop_delay, [this, node, item] {
+          deliver(node, item, /*via_recovery=*/true);
+        });
+      }
     }
     sim_.schedule_after(config_.recovery_period,
                         [this, node] { recover(node); });
@@ -116,6 +152,10 @@ class LossyDissemination {
     report.recovered_deliveries = recovered_;
     report.lost_pushes = lost_;
     report.recovery_pulls = recovery_pulls_;
+    report.applications = pushed_ + recovered_;
+    report.duplicate_pushes = duplicate_pushes_;
+    report.duplicates_suppressed = suppressed_;
+    report.nacked_items = nacked_items_;
 
     // Exclude the tail window where deliveries may still be in flight.
     const TreeMetrics metrics = compute_tree_metrics(overlay_);
@@ -164,6 +204,9 @@ class LossyDissemination {
   std::uint64_t recovered_ = 0;
   std::uint64_t lost_ = 0;
   std::uint64_t recovery_pulls_ = 0;
+  std::uint64_t suppressed_ = 0;
+  std::uint64_t duplicate_pushes_ = 0;
+  std::uint64_t nacked_items_ = 0;
 };
 
 }  // namespace
@@ -173,6 +216,8 @@ LossyReport run_lossy_dissemination(const Overlay& overlay,
                                     SimTime duration) {
   LAGOVER_EXPECTS(config.push_loss >= 0.0 && config.push_loss < 1.0);
   LAGOVER_EXPECTS(config.recovery_period > 0.0);
+  LAGOVER_EXPECTS(config.duplicate_probability >= 0.0 &&
+                  config.duplicate_probability < 1.0);
   LossyDissemination dissemination(overlay, config);
   return dissemination.run(duration);
 }

@@ -1,0 +1,21 @@
+#include "health/health.hpp"
+
+namespace lagover::health {
+
+std::string to_string(DetectionPolicy policy) {
+  switch (policy) {
+    case DetectionPolicy::kFixedMisses: return "fixed-misses";
+    case DetectionPolicy::kPhiAccrual: return "phi-accrual";
+  }
+  return "?";
+}
+
+std::string to_string(FailoverPolicy policy) {
+  switch (policy) {
+    case FailoverPolicy::kOracleRejoin: return "oracle-rejoin";
+    case FailoverPolicy::kLadder: return "ladder";
+  }
+  return "?";
+}
+
+}  // namespace lagover::health

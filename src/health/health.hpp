@@ -1,0 +1,53 @@
+// Umbrella for the self-healing membership layer: the detection /
+// failover policy knobs shared by both construction engines, plus the
+// adaptive failure detector and the epoch-fenced lease book.
+//
+// Design invariant (mirrors the fault layer's): the health layer is
+// pure bookkeeping on the fault-free path. It consumes no engine RNG
+// and schedules no events of its own, so enabling it with no faults
+// active leaves a run byte-identical to the seed behavior
+// (pinned by ChaosRecoveryTest.EmptyPlanIsByteIdentical*).
+#pragma once
+
+#include <string>
+
+#include "health/failure_detector.hpp"
+#include "health/lease.hpp"
+
+namespace lagover::health {
+
+/// How an attached node decides its parent is dead.
+enum class DetectionPolicy {
+  /// Legacy rule: `parent_poll_miss_limit` consecutive undeliverable
+  /// polls. Simple, but one threshold cannot serve both lossy and
+  /// clean links: hair-triggered under heavy loss, slow under none.
+  kFixedMisses,
+  /// Phi-accrual over the link's observed inter-heartbeat intervals
+  /// (see failure_detector.hpp). Falls back to the fixed rule until
+  /// the link has enough history.
+  kPhiAccrual,
+};
+
+/// What a node does the instant it suspects its parent.
+enum class FailoverPolicy {
+  /// Legacy rule: re-enter the orphan loop (Oracle-driven rejoin).
+  kOracleRejoin,
+  /// Failover ladder: first try the grandparent learned from poll
+  /// replies, then the recent-partner cache, each gated by epoch and
+  /// latency-constraint checks — only then fall back to the Oracle.
+  /// Bounds orphan time even during Oracle outages.
+  kLadder,
+};
+
+std::string to_string(DetectionPolicy policy);
+std::string to_string(FailoverPolicy policy);
+
+/// Health-layer configuration embedded in EngineConfig / AsyncConfig.
+/// The defaults reproduce the pre-health engines exactly.
+struct HealthConfig {
+  DetectionPolicy detection = DetectionPolicy::kFixedMisses;
+  FailoverPolicy failover = FailoverPolicy::kOracleRejoin;
+  PhiConfig phi;
+};
+
+}  // namespace lagover::health

@@ -1,0 +1,50 @@
+#include "health/lease.hpp"
+
+#include "common/error.hpp"
+
+namespace lagover::health {
+
+void EpochBook::resize(std::size_t node_count) {
+  epoch_.assign(node_count, 1);
+  lease_.assign(node_count, kNoEpoch);
+}
+
+Epoch EpochBook::epoch(NodeId id) const {
+  LAGOVER_EXPECTS(id < epoch_.size());
+  return epoch_[id];
+}
+
+Epoch EpochBook::bump(NodeId id) {
+  LAGOVER_EXPECTS(id < epoch_.size());
+  ++bumps_;
+  return ++epoch_[id];
+}
+
+void EpochBook::record_attachment(NodeId child, NodeId parent) {
+  LAGOVER_EXPECTS(child < lease_.size());
+  LAGOVER_EXPECTS(parent < epoch_.size());
+  lease_[child] = epoch_[parent];
+}
+
+void EpochBook::clear_lease(NodeId child) {
+  LAGOVER_EXPECTS(child < lease_.size());
+  lease_[child] = kNoEpoch;
+}
+
+bool EpochBook::has_lease(NodeId child) const {
+  LAGOVER_EXPECTS(child < lease_.size());
+  return lease_[child] != kNoEpoch;
+}
+
+Epoch EpochBook::lease_epoch(NodeId child) const {
+  LAGOVER_EXPECTS(child < lease_.size());
+  return lease_[child];
+}
+
+bool EpochBook::lease_valid(NodeId child, NodeId parent) const {
+  LAGOVER_EXPECTS(child < lease_.size());
+  LAGOVER_EXPECTS(parent < epoch_.size());
+  return lease_[child] == kNoEpoch || lease_[child] == epoch_[parent];
+}
+
+}  // namespace lagover::health

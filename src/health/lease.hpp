@@ -1,0 +1,71 @@
+// Epoch-fenced parent leases. Every node carries a generation number
+// (epoch) bumped each time it rejoins after a crash or churn departure.
+// When a child attaches, the grant it received is a *lease* on a
+// specific incarnation of the parent: the parent's epoch at attach
+// time. Any piece of state naming another node — the lease itself, a
+// referral, a cached partner, a grandparent hint — is stamped with the
+// epoch it was learned under, and is rejected ("fenced") when the named
+// node has since re-incarnated. Fencing makes ghost children, duplicate
+// attachments, and post-rejoin cycles structurally impossible: stale
+// grants cannot survive their grantor's death.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace lagover::health {
+
+/// Incarnation number. 0 is reserved as "no epoch known".
+using Epoch = std::uint32_t;
+inline constexpr Epoch kNoEpoch = 0;
+
+/// Authoritative epoch table plus the per-child parent lease. Pure
+/// bookkeeping (no RNG, no scheduling): keeping it attached to an
+/// engine cannot perturb a fault-free run.
+class EpochBook {
+ public:
+  EpochBook() = default;
+  explicit EpochBook(std::size_t node_count) { resize(node_count); }
+
+  /// (Re)initializes for `node_count` nodes: every node starts in
+  /// epoch 1 with no lease.
+  void resize(std::size_t node_count);
+
+  std::size_t size() const noexcept { return epoch_.size(); }
+
+  Epoch epoch(NodeId id) const;
+
+  /// New incarnation of `id` (crash rejoin / churn rejoin). Returns the
+  /// new epoch.
+  Epoch bump(NodeId id);
+
+  /// Records the lease taken by `child` on `parent`'s current epoch.
+  void record_attachment(NodeId child, NodeId parent);
+
+  /// Drops child's lease (detach / orphaning).
+  void clear_lease(NodeId child);
+
+  bool has_lease(NodeId child) const;
+  Epoch lease_epoch(NodeId child) const;
+
+  /// True iff child's lease names parent's *current* incarnation. A
+  /// child with no recorded lease is treated as valid (pre-health
+  /// attachments and manually built overlays).
+  bool lease_valid(NodeId child, NodeId parent) const;
+
+  /// Records that a fence fired (stale lease / grant rejected).
+  void note_fence() noexcept { ++fences_; }
+
+  std::uint64_t bumps() const noexcept { return bumps_; }
+  std::uint64_t fences() const noexcept { return fences_; }
+
+ private:
+  std::vector<Epoch> epoch_;        ///< current incarnation per node
+  std::vector<Epoch> lease_;        ///< epoch of child's parent at attach
+  std::uint64_t bumps_ = 0;
+  std::uint64_t fences_ = 0;
+};
+
+}  // namespace lagover::health

@@ -1,0 +1,84 @@
+#include "metrics/failover.hpp"
+
+namespace lagover::metrics {
+
+FailoverRecorder::FailoverRecorder(const Overlay& overlay)
+    : overlay_(overlay),
+      orphan_since_(overlay.node_count(), kIdle),
+      detect_since_(overlay.node_count(), kIdle) {}
+
+void FailoverRecorder::start_orphan(NodeId id, double when) {
+  if (orphan_since_[id] == kIdle) orphan_since_[id] = when;
+}
+
+void FailoverRecorder::end_orphan(NodeId id, double when) {
+  if (orphan_since_[id] == kIdle) return;
+  orphan_time_.add(when - orphan_since_[id]);
+  orphan_since_[id] = kIdle;
+}
+
+void FailoverRecorder::clear_node(NodeId id) {
+  orphan_since_[id] = kIdle;
+  detect_since_[id] = kIdle;
+}
+
+void FailoverRecorder::on_trace(const TraceEvent& event) {
+  const NodeId subject = event.subject;
+  const double now = event.when;
+  switch (event.type) {
+    case TraceEventType::kCrash:
+      ++crashes_;
+      // Emitted before set_offline: the children the crash is about to
+      // orphan are still attached to the subject. Each starts an orphan
+      // period now (the ground truth) and a detection measurement that
+      // completes at its first own orphan-loop activity.
+      for (const NodeId child : overlay_.children(subject)) {
+        start_orphan(child, now);
+        if (detect_since_[child] == kIdle) detect_since_[child] = now;
+      }
+      // The crashed node's own pending measurements die with it.
+      clear_node(subject);
+      return;
+    case TraceEventType::kParentLost:
+    case TraceEventType::kEpochFenced:
+      ++suspicions_;
+      if (event.type == TraceEventType::kEpochFenced) ++fences_;
+      // The suspected parent being alive right now means the silence
+      // was message loss, not death: a false positive.
+      if (event.partner != kNoNode && overlay_.online(event.partner))
+        ++false_suspicions_;
+      start_orphan(subject, now);
+      return;
+    case TraceEventType::kChurnLeave:
+      clear_node(subject);
+      return;
+    case TraceEventType::kChurnJoin:
+    case TraceEventType::kRejoin:
+      // A new incarnation: its previous life's measurements are void.
+      clear_node(subject);
+      return;
+    case TraceEventType::kFailoverAttach:
+      ++failover_attaches_;
+      break;  // falls through to the generic orphan-activity handling
+    default:
+      break;
+  }
+
+  // Any orphan-loop event by a node with a pending detection
+  // measurement is its moment of discovery.
+  if (detect_since_[subject] != kIdle) {
+    detection_latency_.add(now - detect_since_[subject]);
+    detect_since_[subject] = kIdle;
+    ++detections_;
+  }
+  // A successful (re-)attachment ends the orphan period.
+  if (event.attached) end_orphan(subject, now);
+}
+
+double FailoverRecorder::false_positive_rate() const noexcept {
+  if (suspicions_ == 0) return 0.0;
+  return static_cast<double>(false_suspicions_) /
+         static_cast<double>(suspicions_);
+}
+
+}  // namespace lagover::metrics

@@ -130,6 +130,60 @@ TEST(ChaosRecoveryTest, EmptyPlanIsByteIdenticalForSyncEngine) {
     EXPECT_EQ(baseline.overlay().parent(id), chaos.overlay().parent(id));
 }
 
+TEST(ChaosRecoveryTest, EmptyPlanWithHealthLayerIsByteIdentical) {
+  const Population population = workload(50, 21);
+  AsyncConfig plain;
+  plain.seed = 77;
+  AsyncEngine baseline(population, plain);
+  const auto base_time = baseline.run_until_converged(20000.0);
+
+  // Health layer fully enabled — phi-accrual detection AND the failover
+  // ladder — but an empty plan: no crash ever fires, so the detector
+  // never suspects, the ladder never arms, the epoch book never bumps.
+  // The run must stay byte-identical to the no-fault-layer baseline.
+  AsyncConfig with_health = plain;
+  with_health.faults = std::make_shared<FaultInjector>(FaultPlan{});
+  with_health.health.detection = health::DetectionPolicy::kPhiAccrual;
+  with_health.health.failover = health::FailoverPolicy::kLadder;
+  AsyncEngine healthy(population, with_health);
+  const auto healthy_time = healthy.run_until_converged(20000.0);
+
+  ASSERT_TRUE(base_time.has_value());
+  ASSERT_TRUE(healthy_time.has_value());
+  EXPECT_DOUBLE_EQ(*base_time, *healthy_time);
+  for (NodeId id = 1; id < baseline.overlay().node_count(); ++id)
+    EXPECT_EQ(baseline.overlay().parent(id), healthy.overlay().parent(id));
+  // And the health layer itself stayed inert.
+  EXPECT_EQ(healthy.epochs().bumps(), 0u);
+  EXPECT_EQ(healthy.epochs().fences(), 0u);
+  EXPECT_EQ(healthy.core().failover_attaches(), 0u);
+  EXPECT_EQ(healthy.protocol().counters().stale_epoch_rejections, 0u);
+}
+
+TEST(ChaosRecoveryTest, EmptyPlanWithHealthLayerIsByteIdenticalSync) {
+  const Population population = workload(50, 22);
+  EngineConfig plain;
+  plain.seed = 78;
+  Engine baseline(population, plain);
+  const auto base_round = baseline.run_until_converged(3000);
+
+  EngineConfig with_health = plain;
+  with_health.faults = std::make_shared<FaultInjector>(FaultPlan{});
+  with_health.health.detection = health::DetectionPolicy::kPhiAccrual;
+  with_health.health.failover = health::FailoverPolicy::kLadder;
+  Engine healthy(population, with_health);
+  const auto healthy_round = healthy.run_until_converged(3000);
+
+  ASSERT_TRUE(base_round.has_value());
+  ASSERT_TRUE(healthy_round.has_value());
+  EXPECT_EQ(*base_round, *healthy_round);
+  for (NodeId id = 1; id < baseline.overlay().node_count(); ++id)
+    EXPECT_EQ(baseline.overlay().parent(id), healthy.overlay().parent(id));
+  EXPECT_EQ(healthy.epochs().bumps(), 0u);
+  EXPECT_EQ(healthy.epochs().fences(), 0u);
+  EXPECT_EQ(healthy.core().failover_attaches(), 0u);
+}
+
 TEST(ChaosRecoveryTest, CrashesOrphanSubtreesAndHeal) {
   AsyncConfig config;
   config.seed = 41;

@@ -6,7 +6,10 @@
 // asynchronous engine agrees with the synchronous one on convergability.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "core/async_engine.hpp"
+#include "fault/fault_injector.hpp"
 #include "core/engine.hpp"
 #include "core/snapshot.hpp"
 #include "core/sufficiency.hpp"
@@ -154,6 +157,49 @@ TEST_P(FeasibilityProperty, HybridConstructsEveryFeasibleSmallInstance) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FeasibilityProperty,
                          ::testing::Values(101, 202, 303, 404, 505));
+
+// --- epoch-fence property sweep over crash/rejoin histories -------------
+
+class EpochFenceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EpochFenceProperty, CrashRejoinSequencesNeverMixEpochsOrCycle) {
+  // For arbitrary crash/rejoin histories (seed-varied crash plans, both
+  // detection policies, ladder failover so re-attachment takes the
+  // hint/cache shortcuts where stale state would bite), two invariants
+  // must hold at every observation point: no edge connects a child's
+  // lease to a previous incarnation of its parent, and the overlay
+  // stays acyclic.
+  const std::uint64_t seed = GetParam();
+  for (auto detection : {health::DetectionPolicy::kFixedMisses,
+                         health::DetectionPolicy::kPhiAccrual}) {
+    AsyncConfig config;
+    config.seed = seed * 17 + 3;
+    config.health.detection = detection;
+    config.health.failover = health::FailoverPolicy::kLadder;
+    fault::FaultPlan plan;
+    plan.add(fault::FaultPlan::crashes(10.0, 90.0, 0.04, 5.0))
+        .add(fault::FaultPlan::crashes(110.0, 170.0, 0.06, 7.0));
+    config.faults = std::make_shared<fault::FaultInjector>(plan, seed);
+    WorkloadParams params;
+    params.peers = 50;
+    params.seed = seed;
+    AsyncEngine engine(generate_workload(WorkloadKind::kBiUnCorr, params),
+                      config);
+    engine.set_sampler(2.0, [&](SimTime t) {
+      const EpochAudit audit = audit_epochs(engine.overlay(), engine.epochs());
+      EXPECT_TRUE(audit.stale_edges.empty())
+          << audit.to_string() << " at t=" << t << " seed=" << seed;
+      ASSERT_TRUE(audit.acyclic) << "cycle at t=" << t << " seed=" << seed;
+    });
+    engine.run_for(350.0);
+    EXPECT_GT(engine.epochs().bumps(), 0u) << "plan did no damage";
+    EXPECT_TRUE(audit_epochs(engine.overlay(), engine.epochs()).ok());
+    engine.overlay().audit();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EpochFenceProperty,
+                         ::testing::Values(7, 19, 53, 88));
 
 }  // namespace
 }  // namespace lagover

@@ -88,6 +88,84 @@ TEST(ReliabilityTest, SourcePollersAreNeverLossy) {
   EXPECT_EQ(report.lost_pushes, 0u);
 }
 
+TEST(ReliabilityTest, DuplicatesAreSuppressedExactlyOnceSemantics) {
+  // With duplicate injection on, every extra copy of an already-applied
+  // item must be counted and dropped: applications stays exactly
+  // push_deliveries + recovered_deliveries, and the delivery ratio is
+  // unaffected by the duplicate storm.
+  const Overlay overlay = converged_overlay(60, 8);
+  feed::LossyConfig config;
+  config.push_loss = 0.1;
+  config.duplicate_probability = 0.4;
+  const auto report = feed::run_lossy_dissemination(overlay, config, 300.0);
+  EXPECT_GT(report.duplicate_pushes, 0u);
+  EXPECT_GT(report.duplicates_suppressed, 0u);
+  EXPECT_EQ(report.applications,
+            report.push_deliveries + report.recovered_deliveries);
+  // Injected copies always trail an applied original, so at least that
+  // many receipts were suppressed (repair/forward races add more).
+  EXPECT_GE(report.duplicates_suppressed, report.duplicate_pushes / 2);
+  EXPECT_GT(report.delivery_ratio, 0.999);
+}
+
+TEST(ReliabilityTest, ZeroDuplicateProbabilityIsByteIdentical) {
+  // duplicate_probability = 0 must draw no extra randomness: the report
+  // matches the pre-duplicates configuration bit for bit, and no
+  // injected copy ever enters the system.
+  const Overlay overlay = converged_overlay(40, 9);
+  feed::LossyConfig config;
+  config.push_loss = 0.15;
+  const auto base = feed::run_lossy_dissemination(overlay, config, 200.0);
+  feed::LossyConfig dup = config;
+  dup.duplicate_probability = 0.0;
+  const auto same = feed::run_lossy_dissemination(overlay, dup, 200.0);
+  EXPECT_EQ(base.push_deliveries, same.push_deliveries);
+  EXPECT_EQ(base.recovered_deliveries, same.recovered_deliveries);
+  EXPECT_DOUBLE_EQ(base.delivery_ratio, same.delivery_ratio);
+  EXPECT_EQ(same.duplicate_pushes, 0u);
+}
+
+TEST(ReliabilityTest, NackRepairMatchesBlanketRatioWithFewerMessages) {
+  // The NACK repairer computes the same repair set as blanket
+  // anti-entropy, so the delivery ratio cannot regress — but it only
+  // speaks when it has gaps to name, so it must send strictly fewer
+  // repair requests under equal loss.
+  const Overlay overlay = converged_overlay(60, 10);
+  feed::LossyConfig blanket;
+  blanket.push_loss = 0.2;
+  blanket.repair = feed::RepairMode::kAntiEntropy;
+  const auto anti = feed::run_lossy_dissemination(overlay, blanket, 300.0);
+
+  feed::LossyConfig nack = blanket;
+  nack.repair = feed::RepairMode::kNack;
+  const auto targeted = feed::run_lossy_dissemination(overlay, nack, 300.0);
+
+  EXPECT_GE(targeted.delivery_ratio, anti.delivery_ratio);
+  EXPECT_GT(targeted.delivery_ratio, 0.999);
+  EXPECT_LT(targeted.recovery_pulls, anti.recovery_pulls);
+  EXPECT_GT(targeted.nacked_items, 0u);
+  EXPECT_EQ(anti.nacked_items, 0u);
+  // Both strategies actually repaired something.
+  EXPECT_GT(anti.recovered_deliveries, 0u);
+  EXPECT_GT(targeted.recovered_deliveries, 0u);
+}
+
+TEST(ReliabilityTest, NackUnderDuplicatesStaysExactlyOnce) {
+  // The full upgrade at once: loss + duplicate storm + NACK repair.
+  // Exactly-once application and full eventual delivery both hold.
+  const Overlay overlay = converged_overlay(60, 11);
+  feed::LossyConfig config;
+  config.push_loss = 0.25;
+  config.duplicate_probability = 0.3;
+  config.repair = feed::RepairMode::kNack;
+  const auto report = feed::run_lossy_dissemination(overlay, config, 300.0);
+  EXPECT_GT(report.delivery_ratio, 0.999);
+  EXPECT_EQ(report.applications,
+            report.push_deliveries + report.recovered_deliveries);
+  EXPECT_GT(report.duplicates_suppressed, 0u);
+  EXPECT_GT(report.nacked_items, 0u);
+}
+
 TEST(ReliabilityTest, DeterministicPerSeed) {
   const Overlay overlay = converged_overlay(40, 7);
   feed::LossyConfig config;
