@@ -43,6 +43,7 @@ int run(int argc, char** argv) {
             << " trials per cell, horizon " << horizon << "\n";
 
   bench::BenchJson bench_json("bench_chaos", options);
+  bench::TelemetryExport telemetry_export(options);
   int total_recovered = 0;
   int total_cells = 0;
   Sample all_ttr;
@@ -70,7 +71,11 @@ int run(int argc, char** argv) {
         AsyncEngine engine(generate_workload(WorkloadKind::kBiUnCorr, params),
                            config);
         RecoveryRecorder recorder(engine.overlay(), plan);
-        engine.set_sampler(1.0, [&](SimTime t) { recorder.sample(t); });
+        recorder.subscribe(engine.trace_bus());
+        engine.set_sampler(1.0, [&](SimTime t) {
+          recorder.sample(t);
+          telemetry_export.sample(t);
+        });
         engine.run_for(horizon);
         const double t = recorder.final_time_to_reconverge();
         if (t >= 0.0 && recorder.healthy_at_end()) {
@@ -111,6 +116,7 @@ int run(int argc, char** argv) {
   bench_json.add_scalar("median_time_to_reconverge",
                         all_ttr.empty() ? -1.0 : all_ttr.median());
   bench_json.add_table("chaos", table);
+  telemetry_export.finish(bench_json);
   bench_json.write(options);
   return 0;
 }

@@ -61,6 +61,7 @@ int run(int argc, char** argv) {
             << " trials per cell, horizon " << horizon << "\n";
 
   bench::BenchJson bench_json("bench_failover", options);
+  bench::TelemetryExport telemetry_export(options);
   Table table({"policy", "mean orphan t", "p90 orphan t", "mean detect t",
                "fp rate", "suspicions", "fences", "ladder", "stale edges"});
 
@@ -89,11 +90,10 @@ int run(int argc, char** argv) {
       AsyncEngine engine(generate_workload(WorkloadKind::kBiUnCorr, params),
                          config);
       metrics::FailoverRecorder recorder(engine.overlay());
-      engine.set_trace(
-          [&](const TraceEvent& event) { recorder.on_trace(event); });
+      recorder.subscribe(engine.trace_bus());
       // Epoch-consistency audit on a steady cadence: a single stale
       // -epoch attachment anywhere in the run fails the bench.
-      engine.set_sampler(5.0, [&](SimTime) {
+      engine.set_sampler(5.0, [&](SimTime t) {
         const EpochAudit audit =
             audit_epochs(engine.overlay(), engine.epochs());
         stale_edges += audit.stale_edges.size();
@@ -101,6 +101,7 @@ int run(int argc, char** argv) {
           std::cerr << "FATAL: cycle detected\n";
           std::abort();
         }
+        telemetry_export.sample(t);
       });
       engine.run_for(horizon);
 
@@ -141,6 +142,7 @@ int run(int argc, char** argv) {
   bench::print_table("failure detection / failover policy sweep", table,
                      options, "failover");
   bench_json.add_table("failover", table);
+  telemetry_export.finish(bench_json);
   bench_json.write(options);
   return 0;
 }

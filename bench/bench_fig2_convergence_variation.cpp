@@ -21,6 +21,10 @@ int run(int argc, char** argv) {
                "(Oracle Random-Delay, "
             << options.peers << " peers, no churn)\n";
 
+  bench::BenchJson bench_json("bench_fig2_convergence_variation", options);
+  bench::TelemetryExport telemetry_export(options);
+  double cell = 0.0;
+
   Table table({"workload", "trials", "min", "q25", "median", "q75", "max",
                "stddev"});
   Sample all;
@@ -43,6 +47,13 @@ int run(int argc, char** argv) {
                    format_double(rounds.max(), 0),
                    format_double(rounds.stddev(), 1)});
     all.add_all(rounds.values());
+    bench_json.add_scalar(std::string(to_string(kind)) + ".median_rounds",
+                          rounds.median());
+    bench_json.add_scalar(std::string(to_string(kind)) + ".stddev_rounds",
+                          rounds.stddev());
+    // Coarse per-cell metric snapshots (these benches drive engines
+    // through run_experiment and have no per-round hook).
+    telemetry_export.sample(cell += 1.0);
 
     std::cout << "\n" << to_string(kind) << " per-trial rounds:";
     for (double v : rounds.values()) std::cout << ' ' << v;
@@ -55,6 +66,12 @@ int run(int argc, char** argv) {
   for (double v : all.values()) histogram.add(v);
   std::cout << "\npooled convergence-time histogram (all workloads):\n"
             << histogram.to_string() << '\n';
+
+  bench_json.add_scalar("pooled_median_rounds", all.median());
+  bench_json.add_scalar("pooled_stddev_rounds", all.stddev());
+  bench_json.add_table("fig2", table);
+  telemetry_export.finish(bench_json);
+  bench_json.write(options);
   return 0;
 }
 

@@ -17,6 +17,10 @@ int run(int argc, char** argv) {
                "median of "
             << options.trials << ")\n";
 
+  bench::BenchJson bench_json("bench_scaling", options);
+  bench::TelemetryExport telemetry_export(options);
+  double cell = 0.0;
+
   Table table({"peers", "greedy median rounds", "hybrid median rounds",
                "hybrid mean depth", "hybrid max depth"});
   for (std::size_t peers : {30u, 60u, 120u, 240u, 480u, 960u}) {
@@ -52,9 +56,17 @@ int run(int argc, char** argv) {
     }
     table.add_row({std::to_string(peers), cells[0], cells[1],
                    format_double(mean_depth, 2), std::to_string(max_depth)});
+    bench_json.add_scalar("peers_" + std::to_string(peers) + ".mean_depth",
+                          mean_depth);
+    // Coarse per-cell metric snapshots (no per-round hook here; the
+    // engines run inside run_experiment).
+    telemetry_export.sample(cell += 1.0);
   }
   bench::print_table("construction latency vs population", table, options,
                      "scaling");
+  bench_json.add_table("scaling", table);
+  telemetry_export.finish(bench_json);
+  bench_json.write(options);
   return 0;
 }
 

@@ -5,12 +5,15 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "common/flags.hpp"
 #include "common/json.hpp"
+#include "common/logging.hpp"
 #include "common/table.hpp"
 #include "metrics/experiment.hpp"
+#include "telemetry/export.hpp"
 #include "workload/constraints.hpp"
 
 namespace lagover::bench {
@@ -24,6 +27,14 @@ namespace lagover::bench {
 ///   --json PREFIX     also write each table as PREFIX<table>.json
 ///   --bench-json PATH machine-readable run summary (see BenchJson);
 ///                     default <bench>.bench.json, "-" disables
+///   --telemetry       enable the telemetry substrate (metrics,
+///                     profiler, event stream); a "metrics" block is
+///                     embedded in the bench JSON
+///   --trace-out PATH  write a Chrome trace_event file (Perfetto /
+///                     chrome://tracing loadable); implies --telemetry
+///   --events-out PATH stream events + log lines as JSONL; implies
+///                     --telemetry
+///   --log-level L     logger threshold: trace|debug|info|warn|error|off
 struct BenchOptions {
   std::size_t peers = 120;
   int trials = 5;
@@ -32,6 +43,9 @@ struct BenchOptions {
   std::string csv_prefix;
   std::string json_prefix;
   std::string bench_json;  ///< "" = default path, "-" = disabled
+  bool telemetry = false;
+  std::string trace_out;   ///< "" = no Chrome trace
+  std::string events_out;  ///< "" = no JSONL stream
 
   static BenchOptions parse(int argc, char** argv) {
     const Flags flags(argc, argv);
@@ -45,6 +59,15 @@ struct BenchOptions {
     options.csv_prefix = flags.get_string("csv", "");
     options.json_prefix = flags.get_string("json", "");
     options.bench_json = flags.get_string("bench-json", "");
+    options.trace_out = flags.get_string("trace-out", "");
+    options.events_out = flags.get_string("events-out", "");
+    options.telemetry = flags.get_bool("telemetry", false) ||
+                        !options.trace_out.empty() ||
+                        !options.events_out.empty();
+    if (flags.has("log-level"))
+      Logger::instance().set_level(
+          parse_log_level(flags.get_string("log-level", "warn")));
+    telemetry::set_enabled(options.telemetry);
     return options;
   }
 };
@@ -63,6 +86,24 @@ struct BenchOptions {
 /// "summary" holds the bench's acceptance-relevant scalars (e.g.
 /// bench_failover's mean orphan time per detection policy) so CI and
 /// scripts can assert on them without parsing console tables.
+///
+/// With --telemetry a "metrics" block (schema "lagover.metrics.v1") is
+/// embedded alongside:
+///
+///   "metrics": {
+///     "schema":     "lagover.metrics.v1",
+///     "counters":   {"<name>": <integer>, ...},
+///     "gauges":     {"<name>": <number>, ...},
+///     "histograms": {"<name>": {"count": N, "sum": X, "min": X,
+///                               "max": X, "mean": X, "p50": X,
+///                               "p90": X, "p99": X, "underflow": N,
+///                               "overflow": N,
+///                               "buckets": [{"lo": X, "hi": X,
+///                                            "count": N}, ...]}},
+///     "profile":    {"<scope>": {"calls": N, "total_ns": N,
+///                                "mean_ns": X, "max_ns": N}},
+///     "timeseries": {"<metric>": [[t, value], ...]}   // optional
+///   }
 class BenchJson {
  public:
   BenchJson(std::string bench, const BenchOptions& options)
@@ -104,6 +145,12 @@ class BenchJson {
     tables_.set(name, std::move(t));
   }
 
+  /// Embeds the "lagover.metrics.v1" block (see the class comment).
+  void set_metrics(Json metrics) {
+    has_metrics_ = true;
+    metrics_ = std::move(metrics);
+  }
+
   /// Writes to the path implied by the options ("-" disables; empty
   /// selects "<bench>.bench.json"). Returns false on I/O failure.
   bool write(const BenchOptions& options) {
@@ -113,6 +160,7 @@ class BenchJson {
                                  : options.bench_json;
     root_.set("summary", summary_);
     root_.set("tables", tables_);
+    if (has_metrics_) root_.set("metrics", metrics_);
     std::ofstream out(path);
     if (!out) return false;
     out << root_.dump_pretty() << '\n';
@@ -125,6 +173,57 @@ class BenchJson {
   Json root_;
   Json summary_;
   Json tables_;
+  Json metrics_;
+  bool has_metrics_ = false;
+};
+
+/// RAII bundle of the telemetry exporters a bench needs: builds the
+/// writers selected by the options, exposes sample(t) for per-round
+/// snapshots, and on finish() writes the trace/JSONL outputs and embeds
+/// the "lagover.metrics.v1" block into the bench JSON. Inert (all null)
+/// when telemetry is off, so benches can call it unconditionally.
+class TelemetryExport {
+ public:
+  explicit TelemetryExport(const BenchOptions& options) : options_(options) {
+    if (!options.telemetry) return;
+    telemetry::MetricsRegistry::instance().reset();
+    telemetry::Profiler::instance().reset();
+    sampler_ = std::make_unique<telemetry::TimeseriesSampler>();
+    if (!options.trace_out.empty())
+      trace_ = std::make_unique<telemetry::ChromeTraceWriter>();
+    if (!options.events_out.empty())
+      events_ =
+          std::make_unique<telemetry::JsonlEventWriter>(options.events_out);
+  }
+
+  /// Snapshot every counter/gauge at time t (per round / sim tick).
+  void sample(double t) {
+    if (sampler_) sampler_->sample(t);
+  }
+
+  /// Writes the Chrome trace (when requested) and embeds the metrics
+  /// summary. Call once, after the run and before json.write().
+  void finish(BenchJson& json) {
+    if (!options_.telemetry) return;
+    json.set_metrics(
+        telemetry::metrics_summary_json(sampler_.get()));
+    if (trace_ != nullptr) {
+      if (trace_->write(options_.trace_out))
+        std::cout << "wrote " << options_.trace_out << " ("
+                  << trace_->event_count() << " trace events)\n";
+      else
+        std::cerr << "failed to write " << options_.trace_out << '\n';
+    }
+    if (events_ != nullptr)
+      std::cout << "wrote " << options_.events_out << " ("
+                << events_->lines() << " lines)\n";
+  }
+
+ private:
+  BenchOptions options_;
+  std::unique_ptr<telemetry::TimeseriesSampler> sampler_;
+  std::unique_ptr<telemetry::ChromeTraceWriter> trace_;
+  std::unique_ptr<telemetry::JsonlEventWriter> events_;
 };
 
 inline void print_table(const std::string& title, const Table& table,

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Validate bench output files.
+
+Autodetects the kind of each file passed on the command line:
+
+  * "lagover.bench.v1"   — a bench summary (optionally embedding a
+    "metrics" block with schema "lagover.metrics.v1"),
+  * a Chrome trace_event file — top-level "traceEvents" list, as
+    written by --trace-out (Perfetto / chrome://tracing loadable),
+  * a JSONL event stream — one JSON object per line, as written by
+    --events-out.
+
+Exits non-zero with a per-file report on any violation, so CI can gate
+on the schemas without golden files.
+"""
+
+import json
+import sys
+
+NUMERIC = (int, float)
+
+
+def fail(path, message):
+    raise ValueError(f"{path}: {message}")
+
+
+def check_metrics_block(path, metrics):
+    if metrics.get("schema") != "lagover.metrics.v1":
+        fail(path, f"metrics schema is {metrics.get('schema')!r}, "
+                   "expected 'lagover.metrics.v1'")
+    for section in ("counters", "gauges", "histograms", "profile"):
+        if section not in metrics:
+            fail(path, f"metrics block missing '{section}'")
+    for name, value in metrics["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail(path, f"counter {name!r} is not a non-negative integer")
+    for name, value in metrics["gauges"].items():
+        if not isinstance(value, NUMERIC):
+            fail(path, f"gauge {name!r} is not numeric")
+    for name, hist in metrics["histograms"].items():
+        for key in ("count", "sum", "min", "max", "mean",
+                    "p50", "p90", "p99", "underflow", "overflow"):
+            if key not in hist:
+                fail(path, f"histogram {name!r} missing '{key}'")
+        if hist["count"] > 0 and not (hist["min"] <= hist["p50"] <= hist["max"]):
+            fail(path, f"histogram {name!r}: p50 outside [min, max]")
+        for bucket in hist.get("buckets", []):
+            if not (bucket["lo"] < bucket["hi"] and bucket["count"] > 0):
+                fail(path, f"histogram {name!r}: malformed bucket {bucket}")
+    for name, site in metrics["profile"].items():
+        for key in ("calls", "total_ns", "mean_ns", "max_ns"):
+            if key not in site:
+                fail(path, f"profile site {name!r} missing '{key}'")
+    for name, series in metrics.get("timeseries", {}).items():
+        times = [point[0] for point in series]
+        if times != sorted(times):
+            fail(path, f"timeseries {name!r} is not time-sorted")
+
+
+def check_bench(path, doc):
+    if doc.get("schema") != "lagover.bench.v1":
+        fail(path, f"schema is {doc.get('schema')!r}")
+    for key in ("bench", "options", "summary", "tables"):
+        if key not in doc:
+            fail(path, f"missing top-level '{key}'")
+    for key in ("peers", "trials", "max_rounds", "seed"):
+        if key not in doc["options"]:
+            fail(path, f"options missing '{key}'")
+    for name, value in doc["summary"].items():
+        if not isinstance(value, NUMERIC):
+            fail(path, f"summary {name!r} is not numeric")
+    for name, table in doc["tables"].items():
+        if "header" not in table or "rows" not in table:
+            fail(path, f"table {name!r} missing header/rows")
+        width = len(table["header"])
+        for row in table["rows"]:
+            if len(row) != width:
+                fail(path, f"table {name!r}: row width {len(row)} != "
+                           f"header width {width}")
+    if "metrics" in doc:
+        check_metrics_block(path, doc["metrics"])
+    return "bench json" + (" + metrics" if "metrics" in doc else "")
+
+
+def check_chrome_trace(path, doc):
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(path, "'traceEvents' is not a non-empty list")
+    phases = set()
+    for event in events:
+        ph = event.get("ph")
+        phases.add(ph)
+        if ph not in ("M", "i", "X"):
+            fail(path, f"unexpected phase {ph!r}")
+        if "pid" not in event or "name" not in event:
+            fail(path, "event missing pid/name")
+        if ph in ("i", "X") and not isinstance(event.get("ts"), NUMERIC):
+            fail(path, f"{ph!r} event without numeric 'ts'")
+        if ph == "X" and not isinstance(event.get("dur"), NUMERIC):
+            fail(path, "'X' event without numeric 'dur'")
+    if "M" not in phases:
+        fail(path, "no process_name metadata events")
+    return f"chrome trace ({len(events)} events)"
+
+
+def check_jsonl(path, text):
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        fail(path, "empty JSONL stream")
+    for i, line in enumerate(lines, 1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as err:
+            fail(path, f"line {i}: invalid JSON ({err})")
+        kind = record.get("kind")
+        if kind == "event":
+            for key in ("ts", "type", "node"):
+                if key not in record:
+                    fail(path, f"line {i}: event missing '{key}'")
+        elif kind == "log":
+            for key in ("ts", "level", "message"):
+                if key not in record:
+                    fail(path, f"line {i}: log missing '{key}'")
+        else:
+            fail(path, f"line {i}: unknown kind {kind!r}")
+    return f"jsonl events ({len(lines)} lines)"
+
+
+def check_file(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        return check_jsonl(path, text)
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        return check_chrome_trace(path, doc)
+    if isinstance(doc, dict) and doc.get("schema") == "lagover.metrics.v1":
+        check_metrics_block(path, doc)
+        return "metrics json"
+    if isinstance(doc, dict):
+        return check_bench(path, doc)
+    return check_jsonl(path, text)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(f"usage: {argv[0]} FILE...", file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv[1:]:
+        try:
+            kind = check_file(path)
+            print(f"OK   {path}  [{kind}]")
+        except (ValueError, OSError, KeyError, TypeError) as err:
+            print(f"FAIL {err}", file=sys.stderr)
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

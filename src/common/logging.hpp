@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <string>
 
+#include "telemetry/telemetry.hpp"
+
 namespace lagover {
 
 enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
@@ -25,13 +27,23 @@ class Logger {
 
   void log(LogLevel level, const char* fmt, ...)
       __attribute__((format(printf, 3, 4))) {
-    if (!enabled(level)) return;
+    // kOff is a threshold, not an emission level: a direct call with it
+    // must never print (enabled(kOff) is trivially true at any
+    // threshold, so it needs its own check).
+    if (level == LogLevel::kOff || !enabled(level)) return;
+    char message[1024];
     std::va_list args;
     va_start(args, fmt);
-    std::fprintf(stderr, "[%s] ", name(level));
-    std::vfprintf(stderr, fmt, args);
-    std::fputc('\n', stderr);
+    std::vsnprintf(message, sizeof(message), fmt, args);
     va_end(args);
+    const double sim_time = telemetry::sim_now();
+    const std::uint64_t wall_ns = telemetry::wall_nanos();
+    std::fprintf(stderr, "[t=%.2f w=%lluus %s] %s\n", sim_time,
+                 static_cast<unsigned long long>(wall_ns / 1000),
+                 name(level), message);
+    if (telemetry::enabled())
+      telemetry::log_bus().publish(
+          {sim_time, wall_ns, static_cast<int>(level), message});
   }
 
  private:
@@ -51,6 +63,18 @@ class Logger {
 
   LogLevel level_ = LogLevel::kWarn;
 };
+
+/// Parses a --log-level flag value ("trace", "debug", "info", "warn",
+/// "error", "off"); unknown names fall back to kWarn (the default).
+inline LogLevel parse_log_level(const std::string& name) noexcept {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
 
 }  // namespace lagover
 

@@ -4,6 +4,9 @@
 
 #include "common/error.hpp"
 #include "fault/faulty_oracle.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace lagover {
 
@@ -39,6 +42,7 @@ AsyncEngine::AsyncEngine(Population population, AsyncConfig config)
     epochs_.clear_lease(child);
     detector_.reset(child);
   });
+  core_->set_trace_bus(&trace_bus_);
   install_fault_hooks();
   install_core_hooks();
   // Stagger the first wake-ups so nodes are desynchronized from t = 0.
@@ -55,6 +59,7 @@ void AsyncEngine::install_fault_hooks() {
                                      clock);
   core_ = std::make_unique<ConstructionCore>(overlay_, *protocol_, *oracle_,
                                              config_.timeout_steps);
+  core_->set_trace_bus(&trace_bus_);
   core_->set_delivery_probe([this](NodeId from, NodeId to) {
     return config_.faults->deliver(from, to, sim_.now());
   });
@@ -77,6 +82,10 @@ void AsyncEngine::set_oracle(std::unique_ptr<Oracle> oracle) {
   oracle_ = std::move(oracle);
   core_ = std::make_unique<ConstructionCore>(overlay_, *protocol_, *oracle_,
                                              config_.timeout_steps);
+  // Trace consumers live on trace_bus_, which the rebuilt core
+  // re-attaches to, so subscriptions survive the swap (previously a
+  // trace installed before set_oracle was silently lost).
+  core_->set_trace_bus(&trace_bus_);
   // Re-apply the fault layer around the replacement oracle.
   install_fault_hooks();
   install_core_hooks();
@@ -99,7 +108,11 @@ void AsyncEngine::set_sampler(double period,
 
 void AsyncEngine::set_trace(std::function<void(const TraceEvent&)> trace) {
   LAGOVER_EXPECTS(!started_);
-  core_->set_trace(std::move(trace));
+  if (trace_subscription_ != 0) {
+    trace_bus_.unsubscribe(trace_subscription_);
+    trace_subscription_ = 0;
+  }
+  if (trace) trace_subscription_ = trace_bus_.subscribe(std::move(trace));
 }
 
 void AsyncEngine::apply_churn() {
@@ -198,6 +211,9 @@ void AsyncEngine::crash_node(NodeId id) {
 }
 
 void AsyncEngine::on_wake(NodeId id) {
+  TELEM_SCOPE("async.wake");
+  telemetry::note_sim_time(sim_.now());
+  TELEM_COUNT("async.wakes", 1);
   // Without churn or faults, a converged overlay is final and the wake
   // chains may die out; otherwise they must keep running (convergence
   // is transient).
@@ -237,9 +253,8 @@ bool AsyncEngine::suspect_parent(NodeId id) {
 void AsyncEngine::detach_suspected(NodeId id, NodeId parent, Round label,
                                    TraceEventType type) {
   parent_poll_misses_[id] = 0;
-  overlay_.detach(id);
   converged_ = false;
-  core_->emit({label, type, id, parent, false});
+  core_->detach_suspected(id, parent, label, type);
   if (config_.health.failover == health::FailoverPolicy::kLadder)
     failover_pending_[id] = 1;
   schedule_node(id, draw_duration());

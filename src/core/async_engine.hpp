@@ -110,8 +110,13 @@ class AsyncEngine {
   void set_sampler(double period, std::function<void(SimTime)> sampler);
 
   /// Installs a trace observer (nullptr to disable). Must be called
-  /// before the first run.
+  /// before the first run. Legacy single-observer entry point, now a
+  /// named subscription on trace_bus().
   void set_trace(std::function<void(const TraceEvent&)> trace);
+
+  /// The engine's trace event bus. Subscriptions survive set_oracle()
+  /// rebuilds — the core is re-pointed at the same bus.
+  TraceBus& trace_bus() noexcept { return trace_bus_; }
 
   const fault::FaultInjector* faults() const noexcept {
     return config_.faults.get();
@@ -151,6 +156,9 @@ class AsyncEngine {
   std::unique_ptr<Oracle> oracle_;
   std::unique_ptr<ConstructionCore> core_;
   std::unique_ptr<ChurnModel> churn_;
+  TraceBus trace_bus_;
+  /// set_trace()'s subscription on trace_bus_ (0 = none installed).
+  TraceBus::SubscriptionId trace_subscription_ = 0;
   Simulator sim_;
   Rng rng_;
   Round churn_ticks_ = 0;

@@ -2,7 +2,29 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
+
 namespace lagover {
+
+const char* to_string(TraceEventType type) noexcept {
+  switch (type) {
+    case TraceEventType::kChurnLeave: return "churn_leave";
+    case TraceEventType::kChurnJoin: return "churn_join";
+    case TraceEventType::kMaintenanceDetach: return "maintenance_detach";
+    case TraceEventType::kSourceContact: return "source_contact";
+    case TraceEventType::kInteraction: return "interaction";
+    case TraceEventType::kOracleEmpty: return "oracle_empty";
+    case TraceEventType::kInteractionFailed: return "interaction_failed";
+    case TraceEventType::kSourceContactFailed: return "source_contact_failed";
+    case TraceEventType::kParentLost: return "parent_lost";
+    case TraceEventType::kCrash: return "crash";
+    case TraceEventType::kRejoin: return "rejoin";
+    case TraceEventType::kEpochFenced: return "epoch_fenced";
+    case TraceEventType::kFailoverAttach: return "failover_attach";
+  }
+  return "unknown";
+}
 
 ConstructionCore::ConstructionCore(Overlay& overlay, Protocol& protocol,
                                    Oracle& oracle, int timeout_limit)
@@ -17,6 +39,46 @@ ConstructionCore::ConstructionCore(Overlay& overlay, Protocol& protocol,
   referral_epoch_.assign(n, health::kNoEpoch);
   pending_source_.assign(n, 0);
   recent_partners_.assign(n, {});
+}
+
+void ConstructionCore::emit(TraceEvent event) {
+  const bool telem = telemetry::enabled();
+  const bool bus_live = bus_ != nullptr && bus_->has_subscribers();
+  if (!telem && !trace_ && !bus_live) return;
+  if (event.when < 0.0)
+    event.when = clock_ ? clock_() : static_cast<SimTime>(event.round);
+  if (event.epoch == health::kNoEpoch && epoch_probe_ &&
+      event.subject != kNoNode)
+    event.epoch = epoch_probe_(event.subject);
+  if (telem) {
+    // Per-event-type counter plus the engine-agnostic global stream
+    // (the name varies per event, so the registry is hit directly
+    // instead of through the site-cached TELEM_COUNT macro).
+    const char* name = to_string(event.type);
+    telemetry::MetricsRegistry::instance()
+        .counter(std::string("trace.") + name)
+        .inc();
+    telemetry::EventRecord record;
+    record.ts = event.when;
+    record.name = name;
+    record.cause = event.cause;
+    record.subject = event.subject;
+    record.partner = event.partner;
+    record.epoch = static_cast<std::int64_t>(event.epoch);
+    record.attached = event.attached;
+    telemetry::record_event(record);
+  }
+  if (trace_) trace_(event);
+  if (bus_live) bus_->publish(event);
+}
+
+void ConstructionCore::detach_suspected(NodeId id, NodeId parent, Round round,
+                                        TraceEventType type) {
+  overlay_.detach(id);
+  TraceEvent event{round, type, id, parent, false};
+  event.cause = type == TraceEventType::kEpochFenced ? "stale_lease"
+                                                     : "missed_polls";
+  emit(event);
 }
 
 void ConstructionCore::reset_node(NodeId id) {
@@ -61,6 +123,7 @@ bool ConstructionCore::fenced(NodeId node, health::Epoch stamped) {
 bool ConstructionCore::failover_step(NodeId i, NodeId grandparent_hint,
                                      Round round) {
   if (!overlay_.online(i) || overlay_.has_parent(i)) return false;
+  TELEM_SCOPE("core.failover_step");
 
   // Ladder rung 1: the grandparent hint (piggy-backed on poll replies
   // by the owning engine, already epoch-checked there).
@@ -100,6 +163,7 @@ bool ConstructionCore::failover_step(NodeId i, NodeId grandparent_hint,
 
 StepOutcome ConstructionCore::orphan_step(NodeId i, Rng& rng, Round round) {
   if (!overlay_.online(i) || overlay_.has_parent(i)) return {};
+  TELEM_SCOPE("core.orphan_step");
 
   // Timeout / explicit source referral => direct source contact
   // (Algorithm 2 steps 2-8), resetting the timeout counter regardless of
@@ -197,6 +261,13 @@ bool ConstructionCore::maintenance_step(NodeId i, int patience, Round round,
     violation_streak_[i] = 0;
     return false;
   }
+  TELEM_SCOPE("core.maintenance_step");
+  // Delay slack l_i - DelayAt(i): how much latency headroom the node
+  // has. Negative slack = bound violated; shifted by +1 so a slack of 0
+  // lands in a finite bucket instead of underflow.
+  TELEM_HIST("core.delay_slack",
+             static_cast<double>(overlay_.latency_of(i)) -
+                 static_cast<double>(overlay_.delay_at(i)) + 1.0);
   // For connected nodes this is the paper's condition (DelayAt > l with
   // Root = 0). For detached nodes DelayAt is the *optimistic* delay —
   // the best achievable once the group root attaches — so exceeding l

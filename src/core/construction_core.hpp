@@ -17,6 +17,7 @@
 #include "core/types.hpp"
 #include "health/lease.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/event_bus.hpp"
 
 namespace lagover {
 
@@ -62,7 +63,22 @@ struct TraceEvent {
   /// in the synchronous one. Filled by ConstructionCore::emit when
   /// negative (the emitter's clock, or `round` as a fallback).
   SimTime when = -1.0;
+  /// Subject's incarnation at emission time; stamped by
+  /// ConstructionCore::emit when an epoch probe is installed
+  /// (kNoEpoch otherwise).
+  health::Epoch epoch = health::kNoEpoch;
+  /// Optional cause tag ("missed_polls", "stale_lease", "outage", ...)
+  /// set by emission sites that can distinguish why the event fired.
+  const char* cause = "";
 };
+
+/// Stable lower_snake name of a trace event type, used by the JSONL /
+/// Chrome-trace exporters and the per-event-type metrics counters.
+const char* to_string(TraceEventType type) noexcept;
+
+/// The engines' multi-subscriber trace sink: recorders, validators,
+/// and exporters all listen on the same bus without engine changes.
+using TraceBus = telemetry::EventBus<TraceEvent>;
 
 /// Result of one orphan step, for callers that model interaction costs
 /// and retry policies.
@@ -154,9 +170,18 @@ class ConstructionCore {
   /// when a node leaves or rejoins).
   void reset_node(NodeId id);
 
+  /// Single-observer hook for direct-core users (tests, the toy
+  /// trace). Engine-owned cores publish through the trace bus instead.
   void set_trace(std::function<void(const TraceEvent&)> trace) {
     trace_ = std::move(trace);
   }
+
+  /// Installs the owning engine's trace bus (borrowed; nullptr
+  /// detaches). Every emitted event is published to it, so any number
+  /// of recorders / validators / exporters can subscribe — and a core
+  /// rebuilt around a new oracle re-attaches to the same bus, which
+  /// keeps subscriptions alive across set_oracle().
+  void set_trace_bus(TraceBus* bus) noexcept { bus_ = bus; }
 
   std::uint64_t maintenance_detaches() const noexcept {
     return maintenance_detaches_;
@@ -165,12 +190,16 @@ class ConstructionCore {
     return failover_attaches_;
   }
 
-  void emit(TraceEvent event) {
-    if (!trace_) return;
-    if (event.when < 0.0)
-      event.when = clock_ ? clock_() : static_cast<SimTime>(event.round);
-    trace_(event);
-  }
+  /// Stamps `when` (emitter clock / round fallback) and the subject's
+  /// epoch, mirrors the event into the global telemetry stream, then
+  /// delivers to the single-observer hook and the trace bus.
+  void emit(TraceEvent event);
+
+  /// Re-orphans `id` after a suspicion or epoch fence and emits the
+  /// event — the shared half of both engines' detach-on-suspicion
+  /// paths (engine-specific bookkeeping stays with the engines).
+  void detach_suspected(NodeId id, NodeId parent, Round round,
+                        TraceEventType type);
 
   /// Partners node i interacted with most recently (most recent first),
   /// the fallback pool during Oracle outages and the failover ladder.
@@ -202,6 +231,7 @@ class ConstructionCore {
   std::uint64_t maintenance_detaches_ = 0;
   std::uint64_t failover_attaches_ = 0;
   std::function<void(const TraceEvent&)> trace_;
+  TraceBus* bus_ = nullptr;
   DeliveryProbe delivery_probe_;
   OutageProbe oracle_outage_probe_;
   EpochProbe epoch_probe_;

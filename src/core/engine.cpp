@@ -8,6 +8,9 @@
 #include "core/greedy.hpp"
 #include "core/hybrid.hpp"
 #include "fault/faulty_oracle.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace lagover {
 
@@ -54,6 +57,7 @@ Engine::Engine(Population population, EngineConfig config)
     epochs_.clear_lease(child);
     detector_.reset(child);
   });
+  core_->set_trace_bus(&trace_bus_);
   install_fault_hooks();
   install_core_hooks();
 }
@@ -75,7 +79,7 @@ void Engine::install_fault_hooks() {
       [this] { return static_cast<SimTime>(round_); });
   core_ = std::make_unique<ConstructionCore>(overlay_, *protocol_, *oracle_,
                                              config_.timeout_rounds);
-  core_->set_trace(trace_);
+  core_->set_trace_bus(&trace_bus_);
   core_->set_delivery_probe([this](NodeId from, NodeId to) {
     return config_.faults->deliver(from, to, static_cast<SimTime>(round_));
   });
@@ -88,11 +92,12 @@ void Engine::set_oracle(std::unique_ptr<Oracle> oracle) {
   LAGOVER_EXPECTS(oracle != nullptr);
   LAGOVER_EXPECTS(!started_);
   oracle_ = std::move(oracle);
-  // The core borrows the oracle; rebuild it against the new one,
-  // preserving any installed trace observer.
+  // The core borrows the oracle; rebuild it against the new one. Trace
+  // consumers live on trace_bus_, which the rebuilt core re-attaches
+  // to, so subscriptions survive the swap.
   core_ = std::make_unique<ConstructionCore>(overlay_, *protocol_, *oracle_,
                                              config_.timeout_rounds);
-  core_->set_trace(trace_);
+  core_->set_trace_bus(&trace_bus_);
   // Re-apply the fault layer around the replacement oracle.
   install_fault_hooks();
   install_core_hooks();
@@ -103,8 +108,11 @@ void Engine::set_churn(std::unique_ptr<ChurnModel> churn) {
 }
 
 void Engine::set_trace(std::function<void(const TraceEvent&)> trace) {
-  trace_ = std::move(trace);
-  core_->set_trace(trace_);
+  if (trace_subscription_ != 0) {
+    trace_bus_.unsubscribe(trace_subscription_);
+    trace_subscription_ = 0;
+  }
+  if (trace) trace_subscription_ = trace_bus_.subscribe(std::move(trace));
 }
 
 void Engine::apply_churn() {
@@ -184,15 +192,16 @@ bool Engine::suspect_parent(NodeId id) {
 
 void Engine::detach_suspected(NodeId id, NodeId parent, TraceEventType type) {
   parent_poll_misses_[id] = 0;
-  overlay_.detach(id);
-  core_->emit({round_, type, id, parent, false});
+  core_->detach_suspected(id, parent, round_, type);
   if (config_.health.failover == health::FailoverPolicy::kLadder)
     failover_pending_[id] = 1;
 }
 
 RoundStats Engine::run_round() {
+  TELEM_SCOPE("engine.round");
   started_ = true;
   ++round_;
+  telemetry::note_sim_time(static_cast<double>(round_));
   apply_churn();
   if (config_.faults != nullptr) apply_fault_rejoins();
 
@@ -297,6 +306,10 @@ RoundStats Engine::run_round() {
   for (NodeId id = 1; id < overlay_.node_count(); ++id)
     if (overlay_.online(id) && !overlay_.has_parent(id)) ++orphans;
   stats.orphan_roots = orphans;
+  TELEM_COUNT("engine.rounds", 1);
+  TELEM_GAUGE("engine.online", static_cast<double>(stats.online));
+  TELEM_GAUGE("engine.orphan_roots", static_cast<double>(stats.orphan_roots));
+  TELEM_GAUGE("engine.satisfied_fraction", stats.satisfied_fraction);
   if (record_history_) history_.push_back(stats);
   return stats;
 }

@@ -105,8 +105,15 @@ class Engine {
   /// Installs a churn model; nullptr disables churn.
   void set_churn(std::unique_ptr<ChurnModel> churn);
 
-  /// Installs a trace observer (nullptr to disable).
+  /// Installs a trace observer (nullptr to disable). Legacy single
+  /// -observer entry point, now a named subscription on trace_bus():
+  /// calling it again replaces the previous observer, and additional
+  /// consumers should subscribe to the bus directly.
   void set_trace(std::function<void(const TraceEvent&)> trace);
+
+  /// The engine's trace event bus. Subscriptions survive set_oracle()
+  /// rebuilds — the core is re-pointed at the same bus.
+  TraceBus& trace_bus() noexcept { return trace_bus_; }
 
   /// When enabled, every round's RoundStats is retained in history().
   void set_record_history(bool record) { record_history_ = record; }
@@ -159,7 +166,9 @@ class Engine {
   std::unique_ptr<Oracle> oracle_;
   std::unique_ptr<ConstructionCore> core_;
   std::unique_ptr<ChurnModel> churn_;
-  std::function<void(const TraceEvent&)> trace_;
+  TraceBus trace_bus_;
+  /// set_trace()'s subscription on trace_bus_ (0 = none installed).
+  TraceBus::SubscriptionId trace_subscription_ = 0;
   Rng rng_;
 
   Round round_ = 0;

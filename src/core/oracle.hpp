@@ -12,6 +12,8 @@
 #include "common/rng.hpp"
 #include "core/overlay.hpp"
 #include "core/types.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
 
 namespace lagover {
 
@@ -32,9 +34,14 @@ class Oracle {
 
   std::optional<NodeId> sample(NodeId querier, const Overlay& overlay,
                                Rng& rng) {
+    TELEM_SCOPE("oracle.sample");
     ++stats_.queries;
+    TELEM_COUNT("oracle.queries", 1);
     auto result = sample_impl(querier, overlay, rng);
-    if (!result.has_value()) ++stats_.empty_results;
+    if (!result.has_value()) {
+      ++stats_.empty_results;
+      TELEM_COUNT("oracle.empty_results", 1);
+    }
     return result;
   }
 

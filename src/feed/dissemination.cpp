@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace lagover::feed {
 
@@ -64,9 +65,11 @@ class Dissemination {
 
   void deliver(NodeId node, FeedItem item) {
     tracker_.record(node, item, sim_.now());
+    TELEM_COUNT("feed.deliveries", 1);
     for (NodeId child : overlay_.children(node)) {
       if (!overlay_.online(child)) continue;
       ++push_messages_;
+      TELEM_COUNT("feed.push_messages", 1);
       sim_.schedule_after(config_.hop_delay,
                           [this, child, item] { deliver(child, item); });
     }
@@ -76,6 +79,8 @@ class Dissemination {
     DisseminationReport report;
     report.duration = duration;
     report.items_published = source_.published();
+    TELEM_COUNT("feed.items_published", source_.published());
+    TELEM_COUNT("feed.source_requests", source_.requests());
     report.source_requests = source_.requests();
     report.source_empty_requests = source_.empty_requests();
     report.source_request_rate =

@@ -7,6 +7,22 @@ FailoverRecorder::FailoverRecorder(const Overlay& overlay)
       orphan_since_(overlay.node_count(), kIdle),
       detect_since_(overlay.node_count(), kIdle) {}
 
+FailoverRecorder::~FailoverRecorder() { unsubscribe(); }
+
+void FailoverRecorder::subscribe(TraceBus& bus) {
+  unsubscribe();
+  bus_ = &bus;
+  subscription_ =
+      bus.subscribe([this](const TraceEvent& event) { on_trace(event); });
+}
+
+void FailoverRecorder::unsubscribe() {
+  if (bus_ == nullptr) return;
+  bus_->unsubscribe(subscription_);
+  bus_ = nullptr;
+  subscription_ = 0;
+}
+
 void FailoverRecorder::start_orphan(NodeId id, double when) {
   if (orphan_since_[id] == kIdle) orphan_since_[id] = when;
 }

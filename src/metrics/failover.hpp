@@ -31,6 +31,18 @@ class FailoverRecorder {
   /// Borrows the overlay (must outlive the recorder).
   explicit FailoverRecorder(const Overlay& overlay);
 
+  // Subscribed to a trace bus; moving would dangle the captured `this`.
+  FailoverRecorder(const FailoverRecorder&) = delete;
+  FailoverRecorder& operator=(const FailoverRecorder&) = delete;
+
+  ~FailoverRecorder();
+
+  /// Subscribes on_trace to an engine's trace bus (the preferred
+  /// hookup: other consumers can listen concurrently). The bus must
+  /// outlive the recorder or a later unsubscribe() call.
+  void subscribe(TraceBus& bus);
+  void unsubscribe();
+
   /// Feed every TraceEvent of the run, in emission order.
   void on_trace(const TraceEvent& event);
 
@@ -69,6 +81,8 @@ class FailoverRecorder {
   static constexpr double kIdle = -1.0;
 
   const Overlay& overlay_;
+  TraceBus* bus_ = nullptr;
+  TraceBus::SubscriptionId subscription_ = 0;
   Sample detection_latency_;
   Sample orphan_time_;
   std::uint64_t crashes_ = 0;

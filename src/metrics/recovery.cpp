@@ -8,6 +8,31 @@ RecoveryRecorder::RecoveryRecorder(const Overlay& overlay,
                                    fault::FaultPlan plan)
     : overlay_(overlay), plan_(std::move(plan)) {}
 
+RecoveryRecorder::~RecoveryRecorder() { unsubscribe(); }
+
+void RecoveryRecorder::subscribe(TraceBus& bus) {
+  unsubscribe();
+  bus_ = &bus;
+  subscription_ = bus.subscribe([this](const TraceEvent& event) {
+    switch (event.type) {
+      case TraceEventType::kCrash:
+      case TraceEventType::kParentLost:
+      case TraceEventType::kEpochFenced:
+        ++fault_events_;
+        break;
+      default:
+        break;
+    }
+  });
+}
+
+void RecoveryRecorder::unsubscribe() {
+  if (bus_ == nullptr) return;
+  bus_->unsubscribe(subscription_);
+  bus_ = nullptr;
+  subscription_ = 0;
+}
+
 void RecoveryRecorder::sample(double t) {
   std::size_t orphans = 0;
   std::size_t violations = 0;

@@ -7,8 +7,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "core/construction_core.hpp"
 #include "core/overlay.hpp"
 #include "fault/fault_plan.hpp"
 #include "stats/timeseries.hpp"
@@ -19,6 +21,23 @@ class RecoveryRecorder {
  public:
   /// Borrows the overlay (must outlive the recorder).
   RecoveryRecorder(const Overlay& overlay, fault::FaultPlan plan);
+
+  // Subscribed to a trace bus; moving would dangle the captured `this`.
+  RecoveryRecorder(const RecoveryRecorder&) = delete;
+  RecoveryRecorder& operator=(const RecoveryRecorder&) = delete;
+
+  ~RecoveryRecorder();
+
+  /// Subscribes to an engine's trace bus to count fault-related events
+  /// (crashes, suspicions, fences). Pure counting: the recovery math
+  /// stays driven exclusively by sample(), so results are identical
+  /// with or without a subscription. The bus must outlive the recorder
+  /// or a later unsubscribe() call.
+  void subscribe(TraceBus& bus);
+  void unsubscribe();
+
+  /// Crash / suspicion / fence trace events observed via subscribe().
+  std::uint64_t fault_events() const noexcept { return fault_events_; }
 
   /// Records one observation at time t: online orphan roots, online
   /// attached nodes violating their latency constraint, and the
@@ -60,6 +79,9 @@ class RecoveryRecorder {
 
   const Overlay& overlay_;
   fault::FaultPlan plan_;
+  TraceBus* bus_ = nullptr;
+  TraceBus::SubscriptionId subscription_ = 0;
+  std::uint64_t fault_events_ = 0;
   TimeSeries orphans_;
   TimeSeries violations_;
   TimeSeries satisfied_;

@@ -14,6 +14,7 @@
 #include "common/rng.hpp"
 #include "net/latency_model.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace lagover::net {
 
@@ -78,16 +79,19 @@ class Network {
     ++sent.messages_sent;
     sent.bytes_sent += size_bytes;
     ++total_messages_;
+    TELEM_COUNT("net.messages_sent", 1);
     double delay = latency_->latency(from, to, rng_);
     bool duplicate = false;
     if (fault_filter_) {
       const FaultDecision fate = fault_filter_(from, to);
       if (fate.drop) {
         ++fault_dropped_;
+        TELEM_COUNT("net.fault_dropped", 1);
         return;
       }
       if (fate.extra_delay > 0.0) {
         ++fault_delayed_;
+        TELEM_COUNT("net.fault_delayed", 1);
         delay += fate.extra_delay;
       }
       duplicate = fate.duplicate;
@@ -95,6 +99,7 @@ class Network {
     schedule_delivery(from, to, message, size_bytes, delay);
     if (duplicate) {
       ++fault_duplicated_;
+      TELEM_COUNT("net.fault_duplicated", 1);
       schedule_delivery(from, to, std::move(message), size_bytes, delay);
     }
   }
@@ -121,11 +126,13 @@ class Network {
           const auto it = handlers_.find(to);
           if (it == handlers_.end()) {
             ++dropped_;
+            TELEM_COUNT("net.dropped_dead", 1);
             return;
           }
           auto& received = counters_[to];
           ++received.messages_received;
           received.bytes_received += size_bytes;
+          TELEM_COUNT("net.messages_delivered", 1);
           it->second(from, message);
         });
   }

@@ -1,0 +1,115 @@
+// Multi-subscriber event bus with a bounded ring-buffer retention
+// window. This is the fan-out point of the telemetry substrate: the
+// construction engines publish every TraceEvent to their bus, and any
+// number of recorders, validators, and exporters listen without the
+// engine knowing about them. Publishing with no subscribers and no
+// retention is a two-branch no-op, so instrumented hot paths stay cheap
+// when nobody is watching.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace lagover::telemetry {
+
+/// Fan-out bus for one event type. Subscribers are invoked in
+/// subscription order; the optional retention ring keeps the most
+/// recent `capacity` events for late-coming consumers (e.g. a crash
+/// dump of the last N events). Not thread-safe by design: the
+/// simulators are single-threaded and the benches run sequentially.
+template <typename Event>
+class EventBus {
+ public:
+  using Handler = std::function<void(const Event&)>;
+  using SubscriptionId = std::uint64_t;
+
+  /// Registers a handler; returns an id usable with unsubscribe().
+  SubscriptionId subscribe(Handler handler) {
+    const SubscriptionId id = next_id_++;
+    subscribers_.push_back({id, std::move(handler)});
+    return id;
+  }
+
+  /// Removes a subscription; unknown ids are a no-op (returns false).
+  bool unsubscribe(SubscriptionId id) {
+    for (std::size_t i = 0; i < subscribers_.size(); ++i) {
+      if (subscribers_[i].id != id) continue;
+      subscribers_.erase(subscribers_.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+    return false;
+  }
+
+  bool has_subscribers() const noexcept { return !subscribers_.empty(); }
+  std::size_t subscriber_count() const noexcept {
+    return subscribers_.size();
+  }
+
+  /// Delivers `event` to every subscriber, then retains it in the ring
+  /// (when retention is enabled).
+  void publish(const Event& event) {
+    ++published_;
+    for (const Subscriber& s : subscribers_) s.handler(event);
+    if (capacity_ == 0) return;
+    if (ring_.size() < capacity_) {
+      ring_.push_back(event);
+    } else {
+      ring_[head_] = event;
+      head_ = (head_ + 1) % capacity_;
+      ++overwritten_;
+    }
+  }
+
+  /// Bounds the retention ring to `capacity` events (0 disables and
+  /// clears). Shrinking keeps the newest events.
+  void set_retention(std::size_t capacity) {
+    std::vector<Event> keep = recent();
+    if (keep.size() > capacity)
+      keep.erase(keep.begin(),
+                 keep.end() - static_cast<std::ptrdiff_t>(capacity));
+    capacity_ = capacity;
+    ring_ = std::move(keep);
+    head_ = 0;
+    // A full ring restarts overwriting at slot 0, which is the oldest
+    // retained event — exactly the ring invariant.
+  }
+
+  std::size_t retention() const noexcept { return capacity_; }
+  std::size_t retained_count() const noexcept { return ring_.size(); }
+  std::uint64_t published() const noexcept { return published_; }
+  /// Events pushed out of the ring by newer ones (ring overflow).
+  std::uint64_t overwritten() const noexcept { return overwritten_; }
+
+  /// Retained events, oldest first.
+  std::vector<Event> recent() const {
+    std::vector<Event> out;
+    out.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+      out.push_back(ring_[(head_ + i) % ring_.size()]);
+    return out;
+  }
+
+  void clear_retained() {
+    ring_.clear();
+    head_ = 0;
+  }
+
+ private:
+  struct Subscriber {
+    SubscriptionId id;
+    Handler handler;
+  };
+
+  std::vector<Subscriber> subscribers_;
+  SubscriptionId next_id_ = 1;
+  std::vector<Event> ring_;
+  std::size_t head_ = 0;
+  std::size_t capacity_ = 0;
+  std::uint64_t published_ = 0;
+  std::uint64_t overwritten_ = 0;
+};
+
+}  // namespace lagover::telemetry

@@ -1,0 +1,198 @@
+#include "telemetry/export.hpp"
+
+namespace lagover::telemetry {
+
+void TimeseriesSampler::sample(double t) {
+  // Benches run trials back-to-back and every trial's clock starts at
+  // zero: a non-advancing timestamp means a new run began.
+  if (samples_ > 0 && t <= last_t_) clear();
+  last_t_ = t;
+  ++samples_;
+  registry_.for_each_counter(
+      [&](const std::string& name, const Counter& counter) {
+        series_[name].add(t, static_cast<double>(counter.value()));
+      });
+  registry_.for_each_gauge([&](const std::string& name, const Gauge& gauge) {
+    series_[name].add(t, gauge.value());
+  });
+}
+
+void TimeseriesSampler::clear() {
+  series_.clear();
+  samples_ = 0;
+  last_t_ = 0.0;
+}
+
+Json TimeseriesSampler::to_json(std::size_t max_points) const {
+  Json root = Json::object();
+  for (const auto& [name, series] : series_) {
+    const TimeSeries compact = series.downsample(max_points);
+    Json points = Json::array();
+    for (std::size_t i = 0; i < compact.size(); ++i) {
+      Json point = Json::array();
+      point.push_back(Json::number(compact.time_at(i)));
+      point.push_back(Json::number(compact.value_at(i)));
+      points.push_back(std::move(point));
+    }
+    root.set(name, std::move(points));
+  }
+  return root;
+}
+
+JsonlEventWriter::JsonlEventWriter(const std::string& path) : out_(path) {
+  event_sub_ = event_bus().subscribe(
+      [this](const EventRecord& record) { on_event(record); });
+  log_sub_ =
+      log_bus().subscribe([this](const LogRecord& record) { on_log(record); });
+}
+
+JsonlEventWriter::~JsonlEventWriter() {
+  event_bus().unsubscribe(event_sub_);
+  log_bus().unsubscribe(log_sub_);
+}
+
+void JsonlEventWriter::on_event(const EventRecord& record) {
+  if (!out_) return;
+  Json line = Json::object();
+  line.set("kind", Json::string("event"));
+  line.set("ts", Json::number(record.ts));
+  line.set("type", Json::string(record.name));
+  if (record.cause[0] != '\0')
+    line.set("cause", Json::string(record.cause));
+  line.set("node", Json::integer(record.subject));
+  line.set("partner", Json::integer(record.partner));
+  if (record.epoch != 0) line.set("epoch", Json::integer(record.epoch));
+  line.set("attached", Json::boolean(record.attached));
+  out_ << line.dump() << '\n';
+  ++lines_;
+}
+
+void JsonlEventWriter::on_log(const LogRecord& record) {
+  if (!out_) return;
+  Json line = Json::object();
+  line.set("kind", Json::string("log"));
+  line.set("ts", Json::number(record.sim_time));
+  line.set("wall_ns",
+           Json::integer(static_cast<std::int64_t>(record.wall_ns)));
+  line.set("level", Json::integer(record.level));
+  line.set("message", Json::string(record.message));
+  out_ << line.dump() << '\n';
+  ++lines_;
+}
+
+namespace {
+
+constexpr int kSimPid = 1;
+constexpr int kWallPid = 2;
+
+/// Chrome trace timestamps are microseconds; one simulated time unit
+/// maps to one second so Perfetto's zoom levels stay usable.
+double sim_to_us(double sim_time) { return sim_time * 1e6; }
+
+Json process_name_metadata(int pid, const char* name) {
+  Json args = Json::object();
+  args.set("name", Json::string(name));
+  Json event = Json::object();
+  event.set("name", Json::string("process_name"));
+  event.set("ph", Json::string("M"));
+  event.set("pid", Json::integer(pid));
+  event.set("tid", Json::integer(0));
+  event.set("args", std::move(args));
+  return event;
+}
+
+}  // namespace
+
+ChromeTraceWriter::ChromeTraceWriter() {
+  events_.push_back(process_name_metadata(kSimPid, "sim (1 unit = 1s)"));
+  events_.push_back(process_name_metadata(kWallPid, "wall (profiler)"));
+  event_sub_ = event_bus().subscribe(
+      [this](const EventRecord& record) { on_event(record); });
+  log_sub_ =
+      log_bus().subscribe([this](const LogRecord& record) { on_log(record); });
+  previous_sink_ = Profiler::instance().sink();
+  Profiler::instance().set_sink(this);
+}
+
+ChromeTraceWriter::~ChromeTraceWriter() {
+  event_bus().unsubscribe(event_sub_);
+  log_bus().unsubscribe(log_sub_);
+  if (Profiler::instance().sink() == this)
+    Profiler::instance().set_sink(previous_sink_);
+}
+
+void ChromeTraceWriter::on_event(const EventRecord& record) {
+  Json args = Json::object();
+  args.set("node", Json::integer(record.subject));
+  args.set("partner", Json::integer(record.partner));
+  if (record.epoch != 0) args.set("epoch", Json::integer(record.epoch));
+  if (record.cause[0] != '\0') args.set("cause", Json::string(record.cause));
+  args.set("attached", Json::boolean(record.attached));
+  Json event = Json::object();
+  event.set("name", Json::string(record.name));
+  event.set("cat", Json::string("overlay"));
+  event.set("ph", Json::string("i"));
+  event.set("s", Json::string("t"));  // thread-scoped instant
+  event.set("ts", Json::number(sim_to_us(record.ts)));
+  event.set("pid", Json::integer(kSimPid));
+  event.set("tid", Json::integer(record.subject));
+  event.set("args", std::move(args));
+  events_.push_back(std::move(event));
+}
+
+void ChromeTraceWriter::on_log(const LogRecord& record) {
+  Json args = Json::object();
+  args.set("message", Json::string(record.message));
+  args.set("level", Json::integer(record.level));
+  Json event = Json::object();
+  event.set("name", Json::string("log"));
+  event.set("cat", Json::string("log"));
+  event.set("ph", Json::string("i"));
+  event.set("s", Json::string("g"));  // global instant: full-height line
+  event.set("ts", Json::number(sim_to_us(record.sim_time)));
+  event.set("pid", Json::integer(kSimPid));
+  event.set("tid", Json::integer(0));
+  event.set("args", std::move(args));
+  events_.push_back(std::move(event));
+}
+
+void ChromeTraceWriter::scope_complete(const ProfileSite& site,
+                                       std::uint64_t start_wall_ns,
+                                       std::uint64_t duration_ns,
+                                       double sim_time) {
+  Json args = Json::object();
+  args.set("sim_time", Json::number(sim_time));
+  Json event = Json::object();
+  event.set("name", Json::string(site.name));
+  event.set("cat", Json::string("profile"));
+  event.set("ph", Json::string("X"));  // complete (duration) event
+  event.set("ts", Json::number(static_cast<double>(start_wall_ns) / 1e3));
+  event.set("dur", Json::number(static_cast<double>(duration_ns) / 1e3));
+  event.set("pid", Json::integer(kWallPid));
+  event.set("tid", Json::integer(0));
+  event.set("args", std::move(args));
+  events_.push_back(std::move(event));
+}
+
+bool ChromeTraceWriter::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  Json trace_events = Json::array();
+  for (const Json& event : events_) trace_events.push_back(event);
+  Json root = Json::object();
+  root.set("traceEvents", std::move(trace_events));
+  root.set("displayTimeUnit", Json::string("ms"));
+  out << root.dump() << '\n';
+  return static_cast<bool>(out);
+}
+
+Json metrics_summary_json(const TimeseriesSampler* sampler,
+                          bool include_buckets) {
+  Json root = MetricsRegistry::instance().to_json(include_buckets);
+  root.set("profile", Profiler::instance().to_json());
+  if (sampler != nullptr && sampler->samples() > 0)
+    root.set("timeseries", sampler->to_json());
+  return root;
+}
+
+}  // namespace lagover::telemetry

@@ -1,0 +1,224 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lagover::telemetry {
+
+LogHistogram::LogHistogram(double lo, double base, std::size_t buckets)
+    : lo_(lo), base_(base), counts_(buckets, 0) {
+  LAGOVER_EXPECTS(lo > 0.0);
+  LAGOVER_EXPECTS(base > 1.0);
+  LAGOVER_EXPECTS(buckets > 0);
+}
+
+void LogHistogram::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  // bucket = floor(log_base(x / lo)); computed in log space, then
+  // nudged down when floating-point error lands a boundary value one
+  // bucket high (x exactly equal to a bucket lower bound must fall in
+  // that bucket).
+  auto bucket = static_cast<std::size_t>(std::log(x / lo_) / std::log(base_));
+  if (bucket < counts_.size() && x < bucket_lower(bucket)) --bucket;
+  if (bucket >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[bucket];
+}
+
+std::uint64_t LogHistogram::count_in_bucket(std::size_t bucket) const {
+  LAGOVER_EXPECTS(bucket < counts_.size());
+  return counts_[bucket];
+}
+
+double LogHistogram::bucket_lower(std::size_t bucket) const {
+  LAGOVER_EXPECTS(bucket < counts_.size());
+  return lo_ * std::pow(base_, static_cast<double>(bucket));
+}
+
+double LogHistogram::bucket_upper(std::size_t bucket) const {
+  LAGOVER_EXPECTS(bucket < counts_.size());
+  return lo_ * std::pow(base_, static_cast<double>(bucket + 1));
+}
+
+double LogHistogram::percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double cumulative = static_cast<double>(underflow_);
+  // Underflow values are only known to lie below lo_: anchor them at
+  // the exact recorded minimum.
+  if (target <= cumulative) return min_;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double in_bucket = static_cast<double>(counts_[b]);
+    if (in_bucket > 0.0 && target <= cumulative + in_bucket) {
+      const double fraction = (target - cumulative) / in_bucket;
+      const double value =
+          bucket_lower(b) + (bucket_upper(b) - bucket_lower(b)) * fraction;
+      // The interpolation cannot honestly exceed the recorded extremes.
+      return std::clamp(value, min_, max_);
+    }
+    cumulative += in_bucket;
+  }
+  // Remaining mass is overflow: anchor at the exact recorded maximum.
+  return max_;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  LAGOVER_EXPECTS(other.lo_ == lo_ && other.base_ == base_ &&
+                  other.counts_.size() == counts_.size());
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  for (std::size_t b = 0; b < counts_.size(); ++b)
+    counts_[b] += other.counts_[b];
+}
+
+void LogHistogram::reset() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  underflow_ = 0;
+  overflow_ = 0;
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+LogHistogram& MetricsRegistry::histogram(const std::string& name, double lo,
+                                         double base, std::size_t buckets) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, LogHistogram(lo, base, buckets))
+      .first->second;
+}
+
+bool MetricsRegistry::has_counter(const std::string& name) const {
+  return counters_.count(name) != 0;
+}
+bool MetricsRegistry::has_gauge(const std::string& name) const {
+  return gauges_.count(name) != 0;
+}
+bool MetricsRegistry::has_histogram(const std::string& name) const {
+  return histograms_.count(name) != 0;
+}
+
+void MetricsRegistry::reset() {
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_)
+    counters_[name].inc(c.value());
+  for (const auto& [name, g] : other.gauges_) gauges_[name].set(g.value());
+  for (const auto& [name, h] : other.histograms_) {
+    const auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, h);
+    } else {
+      it->second.merge(h);
+    }
+  }
+}
+
+void MetricsRegistry::for_each_counter(
+    const std::function<void(const std::string&, const Counter&)>& fn)
+    const {
+  for (const auto& [name, c] : counters_) fn(name, c);
+}
+
+void MetricsRegistry::for_each_gauge(
+    const std::function<void(const std::string&, const Gauge&)>& fn) const {
+  for (const auto& [name, g] : gauges_) fn(name, g);
+}
+
+void MetricsRegistry::for_each_histogram(
+    const std::function<void(const std::string&, const LogHistogram&)>& fn)
+    const {
+  for (const auto& [name, h] : histograms_) fn(name, h);
+}
+
+Json MetricsRegistry::to_json(bool include_buckets) const {
+  Json counters = Json::object();
+  for (const auto& [name, c] : counters_)
+    counters.set(name, Json::integer(static_cast<std::int64_t>(c.value())));
+  Json gauges = Json::object();
+  for (const auto& [name, g] : gauges_)
+    gauges.set(name, Json::number(g.value()));
+  Json histograms = Json::object();
+  for (const auto& [name, h] : histograms_) {
+    Json entry = Json::object();
+    entry.set("count", Json::integer(static_cast<std::int64_t>(h.count())));
+    entry.set("sum", Json::number(h.sum()));
+    entry.set("min", Json::number(h.min()));
+    entry.set("max", Json::number(h.max()));
+    entry.set("mean", Json::number(h.mean()));
+    entry.set("p50", Json::number(h.percentile(0.5)));
+    entry.set("p90", Json::number(h.percentile(0.9)));
+    entry.set("p99", Json::number(h.percentile(0.99)));
+    entry.set("underflow",
+              Json::integer(static_cast<std::int64_t>(h.underflow())));
+    entry.set("overflow",
+              Json::integer(static_cast<std::int64_t>(h.overflow())));
+    if (include_buckets) {
+      Json buckets = Json::array();
+      for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+        if (h.count_in_bucket(b) == 0) continue;  // sparse encoding
+        Json bucket = Json::object();
+        bucket.set("lo", Json::number(h.bucket_lower(b)));
+        bucket.set("hi", Json::number(h.bucket_upper(b)));
+        bucket.set("count", Json::integer(static_cast<std::int64_t>(
+                                h.count_in_bucket(b))));
+        buckets.push_back(std::move(bucket));
+      }
+      entry.set("buckets", std::move(buckets));
+    }
+    histograms.set(name, std::move(entry));
+  }
+  Json root = Json::object();
+  root.set("schema", Json::string("lagover.metrics.v1"));
+  root.set("counters", std::move(counters));
+  root.set("gauges", std::move(gauges));
+  root.set("histograms", std::move(histograms));
+  return root;
+}
+
+}  // namespace lagover::telemetry

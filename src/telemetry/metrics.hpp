@@ -1,0 +1,179 @@
+// Metrics registry: named counters, gauges, and log-scale histograms
+// with macro-guarded recording sites. Sites cache the metric pointer in
+// a function-local static, so the steady-state cost of a hit is one
+// enabled() branch plus one increment; with telemetry off it is the
+// branch alone. Values survive reset() as registered-but-zero entries,
+// so cached site pointers never dangle.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/json.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace lagover::telemetry {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept { value_ += delta; }
+  std::uint64_t value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double value) noexcept { value_ = value; }
+  double value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Histogram with geometrically growing buckets: bucket i covers
+/// [lo * base^i, lo * base^(i+1)). Values below `lo` (including zero
+/// and negatives) land in the underflow bucket, values beyond the last
+/// bucket in the overflow bucket; exact count/sum/min/max are kept
+/// alongside, so means are exact and only quantiles are bucket-
+/// resolution approximations. Log-scale buckets keep wide-dynamic-range
+/// distributions (latencies, slacks, queue depths) compact.
+class LogHistogram {
+ public:
+  explicit LogHistogram(double lo = 1.0, double base = 2.0,
+                        std::size_t buckets = 24);
+
+  void add(double x) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  /// Smallest / largest recorded value; only meaningful when count > 0.
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::uint64_t count_in_bucket(std::size_t bucket) const;
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  double bucket_lower(std::size_t bucket) const;
+  double bucket_upper(std::size_t bucket) const;
+
+  /// Quantile estimate from the bucket counts (linear interpolation
+  /// inside the containing bucket; exact min/max anchor the tails).
+  /// q in [0, 1]; returns 0 for an empty histogram.
+  double percentile(double q) const;
+
+  /// Adds another histogram's observations. Precondition: identical
+  /// geometry (lo, base, bucket count).
+  void merge(const LogHistogram& other);
+
+  /// Zeroes every bucket and the exact aggregates; geometry is kept.
+  void reset() noexcept;
+
+  double lo() const noexcept { return lo_; }
+  double base() const noexcept { return base_; }
+
+ private:
+  double lo_;
+  double base_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Name -> metric registry. The process-wide instance() is what the
+/// TELEM_* macros record into; independent instances exist for tests
+/// and for merging per-shard registries.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  /// Finds or creates; references stay valid for the registry's
+  /// lifetime (reset() zeroes values but never removes entries).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  LogHistogram& histogram(const std::string& name, double lo = 1.0,
+                          double base = 2.0, std::size_t buckets = 24);
+
+  bool has_counter(const std::string& name) const;
+  bool has_gauge(const std::string& name) const;
+  bool has_histogram(const std::string& name) const;
+
+  /// Zeroes every registered metric (entries and their addresses are
+  /// preserved, so cached recording sites stay valid).
+  void reset();
+
+  /// Adds `other`'s counters and histogram observations into this
+  /// registry; gauges take `other`'s value (last-written-wins).
+  /// Metrics missing here are created. Histogram merges require
+  /// matching geometry.
+  void merge_from(const MetricsRegistry& other);
+
+  void for_each_counter(
+      const std::function<void(const std::string&, const Counter&)>& fn)
+      const;
+  void for_each_gauge(
+      const std::function<void(const std::string&, const Gauge&)>& fn) const;
+  void for_each_histogram(
+      const std::function<void(const std::string&, const LogHistogram&)>& fn)
+      const;
+
+  /// The "lagover.metrics.v1" JSON fragment for this registry's
+  /// counters / gauges / histograms (see docs/OBSERVABILITY.md). The
+  /// profiler and timeseries sections are appended by the export layer.
+  Json to_json(bool include_buckets = true) const;
+
+ private:
+  // std::map: node-stable addresses under later insertions.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, LogHistogram> histograms_;
+};
+
+}  // namespace lagover::telemetry
+
+// Recording-site macros. Each expands to its own block, so the cached
+// static reference cannot collide across sites; the value expression is
+// only evaluated when telemetry is enabled.
+#define TELEM_COUNT(name, delta)                                        \
+  do {                                                                  \
+    if (::lagover::telemetry::enabled()) {                              \
+      static ::lagover::telemetry::Counter& telem_counter_ =            \
+          ::lagover::telemetry::MetricsRegistry::instance().counter(    \
+              name);                                                    \
+      telem_counter_.inc(delta);                                        \
+    }                                                                   \
+  } while (false)
+
+#define TELEM_GAUGE(name, value)                                        \
+  do {                                                                  \
+    if (::lagover::telemetry::enabled()) {                              \
+      static ::lagover::telemetry::Gauge& telem_gauge_ =                \
+          ::lagover::telemetry::MetricsRegistry::instance().gauge(name);\
+      telem_gauge_.set(static_cast<double>(value));                     \
+    }                                                                   \
+  } while (false)
+
+#define TELEM_HIST(name, value)                                         \
+  do {                                                                  \
+    if (::lagover::telemetry::enabled()) {                              \
+      static ::lagover::telemetry::LogHistogram& telem_hist_ =          \
+          ::lagover::telemetry::MetricsRegistry::instance().histogram(  \
+              name);                                                    \
+      telem_hist_.add(static_cast<double>(value));                      \
+    }                                                                   \
+  } while (false)

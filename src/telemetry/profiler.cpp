@@ -1,0 +1,49 @@
+#include "telemetry/profiler.hpp"
+
+namespace lagover::telemetry {
+
+Profiler& Profiler::instance() {
+  static Profiler profiler;
+  return profiler;
+}
+
+ProfileSite& Profiler::site(const std::string& name) {
+  const auto it = sites_.find(name);
+  if (it != sites_.end()) return it->second;
+  ProfileSite& site = sites_[name];
+  site.name = name;
+  return site;
+}
+
+void Profiler::reset() {
+  for (auto& [name, site] : sites_) {
+    site.calls = 0;
+    site.total_ns = 0;
+    site.max_ns = 0;
+  }
+}
+
+void Profiler::for_each(
+    const std::function<void(const ProfileSite&)>& fn) const {
+  for (const auto& [name, site] : sites_) fn(site);
+}
+
+Json Profiler::to_json() const {
+  Json root = Json::object();
+  for (const auto& [name, site] : sites_) {
+    if (site.calls == 0) continue;
+    Json entry = Json::object();
+    entry.set("calls", Json::integer(static_cast<std::int64_t>(site.calls)));
+    entry.set("total_ns",
+              Json::integer(static_cast<std::int64_t>(site.total_ns)));
+    entry.set("mean_ns",
+              Json::number(static_cast<double>(site.total_ns) /
+                           static_cast<double>(site.calls)));
+    entry.set("max_ns",
+              Json::integer(static_cast<std::int64_t>(site.max_ns)));
+    root.set(name, std::move(entry));
+  }
+  return root;
+}
+
+}  // namespace lagover::telemetry

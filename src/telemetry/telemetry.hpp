@@ -1,0 +1,109 @@
+// Header-only base of the telemetry substrate: the process-wide enable
+// switch, the simulated/wall clocks, and the global event + log buses.
+// Everything here is inline (function-local statics) so even
+// lagover_common — which the telemetry library itself links against —
+// can publish without a link-time dependency.
+//
+// The contract of the whole layer: telemetry OFF (the default) means
+// ZERO behavior change. No RNG is consumed, no simulation state is
+// touched, and every recording site collapses to one predicted branch.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "telemetry/event_bus.hpp"
+
+namespace lagover::telemetry {
+
+// ---------------------------------------------------------------------
+// Enable switch.
+
+inline bool& enabled_flag() noexcept {
+  static bool flag = false;
+  return flag;
+}
+
+/// Is the telemetry layer recording? All TELEM_* macros and publishing
+/// helpers early-return when this is false.
+inline bool enabled() noexcept { return enabled_flag(); }
+
+inline void set_enabled(bool on) noexcept { enabled_flag() = on; }
+
+// ---------------------------------------------------------------------
+// Clocks. Simulated time is pushed by whichever engine is currently
+// running (a plain global double — no callback, so no dangling
+// captures); wall time is monotonic nanoseconds since the first use in
+// the process.
+
+inline double& sim_now_ref() noexcept {
+  static double now = 0.0;
+  return now;
+}
+
+/// Latest simulated time any instrumented engine reported.
+inline double sim_now() noexcept { return sim_now_ref(); }
+
+/// Engines call this (guarded by enabled()) at round / wake boundaries
+/// so log lines and profiler scopes can carry simulated timestamps.
+inline void note_sim_time(double t) noexcept { sim_now_ref() = t; }
+
+inline std::chrono::steady_clock::time_point wall_origin() noexcept {
+  static const auto origin = std::chrono::steady_clock::now();
+  return origin;
+}
+
+/// Monotonic wall clock, nanoseconds since process telemetry start.
+inline std::uint64_t wall_nanos() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - wall_origin())
+          .count());
+}
+
+// ---------------------------------------------------------------------
+// Global event stream. Engines flatten their typed TraceEvents into
+// this engine-agnostic record so exporters (JSONL, Chrome trace) can
+// capture a whole bench run — including benches that drive engines
+// through helpers and never see a trace hook.
+
+struct EventRecord {
+  double ts = 0.0;          ///< simulated time
+  const char* name = "";    ///< event type, e.g. "interaction"
+  const char* cause = "";   ///< cause tag, e.g. "stale_lease"
+  std::uint32_t subject = 0;
+  std::uint32_t partner = 0;
+  std::int64_t epoch = 0;   ///< subject's incarnation (0 = unknown)
+  bool attached = false;
+};
+
+inline EventBus<EventRecord>& event_bus() {
+  static EventBus<EventRecord> bus;
+  return bus;
+}
+
+/// Publishes to the global event bus; no-op while telemetry is off.
+inline void record_event(const EventRecord& record) {
+  if (!enabled()) return;
+  event_bus().publish(record);
+}
+
+// ---------------------------------------------------------------------
+// Global log stream. The Logger mirrors every emitted line here (at
+// trace granularity) so log lines and trace events interleave
+// coherently in the exported timeline.
+
+struct LogRecord {
+  double sim_time = 0.0;
+  std::uint64_t wall_ns = 0;
+  int level = 0;  ///< LogLevel as int (logging.hpp owns the enum)
+  std::string message;
+};
+
+inline EventBus<LogRecord>& log_bus() {
+  static EventBus<LogRecord> bus;
+  return bus;
+}
+
+}  // namespace lagover::telemetry

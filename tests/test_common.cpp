@@ -2,6 +2,9 @@
 // levels, and notation helpers.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "common/flags.hpp"
 #include "common/json.hpp"
 #include "common/logging.hpp"
@@ -129,6 +132,66 @@ TEST(LoggingTest, LevelsGateOutput) {
   logger.set_level(LogLevel::kTrace);
   EXPECT_TRUE(logger.enabled(LogLevel::kDebug));
   logger.set_level(original);
+}
+
+TEST(LoggingTest, DirectCallWithOffLevelEmitsNothing) {
+  // kOff is a threshold, not an emission level: enabled(kOff) is
+  // trivially true at any threshold, so log(kOff, ...) must be
+  // suppressed by its own check rather than printed as "[off]".
+  Logger& logger = Logger::instance();
+  const LogLevel original = logger.level();
+  logger.set_level(LogLevel::kTrace);
+  testing::internal::CaptureStderr();
+  logger.log(LogLevel::kOff, "must not appear");
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(err.empty()) << err;
+  logger.set_level(original);
+}
+
+TEST(LoggingTest, EmittedLinesCarrySimAndWallPrefix) {
+  Logger& logger = Logger::instance();
+  const LogLevel original = logger.level();
+  logger.set_level(LogLevel::kInfo);
+  telemetry::note_sim_time(42.5);
+  testing::internal::CaptureStderr();
+  logger.log(LogLevel::kInfo, "payload %d", 7);
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[t=42.50 w="), std::string::npos) << err;
+  EXPECT_NE(err.find("info] payload 7"), std::string::npos) << err;
+  logger.set_level(original);
+  telemetry::note_sim_time(0.0);
+}
+
+TEST(LoggingTest, RoutesThroughLogBusWhenTelemetryEnabled) {
+  Logger& logger = Logger::instance();
+  const LogLevel original = logger.level();
+  const bool telemetry_was_on = telemetry::enabled();
+  logger.set_level(LogLevel::kInfo);
+  telemetry::set_enabled(true);
+  std::vector<std::string> seen;
+  const auto sub = telemetry::log_bus().subscribe(
+      [&](const telemetry::LogRecord& record) {
+        seen.push_back(record.message);
+      });
+  testing::internal::CaptureStderr();
+  logger.log(LogLevel::kInfo, "bus line");
+  logger.log(LogLevel::kDebug, "below threshold");  // not emitted
+  testing::internal::GetCapturedStderr();
+  telemetry::log_bus().unsubscribe(sub);
+  telemetry::set_enabled(telemetry_was_on);
+  logger.set_level(original);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "bus line");
+}
+
+TEST(LoggingTest, ParseLogLevel) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::kWarn);
 }
 
 TEST(TypesTest, NotationMatchesPaper) {

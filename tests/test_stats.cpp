@@ -102,6 +102,35 @@ TEST(HistogramTest, BinsAndOverflow) {
   EXPECT_FALSE(h.to_string().empty());
 }
 
+TEST(HistogramTest, ExactBinBoundariesAreHalfOpen) {
+  Histogram h(0.0, 10.0, 5);  // bins of width 2
+  h.add(0.0);   // lower edge of bin 0
+  h.add(2.0);   // boundary: belongs to bin 1, not bin 0
+  h.add(4.0);
+  h.add(8.0);
+  h.add(9.999);
+  EXPECT_EQ(h.count_in_bin(0), 1u);
+  EXPECT_EQ(h.count_in_bin(1), 1u);
+  EXPECT_EQ(h.count_in_bin(2), 1u);
+  EXPECT_EQ(h.count_in_bin(4), 2u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  // hi itself is outside [lo, hi).
+  h.add(10.0);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(HistogramTest, SaturatingTailsKeepTotalExact) {
+  Histogram h(0.0, 1.0, 2);
+  for (int i = 0; i < 100; ++i) h.add(-1.0);
+  for (int i = 0; i < 50; ++i) h.add(5.0);
+  h.add(0.25);
+  EXPECT_EQ(h.underflow(), 100u);
+  EXPECT_EQ(h.overflow(), 50u);
+  EXPECT_EQ(h.total(), 151u);
+  EXPECT_EQ(h.count_in_bin(0), 1u);
+}
+
 TEST(TimeSeriesTest, StepSemanticsAndQueries) {
   TimeSeries ts;
   ts.add(0.0, 0.1);
