@@ -15,6 +15,7 @@
 
 #include "bench/bench_util.hpp"
 #include "core/async_engine.hpp"
+#include "core/validator.hpp"
 #include "fault/fault_injector.hpp"
 #include "metrics/recovery.hpp"
 
@@ -47,6 +48,13 @@ int run(int argc, char** argv) {
   int total_recovered = 0;
   int total_cells = 0;
   Sample all_ttr;
+#ifdef LAGOVER_AUDIT
+  // Paper-invariant audit (docs/STATIC_ANALYSIS.md): every engine
+  // audits once per sim-time unit; any violation anywhere in the sweep
+  // fails the bench. The key is only emitted in audit builds so
+  // release bench JSON stays byte-identical.
+  std::uint64_t audit_violations = 0;
+#endif
 
   Table table({"algorithm", "drop prob", "recovered", "median ttr",
                "peak orphans", "median drops"});
@@ -70,6 +78,13 @@ int run(int argc, char** argv) {
             std::make_shared<fault::FaultInjector>(plan, seed ^ 0xc4a05);
         AsyncEngine engine(generate_workload(WorkloadKind::kBiUnCorr, params),
                            config);
+#ifdef LAGOVER_AUDIT
+        engine.audit_bus().subscribe([](const InvariantViolation& v) {
+          std::cerr << "AUDIT " << to_string(v.invariant) << " cause="
+                    << v.cause << " node=" << v.node << " " << v.detail
+                    << "\n";
+        });
+#endif
         RecoveryRecorder recorder(engine.overlay(), plan);
         recorder.subscribe(engine.trace_bus());
         engine.set_sampler(1.0, [&](SimTime t) {
@@ -77,6 +92,9 @@ int run(int argc, char** argv) {
           telemetry_export.sample(t);
         });
         engine.run_for(horizon);
+#ifdef LAGOVER_AUDIT
+        audit_violations += engine.audit_violations();
+#endif
         const double t = recorder.final_time_to_reconverge();
         if (t >= 0.0 && recorder.healthy_at_end()) {
           ++recovered;
@@ -116,6 +134,15 @@ int run(int argc, char** argv) {
   bench_json.add_scalar("median_time_to_reconverge",
                         all_ttr.empty() ? -1.0 : all_ttr.median());
   bench_json.add_table("chaos", table);
+#ifdef LAGOVER_AUDIT
+  bench_json.add_count("audit_violations", audit_violations);
+  if (audit_violations != 0) {
+    std::cerr << "AUDIT FAILED: " << audit_violations
+              << " invariant violation(s) across the sweep\n";
+    return 1;
+  }
+  std::cout << "# audit: clean (" << audit_violations << " violations)\n";
+#endif
   telemetry_export.finish(bench_json);
   bench_json.write(options);
   return 0;

@@ -64,6 +64,12 @@ int run(int argc, char** argv) {
   bench::TelemetryExport telemetry_export(options);
   Table table({"policy", "mean orphan t", "p90 orphan t", "mean detect t",
                "fp rate", "suspicions", "fences", "ladder", "stale edges"});
+#ifdef LAGOVER_AUDIT
+  // Paper-invariant audit (docs/STATIC_ANALYSIS.md): any violation
+  // across any policy cell fails the bench. Key emitted only in audit
+  // builds so release bench JSON stays byte-identical.
+  std::uint64_t audit_violations = 0;
+#endif
 
   for (const Policy& policy : kPolicies) {
     Sample orphan_times;
@@ -89,6 +95,13 @@ int run(int argc, char** argv) {
           failover_plan(), seed ^ 0xfa170);
       AsyncEngine engine(generate_workload(WorkloadKind::kBiUnCorr, params),
                          config);
+#ifdef LAGOVER_AUDIT
+      engine.audit_bus().subscribe([](const InvariantViolation& v) {
+        std::cerr << "AUDIT " << to_string(v.invariant) << " cause="
+                  << v.cause << " node=" << v.node << " " << v.detail
+                  << "\n";
+      });
+#endif
       metrics::FailoverRecorder recorder(engine.overlay());
       recorder.subscribe(engine.trace_bus());
       // Epoch-consistency audit on a steady cadence: a single stale
@@ -104,6 +117,9 @@ int run(int argc, char** argv) {
         telemetry_export.sample(t);
       });
       engine.run_for(horizon);
+#ifdef LAGOVER_AUDIT
+      audit_violations += engine.audit_violations();
+#endif
 
       orphan_times.add_all(recorder.orphan_time().values());
       detection_latencies.add_all(recorder.detection_latency().values());
@@ -142,6 +158,15 @@ int run(int argc, char** argv) {
   bench::print_table("failure detection / failover policy sweep", table,
                      options, "failover");
   bench_json.add_table("failover", table);
+#ifdef LAGOVER_AUDIT
+  bench_json.add_count("audit_violations", audit_violations);
+  if (audit_violations != 0) {
+    std::cerr << "AUDIT FAILED: " << audit_violations
+              << " invariant violation(s) across the sweep\n";
+    return 1;
+  }
+  std::cout << "# audit: clean (" << audit_violations << " violations)\n";
+#endif
   telemetry_export.finish(bench_json);
   bench_json.write(options);
   return 0;

@@ -48,7 +48,8 @@ int run(int argc, char** argv) {
       const auto& trial = result.trials[result.trials.size() / 2];
       oracle_stats.add_row(
           {to_string(kind), paper_label(oracle),
-           format_convergence_cell(result), std::to_string(trial.oracle_queries),
+           format_convergence_cell(result),
+           std::to_string(trial.oracle_queries),
            std::to_string(trial.oracle_empty)});
     }
     table.add_row(std::move(row));

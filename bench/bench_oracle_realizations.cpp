@@ -27,6 +27,23 @@ struct Cell {
   std::string cost;
 };
 
+// Out-of-line so GCC cannot inline the short-literal assignment into
+// run_with, which trips a -Wrestrict false positive (GCC bug 105651).
+std::string describe_cost(const Oracle* oracle) {
+  if (const auto* dht =
+          dynamic_cast<const dht::DhtDirectoryOracle*>(oracle)) {
+    return format_double(dht->costs().query_hops.mean(), 1) +
+           " hops/query, " + std::to_string(dht->costs().ring_messages) +
+           " ring msgs";
+  }
+  if (const auto* walker =
+          dynamic_cast<const gossip::GossipRandomOracle*>(oracle)) {
+    return std::to_string(walker->membership().walk_messages()) +
+           " walk msgs";
+  }
+  return "-";
+}
+
 Cell run_with(const bench::BenchOptions& options, WorkloadKind kind,
               std::function<std::unique_ptr<Oracle>(std::uint64_t seed,
                                                     std::size_t peers)>
@@ -51,20 +68,7 @@ Cell run_with(const bench::BenchOptions& options, WorkloadKind kind,
       cell.rounds.add(static_cast<double>(*result));
     else
       ++cell.failures;
-    if (trial == 0 && cost_out != nullptr) {
-      if (const auto* dht = dynamic_cast<dht::DhtDirectoryOracle*>(raw)) {
-        *cost_out = format_double(dht->costs().query_hops.mean(), 1) +
-                    " hops/query, " +
-                    std::to_string(dht->costs().ring_messages) + " ring msgs";
-      } else if (const auto* walker =
-                     dynamic_cast<gossip::GossipRandomOracle*>(raw)) {
-        *cost_out =
-            std::to_string(walker->membership().walk_messages()) +
-            " walk msgs";
-      } else {
-        *cost_out = "-";
-      }
-    }
+    if (trial == 0 && cost_out != nullptr) *cost_out = describe_cost(raw);
   }
   return cell;
 }

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Mechanical formatting gate, clang-format's little sibling.
+
+clang-format (with the repo's .clang-format) is the authority, but it
+is not installed everywhere this repo builds. This checker enforces the
+subset of the style that never needs layout intelligence — so local
+runs and the ctest hook catch drift even without LLVM:
+
+  * no line longer than 80 columns
+  * no hard tabs
+  * no trailing whitespace
+  * every file ends with exactly one newline
+
+CI runs clang-format --dry-run -Werror as well; this script existing
+does not excuse format drift that only clang-format can see.
+
+Exit codes: 0 clean, 1 findings.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+SOURCE_EXTENSIONS = (".hpp", ".cpp", ".h", ".cc")
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+MAX_COLUMNS = 80
+
+
+def check_file(path):
+    problems = []
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if len(line) > MAX_COLUMNS:
+            problems.append(
+                f"{path}:{lineno}: line is {len(line)} columns "
+                f"(limit {MAX_COLUMNS})")
+        if "\t" in line:
+            problems.append(f"{path}:{lineno}: hard tab")
+        if line != line.rstrip():
+            problems.append(f"{path}:{lineno}: trailing whitespace")
+    if text and not text.endswith("\n"):
+        problems.append(f"{path}: missing final newline")
+    if text.endswith("\n\n"):
+        problems.append(f"{path}: multiple final newlines")
+    return problems
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    problems = []
+    scanned = 0
+    for subdir in SCAN_DIRS:
+        for dirpath, _, files in os.walk(os.path.join(root, subdir)):
+            for name in sorted(files):
+                if not name.endswith(SOURCE_EXTENSIONS):
+                    continue
+                scanned += 1
+                problems.extend(
+                    check_file(os.path.join(dirpath, name)))
+    for problem in problems:
+        print(os.path.relpath(problem, root) if os.path.isabs(problem)
+              else problem)
+    if problems:
+        print(f"check_format: {len(problems)} problem(s) in {scanned} "
+              f"files")
+        return 1
+    print(f"check_format: {scanned} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

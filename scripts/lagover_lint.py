@@ -1,0 +1,528 @@
+#!/usr/bin/env python3
+"""LagOver determinism lint.
+
+The reproduction's headline guarantee is seed-stable, byte-identical
+simulation output. That only holds if the code never consults ambient
+entropy and never lets hash-table iteration order leak into
+RNG-consuming loops. This checker enforces the repo-specific rules that
+keep the guarantee true (see docs/STATIC_ANALYSIS.md):
+
+  rand-time       no std::rand / std::random_device / time() /
+                  std::chrono::system_clock outside src/common/rng.hpp
+                  and src/telemetry/ (wall-clock profiling is the one
+                  legitimate consumer).
+  unordered-iter  no std::unordered_map / std::unordered_set in the
+                  determinism-critical directories (src/core, src/sim,
+                  src/net, src/health, src/feed): iteration order is
+                  implementation-defined, and an iterated hash table
+                  feeding an RNG-consuming loop silently breaks seed
+                  stability across platforms and libstdc++ versions.
+  float-delay     no `float` in src/: Delay/round arithmetic is exact
+                  integer (or double for sim time); single-precision
+                  intermediate rounding is platform/FPU sensitive.
+  const-bracket   no map operator[] on map-typed members inside
+                  const-intent (const-qualified) member functions;
+                  operator[] inserts, so these only compile against a
+                  non-const alias and then mutate state behind a reader
+                  API.
+
+Suppression is ONLY possible through scripts/lint_allowlist.txt, and
+every entry must carry a justification; stale entries (matching no
+current finding) fail the run so the allowlist cannot rot.
+
+Engines: with python3-clang + a compile_commands.json the
+unordered-iter rule upgrades from "container named in a critical dir"
+to "container actually iterated" (range-for / begin() walks) using the
+AST; everything else (and every rule when libclang is absent) runs on a
+comment- and string-stripped token scan. Use --engine to force one.
+
+Exit codes: 0 clean, 1 findings or allowlist problems, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+REPO_MARKERS = ("CMakeLists.txt", "ROADMAP.md")
+SOURCE_EXTENSIONS = (".hpp", ".cpp", ".h", ".cc")
+
+# Directories whose iteration order feeds RNG-consuming loops.
+DETERMINISM_DIRS = (
+    "src/core",
+    "src/sim",
+    "src/net",
+    "src/health",
+    "src/feed",
+)
+
+# The only places allowed to touch ambient entropy / wall clocks.
+ENTROPY_EXEMPT = ("src/common/rng.hpp", "src/telemetry/")
+
+RULES = {
+    "rand-time": "ambient entropy or wall clock outside common/rng and "
+                 "telemetry/ breaks seed-stable replay",
+    "unordered-iter": "unordered container in a determinism-critical "
+                      "directory; iteration order is implementation-"
+                      "defined and can feed RNG-consuming loops",
+    "float-delay": "single-precision float in Delay/round arithmetic is "
+                   "platform sensitive; use integer Delay or double",
+    "const-bracket": "map operator[] inserts; in a const-intent path use "
+                     "find()/at() instead",
+}
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path  # repo-relative, forward slashes
+        self.line = line
+        self.message = message
+        self.allowed_by = None  # index into the allowlist once matched
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving line
+    structure so finding line numbers stay accurate."""
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " "
+                               for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i > 1 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def iter_source_files(root, subdirs):
+    for subdir in subdirs:
+        base = os.path.join(root, subdir)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _, files in os.walk(base):
+            for name in sorted(files):
+                if name.endswith(SOURCE_EXTENSIONS):
+                    yield os.path.join(dirpath, name)
+
+
+def rel(root, path):
+    return os.path.relpath(path, root).replace(os.sep, "/")
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+# --- rule implementations (token engine) -------------------------------
+
+RAND_TIME_PATTERNS = [
+    (re.compile(r"std\s*::\s*rand\b"), "std::rand"),
+    (re.compile(r"(?<![\w:])srand\s*\("), "srand()"),
+    (re.compile(r"(?<![\w:])rand\s*\(\s*\)"), "rand()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"(?<![\w.:])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+     "time()"),
+    (re.compile(r"\bsystem_clock\b"), "std::chrono::system_clock"),
+    (re.compile(r"\bgettimeofday\b"), "gettimeofday()"),
+]
+
+
+def check_rand_time(root, path, stripped):
+    relpath = rel(root, path)
+    if any(relpath.startswith(prefix) or relpath == prefix.rstrip("/")
+           for prefix in ENTROPY_EXEMPT):
+        return []
+    findings = []
+    for pattern, label in RAND_TIME_PATTERNS:
+        for match in pattern.finditer(stripped):
+            findings.append(Finding(
+                "rand-time", relpath, line_of(stripped, match.start()),
+                f"{label}: {RULES['rand-time']}"))
+    return findings
+
+
+UNORDERED_PATTERN = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\b")
+
+
+def check_unordered(root, path, stripped):
+    relpath = rel(root, path)
+    if not any(relpath.startswith(d + "/") for d in DETERMINISM_DIRS):
+        return []
+    findings = []
+    for match in UNORDERED_PATTERN.finditer(stripped):
+        findings.append(Finding(
+            "unordered-iter", relpath, line_of(stripped, match.start()),
+            f"{match.group(0)}: {RULES['unordered-iter']}"))
+    return findings
+
+
+FLOAT_PATTERN = re.compile(r"(?<![\w])float(?![\w])")
+
+
+def check_float(root, path, stripped):
+    relpath = rel(root, path)
+    if not relpath.startswith("src/"):
+        return []
+    findings = []
+    for match in FLOAT_PATTERN.finditer(stripped):
+        findings.append(Finding(
+            "float-delay", relpath, line_of(stripped, match.start()),
+            RULES["float-delay"]))
+    return findings
+
+
+MAP_MEMBER_PATTERN = re.compile(
+    r"\bstd\s*::\s*(?:unordered_)?map\s*<[^;{}]*?>\s+(\w+_)\s*(?:=[^;]*)?;")
+CONST_METHOD_PATTERN = re.compile(
+    r"\)\s*const\s*(?:noexcept\s*)?(?:override\s*)?\{")
+
+
+def check_const_bracket(root, path, stripped):
+    relpath = rel(root, path)
+    if not relpath.startswith("src/"):
+        return []
+    members = set(MAP_MEMBER_PATTERN.findall(stripped))
+    if not members:
+        return []
+    findings = []
+    for method in CONST_METHOD_PATTERN.finditer(stripped):
+        # Walk the const method body by brace balance.
+        depth = 0
+        i = method.end() - 1
+        end = i
+        while end < len(stripped):
+            if stripped[end] == "{":
+                depth += 1
+            elif stripped[end] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            end += 1
+        body = stripped[i:end]
+        for member in members:
+            for use in re.finditer(re.escape(member) + r"\s*\[", body):
+                findings.append(Finding(
+                    "const-bracket", relpath,
+                    line_of(stripped, i + use.start()),
+                    f"{member}[...] in a const member function: "
+                    f"{RULES['const-bracket']}"))
+    return findings
+
+
+TOKEN_CHECKS = (check_rand_time, check_unordered, check_float,
+                check_const_bracket)
+
+
+# --- libclang engine (optional upgrade for unordered-iter) --------------
+
+def libclang_available():
+    try:
+        import clang.cindex  # noqa: F401
+        return True
+    except ImportError:
+        return False
+
+
+def check_unordered_libclang(root, path, compile_commands_dir):
+    """AST-accurate variant of unordered-iter: flags range-for loops and
+    begin()/end() walks whose range is an unordered container, instead
+    of any mention. Returns None when the TU cannot be parsed (caller
+    falls back to the token rule)."""
+    import clang.cindex as ci
+    relpath = rel(root, path)
+    if not any(relpath.startswith(d + "/") for d in DETERMINISM_DIRS):
+        return []
+    try:
+        db = ci.CompilationDatabase.fromDirectory(compile_commands_dir)
+        commands = db.getCompileCommands(path)
+        args = []
+        if commands:
+            # Drop the compiler argv0 and the source file itself.
+            args = [a for a in list(commands[0].arguments)[1:-1]
+                    if a not in ("-c", "-o")]
+        index = ci.Index.create()
+        tu = index.parse(path, args=args)
+    except ci.TranslationUnitLoadError:
+        return None
+    findings = []
+
+    def is_unordered(ctype):
+        return "unordered_" in ctype.get_canonical().spelling
+
+    def visit(cursor):
+        if cursor.location.file and cursor.location.file.name != path:
+            return
+        if cursor.kind == ci.CursorKind.CXX_FOR_RANGE_STMT:
+            children = list(cursor.get_children())
+            if len(children) >= 2 and is_unordered(children[-2].type):
+                findings.append(Finding(
+                    "unordered-iter", relpath, cursor.location.line,
+                    "range-for over an unordered container: "
+                    + RULES["unordered-iter"]))
+        if cursor.kind == ci.CursorKind.CALL_EXPR and \
+                cursor.spelling in ("begin", "cbegin"):
+            children = list(cursor.get_children())
+            if children and is_unordered(children[0].type):
+                findings.append(Finding(
+                    "unordered-iter", relpath, cursor.location.line,
+                    "iterator walk over an unordered container: "
+                    + RULES["unordered-iter"]))
+        for child in cursor.get_children():
+            visit(child)
+
+    visit(tu.cursor)
+    return findings
+
+
+# --- allowlist ---------------------------------------------------------
+
+class AllowEntry:
+    def __init__(self, rule, path, justification, line):
+        self.rule = rule
+        self.path = path
+        self.justification = justification
+        self.line = line
+        self.used = False
+
+
+def load_allowlist(path):
+    """Parses `rule | path-prefix | justification` lines; '#' comments.
+    Returns (entries, errors)."""
+    entries, errors = [], []
+    if not os.path.exists(path):
+        return entries, errors
+    with open(path, encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, 1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = [p.strip() for p in line.split("|")]
+            if len(parts) != 3 or not all(parts):
+                errors.append(
+                    f"{path}:{lineno}: malformed allowlist entry (need "
+                    f"'rule | path | justification'): {line}")
+                continue
+            rule, target, justification = parts
+            if rule not in RULES:
+                errors.append(
+                    f"{path}:{lineno}: unknown rule '{rule}'")
+                continue
+            if len(justification) < 10:
+                errors.append(
+                    f"{path}:{lineno}: justification too short to "
+                    f"explain anything: '{justification}'")
+                continue
+            entries.append(AllowEntry(rule, target, justification, lineno))
+    return entries, errors
+
+
+def apply_allowlist(findings, entries):
+    remaining = []
+    for finding in findings:
+        suppressed = False
+        for entry in entries:
+            if entry.rule == finding.rule and \
+                    finding.path.startswith(entry.path):
+                entry.used = True
+                suppressed = True
+                break
+        if not suppressed:
+            remaining.append(finding)
+    return remaining
+
+
+# --- driver ------------------------------------------------------------
+
+def run_lint(root, engine, compile_commands, verbose=False):
+    findings = []
+    libclang = engine == "libclang" or (
+        engine == "auto" and libclang_available() and compile_commands
+        and os.path.exists(compile_commands))
+    if engine == "libclang" and not libclang_available():
+        print("error: --engine libclang requested but python3-clang "
+              "is not importable", file=sys.stderr)
+        return None, None
+    scanned = 0
+    for path in iter_source_files(root, ("src", "bench", "tests",
+                                         "examples")):
+        with open(path, encoding="utf-8") as handle:
+            stripped = strip_comments_and_strings(handle.read())
+        scanned += 1
+        for check in TOKEN_CHECKS:
+            if check is check_unordered and libclang:
+                ast = check_unordered_libclang(
+                    root, path, os.path.dirname(compile_commands))
+                findings.extend(ast if ast is not None
+                                else check(root, path, stripped))
+            else:
+                findings.extend(check(root, path, stripped))
+    if verbose:
+        mode = "libclang" if libclang else "token"
+        print(f"scanned {scanned} files ({mode} engine for "
+              f"unordered-iter)")
+    return findings, scanned
+
+
+def self_test(root):
+    """Injects one synthetic violation per rule into a scratch tree and
+    asserts the checker catches each one — proof the rules actually
+    fire, run in CI on every push."""
+    samples = {
+        "rand-time": "#include <cstdlib>\nint f() { return std::rand(); }\n",
+        "unordered-iter": "#include <unordered_map>\n"
+                          "std::unordered_map<int, int> m;\n",
+        "float-delay": "float shrink(int delay) "
+                       "{ return (float)delay; }\n",
+        "const-bracket":
+            "#include <map>\n"
+            "struct S {\n"
+            "  int get(int k) const { return table_[k]; }\n"
+            "  mutable std::map<int, int> table_;\n"
+            "};\n",
+    }
+    destinations = {
+        "rand-time": "src/core/injected_rand.hpp",
+        "unordered-iter": "src/sim/injected_unordered.hpp",
+        "float-delay": "src/core/injected_float.hpp",
+        "const-bracket": "src/net/injected_bracket.hpp",
+    }
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="lagover_lint_") as scratch:
+        for rule, relpath in destinations.items():
+            target = os.path.join(scratch, relpath)
+            os.makedirs(os.path.dirname(target), exist_ok=True)
+            with open(target, "w", encoding="utf-8") as handle:
+                handle.write(samples[rule])
+        findings, _ = run_lint(scratch, "token", None)
+        fired = {f.rule for f in findings}
+        for rule in RULES:
+            if rule in fired:
+                print(f"self-test: rule {rule:15s} fires  ... ok")
+            else:
+                failures.append(rule)
+                print(f"self-test: rule {rule:15s} MISSED its synthetic "
+                      f"violation")
+        # The exemptions must hold too: entropy use inside telemetry/
+        # must NOT fire.
+        exempt = os.path.join(scratch, "src/telemetry/wall.hpp")
+        os.makedirs(os.path.dirname(exempt), exist_ok=True)
+        with open(exempt, "w", encoding="utf-8") as handle:
+            handle.write("#include <chrono>\n"
+                         "using clock_t2 = std::chrono::system_clock;\n")
+        findings, _ = run_lint(scratch, "token", None)
+        if any(f.path.startswith("src/telemetry/") for f in findings):
+            failures.append("telemetry-exemption")
+            print("self-test: telemetry/ exemption BROKEN (false "
+                  "positive)")
+        else:
+            print("self-test: telemetry/ exemption holds ... ok")
+    if failures:
+        print(f"self-test FAILED: {', '.join(failures)}")
+        return 1
+    print("self-test passed: every rule detects its synthetic violation")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="LagOver determinism lint "
+                    "(see docs/STATIC_ANALYSIS.md)")
+    parser.add_argument("--repo", default=None,
+                        help="repository root (default: auto-detect "
+                             "upward from this script)")
+    parser.add_argument("--compile-commands", default=None,
+                        help="compile_commands.json for the libclang "
+                             "engine (default: <repo>/build/"
+                             "compile_commands.json)")
+    parser.add_argument("--engine", choices=("auto", "token", "libclang"),
+                        default="auto")
+    parser.add_argument("--allowlist", default=None,
+                        help="override the allowlist path")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify each rule fires on a synthetic "
+                             "violation, then exit")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule, description in RULES.items():
+            print(f"{rule:15s} {description}")
+        return 0
+
+    root = args.repo
+    if root is None:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    if not all(os.path.exists(os.path.join(root, m))
+               for m in REPO_MARKERS):
+        print(f"error: {root} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+
+    if args.self_test:
+        return self_test(root)
+
+    compile_commands = args.compile_commands or os.path.join(
+        root, "build", "compile_commands.json")
+    findings, _ = run_lint(root, args.engine, compile_commands,
+                           args.verbose)
+    if findings is None:
+        return 2
+
+    allowlist_path = args.allowlist or os.path.join(
+        root, "scripts", "lint_allowlist.txt")
+    entries, allow_errors = load_allowlist(allowlist_path)
+    findings = apply_allowlist(findings, entries)
+
+    status = 0
+    for finding in sorted(findings, key=lambda f: (f.path, f.line)):
+        print(finding)
+        status = 1
+    for error in allow_errors:
+        print(error)
+        status = 1
+    for entry in entries:
+        if not entry.used:
+            print(f"{allowlist_path}:{entry.line}: stale allowlist entry "
+                  f"(matches no current finding): {entry.rule} | "
+                  f"{entry.path}")
+            status = 1
+    if status == 0:
+        print("lagover_lint: clean")
+    else:
+        print(f"lagover_lint: {len(findings)} finding(s); suppress only "
+              f"via {os.path.relpath(allowlist_path, root)} with a "
+              f"justification")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

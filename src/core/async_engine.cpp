@@ -45,9 +45,22 @@ AsyncEngine::AsyncEngine(Population population, AsyncConfig config)
   core_->set_trace_bus(&trace_bus_);
   install_fault_hooks();
   install_core_hooks();
+#ifdef LAGOVER_AUDIT
+  // Audit the overlay once per simulated time unit (the same cadence as
+  // the synchronous engine's rounds). Read-only: it draws no RNG and
+  // mutates nothing, so the construction trajectory is unchanged.
+  sim_.schedule_periodic(1.0, [this] { audit_tick(); });
+#endif
   // Stagger the first wake-ups so nodes are desynchronized from t = 0.
   for (NodeId id = 1; id < overlay_.node_count(); ++id)
     schedule_node(id, draw_duration());
+}
+
+void AsyncEngine::audit_tick() {
+  const InvariantReport report =
+      audit_invariants(overlay_, config_.algorithm, &epochs_);
+  audit_violations_ +=
+      publish(report, audit_bus_, static_cast<Round>(sim_.now()));
 }
 
 void AsyncEngine::install_fault_hooks() {

@@ -19,6 +19,7 @@
 #include "core/construction_core.hpp"
 #include "core/engine.hpp"
 #include "core/types.hpp"
+#include "core/validator.hpp"
 #include "fault/fault_injector.hpp"
 #include "health/health.hpp"
 #include "net/latency_model.hpp"
@@ -118,6 +119,18 @@ class AsyncEngine {
   /// rebuilds — the core is re-pointed at the same bus.
   TraceBus& trace_bus() noexcept { return trace_bus_; }
 
+  /// Paper-invariant audit sink. LAGOVER_AUDIT builds publish one event
+  /// per violation per audit tick (every simulated time unit); the bus
+  /// exists in every build so subscribers need no conditional
+  /// compilation.
+  AuditBus& audit_bus() noexcept { return audit_bus_; }
+
+  /// Total invariant violations seen by the periodic audit (always 0
+  /// in builds without LAGOVER_AUDIT).
+  std::uint64_t audit_violations() const noexcept {
+    return audit_violations_;
+  }
+
   const fault::FaultInjector* faults() const noexcept {
     return config_.faults.get();
   }
@@ -147,6 +160,10 @@ class AsyncEngine {
   /// ladder when configured.
   void detach_suspected(NodeId id, NodeId parent, Round label,
                         TraceEventType type);
+  /// Runs the paper-invariant audit against the current overlay state
+  /// and publishes violations (scheduled once per simulated time unit
+  /// in LAGOVER_AUDIT builds).
+  void audit_tick();
   double draw_duration();
   double backoff_delay(NodeId id);
 
@@ -159,6 +176,8 @@ class AsyncEngine {
   TraceBus trace_bus_;
   /// set_trace()'s subscription on trace_bus_ (0 = none installed).
   TraceBus::SubscriptionId trace_subscription_ = 0;
+  AuditBus audit_bus_;
+  std::uint64_t audit_violations_ = 0;
   Simulator sim_;
   Rng rng_;
   Round churn_ticks_ = 0;

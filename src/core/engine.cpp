@@ -311,7 +311,16 @@ RoundStats Engine::run_round() {
   TELEM_GAUGE("engine.orphan_roots", static_cast<double>(stats.orphan_roots));
   TELEM_GAUGE("engine.satisfied_fraction", stats.satisfied_fraction);
   if (record_history_) history_.push_back(stats);
+#ifdef LAGOVER_AUDIT
+  audit_round();
+#endif
   return stats;
+}
+
+void Engine::audit_round() {
+  const InvariantReport report =
+      audit_invariants(overlay_, config_.algorithm, &epochs_);
+  audit_violations_ += publish(report, audit_bus_, round_);
 }
 
 std::optional<Round> Engine::run_until_converged(Round max_rounds) {

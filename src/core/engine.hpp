@@ -26,6 +26,7 @@
 #include "core/overlay.hpp"
 #include "core/protocol.hpp"
 #include "core/types.hpp"
+#include "core/validator.hpp"
 #include "fault/fault_injector.hpp"
 #include "health/health.hpp"
 
@@ -115,6 +116,17 @@ class Engine {
   /// rebuilds — the core is re-pointed at the same bus.
   TraceBus& trace_bus() noexcept { return trace_bus_; }
 
+  /// Paper-invariant audit sink. LAGOVER_AUDIT builds publish one event
+  /// per violation per round; the bus itself exists in every build so
+  /// subscribers need no conditional compilation.
+  AuditBus& audit_bus() noexcept { return audit_bus_; }
+
+  /// Total invariant violations seen by the per-round audit (always 0
+  /// in builds without LAGOVER_AUDIT).
+  std::uint64_t audit_violations() const noexcept {
+    return audit_violations_;
+  }
+
   /// When enabled, every round's RoundStats is retained in history().
   void set_record_history(bool record) { record_history_ = record; }
 
@@ -159,6 +171,9 @@ class Engine {
   /// Re-orphans id after a suspicion / epoch fence, arming the failover
   /// ladder when configured.
   void detach_suspected(NodeId id, NodeId parent, TraceEventType type);
+  /// Runs the paper-invariant audit against the current overlay state
+  /// and publishes violations (called per round in LAGOVER_AUDIT builds).
+  void audit_round();
 
   EngineConfig config_;
   Overlay overlay_;
@@ -169,6 +184,8 @@ class Engine {
   TraceBus trace_bus_;
   /// set_trace()'s subscription on trace_bus_ (0 = none installed).
   TraceBus::SubscriptionId trace_subscription_ = 0;
+  AuditBus audit_bus_;
+  std::uint64_t audit_violations_ = 0;
   Rng rng_;
 
   Round round_ = 0;

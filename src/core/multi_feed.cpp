@@ -20,7 +20,8 @@ MultiFeedSystem::MultiFeedSystem(std::vector<int> source_fanouts,
     if (consumer.total_fanout < 0)
       throw InvalidArgument("total fanout must be non-negative");
     for (const FeedSubscription& sub : consumer.subscriptions) {
-      if (sub.feed >= feeds) throw InvalidArgument("subscription to unknown feed");
+      if (sub.feed >= feeds)
+        throw InvalidArgument("subscription to unknown feed");
       if (sub.latency < 1)
         throw InvalidArgument("subscription latency must be >= 1");
     }

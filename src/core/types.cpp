@@ -42,8 +42,9 @@ std::string paper_label(OracleKind kind) {
 }
 
 std::string to_notation(const NodeSpec& spec) {
-  return std::to_string(spec.id) + "_" + std::to_string(spec.constraints.fanout) +
-         "^" + std::to_string(spec.constraints.latency);
+  return std::to_string(spec.id) + "_" +
+         std::to_string(spec.constraints.fanout) + "^" +
+         std::to_string(spec.constraints.latency);
 }
 
 void validate(const Population& population) {

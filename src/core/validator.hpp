@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "core/overlay.hpp"
+#include "core/types.hpp"
 #include "health/lease.hpp"
+#include "telemetry/event_bus.hpp"
 
 namespace lagover {
 
@@ -65,5 +67,73 @@ struct EpochAudit {
 
 EpochAudit audit_epochs(const Overlay& overlay,
                         const health::EpochBook& epochs);
+
+// --- paper-invariant audit harness (LAGOVER_AUDIT) ---------------------
+//
+// The full machine-checkable invariant set of the paper, evaluated
+// against an overlay snapshot and (optionally) the health layer's epoch
+// book. Unlike Overlay::audit() this never aborts: every violation is
+// reported as a structured event so the engines can stream them through
+// the telemetry EventBus and CI can assert the stream stayed empty.
+
+/// One checkable structural invariant (paper Sections 2-3).
+enum class Invariant {
+  kAcyclic,      ///< the overlay is a forest: parent walks terminate
+  kFanoutBound,  ///< |Children(i)| <= f_i at every node
+  /// Greedy latency ordering on every non-source edge: a parent's
+  /// constraint never exceeds its child's (l_parent <= l_child). Only
+  /// meaningful for AlgorithmKind::kGreedy runs.
+  kGreedyOrder,
+  kDelayDepth,   ///< DelayAt(i) equals the independently recomputed depth
+  kEpochLease,   ///< every edge's lease names the parent's current epoch
+};
+
+/// Stable lower_snake name ("acyclic", "fanout_bound", ...).
+const char* to_string(Invariant invariant) noexcept;
+
+/// A single invariant violation with a structured cause tag, suitable
+/// for publishing on an EventBus and for JSONL export.
+struct InvariantViolation {
+  Invariant invariant{};
+  NodeId node = kNoNode;    ///< offending node (the child on edge checks)
+  NodeId parent = kNoNode;  ///< other endpoint for edge-local checks
+  /// Round (or sim-time tick) the audit ran in; stamped by publish().
+  Round round = 0;
+  /// Structured cause tag: "cycle", "fanout_exceeded", "latency_order",
+  /// "delay_depth_mismatch", "stale_lease", "future_lease",
+  /// "unleased_edge".
+  const char* cause = "";
+  std::string detail;  ///< human-readable specifics
+};
+
+/// Result of one audit pass.
+struct InvariantReport {
+  std::vector<InvariantViolation> violations;
+  std::size_t nodes_checked = 0;
+  std::size_t edges_checked = 0;
+
+  bool ok() const noexcept { return violations.empty(); }
+
+  /// Human-readable multi-line summary.
+  std::string to_string() const;
+};
+
+/// The engines' audit sink: one event per violation per audited round.
+using AuditBus = telemetry::EventBus<InvariantViolation>;
+
+/// Audits the full paper invariant set: acyclicity, fanout bounds,
+/// DelayAt/depth consistency (depths recomputed independently from the
+/// children lists, not via Overlay's parent walks), the greedy latency
+/// ordering when mode == kGreedy, and — when `epochs` is non-null —
+/// epoch-lease consistency (no stale, future, or missing lease on any
+/// live edge). Non-fatal: violations are collected, never aborted on.
+InvariantReport audit_invariants(const Overlay& overlay, AlgorithmKind mode,
+                                 const health::EpochBook* epochs = nullptr);
+
+/// Stamps `round` on every violation, publishes each to `bus`, and
+/// bumps the "audit.violations" telemetry counter. Returns the number
+/// of violations published.
+std::size_t publish(const InvariantReport& report, AuditBus& bus,
+                    Round round);
 
 }  // namespace lagover

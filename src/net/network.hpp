@@ -7,7 +7,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <map>
 #include <utility>
 
 #include "common/error.hpp"
@@ -69,7 +69,9 @@ class Network {
 
   /// Installs (or clears, with nullptr) the per-message fault hook.
   /// Without a filter the send path is exactly the fault-free one.
-  void set_fault_filter(FaultFilter filter) { fault_filter_ = std::move(filter); }
+  void set_fault_filter(FaultFilter filter) {
+    fault_filter_ = std::move(filter);
+  }
 
   /// Sends a message; delivery is scheduled after the model latency.
   /// `size_bytes` is accounting-only (0 = count messages, not bytes).
@@ -140,8 +142,11 @@ class Network {
   Simulator& sim_;
   std::unique_ptr<LatencyModel> latency_;
   Rng rng_;
-  std::unordered_map<Address, Handler> handlers_;
-  std::unordered_map<Address, TrafficCounters> counters_;
+  // Ordered maps (determinism lint): keyed access only today, but the
+  // unordered_ variants are banned in src/net so a future iteration
+  // (e.g. dumping per-address traffic) is deterministic by construction.
+  std::map<Address, Handler> handlers_;
+  std::map<Address, TrafficCounters> counters_;
   FaultFilter fault_filter_;
   std::uint64_t total_messages_ = 0;
   std::uint64_t dropped_ = 0;

@@ -43,7 +43,8 @@ bool Simulator::step(SimTime horizon) {
     if (periodic_it != periodics_.end()) {
       // Re-arm before firing, and fire a copy so the action may safely
       // cancel its own timer (which erases the map entry mid-call).
-      queue_.push(Entry{now_ + periodic_it->second.period, next_seq_++, top.id});
+      queue_.push(
+          Entry{now_ + periodic_it->second.period, next_seq_++, top.id});
       Action action = periodic_it->second.action;
       ++executed_;
       action();

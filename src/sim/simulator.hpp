@@ -6,9 +6,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <queue>
-#include <unordered_map>
-#include <unordered_set>
+#include <set>
 #include <vector>
 
 #include "common/error.hpp"
@@ -85,9 +85,13 @@ class Simulator {
   SimTime now_ = 0.0;
   std::uint64_t executed_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_map<EventId, Action> actions_;
-  std::unordered_map<EventId, Periodic> periodics_;
-  std::unordered_set<EventId> cancelled_;
+  // Ordered containers (determinism lint): these are only ever keyed
+  // into, but the unordered_ variants are banned in src/sim so an
+  // iteration added later can never leak hash order into a run. Ids are
+  // monotonically increasing, so inserts hit the right spine edge.
+  std::map<EventId, Action> actions_;
+  std::map<EventId, Periodic> periodics_;
+  std::set<EventId> cancelled_;
 };
 
 }  // namespace lagover

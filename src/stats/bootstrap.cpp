@@ -36,8 +36,8 @@ double median_of(std::vector<double> xs) {
                    xs.end());
   const double upper = xs[mid];
   if (xs.size() % 2 == 1) return upper;
-  const double lower =
-      *std::max_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid));
+  const double lower = *std::max_element(
+      xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid));
   return (lower + upper) / 2.0;
 }
 
@@ -51,8 +51,9 @@ double mean_of(const std::vector<double>& xs) {
 ConfidenceInterval bootstrap_median_ci(const std::vector<double>& values,
                                        double confidence, int resamples,
                                        Rng& rng) {
-  return bootstrap_ci(values, confidence, resamples, rng,
-                      [](const std::vector<double>& xs) { return median_of(xs); });
+  return bootstrap_ci(
+      values, confidence, resamples, rng,
+      [](const std::vector<double>& xs) { return median_of(xs); });
 }
 
 ConfidenceInterval bootstrap_mean_ci(const std::vector<double>& values,

@@ -108,7 +108,8 @@ TEST(SnapshotTest, RejectsEdgeToOfflineParent) {
 TEST(SnapshotTest, SameStructureDetectsDifferences) {
   Population p;
   p.source_fanout = 2;
-  p.consumers = {NodeSpec{1, Constraints{1, 2}}, NodeSpec{2, Constraints{0, 3}}};
+  p.consumers = {NodeSpec{1, Constraints{1, 2}},
+                 NodeSpec{2, Constraints{0, 3}}};
   Overlay a(p);
   Overlay b(p);
   EXPECT_TRUE(same_structure(a, b));

@@ -1,10 +1,16 @@
-// Tests for the constraint-satisfaction validator and push-source feed
+// Tests for the constraint-satisfaction validator, the paper-invariant
+// audit harness (audit_invariants / AuditBus), and push-source feed
 // dissemination.
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "core/async_engine.hpp"
 #include "core/engine.hpp"
 #include "core/validator.hpp"
+#include "fault/fault_injector.hpp"
 #include "feed/dissemination.hpp"
+#include "health/lease.hpp"
 #include "workload/constraints.hpp"
 
 namespace lagover {
@@ -60,6 +66,212 @@ TEST(ValidatorTest, ConvergedOverlayHasNoIssues) {
   EXPECT_EQ(report.satisfied, 40u);
   EXPECT_NE(report.to_string().find("LagOver constructed"),
             std::string::npos);
+}
+
+TEST(ValidatorTest, NodeIssueNamesAreStable) {
+  EXPECT_STREQ(to_string(NodeIssue::kNone).c_str(), "satisfied");
+  EXPECT_STREQ(to_string(NodeIssue::kOffline).c_str(), "offline");
+  EXPECT_STREQ(to_string(NodeIssue::kParentless).c_str(), "parentless");
+  EXPECT_STREQ(to_string(NodeIssue::kDisconnected).c_str(),
+               "in detached group");
+  EXPECT_STREQ(to_string(NodeIssue::kDelayExceeded).c_str(),
+               "delay exceeds constraint");
+}
+
+TEST(EpochAuditTest, ToStringReportsCountsAndAcyclicity) {
+  Population p;
+  p.source_fanout = 2;
+  p.consumers = {NodeSpec{1, Constraints{1, 2}},
+                 NodeSpec{2, Constraints{0, 3}}};
+  Overlay overlay(p);
+  overlay.attach(1, kSourceId);
+  overlay.attach(2, 1);
+
+  health::EpochBook book(overlay.node_count());
+  book.record_attachment(1, kSourceId);
+  book.record_attachment(2, 1);
+  EpochAudit clean = audit_epochs(overlay, book);
+  EXPECT_TRUE(clean.ok());
+  EXPECT_NE(clean.to_string().find("0 stale edge(s)"), std::string::npos);
+  EXPECT_NE(clean.to_string().find("acyclic"), std::string::npos);
+
+  book.bump(1);  // node 1 re-incarnates; edge 2 <- 1 is now stale
+  EpochAudit dirty = audit_epochs(overlay, book);
+  EXPECT_FALSE(dirty.ok());
+  ASSERT_EQ(dirty.stale_edges.size(), 1u);
+  EXPECT_EQ(dirty.stale_edges[0], 2u);
+  EXPECT_NE(dirty.to_string().find("1 stale edge(s)"), std::string::npos);
+
+  book.clear_lease(2);  // no lease at all: flagged separately, not stale
+  EpochAudit unleased = audit_epochs(overlay, book);
+  EXPECT_TRUE(unleased.stale_edges.empty());
+  ASSERT_EQ(unleased.unleased_edges.size(), 1u);
+  EXPECT_EQ(unleased.unleased_edges[0], 2u);
+  EXPECT_NE(unleased.to_string().find("1 unleased edge(s)"),
+            std::string::npos);
+}
+
+// --- paper-invariant audit harness -----------------------------------
+
+TEST(InvariantAuditTest, InvariantNamesAreStable) {
+  EXPECT_STREQ(to_string(Invariant::kAcyclic), "acyclic");
+  EXPECT_STREQ(to_string(Invariant::kFanoutBound), "fanout_bound");
+  EXPECT_STREQ(to_string(Invariant::kGreedyOrder), "greedy_order");
+  EXPECT_STREQ(to_string(Invariant::kDelayDepth), "delay_depth");
+  EXPECT_STREQ(to_string(Invariant::kEpochLease), "epoch_lease");
+}
+
+TEST(InvariantAuditTest, CleanOnEngineBuiltOverlay) {
+  WorkloadParams params;
+  params.peers = 40;
+  params.seed = 11;
+  EngineConfig config;
+  config.seed = 11;
+  config.algorithm = AlgorithmKind::kGreedy;
+  Engine engine(generate_workload(WorkloadKind::kRand, params), config);
+  ASSERT_TRUE(engine.run_until_converged(3000).has_value());
+
+  const InvariantReport report = audit_invariants(
+      engine.overlay(), AlgorithmKind::kGreedy, &engine.epochs());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.nodes_checked, engine.overlay().node_count());
+  EXPECT_GT(report.edges_checked, 0u);
+  EXPECT_NE(report.to_string().find("0 violation(s)"), std::string::npos);
+}
+
+TEST(InvariantAuditTest, FlagsGreedyLatencyOrderInversion) {
+  Population p;
+  p.source_fanout = 1;
+  p.consumers = {NodeSpec{1, Constraints{1, 5}},
+                 NodeSpec{2, Constraints{0, 1}}};
+  Overlay overlay(p);
+  overlay.attach(1, kSourceId);
+  overlay.attach(2, 1);  // l_parent (5) > l_child (1): greedy inversion
+
+  const InvariantReport greedy =
+      audit_invariants(overlay, AlgorithmKind::kGreedy);
+  ASSERT_EQ(greedy.violations.size(), 1u);
+  EXPECT_EQ(greedy.violations[0].invariant, Invariant::kGreedyOrder);
+  EXPECT_STREQ(greedy.violations[0].cause, "latency_order");
+  EXPECT_EQ(greedy.violations[0].node, 2u);
+  EXPECT_EQ(greedy.violations[0].parent, 1u);
+  EXPECT_NE(greedy.to_string().find("latency_order"), std::string::npos);
+
+  // The ordering is a greedy-mode invariant only: hybrid overlays may
+  // legitimately place low-l nodes deep (paper Section 3.2).
+  EXPECT_TRUE(audit_invariants(overlay, AlgorithmKind::kHybrid).ok());
+}
+
+TEST(InvariantAuditTest, FlagsEveryEpochLeaseCause) {
+  Population p;
+  p.source_fanout = 3;
+  p.consumers = {
+      NodeSpec{1, Constraints{1, 1}}, NodeSpec{2, Constraints{1, 1}},
+      NodeSpec{3, Constraints{1, 1}}, NodeSpec{4, Constraints{0, 2}},
+      NodeSpec{5, Constraints{0, 2}}, NodeSpec{6, Constraints{0, 2}},
+  };
+  Overlay overlay(p);
+  overlay.attach(1, kSourceId);
+  overlay.attach(2, kSourceId);
+  overlay.attach(3, kSourceId);
+  overlay.attach(4, 1);
+  overlay.attach(5, 2);
+  overlay.attach(6, 3);
+
+  health::EpochBook book(overlay.node_count());
+  for (NodeId child = 1; child <= 6; ++child)
+    book.record_attachment(child, overlay.parent(child));
+  ASSERT_TRUE(
+      audit_invariants(overlay, AlgorithmKind::kHybrid, &book).ok());
+
+  book.clear_lease(4);  // edge 4 <- 1: lease lost entirely
+  book.bump(2);         // edge 5 <- 2: parent re-incarnated, lease stale
+  book.bump(5);         // give node 5 epoch 2, then lease 6 against it:
+  book.record_attachment(6, 5);  // edge 6 <- 3 now "leased" epoch 2 > 1
+
+  const InvariantReport report =
+      audit_invariants(overlay, AlgorithmKind::kHybrid, &book);
+  ASSERT_EQ(report.violations.size(), 3u);
+  auto cause_of = [&](NodeId node) -> std::string {
+    for (const InvariantViolation& v : report.violations)
+      if (v.node == node) return v.cause;
+    return "";
+  };
+  EXPECT_EQ(cause_of(4), "unleased_edge");
+  EXPECT_EQ(cause_of(5), "stale_lease");
+  EXPECT_EQ(cause_of(6), "future_lease");
+  for (const InvariantViolation& v : report.violations)
+    EXPECT_EQ(v.invariant, Invariant::kEpochLease);
+
+  // A book sized for a different overlay is ignored, not misapplied.
+  health::EpochBook wrong_size(overlay.node_count() + 3);
+  EXPECT_TRUE(
+      audit_invariants(overlay, AlgorithmKind::kHybrid, &wrong_size).ok());
+}
+
+// Overlay::attach aborts on cycles and fanout overflows, so those causes
+// cannot be staged through a real overlay; cover the reporting layer
+// (publish / AuditBus / to_string) with a synthetic report instead.
+TEST(InvariantAuditTest, PublishStampsRoundAndFansOut) {
+  InvariantReport report;
+  report.nodes_checked = 7;
+  report.edges_checked = 6;
+  report.violations.push_back(InvariantViolation{
+      Invariant::kAcyclic, 3, kNoNode, 0, "cycle", "node 3 on a cycle"});
+  report.violations.push_back(
+      InvariantViolation{Invariant::kFanoutBound, 5, kNoNode, 0,
+                         "fanout_exceeded", "node 5 over bound"});
+  EXPECT_FALSE(report.ok());
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("2 violation(s)"), std::string::npos);
+  EXPECT_NE(text.find("[acyclic/cycle]"), std::string::npos);
+  EXPECT_NE(text.find("[fanout_bound/fanout_exceeded]"), std::string::npos);
+
+  AuditBus bus;
+  std::vector<InvariantViolation> seen;
+  bus.subscribe([&](const InvariantViolation& v) { seen.push_back(v); });
+  EXPECT_EQ(publish(report, bus, 42), 2u);
+  ASSERT_EQ(seen.size(), 2u);
+  for (const InvariantViolation& v : seen) EXPECT_EQ(v.round, 42u);
+  EXPECT_STREQ(seen[0].cause, "cycle");
+  EXPECT_STREQ(seen[1].cause, "fanout_exceeded");
+}
+
+// Property sweep: across seeded greedy and hybrid chaos runs, the full
+// invariant set holds at every sampled instant — faults may delay the
+// overlay but never corrupt it. (The LAGOVER_AUDIT build enforces the
+// same property per round inside the engines; this keeps the property
+// under test in every build.)
+TEST(InvariantAuditTest, CleanThroughoutSeededChaosRuns) {
+  for (auto algorithm : {AlgorithmKind::kGreedy, AlgorithmKind::kHybrid}) {
+    for (std::uint64_t seed : {3u, 17u}) {
+      WorkloadParams params;
+      params.peers = 30;
+      params.seed = seed;
+      fault::FaultPlan plan;
+      plan.add(fault::FaultPlan::drop(20.0, 60.0, 0.2))
+          .add(fault::FaultPlan::crashes(40.0, 80.0, 0.02, 6.0))
+          .add(fault::FaultPlan::partition(90.0, 120.0, 0.1));
+      AsyncConfig config;
+      config.algorithm = algorithm;
+      config.seed = seed;
+      config.faults =
+          std::make_shared<fault::FaultInjector>(plan, seed ^ 0xc4a05);
+      AsyncEngine engine(
+          generate_workload(WorkloadKind::kBiUnCorr, params), config);
+      std::size_t audits = 0;
+      engine.set_sampler(5.0, [&](SimTime t) {
+        const InvariantReport report = audit_invariants(
+            engine.overlay(), algorithm, &engine.epochs());
+        EXPECT_TRUE(report.ok())
+            << to_string(algorithm) << " seed " << seed << " t=" << t
+            << "\n" << report.to_string();
+        ++audits;
+      });
+      engine.run_for(200.0);
+      EXPECT_GT(audits, 10u);
+    }
+  }
 }
 
 TEST(PushSourceTest, NoRequestsAndNoEmptyPolls) {
