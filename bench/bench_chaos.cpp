@@ -15,6 +15,7 @@
 
 #include "bench/bench_util.hpp"
 #include "core/async_engine.hpp"
+#include "core/snapshot.hpp"
 #include "core/validator.hpp"
 #include "fault/fault_injector.hpp"
 #include "metrics/recovery.hpp"
@@ -85,13 +86,23 @@ int run(int argc, char** argv) {
                     << "\n";
         });
 #endif
+        telemetry::FlightRecorder* flight = telemetry_export.recorder();
+        AuditBus::SubscriptionId flight_sub = 0;
+        if (flight != nullptr) {
+          flight->set_fault_plan(plan.to_string());
+          flight_sub = attach_flight_recorder(engine.audit_bus(), *flight);
+        }
         RecoveryRecorder recorder(engine.overlay(), plan);
         recorder.subscribe(engine.trace_bus());
         engine.set_sampler(1.0, [&](SimTime t) {
           recorder.sample(t);
+          if (flight != nullptr)
+            flight->note_snapshot(t, to_snapshot(engine.overlay()));
           telemetry_export.sample(t);
         });
         engine.run_for(horizon);
+        if (flight != nullptr)
+          engine.audit_bus().unsubscribe(flight_sub);
 #ifdef LAGOVER_AUDIT
         audit_violations += engine.audit_violations();
 #endif

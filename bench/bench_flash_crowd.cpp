@@ -16,10 +16,14 @@ namespace {
 
 int run(int argc, char** argv) {
   const auto options = bench::BenchOptions::parse(argc, argv);
+  bench::BenchJson json("bench_flash_crowd", options);
+  bench::TelemetryExport telemetry(options);
   std::cout << "# flash-crowd absorption (hybrid, BiUnCorr, "
             << options.peers << " peers total, median of " << options.trials
             << ")\n";
 
+  double worst_absorption = 0.0;
+  double sample_t = 0.0;
   Table table({"crowd size", "optimizer", "shallow free slots (depth<=2)",
                "median absorption rounds"});
   for (double crowd_fraction : {0.1, 0.3, 0.5}) {
@@ -60,6 +64,9 @@ int run(int argc, char** argv) {
         }
         absorption.add(static_cast<double>(*converged - before));
       }
+      if (!absorption.empty())
+        worst_absorption = std::max(worst_absorption, absorption.median());
+      telemetry.sample(sample_t += 1.0);
       table.add_row(
           {format_double(crowd_fraction * 100.0, 0) + "%",
            optimize ? "on" : "off",
@@ -83,6 +90,10 @@ int run(int argc, char** argv) {
                "algorithms' orphaning-displacement move already reclaims "
                "shallow capacity on demand, so pre-freeing it buys "
                "nothing.\n";
+  json.add_table("flash_crowd", table);
+  json.add_scalar("worst_median_absorption_rounds", worst_absorption);
+  telemetry.finish(json);
+  if (!json.write(options)) return 1;
   return 0;
 }
 

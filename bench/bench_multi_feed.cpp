@@ -41,11 +41,15 @@ std::vector<MultiConsumerSpec> make_consumers(std::size_t n,
 
 int run(int argc, char** argv) {
   const auto options = bench::BenchOptions::parse(argc, argv);
+  bench::BenchJson json("bench_multi_feed", options);
+  bench::TelemetryExport telemetry(options);
   constexpr std::size_t kFeeds = 4;
   std::cout << "# multi-feed LagOvers with shared upload budgets ("
             << options.peers << " consumers, " << kFeeds
             << " feeds, median of " << options.trials << ")\n";
 
+  double worst_fully_served = 1.0;
+  double sample_t = 0.0;
   Table table({"subs/consumer", "budget policy", "median rounds",
                "fully served", "per-feed satisfied (median)"});
   for (std::size_t subs : {1u, 2u, 4u}) {
@@ -75,6 +79,8 @@ int run(int argc, char** argv) {
         else
           ++failures;
       }
+      worst_fully_served = std::min(worst_fully_served, served.median());
+      telemetry.sample(sample_t += 1.0);
       table.add_row(
           {std::to_string(subs),
            policy == BudgetPolicy::kEven ? "even" : "demand-weighted",
@@ -94,6 +100,10 @@ int run(int argc, char** argv) {
   }
   bench::print_table("shared-budget multi-feed construction", table, options,
                      "multi_feed");
+  json.add_table("multi_feed", table);
+  json.add_scalar("worst_fully_served_fraction", worst_fully_served);
+  telemetry.finish(json);
+  if (!json.write(options)) return 1;
   return 0;
 }
 

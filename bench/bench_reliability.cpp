@@ -6,6 +6,7 @@
 
 #include "bench/bench_util.hpp"
 #include "core/engine.hpp"
+#include "core/snapshot.hpp"
 #include "feed/reliability.hpp"
 
 namespace lagover {
@@ -13,6 +14,8 @@ namespace {
 
 int run(int argc, char** argv) {
   const auto options = bench::BenchOptions::parse(argc, argv);
+  bench::BenchJson json("bench_reliability", options);
+  bench::TelemetryExport telemetry(options);
   std::cout << "# lossy dissemination (hybrid-converged overlay, "
             << options.peers << " peers, BiUnCorr, 300 time units)\n";
 
@@ -22,11 +25,16 @@ int run(int argc, char** argv) {
   EngineConfig config;
   config.seed = options.seed;
   Engine engine(generate_workload(WorkloadKind::kBiUnCorr, params), config);
-  if (!engine.run_until_converged(options.max_rounds) .has_value()) {
+  if (!engine.run_until_converged(options.max_rounds).has_value()) {
     std::cout << "construction did not converge; aborting\n";
     return 1;
   }
+  if (telemetry.recorder() != nullptr)
+    telemetry.recorder()->note_snapshot(0.0, to_snapshot(engine.overlay()));
 
+  double worst_ratio_recovered = 1.0;
+  std::uint64_t total_late = 0;
+  double sample_t = 0.0;
   Table table({"push loss", "recovery", "delivery ratio", "late deliveries",
                "recovered items", "repair pulls"});
   for (double loss : {0.0, 0.05, 0.1, 0.2, 0.4}) {
@@ -37,6 +45,11 @@ int run(int argc, char** argv) {
       lossy.enable_recovery = recovery;
       const auto report =
           feed::run_lossy_dissemination(engine.overlay(), lossy, 300.0);
+      if (recovery)
+        worst_ratio_recovered =
+            std::min(worst_ratio_recovered, report.delivery_ratio);
+      total_late += report.late_deliveries;
+      telemetry.sample(sample_t += 1.0);
       table.add_row({format_double(loss, 2), recovery ? "on" : "off",
                      format_double(report.delivery_ratio * 100.0, 2) + "%",
                      std::to_string(report.late_deliveries),
@@ -49,6 +62,12 @@ int run(int argc, char** argv) {
   std::cout << "\nshape: without recovery the delivery ratio decays "
                "roughly like (1-loss)^depth; with recovery completeness "
                "returns to ~100% at the cost of late deliveries.\n";
+  json.add_table("reliability", table);
+  json.add_scalar("worst_delivery_ratio_with_recovery",
+                  worst_ratio_recovered);
+  json.add_count("total_late_deliveries", total_late);
+  telemetry.finish(json);
+  if (!json.write(options)) return 1;
   return 0;
 }
 

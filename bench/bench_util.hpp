@@ -14,6 +14,7 @@
 #include "common/table.hpp"
 #include "metrics/experiment.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "workload/constraints.hpp"
 
 namespace lagover::bench {
@@ -34,6 +35,12 @@ namespace lagover::bench {
 ///                     chrome://tracing loadable); implies --telemetry
 ///   --events-out PATH stream events + log lines as JSONL; implies
 ///                     --telemetry
+///   --spans-out PATH  stream per-item hop spans ("lagover.spans.v1")
+///                     as JSONL; implies --telemetry
+///   --postmortem-out PATH  arm a flight recorder that dumps a
+///                     "lagover.postmortem.v1" bundle on the first
+///                     invariant violation (or on explicit request);
+///                     implies --telemetry
 ///   --log-level L     logger threshold: trace|debug|info|warn|error|off
 struct BenchOptions {
   std::size_t peers = 120;
@@ -44,8 +51,13 @@ struct BenchOptions {
   std::string json_prefix;
   std::string bench_json;  ///< "" = default path, "-" = disabled
   bool telemetry = false;
-  std::string trace_out;   ///< "" = no Chrome trace
-  std::string events_out;  ///< "" = no JSONL stream
+  std::string trace_out;       ///< "" = no Chrome trace
+  std::string events_out;      ///< "" = no JSONL stream
+  std::string spans_out;       ///< "" = no span JSONL stream
+  std::string postmortem_out;  ///< "" = no flight recorder
+  /// The run's argv flags joined by spaces — embedded in post-mortem
+  /// bundles so a dump carries its own repro command line.
+  std::string argv_flags;
 
   static BenchOptions parse(int argc, char** argv) {
     const Flags flags(argc, argv);
@@ -61,12 +73,20 @@ struct BenchOptions {
     options.bench_json = flags.get_string("bench-json", "");
     options.trace_out = flags.get_string("trace-out", "");
     options.events_out = flags.get_string("events-out", "");
+    options.spans_out = flags.get_string("spans-out", "");
+    options.postmortem_out = flags.get_string("postmortem-out", "");
     options.telemetry = flags.get_bool("telemetry", false) ||
                         !options.trace_out.empty() ||
-                        !options.events_out.empty();
+                        !options.events_out.empty() ||
+                        !options.spans_out.empty() ||
+                        !options.postmortem_out.empty();
     if (flags.has("log-level"))
       Logger::instance().set_level(
           parse_log_level(flags.get_string("log-level", "warn")));
+    for (int i = 1; i < argc; ++i) {
+      if (i > 1) options.argv_flags += ' ';
+      options.argv_flags += argv[i];
+    }
     telemetry::set_enabled(options.telemetry);
     return options;
   }
@@ -194,12 +214,25 @@ class TelemetryExport {
     if (!options.events_out.empty())
       events_ =
           std::make_unique<telemetry::JsonlEventWriter>(options.events_out);
+    if (!options.spans_out.empty())
+      spans_ = std::make_unique<telemetry::JsonlEventWriter>(
+          options.spans_out, /*spans_only=*/true);
+    if (!options.postmortem_out.empty()) {
+      recorder_ = std::make_unique<telemetry::FlightRecorder>();
+      recorder_->set_repro(options.seed, options.argv_flags);
+      recorder_->set_dump_on_violation(options.postmortem_out);
+    }
   }
 
   /// Snapshot every counter/gauge at time t (per round / sim tick).
   void sample(double t) {
     if (sampler_) sampler_->sample(t);
   }
+
+  /// The armed flight recorder, or nullptr without --postmortem-out.
+  /// Benches feed it the fault-plan digest, overlay snapshots, and
+  /// violations (via attach_flight_recorder on an engine's audit bus).
+  telemetry::FlightRecorder* recorder() noexcept { return recorder_.get(); }
 
   /// Writes the Chrome trace (when requested) and embeds the metrics
   /// summary. Call once, after the run and before json.write().
@@ -217,6 +250,16 @@ class TelemetryExport {
     if (events_ != nullptr)
       std::cout << "wrote " << options_.events_out << " ("
                 << events_->lines() << " lines)\n";
+    if (spans_ != nullptr)
+      std::cout << "wrote " << options_.spans_out << " ("
+                << spans_->lines() << " lines)\n";
+    if (recorder_ != nullptr && recorder_->violation_seen()) {
+      if (recorder_->dumped())
+        std::cout << "wrote " << options_.postmortem_out << " (post-mortem, "
+                  << recorder_->violations_total() << " violation(s))\n";
+      else
+        std::cerr << "failed to write " << options_.postmortem_out << '\n';
+    }
   }
 
  private:
@@ -224,6 +267,8 @@ class TelemetryExport {
   std::unique_ptr<telemetry::TimeseriesSampler> sampler_;
   std::unique_ptr<telemetry::ChromeTraceWriter> trace_;
   std::unique_ptr<telemetry::JsonlEventWriter> events_;
+  std::unique_ptr<telemetry::JsonlEventWriter> spans_;
+  std::unique_ptr<telemetry::FlightRecorder> recorder_;
 };
 
 inline void print_table(const std::string& title, const Table& table,

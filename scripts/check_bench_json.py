@@ -5,10 +5,12 @@ Autodetects the kind of each file passed on the command line:
 
   * "lagover.bench.v1"   — a bench summary (optionally embedding a
     "metrics" block with schema "lagover.metrics.v1"),
+  * "lagover.postmortem.v1" — a flight-recorder dump, as written by
+    --postmortem-out on an invariant violation,
   * a Chrome trace_event file — top-level "traceEvents" list, as
     written by --trace-out (Perfetto / chrome://tracing loadable),
-  * a JSONL event stream — one JSON object per line, as written by
-    --events-out.
+  * a JSONL event/span stream — one JSON object per line, as written
+    by --events-out / --spans-out ("lagover.spans.v1" span lines).
 
 Exits non-zero with a per-file report on any violation, so CI can gate
 on the schemas without golden files.
@@ -82,6 +84,67 @@ def check_bench(path, doc):
     return "bench json" + (" + metrics" if "metrics" in doc else "")
 
 
+SPAN_KINDS = ("publish", "source_poll", "relay", "deliver", "repair",
+              "drop", "duplicate")
+RECEIPT_KINDS = ("source_poll", "deliver", "repair")
+
+
+def check_span_line(path, i, record):
+    if record.get("schema") != "lagover.spans.v1":
+        fail(path, f"line {i}: span schema is {record.get('schema')!r}")
+    for key in ("item", "span", "node", "hop", "published_at",
+                "start", "ts"):
+        if key not in record:
+            fail(path, f"line {i}: span missing '{key}'")
+    if record["span"] not in SPAN_KINDS:
+        fail(path, f"line {i}: unknown span kind {record['span']!r}")
+    if not isinstance(record["item"], int) or record["item"] < 1:
+        fail(path, f"line {i}: span item is not a positive integer")
+    if record["ts"] < record["start"]:
+        fail(path, f"line {i}: span ts precedes its start")
+    if record["span"] in RECEIPT_KINDS:
+        if "deadline" not in record:
+            fail(path, f"line {i}: receipt span without 'deadline'")
+        if "parent" not in record:
+            fail(path, f"line {i}: receipt span without 'parent'")
+        if record["hop"] < 1:
+            fail(path, f"line {i}: receipt span with hop < 1")
+
+
+def check_postmortem(path, doc):
+    if doc.get("schema") != "lagover.postmortem.v1":
+        fail(path, f"schema is {doc.get('schema')!r}")
+    for key in ("reason", "sim_time", "repro", "events", "spans", "logs",
+                "snapshots", "violations", "violations_total"):
+        if key not in doc:
+            fail(path, f"missing top-level '{key}'")
+    for key in ("seed", "flags"):
+        if key not in doc["repro"]:
+            fail(path, f"repro missing '{key}'")
+    if not isinstance(doc["repro"]["seed"], int):
+        fail(path, "repro seed is not an integer")
+    for i, span in enumerate(doc["spans"], 1):
+        check_span_line(path, i, span)
+    for i, snapshot in enumerate(doc["snapshots"], 1):
+        if "t" not in snapshot or "snapshot" not in snapshot:
+            fail(path, f"snapshot {i} missing t/snapshot")
+        if not snapshot["snapshot"].startswith("lagover-snapshot v1"):
+            fail(path, f"snapshot {i} is not 'lagover-snapshot v1' text")
+    times = [snapshot["t"] for snapshot in doc["snapshots"]]
+    if times != sorted(times):
+        fail(path, "snapshots are not time-sorted")
+    for i, violation in enumerate(doc["violations"], 1):
+        for key in ("ts", "invariant", "cause"):
+            if key not in violation:
+                fail(path, f"violation {i} missing '{key}'")
+    if doc["violations_total"] < len(doc["violations"]):
+        fail(path, "violations_total below the retained violation count")
+    if "metrics" in doc:
+        check_metrics_block(path, doc["metrics"])
+    return (f"postmortem bundle ({len(doc['spans'])} spans, "
+            f"{len(doc['violations'])} violations)")
+
+
 def check_chrome_trace(path, doc):
     events = doc["traceEvents"]
     if not isinstance(events, list) or not events:
@@ -121,6 +184,8 @@ def check_jsonl(path, text):
             for key in ("ts", "level", "message"):
                 if key not in record:
                     fail(path, f"line {i}: log missing '{key}'")
+        elif kind == "span":
+            check_span_line(path, i, record)
         else:
             fail(path, f"line {i}: unknown kind {kind!r}")
     return f"jsonl events ({len(lines)} lines)"
@@ -138,6 +203,8 @@ def check_file(path):
     if isinstance(doc, dict) and doc.get("schema") == "lagover.metrics.v1":
         check_metrics_block(path, doc)
         return "metrics json"
+    if isinstance(doc, dict) and doc.get("schema") == "lagover.postmortem.v1":
+        return check_postmortem(path, doc)
     if isinstance(doc, dict):
         return check_bench(path, doc)
     return check_jsonl(path, text)

@@ -1,5 +1,6 @@
-// Minimal JSON writer (no parsing): enough to emit experiment results
-// for downstream tooling without a third-party dependency. Values are
+// Minimal JSON value: a writer plus a strict RFC 8259 parser, enough
+// to emit experiment results and read them back (post-mortem bundles,
+// JSONL telemetry dumps) without a third-party dependency. Values are
 // built bottom-up; serialization escapes strings per RFC 8259 and
 // renders non-finite doubles as null.
 #pragma once
@@ -25,14 +26,50 @@ class Json {
   static Json array();
   static Json object();
 
+  /// Parses one JSON document (trailing whitespace allowed, trailing
+  /// garbage rejected). Returns false on malformed input, leaving
+  /// `out` null and — when given — `error` describing the failure.
+  static bool parse(const std::string& text, Json& out,
+                    std::string* error = nullptr);
+
   /// Array append (precondition: this is an array).
   Json& push_back(Json value);
 
   /// Object insert/overwrite (precondition: this is an object).
   Json& set(const std::string& key, Json value);
 
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  bool is_number() const noexcept {
+    return kind_ == Kind::kNumber || kind_ == Kind::kInteger;
+  }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
   bool is_array() const noexcept { return kind_ == Kind::kArray; }
   bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  // Lenient readers: a kind mismatch yields the fallback rather than a
+  // crash, so inspector queries degrade gracefully on foreign input.
+  bool as_bool(bool fallback = false) const noexcept;
+  double as_number(double fallback = 0.0) const noexcept;
+  std::int64_t as_int(std::int64_t fallback = 0) const noexcept;
+  const std::string& as_string() const noexcept;
+
+  /// Element/member count (0 for scalars).
+  std::size_t size() const noexcept;
+
+  /// Array element (precondition: array and in range).
+  const Json& at(std::size_t index) const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* find(const std::string& key) const noexcept;
+
+  /// Object members in insertion order (empty for non-objects).
+  const std::vector<std::pair<std::string, Json>>& members() const noexcept {
+    return members_;
+  }
+
+  /// Array elements (empty for non-arrays).
+  const std::vector<Json>& elements() const noexcept { return elements_; }
 
   /// Compact serialization.
   std::string dump() const;

@@ -119,13 +119,15 @@ void AsyncEngine::set_sampler(double period,
       period, [this, sampler = std::move(sampler)] { sampler(sim_.now()); });
 }
 
-void AsyncEngine::set_trace(std::function<void(const TraceEvent&)> trace) {
+TraceBus::SubscriptionId AsyncEngine::set_trace(
+    std::function<void(const TraceEvent&)> trace) {
   LAGOVER_EXPECTS(!started_);
   if (trace_subscription_ != 0) {
     trace_bus_.unsubscribe(trace_subscription_);
     trace_subscription_ = 0;
   }
   if (trace) trace_subscription_ = trace_bus_.subscribe(std::move(trace));
+  return trace_subscription_;
 }
 
 void AsyncEngine::apply_churn() {

@@ -112,8 +112,12 @@ class AsyncEngine {
 
   /// Installs a trace observer (nullptr to disable). Must be called
   /// before the first run. Legacy single-observer entry point, now a
-  /// named subscription on trace_bus().
-  void set_trace(std::function<void(const TraceEvent&)> trace);
+  /// named subscription on trace_bus(): calling it again releases the
+  /// previous subscription (its slot and retention-ring config with it)
+  /// before installing the replacement. Returns the new subscription id
+  /// (0 when disabling).
+  TraceBus::SubscriptionId set_trace(
+      std::function<void(const TraceEvent&)> trace);
 
   /// The engine's trace event bus. Subscriptions survive set_oracle()
   /// rebuilds — the core is re-pointed at the same bus.

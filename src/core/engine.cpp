@@ -107,12 +107,14 @@ void Engine::set_churn(std::unique_ptr<ChurnModel> churn) {
   churn_ = std::move(churn);
 }
 
-void Engine::set_trace(std::function<void(const TraceEvent&)> trace) {
+TraceBus::SubscriptionId Engine::set_trace(
+    std::function<void(const TraceEvent&)> trace) {
   if (trace_subscription_ != 0) {
     trace_bus_.unsubscribe(trace_subscription_);
     trace_subscription_ = 0;
   }
   if (trace) trace_subscription_ = trace_bus_.subscribe(std::move(trace));
+  return trace_subscription_;
 }
 
 void Engine::apply_churn() {

@@ -108,9 +108,13 @@ class Engine {
 
   /// Installs a trace observer (nullptr to disable). Legacy single
   /// -observer entry point, now a named subscription on trace_bus():
-  /// calling it again replaces the previous observer, and additional
-  /// consumers should subscribe to the bus directly.
-  void set_trace(std::function<void(const TraceEvent&)> trace);
+  /// calling it again releases the previous subscription (its slot and
+  /// retention-ring config with it) before installing the replacement;
+  /// additional consumers should subscribe to the bus directly. Returns
+  /// the new subscription id (0 when disabling) so callers can hand the
+  /// slot to trace_bus().unsubscribe() themselves.
+  TraceBus::SubscriptionId set_trace(
+      std::function<void(const TraceEvent&)> trace);
 
   /// The engine's trace event bus. Subscriptions survive set_oracle()
   /// rebuilds — the core is re-pointed at the same bus.

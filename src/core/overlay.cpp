@@ -4,8 +4,31 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace lagover {
+
+namespace {
+
+// Structure-level telemetry: every edge/liveness mutation — including
+// the protocol's displacement detaches and churn, which emit no
+// TraceEvents — lands on the global event stream, so an offline
+// consumer (the flight recorder, `lagover_inspect ancestry`) can replay
+// the exact parent map at any sim time from a snapshot plus these
+// events. No-ops while telemetry is off.
+void record_edge_event(const char* name, NodeId subject, NodeId partner,
+                       bool attached) {
+  if (!telemetry::enabled()) return;
+  telemetry::EventRecord record;
+  record.ts = telemetry::sim_now();
+  record.name = name;
+  record.subject = subject;
+  record.partner = partner;
+  record.attached = attached;
+  telemetry::event_bus().publish(record);
+}
+
+}  // namespace
 
 Overlay::Overlay(Population population) : population_(std::move(population)) {
   validate(population_);
@@ -148,6 +171,7 @@ void Overlay::set_offline(NodeId id) {
   while (!children_[id].empty()) detach(children_[id].back());
   online_[id] = 0;
   --online_count_;
+  record_edge_event("node_offline", id, kNoNode, false);
 }
 
 void Overlay::set_online(NodeId id) {
@@ -156,6 +180,7 @@ void Overlay::set_online(NodeId id) {
   if (online_[id]) return;
   online_[id] = 1;
   ++online_count_;
+  record_edge_event("node_online", id, kNoNode, false);
 }
 
 bool Overlay::can_attach(NodeId child, NodeId parent) const {
@@ -177,6 +202,7 @@ void Overlay::attach(NodeId child, NodeId parent) {
   parent_[child] = parent;
   children_[parent].push_back(child);
   ++counters_.attaches;
+  record_edge_event("edge_attach", child, parent, true);
   if (attach_observer_) attach_observer_(child, parent);
 }
 
@@ -191,6 +217,7 @@ void Overlay::detach(NodeId child) {
   siblings.erase(it);
   parent_[child] = kNoNode;
   ++counters_.detaches;
+  record_edge_event("edge_detach", child, p, false);
 }
 
 bool Overlay::satisfied(NodeId id) const {

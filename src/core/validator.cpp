@@ -252,4 +252,23 @@ std::size_t publish(const InvariantReport& report, AuditBus& bus,
   return report.violations.size();
 }
 
+telemetry::ViolationNote to_violation_note(
+    const InvariantViolation& violation) {
+  telemetry::ViolationNote note;
+  note.ts = static_cast<double>(violation.round);
+  note.invariant = to_string(violation.invariant);
+  note.cause = violation.cause;
+  note.node = violation.node;
+  note.parent = violation.parent;
+  note.detail = violation.detail;
+  return note;
+}
+
+AuditBus::SubscriptionId attach_flight_recorder(
+    AuditBus& bus, telemetry::FlightRecorder& recorder) {
+  return bus.subscribe([&recorder](const InvariantViolation& violation) {
+    recorder.note_violation(to_violation_note(violation));
+  });
+}
+
 }  // namespace lagover

@@ -12,6 +12,7 @@
 #include "core/types.hpp"
 #include "health/lease.hpp"
 #include "telemetry/event_bus.hpp"
+#include "telemetry/flight_recorder.hpp"
 
 namespace lagover {
 
@@ -135,5 +136,17 @@ InvariantReport audit_invariants(const Overlay& overlay, AlgorithmKind mode,
 /// of violations published.
 std::size_t publish(const InvariantReport& report, AuditBus& bus,
                     Round round);
+
+/// Flattens an InvariantViolation into the flight recorder's
+/// core-agnostic note shape (telemetry sits below core and cannot see
+/// this type).
+telemetry::ViolationNote to_violation_note(const InvariantViolation& violation);
+
+/// Forwards every violation published on `bus` into `recorder` — the
+/// wiring that makes an engine's audit stream trigger the recorder's
+/// post-mortem dump. The recorder must outlive the subscription; the
+/// returned id unsubscribes.
+AuditBus::SubscriptionId attach_flight_recorder(
+    AuditBus& bus, telemetry::FlightRecorder& recorder);
 
 }  // namespace lagover

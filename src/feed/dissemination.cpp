@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 
 namespace lagover::feed {
 
@@ -32,11 +33,14 @@ class Dissemination {
       // the direct children (no poll-period staleness, no empty
       // requests); each delivery still costs a hop delay.
       source_.set_on_publish([this](const FeedItem& item) {
+        const SimTime sent_at = sim_.now();
         for (NodeId child : overlay_.children(kSourceId)) {
           if (!overlay_.online(child)) continue;
           ++push_messages_;
           sim_.schedule_after(config_.hop_delay,
-                              [this, child, item] { deliver(child, item); });
+                              [this, child, item, sent_at] {
+                                deliver(child, item, kSourceId, 1, sent_at);
+                              });
         }
       });
     } else {
@@ -58,20 +62,56 @@ class Dissemination {
   void poll(NodeId poller) {
     for (const FeedItem& item : source_.pull(last_pulled_[poller])) {
       last_pulled_[poller] = item.seq;
-      deliver(poller, item);
+      // The poll hop "starts" at publication: the item sat at the
+      // source from then until this poll fired.
+      deliver(poller, item, kSourceId, 1, item.published_at);
     }
     sim_.schedule_after(config_.poll_period, [this, poller] { poll(poller); });
   }
 
-  void deliver(NodeId node, FeedItem item) {
+  /// Receipt of `item` at `node`, pushed (or polled) from `from`, the
+  /// node's `hop`-th overlay hop; `sent_at` is the hop's send instant.
+  void deliver(NodeId node, FeedItem item, NodeId from, std::uint32_t hop,
+               SimTime sent_at) {
     tracker_.record(node, item, sim_.now());
     TELEM_COUNT("feed.deliveries", 1);
+    if (telemetry::enabled()) {
+      telemetry::ItemSpan span;
+      span.item = item.seq;
+      span.kind = from == kSourceId && !config_.push_source
+                      ? telemetry::SpanKind::kSourcePoll
+                      : telemetry::SpanKind::kDeliver;
+      span.node = node;
+      span.parent = from;
+      span.hop = hop;
+      span.published_at = item.published_at;
+      span.start = sent_at;
+      span.ts = sim_.now();
+      span.deadline = static_cast<double>(overlay_.latency_of(node));
+      telemetry::record_span(span);
+    }
+    const SimTime forward_at = sim_.now();
+    bool forwarded = false;
     for (NodeId child : overlay_.children(node)) {
       if (!overlay_.online(child)) continue;
+      forwarded = true;
       ++push_messages_;
       TELEM_COUNT("feed.push_messages", 1);
       sim_.schedule_after(config_.hop_delay,
-                          [this, child, item] { deliver(child, item); });
+                          [this, child, item, node, hop, forward_at] {
+                            deliver(child, item, node, hop + 1, forward_at);
+                          });
+    }
+    if (forwarded && telemetry::enabled()) {
+      telemetry::ItemSpan span;
+      span.item = item.seq;
+      span.kind = telemetry::SpanKind::kRelay;
+      span.node = node;
+      span.parent = from;
+      span.hop = hop;
+      span.published_at = item.published_at;
+      span.start = span.ts = forward_at;
+      telemetry::record_span(span);
     }
   }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/span.hpp"
+
 namespace lagover::feed {
 
 FeedSource::FeedSource(Simulator& sim, SourceConfig config)
@@ -21,6 +23,15 @@ void FeedSource::publish_next() {
                          : rng_.exponential(1.0 / config_.publish_period);
   sim_.schedule_after(gap, [this] {
     items_.push_back(FeedItem{items_.size() + 1, sim_.now()});
+    if (telemetry::enabled()) {
+      telemetry::ItemSpan span;
+      span.item = items_.back().seq;
+      span.kind = telemetry::SpanKind::kPublish;
+      span.node = 0;  // the source
+      span.published_at = items_.back().published_at;
+      span.start = span.ts = items_.back().published_at;
+      telemetry::record_span(span);
+    }
     if (on_publish_) on_publish_(items_.back());
     publish_next();
   });

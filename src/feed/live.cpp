@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "telemetry/span.hpp"
 
 namespace lagover::feed {
 
@@ -34,6 +35,15 @@ LiveReport run_live_dissemination(const Population& population,
       ++source_seq;
       published_at.push_back(tick);
       if (tick > config.warmup_rounds) ++report.items_published;
+      if (telemetry::enabled()) {
+        telemetry::ItemSpan span;
+        span.item = source_seq;
+        span.kind = telemetry::SpanKind::kPublish;
+        span.node = kSourceId;
+        span.published_at = static_cast<double>(tick);
+        span.start = span.ts = static_cast<double>(tick);
+        telemetry::record_span(span);
+      }
     }
 
     // Synchronous one-hop propagation over the *current* tree.
@@ -56,6 +66,21 @@ LiveReport run_live_dissemination(const Population& population,
           }
           stats.max_staleness =
               std::max(stats.max_staleness, static_cast<double>(staleness));
+        }
+        if (telemetry::enabled()) {
+          telemetry::ItemSpan span;
+          span.item = seq;
+          span.kind = parent == kSourceId ? telemetry::SpanKind::kSourcePoll
+                                          : telemetry::SpanKind::kDeliver;
+          span.node = id;
+          span.parent = parent;
+          span.hop = static_cast<std::uint32_t>(overlay.delay_at(id));
+          span.published_at = static_cast<double>(published_at[seq]);
+          span.start = static_cast<double>(tick - 1);
+          span.ts = static_cast<double>(tick);
+          span.deadline = static_cast<double>(overlay.latency_of(id));
+          span.epoch = engine.epochs().epoch(id);
+          telemetry::record_span(span);
         }
       }
       if (target > last_seq[id]) last_seq[id] = target;

@@ -6,6 +6,7 @@
 #include "common/rng.hpp"
 #include "feed/feed.hpp"
 #include "metrics/tree_metrics.hpp"
+#include "telemetry/span.hpp"
 
 namespace lagover::feed {
 
@@ -60,12 +61,39 @@ class LossyDissemination {
     times[seq] = when;
   }
 
-  void deliver(NodeId node, FeedItem item, bool via_recovery) {
+  /// Emits a receipt/drop/duplicate span; all identity comes from the
+  /// threaded (from, hop, sent_at) so the exported chain is exact even
+  /// under loss, duplication, and repair.
+  void record_hop(telemetry::SpanKind kind, NodeId node, const FeedItem& item,
+                  NodeId from, std::uint32_t hop, SimTime sent_at,
+                  const char* cause) {
+    if (!telemetry::enabled()) return;
+    telemetry::ItemSpan span;
+    span.item = item.seq;
+    span.kind = kind;
+    span.node = node;
+    span.parent = from;
+    span.hop = hop;
+    span.published_at = item.published_at;
+    span.start = sent_at;
+    span.ts = sim_.now();
+    if (kind == telemetry::SpanKind::kSourcePoll ||
+        kind == telemetry::SpanKind::kDeliver ||
+        kind == telemetry::SpanKind::kRepair)
+      span.deadline = static_cast<double>(overlay_.latency_of(node));
+    span.cause = cause;
+    telemetry::record_span(span);
+  }
+
+  void deliver(NodeId node, FeedItem item, bool via_recovery, NodeId from,
+               std::uint32_t hop, SimTime sent_at, const char* cause = "") {
     // Duplicate suppression: the sequence number is the identity, so a
     // copy of an already-applied item is dropped (and counted) here —
     // each consumer applies every item at most once.
     if (has(node, item.seq)) {
       ++suppressed_;
+      record_hop(telemetry::SpanKind::kDuplicate, node, item, from, hop,
+                 sent_at, cause[0] != '\0' ? cause : "suppressed");
       return;
     }
     mark(node, item.seq, sim_.now());
@@ -73,16 +101,27 @@ class LossyDissemination {
       ++recovered_;
     else
       ++pushed_;
+    record_hop(via_recovery ? telemetry::SpanKind::kRepair
+               : from == kSourceId ? telemetry::SpanKind::kSourcePoll
+                                   : telemetry::SpanKind::kDeliver,
+               node, item, from, hop, sent_at, cause);
     // First receipt: forward downstream (lossy), regardless of how the
     // item arrived — recovered items keep flowing.
+    const SimTime forward_at = sim_.now();
+    bool forwarded = false;
     for (NodeId child : overlay_.children(node)) {
       if (!overlay_.online(child)) continue;
       if (rng_.bernoulli(config_.push_loss)) {
         ++lost_;
+        record_hop(telemetry::SpanKind::kDrop, child, item, node, hop + 1,
+                   forward_at, "push_loss");
         continue;
       }
-      sim_.schedule_after(config_.base.hop_delay, [this, child, item] {
-        deliver(child, item, /*via_recovery=*/false);
+      forwarded = true;
+      sim_.schedule_after(config_.base.hop_delay,
+                          [this, child, item, node, hop, forward_at] {
+        deliver(child, item, /*via_recovery=*/false, node, hop + 1,
+                forward_at);
       });
       // Duplicate injection (at-least-once transport): the guard comes
       // first so duplicate_probability == 0 draws no extra RNG and
@@ -90,17 +129,25 @@ class LossyDissemination {
       if (config_.duplicate_probability > 0.0 &&
           rng_.bernoulli(config_.duplicate_probability)) {
         ++duplicate_pushes_;
-        sim_.schedule_after(config_.base.hop_delay, [this, child, item] {
-          deliver(child, item, /*via_recovery=*/false);
+        sim_.schedule_after(config_.base.hop_delay,
+                            [this, child, item, node, hop, forward_at] {
+          deliver(child, item, /*via_recovery=*/false, node, hop + 1,
+                  forward_at, "duplicate_push");
         });
       }
     }
+    if (forwarded)
+      record_hop(telemetry::SpanKind::kRelay, node, item, from, hop,
+                 forward_at, "");
   }
 
   void poll(NodeId poller) {
     for (const FeedItem& item : source_.pull(last_polled_[poller])) {
       last_polled_[poller] = item.seq;
-      deliver(poller, item, /*via_recovery=*/false);
+      // The poll hop starts at publication: the item sat at the source
+      // from then until this poll fired.
+      deliver(poller, item, /*via_recovery=*/false, kSourceId, 1,
+              item.published_at);
     }
     sim_.schedule_after(config_.base.poll_period,
                         [this, poller] { poll(poller); });
@@ -121,10 +168,15 @@ class LossyDissemination {
       if (!gaps.empty()) {
         ++recovery_pulls_;
         nacked_items_ += gaps.size();
+        const std::uint32_t hop =
+            static_cast<std::uint32_t>(overlay_.delay_at(node));
+        const SimTime sent_at = sim_.now();
         for (const std::uint64_t seq : gaps) {
           const FeedItem item = source_.items()[seq - 1];
-          sim_.schedule_after(config_.base.hop_delay, [this, node, item] {
-            deliver(node, item, /*via_recovery=*/true);
+          sim_.schedule_after(config_.base.hop_delay,
+                              [this, node, item, parent, hop, sent_at] {
+            deliver(node, item, /*via_recovery=*/true, parent, hop, sent_at,
+                    "nack");
           });
         }
       }
@@ -132,11 +184,16 @@ class LossyDissemination {
       // Blanket anti-entropy: one pull per tick, the parent answers
       // with everything it has that we lack, after one hop delay.
       ++recovery_pulls_;
+      const std::uint32_t hop =
+          static_cast<std::uint32_t>(overlay_.delay_at(node));
+      const SimTime sent_at = sim_.now();
       for (std::uint64_t seq = 1; seq < parent_got.size(); ++seq) {
         if (parent_got[seq] == 0 || has(node, seq)) continue;
         const FeedItem item = source_.items()[seq - 1];
-        sim_.schedule_after(config_.base.hop_delay, [this, node, item] {
-          deliver(node, item, /*via_recovery=*/true);
+        sim_.schedule_after(config_.base.hop_delay,
+                            [this, node, item, parent, hop, sent_at] {
+          deliver(node, item, /*via_recovery=*/true, parent, hop, sent_at,
+                  "anti_entropy");
         });
       }
     }

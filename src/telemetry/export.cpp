@@ -1,5 +1,7 @@
 #include "telemetry/export.hpp"
 
+#include "telemetry/flight_recorder.hpp"
+
 namespace lagover::telemetry {
 
 void TimeseriesSampler::sample(double t) {
@@ -39,7 +41,12 @@ Json TimeseriesSampler::to_json(std::size_t max_points) const {
   return root;
 }
 
-JsonlEventWriter::JsonlEventWriter(const std::string& path) : out_(path) {
+JsonlEventWriter::JsonlEventWriter(const std::string& path, bool spans_only)
+    : out_(path) {
+  span_sub_ =
+      span_bus().subscribe([this](const ItemSpan& span) { on_span(span); });
+  if (spans_only) return;
+  subscribed_events_ = true;
   event_sub_ = event_bus().subscribe(
       [this](const EventRecord& record) { on_event(record); });
   log_sub_ =
@@ -47,36 +54,28 @@ JsonlEventWriter::JsonlEventWriter(const std::string& path) : out_(path) {
 }
 
 JsonlEventWriter::~JsonlEventWriter() {
-  event_bus().unsubscribe(event_sub_);
-  log_bus().unsubscribe(log_sub_);
+  span_bus().unsubscribe(span_sub_);
+  if (subscribed_events_) {
+    event_bus().unsubscribe(event_sub_);
+    log_bus().unsubscribe(log_sub_);
+  }
 }
 
 void JsonlEventWriter::on_event(const EventRecord& record) {
   if (!out_) return;
-  Json line = Json::object();
-  line.set("kind", Json::string("event"));
-  line.set("ts", Json::number(record.ts));
-  line.set("type", Json::string(record.name));
-  if (record.cause[0] != '\0')
-    line.set("cause", Json::string(record.cause));
-  line.set("node", Json::integer(record.subject));
-  line.set("partner", Json::integer(record.partner));
-  if (record.epoch != 0) line.set("epoch", Json::integer(record.epoch));
-  line.set("attached", Json::boolean(record.attached));
-  out_ << line.dump() << '\n';
+  out_ << event_to_json(record).dump() << '\n';
+  ++lines_;
+}
+
+void JsonlEventWriter::on_span(const ItemSpan& span) {
+  if (!out_) return;
+  out_ << span_to_json(span).dump() << '\n';
   ++lines_;
 }
 
 void JsonlEventWriter::on_log(const LogRecord& record) {
   if (!out_) return;
-  Json line = Json::object();
-  line.set("kind", Json::string("log"));
-  line.set("ts", Json::number(record.sim_time));
-  line.set("wall_ns",
-           Json::integer(static_cast<std::int64_t>(record.wall_ns)));
-  line.set("level", Json::integer(record.level));
-  line.set("message", Json::string(record.message));
-  out_ << line.dump() << '\n';
+  out_ << log_to_json(record).dump() << '\n';
   ++lines_;
 }
 
@@ -84,6 +83,7 @@ namespace {
 
 constexpr int kSimPid = 1;
 constexpr int kWallPid = 2;
+constexpr int kItemPid = 3;
 
 /// Chrome trace timestamps are microseconds; one simulated time unit
 /// maps to one second so Perfetto's zoom levels stay usable.
@@ -106,8 +106,11 @@ Json process_name_metadata(int pid, const char* name) {
 ChromeTraceWriter::ChromeTraceWriter() {
   events_.push_back(process_name_metadata(kSimPid, "sim (1 unit = 1s)"));
   events_.push_back(process_name_metadata(kWallPid, "wall (profiler)"));
+  events_.push_back(process_name_metadata(kItemPid, "items (1 row = 1 item)"));
   event_sub_ = event_bus().subscribe(
       [this](const EventRecord& record) { on_event(record); });
+  span_sub_ =
+      span_bus().subscribe([this](const ItemSpan& span) { on_span(span); });
   log_sub_ =
       log_bus().subscribe([this](const LogRecord& record) { on_log(record); });
   previous_sink_ = Profiler::instance().sink();
@@ -116,6 +119,7 @@ ChromeTraceWriter::ChromeTraceWriter() {
 
 ChromeTraceWriter::~ChromeTraceWriter() {
   event_bus().unsubscribe(event_sub_);
+  span_bus().unsubscribe(span_sub_);
   log_bus().unsubscribe(log_sub_);
   if (Profiler::instance().sink() == this)
     Profiler::instance().set_sink(previous_sink_);
@@ -136,6 +140,44 @@ void ChromeTraceWriter::on_event(const EventRecord& record) {
   event.set("ts", Json::number(sim_to_us(record.ts)));
   event.set("pid", Json::integer(kSimPid));
   event.set("tid", Json::integer(record.subject));
+  event.set("args", std::move(args));
+  events_.push_back(std::move(event));
+}
+
+void ChromeTraceWriter::on_span(const ItemSpan& span) {
+  Json args = Json::object();
+  args.set("trace_id", Json::integer(static_cast<std::int64_t>(span.item)));
+  args.set("node", Json::integer(span.node));
+  if (span.parent != 0xffffffffu) {
+    args.set("parent", Json::integer(span.parent));
+    // Parent span id mirrors the JSONL schema: span (item, node)'s
+    // parent span is (item, parent).
+    args.set("parent_span", Json::string(std::to_string(span.item) + ":" +
+                                         std::to_string(span.parent)));
+  }
+  args.set("hop", Json::integer(span.hop));
+  if (span.feed != 0) args.set("feed", Json::integer(span.feed));
+  if (span.deadline >= 0.0) args.set("deadline", Json::number(span.deadline));
+  if (span.epoch != 0) args.set("epoch", Json::integer(span.epoch));
+  if (span.cause[0] != '\0') args.set("cause", Json::string(span.cause));
+  Json event = Json::object();
+  event.set("name", Json::string(std::string(to_string(span.kind)) + " @" +
+                                 std::to_string(span.node)));
+  event.set("cat", Json::string("item"));
+  const bool instant = span.ts <= span.start;
+  if (instant) {
+    event.set("ph", Json::string("i"));
+    event.set("s", Json::string("t"));
+    event.set("ts", Json::number(sim_to_us(span.ts)));
+  } else {
+    // One X slice per hop: rows keyed by item render a dissemination
+    // wave as a flame of hops.
+    event.set("ph", Json::string("X"));
+    event.set("ts", Json::number(sim_to_us(span.start)));
+    event.set("dur", Json::number(sim_to_us(span.ts - span.start)));
+  }
+  event.set("pid", Json::integer(kItemPid));
+  event.set("tid", Json::integer(static_cast<std::int64_t>(span.item)));
   event.set("args", std::move(args));
   events_.push_back(std::move(event));
 }

@@ -2,11 +2,12 @@
 //
 //   * TimeseriesSampler — periodic per-round snapshots of every
 //     registered counter/gauge into TimeSeries,
-//   * JsonlEventWriter  — streaming JSONL dump of the global event and
-//     log buses (one JSON object per line),
+//   * JsonlEventWriter  — streaming JSONL dump of the global event,
+//     span, and log buses (one JSON object per line),
 //   * ChromeTraceWriter — Chrome trace_event format ("traceEvents"),
 //     loadable in Perfetto / chrome://tracing: simulated-time instants
 //     on the "sim" process, wall-clock profiler scopes on "wall",
+//     per-item dissemination hops as duration events on "items",
 //   * metrics_summary_json — the "lagover.metrics.v1" summary benches
 //     embed next to their "lagover.bench.v1" block.
 #pragma once
@@ -20,6 +21,7 @@
 #include "stats/timeseries.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/profiler.hpp"
+#include "telemetry/span.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace lagover::telemetry {
@@ -54,11 +56,13 @@ class TimeseriesSampler {
   double last_t_ = 0.0;
 };
 
-/// Streams the global event + log buses to a JSONL file. Subscribes on
-/// construction, unsubscribes on destruction.
+/// Streams the global event + span + log buses to a JSONL file.
+/// Subscribes on construction, unsubscribes on destruction. With
+/// `spans_only` set it captures just the span bus — the shape
+/// `--spans-out` wants next to a full `--events-out` dump.
 class JsonlEventWriter {
  public:
-  explicit JsonlEventWriter(const std::string& path);
+  explicit JsonlEventWriter(const std::string& path, bool spans_only = false);
   ~JsonlEventWriter();
 
   JsonlEventWriter(const JsonlEventWriter&) = delete;
@@ -69,12 +73,15 @@ class JsonlEventWriter {
 
  private:
   void on_event(const EventRecord& record);
+  void on_span(const ItemSpan& span);
   void on_log(const LogRecord& record);
 
   std::ofstream out_;
   std::uint64_t lines_ = 0;
   EventBus<EventRecord>::SubscriptionId event_sub_ = 0;
+  SpanBus::SubscriptionId span_sub_ = 0;
   EventBus<LogRecord>::SubscriptionId log_sub_ = 0;
+  bool subscribed_events_ = false;
 };
 
 /// Collects the global event bus, the log bus, and (as the profiler's
@@ -101,10 +108,12 @@ class ChromeTraceWriter final : public ScopeSink {
 
  private:
   void on_event(const EventRecord& record);
+  void on_span(const ItemSpan& span);
   void on_log(const LogRecord& record);
 
   std::vector<Json> events_;
   EventBus<EventRecord>::SubscriptionId event_sub_ = 0;
+  SpanBus::SubscriptionId span_sub_ = 0;
   EventBus<LogRecord>::SubscriptionId log_sub_ = 0;
   ScopeSink* previous_sink_ = nullptr;
 };

@@ -1,0 +1,151 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <fstream>
+#include <utility>
+
+#include "telemetry/export.hpp"
+
+namespace lagover::telemetry {
+
+Json event_to_json(const EventRecord& record) {
+  Json line = Json::object();
+  line.set("kind", Json::string("event"));
+  line.set("ts", Json::number(record.ts));
+  line.set("type", Json::string(record.name));
+  if (record.cause[0] != '\0') line.set("cause", Json::string(record.cause));
+  line.set("node", Json::integer(record.subject));
+  line.set("partner", Json::integer(record.partner));
+  if (record.epoch != 0) line.set("epoch", Json::integer(record.epoch));
+  line.set("attached", Json::boolean(record.attached));
+  return line;
+}
+
+Json span_to_json(const ItemSpan& span) {
+  Json line = Json::object();
+  line.set("kind", Json::string("span"));
+  line.set("schema", Json::string("lagover.spans.v1"));
+  line.set("item", Json::integer(static_cast<std::int64_t>(span.item)));
+  line.set("span", Json::string(to_string(span.kind)));
+  line.set("node", Json::integer(span.node));
+  if (span.parent != 0xffffffffu)
+    line.set("parent", Json::integer(span.parent));
+  line.set("hop", Json::integer(span.hop));
+  if (span.feed != 0) line.set("feed", Json::integer(span.feed));
+  line.set("published_at", Json::number(span.published_at));
+  line.set("start", Json::number(span.start));
+  line.set("ts", Json::number(span.ts));
+  if (span.deadline >= 0.0) line.set("deadline", Json::number(span.deadline));
+  if (span.epoch != 0) line.set("epoch", Json::integer(span.epoch));
+  if (span.cause[0] != '\0') line.set("cause", Json::string(span.cause));
+  return line;
+}
+
+Json log_to_json(const LogRecord& record) {
+  Json line = Json::object();
+  line.set("kind", Json::string("log"));
+  line.set("ts", Json::number(record.sim_time));
+  line.set("wall_ns", Json::integer(static_cast<std::int64_t>(record.wall_ns)));
+  line.set("level", Json::integer(record.level));
+  line.set("message", Json::string(record.message));
+  return line;
+}
+
+FlightRecorder::FlightRecorder() : FlightRecorder(Config()) {}
+
+FlightRecorder::FlightRecorder(Config config) : config_(config) {
+  event_sub_ = event_bus().subscribe([this](const EventRecord& record) {
+    retain(events_, config_.event_capacity, record);
+  });
+  span_sub_ = span_bus().subscribe([this](const ItemSpan& span) {
+    retain(spans_, config_.span_capacity, span);
+  });
+  log_sub_ = log_bus().subscribe([this](const LogRecord& record) {
+    retain(logs_, config_.log_capacity, record);
+  });
+}
+
+FlightRecorder::~FlightRecorder() {
+  event_bus().unsubscribe(event_sub_);
+  span_bus().unsubscribe(span_sub_);
+  log_bus().unsubscribe(log_sub_);
+}
+
+void FlightRecorder::note_snapshot(double t, const std::string& snapshot_text) {
+  // Delta retention: an unchanged overlay never consumes a ring slot,
+  // so the window covers the last N *state changes*, not the last N
+  // sampling ticks.
+  if (!snapshots_.empty() && snapshots_.back().text == snapshot_text) return;
+  retain(snapshots_, config_.snapshot_capacity,
+         SnapshotRecord{t, snapshot_text});
+}
+
+void FlightRecorder::note_violation(const ViolationNote& note) {
+  retain(violations_, config_.violation_capacity, note);
+  ++violations_total_;
+  if (violations_total_ == 1 && !dump_path_.empty())
+    dumped_ = dump(dump_path_, "invariant_violation");
+}
+
+Json FlightRecorder::to_json(const std::string& reason) const {
+  Json root = Json::object();
+  root.set("schema", Json::string("lagover.postmortem.v1"));
+  root.set("reason", Json::string(reason));
+  root.set("sim_time", Json::number(sim_now()));
+
+  Json repro = Json::object();
+  repro.set("seed", Json::integer(static_cast<std::int64_t>(seed_)));
+  repro.set("flags", Json::string(flags_));
+  root.set("repro", std::move(repro));
+  if (!fault_plan_.empty())
+    root.set("fault_plan", Json::string(fault_plan_));
+
+  Json events = Json::array();
+  for (const EventRecord& record : events_)
+    events.push_back(event_to_json(record));
+  root.set("events", std::move(events));
+
+  Json spans = Json::array();
+  for (const ItemSpan& span : spans_) spans.push_back(span_to_json(span));
+  root.set("spans", std::move(spans));
+
+  Json logs = Json::array();
+  for (const LogRecord& record : logs_) logs.push_back(log_to_json(record));
+  root.set("logs", std::move(logs));
+
+  Json snapshots = Json::array();
+  for (const SnapshotRecord& record : snapshots_) {
+    Json entry = Json::object();
+    entry.set("t", Json::number(record.t));
+    entry.set("snapshot", Json::string(record.text));
+    snapshots.push_back(std::move(entry));
+  }
+  root.set("snapshots", std::move(snapshots));
+
+  Json violations = Json::array();
+  for (const ViolationNote& note : violations_) {
+    Json entry = Json::object();
+    entry.set("ts", Json::number(note.ts));
+    entry.set("invariant", Json::string(note.invariant));
+    if (!note.cause.empty()) entry.set("cause", Json::string(note.cause));
+    entry.set("node", Json::integer(note.node));
+    entry.set("parent", Json::integer(note.parent));
+    if (!note.detail.empty()) entry.set("detail", Json::string(note.detail));
+    violations.push_back(std::move(entry));
+  }
+  root.set("violations", std::move(violations));
+  root.set("violations_total",
+           Json::integer(static_cast<std::int64_t>(violations_total_)));
+
+  root.set("metrics", metrics_summary_json());
+  return root;
+}
+
+bool FlightRecorder::dump(const std::string& path,
+                          const std::string& reason) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json(reason).dump() << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace lagover::telemetry

@@ -1,0 +1,48 @@
+#include "telemetry/span.hpp"
+
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace lagover::telemetry {
+
+const char* to_string(SpanKind kind) noexcept {
+  switch (kind) {
+    case SpanKind::kPublish: return "publish";
+    case SpanKind::kSourcePoll: return "source_poll";
+    case SpanKind::kRelay: return "relay";
+    case SpanKind::kDeliver: return "deliver";
+    case SpanKind::kRepair: return "repair";
+    case SpanKind::kDrop: return "drop";
+    case SpanKind::kDuplicate: return "duplicate";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Receipt spans are the ones that measure delivery latency (a repair
+/// is still a delivery — just a late one, usually).
+bool is_receipt(SpanKind kind) noexcept {
+  return kind == SpanKind::kSourcePoll || kind == SpanKind::kDeliver ||
+         kind == SpanKind::kRepair;
+}
+
+}  // namespace
+
+void record_span(const ItemSpan& span) {
+  if (!enabled()) return;
+  MetricsRegistry& registry = MetricsRegistry::instance();
+  // The name varies per span kind, so the registry is hit directly
+  // instead of through the site-cached TELEM_COUNT macro.
+  registry.counter(std::string("span.") + to_string(span.kind)).inc();
+  if (is_receipt(span.kind)) {
+    registry.histogram("feed.delivery_latency")
+        .add(span.ts - span.published_at);
+    if (missed_deadline(span.published_at, span.ts, span.deadline))
+      registry.counter("feed.deadline_misses").inc();
+  }
+  span_bus().publish(span);
+}
+
+}  // namespace lagover::telemetry

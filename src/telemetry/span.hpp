@@ -1,0 +1,82 @@
+// Item-level causal tracing: one ItemSpan per hop of a feed item's
+// dissemination path (publish at the source, source_poll at the depth-1
+// pollers, relay at every forwarding node, deliver/repair at every
+// receipt, drop/duplicate from the lossy paths). Spans carry enough
+// identity — (item, node, parent, hop) — that an offline consumer can
+// reconstruct the exact publish→deliver chain of any item without any
+// shared-state side channel: the trace id is the item sequence number
+// and the parent span of (item, node) is (item, parent).
+//
+// Spans flow over a process-global SpanBus (an EventBus<ItemSpan>) so
+// exporters, the flight recorder, and tests subscribe without the feed
+// simulations knowing about them. Everything is behind
+// telemetry::enabled(): with telemetry off, record_span() is a single
+// predicted branch and the dissemination paths stay byte-identical.
+#pragma once
+
+#include <cstdint>
+
+#include "telemetry/event_bus.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace lagover::telemetry {
+
+/// The hop kinds of an item's dissemination path.
+enum class SpanKind {
+  kPublish,     ///< the source published the item (node 0)
+  kSourcePoll,  ///< a depth-1 node received the item via its pull
+  kRelay,       ///< a node began forwarding the item to its children
+  kDeliver,     ///< a node received the item via an overlay push
+  kRepair,      ///< a node received the item via the recovery path
+  kDrop,        ///< a push of the item was lost on the parent→node link
+  kDuplicate,   ///< a redundant copy was suppressed at the node
+};
+
+/// Stable lower_snake name ("publish", "source_poll", ...).
+const char* to_string(SpanKind kind) noexcept;
+
+/// One hop of one item's dissemination path ("lagover.spans.v1").
+struct ItemSpan {
+  std::uint64_t item = 0;   ///< trace id: the item's sequence number
+  SpanKind kind{};
+  std::uint32_t node = 0;   ///< this hop's node (0 = the source)
+  /// The forwarding hop (parent span id is (item, parent)); ~0u when
+  /// there is none (publish spans, detached deliveries).
+  std::uint32_t parent = 0xffffffffu;
+  std::uint32_t hop = 0;    ///< hops from the source at this node
+  std::uint32_t feed = 0;   ///< feed id for multi-feed runs (0 default)
+  double published_at = 0.0;  ///< sim time the item was published
+  /// Sim time this hop began (the parent's send instant); equals `ts`
+  /// for instantaneous spans (publish, drop, duplicate).
+  double start = 0.0;
+  double ts = 0.0;          ///< sim time of the receipt / emission
+  /// The node's latency constraint l_i; negative = not applicable
+  /// (publish/relay spans). Receipt spans with ts - published_at
+  /// beyond this budget count as deadline misses.
+  double deadline = -1.0;
+  std::int64_t epoch = 0;   ///< node incarnation (0 = unknown)
+  const char* cause = "";   ///< e.g. "push_loss", "suppressed", "nack"
+};
+
+/// The process-global span bus (mirrors event_bus()/log_bus()).
+inline EventBus<ItemSpan>& span_bus() {
+  static EventBus<ItemSpan> bus;
+  return bus;
+}
+
+using SpanBus = EventBus<ItemSpan>;
+
+/// Publishes `span` on the span bus and feeds the per-item metrics
+/// ("span.<kind>" counters; for receipt spans the
+/// "feed.delivery_latency" histogram and — against `deadline` — the
+/// "feed.deadline_misses" counter). No-op while telemetry is off.
+void record_span(const ItemSpan& span);
+
+/// True when a receipt span missed its deadline: latency beyond the
+/// budget plus the same float slack the dissemination reports use.
+inline bool missed_deadline(double published_at, double received_at,
+                            double deadline) noexcept {
+  return deadline >= 0.0 && received_at - published_at > deadline + 1e-9;
+}
+
+}  // namespace lagover::telemetry

@@ -1,0 +1,428 @@
+#include "tools/inspect.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "core/snapshot.hpp"
+
+namespace lagover::tools {
+
+namespace {
+
+constexpr double kSlack = 1e-9;  ///< same float slack as the feed layer
+
+double number_or(const Json& object, const char* key, double fallback) {
+  const Json* value = object.find(key);
+  return value == nullptr ? fallback : value->as_number();
+}
+
+std::int64_t int_or(const Json& object, const char* key,
+                    std::int64_t fallback) {
+  const Json* value = object.find(key);
+  return value == nullptr ? fallback : value->as_int();
+}
+
+std::string string_or(const Json& object, const char* key) {
+  const Json* value = object.find(key);
+  return value == nullptr ? std::string() : value->as_string();
+}
+
+SpanRow decode_span(const Json& line) {
+  SpanRow row;
+  row.item = static_cast<std::uint64_t>(int_or(line, "item", 0));
+  row.kind = string_or(line, "span");
+  row.node = static_cast<NodeId>(int_or(line, "node", 0));
+  row.parent = static_cast<NodeId>(
+      int_or(line, "parent", static_cast<std::int64_t>(kNoNode)));
+  row.hop = static_cast<std::uint32_t>(int_or(line, "hop", 0));
+  row.feed = static_cast<std::uint32_t>(int_or(line, "feed", 0));
+  row.published_at = number_or(line, "published_at", 0.0);
+  row.start = number_or(line, "start", 0.0);
+  row.ts = number_or(line, "ts", 0.0);
+  row.deadline = number_or(line, "deadline", -1.0);
+  row.epoch = int_or(line, "epoch", 0);
+  row.cause = string_or(line, "cause");
+  return row;
+}
+
+EventRow decode_event(const Json& line) {
+  EventRow row;
+  row.ts = number_or(line, "ts", 0.0);
+  row.type = string_or(line, "type");
+  row.cause = string_or(line, "cause");
+  row.node = static_cast<NodeId>(int_or(line, "node", 0));
+  row.partner = static_cast<NodeId>(int_or(line, "partner", 0));
+  row.epoch = int_or(line, "epoch", 0);
+  const Json* attached = line.find("attached");
+  row.attached = attached != nullptr && attached->as_bool();
+  return row;
+}
+
+}  // namespace
+
+void ingest_line(const Json& line, Bundle& bundle) {
+  const std::string kind = string_or(line, "kind");
+  if (kind == "span")
+    bundle.spans.push_back(decode_span(line));
+  else if (kind == "event")
+    bundle.events.push_back(decode_event(line));
+  else if (kind == "log")
+    ++bundle.log_lines;
+}
+
+void ingest_document(const Json& document, Bundle& bundle) {
+  bundle.schema = string_or(document, "schema");
+  bundle.reason = string_or(document, "reason");
+  if (const Json* repro = document.find("repro"); repro != nullptr) {
+    bundle.seed = static_cast<std::uint64_t>(int_or(*repro, "seed", 0));
+    bundle.flags = string_or(*repro, "flags");
+  }
+  bundle.fault_plan = string_or(document, "fault_plan");
+  if (const Json* events = document.find("events"); events != nullptr)
+    for (const Json& line : events->elements())
+      bundle.events.push_back(decode_event(line));
+  if (const Json* spans = document.find("spans"); spans != nullptr)
+    for (const Json& line : spans->elements())
+      bundle.spans.push_back(decode_span(line));
+  if (const Json* logs = document.find("logs"); logs != nullptr)
+    bundle.log_lines = logs->size();
+  if (const Json* snapshots = document.find("snapshots");
+      snapshots != nullptr)
+    for (const Json& entry : snapshots->elements())
+      bundle.snapshots.emplace_back(number_or(entry, "t", 0.0),
+                                    string_or(entry, "snapshot"));
+  if (const Json* violations = document.find("violations");
+      violations != nullptr)
+    bundle.violations = *violations;
+  if (const Json* metrics = document.find("metrics"); metrics != nullptr)
+    bundle.metrics = *metrics;
+}
+
+bool load_bundle(const std::string& path, Bundle& bundle,
+                 std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::string line;
+  bool first = true;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    Json parsed;
+    std::string parse_error;
+    if (!Json::parse(line, parsed, &parse_error)) {
+      if (error != nullptr)
+        *error = path + ":" + std::to_string(line_no) + ": " + parse_error;
+      return false;
+    }
+    if (first) {
+      first = false;
+      // A flight-recorder dump is one whole-document line; everything
+      // else is a JSONL stream of kind-tagged lines.
+      if (string_or(parsed, "schema") == "lagover.postmortem.v1") {
+        ingest_document(parsed, bundle);
+        return true;
+      }
+    }
+    ingest_line(parsed, bundle);
+  }
+  if (first) {
+    if (error != nullptr) *error = path + ": empty dump";
+    return false;
+  }
+  return true;
+}
+
+PathResult item_path(const Bundle& bundle, std::uint64_t item, NodeId node) {
+  PathResult result;
+  // First receipt per node is the applied copy (later copies are
+  // suppressed as duplicates); the publish span ends the chain.
+  std::map<NodeId, const SpanRow*> receipt_at;
+  const SpanRow* publish = nullptr;
+  for (const SpanRow& span : bundle.spans) {
+    if (span.item != item) continue;
+    if (span.kind == "publish" && publish == nullptr) publish = &span;
+    if (span.is_receipt() && receipt_at.find(span.node) == receipt_at.end())
+      receipt_at[span.node] = &span;
+  }
+  std::vector<SpanRow> reversed;
+  NodeId cursor = node;
+  std::size_t steps = 0;
+  while (true) {
+    const auto it = receipt_at.find(cursor);
+    if (it == receipt_at.end()) {
+      result.note = "no receipt of item " + std::to_string(item) +
+                    " at node " + std::to_string(cursor);
+      break;
+    }
+    reversed.push_back(*it->second);
+    if (it->second->parent == kSourceId) {
+      result.complete = true;
+      break;
+    }
+    if (it->second->parent == kNoNode) {
+      result.note = "receipt at node " + std::to_string(cursor) +
+                    " has no parent hop";
+      break;
+    }
+    cursor = it->second->parent;
+    if (++steps > receipt_at.size()) {
+      result.note = "parent chain does not terminate (cycle in spans)";
+      break;
+    }
+  }
+  if (publish != nullptr && (result.complete || !reversed.empty()))
+    reversed.push_back(*publish);
+  std::reverse(reversed.begin(), reversed.end());
+  result.hops = std::move(reversed);
+  return result;
+}
+
+AncestryResult ancestry_at(const Bundle& bundle, NodeId node, double t) {
+  AncestryResult result;
+
+  // Newest snapshot at or before t. Events stamped exactly at the
+  // snapshot time are treated as already included in it.
+  const std::pair<double, std::string>* base = nullptr;
+  for (const auto& snapshot : bundle.snapshots)
+    if (snapshot.first <= t) base = &snapshot;
+
+  std::size_t node_count = 0;
+  std::vector<NodeId> parent;
+  std::vector<char> online;
+  double replay_from = -1.0;
+  if (base != nullptr) {
+    Overlay overlay = from_snapshot(base->second);
+    node_count = overlay.node_count();
+    parent.resize(node_count, kNoNode);
+    online.resize(node_count, 1);
+    for (NodeId id = 0; id < node_count; ++id) {
+      parent[id] = overlay.parent(id);
+      online[id] = overlay.online(id) ? 1 : 0;
+    }
+    replay_from = base->first;
+    result.snapshot_t = base->first;
+  } else {
+    // No snapshot: replay the edge events from the initial forest
+    // (everyone online and parentless — how every engine run starts).
+    for (const EventRow& event : bundle.events) {
+      if (event.node != kNoNode)
+        node_count = std::max<std::size_t>(node_count, event.node + 1);
+      if (event.partner != kNoNode)
+        node_count = std::max<std::size_t>(node_count, event.partner + 1);
+    }
+    for (const SpanRow& span : bundle.spans)
+      node_count = std::max<std::size_t>(node_count, span.node + 1);
+    parent.resize(node_count, kNoNode);
+    online.resize(node_count, 1);
+  }
+  if (node >= node_count) {
+    result.note = "node " + std::to_string(node) + " unknown to this dump";
+    return result;
+  }
+
+  for (const EventRow& event : bundle.events) {
+    if (event.ts <= replay_from || event.ts > t) continue;
+    if (event.node >= node_count) continue;
+    if (event.type == "edge_attach")
+      parent[event.node] = event.partner;
+    else if (event.type == "edge_detach")
+      parent[event.node] = kNoNode;
+    else if (event.type == "node_offline")
+      online[event.node] = 0;
+    else if (event.type == "node_online")
+      online[event.node] = 1;
+  }
+
+  result.online = online[node] != 0;
+  NodeId cursor = node;
+  std::size_t steps = 0;
+  result.chain.push_back(cursor);
+  while (parent[cursor] != kNoNode) {
+    cursor = parent[cursor];
+    result.chain.push_back(cursor);
+    if (cursor >= node_count || ++steps > node_count) {
+      result.note = "parent chain does not terminate (corrupt replay)";
+      return result;
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+std::vector<Laggard> laggards(const Bundle& bundle, std::uint64_t item) {
+  std::vector<Laggard> result;
+  for (const SpanRow& span : bundle.spans) {
+    if (item != 0 && span.item != item) continue;
+    if (!span.is_receipt() || span.deadline < 0.0) continue;
+    const double latency = span.ts - span.published_at;
+    if (latency <= span.deadline + kSlack) continue;
+    Laggard laggard;
+    laggard.node = span.node;
+    laggard.item = span.item;
+    laggard.kind = span.kind;
+    laggard.latency = latency;
+    laggard.deadline = span.deadline;
+    laggard.miss = latency - span.deadline;
+    result.push_back(laggard);
+  }
+  std::stable_sort(result.begin(), result.end(),
+                   [](const Laggard& a, const Laggard& b) {
+                     return a.miss > b.miss;
+                   });
+  return result;
+}
+
+std::size_t deadline_misses(const Bundle& bundle) {
+  return laggards(bundle, 0).size();
+}
+
+std::string timeline(const Bundle& bundle, NodeId node) {
+  struct Entry {
+    double ts;
+    std::string text;
+  };
+  std::vector<Entry> entries;
+  std::ostringstream line;
+  for (const EventRow& event : bundle.events) {
+    if (event.node != node && event.partner != node) continue;
+    line.str("");
+    line << "event " << event.type;
+    if (!event.cause.empty()) line << " (" << event.cause << ")";
+    line << " node=" << event.node << " partner=" << event.partner;
+    if (event.epoch != 0) line << " epoch=" << event.epoch;
+    entries.push_back({event.ts, line.str()});
+  }
+  for (const SpanRow& span : bundle.spans) {
+    if (span.node != node) continue;
+    line.str("");
+    line << "span " << span.kind << " item=" << span.item;
+    if (span.parent != kNoNode) line << " from=" << span.parent;
+    line << " hop=" << span.hop;
+    if (span.is_receipt())
+      line << " latency=" << span.ts - span.published_at;
+    if (span.deadline >= 0.0) line << " deadline=" << span.deadline;
+    if (!span.cause.empty()) line << " (" << span.cause << ")";
+    entries.push_back({span.ts, line.str()});
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) { return a.ts < b.ts; });
+  std::ostringstream out;
+  out << "timeline of node " << node << " (" << entries.size()
+      << " entries)\n";
+  for (const Entry& entry : entries)
+    out << "  t=" << entry.ts << "  " << entry.text << '\n';
+  return out.str();
+}
+
+std::string summary(const Bundle& bundle) {
+  std::ostringstream out;
+  if (bundle.is_postmortem()) {
+    out << "post-mortem bundle (" << bundle.schema << ")\n";
+    out << "  reason:     " << bundle.reason << '\n';
+    out << "  repro:      --seed " << bundle.seed
+        << (bundle.flags.empty() ? "" : " | flags: " + bundle.flags) << '\n';
+    if (!bundle.fault_plan.empty())
+      out << "  fault plan: " << bundle.fault_plan << '\n';
+    out << "  violations: " << bundle.violations.size() << '\n';
+  } else {
+    out << "JSONL telemetry dump\n";
+  }
+  std::map<std::string, std::size_t> span_kinds;
+  std::map<std::uint64_t, std::size_t> items;
+  for (const SpanRow& span : bundle.spans) {
+    ++span_kinds[span.kind];
+    ++items[span.item];
+  }
+  out << "  events:     " << bundle.events.size() << '\n';
+  out << "  spans:      " << bundle.spans.size() << " across "
+      << items.size() << " item(s)\n";
+  for (const auto& [kind, count] : span_kinds)
+    out << "    " << kind << ": " << count << '\n';
+  out << "  log lines:  " << bundle.log_lines << '\n';
+  out << "  snapshots:  " << bundle.snapshots.size() << '\n';
+  out << "  deadline misses: " << deadline_misses(bundle) << '\n';
+  return out.str();
+}
+
+bool self_check(std::string* error) {
+  const auto fail = [error](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+
+  // A three-node run, hand-written in the postmortem schema: the source
+  // publishes item 1 at t=1; node 1 (l=2) polls it at t=2; node 2 (l=1)
+  // receives the push at t=3 — one hop too late, so it must show up as
+  // the only laggard. The snapshot and the edge events disagree about
+  // node 2's parent *after* t=5 (it re-attaches under the source), so
+  // ancestry_at must give different answers at t=4 and t=6.
+  const std::string document =
+      "{\"schema\":\"lagover.postmortem.v1\",\"reason\":\"explicit\","
+      "\"repro\":{\"seed\":7,\"flags\":\"--peers 2\"},"
+      "\"events\":["
+      "{\"kind\":\"event\",\"ts\":6.0,\"type\":\"edge_detach\","
+      "\"node\":2,\"partner\":1,\"attached\":false},"
+      "{\"kind\":\"event\",\"ts\":6.0,\"type\":\"edge_attach\","
+      "\"node\":2,\"partner\":0,\"attached\":true}],"
+      "\"spans\":["
+      "{\"kind\":\"span\",\"item\":1,\"span\":\"publish\",\"node\":0,"
+      "\"hop\":0,\"published_at\":1.0,\"start\":1.0,\"ts\":1.0},"
+      "{\"kind\":\"span\",\"item\":1,\"span\":\"source_poll\",\"node\":1,"
+      "\"parent\":0,\"hop\":1,\"published_at\":1.0,\"start\":1.0,"
+      "\"ts\":2.0,\"deadline\":2.0},"
+      "{\"kind\":\"span\",\"item\":1,\"span\":\"relay\",\"node\":1,"
+      "\"parent\":0,\"hop\":1,\"published_at\":1.0,\"start\":2.0,"
+      "\"ts\":2.0},"
+      "{\"kind\":\"span\",\"item\":1,\"span\":\"deliver\",\"node\":2,"
+      "\"parent\":1,\"hop\":2,\"published_at\":1.0,\"start\":2.0,"
+      "\"ts\":3.0,\"deadline\":1.0}],"
+      "\"snapshots\":[{\"t\":0.5,\"snapshot\":"
+      "\"lagover-snapshot v1\\nsource 2\\nnode 1 2 2 1 0\\n"
+      "node 2 1 1 1 1\\n\"}],"
+      "\"violations\":[]}";
+
+  Json parsed;
+  std::string parse_error;
+  if (!Json::parse(document, parsed, &parse_error))
+    return fail("self-check document does not parse: " + parse_error);
+  Bundle bundle;
+  ingest_document(parsed, bundle);
+  if (!bundle.is_postmortem() || bundle.seed != 7)
+    return fail("bundle metadata decoded wrong");
+  if (bundle.spans.size() != 4 || bundle.events.size() != 2)
+    return fail("bundle streams decoded wrong");
+
+  const PathResult path = item_path(bundle, 1, 2);
+  if (!path.complete || path.hops.size() != 3)
+    return fail("item_path: expected complete publish->poll->deliver chain");
+  if (path.hops.front().kind != "publish" || path.hops.back().node != 2)
+    return fail("item_path: wrong hop order");
+
+  const AncestryResult before = ancestry_at(bundle, 2, 4.0);
+  if (!before.ok || before.chain != std::vector<NodeId>{2, 1, 0})
+    return fail("ancestry_at(t=4): expected chain 2 -> 1 -> 0");
+  const AncestryResult after = ancestry_at(bundle, 2, 6.5);
+  if (!after.ok || after.chain != std::vector<NodeId>{2, 0})
+    return fail("ancestry_at(t=6.5): expected replayed chain 2 -> 0");
+
+  const std::vector<Laggard> late = laggards(bundle);
+  if (late.size() != 1 || late.front().node != 2 ||
+      late.front().miss < 1.0 - kSlack || late.front().miss > 1.0 + kSlack)
+    return fail("laggards: expected exactly node 2, one unit late");
+  if (deadline_misses(bundle) != 1)
+    return fail("deadline_misses: expected 1");
+
+  if (timeline(bundle, 1).find("source_poll") == std::string::npos)
+    return fail("timeline: node 1 poll receipt missing");
+  if (summary(bundle).find("deadline misses: 1") == std::string::npos)
+    return fail("summary: miss count missing");
+  return true;
+}
+
+}  // namespace lagover::tools

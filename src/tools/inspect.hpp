@@ -1,0 +1,141 @@
+// Offline time-travel inspection of telemetry dumps: loads a
+// "lagover.postmortem.v1" bundle (flight-recorder dump) or a raw JSONL
+// stream (--events-out / --spans-out) and answers causal queries
+// without re-running the simulation:
+//
+//   * item_path    — the exact hop chain an item took to a node,
+//   * ancestry_at  — a node's path-to-root at sim time t, rebuilt from
+//                    the newest snapshot at or before t plus edge-event
+//                    replay,
+//   * laggards     — receipts that blew their latency budget l_i,
+//   * timeline     — everything that happened at one node, in order,
+//   * summary      — what the dump contains.
+//
+// The query core is a library so tests can assert on structured
+// results; `lagover_inspect` (lagover_inspect.cpp) is the CLI skin.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.hpp"
+#include "core/types.hpp"
+
+namespace lagover::tools {
+
+/// One "lagover.spans.v1" line, decoded.
+struct SpanRow {
+  std::uint64_t item = 0;
+  std::string kind;  ///< "publish", "source_poll", "relay", ...
+  NodeId node = 0;
+  NodeId parent = kNoNode;
+  std::uint32_t hop = 0;
+  std::uint32_t feed = 0;
+  double published_at = 0.0;
+  double start = 0.0;
+  double ts = 0.0;
+  double deadline = -1.0;
+  std::int64_t epoch = 0;
+  std::string cause;
+
+  /// Receipt spans measure delivery latency (mirrors span.cpp).
+  bool is_receipt() const noexcept {
+    return kind == "source_poll" || kind == "deliver" || kind == "repair";
+  }
+};
+
+/// One event line, decoded (overlay edge events and protocol trace).
+struct EventRow {
+  double ts = 0.0;
+  std::string type;
+  std::string cause;
+  NodeId node = 0;
+  NodeId partner = 0;
+  std::int64_t epoch = 0;
+  bool attached = false;
+};
+
+/// A loaded dump: either a post-mortem bundle or a raw JSONL stream.
+struct Bundle {
+  std::string schema;  ///< "lagover.postmortem.v1" or "" (plain JSONL)
+  std::string reason;
+  std::uint64_t seed = 0;
+  std::string flags;
+  std::string fault_plan;
+  std::vector<EventRow> events;
+  std::vector<SpanRow> spans;
+  std::size_t log_lines = 0;
+  /// (sim time, snapshot text) pairs, in capture order.
+  std::vector<std::pair<double, std::string>> snapshots;
+  Json violations = Json::array();
+  Json metrics;  ///< null when the dump carries no metrics block
+
+  bool is_postmortem() const noexcept { return !schema.empty(); }
+};
+
+/// Decodes a parsed post-mortem document or a single JSONL line into
+/// `bundle`. Exposed for tests; load_bundle() is the file entry point.
+void ingest_document(const Json& document, Bundle& bundle);
+void ingest_line(const Json& line, Bundle& bundle);
+
+/// Loads a bundle or JSONL dump, autodetecting the format (a single
+/// JSON document with schema "lagover.postmortem.v1" vs. one JSON
+/// object per line). False on I/O or parse failure.
+bool load_bundle(const std::string& path, Bundle& bundle,
+                 std::string* error = nullptr);
+
+/// The hop chain `item` took from the source to `node`: publish first
+/// (when present), then one receipt per hop. `complete` means the walk
+/// reached a depth-1 receipt from the source without a gap or cycle.
+struct PathResult {
+  bool complete = false;
+  std::vector<SpanRow> hops;
+  std::string note;  ///< why the chain is incomplete, when it is
+};
+PathResult item_path(const Bundle& bundle, std::uint64_t item, NodeId node);
+
+/// `node`'s path to its chain root at sim time `t`, rebuilt from the
+/// newest snapshot taken at or before `t` (or an empty forest when the
+/// dump predates snapshots) plus replay of the edge events in (snapshot
+/// time, t].
+struct AncestryResult {
+  bool ok = false;
+  double snapshot_t = -1.0;  ///< -1 = replayed from the empty forest
+  bool online = true;
+  /// node, its parent, ... up to the chain root (the source when
+  /// connected). Contains just `node` while parentless.
+  std::vector<NodeId> chain;
+  std::string note;
+};
+AncestryResult ancestry_at(const Bundle& bundle, NodeId node, double t);
+
+/// A receipt that missed its deadline: latency > l_i + float slack.
+struct Laggard {
+  NodeId node = 0;
+  std::uint64_t item = 0;
+  std::string kind;
+  double latency = 0.0;
+  double deadline = 0.0;
+  double miss = 0.0;  ///< latency - deadline
+};
+
+/// Deadline misses, worst first. `item` == 0 scans every item.
+std::vector<Laggard> laggards(const Bundle& bundle, std::uint64_t item = 0);
+
+/// Total deadline-missing receipts — defined to agree with the
+/// "feed.deadline_misses" counter of the same run.
+std::size_t deadline_misses(const Bundle& bundle);
+
+/// Human-readable per-node merged timeline (events + spans by ts).
+std::string timeline(const Bundle& bundle, NodeId node);
+
+/// Human-readable dump overview.
+std::string summary(const Bundle& bundle);
+
+/// Runs every query against a synthetic in-memory bundle and verifies
+/// the expected answers; on failure, `error` names the broken query.
+bool self_check(std::string* error = nullptr);
+
+}  // namespace lagover::tools

@@ -1,0 +1,151 @@
+// lagover_inspect — offline time-travel queries over telemetry dumps.
+//
+// Usage:
+//   lagover_inspect <dump> path <item> <node>
+//   lagover_inspect <dump> ancestry <node> --at <t>
+//   lagover_inspect <dump> laggards [item]
+//   lagover_inspect <dump> timeline <node>
+//   lagover_inspect <dump> summary
+//   lagover_inspect --self-check
+//
+// <dump> is a "lagover.postmortem.v1" bundle (flight-recorder dump) or
+// a JSONL stream from --events-out / --spans-out; the format is
+// autodetected.
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "common/flags.hpp"
+#include "tools/inspect.hpp"
+
+namespace {
+
+using lagover::Flags;
+using lagover::NodeId;
+using namespace lagover::tools;
+
+int usage() {
+  std::cerr
+      << "usage: lagover_inspect <dump> <query> [args]\n"
+         "       lagover_inspect --self-check\n"
+         "queries:\n"
+         "  path <item> <node>      hop chain the item took to the node\n"
+         "  ancestry <node> --at t  the node's path-to-root at sim time t\n"
+         "  laggards [item]         receipts that missed their deadline\n"
+         "  timeline <node>         everything at one node, in order\n"
+         "  summary                 what the dump contains\n";
+  return 2;
+}
+
+void print_span(const SpanRow& span) {
+  std::cout << "  t=" << span.ts << "  " << span.kind << " node="
+            << span.node;
+  if (span.parent != lagover::kNoNode) std::cout << " from=" << span.parent;
+  std::cout << " hop=" << span.hop;
+  if (span.is_receipt())
+    std::cout << " latency=" << span.ts - span.published_at;
+  if (span.deadline >= 0.0) std::cout << " deadline=" << span.deadline;
+  if (!span.cause.empty()) std::cout << " (" << span.cause << ")";
+  std::cout << '\n';
+}
+
+int run_path(const Bundle& bundle, std::uint64_t item, NodeId node) {
+  const PathResult result = item_path(bundle, item, node);
+  std::cout << "path of item " << item << " to node " << node << ": "
+            << (result.complete ? "complete" : "INCOMPLETE") << " ("
+            << result.hops.size() << " hop(s))\n";
+  for (const SpanRow& span : result.hops) print_span(span);
+  if (!result.note.empty()) std::cout << "  note: " << result.note << '\n';
+  return result.complete ? 0 : 1;
+}
+
+int run_ancestry(const Bundle& bundle, NodeId node, double t) {
+  const AncestryResult result = ancestry_at(bundle, node, t);
+  if (!result.ok) {
+    std::cout << "ancestry of node " << node << " at t=" << t
+              << ": FAILED (" << result.note << ")\n";
+    return 1;
+  }
+  std::cout << "ancestry of node " << node << " at t=" << t << " ("
+            << (result.snapshot_t >= 0.0
+                    ? "snapshot t=" + std::to_string(result.snapshot_t) +
+                          " + replay"
+                    : "replayed from the initial forest")
+            << "):\n  ";
+  for (std::size_t i = 0; i < result.chain.size(); ++i) {
+    if (i > 0) std::cout << " -> ";
+    std::cout << result.chain[i];
+  }
+  if (result.chain.back() == lagover::kSourceId)
+    std::cout << "  [connected]";
+  else if (!result.online)
+    std::cout << "  [offline]";
+  else
+    std::cout << "  [detached]";
+  std::cout << '\n';
+  return 0;
+}
+
+int run_laggards(const Bundle& bundle, std::uint64_t item) {
+  const std::vector<Laggard> late = laggards(bundle, item);
+  if (item != 0)
+    std::cout << "laggards of item " << item;
+  else
+    std::cout << "laggards across all items";
+  std::cout << ": " << late.size() << " deadline miss(es)\n";
+  for (const Laggard& laggard : late)
+    std::cout << "  node=" << laggard.node << " item=" << laggard.item
+              << " via=" << laggard.kind << " latency=" << laggard.latency
+              << " deadline=" << laggard.deadline
+              << " miss=" << laggard.miss << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.get_bool("self-check", false)) {
+    std::string error;
+    if (self_check(&error)) {
+      std::cout << "lagover_inspect self-check: ok\n";
+      return 0;
+    }
+    std::cerr << "lagover_inspect self-check FAILED: " << error << '\n';
+    return 1;
+  }
+
+  const auto& positional = flags.positional();
+  if (positional.size() < 2) return usage();
+
+  Bundle bundle;
+  std::string error;
+  if (!load_bundle(positional[0], bundle, &error)) {
+    std::cerr << "lagover_inspect: " << error << '\n';
+    return 1;
+  }
+
+  const std::string& query = positional[1];
+  if (query == "path" && positional.size() == 4)
+    return run_path(bundle,
+                    static_cast<std::uint64_t>(std::stoull(positional[2])),
+                    static_cast<NodeId>(std::stoul(positional[3])));
+  if (query == "ancestry" && positional.size() == 3 && flags.has("at"))
+    return run_ancestry(bundle,
+                        static_cast<NodeId>(std::stoul(positional[2])),
+                        flags.get_double("at", 0.0));
+  if (query == "laggards" && positional.size() <= 3)
+    return run_laggards(bundle, positional.size() == 3
+                                    ? std::stoull(positional[2])
+                                    : 0);
+  if (query == "timeline" && positional.size() == 3) {
+    std::cout << timeline(bundle,
+                          static_cast<NodeId>(std::stoul(positional[2])));
+    return 0;
+  }
+  if (query == "summary") {
+    std::cout << summary(bundle);
+    return 0;
+  }
+  return usage();
+}

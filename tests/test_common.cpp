@@ -113,6 +113,56 @@ TEST(JsonTest, PrettyPrintIndents) {
   EXPECT_EQ(root.dump_pretty(), "{\n  \"k\": 1\n}");
 }
 
+TEST(JsonParseTest, RoundTripsEveryKind) {
+  Json root = Json::object();
+  root.set("null", Json::null());
+  root.set("bool", Json::boolean(true));
+  root.set("int", Json::integer(-7));
+  root.set("num", Json::number(2.5));
+  root.set("str", Json::string("a\"b\nc"));
+  Json list = Json::array();
+  list.push_back(Json::integer(1)).push_back(Json::string("x"));
+  root.set("list", std::move(list));
+  Json parsed;
+  ASSERT_TRUE(Json::parse(root.dump(), parsed));
+  EXPECT_EQ(parsed.dump(), root.dump());
+  EXPECT_TRUE(parsed.find("null")->is_null());
+  EXPECT_TRUE(parsed.find("bool")->as_bool());
+  EXPECT_EQ(parsed.find("int")->as_int(), -7);
+  EXPECT_DOUBLE_EQ(parsed.find("num")->as_number(), 2.5);
+  EXPECT_EQ(parsed.find("str")->as_string(), "a\"b\nc");
+  EXPECT_EQ(parsed.find("list")->size(), 2u);
+  EXPECT_EQ(parsed.find("list")->at(0).as_int(), 1);
+  EXPECT_EQ(parsed.find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, AcceptsEscapesAndUnicode) {
+  Json parsed;
+  ASSERT_TRUE(Json::parse(R"("A\t\u00e9")", parsed));
+  EXPECT_EQ(parsed.as_string(),
+            "A\t\xc3\xa9");  // é decodes to UTF-8 e-acute
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  Json parsed;
+  std::string error;
+  EXPECT_FALSE(Json::parse("", parsed, &error));
+  EXPECT_FALSE(Json::parse("{", parsed, &error));
+  EXPECT_FALSE(Json::parse("[1,]", parsed, &error));
+  EXPECT_FALSE(Json::parse("{\"a\":1} trailing", parsed, &error));
+  EXPECT_FALSE(Json::parse("\"unterminated", parsed, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonParseTest, LenientAccessorsFallBack) {
+  Json parsed;
+  ASSERT_TRUE(Json::parse("{\"s\":\"text\"}", parsed));
+  const Json* s = parsed.find("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->as_number(2.0), 2.0);  // kind mismatch -> fallback
+  EXPECT_FALSE(s->as_bool(false));
+}
+
 TEST(TableTest, JsonFormContainsHeaderAndRows) {
   Table table({"a", "b"});
   table.add_row({"x", "1"});

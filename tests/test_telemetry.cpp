@@ -13,11 +13,13 @@
 #include "core/async_engine.hpp"
 #include "core/engine.hpp"
 #include "fault/fault_injector.hpp"
+#include "feed/dissemination.hpp"
 #include "metrics/failover.hpp"
 #include "telemetry/event_bus.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/profiler.hpp"
+#include "telemetry/span.hpp"
 #include "telemetry/telemetry.hpp"
 #include "workload/constraints.hpp"
 
@@ -283,8 +285,8 @@ TEST(ExportTest, ChromeTraceWriterProducesLoadableJson) {
     {
       TELEM_SCOPE("test.traced_scope");
     }
-    // 2 metadata + 1 instant + 1 complete
-    EXPECT_EQ(writer.event_count(), 4u);
+    // 3 metadata (sim/wall/item pids) + 1 instant + 1 complete
+    EXPECT_EQ(writer.event_count(), 5u);
     ASSERT_TRUE(writer.write(path));
   }
   // The sink must be restored after the writer dies.
@@ -458,6 +460,225 @@ TEST(TelemetryIntegrationTest, EventsCarryEpochAndCause) {
   engine.run_for(60.0);
   EXPECT_TRUE(saw_cause);
   EXPECT_TRUE(saw_epoch);
+}
+
+// -------------------------------------------------------------- spans
+
+/// Scoped span-bus subscription that collects everything published and
+/// guarantees the global bus is clean again when the test ends.
+class SpanCollector {
+ public:
+  SpanCollector()
+      : id_(telemetry::span_bus().subscribe(
+            [this](const telemetry::ItemSpan& span) {
+              spans.push_back(span);
+            })) {}
+  ~SpanCollector() { telemetry::span_bus().unsubscribe(id_); }
+  std::vector<telemetry::ItemSpan> spans;
+
+ private:
+  telemetry::SpanBus::SubscriptionId id_;
+};
+
+/// 0 -> 1 -> 2 chain; node 2's budget (l=1) is deliberately violated by
+/// its depth, so every push to it arrives late.
+Population chain_population() {
+  Population p;
+  p.source_fanout = 1;
+  p.consumers = {NodeSpec{1, Constraints{1, 2}},
+                 NodeSpec{2, Constraints{0, 1}}};
+  return p;
+}
+
+TEST(SpanTest, RecordSpanIsInertWhenDisabled) {
+  TelemetryGuard guard(false);
+  SpanCollector collector;
+  telemetry::ItemSpan span;
+  span.item = 1;
+  span.kind = telemetry::SpanKind::kDeliver;
+  span.node = 2;
+  span.deadline = 1.0;
+  span.ts = 5.0;
+  telemetry::record_span(span);
+  EXPECT_TRUE(collector.spans.empty());
+  EXPECT_FALSE(telemetry::MetricsRegistry::instance().has_counter(
+      "span.deliver"));
+}
+
+TEST(SpanTest, ReceiptSpansFeedDeliveryLatencyAndDeadlineMisses) {
+  TelemetryGuard guard(true);
+  telemetry::ItemSpan span;
+  span.item = 1;
+  span.kind = telemetry::SpanKind::kDeliver;
+  span.node = 2;
+  span.published_at = 1.0;
+  span.deadline = 1.0;
+  span.ts = 3.0;  // latency 2 > budget 1: a miss
+  telemetry::record_span(span);
+  span.ts = 1.5;  // latency 0.5: on time
+  telemetry::record_span(span);
+  span.kind = telemetry::SpanKind::kRelay;  // not a receipt
+  span.ts = 9.0;
+  telemetry::record_span(span);
+  auto& registry = telemetry::MetricsRegistry::instance();
+  EXPECT_EQ(registry.histogram("feed.delivery_latency").count(), 2u);
+  EXPECT_EQ(registry.counter("feed.deadline_misses").value(), 1u);
+  EXPECT_EQ(registry.counter("span.deliver").value(), 2u);
+  EXPECT_EQ(registry.counter("span.relay").value(), 1u);
+}
+
+TEST(SpanTest, MissedDeadlineUsesFeedSlack) {
+  EXPECT_FALSE(telemetry::missed_deadline(0.0, 2.0, 2.0));
+  EXPECT_TRUE(telemetry::missed_deadline(0.0, 2.0 + 1e-6, 2.0));
+  EXPECT_FALSE(telemetry::missed_deadline(0.0, 99.0, -1.0));  // no budget
+}
+
+TEST(SpanIntegrationTest, DisseminationEmitsCompleteChains) {
+  TelemetryGuard guard(true);
+  SpanCollector collector;
+  Overlay overlay(chain_population());
+  overlay.attach(1, kSourceId);
+  overlay.attach(2, 1);
+  feed::DisseminationConfig config;
+  const auto report = feed::run_dissemination(overlay, config, 10.0);
+  ASSERT_GT(report.items_published, 0u);
+
+  std::size_t publishes = 0;
+  std::size_t polls = 0;
+  std::size_t delivers = 0;
+  for (const auto& span : collector.spans) {
+    switch (span.kind) {
+      case telemetry::SpanKind::kPublish:
+        ++publishes;
+        EXPECT_EQ(span.node, kSourceId);
+        EXPECT_EQ(span.hop, 0u);
+        break;
+      case telemetry::SpanKind::kSourcePoll:
+        ++polls;
+        EXPECT_EQ(span.node, 1u);
+        EXPECT_EQ(span.parent, kSourceId);
+        EXPECT_EQ(span.hop, 1u);
+        EXPECT_DOUBLE_EQ(span.deadline, 2.0);
+        break;
+      case telemetry::SpanKind::kDeliver:
+        ++delivers;
+        EXPECT_EQ(span.node, 2u);
+        EXPECT_EQ(span.parent, 1u);  // parent span exists: causal chain
+        EXPECT_EQ(span.hop, 2u);
+        EXPECT_DOUBLE_EQ(span.deadline, 1.0);
+        EXPECT_GE(span.ts, span.start);
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(publishes, report.items_published);
+  EXPECT_GT(polls, 0u);
+  EXPECT_GT(delivers, 0u);
+}
+
+TEST(SpanIntegrationTest, ViolatedBudgetCountsDeadlineMisses) {
+  TelemetryGuard guard(true);
+  SpanCollector collector;
+  Overlay overlay(chain_population());
+  overlay.attach(1, kSourceId);
+  overlay.attach(2, 1);  // depth 2 > node 2's budget of 1
+  feed::DisseminationConfig config;
+  feed::run_dissemination(overlay, config, 20.0);
+
+  // The counter must agree exactly with a re-derivation from the spans
+  // themselves — this is the contract lagover_inspect laggards relies on.
+  std::uint64_t expected = 0;
+  for (const auto& span : collector.spans)
+    if ((span.kind == telemetry::SpanKind::kSourcePoll ||
+         span.kind == telemetry::SpanKind::kDeliver ||
+         span.kind == telemetry::SpanKind::kRepair) &&
+        telemetry::missed_deadline(span.published_at, span.ts,
+                                   span.deadline))
+      ++expected;
+  EXPECT_GT(expected, 0u);  // the chain really does violate node 2
+  EXPECT_EQ(telemetry::MetricsRegistry::instance()
+                .counter("feed.deadline_misses")
+                .value(),
+            expected);
+}
+
+TEST(SpanIntegrationTest, DisabledTelemetryLeavesReportIdentical) {
+  // The span instrumentation must not perturb the simulation: the same
+  // dissemination with telemetry off and on yields the same report, and
+  // with telemetry off the span bus stays silent.
+  auto run = [] {
+    Overlay overlay(chain_population());
+    overlay.attach(1, kSourceId);
+    overlay.attach(2, 1);
+    feed::DisseminationConfig config;
+    return feed::run_dissemination(overlay, config, 15.0);
+  };
+  feed::DisseminationReport off;
+  feed::DisseminationReport on;
+  std::size_t off_spans = 0;
+  {
+    TelemetryGuard guard(false);
+    SpanCollector collector;
+    off = run();
+    off_spans = collector.spans.size();
+  }
+  {
+    TelemetryGuard guard(true);
+    on = run();
+  }
+  EXPECT_EQ(off_spans, 0u);
+  EXPECT_EQ(off.items_published, on.items_published);
+  EXPECT_EQ(off.push_messages, on.push_messages);
+  EXPECT_EQ(off.source_requests, on.source_requests);
+  EXPECT_EQ(off.violations, on.violations);
+}
+
+TEST(TelemetryIntegrationTest, OverlayMutatorsEmitEdgeEvents) {
+  TelemetryGuard guard(true);
+  std::vector<std::string> names;
+  const auto sub = telemetry::event_bus().subscribe(
+      [&](const telemetry::EventRecord& record) {
+        names.push_back(record.name);
+      });
+  Overlay overlay(chain_population());
+  overlay.attach(1, kSourceId);
+  overlay.attach(2, 1);
+  overlay.set_offline(2);  // emits the edge_detach AND node_offline
+  overlay.set_online(2);
+  telemetry::event_bus().unsubscribe(sub);
+  EXPECT_EQ(names, (std::vector<std::string>{"edge_attach", "edge_attach",
+                                             "edge_detach", "node_offline",
+                                             "node_online"}));
+}
+
+TEST(TelemetryIntegrationTest, SetTraceReturnsUnsubscribableToken) {
+  // Regression: set_trace used to discard the bus token, so callers
+  // could replace the observer but never cleanly remove their own.
+  EngineConfig config;
+  config.seed = 5;
+  Engine engine(small_population(5), config);
+  std::size_t seen = 0;
+  const auto token =
+      engine.set_trace([&](const TraceEvent&) { ++seen; });
+  EXPECT_NE(token, 0u);
+  EXPECT_TRUE(engine.trace_bus().unsubscribe(token));
+  engine.run_until_converged(500);
+  EXPECT_EQ(seen, 0u);
+  EXPECT_EQ(engine.set_trace(nullptr), 0u);  // disabling yields no token
+}
+
+TEST(TelemetryIntegrationTest, AsyncSetTraceReturnsUnsubscribableToken) {
+  AsyncConfig config;
+  config.seed = 9;
+  AsyncEngine engine(small_population(9), config);
+  std::size_t seen = 0;
+  const auto token =
+      engine.set_trace([&](const TraceEvent&) { ++seen; });
+  EXPECT_NE(token, 0u);
+  EXPECT_TRUE(engine.trace_bus().unsubscribe(token));
+  engine.run_until_converged(500.0);
+  EXPECT_EQ(seen, 0u);
 }
 
 TEST(TraceEventTest, TypeNamesAreStable) {
