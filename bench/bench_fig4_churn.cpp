@@ -51,6 +51,9 @@ int run(int argc, char** argv) {
             << options.peers << " peers, median of " << options.trials
             << "\n# churn model: p_leave=0.01, p_join=0.2 per round\n";
 
+  bench::BenchJson bench_json("bench_fig4_churn", options);
+  bench::TelemetryExport telemetry_export(options);
+
   Table table({"algorithm", "churn", "median rounds to full satisfaction",
                "steady-state satisfied fraction", "maintenance detaches"});
   for (auto algorithm : {AlgorithmKind::kGreedy, AlgorithmKind::kHybrid}) {
@@ -68,6 +71,18 @@ int run(int argc, char** argv) {
                                  3)
                            : "1.000",
                      format_double(detaches.median(), 0)});
+      // Headline scalars: the churn cells' steady-state fractions are
+      // the figure's acceptance signal (hybrid >= greedy under churn).
+      const std::string prefix =
+          (algorithm == AlgorithmKind::kGreedy ? std::string("greedy")
+                                               : std::string("hybrid")) +
+          (churn ? "_churn" : "_no_churn");
+      bench_json.add_scalar(prefix + "_median_rounds",
+                            result.median_rounds());
+      if (churn)
+        bench_json.add_scalar(
+            prefix + "_steady_state_fraction",
+            steady_state_fraction(result, options.max_rounds));
     }
   }
   bench::print_table("Figure 4 — BiCorr, with and without churn", table,
@@ -114,6 +129,12 @@ int run(int argc, char** argv) {
   }
   bench::print_table("greedy vs hybrid across all workloads (no churn)",
                      workloads, options, "fig4_workloads");
+
+  bench_json.add_table("fig4", table);
+  bench_json.add_table("fig4_biuncorr", extension);
+  bench_json.add_table("fig4_workloads", workloads);
+  telemetry_export.finish(bench_json);
+  bench_json.write(options);
   return 0;
 }
 

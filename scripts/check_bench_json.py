@@ -5,6 +5,8 @@ Autodetects the kind of each file passed on the command line:
 
   * "lagover.bench.v1"   — a bench summary (optionally embedding a
     "metrics" block with schema "lagover.metrics.v1"),
+  * "lagover.scenario.v1" — a declarative scenario document, as run by
+    bench_scenario (strict keys, mirroring src/workload/scenario.cpp),
   * "lagover.postmortem.v1" — a flight-recorder dump, as written by
     --postmortem-out on an invariant violation,
   * a Chrome trace_event file — top-level "traceEvents" list, as
@@ -82,6 +84,152 @@ def check_bench(path, doc):
     if "metrics" in doc:
         check_metrics_block(path, doc["metrics"])
     return "bench json" + (" + metrics" if "metrics" in doc else "")
+
+
+# --- lagover.scenario.v1 -------------------------------------------------
+# Mirrors the strict C++ parser in src/workload/scenario.cpp: unknown keys
+# are rejected per section, fractions live in [0, 1], windows are ordered.
+
+SCENARIO_KEYS = ("schema", "name", "engine", "algorithm", "oracle", "seed",
+                 "trials", "horizon", "workload", "churn", "faults",
+                 "domains", "adversary", "defense", "feed")
+SCENARIO_WORKLOAD_KEYS = ("kind", "peers", "max_latency", "source_fanout",
+                          "tf1_fanout", "rand_fanout_max")
+SCENARIO_CHURN_KEYS = ("leave_probability", "rejoin_probability")
+SCENARIO_FAULT_KEYS = ("start", "end", "drop_probability",
+                       "delay_probability", "delay_amount",
+                       "duplicate_probability", "oracle_outage",
+                       "oracle_staleness", "crash_probability",
+                       "crash_downtime", "partition_fraction")
+SCENARIO_DOMAIN_KEYS = ("name", "fraction", "members", "windows")
+SCENARIO_DOMAIN_WINDOW_KEYS = ("start", "end", "fault")
+SCENARIO_ADVERSARY_KEYS = ("delay_liar_fraction", "fanout_liar_fraction",
+                           "free_rider_fraction", "flapper_fraction",
+                           "delay_understatement", "flap_period",
+                           "flap_duty", "salt")
+SCENARIO_ADVERSARY_FRACTIONS = ("delay_liar_fraction", "fanout_liar_fraction",
+                                "free_rider_fraction", "flapper_fraction")
+SCENARIO_DEFENSE_KEYS = ("enabled", "probation_threshold",
+                         "quarantine_threshold", "blacklist_threshold",
+                         "oracle_plausibility", "delay_verification",
+                         "receipt_audit")
+SCENARIO_FEED_KEYS = ("duration", "push_loss", "recovery", "recovery_period",
+                      "publish_period")
+SCENARIO_ENGINES = ("async", "rounds")
+SCENARIO_ALGORITHMS = ("greedy", "hybrid", "fanout_greedy")
+SCENARIO_ORACLES = ("random", "random_capacity", "random_delay_capacity",
+                    "random_delay")
+SCENARIO_WORKLOADS = ("tf1", "rand", "bi_corr", "bi_uncorr")
+
+
+def scenario_keys(path, section, obj, allowed):
+    if not isinstance(obj, dict):
+        fail(path, f"scenario {section} is not an object")
+    for key in obj:
+        if key not in allowed:
+            fail(path, f"scenario {section} has unknown key {key!r}")
+
+
+def scenario_fraction(path, section, obj, key):
+    if key in obj:
+        value = obj[key]
+        if not isinstance(value, NUMERIC) or not 0.0 <= value <= 1.0:
+            fail(path, f"scenario {section}.{key} is not in [0, 1]")
+
+
+def scenario_window(path, section, obj):
+    if "start" not in obj or "end" not in obj:
+        fail(path, f"scenario {section} window missing start/end")
+    if not (isinstance(obj["start"], NUMERIC) and
+            isinstance(obj["end"], NUMERIC) and
+            0 <= obj["start"] <= obj["end"]):
+        fail(path, f"scenario {section} window needs 0 <= start <= end")
+
+
+def check_scenario(path, doc):
+    scenario_keys(path, "document", doc, SCENARIO_KEYS)
+    if not isinstance(doc.get("name"), str) or not doc["name"]:
+        fail(path, "scenario needs a non-empty 'name'")
+    for key, allowed in (("engine", SCENARIO_ENGINES),
+                         ("algorithm", SCENARIO_ALGORITHMS),
+                         ("oracle", SCENARIO_ORACLES)):
+        if key in doc and doc[key] not in allowed:
+            fail(path, f"scenario {key} {doc[key]!r} not in {allowed}")
+    if "trials" in doc and (not isinstance(doc["trials"], int)
+                            or doc["trials"] < 1):
+        fail(path, "scenario trials must be an integer >= 1")
+    if "horizon" in doc and (not isinstance(doc["horizon"], NUMERIC)
+                             or doc["horizon"] <= 0):
+        fail(path, "scenario horizon must be > 0")
+    if "workload" in doc:
+        workload = doc["workload"]
+        scenario_keys(path, "workload", workload, SCENARIO_WORKLOAD_KEYS)
+        if "kind" in workload and workload["kind"] not in SCENARIO_WORKLOADS:
+            fail(path, f"scenario workload.kind {workload['kind']!r} "
+                       f"not in {SCENARIO_WORKLOADS}")
+        if "peers" in workload and (not isinstance(workload["peers"], int)
+                                    or workload["peers"] < 2):
+            fail(path, "scenario workload.peers must be >= 2")
+    if "churn" in doc:
+        scenario_keys(path, "churn", doc["churn"], SCENARIO_CHURN_KEYS)
+        for key in SCENARIO_CHURN_KEYS:
+            scenario_fraction(path, "churn", doc["churn"], key)
+    for i, window in enumerate(doc.get("faults", []), 1):
+        scenario_keys(path, f"faults[{i}]", window, SCENARIO_FAULT_KEYS)
+        scenario_window(path, f"faults[{i}]", window)
+    for i, domain in enumerate(doc.get("domains", []), 1):
+        scenario_keys(path, f"domains[{i}]", domain, SCENARIO_DOMAIN_KEYS)
+        if not isinstance(domain.get("name"), str) or not domain["name"]:
+            fail(path, f"scenario domains[{i}] needs a non-empty 'name'")
+        has_fraction = domain.get("fraction", 0) > 0
+        has_members = bool(domain.get("members"))
+        if has_fraction == has_members:
+            fail(path, f"scenario domains[{i}] takes 'fraction' or "
+                       "'members', exactly one")
+        scenario_fraction(path, f"domains[{i}]", domain, "fraction")
+        windows = domain.get("windows")
+        if not isinstance(windows, list) or not windows:
+            fail(path, f"scenario domains[{i}] needs a non-empty "
+                       "'windows' array")
+        for j, window in enumerate(windows, 1):
+            scenario_keys(path, f"domains[{i}].windows[{j}]", window,
+                          SCENARIO_DOMAIN_WINDOW_KEYS)
+            scenario_window(path, f"domains[{i}].windows[{j}]", window)
+            if window.get("fault", "crash") not in ("crash", "partition"):
+                fail(path, f"scenario domains[{i}].windows[{j}].fault must "
+                           "be 'crash' or 'partition'")
+    if "adversary" in doc:
+        adversary = doc["adversary"]
+        scenario_keys(path, "adversary", adversary, SCENARIO_ADVERSARY_KEYS)
+        for key in SCENARIO_ADVERSARY_FRACTIONS:
+            scenario_fraction(path, "adversary", adversary, key)
+        total = sum(adversary.get(key, 0.0)
+                    for key in SCENARIO_ADVERSARY_FRACTIONS)
+        if total > 1.0 + 1e-9:
+            fail(path, "scenario adversary fractions must sum to <= 1")
+    if "defense" in doc:
+        defense = doc["defense"]
+        scenario_keys(path, "defense", defense, SCENARIO_DEFENSE_KEYS)
+        thresholds = [defense.get(key) for key in
+                      ("probation_threshold", "quarantine_threshold",
+                       "blacklist_threshold")]
+        present = [t for t in thresholds if t is not None]
+        if present != sorted(present):
+            fail(path, "scenario defense thresholds must be ordered "
+                       "probation <= quarantine <= blacklist")
+    if "feed" in doc:
+        feed = doc["feed"]
+        scenario_keys(path, "feed", feed, SCENARIO_FEED_KEYS)
+        scenario_fraction(path, "feed", feed, "push_loss")
+        if feed.get("push_loss", 0.0) >= 1.0:
+            fail(path, "scenario feed.push_loss must be < 1")
+        for key in ("duration", "recovery_period", "publish_period"):
+            if key in feed and (not isinstance(feed[key], NUMERIC)
+                                or feed[key] <= 0):
+                fail(path, f"scenario feed.{key} must be > 0")
+    counts = (len(doc.get("faults", [])), len(doc.get("domains", [])))
+    return (f"scenario '{doc['name']}' ({counts[0]} fault windows, "
+            f"{counts[1]} domains)")
 
 
 SPAN_KINDS = ("publish", "source_poll", "relay", "deliver", "repair",
@@ -205,6 +353,8 @@ def check_file(path):
         return "metrics json"
     if isinstance(doc, dict) and doc.get("schema") == "lagover.postmortem.v1":
         return check_postmortem(path, doc)
+    if isinstance(doc, dict) and doc.get("schema") == "lagover.scenario.v1":
+        return check_scenario(path, doc)
     if isinstance(doc, dict):
         return check_bench(path, doc)
     return check_jsonl(path, text)

@@ -13,7 +13,8 @@ keep the guarantee true (see docs/STATIC_ANALYSIS.md):
                   legitimate consumer).
   unordered-iter  no std::unordered_map / std::unordered_set in the
                   determinism-critical directories (src/core, src/sim,
-                  src/net, src/health, src/feed): iteration order is
+                  src/net, src/health, src/feed, src/fault,
+                  src/workload): iteration order is
                   implementation-defined, and an iterated hash table
                   feeding an RNG-consuming loop silently breaks seed
                   stability across platforms and libstdc++ versions.
@@ -57,6 +58,8 @@ DETERMINISM_DIRS = (
     "src/net",
     "src/health",
     "src/feed",
+    "src/fault",
+    "src/workload",
 )
 
 # The only places allowed to touch ambient entropy / wall clocks.

@@ -26,25 +26,50 @@ AsyncEngine::AsyncEngine(Population population, AsyncConfig config)
   LAGOVER_EXPECTS(config.backoff_max >= config.backoff_base);
   LAGOVER_EXPECTS(config.backoff_jitter >= 0.0 && config.backoff_jitter < 1.0);
   LAGOVER_EXPECTS(config.parent_poll_miss_limit >= 1);
+  // An adversary book with no adversarial nodes is indistinguishable
+  // from no adversary: normalize it away so no hooks install and the
+  // run stays byte-identical to an adversary-free engine.
+  if (config_.adversary != nullptr && config_.adversary->empty())
+    config_.adversary.reset();
   const std::size_t n = overlay_.node_count();
   epochs_.resize(n);
   detector_.resize(n, config_.health.phi);
   grandparent_hint_.assign(n, kNoNode);
   failover_pending_.assign(n, 0);
+  // Sized unconditionally (pure memory, no RNG): the suspicion-detach
+  // path touches the poll-miss counters even in adversary-only runs.
+  failed_attempts_.assign(n, 0);
+  parent_poll_misses_.assign(n, 0);
+  {
+    // The book's enabled flag tracks defense_active(): a defense config
+    // without an adversary layer has nothing to defend against.
+    health::DefenseConfig defense = config_.defense;
+    defense.enabled = defense_active();
+    suspicion_.resize(n, defense);
+  }
+  promised_delay_.assign(n, -1);
   // Lease bookkeeping rides on the overlay's edge observers: pure
   // record-keeping (no RNG, no scheduling), so the fault-free path is
   // untouched.
   overlay_.set_attach_observer([this](NodeId child, NodeId parent) {
     epochs_.record_attachment(child, parent);
     detector_.reset(child);
+    // Record the delay the parent promised (its *claimed* delay + 1):
+    // the child verifies it against reality on every maintenance poll.
+    if (defense_active() && config_.defense.delay_verification)
+      promised_delay_[child] =
+          static_cast<Delay>(protocol_->claimed_delay(overlay_, parent) + 1);
   });
   overlay_.set_detach_observer([this](NodeId child, NodeId /*parent*/) {
     epochs_.clear_lease(child);
     detector_.reset(child);
+    promised_delay_[child] = -1;
   });
   core_->set_trace_bus(&trace_bus_);
+  install_adversary_oracle();
   install_fault_hooks();
   install_core_hooks();
+  install_adversary_hooks();
 #ifdef LAGOVER_AUDIT
   // Audit the overlay once per simulated time unit (the same cadence as
   // the synchronous engine's rounds). Read-only: it draws no RNG and
@@ -61,6 +86,56 @@ void AsyncEngine::audit_tick() {
       audit_invariants(overlay_, config_.algorithm, &epochs_);
   audit_violations_ +=
       publish(report, audit_bus_, static_cast<Round>(sim_.now()));
+}
+
+void AsyncEngine::install_adversary_oracle() {
+  if (config_.adversary == nullptr) return;
+  // The Byzantine layer wraps the Oracle first, the fault layer (if any)
+  // second: Oracle outages and stale answers apply on top of the lies.
+  auto byzantine = std::make_unique<fault::ByzantineOracle>(config_.oracle,
+                                                            config_.adversary);
+  byzantine_oracle_ = byzantine.get();
+  if (defense_active()) {
+    byzantine->set_barred(
+        [this](NodeId node) { return suspicion_.barred(node); });
+    if (config_.defense.oracle_plausibility) {
+      byzantine->enable_plausibility_filter(true);
+      byzantine->set_plausibility_reporter(
+          [this](NodeId suspect, const char* cause) {
+            // report_once: the filter re-examines every candidate on
+            // every query, so the same lie must not re-count.
+            suspicion_.report_once(suspect, 3.0, epochs_.epoch(suspect),
+                                   cause);
+          });
+    }
+  }
+  oracle_ = std::move(byzantine);
+  core_ = std::make_unique<ConstructionCore>(overlay_, *protocol_, *oracle_,
+                                             config_.timeout_steps);
+  core_->set_trace_bus(&trace_bus_);
+}
+
+void AsyncEngine::install_adversary_hooks() {
+  if (config_.adversary == nullptr) return;
+  // Every remote-delay admission decision in the protocol now runs on
+  // the partner's *claimed* delay — a delay-liar passes checks it would
+  // truthfully fail, which is exactly the attack surface.
+  protocol_->set_delay_claim(
+      [book = config_.adversary](NodeId node, Delay truth) {
+        return book->claimed_delay(node, truth);
+      });
+  core_->set_byzantine_reject_probe(
+      [book = config_.adversary](NodeId partner) {
+        return book->rejects_child(partner);
+      });
+  if (defense_active()) {
+    core_->set_candidate_filter(
+        [this](NodeId candidate) { return !suspicion_.barred(candidate); });
+    core_->set_suspicion_reporter(
+        [this](NodeId suspect, NodeId /*reporter*/, const char* cause) {
+          suspicion_.report(suspect, 1.0, epochs_.epoch(suspect), cause);
+        });
+  }
 }
 
 void AsyncEngine::install_fault_hooks() {
@@ -82,16 +157,20 @@ void AsyncEngine::install_fault_hooks() {
 
 void AsyncEngine::install_core_hooks() {
   core_->set_clock([this] { return sim_.now(); });
-  // The epoch fence only guards construction state once a fault layer
-  // can actually re-incarnate nodes out from under it; without faults
-  // the probe stays uninstalled and churn-only runs are byte-stable.
-  if (config_.faults != nullptr)
+  // The epoch fence only guards construction state once a fault or
+  // adversary layer can actually re-incarnate nodes out from under it
+  // (crashes, flappers, domain outages); without either the probe stays
+  // uninstalled and churn-only runs are byte-stable.
+  if (config_.faults != nullptr || config_.adversary != nullptr)
     core_->set_epoch_probe([this](NodeId id) { return epochs_.epoch(id); });
 }
 
 void AsyncEngine::set_oracle(std::unique_ptr<Oracle> oracle) {
   LAGOVER_EXPECTS(oracle != nullptr);
   LAGOVER_EXPECTS(!started_);
+  // A replacement Oracle would bypass the Byzantine claim filter; the
+  // adversary layer owns the Oracle stack.
+  LAGOVER_EXPECTS(config_.adversary == nullptr);
   oracle_ = std::move(oracle);
   core_ = std::make_unique<ConstructionCore>(overlay_, *protocol_, *oracle_,
                                              config_.timeout_steps);
@@ -150,6 +229,7 @@ void AsyncEngine::apply_churn() {
     // A rejoining node is a new incarnation: state naming its previous
     // life (referrals, cached partners, hints) is now fenced.
     epochs_.bump(id);
+    if (defense_active()) suspicion_.note_epoch(id, epochs_.epoch(id));
     core_->emit({label, TraceEventType::kChurnJoin, id, kNoNode, false});
     // Rejoined nodes resume their action loop (their previous wake-up
     // chain died at the offline check).
@@ -189,14 +269,25 @@ void AsyncEngine::schedule_node(NodeId id, SimTime delay) {
   sim_.schedule_after(delay, [this, id] { on_wake(id); });
 }
 
-void AsyncEngine::crash_node(NodeId id) {
+void AsyncEngine::crash_node(NodeId id, double downtime, const char* cause) {
   // The crash orphans the node's children (the overlay is the shared
   // ground truth, as with churn) and erases its session state; the node
-  // rejoins after the window's configured downtime. kCrash is emitted
-  // BEFORE the structural change so observers (metrics recorders) can
-  // still see the children the crash is about to orphan.
+  // rejoins after `downtime`. kCrash is emitted BEFORE the structural
+  // change so observers (metrics recorders) can still see the children
+  // the crash is about to orphan.
   const Round label = static_cast<Round>(sim_.now());
-  core_->emit({label, TraceEventType::kCrash, id, kNoNode, false});
+  TraceEvent event{label, TraceEventType::kCrash, id, kNoNode, false};
+  event.cause = cause;
+  core_->emit(event);
+  if (defense_active()) {
+    // A crashing parent is instability evidence in proportion to the
+    // children it strands. Honest-but-unreliable nodes accrue it too:
+    // an unreliable parent is a poor parent regardless of intent.
+    const double orphaned =
+        static_cast<double>(overlay_.children(id).size());
+    if (orphaned > 0.0)
+      suspicion_.report(id, orphaned, epochs_.epoch(id), "unstable_parent");
+  }
   if (config_.health.failover == health::FailoverPolicy::kLadder) {
     // Arm the ladder for the children this crash orphans: their best
     // local candidate is the crashed parent's own parent.
@@ -211,14 +302,13 @@ void AsyncEngine::crash_node(NodeId id) {
   grandparent_hint_[id] = kNoNode;
   failover_pending_[id] = 0;
   converged_ = false;
-  const double downtime =
-      std::max(config_.faults->crash_downtime(sim_.now()), 0.1);
-  sim_.schedule_after(downtime, [this, id] {
+  sim_.schedule_after(std::max(downtime, 0.1), [this, id] {
     if (overlay_.online(id)) return;  // churn already rejoined it
     overlay_.set_online(id);
     core_->reset_node(id);
     // New incarnation: fence anything that still names the old one.
     epochs_.bump(id);
+    if (defense_active()) suspicion_.note_epoch(id, epochs_.epoch(id));
     core_->emit({static_cast<Round>(sim_.now()), TraceEventType::kRejoin, id,
                  kNoNode, false});
     schedule_node(id, draw_duration());
@@ -229,16 +319,32 @@ void AsyncEngine::on_wake(NodeId id) {
   TELEM_SCOPE("async.wake");
   telemetry::note_sim_time(sim_.now());
   TELEM_COUNT("async.wakes", 1);
-  // Without churn or faults, a converged overlay is final and the wake
-  // chains may die out; otherwise they must keep running (convergence
-  // is transient).
-  if ((converged_ && !churn_ && !config_.faults) || !overlay_.online(id))
+  // Without churn, faults, or adversaries, a converged overlay is final
+  // and the wake chains may die out; otherwise they must keep running
+  // (convergence is transient).
+  if ((converged_ && !churn_ && !config_.faults && !config_.adversary) ||
+      !overlay_.online(id))
     return;
+  // Flapper adversaries and correlated domain outages take the node
+  // down deterministically (pure functions of id and time — no engine
+  // RNG), checked before the probabilistic crash roll.
+  if (config_.adversary != nullptr &&
+      config_.adversary->flapping_down(id, sim_.now())) {
+    crash_node(id, config_.adversary->flap_remaining(id, sim_.now()), "flap");
+    return;
+  }
+  if (config_.faults != nullptr) {
+    const double outage = config_.faults->domain_crash_outage(id, sim_.now());
+    if (outage > 0.0) {
+      crash_node(id, outage, "domain");
+      return;
+    }
+  }
   // Crash fault: the node dies mid-action instead of proceeding —
   // attached nodes orphan their subtree, orphans just disappear.
   if (config_.faults != nullptr &&
       config_.faults->crash_roll(id, sim_.now())) {
-    crash_node(id);
+    crash_node(id, config_.faults->crash_downtime(sim_.now()), "");
     return;
   }
   if (overlay_.has_parent(id)) {
@@ -269,6 +375,11 @@ void AsyncEngine::detach_suspected(NodeId id, NodeId parent, Round label,
                                    TraceEventType type) {
   parent_poll_misses_[id] = 0;
   converged_ = false;
+  // Losing a parent to silence or a stale lease is (mild) instability
+  // evidence against it; kParentQuarantined is the ladder's own verdict
+  // being executed, not new evidence.
+  if (defense_active() && type != TraceEventType::kParentQuarantined)
+    suspicion_.report(parent, 1.0, epochs_.epoch(parent), "unstable_parent");
   core_->detach_suspected(id, parent, label, type);
   if (config_.health.failover == health::FailoverPolicy::kLadder)
     failover_pending_[id] = 1;
@@ -309,7 +420,52 @@ void AsyncEngine::wake_attached(NodeId id) {
     // of the failover ladder should the parent die.
     grandparent_hint_[id] = overlay_.parent(parent);
   }
-  core_->maintenance_step(id, protocol_->maintenance_patience(), label);
+  if (defense_active()) {
+    const NodeId parent = overlay_.parent(id);
+    // Child-side delay verification: compare the delay promised at the
+    // last attach/poll against the chain as actually observed. The
+    // promise is then refreshed to the parent's *current* claim, so an
+    // honest parent whose upstream grew is charged once for the growth
+    // while a liar (whose claim never matches reality) is charged on
+    // every poll.
+    if (config_.defense.delay_verification && overlay_.connected(id) &&
+        promised_delay_[id] > 0) {
+      const Delay observed = overlay_.delay_at(id);
+      if (observed > promised_delay_[id])
+        suspicion_.report(
+            parent,
+            std::min<double>(observed - promised_delay_[id], 3.0),
+            epochs_.epoch(parent), "delay_misreport");
+      promised_delay_[id] =
+          static_cast<Delay>(protocol_->claimed_delay(overlay_, parent) + 1);
+    }
+    // Receipt audit: a free-riding parent relays no feed items, so its
+    // children see no receipts over a full poll period. (Emulated via
+    // the adversary book; the feed layer drops the actual pushes.)
+    if (config_.defense.receipt_audit &&
+        config_.adversary->withholds_feed(parent))
+      suspicion_.report(parent, 1.0, epochs_.epoch(parent), "no_receipts");
+    // Ladder consequence: children abandon a barred parent immediately.
+    if (suspicion_.barred(parent)) {
+      ++quarantine_detaches_;
+      detach_suspected(id, parent, label,
+                       TraceEventType::kParentQuarantined);
+      return;
+    }
+  }
+  // A node's DelayAt knowledge is piggy-backed down its chain, so the
+  // self-check runs on the parent's *reported* delay: a delay-liar's
+  // direct children believe claim + 1 and stay put while truly violated
+  // — the lie hides the damage from its victims. (The defense ladder's
+  // delay verification above measures actual arrival times, which the
+  // parent cannot fake.)
+  std::optional<bool> believed_violated;
+  if (config_.adversary != nullptr)
+    believed_violated =
+        protocol_->claimed_delay(overlay_, overlay_.parent(id)) + 1 >
+        overlay_.latency_of(id);
+  core_->maintenance_step(id, protocol_->maintenance_patience(), label,
+                          believed_violated);
   // Attached nodes only need periodic maintenance checks; detached
   // ones resume the construction loop at their own pace either way.
   schedule_node(id, overlay_.has_parent(id) ? config_.maintenance_period

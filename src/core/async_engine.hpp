@@ -20,8 +20,10 @@
 #include "core/engine.hpp"
 #include "core/types.hpp"
 #include "core/validator.hpp"
+#include "fault/byzantine.hpp"
 #include "fault/fault_injector.hpp"
 #include "health/health.hpp"
+#include "health/suspicion.hpp"
 #include "net/latency_model.hpp"
 #include "sim/simulator.hpp"
 
@@ -66,6 +68,15 @@ struct AsyncConfig {
   /// byte-for-byte; epoch bookkeeping is always on but inert without
   /// faults.
   health::HealthConfig health;
+  /// Byzantine adversary layer (liars, free-riders, flappers). Null or
+  /// an empty book is normalized away: no hook installs, no RNG-stream
+  /// change, runs stay byte-identical to an adversary-free engine.
+  std::shared_ptr<fault::AdversaryBook> adversary;
+  /// Defense ladder (suspicion scoring, quarantine, Oracle plausibility
+  /// filter). Only engaged when both defense.enabled and an adversary
+  /// layer are present — defenses-off adversarial runs show the
+  /// undefended collapse.
+  health::DefenseConfig defense;
   std::uint64_t seed = 1;
 };
 
@@ -138,6 +149,22 @@ class AsyncEngine {
   const fault::FaultInjector* faults() const noexcept {
     return config_.faults.get();
   }
+  const fault::AdversaryBook* adversary() const noexcept {
+    return config_.adversary.get();
+  }
+  /// Defense-ladder state (empty book when defenses are off).
+  const health::SuspicionBook& suspicion() const noexcept {
+    return suspicion_;
+  }
+  /// The claim-filtered Oracle, when an adversary layer is installed
+  /// (null otherwise); exposes barred/implausible skip counters.
+  const fault::ByzantineOracle* byzantine_oracle() const noexcept {
+    return byzantine_oracle_;
+  }
+  /// Children that abandoned a quarantined/blacklisted parent.
+  std::uint64_t quarantine_detaches() const noexcept {
+    return quarantine_detaches_;
+  }
 
   /// Health-layer state, for validators and metrics.
   const health::EpochBook& epochs() const noexcept { return epochs_; }
@@ -153,9 +180,23 @@ class AsyncEngine {
   void wake_attached(NodeId id);
   void wake_orphan(NodeId id);
   void apply_churn();
-  void crash_node(NodeId id);
+  /// Takes `id` offline for `downtime` (floored at 0.1) and schedules
+  /// its rejoin as a new incarnation. `cause` tags the kCrash event
+  /// ("" = plain fault-plan crash, "flap" = adversarial flapper,
+  /// "domain" = correlated domain outage).
+  void crash_node(NodeId id, double downtime, const char* cause);
+  /// Wraps the Oracle in the Byzantine claim filter (before the fault
+  /// layer wraps it again, so outages apply on top of lies).
+  void install_adversary_oracle();
+  /// Installs the claimed-delay hook on the protocol and the reject /
+  /// defense hooks on the (final) construction core. Must run after
+  /// every core_ rebuild is done.
+  void install_adversary_hooks();
   void install_fault_hooks();
   void install_core_hooks();
+  bool defense_active() const noexcept {
+    return config_.adversary != nullptr && config_.defense.enabled;
+  }
   /// One undeliverable poll from id to its parent: updates the active
   /// detection policy's state and reports whether the parent is now
   /// suspected dead.
@@ -203,6 +244,18 @@ class AsyncEngine {
   /// crash): the node's next orphan wake tries the failover ladder
   /// before the Oracle. Never set on the fault-free path.
   std::vector<char> failover_pending_;
+  /// Defense-ladder scores and trust states (sized always, inert unless
+  /// defense_active()).
+  health::SuspicionBook suspicion_;
+  /// Delay each attached node was promised at attach time (parent's
+  /// claimed delay + 1); -1 = no active promise. Maintained only while
+  /// the defense ladder runs delay verification.
+  std::vector<Delay> promised_delay_;
+  /// Borrowed view of the claim-filtering Oracle (owned by oracle_,
+  /// possibly through the fault layer's wrapper). Null without an
+  /// adversary layer.
+  fault::ByzantineOracle* byzantine_oracle_ = nullptr;
+  std::uint64_t quarantine_detaches_ = 0;
 };
 
 }  // namespace lagover

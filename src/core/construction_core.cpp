@@ -22,6 +22,7 @@ const char* to_string(TraceEventType type) noexcept {
     case TraceEventType::kRejoin: return "rejoin";
     case TraceEventType::kEpochFenced: return "epoch_fenced";
     case TraceEventType::kFailoverAttach: return "failover_attach";
+    case TraceEventType::kParentQuarantined: return "parent_quarantined";
   }
   return "unknown";
 }
@@ -76,8 +77,17 @@ void ConstructionCore::detach_suspected(NodeId id, NodeId parent, Round round,
                                         TraceEventType type) {
   overlay_.detach(id);
   TraceEvent event{round, type, id, parent, false};
-  event.cause = type == TraceEventType::kEpochFenced ? "stale_lease"
-                                                     : "missed_polls";
+  switch (type) {
+    case TraceEventType::kEpochFenced:
+      event.cause = "stale_lease";
+      break;
+    case TraceEventType::kParentQuarantined:
+      event.cause = "quarantined";
+      break;
+    default:
+      event.cause = "missed_polls";
+      break;
+  }
   emit(event);
 }
 
@@ -139,10 +149,15 @@ bool ConstructionCore::failover_step(NodeId i, NodeId grandparent_hint,
   for (const CachedPartner& c : candidates) {
     if (c.node == i || !overlay_.online(c.node)) continue;
     if (fenced(c.node, c.epoch)) continue;
+    if (candidate_filter_ && !candidate_filter_(c.node)) continue;
     if (c.node != kSourceId) {
       if (!overlay_.can_attach(i, c.node)) continue;
       // Keep i's own bound: attaching under c must not leave i violated.
-      if (overlay_.delay_at(c.node) + 1 > overlay_.latency_of(i)) continue;
+      // Runs on c's *reported* delay — the failover path is as blind to
+      // delay-liars as the Oracle path.
+      if (protocol_.claimed_delay(overlay_, c.node) + 1 >
+          overlay_.latency_of(i))
+        continue;
     }
     if (delivery_probe_ && !delivery_probe_(i, c.node)) continue;
     bool attached = false;
@@ -194,7 +209,8 @@ StepOutcome ConstructionCore::orphan_step(NodeId i, Rng& rng, Round round) {
     const health::Epoch r_epoch = referral_epoch_[i];
     referral_[i] = kNoNode;
     referral_epoch_[i] = health::kNoEpoch;
-    if (r != i && r != kSourceId && overlay_.online(r) && !fenced(r, r_epoch))
+    if (r != i && r != kSourceId && overlay_.online(r) &&
+        !fenced(r, r_epoch) && (!candidate_filter_ || candidate_filter_(r)))
       partner = r;
   }
   if (partner == kNoNode) {
@@ -208,7 +224,8 @@ StepOutcome ConstructionCore::orphan_step(NodeId i, Rng& rng, Round round) {
       for (const CachedPartner& cached : recent_partners_[i]) {
         if (cached.node != i && cached.node != kSourceId &&
             overlay_.online(cached.node) &&
-            !fenced(cached.node, cached.epoch)) {
+            !fenced(cached.node, cached.epoch) &&
+            (!candidate_filter_ || candidate_filter_(cached.node))) {
           partner = cached.node;
           break;
         }
@@ -232,6 +249,21 @@ StepOutcome ConstructionCore::orphan_step(NodeId i, Rng& rng, Round round) {
       (delivery_probe_ && !delivery_probe_(i, partner))) {
     ++timeout_counter_[i];
     emit({round, TraceEventType::kInteractionFailed, i, partner, false});
+    return {partner, false, false};
+  }
+
+  // Byzantine fanout-liar: the request arrived but the partner refuses
+  // the interaction it solicited capacity for. A wasted step for i (it
+  // counts toward the timeout and triggers backoff) and first-hand
+  // evidence for the defense ladder.
+  if (byzantine_reject_probe_ && byzantine_reject_probe_(partner)) {
+    ++timeout_counter_[i];
+    if (suspicion_reporter_)
+      suspicion_reporter_(partner, i, "byzantine_reject");
+    TraceEvent event{round, TraceEventType::kInteractionFailed, i, partner,
+                     false};
+    event.cause = "byzantine_reject";
+    emit(event);
     return {partner, false, false};
   }
 

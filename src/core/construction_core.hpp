@@ -51,6 +51,9 @@ enum class TraceEventType {
   /// A suspected-orphan re-attached via the local failover ladder
   /// (grandparent hint / cached partner) without consulting the Oracle.
   kFailoverAttach,
+  /// The defense ladder barred a node's parent (quarantine/blacklist):
+  /// the child abandons it without waiting for missed polls.
+  kParentQuarantined,
 };
 
 struct TraceEvent {
@@ -136,6 +139,32 @@ class ConstructionCore {
   /// sim.now). Without one, `when` falls back to the round number.
   using Clock = std::function<SimTime()>;
   void set_clock(Clock clock) { clock_ = std::move(clock); }
+
+  /// Byzantine fanout-liar probe (adversary layer): does `partner`
+  /// reject the attach request it solicited? Consulted after transport
+  /// succeeds but before the interaction runs — the request *arrived*,
+  /// the partner just refused it. Null (the default) = nobody refuses.
+  using ByzantineRejectProbe = std::function<bool(NodeId partner)>;
+  void set_byzantine_reject_probe(ByzantineRejectProbe probe) {
+    byzantine_reject_probe_ = std::move(probe);
+  }
+
+  /// Defense-ladder candidate filter: false = the named node is barred
+  /// (quarantined/blacklisted) and must not be used as a referral,
+  /// cached fallback, or failover candidate. Null = everyone usable.
+  using CandidateFilter = std::function<bool(NodeId candidate)>;
+  void set_candidate_filter(CandidateFilter filter) {
+    candidate_filter_ = std::move(filter);
+  }
+
+  /// Suspicion evidence sink (defense ladder): called when this core
+  /// observes adversarial behaviour first-hand (e.g. a solicited attach
+  /// rejected). Null = no defense layer listening.
+  using SuspicionReporter =
+      std::function<void(NodeId suspect, NodeId reporter, const char* cause)>;
+  void set_suspicion_reporter(SuspicionReporter reporter) {
+    suspicion_reporter_ = std::move(reporter);
+  }
 
   /// One step of the `while i is parentless` loop (Algorithm 2 body):
   /// source contact when the timeout fired or a source referral is
@@ -236,6 +265,9 @@ class ConstructionCore {
   OutageProbe oracle_outage_probe_;
   EpochProbe epoch_probe_;
   Clock clock_;
+  ByzantineRejectProbe byzantine_reject_probe_;
+  CandidateFilter candidate_filter_;
+  SuspicionReporter suspicion_reporter_;
 
   // Per-node state (index = node id; [0] unused).
   std::vector<int> timeout_counter_;

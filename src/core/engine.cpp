@@ -42,31 +42,106 @@ Engine::Engine(Population population, EngineConfig config)
   LAGOVER_EXPECTS(config.maintenance_patience >= 0);
   LAGOVER_EXPECTS(config.parent_poll_miss_limit >= 1);
   protocol_->set_orphaning_displacement(config.orphaning_displacement);
+  // An adversary book with no adversarial nodes is indistinguishable
+  // from no adversary: normalize it away so no hooks install and the
+  // run stays byte-identical to an adversary-free engine.
+  if (config_.adversary != nullptr && config_.adversary->empty())
+    config_.adversary.reset();
   const std::size_t n = overlay_.node_count();
   epochs_.resize(n);
   detector_.resize(n, config_.health.phi);
   grandparent_hint_.assign(n, kNoNode);
   failover_pending_.assign(n, 0);
+  // Sized unconditionally (pure memory, no RNG): the suspicion-detach
+  // path touches the poll-miss counters even in adversary-only runs.
+  parent_poll_misses_.assign(n, 0);
+  {
+    // The book's enabled flag tracks defense_active(): a defense config
+    // without an adversary layer has nothing to defend against.
+    health::DefenseConfig defense = config_.defense;
+    defense.enabled = defense_active();
+    suspicion_.resize(n, defense);
+  }
+  promised_delay_.assign(n, -1);
   // Lease bookkeeping rides on the overlay's edge observers: pure
   // record-keeping (no RNG), so the fault-free path is untouched.
   overlay_.set_attach_observer([this](NodeId child, NodeId parent) {
     epochs_.record_attachment(child, parent);
     detector_.reset(child);
+    // Record the delay the parent promised (its *claimed* delay + 1):
+    // the child verifies it against reality on every maintenance poll.
+    if (defense_active() && config_.defense.delay_verification)
+      promised_delay_[child] =
+          static_cast<Delay>(protocol_->claimed_delay(overlay_, parent) + 1);
   });
   overlay_.set_detach_observer([this](NodeId child, NodeId /*parent*/) {
     epochs_.clear_lease(child);
     detector_.reset(child);
+    promised_delay_[child] = -1;
   });
   core_->set_trace_bus(&trace_bus_);
+  install_adversary_oracle();
   install_fault_hooks();
   install_core_hooks();
+  install_adversary_hooks();
+}
+
+void Engine::install_adversary_oracle() {
+  if (config_.adversary == nullptr) return;
+  // The Byzantine layer wraps the Oracle first, the fault layer (if any)
+  // second: Oracle outages and stale answers apply on top of the lies.
+  auto byzantine = std::make_unique<fault::ByzantineOracle>(config_.oracle,
+                                                            config_.adversary);
+  byzantine_oracle_ = byzantine.get();
+  if (defense_active()) {
+    byzantine->set_barred(
+        [this](NodeId node) { return suspicion_.barred(node); });
+    if (config_.defense.oracle_plausibility) {
+      byzantine->enable_plausibility_filter(true);
+      byzantine->set_plausibility_reporter(
+          [this](NodeId suspect, const char* cause) {
+            // report_once: the filter re-examines every candidate on
+            // every query, so the same lie must not re-count.
+            suspicion_.report_once(suspect, 3.0, epochs_.epoch(suspect),
+                                   cause);
+          });
+    }
+  }
+  oracle_ = std::move(byzantine);
+  core_ = std::make_unique<ConstructionCore>(overlay_, *protocol_, *oracle_,
+                                             config_.timeout_rounds);
+  core_->set_trace_bus(&trace_bus_);
+}
+
+void Engine::install_adversary_hooks() {
+  if (config_.adversary == nullptr) return;
+  // Every remote-delay admission decision in the protocol now runs on
+  // the partner's *claimed* delay — a delay-liar passes checks it would
+  // truthfully fail, which is exactly the attack surface.
+  protocol_->set_delay_claim(
+      [book = config_.adversary](NodeId node, Delay truth) {
+        return book->claimed_delay(node, truth);
+      });
+  core_->set_byzantine_reject_probe(
+      [book = config_.adversary](NodeId partner) {
+        return book->rejects_child(partner);
+      });
+  if (defense_active()) {
+    core_->set_candidate_filter(
+        [this](NodeId candidate) { return !suspicion_.barred(candidate); });
+    core_->set_suspicion_reporter(
+        [this](NodeId suspect, NodeId /*reporter*/, const char* cause) {
+          suspicion_.report(suspect, 1.0, epochs_.epoch(suspect), cause);
+        });
+  }
 }
 
 void Engine::install_core_hooks() {
-  // The epoch fence only guards construction state once a fault layer
-  // can actually re-incarnate nodes out from under it; without faults
-  // the probe stays uninstalled and churn-only runs are byte-stable.
-  if (config_.faults != nullptr)
+  // The epoch fence only guards construction state once a fault or
+  // adversary layer can actually re-incarnate nodes out from under it
+  // (crashes, flappers, domain outages); without either the probe stays
+  // uninstalled and churn-only runs are byte-stable.
+  if (config_.faults != nullptr || config_.adversary != nullptr)
     core_->set_epoch_probe([this](NodeId id) { return epochs_.epoch(id); });
 }
 
@@ -91,6 +166,9 @@ void Engine::install_fault_hooks() {
 void Engine::set_oracle(std::unique_ptr<Oracle> oracle) {
   LAGOVER_EXPECTS(oracle != nullptr);
   LAGOVER_EXPECTS(!started_);
+  // A replacement Oracle would bypass the Byzantine claim filter; the
+  // adversary layer owns the Oracle stack.
+  LAGOVER_EXPECTS(config_.adversary == nullptr);
   oracle_ = std::move(oracle);
   // The core borrows the oracle; rebuild it against the new one. Trace
   // consumers live on trace_bus_, which the rebuilt core re-attaches
@@ -135,14 +213,26 @@ void Engine::apply_churn() {
     // A rejoining node is a new incarnation: state naming its previous
     // life (referrals, cached partners, hints) is now fenced.
     epochs_.bump(id);
+    if (defense_active()) suspicion_.note_epoch(id, epochs_.epoch(id));
     core_->emit({round_, TraceEventType::kChurnJoin, id, kNoNode, false});
   }
 }
 
-void Engine::crash_node(NodeId id) {
+void Engine::crash_node(NodeId id, double downtime, const char* cause) {
   // kCrash is emitted BEFORE the structural change so observers
   // (metrics recorders) can still see the children the crash orphans.
-  core_->emit({round_, TraceEventType::kCrash, id, kNoNode, false});
+  TraceEvent event{round_, TraceEventType::kCrash, id, kNoNode, false};
+  event.cause = cause;
+  core_->emit(event);
+  if (defense_active()) {
+    // A crashing parent is instability evidence in proportion to the
+    // children it strands. Honest-but-unreliable nodes accrue it too:
+    // an unreliable parent is a poor parent regardless of intent.
+    const double orphaned =
+        static_cast<double>(overlay_.children(id).size());
+    if (orphaned > 0.0)
+      suspicion_.report(id, orphaned, epochs_.epoch(id), "unstable_parent");
+  }
   if (config_.health.failover == health::FailoverPolicy::kLadder) {
     const NodeId grandparent = overlay_.parent(id);
     for (const NodeId child : overlay_.children(id)) {
@@ -154,11 +244,28 @@ void Engine::crash_node(NodeId id) {
   core_->reset_node(id);
   grandparent_hint_[id] = kNoNode;
   failover_pending_[id] = 0;
-  const double downtime =
-      config_.faults->crash_downtime(static_cast<SimTime>(round_));
   const Round back =
       round_ + std::max<Round>(1, static_cast<Round>(std::ceil(downtime)));
   crash_rejoins_.emplace_back(back, id);
+}
+
+void Engine::apply_scheduled_crashes() {
+  // Flapper duty cycles and correlated domain-outage windows are pure
+  // functions of (node, time) — no engine RNG — applied as a dedicated
+  // pass so both attached nodes and orphans go down on schedule.
+  const auto t = static_cast<SimTime>(round_);
+  if (config_.adversary != nullptr) {
+    for (NodeId id = 1; id < overlay_.node_count(); ++id)
+      if (overlay_.online(id) && config_.adversary->flapping_down(id, t))
+        crash_node(id, config_.adversary->flap_remaining(id, t), "flap");
+  }
+  if (config_.faults != nullptr && config_.faults->domains() != nullptr) {
+    for (NodeId id = 1; id < overlay_.node_count(); ++id) {
+      if (!overlay_.online(id)) continue;
+      const double outage = config_.faults->domain_crash_outage(id, t);
+      if (outage > 0.0) crash_node(id, outage, "domain");
+    }
+  }
 }
 
 void Engine::apply_fault_rejoins() {
@@ -174,6 +281,7 @@ void Engine::apply_fault_rejoins() {
     core_->reset_node(id);
     // New incarnation: fence anything that still names the old one.
     epochs_.bump(id);
+    if (defense_active()) suspicion_.note_epoch(id, epochs_.epoch(id));
     core_->emit({round_, TraceEventType::kRejoin, id, kNoNode, false});
   }
   crash_rejoins_.erase(due, crash_rejoins_.end());
@@ -194,6 +302,11 @@ bool Engine::suspect_parent(NodeId id) {
 
 void Engine::detach_suspected(NodeId id, NodeId parent, TraceEventType type) {
   parent_poll_misses_[id] = 0;
+  // Losing a parent to silence or a stale lease is (mild) instability
+  // evidence against it; kParentQuarantined is the ladder's own verdict
+  // being executed, not new evidence.
+  if (defense_active() && type != TraceEventType::kParentQuarantined)
+    suspicion_.report(parent, 1.0, epochs_.epoch(parent), "unstable_parent");
   core_->detach_suspected(id, parent, round_, type);
   if (config_.health.failover == health::FailoverPolicy::kLadder)
     failover_pending_[id] = 1;
@@ -206,6 +319,8 @@ RoundStats Engine::run_round() {
   telemetry::note_sim_time(static_cast<double>(round_));
   apply_churn();
   if (config_.faults != nullptr) apply_fault_rejoins();
+  if (config_.adversary != nullptr || config_.faults != nullptr)
+    apply_scheduled_crashes();
 
   // With stale chain knowledge, snapshot each node's violation state
   // BEFORE this round's maintenance so decisions can be based on what a
@@ -237,7 +352,9 @@ RoundStats Engine::run_round() {
     if (config_.faults != nullptr && overlay_.online(id) &&
         overlay_.has_parent(id) &&
         config_.faults->crash_roll(id, static_cast<SimTime>(round_))) {
-      crash_node(id);
+      crash_node(id,
+                 config_.faults->crash_downtime(static_cast<SimTime>(round_)),
+                 "");
       continue;
     }
     // Dead-parent detection (fault layer): the maintenance check
@@ -266,9 +383,52 @@ RoundStats Engine::run_round() {
       // of the failover ladder should the parent die.
       grandparent_hint_[id] = overlay_.parent(parent);
     }
+    if (defense_active() && overlay_.online(id) && overlay_.has_parent(id)) {
+      const NodeId parent = overlay_.parent(id);
+      // Child-side delay verification: compare the delay promised at
+      // the last attach/poll against the chain as actually observed.
+      // The promise is then refreshed to the parent's *current* claim,
+      // so an honest parent whose upstream grew is charged once for the
+      // growth while a liar (whose claim never matches reality) is
+      // charged on every poll.
+      if (config_.defense.delay_verification && overlay_.connected(id) &&
+          promised_delay_[id] > 0) {
+        const Delay observed_delay = overlay_.delay_at(id);
+        if (observed_delay > promised_delay_[id])
+          suspicion_.report(
+              parent,
+              std::min<double>(observed_delay - promised_delay_[id], 3.0),
+              epochs_.epoch(parent), "delay_misreport");
+        promised_delay_[id] =
+            static_cast<Delay>(protocol_->claimed_delay(overlay_, parent) + 1);
+      }
+      // Receipt audit: a free-riding parent relays no feed items, so
+      // its children see no receipts over a full poll period. (Emulated
+      // via the adversary book; the feed layer drops the actual pushes.)
+      if (config_.defense.receipt_audit &&
+          config_.adversary->withholds_feed(parent))
+        suspicion_.report(parent, 1.0, epochs_.epoch(parent), "no_receipts");
+      // Ladder consequence: children abandon a barred parent at once.
+      if (suspicion_.barred(parent)) {
+        ++quarantine_detaches_;
+        detach_suspected(id, parent, TraceEventType::kParentQuarantined);
+        continue;
+      }
+    }
     std::optional<bool> observed;
     if (config_.knowledge_lag > 0)
       observed = lagged && violation_snapshots_.back()[id] != 0;
+    // A node's DelayAt knowledge is piggy-backed down its chain, so
+    // under an adversary the self-check runs on the parent's *reported*
+    // delay: a delay-liar's direct children believe claim + 1 and stay
+    // put while truly violated — the lie hides the damage from its
+    // victims. (Takes precedence over knowledge_lag; the snapshots are
+    // ground truth the victims would not have.)
+    if (config_.adversary != nullptr && overlay_.online(id) &&
+        overlay_.has_parent(id))
+      observed =
+          protocol_->claimed_delay(overlay_, overlay_.parent(id)) + 1 >
+          overlay_.latency_of(id);
     core_->maintenance_step(id, patience, round_, observed);
   }
 
@@ -284,7 +444,9 @@ RoundStats Engine::run_round() {
     // Crash fault: the node dies mid-interaction instead of acting.
     if (config_.faults != nullptr &&
         config_.faults->crash_roll(i, static_cast<SimTime>(round_))) {
-      crash_node(i);
+      crash_node(i,
+                 config_.faults->crash_downtime(static_cast<SimTime>(round_)),
+                 "");
       continue;
     }
     // Failover ladder: a node orphaned by a suspicion event gets one

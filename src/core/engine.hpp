@@ -27,8 +27,10 @@
 #include "core/protocol.hpp"
 #include "core/types.hpp"
 #include "core/validator.hpp"
+#include "fault/byzantine.hpp"
 #include "fault/fault_injector.hpp"
 #include "health/health.hpp"
+#include "health/suspicion.hpp"
 
 namespace lagover {
 
@@ -63,6 +65,14 @@ struct EngineConfig {
   /// Health layer: failure detection + failover policy. Defaults
   /// reproduce the legacy behavior byte-for-byte.
   health::HealthConfig health;
+  /// Byzantine adversary layer (liars, free-riders, flappers). Null or
+  /// an empty book is normalized away: no hook installs, no RNG-stream
+  /// change, rounds stay byte-identical to an adversary-free engine.
+  std::shared_ptr<fault::AdversaryBook> adversary;
+  /// Defense ladder (suspicion scoring, quarantine, Oracle plausibility
+  /// filter). Engaged only when both defense.enabled and an adversary
+  /// layer are present.
+  health::DefenseConfig defense;
   std::uint64_t seed = 1;
 };
 
@@ -152,6 +162,23 @@ class Engine {
   }
   const ConstructionCore& core() const noexcept { return *core_; }
 
+  const fault::AdversaryBook* adversary() const noexcept {
+    return config_.adversary.get();
+  }
+  /// Defense-ladder state (empty book when defenses are off).
+  const health::SuspicionBook& suspicion() const noexcept {
+    return suspicion_;
+  }
+  /// The claim-filtered Oracle, when an adversary layer is installed
+  /// (null otherwise); exposes barred/implausible skip counters.
+  const fault::ByzantineOracle* byzantine_oracle() const noexcept {
+    return byzantine_oracle_;
+  }
+  /// Children that abandoned a quarantined/blacklisted parent.
+  std::uint64_t quarantine_detaches() const noexcept {
+    return quarantine_detaches_;
+  }
+
   /// Executes one construction round and returns its statistics.
   RoundStats run_round();
 
@@ -162,12 +189,28 @@ class Engine {
 
  private:
   void apply_churn();
+  /// Wraps the Oracle in the Byzantine claim filter (before the fault
+  /// layer wraps it again, so outages apply on top of lies).
+  void install_adversary_oracle();
+  /// Installs the claimed-delay hook on the protocol and the reject /
+  /// defense hooks on the (final) construction core. Must run after
+  /// every core_ rebuild is done.
+  void install_adversary_hooks();
   void install_fault_hooks();
   void install_core_hooks();
   void apply_fault_rejoins();
-  /// Crashes node i this round (fault layer): offline + scheduled
-  /// rejoin after the active window's crash downtime.
-  void crash_node(NodeId id);
+  /// Deterministic down-states: flapper duty cycles and correlated
+  /// domain-outage windows, checked once per round before the
+  /// probabilistic crash rolls.
+  void apply_scheduled_crashes();
+  bool defense_active() const noexcept {
+    return config_.adversary != nullptr && config_.defense.enabled;
+  }
+  /// Crashes node i this round: offline + scheduled rejoin after
+  /// `downtime` rounds (floored at 1). `cause` tags the kCrash event
+  /// ("" = plain fault-plan crash, "flap" = adversarial flapper,
+  /// "domain" = correlated domain outage).
+  void crash_node(NodeId id, double downtime, const char* cause);
   /// One undeliverable poll from id to its parent: updates the active
   /// detection policy's state and reports whether the parent is now
   /// suspected dead.
@@ -210,6 +253,18 @@ class Engine {
   /// Armed by a suspicion event; the node's next orphan turn tries the
   /// failover ladder before the Oracle.
   std::vector<char> failover_pending_;
+  /// Defense-ladder scores and trust states (sized always, inert unless
+  /// defense_active()).
+  health::SuspicionBook suspicion_;
+  /// Delay each attached node was promised at attach time (parent's
+  /// claimed delay + 1); -1 = no active promise. Maintained only while
+  /// the defense ladder runs delay verification.
+  std::vector<Delay> promised_delay_;
+  /// Borrowed view of the claim-filtering Oracle (owned by oracle_,
+  /// possibly through the fault layer's wrapper). Null without an
+  /// adversary layer.
+  fault::ByzantineOracle* byzantine_oracle_ = nullptr;
+  std::uint64_t quarantine_detaches_ = 0;
 };
 
 /// Convenience: builds the protocol for an algorithm kind.

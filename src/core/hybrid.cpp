@@ -102,7 +102,8 @@ InteractionResult HybridProtocol::interact_interior(Overlay& overlay, NodeId i,
   // Neither configuration possible. If j's delay already reaches i's
   // constraint, move closer to the source via k; otherwise re-consult
   // the Oracle.
-  if (overlay.delay_at(j) >= overlay.latency_of(i)) result.referral = k;
+  // Referral decision runs on j's reported delay (i cannot audit it).
+  if (claimed_delay(overlay, j) >= overlay.latency_of(i)) result.referral = k;
   return result;
 }
 

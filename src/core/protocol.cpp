@@ -40,7 +40,9 @@ bool Protocol::contact_source(Overlay& overlay, NodeId i) {
 
 bool Protocol::try_plain_attach(Overlay& overlay, NodeId c, NodeId p) {
   if (!overlay.can_attach(c, p)) return false;
-  if (overlay.delay_at(p) + 1 > overlay.latency_of(c)) return false;
+  // c admits the attach on p's *reported* delay: a delay-liar parent
+  // passes this check and leaves c truly violated afterwards.
+  if (claimed_delay(overlay, p) + 1 > overlay.latency_of(c)) return false;
   overlay.attach(c, p);
   ++counters_.plain_attaches;
   return true;
@@ -52,7 +54,8 @@ bool Protocol::try_attach_with_displacement(Overlay& overlay, NodeId i,
   if (overlay.in_subtree(j, i)) return false;
   const Delay li = overlay.latency_of(i);
   if (require_greedy_order && overlay.latency_of(j) > li) return false;
-  const Delay dj = overlay.delay_at(j);
+  // All of i's and m's decisions below run on j's reported delay.
+  const Delay dj = claimed_delay(overlay, j);
   if (dj + 1 > li) return false;
 
   if (try_plain_attach(overlay, i, j)) return true;
@@ -106,7 +109,7 @@ bool Protocol::try_replace_at(Overlay& overlay, NodeId i, NodeId j, NodeId k,
   if (overlay.fanout_of(i) < 1) return false;  // i must adopt j
 
   const Delay new_delay_i =
-      k == kSourceId ? 1 : overlay.delay_at(k) + 1;
+      k == kSourceId ? 1 : claimed_delay(overlay, k) + 1;
   if (new_delay_i > overlay.latency_of(i)) return false;
   if (new_delay_i + 1 > overlay.latency_of(j)) return false;
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 
 #include "core/overlay.hpp"
@@ -87,6 +88,26 @@ class Protocol {
     return orphaning_displacement_;
   }
 
+  /// Adversary interposition (fault layer): what a *remote* node tells
+  /// its peers its DelayAt is. Every admission check that reads another
+  /// node's delay goes through claimed_delay(), so a delay-liar's
+  /// understatement poisons exactly the decisions that real peers make
+  /// from reports — while a node's checks of its OWN delay (maintenance)
+  /// keep using ground truth. Null (the default) = everyone honest; the
+  /// adversary-free path computes identical results.
+  using DelayClaim = std::function<Delay(NodeId node, Delay true_delay)>;
+  void set_delay_claim(DelayClaim claim) noexcept {
+    delay_claim_ = std::move(claim);
+  }
+
+  /// The delay `node` reports to peers (ground truth without a claim
+  /// hook; the source never lies).
+  Delay claimed_delay(const Overlay& overlay, NodeId node) const {
+    const Delay truth = overlay.delay_at(node);
+    if (!delay_claim_ || node == kSourceId) return truth;
+    return delay_claim_(node, truth);
+  }
+
  protected:
   /// Tries to attach orphan root c directly under p (no displacement).
   /// Checks fanout, cycle-freedom, and the delay bound
@@ -115,6 +136,7 @@ class Protocol {
  private:
   SourceMode source_mode_;
   bool orphaning_displacement_ = true;
+  DelayClaim delay_claim_;
 };
 
 }  // namespace lagover

@@ -1,0 +1,90 @@
+#include "fault/domains.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace lagover::fault {
+
+const char* to_string(DomainFault fault) noexcept {
+  switch (fault) {
+    case DomainFault::kCrash: return "crash";
+    case DomainFault::kPartition: return "partition";
+  }
+  return "unknown";
+}
+
+FailureDomains& FailureDomains::add(FailureDomain domain) {
+  LAGOVER_EXPECTS(!domain.name.empty());
+  for (const DomainWindow& window : domain.windows)
+    LAGOVER_EXPECTS(window.start <= window.end);
+  for (const NodeId member : domain.members)
+    LAGOVER_EXPECTS(member != kSourceId && member != kNoNode);
+  std::sort(domain.members.begin(), domain.members.end());
+  domain.members.erase(
+      std::unique(domain.members.begin(), domain.members.end()),
+      domain.members.end());
+  domains_.push_back(std::move(domain));
+  return *this;
+}
+
+std::vector<NodeId> FailureDomains::hashed_members(const std::string& name,
+                                                   std::size_t node_count,
+                                                   double fraction,
+                                                   std::uint64_t seed) {
+  LAGOVER_EXPECTS(fraction >= 0.0 && fraction <= 1.0);
+  std::uint64_t name_hash = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (const char c : name)
+    name_hash = (name_hash ^ static_cast<unsigned char>(c)) *
+                0x100000001b3ULL;
+  std::vector<NodeId> members;
+  for (NodeId id = 1; id < node_count; ++id) {
+    SplitMix64 sm{seed ^ name_hash ^ (id * 0x9e3779b97f4a7c15ULL)};
+    const double u = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+    if (u < fraction) members.push_back(id);
+  }
+  return members;
+}
+
+double FailureDomains::crash_outage(NodeId node, SimTime t) const {
+  double outage = 0.0;
+  for (const FailureDomain& domain : domains_) {
+    if (!std::binary_search(domain.members.begin(), domain.members.end(),
+                            node))
+      continue;
+    for (const DomainWindow& window : domain.windows)
+      if (window.fault == DomainFault::kCrash && window.contains(t))
+        outage = std::max(outage, window.end - t);
+  }
+  return outage;
+}
+
+bool FailureDomains::partitioned(NodeId node, SimTime t) const {
+  for (const FailureDomain& domain : domains_) {
+    if (!std::binary_search(domain.members.begin(), domain.members.end(),
+                            node))
+      continue;
+    for (const DomainWindow& window : domain.windows)
+      if (window.fault == DomainFault::kPartition && window.contains(t))
+        return true;
+  }
+  return false;
+}
+
+bool FailureDomains::any_active(SimTime t) const {
+  for (const FailureDomain& domain : domains_)
+    for (const DomainWindow& window : domain.windows)
+      if (window.contains(t)) return true;
+  return false;
+}
+
+SimTime FailureDomains::last_end() const {
+  SimTime end = 0.0;
+  for (const FailureDomain& domain : domains_)
+    for (const DomainWindow& window : domain.windows)
+      end = std::max(end, window.end);
+  return end;
+}
+
+}  // namespace lagover::fault

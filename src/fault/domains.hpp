@@ -1,0 +1,96 @@
+// Correlated failure domains: rack/AS-level groups whose members crash
+// or partition *together* on a shared blast-radius schedule, instead of
+// the i.i.d. per-node faults of FaultPlan. Motivated by locality-aware
+// streaming studies: real outages take out whole racks, not random
+// samples.
+//
+// A domain is a named member set plus a list of fault windows. Members
+// are either explicit or derived by a deterministic hash of the domain
+// name (a stable pseudo-rack assignment). Pure data + pure queries: no
+// RNG stream is consumed, so an empty FailureDomains leaves engines
+// byte-identical to a domain-free run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace lagover::fault {
+
+/// What happens to a domain's members during one of its windows.
+enum class DomainFault {
+  kCrash,      ///< every member goes offline until the window ends
+  kPartition,  ///< members can only reach each other (and one another)
+};
+
+const char* to_string(DomainFault fault) noexcept;
+
+/// One blast-radius window: the domain's fault is active over the
+/// half-open interval [start, end).
+struct DomainWindow {
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+  DomainFault fault = DomainFault::kCrash;
+
+  bool contains(SimTime t) const noexcept { return t >= start && t < end; }
+};
+
+/// A named correlated-failure group with its schedule.
+struct FailureDomain {
+  std::string name;
+  std::vector<NodeId> members;  ///< consumer ids (never the source)
+  std::vector<DomainWindow> windows;
+};
+
+/// The full domain schedule of a run.
+class FailureDomains {
+ public:
+  FailureDomains() = default;
+
+  /// Appends a domain (validates windows and members; members are
+  /// sorted and deduplicated). Returns *this for chaining.
+  FailureDomains& add(FailureDomain domain);
+
+  bool empty() const noexcept { return domains_.empty(); }
+  const std::vector<FailureDomain>& domains() const noexcept {
+    return domains_;
+  }
+
+  /// Deterministic pseudo-rack membership: the `fraction` of consumers
+  /// [1, node_count) whose (name, seed, id) hash falls below it. Stable
+  /// across runs and query orders.
+  static std::vector<NodeId> hashed_members(const std::string& name,
+                                            std::size_t node_count,
+                                            double fraction,
+                                            std::uint64_t seed);
+
+  /// Remaining downtime for `node` if some domain containing it has an
+  /// active crash window at t (0 = none): the engine takes the node
+  /// offline until the *latest* such window ends, so overlapping blast
+  /// radii compose like FaultPlan windows (max of the effects).
+  double crash_outage(NodeId node, SimTime t) const;
+
+  /// Is `node` inside an active partition window of any of its domains?
+  bool partitioned(NodeId node, SimTime t) const;
+
+  /// Can a message flow between a and b at t under the domain
+  /// partitions? False iff exactly one endpoint is partitioned away.
+  bool reachable(NodeId a, NodeId b, SimTime t) const {
+    return partitioned(a, t) == partitioned(b, t);
+  }
+
+  /// Any window (crash or partition) active at t?
+  bool any_active(SimTime t) const;
+
+  /// End of the last window over all domains (0 when empty).
+  SimTime last_end() const;
+
+ private:
+  std::vector<FailureDomain> domains_;
+};
+
+}  // namespace lagover::fault

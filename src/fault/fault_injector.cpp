@@ -24,12 +24,16 @@ bool FaultInjector::partition_isolated(NodeId node, SimTime t) const noexcept {
 }
 
 bool FaultInjector::reachable(NodeId a, NodeId b, SimTime t) const noexcept {
-  return partition_isolated(a, t) == partition_isolated(b, t);
+  if (partition_isolated(a, t) != partition_isolated(b, t)) return false;
+  // Correlated-domain partitions compose on top of the plan's
+  // address-space partition: either kind of cut severs the link.
+  return domains_ == nullptr || domains_->reachable(a, b, t);
 }
 
 bool FaultInjector::deliver(NodeId from, NodeId to, SimTime t) {
   const FaultSpec spec = plan_.effective(t);
-  if (spec.partition_fraction > 0.0 && !reachable(from, to, t)) {
+  if ((spec.partition_fraction > 0.0 || domains_ != nullptr) &&
+      !reachable(from, to, t)) {
     ++stats_.partition_blocks;
     return false;
   }

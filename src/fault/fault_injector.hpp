@@ -9,8 +9,11 @@
 #include <cstdint>
 #include <functional>
 
+#include <memory>
+
 #include "common/rng.hpp"
 #include "core/types.hpp"
+#include "fault/domains.hpp"
 #include "fault/fault_plan.hpp"
 #include "sim/simulator.hpp"
 
@@ -25,6 +28,8 @@ struct FaultStats {
   std::uint64_t oracle_outage_queries = 0;
   std::uint64_t stale_oracle_refreshes = 0;
   std::uint64_t crashes = 0;
+  /// Nodes taken down by a correlated failure-domain window.
+  std::uint64_t domain_crashes = 0;
 };
 
 class FaultInjector {
@@ -35,8 +40,19 @@ class FaultInjector {
   const FaultStats& stats() const noexcept { return stats_; }
   FaultStats& stats() noexcept { return stats_; }
 
-  /// Any fault window active at t? (Cheap pre-check for hot paths.)
-  bool active(SimTime t) const noexcept { return plan_.active(t); }
+  /// Installs correlated failure domains (rack/AS blast radii); null or
+  /// an empty schedule is normalized to "no domains" so the composed
+  /// queries below stay byte-identical to a plan-only injector.
+  void set_domains(std::shared_ptr<FailureDomains> domains) {
+    domains_ = (domains && !domains->empty()) ? std::move(domains) : nullptr;
+  }
+  const FailureDomains* domains() const noexcept { return domains_.get(); }
+
+  /// Any fault window (plan or domain) active at t? (Cheap pre-check
+  /// for hot paths.)
+  bool active(SimTime t) const noexcept {
+    return plan_.active(t) || (domains_ != nullptr && domains_->any_active(t));
+  }
 
   // --- partitions -----------------------------------------------------
   /// Is `node` on the isolated side of the partition active at t?
@@ -75,8 +91,21 @@ class FaultInjector {
     return plan_.effective(t).crash_downtime;
   }
 
+  // --- correlated domains ----------------------------------------------
+  /// Remaining downtime for `node` if a failure domain containing it has
+  /// an active crash window at t (0 = none). Counts a domain crash;
+  /// engines call this once per node per blast radius (they take the
+  /// node offline for the returned duration).
+  double domain_crash_outage(NodeId node, SimTime t) noexcept {
+    if (domains_ == nullptr) return 0.0;
+    const double outage = domains_->crash_outage(node, t);
+    if (outage > 0.0) ++stats_.domain_crashes;
+    return outage;
+  }
+
  private:
   FaultPlan plan_;
+  std::shared_ptr<FailureDomains> domains_;
   std::uint64_t seed_;
   Rng rng_;
   FaultStats stats_;

@@ -18,7 +18,12 @@ class LossyDissemination {
       : overlay_(overlay),
         config_(config),
         source_(sim_, config.base.source),
-        rng_(config.seed_mix()) {}
+        rng_(config.seed_mix()) {
+    // An empty book holds no free-riders; normalize so the hot path has
+    // a single null check.
+    if (config_.adversary != nullptr && config_.adversary->empty())
+      config_.adversary.reset();
+  }
 
   LossyReport run(SimTime duration) {
     source_.start();
@@ -108,6 +113,20 @@ class LossyDissemination {
     // First receipt: forward downstream (lossy), regardless of how the
     // item arrived — recovered items keep flowing.
     const SimTime forward_at = sim_.now();
+    // Free-rider (adversary layer): the node applies the item for
+    // itself but never relays it — its whole subtree starves on pushes
+    // and must live off repair pulls from... this same node, which
+    // ignores those too (see recover()).
+    if (config_.adversary != nullptr &&
+        config_.adversary->withholds_feed(node)) {
+      for (NodeId child : overlay_.children(node)) {
+        if (!overlay_.online(child)) continue;
+        ++withheld_;
+        record_hop(telemetry::SpanKind::kDrop, child, item, node, hop + 1,
+                   forward_at, "free_ride");
+      }
+      return;
+    }
     bool forwarded = false;
     for (NodeId child : overlay_.children(node)) {
       if (!overlay_.online(child)) continue;
@@ -156,6 +175,15 @@ class LossyDissemination {
   void recover(NodeId node) {
     const NodeId parent = overlay_.parent(node);
     LAGOVER_ASSERT(parent != kNoNode && parent != kSourceId);
+    // A free-riding parent ignores repair requests as well: the pull is
+    // sent (and counted) but never answered.
+    if (config_.adversary != nullptr &&
+        config_.adversary->withholds_feed(parent)) {
+      ++recovery_pulls_;
+      sim_.schedule_after(config_.recovery_period,
+                          [this, node] { recover(node); });
+      return;
+    }
     const auto& parent_got = received_[parent];
     if (config_.repair == RepairMode::kNack) {
       // Gap detection: scan the sequence space up to the parent's
@@ -213,6 +241,7 @@ class LossyDissemination {
     report.duplicate_pushes = duplicate_pushes_;
     report.duplicates_suppressed = suppressed_;
     report.nacked_items = nacked_items_;
+    report.withheld_pushes = withheld_;
 
     // Exclude the tail window where deliveries may still be in flight.
     const TreeMetrics metrics = compute_tree_metrics(overlay_);
@@ -264,6 +293,7 @@ class LossyDissemination {
   std::uint64_t suppressed_ = 0;
   std::uint64_t duplicate_pushes_ = 0;
   std::uint64_t nacked_items_ = 0;
+  std::uint64_t withheld_ = 0;
 };
 
 }  // namespace

@@ -18,9 +18,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/overlay.hpp"
+#include "fault/byzantine.hpp"
 #include "feed/dissemination.hpp"
 
 namespace lagover::feed {
@@ -41,6 +43,11 @@ struct LossyConfig {
   /// item (models retransmit storms / at-least-once transports). 0
   /// draws no extra RNG, keeping legacy runs byte-identical.
   double duplicate_probability = 0.0;
+  /// Byzantine adversary layer: free-riders accept the feed but never
+  /// relay it downstream (pushes withheld, repair pulls ignored). Null
+  /// or an empty book changes nothing — no extra RNG is drawn either
+  /// way (withholding is a pure role lookup).
+  std::shared_ptr<const fault::AdversaryBook> adversary;
 
   /// RNG stream for loss decisions, derived from the base seed.
   std::uint64_t seed_mix() const noexcept {
@@ -70,6 +77,9 @@ struct LossyReport {
   std::uint64_t duplicates_suppressed = 0;
   /// Individual sequence numbers requested via NACK (kNack mode only).
   std::uint64_t nacked_items = 0;
+  /// Pushes a free-riding relay swallowed instead of forwarding
+  /// (adversary layer; includes repair answers it refused to give).
+  std::uint64_t withheld_pushes = 0;
 };
 
 /// Runs lossy dissemination over a (typically converged) overlay.

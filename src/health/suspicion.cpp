@@ -1,0 +1,131 @@
+#include "health/suspicion.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace lagover::health {
+
+const char* to_string(TrustState state) noexcept {
+  switch (state) {
+    case TrustState::kTrusted: return "trusted";
+    case TrustState::kProbation: return "probation";
+    case TrustState::kQuarantined: return "quarantined";
+    case TrustState::kBlacklisted: return "blacklisted";
+  }
+  return "unknown";
+}
+
+void SuspicionBook::resize(std::size_t node_count,
+                           const DefenseConfig& config) {
+  LAGOVER_EXPECTS(config.probation_threshold > 0.0);
+  LAGOVER_EXPECTS(config.quarantine_threshold >= config.probation_threshold);
+  LAGOVER_EXPECTS(config.blacklist_threshold >= config.quarantine_threshold);
+  config_ = config;
+  entries_.assign(node_count, Entry{});
+  reports_ = fenced_reports_ = 0;
+  probations_ = quarantines_ = blacklists_ = 0;
+}
+
+TrustState SuspicionBook::state(NodeId id) const {
+  if (id >= entries_.size()) return TrustState::kTrusted;
+  return entries_[id].state;
+}
+
+double SuspicionBook::score(NodeId id) const {
+  if (id >= entries_.size()) return 0.0;
+  return entries_[id].score;
+}
+
+void SuspicionBook::escalate(NodeId id, Entry& entry) {
+  (void)id;
+  TrustState next = TrustState::kTrusted;
+  if (entry.score >= config_.blacklist_threshold) {
+    next = TrustState::kBlacklisted;
+  } else if (entry.score >= config_.quarantine_threshold) {
+    next = TrustState::kQuarantined;
+  } else if (entry.score >= config_.probation_threshold) {
+    next = TrustState::kProbation;
+  }
+  // The ladder only climbs: scores never decay and re-incarnation does
+  // not reset them, so a state once reached is permanent.
+  if (next <= entry.state) return;
+  if (next >= TrustState::kProbation && entry.state < TrustState::kProbation) {
+    ++probations_;
+    TELEM_COUNT("defense.probations", 1);
+  }
+  if (next >= TrustState::kQuarantined &&
+      entry.state < TrustState::kQuarantined) {
+    ++quarantines_;
+    TELEM_COUNT("defense.quarantines", 1);
+  }
+  if (next == TrustState::kBlacklisted) {
+    ++blacklists_;
+    TELEM_COUNT("defense.blacklists", 1);
+  }
+  entry.state = next;
+}
+
+TrustState SuspicionBook::report(NodeId suspect, double weight, Epoch epoch,
+                                 const char* cause) {
+  (void)cause;
+  if (suspect >= entries_.size() || suspect == kSourceId)
+    return TrustState::kTrusted;
+  Entry& entry = entries_[suspect];
+  if (entry.state == TrustState::kBlacklisted) return entry.state;
+  // Epoch fence: evidence observed against a previous incarnation is
+  // void (it may describe behaviour the restart already ended).
+  if (epoch != kNoEpoch && entry.epoch != kNoEpoch) {
+    if (epoch < entry.epoch) {
+      ++fenced_reports_;
+      TELEM_COUNT("defense.fenced_reports", 1);
+      return entry.state;
+    }
+    if (epoch > entry.epoch) note_epoch(suspect, epoch);
+  }
+  if (entry.epoch == kNoEpoch) entry.epoch = epoch;
+  ++reports_;
+  TELEM_COUNT("defense.reports", 1);
+  entry.score += weight;
+  escalate(suspect, entry);
+  return entry.state;
+}
+
+TrustState SuspicionBook::report_once(NodeId suspect, double weight,
+                                      Epoch epoch, const char* cause) {
+  if (suspect >= entries_.size() || suspect == kSourceId)
+    return TrustState::kTrusted;
+  Entry& entry = entries_[suspect];
+  if (entry.state == TrustState::kBlacklisted) return entry.state;
+  // Advance the incarnation first (resetting the dedup set) so
+  // membership is checked against the *current* one.
+  if (epoch != kNoEpoch && entry.epoch != kNoEpoch && epoch > entry.epoch)
+    note_epoch(suspect, epoch);
+  for (const char* seen : entry.once_causes)
+    if (std::strcmp(seen, cause) == 0) return entry.state;
+  entry.once_causes.push_back(cause);
+  return report(suspect, weight, epoch, cause);
+}
+
+void SuspicionBook::note_epoch(NodeId id, Epoch epoch) {
+  if (id >= entries_.size()) return;
+  Entry& entry = entries_[id];
+  if (entry.epoch == epoch) return;
+  entry.epoch = epoch;
+  // Evidence and ladder state deliberately survive re-incarnation: a
+  // peer must not be able to launder suspicion by restarting (flappers
+  // would otherwise wipe their score on every down/up cycle). The epoch
+  // is tracked purely to fence *stale* reports about a previous life;
+  // only the once-per-incarnation dedup set starts fresh.
+  entry.once_causes.clear();
+}
+
+std::vector<NodeId> SuspicionBook::barred_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < entries_.size(); ++id)
+    if (entries_[id].state >= TrustState::kQuarantined) out.push_back(id);
+  return out;
+}
+
+}  // namespace lagover::health

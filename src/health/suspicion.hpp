@@ -1,0 +1,138 @@
+// Defense ladder against Byzantine peers: per-node suspicion scores
+// accrued from child-side delay verification, receipt audits, rejected
+// attach grants, and the Oracle's plausibility filter. Scores drive the
+// trust ladder
+//
+//   trusted -> probation -> quarantined -> blacklisted
+//
+// Quarantined and blacklisted nodes are "barred": the Oracle stops
+// serving them and children of barred parents re-orphan themselves.
+// Evidence is fenced by the epoch leases of health/lease.hpp — reports
+// observed against a *previous* incarnation of a node are void — but
+// accrued scores survive re-incarnation: a peer cannot launder
+// suspicion by restarting (the flapper adversary would otherwise reset
+// its score on every down/up cycle). A side effect worth knowing: an
+// honest node that crashes often accrues "unstable_parent" evidence
+// and can end up barred too — deliberate, since an unreliable parent
+// is a poor parent regardless of intent.
+//
+// Pure bookkeeping: no RNG, no scheduling. An engine that sizes a
+// SuspicionBook but never reports into it cannot perturb a fault-free
+// run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "health/lease.hpp"
+
+namespace lagover::health {
+
+/// Trust ladder states, in escalation order.
+enum class TrustState {
+  kTrusted,      ///< no (or below-threshold) evidence
+  kProbation,    ///< suspicious: still served, but watched
+  kQuarantined,  ///< barred: Oracle skips it, children detach
+  kBlacklisted,  ///< barred permanently, across re-incarnations
+};
+
+/// Stable lower_snake name ("trusted", "probation", ...).
+const char* to_string(TrustState state) noexcept;
+
+/// Defense-ladder tuning. `enabled = false` (the default) leaves every
+/// defense hook uninstalled: adversarial runs then show the undefended
+/// collapse, and fault-free runs stay byte-identical.
+struct DefenseConfig {
+  bool enabled = false;
+  /// Score thresholds for the ladder transitions (score >= threshold).
+  double probation_threshold = 2.0;
+  double quarantine_threshold = 5.0;
+  double blacklist_threshold = 12.0;
+  /// Oracle-side plausibility filter: cross-check a candidate's claimed
+  /// delay against the tree-depth lower bound implied by its parent's
+  /// claim (see fault::ByzantineOracle).
+  bool oracle_plausibility = true;
+  /// Child-side verification of the delay promised at attach time
+  /// against the delay the parent's chain actually provides.
+  bool delay_verification = true;
+  /// Child-side receipt audit: a parent that relays no feed items over
+  /// a full poll period accrues suspicion.
+  bool receipt_audit = true;
+};
+
+/// Per-node suspicion scores and ladder states. Indexed by NodeId; the
+/// source (node 0) is never suspected.
+class SuspicionBook {
+ public:
+  SuspicionBook() = default;
+  SuspicionBook(std::size_t node_count, const DefenseConfig& config) {
+    resize(node_count, config);
+  }
+
+  /// (Re)initializes for `node_count` nodes, all trusted with score 0.
+  void resize(std::size_t node_count, const DefenseConfig& config);
+
+  bool enabled() const noexcept { return config_.enabled && !entries_.empty(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+  const DefenseConfig& config() const noexcept { return config_; }
+
+  TrustState state(NodeId id) const;
+  double score(NodeId id) const;
+
+  /// Barred = quarantined or blacklisted: excluded from Oracle answers,
+  /// referrals, the failover ladder, and abandoned by children.
+  bool barred(NodeId id) const { return state(id) >= TrustState::kQuarantined; }
+
+  /// Accrues `weight` of evidence against `suspect`, recorded under the
+  /// suspect's current incarnation `epoch`. Evidence from an older
+  /// incarnation than the last recorded one is fenced (dropped); a newer
+  /// epoch advances the fence first. Returns the resulting state.
+  TrustState report(NodeId suspect, double weight, Epoch epoch,
+                    const char* cause);
+
+  /// Like report(), but counts at most once per (suspect, cause, epoch)
+  /// — for deterministic evidence sources that would otherwise re-fire
+  /// on every observation (e.g. the Oracle plausibility filter, which
+  /// re-examines every candidate on every query).
+  TrustState report_once(NodeId suspect, double weight, Epoch epoch,
+                         const char* cause);
+
+  /// Epoch fence: `id` re-incarnated. Older-epoch reports are void from
+  /// now on; the accrued score and ladder state persist (no suspicion
+  /// laundering by restart).
+  void note_epoch(NodeId id, Epoch epoch);
+
+  /// All currently barred nodes, ascending by id (deterministic).
+  std::vector<NodeId> barred_nodes() const;
+
+  // --- counters for metrics / bench summaries -------------------------
+  std::uint64_t reports() const noexcept { return reports_; }
+  std::uint64_t fenced_reports() const noexcept { return fenced_reports_; }
+  std::uint64_t probations() const noexcept { return probations_; }
+  std::uint64_t quarantines() const noexcept { return quarantines_; }
+  std::uint64_t blacklists() const noexcept { return blacklists_; }
+
+ private:
+  struct Entry {
+    double score = 0.0;
+    Epoch epoch = kNoEpoch;  ///< incarnation the evidence belongs to
+    TrustState state = TrustState::kTrusted;
+    /// Cause tags already counted via report_once() this incarnation.
+    std::vector<const char*> once_causes;
+  };
+
+  /// Applies the thresholds to `entry` after a score change, counting
+  /// (and telemetering) ladder escalations.
+  void escalate(NodeId id, Entry& entry);
+
+  DefenseConfig config_;
+  std::vector<Entry> entries_;
+  std::uint64_t reports_ = 0;
+  std::uint64_t fenced_reports_ = 0;
+  std::uint64_t probations_ = 0;
+  std::uint64_t quarantines_ = 0;
+  std::uint64_t blacklists_ = 0;
+};
+
+}  // namespace lagover::health

@@ -9,12 +9,15 @@
 #include <memory>
 #include <vector>
 
+#include "core/async_engine.hpp"
 #include "core/construction_core.hpp"
 #include "core/greedy.hpp"
+#include "core/validator.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/faulty_oracle.hpp"
 #include "net/network.hpp"
+#include "workload/constraints.hpp"
 
 namespace lagover {
 namespace {
@@ -375,6 +378,94 @@ TEST(ConstructionCoreFaultTest, PartnerCacheBridgesOracleOutage) {
   core.orphan_step(3, rng, 2);
   ASSERT_FALSE(events.empty());
   EXPECT_EQ(events.back().type, TraceEventType::kOracleEmpty);
+}
+
+// --- seeded end-to-end regressions ------------------------------------
+
+TEST(FaultRegressionTest, OracleOutageDuringActivePartition) {
+  // Regression: an Oracle outage overlapping an active partition. The
+  // partitioned minority loses its parents AND cannot ask the Oracle
+  // for new ones — nodes must ride the partner cache / failover ladder
+  // through the dark window, then fully recover once both faults lift.
+  WorkloadParams params;
+  params.peers = 40;
+  params.seed = 31;
+  auto plan = fault::FaultPlan{}
+                  .add(FaultPlan::partition(20.0, 60.0, 0.3))
+                  .add(FaultPlan::oracle_outage(30.0, 50.0));
+  AsyncConfig config;
+  config.seed = 31;
+  config.faults = std::make_shared<FaultInjector>(plan, 31);
+  AsyncEngine engine(generate_workload(WorkloadKind::kBiUnCorr, params),
+                     config);
+  const double fraction = engine.run_for(220.0);
+  // Both faults actually engaged, simultaneously at t=40.
+  EXPECT_GT(engine.faults()->stats().partition_blocks, 0u);
+  EXPECT_GT(engine.faults()->stats().oracle_outage_queries, 0u);
+  // Full recovery after the windows close, with a clean audit.
+  EXPECT_DOUBLE_EQ(fraction, 1.0);
+  EXPECT_TRUE(engine.overlay().all_satisfied());
+  EXPECT_EQ(engine.audit_violations(), 0u);
+}
+
+TEST(FaultRegressionTest, DuplicateDeliveryRacingACrash) {
+  // Regression: the recipient of a duplicated message crashes while
+  // both copies are in flight. The copies must be dropped dead (not
+  // delivered to the re-incarnated node, not wedge the kernel), and a
+  // post-rejoin send must flow normally — including its own duplicate.
+  Simulator sim;
+  net::Network<int> network(sim, std::make_unique<net::ConstantLatency>(1.0),
+                            17);
+  std::vector<int> arrivals;
+  const auto handler = [&](net::Address, const int& value) {
+    arrivals.push_back(value);
+  };
+  network.register_node(2, handler);
+
+  FaultPlan plan;
+  plan.add(FaultPlan::duplicates(0.0, 10.0, 1.0));
+  FaultInjector injector{plan, 17};
+  network.set_fault_filter(
+      net::make_fault_filter(injector, [&sim] { return sim.now(); }));
+
+  network.send(1, 2, 7);  // t=0: duplicated, both copies due at t=1.0
+  sim.run_until(0.5);
+  network.deregister_node(2);  // crash with both copies in flight
+  sim.run_until(2.0);          // both arrive dead and are dropped
+  EXPECT_TRUE(arrivals.empty());
+  EXPECT_EQ(network.dropped(), 2u);
+
+  network.register_node(2, handler);  // rejoin
+  network.send(1, 2, 8);              // t=2: duplicated, arrives twice
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], 8);
+  EXPECT_EQ(arrivals[1], 8);
+  EXPECT_EQ(network.fault_duplicated(), 2u);
+  EXPECT_EQ(injector.stats().messages_duplicated, 2u);
+}
+
+TEST(FaultRegressionTest, CrashStormKeepsEpochAuditClean) {
+  // Regression companion: nodes crash and re-incarnate mid-construction;
+  // no child may end the run holding a lease on a stale incarnation and
+  // the overlay must reconverge once the storm passes.
+  WorkloadParams params;
+  params.peers = 40;
+  params.seed = 17;
+  auto plan = fault::FaultPlan{}.add(
+      FaultPlan::crashes(10.0, 60.0, 0.02, /*downtime=*/4.0));
+  AsyncConfig config;
+  config.seed = 17;
+  config.faults = std::make_shared<FaultInjector>(plan, 17);
+  AsyncEngine engine(generate_workload(WorkloadKind::kBiUnCorr, params),
+                     config);
+  const double fraction = engine.run_for(260.0);
+  EXPECT_GT(engine.faults()->stats().crashes, 0u);
+  EXPECT_GT(engine.epochs().bumps(), 0u);  // re-incarnations happened
+  EXPECT_DOUBLE_EQ(fraction, 1.0);
+  EXPECT_EQ(engine.audit_violations(), 0u);
+  const EpochAudit audit = audit_epochs(engine.overlay(), engine.epochs());
+  EXPECT_TRUE(audit.ok()) << audit.to_string();
 }
 
 TEST(ConstructionCoreFaultTest, ResetClearsPartnerCache) {
