@@ -38,6 +38,9 @@ int run(int argc, char** argv) {
   std::cout << "# Ablations (Oracle Random-Delay, " << options.peers
             << " peers, median of " << options.trials << ")\n";
 
+  bench::BenchJson bench_json("bench_ablation", options);
+  bench::TelemetryExport telemetry_export(options);
+
   {
     Table table({"workload", "algorithm", "with orphaning displacement",
                  "without (paper's literal moves)"});
@@ -51,10 +54,23 @@ int run(int argc, char** argv) {
         table.add_row({to_string(workload), to_string(algorithm),
                        format_convergence_cell(with_move),
                        format_convergence_cell(without)});
+        // The acceptance-relevant cell: Tf1 is where the literal move
+        // set deadlocks without displacement.
+        if (workload == WorkloadKind::kTf1 &&
+            algorithm == AlgorithmKind::kHybrid) {
+          bench_json.add_scalar("orphaning.tf1_hybrid_with_median",
+                                with_move.median_rounds());
+          bench_json.add_scalar("orphaning.tf1_hybrid_without_median",
+                                without.median_rounds());
+          bench_json.add_count("orphaning.tf1_hybrid_without_failures",
+                               static_cast<std::uint64_t>(without.failures));
+        }
       }
     }
     bench::print_table("ablation 1 — orphaning displacement", table, options,
                        "ablation_orphaning");
+    bench_json.add_table("ablation_orphaning", table);
+    telemetry_export.sample(1.0);
   }
 
   {
@@ -70,6 +86,8 @@ int run(int argc, char** argv) {
     }
     bench::print_table("ablation 2 — hybrid maintenance patience", table,
                        options, "ablation_patience");
+    bench_json.add_table("ablation_patience", table);
+    telemetry_export.sample(2.0);
   }
 
   {
@@ -87,6 +105,8 @@ int run(int argc, char** argv) {
     }
     bench::print_table("ablation 3 — orphan timeout before source contact",
                        table, options, "ablation_timeout");
+    bench_json.add_table("ablation_timeout", table);
+    telemetry_export.sample(3.0);
   }
 
   {
@@ -111,7 +131,11 @@ int run(int argc, char** argv) {
     bench::print_table(
         "ablation 4 — stale chain knowledge (Section 2.1.3)", table, options,
         "ablation_knowledge");
+    bench_json.add_table("ablation_knowledge", table);
+    telemetry_export.sample(4.0);
   }
+  telemetry_export.finish(bench_json);
+  bench_json.write(options);
   return 0;
 }
 

@@ -58,8 +58,12 @@ int run(int argc, char** argv) {
             << options.peers << " peers, median of " << options.trials
             << ")\n";
 
+  bench::BenchJson bench_json("bench_fanout_baseline", options);
+  bench::TelemetryExport telemetry_export(options);
+
   Table table({"workload", "algorithm", "rounds to full connectivity",
                "mean depth", "max depth", "constraints satisfied"});
+  double cell_t = 0.0;
   for (auto kind : {WorkloadKind::kBiCorr, WorkloadKind::kBiUnCorr}) {
     for (auto algorithm :
          {AlgorithmKind::kFanoutGreedy, AlgorithmKind::kGreedy,
@@ -85,10 +89,19 @@ int run(int argc, char** argv) {
            format_double(depth.median(), 2),
            format_double(max_depth.median(), 0),
            format_double(satisfied.median() * 100.0, 1) + "%"});
+      const std::string prefix =
+          to_string(kind) + "." + to_string(algorithm);
+      bench_json.add_scalar(prefix + ".satisfied_fraction",
+                            satisfied.median());
+      bench_json.add_scalar(prefix + ".mean_depth", depth.median());
+      telemetry_export.sample(cell_t += 1.0);
     }
   }
   bench::print_table("fanout-only baseline vs constraint-aware algorithms",
                      table, options, "fanout_baseline");
+  bench_json.add_table("fanout_baseline", table);
+  telemetry_export.finish(bench_json);
+  bench_json.write(options);
   std::cout << "\nshape: the fanout-only baseline connects everyone "
                "fastest (nothing ever has a reason to refuse an attach) "
                "but most constraints end up violated — and, notably, its "

@@ -36,6 +36,9 @@ int run(int argc, char** argv) {
   std::cout << "# Figure 1 — evolution of a LagOver (Section 3.2 toy "
                "system, greedy + maintenance)\n";
 
+  bench::BenchJson bench_json("bench_fig1_toy_trace", options);
+  bench::TelemetryExport telemetry_export(options);
+
   EngineConfig config;
   config.algorithm = AlgorithmKind::kGreedy;
   config.oracle = OracleKind::kRandomDelay;
@@ -53,23 +56,33 @@ int run(int argc, char** argv) {
     }
   });
 
+  Round converged_round = 0;
   for (Round round = 1; round <= options.max_rounds; ++round) {
     engine.run_round();
+    telemetry_export.sample(static_cast<double>(round));
     std::printf("\n--- after round %llu (satisfied %zu/%zu) ---\n",
                 static_cast<unsigned long long>(round),
                 engine.overlay().satisfied_count(),
                 engine.overlay().online_count());
     std::cout << engine.overlay().to_ascii();
     if (engine.overlay().all_satisfied()) {
+      converged_round = round;
       std::printf("\nconverged after %llu rounds, %llu maintenance "
                   "detach(es)\n",
                   static_cast<unsigned long long>(round),
                   static_cast<unsigned long long>(maintenance_events));
-      return 0;
+      break;
     }
   }
-  std::puts("\ndid not converge within the round budget");
-  return 1;
+  if (converged_round == 0)
+    std::puts("\ndid not converge within the round budget");
+  bench_json.add_count("converged", converged_round > 0 ? 1 : 0);
+  bench_json.add_count("convergence_round",
+                       static_cast<std::uint64_t>(converged_round));
+  bench_json.add_count("maintenance_detaches", maintenance_events);
+  telemetry_export.finish(bench_json);
+  bench_json.write(options);
+  return converged_round > 0 ? 0 : 1;
 }
 
 }  // namespace

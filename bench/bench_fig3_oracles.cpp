@@ -27,10 +27,18 @@ int run(int argc, char** argv) {
             << options.max_rounds << " rounds; (k/n) = only k of n trials "
                "converged\n";
 
+  bench::BenchJson bench_json("bench_fig3_oracles", options);
+  bench::TelemetryExport telemetry_export(options);
+
   Table table({"workload", "O1 Random", "O2a Rnd-Cap", "O2b Rnd-Del-Cap",
                "O3 Rnd-Delay"});
   Table oracle_stats({"workload", "oracle", "median rounds",
                       "oracle queries (median trial)", "empty results"});
+  // The section's headline claim: O3 (Random-Delay) always converges;
+  // DNC cells belong to the capacity-filtered oracles.
+  std::uint64_t dnc_cells = 0;
+  std::uint64_t o3_dnc_cells = 0;
+  double cell_t = 0.0;
   for (auto kind : kAllWorkloads) {
     std::vector<std::string> row{to_string(kind)};
     for (auto oracle : kOracles) {
@@ -43,6 +51,15 @@ int run(int argc, char** argv) {
       spec.base_seed = options.seed;
       const auto result = run_experiment(spec);
       row.push_back(format_convergence_cell(result));
+      if (!result.any_converged()) {
+        ++dnc_cells;
+        if (oracle == OracleKind::kRandomDelay) ++o3_dnc_cells;
+      }
+      if (oracle == OracleKind::kRandomDelay)
+        bench_json.add_scalar(
+            "greedy." + to_string(kind) + ".o3_median_rounds",
+            result.median_rounds());
+      telemetry_export.sample(cell_t += 1.0);
 
       // How starved was the oracle? (middle trial as representative)
       const auto& trial = result.trials[result.trials.size() / 2];
@@ -80,6 +97,14 @@ int run(int argc, char** argv) {
   }
   bench::print_table("same sweep with the hybrid algorithm", hybrid_table,
                      options, "fig3_hybrid");
+
+  bench_json.add_count("greedy_dnc_cells", dnc_cells);
+  bench_json.add_count("greedy_o3_dnc_cells", o3_dnc_cells);
+  bench_json.add_table("fig3", table);
+  bench_json.add_table("fig3_oracle_detail", oracle_stats);
+  bench_json.add_table("fig3_hybrid", hybrid_table);
+  telemetry_export.finish(bench_json);
+  bench_json.write(options);
   return 0;
 }
 

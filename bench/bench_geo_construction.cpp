@@ -50,8 +50,14 @@ int run(int argc, char** argv) {
             << ")\n# locality = coordinate quadrant; RTT = 0.05 + 2.0 * "
                "distance\n";
 
+  bench::BenchJson bench_json("bench_geo_construction", options);
+  bench::TelemetryExport telemetry_export(options);
+
   Table table({"locality bias", "median construction time",
                "cross-locality edges"});
+  double time_at_zero = -1.0;
+  double time_at_mid = -1.0;
+  double cross_at_mid = -1.0;
   for (double bias : {0.0, 0.25, 0.5, 0.75, 0.9}) {
     Sample times;
     Sample cross;
@@ -93,9 +99,21 @@ int run(int argc, char** argv) {
                    cross.empty()
                        ? "-"
                        : format_double(cross.median() * 100.0, 1) + "%"});
+    if (bias == 0.0) time_at_zero = times.empty() ? -1.0 : times.median();
+    if (bias == 0.5) {
+      time_at_mid = times.empty() ? -1.0 : times.median();
+      cross_at_mid = cross.empty() ? -1.0 : cross.median();
+    }
+    telemetry_export.sample(bias);
   }
   bench::print_table("construction time under geographic RTTs", table,
                      options, "geo");
+  bench_json.add_scalar("construction_time_bias0", time_at_zero);
+  bench_json.add_scalar("construction_time_bias05", time_at_mid);
+  bench_json.add_scalar("cross_fraction_bias05", cross_at_mid);
+  bench_json.add_table("geo", table);
+  telemetry_export.finish(bench_json);
+  bench_json.write(options);
   std::cout << "\nshape: moderate locality bias speeds construction "
                "(interactions round-trip with nearby peers) while "
                "slashing cross-locality edges; extreme bias narrows the "

@@ -20,8 +20,17 @@ int run(int argc, char** argv) {
             << options.peers << " peers, " << kBuckets
             << " localities, median of " << options.trials << ")\n";
 
+  bench::BenchJson bench_json("bench_locality", options);
+  bench::TelemetryExport telemetry_export(options);
+
   Table table({"locality bias", "median rounds", "cross-locality edges",
                "local samples / total"});
+  // Headline: the traffic-locality win (cross-edge fraction at zero vs
+  // high bias) and whether construction latency paid for it.
+  double cross_at_zero = -1.0;
+  double cross_at_high = -1.0;
+  double rounds_at_zero = -1.0;
+  double rounds_at_high = -1.0;
   for (double bias : {0.0, 0.25, 0.5, 0.75, 0.9, 1.0}) {
     Sample rounds;
     Sample cross;
@@ -77,9 +86,25 @@ int run(int argc, char** argv) {
                                  static_cast<double>(total_samples),
                              1) +
                    "%"});
+    if (bias == 0.0) {
+      cross_at_zero = cross.empty() ? -1.0 : cross.median();
+      rounds_at_zero = rounds.empty() ? -1.0 : rounds.median();
+    }
+    if (bias == 0.9) {
+      cross_at_high = cross.empty() ? -1.0 : cross.median();
+      rounds_at_high = rounds.empty() ? -1.0 : rounds.median();
+    }
+    telemetry_export.sample(bias);
   }
   bench::print_table("cross-locality edges vs bias", table, options,
                      "locality");
+  bench_json.add_scalar("cross_fraction_bias0", cross_at_zero);
+  bench_json.add_scalar("cross_fraction_bias09", cross_at_high);
+  bench_json.add_scalar("median_rounds_bias0", rounds_at_zero);
+  bench_json.add_scalar("median_rounds_bias09", rounds_at_high);
+  bench_json.add_table("locality", table);
+  telemetry_export.finish(bench_json);
+  bench_json.write(options);
   std::cout << "\nshape: cross-locality traffic falls sharply with bias "
                "while construction latency stays essentially flat (the "
                "global fallback prevents starvation).\n";

@@ -2,8 +2,16 @@
 // operations, oracle sampling, engine rounds, the exact feasibility
 // checker, and Chord lookups. These bound how large a simulated
 // population the harness can handle.
+//
+// Unlike the sweep benches this binary is driven by google-benchmark's
+// own flags (--benchmark_filter etc.); the custom main below still
+// parses the shared bench flags afterwards so the run emits the same
+// "lagover.bench.v1" summary as every other bench, with each
+// benchmark's per-iteration real time (normalized to nanoseconds) as a
+// headline scalar.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.hpp"
 #include "core/engine.hpp"
 #include "core/optimizer.hpp"
 #include "core/snapshot.hpp"
@@ -150,7 +158,55 @@ void BM_ChordLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_ChordLookup)->Arg(16)->Arg(64)->Unit(benchmark::kMicrosecond);
 
+/// Console output as usual, plus every iteration-level run captured so
+/// main can emit them as bench-JSON scalars.
+class CapturingReporter final : public benchmark::ConsoleReporter {
+ public:
+  struct Captured {
+    std::string name;
+    double real_ns;
+    double cpu_ns;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      // GetAdjustedRealTime is in the run's own display unit; divide the
+      // unit multiplier back out to get seconds, then scale to ns so the
+      // JSON is unit-uniform regardless of each benchmark's Unit().
+      const double to_ns =
+          1e9 / benchmark::GetTimeUnitMultiplier(run.time_unit);
+      captured.push_back({run.benchmark_name(),
+                          run.GetAdjustedRealTime() * to_ns,
+                          run.GetAdjustedCPUTime() * to_ns});
+    }
+  }
+
+  std::vector<Captured> captured;
+};
+
 }  // namespace
 }  // namespace lagover
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // google-benchmark consumes its --benchmark_* flags; the shared bench
+  // flags (--bench-json, --telemetry, ...) are whatever remains.
+  benchmark::Initialize(&argc, argv);
+  const auto options = lagover::bench::BenchOptions::parse(argc, argv);
+  lagover::bench::BenchJson bench_json("bench_micro", options);
+  lagover::bench::TelemetryExport telemetry_export(options);
+
+  lagover::CapturingReporter reporter;
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  for (const auto& run : reporter.captured) {
+    bench_json.add_scalar(run.name + ".real_ns", run.real_ns);
+    bench_json.add_scalar(run.name + ".cpu_ns", run.cpu_ns);
+  }
+  bench_json.add_count("benchmarks_run", ran);
+  telemetry_export.finish(bench_json);
+  bench_json.write(options);
+  return ran == 0 ? 1 : 0;
+}

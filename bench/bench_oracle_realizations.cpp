@@ -91,6 +91,9 @@ int run(int argc, char** argv) {
   std::cout << "# Oracle realizations ablation (hybrid, " << options.peers
             << " peers, BiUnCorr, median of " << options.trials << ")\n";
 
+  bench::BenchJson bench_json("bench_oracle_realizations", options);
+  bench::TelemetryExport telemetry_export(options);
+
   Table table({"oracle realization", "median rounds", "realization cost"});
   const WorkloadKind kind = WorkloadKind::kBiUnCorr;
 
@@ -104,6 +107,8 @@ int run(int argc, char** argv) {
         &cost);
     table.add_row({"ideal Random-Delay (paper model)",
                    cell_to_string(cell, options.trials), cost});
+    bench_json.add_scalar("ideal_random_delay_median",
+                          cell.rounds.empty() ? -1.0 : cell.rounds.median());
   }
   for (int refresh : {8, 32, 128}) {
     std::string cost;
@@ -121,6 +126,10 @@ int run(int argc, char** argv) {
     table.add_row({"DHT directory, refresh every " + std::to_string(refresh) +
                        " queries",
                    cell_to_string(cell, options.trials), cost});
+    bench_json.add_scalar(
+        "dht_refresh_" + std::to_string(refresh) + "_median",
+        cell.rounds.empty() ? -1.0 : cell.rounds.median());
+    telemetry_export.sample(static_cast<double>(refresh));
   }
   {
     std::string cost = "-";
@@ -145,10 +154,15 @@ int run(int argc, char** argv) {
         &cost);
     table.add_row({"gossip random walks (realizes Random)",
                    cell_to_string(cell, options.trials), cost});
+    bench_json.add_scalar("gossip_random_median",
+                          cell.rounds.empty() ? -1.0 : cell.rounds.median());
   }
 
   bench::print_table("idealized vs distributed oracle realizations", table,
                      options, "oracle_realizations");
+  bench_json.add_table("oracle_realizations", table);
+  telemetry_export.finish(bench_json);
+  bench_json.write(options);
   return 0;
 }
 

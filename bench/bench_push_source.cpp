@@ -20,6 +20,9 @@ int run(int argc, char** argv) {
             << options.peers << " peers, median of " << options.trials
             << ")\n";
 
+  bench::BenchJson bench_json("bench_push_source", options);
+  bench::TelemetryExport telemetry_export(options);
+
   // (a) Construction latency under the two source modes.
   Table construction({"workload", "pull-only source", "push source"});
   for (auto kind : {WorkloadKind::kRand, WorkloadKind::kBiCorr}) {
@@ -38,6 +41,7 @@ int run(int argc, char** argv) {
   }
   bench::print_table("construction latency by source mode", construction,
                      options, "push_construction");
+  bench_json.add_table("push_construction", construction);
 
   // (b) Dissemination staleness over one converged overlay.
   WorkloadParams params;
@@ -48,6 +52,8 @@ int run(int argc, char** argv) {
   Engine engine(generate_workload(WorkloadKind::kBiUnCorr, params), config);
   if (!engine.run_until_converged(options.max_rounds).has_value()) {
     std::cout << "construction did not converge; skipping dissemination\n";
+    telemetry_export.finish(bench_json);
+    bench_json.write(options);
     return 1;
   }
   Table staleness({"source", "source requests/unit", "empty requests",
@@ -72,9 +78,18 @@ int run(int argc, char** argv) {
          std::to_string(report.source_empty_requests),
          format_double(means.mean(), 2), format_double(max_staleness, 2),
          std::to_string(report.violations)});
+    const std::string prefix = push ? "push" : "pull";
+    bench_json.add_scalar(prefix + ".source_requests_per_unit",
+                          report.source_request_rate);
+    bench_json.add_scalar(prefix + ".mean_staleness", means.mean());
+    bench_json.add_scalar(prefix + ".max_staleness", max_staleness);
+    telemetry_export.sample(push ? 1.0 : 0.0);
   }
   bench::print_table("dissemination by source mode (same overlay)",
                      staleness, options, "push_dissemination");
+  bench_json.add_table("push_dissemination", staleness);
+  telemetry_export.finish(bench_json);
+  bench_json.write(options);
   std::cout << "\nshape: a push source eliminates the source's request "
                "load entirely (no polls, so no empty polls), at "
                "essentially equal staleness — a poll arrives on average "

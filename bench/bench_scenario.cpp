@@ -64,6 +64,13 @@ int run(int argc, char** argv) {
   std::uint64_t quarantine_detaches = 0;
   std::uint64_t domain_crashes = 0;
   std::uint64_t withheld_pushes = 0;
+  std::uint64_t oracle_admitted = 0;
+  std::uint64_t oracle_rejected = 0;
+  std::uint64_t oracle_stale_served = 0;
+  std::uint64_t oracle_breaker_trips = 0;
+  std::uint64_t starvation_detaches = 0;
+  std::uint64_t shed_pushes = 0;
+  std::uint64_t storm_joiners = 0;
   Sample satisfied;
   Sample feed_delivery;
   Sample feed_late;
@@ -78,6 +85,13 @@ int run(int argc, char** argv) {
     quarantine_detaches += result.quarantine_detaches;
     domain_crashes += result.domain_crashes;
     withheld_pushes += result.feed_withheld_pushes;
+    oracle_admitted += result.oracle_admitted;
+    oracle_rejected += result.oracle_rejected;
+    oracle_stale_served += result.oracle_stale_served;
+    oracle_breaker_trips += result.oracle_breaker_trips;
+    starvation_detaches += result.starvation_detaches;
+    shed_pushes += result.feed_shed_pushes;
+    storm_joiners += result.storm_joiners;
     const bool has_feed = result.feed_delivery_ratio >= 0.0;
     if (has_feed) {
       feed_delivery.add(result.feed_delivery_ratio);
@@ -113,6 +127,17 @@ int run(int argc, char** argv) {
                           feed_delivery.median());
     bench_json.add_scalar("median_feed_late_fraction", feed_late.median());
     bench_json.add_count("feed_withheld_pushes", withheld_pushes);
+  }
+  // Overload counters appear only when the scenario declares the
+  // section, so pre-overload scenario files keep byte-identical output.
+  if (!scenario.overload.empty()) {
+    bench_json.add_count("oracle_admitted", oracle_admitted);
+    bench_json.add_count("oracle_rejected", oracle_rejected);
+    bench_json.add_count("oracle_stale_served", oracle_stale_served);
+    bench_json.add_count("oracle_breaker_trips", oracle_breaker_trips);
+    bench_json.add_count("starvation_detaches", starvation_detaches);
+    bench_json.add_count("shed_pushes", shed_pushes);
+    bench_json.add_count("storm_joiners", storm_joiners);
   }
   bench_json.add_table("scenario", table);
   telemetry_export.finish(bench_json);

@@ -92,7 +92,7 @@ def check_bench(path, doc):
 
 SCENARIO_KEYS = ("schema", "name", "engine", "algorithm", "oracle", "seed",
                  "trials", "horizon", "workload", "churn", "faults",
-                 "domains", "adversary", "defense", "feed")
+                 "domains", "adversary", "defense", "overload", "feed")
 SCENARIO_WORKLOAD_KEYS = ("kind", "peers", "max_latency", "source_fanout",
                           "tf1_fanout", "rand_fanout_max")
 SCENARIO_CHURN_KEYS = ("leave_probability", "rejoin_probability")
@@ -115,6 +115,15 @@ SCENARIO_DEFENSE_KEYS = ("enabled", "probation_threshold",
                          "receipt_audit")
 SCENARIO_FEED_KEYS = ("duration", "push_loss", "recovery", "recovery_period",
                       "publish_period")
+SCENARIO_OVERLOAD_KEYS = ("admission", "capacity", "join_storm")
+SCENARIO_ADMISSION_KEYS = ("rate_limit", "window", "retry_after",
+                           "breaker_trip_windows", "breaker_cooldown",
+                           "breaker_close_windows", "serve_stale")
+SCENARIO_CAPACITY_KEYS = ("relay_budget", "queue_limit", "shedding",
+                          "fanout_factor", "recovery_ticks", "starve_limit",
+                          "squeezes")
+SCENARIO_SQUEEZE_KEYS = ("start", "end", "factor")
+SCENARIO_JOIN_STORM_KEYS = ("at", "fraction")
 SCENARIO_ENGINES = ("async", "rounds")
 SCENARIO_ALGORITHMS = ("greedy", "hybrid", "fanout_greedy")
 SCENARIO_ORACLES = ("random", "random_capacity", "random_delay_capacity",
@@ -217,6 +226,74 @@ def check_scenario(path, doc):
         if present != sorted(present):
             fail(path, "scenario defense thresholds must be ordered "
                        "probation <= quarantine <= blacklist")
+    if "overload" in doc:
+        overload = doc["overload"]
+        scenario_keys(path, "overload", overload, SCENARIO_OVERLOAD_KEYS)
+        if not overload:
+            fail(path, "scenario overload must declare admission, capacity, "
+                       "or join_storm")
+        if "admission" in overload:
+            admission = overload["admission"]
+            scenario_keys(path, "overload.admission", admission,
+                          SCENARIO_ADMISSION_KEYS)
+            rate = admission.get("rate_limit")
+            if not isinstance(rate, NUMERIC) or rate <= 0:
+                fail(path, "scenario overload.admission.rate_limit must "
+                           "be > 0")
+            for key in ("window", "retry_after", "breaker_cooldown"):
+                if key in admission and (
+                        not isinstance(admission[key], NUMERIC)
+                        or admission[key] <= 0):
+                    fail(path, f"scenario overload.admission.{key} must "
+                               "be > 0")
+            for key in ("breaker_trip_windows", "breaker_close_windows"):
+                if key in admission and (
+                        not isinstance(admission[key], int)
+                        or admission[key] < 1):
+                    fail(path, f"scenario overload.admission.{key} must "
+                               "be an integer >= 1")
+        if "capacity" in overload:
+            capacity = overload["capacity"]
+            scenario_keys(path, "overload.capacity", capacity,
+                          SCENARIO_CAPACITY_KEYS)
+            for key in ("relay_budget", "queue_limit"):
+                if key in capacity and (not isinstance(capacity[key], int)
+                                        or capacity[key] < 0):
+                    fail(path, f"scenario overload.capacity.{key} must "
+                               "be an integer >= 0")
+            factor = capacity.get("fanout_factor")
+            if factor is not None and (not isinstance(factor, NUMERIC)
+                                       or not 0 < factor <= 1):
+                fail(path, "scenario overload.capacity.fanout_factor must "
+                           "be in (0, 1]")
+            for key in ("recovery_ticks", "starve_limit"):
+                if key in capacity and (not isinstance(capacity[key], int)
+                                        or capacity[key] < 1):
+                    fail(path, f"scenario overload.capacity.{key} must "
+                               "be an integer >= 1")
+            for j, squeeze in enumerate(capacity.get("squeezes", []), 1):
+                scenario_keys(path, f"overload.capacity.squeezes[{j}]",
+                              squeeze, SCENARIO_SQUEEZE_KEYS)
+                scenario_window(path, f"overload.capacity.squeezes[{j}]",
+                                squeeze)
+                sf = squeeze.get("factor")
+                if not isinstance(sf, NUMERIC) or not 0 < sf <= 1:
+                    fail(path, f"scenario overload.capacity.squeezes[{j}]"
+                               ".factor must be in (0, 1]")
+        if "join_storm" in overload:
+            storm = overload["join_storm"]
+            scenario_keys(path, "overload.join_storm", storm,
+                          SCENARIO_JOIN_STORM_KEYS)
+            if "churn" in doc:
+                fail(path, "scenario overload.join_storm and churn are "
+                           "mutually exclusive")
+            at = storm.get("at")
+            if not isinstance(at, NUMERIC) or at < 1:
+                fail(path, "scenario overload.join_storm.at must be >= 1")
+            fraction = storm.get("fraction")
+            if not isinstance(fraction, NUMERIC) or not 0 < fraction < 1:
+                fail(path, "scenario overload.join_storm.fraction must be "
+                           "in (0, 1)")
     if "feed" in doc:
         feed = doc["feed"]
         scenario_keys(path, "feed", feed, SCENARIO_FEED_KEYS)

@@ -1,0 +1,152 @@
+#include "core/admission.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "telemetry/metrics.hpp"
+
+namespace lagover {
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config) {
+  assert(!config_.empty());
+  assert(config_.window > 0.0);
+}
+
+void AdmissionController::roll_to(double now) {
+  const auto index =
+      static_cast<std::int64_t>(std::floor(now / config_.window));
+  if (!started_) {
+    started_ = true;
+    window_index_ = index;
+    return;
+  }
+  // Evaluate every boundary crossed; idle windows count as clean, so a
+  // lull lets the saturation streak (and a half-open breaker) recover.
+  while (window_index_ < index) {
+    close_window();
+    ++window_index_;
+    window_count_ = 0;
+    window_saturated_ = false;
+  }
+}
+
+void AdmissionController::close_window() {
+  if (window_saturated_) {
+    ++saturated_streak_;
+    clean_streak_ = 0;
+  } else {
+    ++clean_streak_;
+    saturated_streak_ = 0;
+  }
+  switch (state_) {
+    case Breaker::kClosed:
+      if (saturated_streak_ >= config_.breaker_trip_windows)
+        trip(static_cast<double>(window_index_ + 1) * config_.window);
+      break;
+    case Breaker::kHalfOpen:
+      if (window_saturated_) {
+        // The probe window saturated again: the crowd is still there.
+        trip(static_cast<double>(window_index_ + 1) * config_.window);
+      } else if (clean_streak_ >= config_.breaker_close_windows) {
+        state_ = Breaker::kClosed;
+        ++breaker_closes_;
+        TELEM_GAUGE("oracle.breaker_open", 0.0);
+      }
+      break;
+    case Breaker::kOpen:
+      break;
+  }
+}
+
+void AdmissionController::trip(double now) {
+  state_ = Breaker::kOpen;
+  opened_at_ = now;
+  saturated_streak_ = 0;
+  clean_streak_ = 0;
+  ++breaker_trips_;
+  TELEM_COUNT("oracle.breaker_trips", 1);
+  TELEM_GAUGE("oracle.breaker_open", 1.0);
+}
+
+bool AdmissionController::open(double now) noexcept {
+  if (state_ == Breaker::kOpen && now >= opened_at_ + config_.breaker_cooldown)
+    state_ = Breaker::kHalfOpen;
+  return state_ == Breaker::kOpen;
+}
+
+AdmissionController::Verdict AdmissionController::on_query(double now) {
+  roll_to(now);
+  if (open(now)) {
+    ++rejected_;
+    TELEM_COUNT("oracle.admission_rejected", 1);
+    return Verdict::kReject;
+  }
+  ++window_count_;
+  if (static_cast<double>(window_count_) > config_.rate_limit) {
+    window_saturated_ = true;
+    if (config_.serve_stale) {
+      ++stale_verdicts_;
+      TELEM_COUNT("oracle.admission_stale", 1);
+      return Verdict::kStale;
+    }
+    ++rejected_;
+    TELEM_COUNT("oracle.admission_rejected", 1);
+    return Verdict::kReject;
+  }
+  ++admitted_;
+  TELEM_COUNT("oracle.admission_admitted", 1);
+  return Verdict::kAdmit;
+}
+
+AdmittedOracle::AdmittedOracle(std::unique_ptr<Oracle> inner,
+                               std::shared_ptr<AdmissionController> control,
+                               std::function<SimTime()> clock)
+    : inner_(std::move(inner)),
+      control_(std::move(control)),
+      clock_(std::move(clock)) {
+  stale_cache_.reserve(kStaleCacheSize);
+}
+
+void AdmittedOracle::remember(NodeId partner) {
+  for (std::size_t i = 0; i < stale_cache_.size(); ++i) {
+    if (stale_cache_[i] != partner) continue;
+    stale_cache_.erase(stale_cache_.begin() +
+                       static_cast<std::ptrdiff_t>(i));
+    break;
+  }
+  stale_cache_.insert(stale_cache_.begin(), partner);
+  if (stale_cache_.size() > kStaleCacheSize) stale_cache_.pop_back();
+}
+
+std::optional<NodeId> AdmittedOracle::sample_impl(NodeId querier,
+                                                  const Overlay& overlay,
+                                                  Rng& rng) {
+  const AdmissionController::Verdict verdict =
+      control_->on_query(static_cast<double>(clock_()));
+  if (verdict == AdmissionController::Verdict::kAdmit) {
+    auto result = inner_->sample(querier, overlay, rng);
+    if (result.has_value()) remember(*result);
+    return result;
+  }
+  if (verdict == AdmissionController::Verdict::kStale) {
+    // Degraded service: the freshest cached partner that is still a
+    // plausible answer for this querier under the live overlay. No
+    // Oracle work, no RNG — deterministic and cheap by design.
+    for (NodeId candidate : stale_cache_) {
+      if (candidate == querier) continue;
+      if (!DirectoryOracle::eligible(kind(), querier, candidate, overlay))
+        continue;
+      ++stale_served_;
+      TELEM_COUNT("oracle.stale_served", 1);
+      return candidate;
+    }
+    // Nothing in the cache qualifies: fall through to a rejection so
+    // the querier backs off instead of spinning on empty answers.
+  }
+  rejection_pending_ = true;
+  return std::nullopt;
+}
+
+}  // namespace lagover

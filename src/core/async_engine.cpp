@@ -67,6 +67,7 @@ AsyncEngine::AsyncEngine(Population population, AsyncConfig config)
   });
   core_->set_trace_bus(&trace_bus_);
   install_adversary_oracle();
+  install_admission_oracle();
   install_fault_hooks();
   install_core_hooks();
   install_adversary_hooks();
@@ -138,6 +139,21 @@ void AsyncEngine::install_adversary_hooks() {
   }
 }
 
+void AsyncEngine::install_admission_oracle() {
+  if (config_.admission.empty()) return;
+  admission_ = std::make_shared<AdmissionController>(config_.admission);
+  // Admission wraps the (possibly claim-filtered) Oracle before the
+  // fault layer does: rate limiting is a property of the service
+  // itself, outages apply on top of it.
+  auto admitted = std::make_unique<AdmittedOracle>(
+      std::move(oracle_), admission_, [this] { return sim_.now(); });
+  admission_oracle_ = admitted.get();
+  oracle_ = std::move(admitted);
+  core_ = std::make_unique<ConstructionCore>(overlay_, *protocol_, *oracle_,
+                                             config_.timeout_steps);
+  core_->set_trace_bus(&trace_bus_);
+}
+
 void AsyncEngine::install_fault_hooks() {
   if (config_.faults == nullptr) return;
   failed_attempts_.assign(overlay_.node_count(), 0);
@@ -151,8 +167,6 @@ void AsyncEngine::install_fault_hooks() {
   core_->set_delivery_probe([this](NodeId from, NodeId to) {
     return config_.faults->deliver(from, to, sim_.now());
   });
-  core_->set_oracle_outage_probe(
-      [this] { return config_.faults->oracle_down(sim_.now()); });
 }
 
 void AsyncEngine::install_core_hooks() {
@@ -163,6 +177,15 @@ void AsyncEngine::install_core_hooks() {
   // uninstalled and churn-only runs are byte-stable.
   if (config_.faults != nullptr || config_.adversary != nullptr)
     core_->set_epoch_probe([this](NodeId id) { return epochs_.epoch(id); });
+  // A breaker-open Oracle reads as an outage: the cached-partner
+  // fallback serves (stale but local) instead of hammering a service
+  // that is already shedding load.
+  if (config_.faults != nullptr || admission_ != nullptr)
+    core_->set_oracle_outage_probe([this] {
+      if (config_.faults != nullptr && config_.faults->oracle_down(sim_.now()))
+        return true;
+      return admission_ != nullptr && admission_->open(sim_.now());
+    });
 }
 
 void AsyncEngine::set_oracle(std::unique_ptr<Oracle> oracle) {
@@ -178,7 +201,9 @@ void AsyncEngine::set_oracle(std::unique_ptr<Oracle> oracle) {
   // re-attaches to, so subscriptions survive the swap (previously a
   // trace installed before set_oracle was silently lost).
   core_->set_trace_bus(&trace_bus_);
-  // Re-apply the fault layer around the replacement oracle.
+  // Re-apply the admission and fault layers around the replacement
+  // oracle (pre-run, so the fresh controller's counters lose nothing).
+  install_admission_oracle();
   install_fault_hooks();
   install_core_hooks();
 }
@@ -187,6 +212,15 @@ void AsyncEngine::set_churn(std::unique_ptr<ChurnModel> churn) {
   LAGOVER_EXPECTS(!started_);
   churn_ = std::move(churn);
   sim_.schedule_periodic(1.0, [this] { apply_churn(); });
+}
+
+void AsyncEngine::park_offline(NodeId id) {
+  LAGOVER_EXPECTS(!started_);
+  LAGOVER_EXPECTS(id >= 1 && static_cast<std::size_t>(id) <
+                                 overlay_.node_count());
+  if (!overlay_.online(id)) return;
+  overlay_.set_offline(id);
+  core_->reset_node(id);
 }
 
 void AsyncEngine::set_sampler(double period,
@@ -483,12 +517,28 @@ void AsyncEngine::wake_orphan(NodeId id) {
     const NodeId hint = grandparent_hint_[id];
     grandparent_hint_[id] = kNoNode;
     if (core_->failover_step(id, hint, label)) {
-      if (config_.faults != nullptr) failed_attempts_[id] = 0;
+      if (config_.faults != nullptr || admission_oracle_ != nullptr)
+        failed_attempts_[id] = 0;
       schedule_node(id, config_.maintenance_period);
       return;
     }
   }
   const StepOutcome outcome = core_->orphan_step(id, rng_, label);
+  // Admission rejection: the Oracle told this node to come back later.
+  // Honor retry-after through the same exponential backoff machinery
+  // fault setbacks use (floored at the advised wait), so a flash crowd
+  // of rejected orphans spreads out instead of re-stampeding in sync.
+  // (Consume the flag unconditionally: the cached-partner fallback can
+  // still attach the node after a breaker rejection, and a stale flag
+  // must not misfire on a later, unrejected step.)
+  if (admission_oracle_ != nullptr && admission_oracle_->consume_rejection() &&
+      outcome.partner == kNoNode) {
+    ++failed_attempts_[id];
+    TELEM_COUNT("engine.admission_deferrals", 1);
+    schedule_node(id,
+                  std::max(config_.admission.retry_after, backoff_delay(id)));
+    return;
+  }
   const bool fault_setback =
       config_.faults != nullptr &&
       (!outcome.delivered ||
@@ -498,7 +548,8 @@ void AsyncEngine::wake_orphan(NodeId id) {
     schedule_node(id, backoff_delay(id));
     return;
   }
-  if (config_.faults != nullptr) failed_attempts_[id] = 0;
+  if (config_.faults != nullptr || admission_oracle_ != nullptr)
+    failed_attempts_[id] = 0;
   double duration = draw_duration();
   if (config_.network_latency != nullptr && outcome.partner != kNoNode) {
     // The negotiation round-trips with the partner: far peers cost
@@ -507,6 +558,30 @@ void AsyncEngine::wake_orphan(NodeId id) {
                 config_.network_latency->latency(id, outcome.partner, rng_);
   }
   schedule_node(id, duration);
+}
+
+void AsyncEngine::escalate_starvation(NodeId child) {
+  if (static_cast<std::size_t>(child) >= overlay_.node_count()) return;
+  if (!overlay_.online(child) || !overlay_.has_parent(child)) return;
+  const NodeId parent = overlay_.parent(child);
+  ++starvation_detaches_;
+  parent_poll_misses_[child] = 0;
+  converged_ = false;
+  // An overloaded parent is a poor parent for THIS child right now, but
+  // only mild evidence against it in general — weight 1, like a missed
+  // poll, not like a provable lie.
+  if (defense_active())
+    suspicion_.report(parent, 1.0, epochs_.epoch(parent), "starved");
+  overlay_.detach(child);
+  TraceEvent event{static_cast<Round>(sim_.now()), TraceEventType::kParentLost,
+                   child, parent, false};
+  event.cause = "starved";
+  core_->emit(event);
+  // No reschedule: the child's own wake chain is alive (attached nodes
+  // wake every maintenance period) and its next wake finds it orphaned.
+  if (config_.health.failover == health::FailoverPolicy::kLadder)
+    failover_pending_[child] = 1;
+  TELEM_COUNT("engine.starvation_detaches", 1);
 }
 
 std::optional<SimTime> AsyncEngine::run_until_converged(SimTime horizon) {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/admission.hpp"
 #include "core/construction_core.hpp"
 #include "core/engine.hpp"
 #include "core/types.hpp"
@@ -77,6 +78,10 @@ struct AsyncConfig {
   /// layer are present — defenses-off adversarial runs show the
   /// undefended collapse.
   health::DefenseConfig defense;
+  /// Oracle admission control (rate limiting + circuit breaker). An
+  /// empty config (no rate limit) installs nothing: no wrapper, no
+  /// RNG-stream change, runs stay byte-identical.
+  AdmissionConfig admission;
   std::uint64_t seed = 1;
 };
 
@@ -106,6 +111,13 @@ class AsyncEngine {
   /// the first run. Newly joined nodes re-enter the construction loop
   /// at their own pace.
   void set_churn(std::unique_ptr<ChurnModel> churn);
+
+  /// Parks a consumer offline before the run starts — flash-crowd
+  /// experiments hold part of the population back until a
+  /// FlashCrowdChurn joins them all at once. Must be called before the
+  /// first run (the node's initial wake dies at the offline check, and
+  /// the churn join path restarts its action loop).
+  void park_offline(NodeId id);
 
   /// Runs for exactly `duration` time units (under churn there is no
   /// stable "converged" endpoint) and reports the final satisfied
@@ -166,6 +178,29 @@ class AsyncEngine {
     return quarantine_detaches_;
   }
 
+  /// Oracle admission controller, when admission control is configured
+  /// (null otherwise); exposes rate/breaker counters.
+  const AdmissionController* admission() const noexcept {
+    return admission_.get();
+  }
+  /// The admission-wrapped Oracle (null without admission control);
+  /// exposes the stale-served counter.
+  const AdmittedOracle* admitted_oracle() const noexcept {
+    return admission_oracle_;
+  }
+  /// Children the feed layer detached from a parent that starved them
+  /// (graceful-degradation escalation).
+  std::uint64_t starvation_detaches() const noexcept {
+    return starvation_detaches_;
+  }
+
+  /// Escalation entry point for the feed layer's degradation ladder: a
+  /// persistently starved child abandons its overloaded parent (mild
+  /// suspicion evidence when defenses run) and re-enters construction
+  /// on its next wake, spreading load across the tree. No-op when the
+  /// child is offline or already parentless.
+  void escalate_starvation(NodeId child);
+
   /// Health-layer state, for validators and metrics.
   const health::EpochBook& epochs() const noexcept { return epochs_; }
   const health::PhiAccrualDetector& detector() const noexcept {
@@ -194,6 +229,10 @@ class AsyncEngine {
   void install_adversary_hooks();
   void install_fault_hooks();
   void install_core_hooks();
+  /// Wraps the Oracle in the admission-control decorator (between the
+  /// Byzantine filter and the fault layer: rate limiting applies to the
+  /// service itself, outages on top of it).
+  void install_admission_oracle();
   bool defense_active() const noexcept {
     return config_.adversary != nullptr && config_.defense.enabled;
   }
@@ -256,6 +295,12 @@ class AsyncEngine {
   /// adversary layer.
   fault::ByzantineOracle* byzantine_oracle_ = nullptr;
   std::uint64_t quarantine_detaches_ = 0;
+  /// Admission layer (null unless config_.admission is non-empty).
+  std::shared_ptr<AdmissionController> admission_;
+  /// Borrowed view of the admission decorator (owned by oracle_,
+  /// possibly through the fault layer's wrapper).
+  AdmittedOracle* admission_oracle_ = nullptr;
+  std::uint64_t starvation_detaches_ = 0;
 };
 
 }  // namespace lagover

@@ -81,9 +81,28 @@ Engine::Engine(Population population, EngineConfig config)
   });
   core_->set_trace_bus(&trace_bus_);
   install_adversary_oracle();
+  install_admission_oracle();
   install_fault_hooks();
   install_core_hooks();
   install_adversary_hooks();
+}
+
+void Engine::install_admission_oracle() {
+  if (config_.admission.empty()) return;
+  admission_ = std::make_shared<AdmissionController>(config_.admission);
+  // Admission wraps the (possibly claim-filtered) Oracle before the
+  // fault layer does: rate limiting is a property of the service
+  // itself, outages apply on top of it.
+  auto admitted = std::make_unique<AdmittedOracle>(
+      std::move(oracle_), admission_,
+      [this] { return static_cast<SimTime>(round_); });
+  admission_oracle_ = admitted.get();
+  oracle_ = std::move(admitted);
+  core_ = std::make_unique<ConstructionCore>(overlay_, *protocol_, *oracle_,
+                                             config_.timeout_rounds);
+  core_->set_trace_bus(&trace_bus_);
+  admission_defer_.assign(overlay_.node_count(), 0);
+  admission_attempts_.assign(overlay_.node_count(), 0);
 }
 
 void Engine::install_adversary_oracle() {
@@ -143,6 +162,16 @@ void Engine::install_core_hooks() {
   // uninstalled and churn-only runs are byte-stable.
   if (config_.faults != nullptr || config_.adversary != nullptr)
     core_->set_epoch_probe([this](NodeId id) { return epochs_.epoch(id); });
+  // A breaker-open Oracle reads as an outage: the cached-partner
+  // fallback serves (stale but local) instead of hammering a service
+  // that is already shedding load.
+  if (config_.faults != nullptr || admission_ != nullptr)
+    core_->set_oracle_outage_probe([this] {
+      const auto now = static_cast<SimTime>(round_);
+      if (config_.faults != nullptr && config_.faults->oracle_down(now))
+        return true;
+      return admission_ != nullptr && admission_->open(now);
+    });
 }
 
 void Engine::install_fault_hooks() {
@@ -157,9 +186,6 @@ void Engine::install_fault_hooks() {
   core_->set_trace_bus(&trace_bus_);
   core_->set_delivery_probe([this](NodeId from, NodeId to) {
     return config_.faults->deliver(from, to, static_cast<SimTime>(round_));
-  });
-  core_->set_oracle_outage_probe([this] {
-    return config_.faults->oracle_down(static_cast<SimTime>(round_));
   });
 }
 
@@ -176,7 +202,9 @@ void Engine::set_oracle(std::unique_ptr<Oracle> oracle) {
   core_ = std::make_unique<ConstructionCore>(overlay_, *protocol_, *oracle_,
                                              config_.timeout_rounds);
   core_->set_trace_bus(&trace_bus_);
-  // Re-apply the fault layer around the replacement oracle.
+  // Re-apply the admission and fault layers around the replacement
+  // oracle (pre-run, so the fresh controller's counters lose nothing).
+  install_admission_oracle();
   install_fault_hooks();
   install_core_hooks();
 }
@@ -204,6 +232,10 @@ void Engine::apply_churn() {
     core_->reset_node(id);
     grandparent_hint_[id] = kNoNode;
     failover_pending_[id] = 0;
+    if (admission_ != nullptr) {
+      admission_defer_[id] = 0;
+      admission_attempts_[id] = 0;
+    }
     core_->emit({round_, TraceEventType::kChurnLeave, id, kNoNode, false});
   }
   for (NodeId id : decision.join) {
@@ -244,6 +276,10 @@ void Engine::crash_node(NodeId id, double downtime, const char* cause) {
   core_->reset_node(id);
   grandparent_hint_[id] = kNoNode;
   failover_pending_[id] = 0;
+  if (admission_ != nullptr) {
+    admission_defer_[id] = 0;
+    admission_attempts_[id] = 0;
+  }
   const Round back =
       round_ + std::max<Round>(1, static_cast<Round>(std::ceil(downtime)));
   crash_rejoins_.emplace_back(back, id);
@@ -310,6 +346,26 @@ void Engine::detach_suspected(NodeId id, NodeId parent, TraceEventType type) {
   core_->detach_suspected(id, parent, round_, type);
   if (config_.health.failover == health::FailoverPolicy::kLadder)
     failover_pending_[id] = 1;
+}
+
+void Engine::escalate_starvation(NodeId child) {
+  if (static_cast<std::size_t>(child) >= overlay_.node_count()) return;
+  if (!overlay_.online(child) || !overlay_.has_parent(child)) return;
+  const NodeId parent = overlay_.parent(child);
+  ++starvation_detaches_;
+  parent_poll_misses_[child] = 0;
+  // An overloaded parent is a poor parent for THIS child right now, but
+  // only mild evidence against it in general — weight 1, like a missed
+  // poll, not like a provable lie.
+  if (defense_active())
+    suspicion_.report(parent, 1.0, epochs_.epoch(parent), "starved");
+  overlay_.detach(child);
+  TraceEvent event{round_, TraceEventType::kParentLost, child, parent, false};
+  event.cause = "starved";
+  core_->emit(event);
+  if (config_.health.failover == health::FailoverPolicy::kLadder)
+    failover_pending_[child] = 1;
+  TELEM_COUNT("engine.starvation_detaches", 1);
 }
 
 RoundStats Engine::run_round() {
@@ -456,9 +512,32 @@ RoundStats Engine::run_round() {
       failover_pending_[i] = 0;
       const NodeId hint = grandparent_hint_[i];
       grandparent_hint_[i] = kNoNode;
-      if (core_->failover_step(i, hint, round_)) continue;
+      if (core_->failover_step(i, hint, round_)) {
+        if (admission_ != nullptr) admission_attempts_[i] = 0;
+        continue;
+      }
     }
-    core_->orphan_step(i, rng_, round_);
+    // Admission backoff: a node the Oracle rejected sits out its
+    // retry-after window instead of re-stampeding the service.
+    if (admission_ != nullptr && admission_defer_[i] > round_) continue;
+    const StepOutcome outcome = core_->orphan_step(i, rng_, round_);
+    if (admission_oracle_ != nullptr) {
+      if (admission_oracle_->consume_rejection() &&
+          outcome.partner == kNoNode) {
+        // Exponential retry spread (mirrors the async engine's backoff
+        // machinery at round granularity): the k-th consecutive
+        // rejection defers the node retry_after * 2^(k-1) rounds.
+        const int attempts = std::min(++admission_attempts_[i], 6);
+        const double wait = config_.admission.retry_after *
+                            static_cast<double>(1 << (attempts - 1));
+        admission_defer_[i] =
+            round_ +
+            std::max<Round>(1, static_cast<Round>(std::llround(wait)));
+        TELEM_COUNT("engine.admission_deferrals", 1);
+      } else if (outcome.partner != kNoNode) {
+        admission_attempts_[i] = 0;
+      }
+    }
   }
 
   RoundStats stats;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/admission.hpp"
 #include "core/construction_core.hpp"
 #include "core/oracle.hpp"
 #include "core/overlay.hpp"
@@ -73,6 +74,10 @@ struct EngineConfig {
   /// filter). Engaged only when both defense.enabled and an adversary
   /// layer are present.
   health::DefenseConfig defense;
+  /// Oracle admission control (rate limiting + circuit breaker). An
+  /// empty config (no rate limit) installs nothing: no wrapper, no
+  /// RNG-stream change, rounds stay byte-identical.
+  AdmissionConfig admission;
   std::uint64_t seed = 1;
 };
 
@@ -179,6 +184,29 @@ class Engine {
     return quarantine_detaches_;
   }
 
+  /// Oracle admission controller, when admission control is configured
+  /// (null otherwise); exposes rate/breaker counters.
+  const AdmissionController* admission() const noexcept {
+    return admission_.get();
+  }
+  /// The admission-wrapped Oracle (null without admission control);
+  /// exposes the stale-served counter.
+  const AdmittedOracle* admitted_oracle() const noexcept {
+    return admission_oracle_;
+  }
+  /// Children the feed layer detached from a parent that starved them
+  /// (graceful-degradation escalation).
+  std::uint64_t starvation_detaches() const noexcept {
+    return starvation_detaches_;
+  }
+
+  /// Escalation entry point for the feed layer's degradation ladder: a
+  /// persistently starved child abandons its overloaded parent (mild
+  /// suspicion evidence when defenses run) and re-enters construction,
+  /// spreading load across the tree. No-op when the child is offline or
+  /// already parentless.
+  void escalate_starvation(NodeId child);
+
   /// Executes one construction round and returns its statistics.
   RoundStats run_round();
 
@@ -198,6 +226,10 @@ class Engine {
   void install_adversary_hooks();
   void install_fault_hooks();
   void install_core_hooks();
+  /// Wraps the Oracle in the admission-control decorator (between the
+  /// Byzantine filter and the fault layer: rate limiting applies to the
+  /// service itself, outages on top of it).
+  void install_admission_oracle();
   void apply_fault_rejoins();
   /// Deterministic down-states: flapper duty cycles and correlated
   /// domain-outage windows, checked once per round before the
@@ -265,6 +297,17 @@ class Engine {
   /// adversary layer.
   fault::ByzantineOracle* byzantine_oracle_ = nullptr;
   std::uint64_t quarantine_detaches_ = 0;
+  /// Admission layer (null unless config_.admission is non-empty).
+  std::shared_ptr<AdmissionController> admission_;
+  /// Borrowed view of the admission decorator (owned by oracle_,
+  /// possibly through the fault layer's wrapper).
+  AdmittedOracle* admission_oracle_ = nullptr;
+  /// Per-node retry-after deadline (round before which a rejected node
+  /// sits out) and consecutive-rejection count driving the exponential
+  /// retry spread. Sized only when admission control is installed.
+  std::vector<Round> admission_defer_;
+  std::vector<int> admission_attempts_;
+  std::uint64_t starvation_detaches_ = 0;
 };
 
 /// Convenience: builds the protocol for an algorithm kind.

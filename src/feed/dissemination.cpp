@@ -1,6 +1,8 @@
 #include "feed/dissemination.hpp"
 
+#include <algorithm>
 #include <memory>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -22,6 +24,10 @@ class Dissemination {
         rng_(config.seed ^ 0xFEEDULL) {
     LAGOVER_EXPECTS(config.poll_period > 0.0);
     LAGOVER_EXPECTS(config.hop_delay >= 0.0);
+    if (!config_.capacity.empty()) {
+      sent_window_.assign(overlay_.node_count(), {-1, 0});
+      pending_.assign(overlay_.node_count(), 0);
+    }
   }
 
   DisseminationReport run(SimTime duration) {
@@ -34,11 +40,14 @@ class Dissemination {
       // requests); each delivery still costs a hop delay.
       source_.set_on_publish([this](const FeedItem& item) {
         const SimTime sent_at = sim_.now();
-        for (NodeId child : overlay_.children(kSourceId)) {
-          if (!overlay_.online(child)) continue;
+        for (NodeId child : forward_targets(kSourceId)) {
+          if (!config_.capacity.empty() &&
+              !admit_forward(kSourceId, child, item))
+            continue;
           ++push_messages_;
           sim_.schedule_after(config_.hop_delay,
                               [this, child, item, sent_at] {
+                                on_arrival(child);
                                 deliver(child, item, kSourceId, 1, sent_at);
                               });
         }
@@ -92,13 +101,15 @@ class Dissemination {
     }
     const SimTime forward_at = sim_.now();
     bool forwarded = false;
-    for (NodeId child : overlay_.children(node)) {
-      if (!overlay_.online(child)) continue;
+    for (NodeId child : forward_targets(node)) {
+      if (!config_.capacity.empty() && !admit_forward(node, child, item))
+        continue;
       forwarded = true;
       ++push_messages_;
       TELEM_COUNT("feed.push_messages", 1);
       sim_.schedule_after(config_.hop_delay,
                           [this, child, item, node, hop, forward_at] {
+                            on_arrival(child);
                             deliver(child, item, node, hop + 1, forward_at);
                           });
     }
@@ -115,6 +126,77 @@ class Dissemination {
     }
   }
 
+  /// Online children of `node`, in forwarding order. Deadline-aware
+  /// shedding serves the tightest latency constraints first, so when
+  /// the budget runs out it is the children with the most slack l_i
+  /// (who can absorb staleness) that get shed; ties break by id, so the
+  /// order — and everything downstream of it — stays deterministic.
+  std::vector<NodeId> forward_targets(NodeId node) const {
+    std::vector<NodeId> order;
+    for (NodeId child : overlay_.children(node))
+      if (overlay_.online(child)) order.push_back(child);
+    if (!config_.capacity.empty() && config_.capacity.shedding &&
+        order.size() > 1)
+      std::stable_sort(order.begin(), order.end(), [this](NodeId a, NodeId b) {
+        return overlay_.latency_of(a) < overlay_.latency_of(b);
+      });
+    return order;
+  }
+
+  /// Capacity admission for one forward of `item` to `child`: charges
+  /// the relay's windowed budget and reserves a slot in the child's
+  /// pending queue; records the drop span on refusal.
+  bool admit_forward(NodeId node, NodeId child, const FeedItem& item) {
+    const std::uint32_t budget = config_.capacity.budget_at(sim_.now());
+    if (budget != 0) {
+      auto& state = sent_window_[node];
+      const auto window = static_cast<std::int64_t>(sim_.now());
+      if (state.first != window) state = {window, 0};
+      if (state.second >= budget) {
+        ++shed_pushes_;
+        record_drop(node, child, item, "shed");
+        return false;
+      }
+      ++state.second;
+    }
+    if (config_.capacity.queue_limit != 0) {
+      if (pending_[child] >= config_.capacity.queue_limit) {
+        ++queue_drops_;
+        record_drop(node, child, item, "queue_full");
+        return false;
+      }
+      ++pending_[child];
+      TELEM_GAUGE("feed.queue_depth", static_cast<double>(pending_[child]));
+    }
+    return true;
+  }
+
+  /// Releases `child`'s pending-queue slot when a forward lands.
+  void on_arrival(NodeId child) {
+    if (config_.capacity.queue_limit == 0) return;
+    if (pending_[child] > 0) --pending_[child];
+    TELEM_GAUGE("feed.queue_depth", static_cast<double>(pending_[child]));
+  }
+
+  void record_drop(NodeId node, NodeId child, const FeedItem& item,
+                   const char* cause) {
+    if (cause[0] == 's') {
+      TELEM_COUNT("feed.shed", 1);
+    } else {
+      TELEM_COUNT("feed.queue_dropped", 1);
+    }
+    if (!telemetry::enabled()) return;
+    telemetry::ItemSpan span;
+    span.item = item.seq;
+    span.kind = telemetry::SpanKind::kDrop;
+    span.node = child;
+    span.parent = node;
+    span.published_at = item.published_at;
+    span.start = span.ts = sim_.now();
+    span.cause = cause;
+    telemetry::record_span(span);
+  }
+
   DisseminationReport build_report(SimTime duration) const {
     DisseminationReport report;
     report.duration = duration;
@@ -128,6 +210,8 @@ class Dissemination {
                        : 0.0;
     report.push_messages = push_messages_;
     report.pollers = pollers_;
+    report.shed_pushes = shed_pushes_;
+    report.queue_drops = queue_drops_;
 
     for (NodeId id = 1; id < overlay_.node_count(); ++id) {
       if (!overlay_.online(id) || !overlay_.connected(id)) continue;
@@ -159,6 +243,13 @@ class Dissemination {
   std::vector<std::uint64_t> last_pulled_;
   std::uint64_t push_messages_ = 0;
   std::size_t pollers_ = 0;
+  /// Capacity bookkeeping (sized only when limits are configured):
+  /// per-relay (window index, forwards in it) and per-child pending
+  /// (scheduled but undelivered) forwards.
+  std::vector<std::pair<std::int64_t, std::uint32_t>> sent_window_;
+  std::vector<std::uint32_t> pending_;
+  std::uint64_t shed_pushes_ = 0;
+  std::uint64_t queue_drops_ = 0;
 };
 
 }  // namespace

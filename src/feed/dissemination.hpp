@@ -12,6 +12,7 @@
 
 #include "core/overlay.hpp"
 #include "feed/feed.hpp"
+#include "feed/overload.hpp"
 #include "sim/simulator.hpp"
 
 namespace lagover::feed {
@@ -25,6 +26,9 @@ struct DisseminationConfig {
   /// poll-period staleness component and all empty polls.
   bool push_source = false;
   SourceConfig source;
+  /// Per-node capacity limits (empty = the unlimited pre-capacity
+  /// behaviour, byte-identical).
+  CapacityConfig capacity;
   std::uint64_t seed = 1;
 };
 
@@ -47,6 +51,10 @@ struct DisseminationReport {
   std::size_t pollers = 0;  ///< direct children of the source
   std::vector<NodeDeliveryStats> nodes;
   std::size_t violations = 0;  ///< nodes whose staleness budget broke
+  /// Capacity-model drops: forwards shed at the relay's budget and
+  /// forwards refused by a child's full pending queue.
+  std::uint64_t shed_pushes = 0;
+  std::uint64_t queue_drops = 0;
 };
 
 /// Runs the pull-then-push dissemination over a (typically converged)

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "feed/overload.hpp"
 #include "stats/timeseries.hpp"
 
 namespace lagover::feed {
@@ -31,6 +32,18 @@ struct LiveConfig {
   Round publish_every = 3;
   Round warmup_rounds = 50;  ///< construction before measurement starts
   Round measured_rounds = 400;
+  /// Per-relay capacity limits + degradation policy. Empty = the
+  /// unlimited pre-capacity behaviour, byte-identical. With limits set,
+  /// a relay transfers at most budget_at(tick) items per tick; with
+  /// `capacity.shedding` on it sheds deadline-aware (most slack first),
+  /// reduces fanout while degraded (with hysteresis on recovery), and
+  /// persistently starved children re-parent through the engine's
+  /// suspicion/failover ladder.
+  CapacityConfig capacity;
+  /// Consumers set offline before the first tick (flash-crowd
+  /// experiments park the crowd until a FlashCrowdChurn in `churn`
+  /// joins them all at once). Empty = no change.
+  std::vector<NodeId> park_offline;
 };
 
 struct LiveNodeStats {
@@ -51,6 +64,25 @@ struct LiveReport {
   /// Per-tick fraction of online nodes whose newest item is within
   /// their staleness budget ("freshness"), for timelines.
   TimeSeries freshness;
+  /// Capacity model: item transfers deferred by an exhausted relay
+  /// budget or fanout gate (the child falls behind; the items stay
+  /// fetchable) and pending items dropped permanently by the per-child
+  /// backlog bound.
+  std::uint64_t shed_items = 0;
+  std::uint64_t queue_drops = 0;
+  /// Children the degradation ladder detached from a starving parent.
+  std::uint64_t starvation_detaches = 0;
+  /// Relay-ticks spent in the degraded (reduced-fanout) state.
+  std::uint64_t degraded_relay_ticks = 0;
+  /// Largest per-child pending backlog observed.
+  std::uint64_t max_backlog = 0;
+  /// Oracle admission layer (0 when the engine config declares none).
+  std::uint64_t oracle_rejected = 0;
+  std::uint64_t oracle_stale_served = 0;
+  std::uint64_t oracle_breaker_trips = 0;
+  /// Paper-invariant violations seen by the engine's periodic audit
+  /// (always 0 in builds without LAGOVER_AUDIT).
+  std::uint64_t audit_violations = 0;
 };
 
 /// Runs construction + churn + dissemination in one timeline.

@@ -1,0 +1,81 @@
+// Per-node feed capacity model (the overload-resilience layer's knobs).
+// LagOver's founding premise is the bandwidth overload problem: no relay
+// can forward unboundedly many items per unit time, and a reproduction
+// that models infinite capacity never exercises the one failure class
+// the overlay exists to prevent. CapacityConfig bounds a relay's
+// forwarding budget per unit-time window and each child's pending
+// backlog; CapacitySqueeze windows shrink the budget on a schedule
+// (overload fault injection — a background job stealing the relay's
+// cycles).
+//
+// The limits are physics — enforced whenever configured. The `shedding`
+// flag is policy: with it on, an over-budget relay sheds deadline-aware
+// (children with the most slack l_i are served last, since they can
+// absorb staleness), temporarily reduces fanout while degraded, and
+// persistently starved children escalate through the suspicion/failover
+// ladder to re-parent; with it off the same budget produces arbitrary
+// tail drops and no recovery — the undefended collapse benches measure.
+//
+// An empty config (no budget, no queue bound, no squeezes) leaves every
+// feed path byte-identical to the pre-capacity code.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lagover::feed {
+
+/// One capacity-squeeze window: while active, relay budgets are scaled
+/// by `factor` (< 1 squeezes, e.g. 0.5 halves the budget).
+struct CapacitySqueeze {
+  double start = 0.0;
+  double end = 0.0;
+  double factor = 0.5;
+};
+
+struct CapacityConfig {
+  /// Items a relay (or a push-capable source) may forward per unit-time
+  /// window; 0 = unlimited.
+  std::uint32_t relay_budget = 0;
+  /// Pending (scheduled but undelivered) items per child before new
+  /// forwards to it are refused; 0 = unbounded.
+  std::uint32_t queue_limit = 0;
+  /// Graceful-degradation policy (see file comment). Off = undefended:
+  /// the budget still binds, but drops are arbitrary and unrecovered.
+  bool shedding = false;
+  /// While degraded, a relay serves at most
+  /// max(1, ceil(children * fanout_factor)) distinct children per item.
+  double fanout_factor = 0.5;
+  /// Consecutive budget-clean ticks before a degraded relay returns to
+  /// full fanout — hysteresis so recovery does not flap.
+  int recovery_ticks = 3;
+  /// Consecutive starved ticks before a child escalates through the
+  /// suspicion/failover ladder (shedding policy only). Deliberately
+  /// chronic: during a transient squeeze every backlogged child starves
+  /// for a few ticks, and eager re-parenting turns that into a detach
+  /// storm that outdamages the overload itself (a detached relay
+  /// starves its whole subtree while it queues at the admission-limited
+  /// Oracle). Escalation is the remedy for a persistently dead parent,
+  /// not a busy one.
+  int starve_limit = 30;
+  /// Scheduled budget squeezes (inert without a relay_budget).
+  std::vector<CapacitySqueeze> squeezes;
+
+  bool empty() const noexcept {
+    return relay_budget == 0 && queue_limit == 0;
+  }
+
+  /// Effective relay budget at `now`: the configured budget scaled by
+  /// every active squeeze, floored at 1 (a squeezed relay trickles, it
+  /// does not halt). 0 = unlimited (no budget configured).
+  std::uint32_t budget_at(double now) const noexcept {
+    if (relay_budget == 0) return 0;
+    double budget = static_cast<double>(relay_budget);
+    for (const CapacitySqueeze& squeeze : squeezes)
+      if (now >= squeeze.start && now < squeeze.end) budget *= squeeze.factor;
+    const auto scaled = static_cast<std::uint32_t>(budget);
+    return scaled == 0 ? 1U : scaled;
+  }
+};
+
+}  // namespace lagover::feed

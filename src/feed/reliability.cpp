@@ -1,6 +1,7 @@
 #include "feed/reliability.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -23,6 +24,8 @@ class LossyDissemination {
     // a single null check.
     if (config_.adversary != nullptr && config_.adversary->empty())
       config_.adversary.reset();
+    if (!config_.base.capacity.empty())
+      sent_window_.assign(overlay_.node_count(), {-1, 0});
   }
 
   LossyReport run(SimTime duration) {
@@ -128,8 +131,28 @@ class LossyDissemination {
       return;
     }
     bool forwarded = false;
-    for (NodeId child : overlay_.children(node)) {
-      if (!overlay_.online(child)) continue;
+    // Capacity budget for this relay's unit-time window. The shed check
+    // runs BEFORE the loss roll, so a shed child costs no RNG draw and
+    // capacity-free runs stay byte-identical. Shed items are not gone:
+    // the repair loop recovers them later — overload costs staleness,
+    // not items (graceful degradation).
+    const std::uint32_t budget = config_.base.capacity.empty()
+                                     ? 0
+                                     : config_.base.capacity.budget_at(
+                                           sim_.now());
+    for (NodeId child : forward_targets(node)) {
+      if (budget != 0) {
+        auto& state = sent_window_[node];
+        const auto window = static_cast<std::int64_t>(sim_.now());
+        if (state.first != window) state = {window, 0};
+        if (state.second >= budget) {
+          ++shed_pushes_;
+          record_hop(telemetry::SpanKind::kDrop, child, item, node, hop + 1,
+                     forward_at, "shed");
+          continue;
+        }
+        ++state.second;
+      }
       if (rng_.bernoulli(config_.push_loss)) {
         ++lost_;
         record_hop(telemetry::SpanKind::kDrop, child, item, node, hop + 1,
@@ -158,6 +181,23 @@ class LossyDissemination {
     if (forwarded)
       record_hop(telemetry::SpanKind::kRelay, node, item, from, hop,
                  forward_at, "");
+  }
+
+  /// Online children of `node`, in forwarding order. Mirrors the base
+  /// dissemination: deadline-aware shedding serves the tightest latency
+  /// constraints first, so an exhausted budget sheds the children with
+  /// the most slack l_i; stable sort keeps id tie-breaks deterministic.
+  /// With no capacity configured this is exactly the plain child walk.
+  std::vector<NodeId> forward_targets(NodeId node) const {
+    std::vector<NodeId> order;
+    for (NodeId child : overlay_.children(node))
+      if (overlay_.online(child)) order.push_back(child);
+    if (!config_.base.capacity.empty() && config_.base.capacity.shedding &&
+        order.size() > 1)
+      std::stable_sort(order.begin(), order.end(), [this](NodeId a, NodeId b) {
+        return overlay_.latency_of(a) < overlay_.latency_of(b);
+      });
+    return order;
   }
 
   void poll(NodeId poller) {
@@ -242,6 +282,7 @@ class LossyDissemination {
     report.duplicates_suppressed = suppressed_;
     report.nacked_items = nacked_items_;
     report.withheld_pushes = withheld_;
+    report.shed_pushes = shed_pushes_;
 
     // Exclude the tail window where deliveries may still be in flight.
     const TreeMetrics metrics = compute_tree_metrics(overlay_);
@@ -294,6 +335,10 @@ class LossyDissemination {
   std::uint64_t duplicate_pushes_ = 0;
   std::uint64_t nacked_items_ = 0;
   std::uint64_t withheld_ = 0;
+  /// Capacity bookkeeping (sized only when limits are configured):
+  /// per-relay (window index, forwards in it).
+  std::vector<std::pair<std::int64_t, std::uint32_t>> sent_window_;
+  std::uint64_t shed_pushes_ = 0;
 };
 
 }  // namespace

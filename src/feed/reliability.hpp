@@ -80,6 +80,10 @@ struct LossyReport {
   /// Pushes a free-riding relay swallowed instead of forwarding
   /// (adversary layer; includes repair answers it refused to give).
   std::uint64_t withheld_pushes = 0;
+  /// Pushes shed at a relay's capacity budget (base.capacity). Shed
+  /// items stay recoverable through the repair loop — capacity overload
+  /// degrades freshness, it does not permanently lose items.
+  std::uint64_t shed_pushes = 0;
 };
 
 /// Runs lossy dissemination over a (typically converged) overlay.

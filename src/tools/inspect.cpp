@@ -256,6 +256,12 @@ AncestryResult ancestry_at(const Bundle& bundle, NodeId node, double t) {
 }
 
 std::vector<Laggard> laggards(const Bundle& bundle, std::uint64_t item) {
+  // First drop per (item, node): the recorded reason the timely copy
+  // never made it, so a late repair can say *why* it was needed.
+  std::map<std::pair<std::uint64_t, NodeId>, const std::string*> first_drop;
+  for (const SpanRow& span : bundle.spans)
+    if (span.kind == "drop" && !span.cause.empty())
+      first_drop.emplace(std::make_pair(span.item, span.node), &span.cause);
   std::vector<Laggard> result;
   for (const SpanRow& span : bundle.spans) {
     if (item != 0 && span.item != item) continue;
@@ -269,6 +275,9 @@ std::vector<Laggard> laggards(const Bundle& bundle, std::uint64_t item) {
     laggard.latency = latency;
     laggard.deadline = span.deadline;
     laggard.miss = latency - span.deadline;
+    const auto dropped =
+        first_drop.find(std::make_pair(span.item, span.node));
+    if (dropped != first_drop.end()) laggard.drop_cause = *dropped->second;
     result.push_back(laggard);
   }
   std::stable_sort(result.begin(), result.end(),
@@ -276,6 +285,15 @@ std::vector<Laggard> laggards(const Bundle& bundle, std::uint64_t item) {
                      return a.miss > b.miss;
                    });
   return result;
+}
+
+std::vector<std::pair<std::string, std::size_t>> drop_causes(
+    const Bundle& bundle) {
+  std::map<std::string, std::size_t> counts;
+  for (const SpanRow& span : bundle.spans)
+    if (span.kind == "drop")
+      ++counts[span.cause.empty() ? "unknown" : span.cause];
+  return {counts.begin(), counts.end()};
 }
 
 std::size_t deadline_misses(const Bundle& bundle) {
@@ -342,8 +360,22 @@ std::string summary(const Bundle& bundle) {
   out << "  events:     " << bundle.events.size() << '\n';
   out << "  spans:      " << bundle.spans.size() << " across "
       << items.size() << " item(s)\n";
-  for (const auto& [kind, count] : span_kinds)
-    out << "    " << kind << ": " << count << '\n';
+  for (const auto& [kind, count] : span_kinds) {
+    out << "    " << kind << ": " << count;
+    if (kind == "drop") {
+      // Per-cause breakdown so overload runs show shed vs queue_full
+      // vs link loss at a glance.
+      out << " (";
+      bool comma = false;
+      for (const auto& [cause, cause_count] : drop_causes(bundle)) {
+        if (comma) out << ", ";
+        comma = true;
+        out << cause << ": " << cause_count;
+      }
+      out << ")";
+    }
+    out << '\n';
+  }
   out << "  log lines:  " << bundle.log_lines << '\n';
   out << "  snapshots:  " << bundle.snapshots.size() << '\n';
   out << "  deadline misses: " << deadline_misses(bundle) << '\n';
@@ -357,10 +389,12 @@ bool self_check(std::string* error) {
   };
 
   // A three-node run, hand-written in the postmortem schema: the source
-  // publishes item 1 at t=1; node 1 (l=2) polls it at t=2; node 2 (l=1)
-  // receives the push at t=3 — one hop too late, so it must show up as
-  // the only laggard. The snapshot and the edge events disagree about
-  // node 2's parent *after* t=5 (it re-attaches under the source), so
+  // publishes item 1 at t=1; node 1 (l=2) polls it at t=2; node 2's
+  // timely copy is shed by its overloaded parent at t=2.5 (drop span,
+  // cause "shed"); node 2 (l=1) then receives the push at t=3 — one hop
+  // too late, so it must show up as the only laggard, attributed to the
+  // shed. The snapshot and the edge events disagree about node 2's
+  // parent *after* t=5 (it re-attaches under the source), so
   // ancestry_at must give different answers at t=4 and t=6.
   const std::string document =
       "{\"schema\":\"lagover.postmortem.v1\",\"reason\":\"explicit\","
@@ -379,6 +413,9 @@ bool self_check(std::string* error) {
       "{\"kind\":\"span\",\"item\":1,\"span\":\"relay\",\"node\":1,"
       "\"parent\":0,\"hop\":1,\"published_at\":1.0,\"start\":2.0,"
       "\"ts\":2.0},"
+      "{\"kind\":\"span\",\"item\":1,\"span\":\"drop\",\"node\":2,"
+      "\"parent\":1,\"hop\":2,\"published_at\":1.0,\"start\":2.5,"
+      "\"ts\":2.5,\"cause\":\"shed\"},"
       "{\"kind\":\"span\",\"item\":1,\"span\":\"deliver\",\"node\":2,"
       "\"parent\":1,\"hop\":2,\"published_at\":1.0,\"start\":2.0,"
       "\"ts\":3.0,\"deadline\":1.0}],"
@@ -395,7 +432,7 @@ bool self_check(std::string* error) {
   ingest_document(parsed, bundle);
   if (!bundle.is_postmortem() || bundle.seed != 7)
     return fail("bundle metadata decoded wrong");
-  if (bundle.spans.size() != 4 || bundle.events.size() != 2)
+  if (bundle.spans.size() != 5 || bundle.events.size() != 2)
     return fail("bundle streams decoded wrong");
 
   const PathResult path = item_path(bundle, 1, 2);
@@ -415,13 +452,23 @@ bool self_check(std::string* error) {
   if (late.size() != 1 || late.front().node != 2 ||
       late.front().miss < 1.0 - kSlack || late.front().miss > 1.0 + kSlack)
     return fail("laggards: expected exactly node 2, one unit late");
+  if (late.front().drop_cause != "shed")
+    return fail("laggards: miss not attributed to the shed drop");
   if (deadline_misses(bundle) != 1)
     return fail("deadline_misses: expected 1");
 
+  const auto causes = drop_causes(bundle);
+  if (causes.size() != 1 || causes.front().first != "shed" ||
+      causes.front().second != 1)
+    return fail("drop_causes: expected exactly {shed: 1}");
+
   if (timeline(bundle, 1).find("source_poll") == std::string::npos)
     return fail("timeline: node 1 poll receipt missing");
-  if (summary(bundle).find("deadline misses: 1") == std::string::npos)
+  const std::string overview = summary(bundle);
+  if (overview.find("deadline misses: 1") == std::string::npos)
     return fail("summary: miss count missing");
+  if (overview.find("drop: 1 (shed: 1)") == std::string::npos)
+    return fail("summary: drop-cause breakdown missing");
   return true;
 }
 

@@ -119,10 +119,20 @@ struct Laggard {
   double latency = 0.0;
   double deadline = 0.0;
   double miss = 0.0;  ///< latency - deadline
+  /// Cause of the first drop span recorded for this (item, node) pair —
+  /// the reason the timely copy never arrived ("shed", "queue_full",
+  /// "push_loss", ...); empty when the lateness had no recorded drop.
+  std::string drop_cause;
 };
 
 /// Deadline misses, worst first. `item` == 0 scans every item.
 std::vector<Laggard> laggards(const Bundle& bundle, std::uint64_t item = 0);
+
+/// Drop spans broken down by cause, sorted by cause name. Overload runs
+/// distinguish deadline-aware "shed" (deferred, recovered later) from
+/// "queue_full" (permanently dropped) and plain link loss.
+std::vector<std::pair<std::string, std::size_t>> drop_causes(
+    const Bundle& bundle);
 
 /// Total deadline-missing receipts — defined to agree with the
 /// "feed.deadline_misses" counter of the same run.

@@ -93,11 +93,15 @@ int run_laggards(const Bundle& bundle, std::uint64_t item) {
   else
     std::cout << "laggards across all items";
   std::cout << ": " << late.size() << " deadline miss(es)\n";
-  for (const Laggard& laggard : late)
+  for (const Laggard& laggard : late) {
     std::cout << "  node=" << laggard.node << " item=" << laggard.item
               << " via=" << laggard.kind << " latency=" << laggard.latency
               << " deadline=" << laggard.deadline
-              << " miss=" << laggard.miss << '\n';
+              << " miss=" << laggard.miss;
+    if (!laggard.drop_cause.empty())
+      std::cout << " dropped=" << laggard.drop_cause;
+    std::cout << '\n';
+  }
   return 0;
 }
 

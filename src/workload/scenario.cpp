@@ -392,6 +392,187 @@ bool parse_feed_section(const Json& json, Scenario& out, std::string* error) {
   return true;
 }
 
+bool parse_admission_subsection(const Json& json, AdmissionConfig& out,
+                                std::string* error) {
+  if (!json.is_object()) {
+    set_error(error, "overload.admission must be an object");
+    return false;
+  }
+  if (!check_keys(json, "overload.admission",
+                  {"rate_limit", "window", "retry_after",
+                   "breaker_trip_windows", "breaker_cooldown",
+                   "breaker_close_windows", "serve_stale"},
+                  error))
+    return false;
+  const char* section = "overload.admission";
+  if (!read_number(json, "rate_limit", out.rate_limit, section, error) ||
+      !read_number(json, "window", out.window, section, error) ||
+      !read_number(json, "retry_after", out.retry_after, section, error) ||
+      !read_number(json, "breaker_cooldown", out.breaker_cooldown, section,
+                   error) ||
+      !read_bool(json, "serve_stale", out.serve_stale, section, error))
+    return false;
+  if (out.rate_limit <= 0.0) {
+    set_error(error, "overload.admission.rate_limit must be > 0");
+    return false;
+  }
+  if (out.window <= 0.0 || out.retry_after <= 0.0 ||
+      out.breaker_cooldown <= 0.0) {
+    set_error(error, "overload.admission windows and waits must be > 0");
+    return false;
+  }
+  if (const Json* trip = json.find("breaker_trip_windows")) {
+    if (trip->as_int() < 1) {
+      set_error(error, "overload.admission.breaker_trip_windows must be >= 1");
+      return false;
+    }
+    out.breaker_trip_windows = static_cast<int>(trip->as_int());
+  }
+  if (const Json* close = json.find("breaker_close_windows")) {
+    if (close->as_int() < 1) {
+      set_error(error,
+                "overload.admission.breaker_close_windows must be >= 1");
+      return false;
+    }
+    out.breaker_close_windows = static_cast<int>(close->as_int());
+  }
+  return true;
+}
+
+bool parse_capacity_subsection(const Json& json, feed::CapacityConfig& out,
+                               std::string* error) {
+  if (!json.is_object()) {
+    set_error(error, "overload.capacity must be an object");
+    return false;
+  }
+  if (!check_keys(json, "overload.capacity",
+                  {"relay_budget", "queue_limit", "shedding", "fanout_factor",
+                   "recovery_ticks", "starve_limit", "squeezes"},
+                  error))
+    return false;
+  const char* section = "overload.capacity";
+  if (const Json* budget = json.find("relay_budget")) {
+    if (budget->as_int() < 0) {
+      set_error(error, "overload.capacity.relay_budget must be >= 0");
+      return false;
+    }
+    out.relay_budget = static_cast<std::uint32_t>(budget->as_int());
+  }
+  if (const Json* limit = json.find("queue_limit")) {
+    if (limit->as_int() < 0) {
+      set_error(error, "overload.capacity.queue_limit must be >= 0");
+      return false;
+    }
+    out.queue_limit = static_cast<std::uint32_t>(limit->as_int());
+  }
+  if (!read_bool(json, "shedding", out.shedding, section, error) ||
+      !read_fraction(json, "fanout_factor", out.fanout_factor, section,
+                     error))
+    return false;
+  if (out.fanout_factor <= 0.0) {
+    set_error(error, "overload.capacity.fanout_factor must be in (0, 1]");
+    return false;
+  }
+  if (const Json* ticks = json.find("recovery_ticks")) {
+    if (ticks->as_int() < 1) {
+      set_error(error, "overload.capacity.recovery_ticks must be >= 1");
+      return false;
+    }
+    out.recovery_ticks = static_cast<int>(ticks->as_int());
+  }
+  if (const Json* starve = json.find("starve_limit")) {
+    if (starve->as_int() < 1) {
+      set_error(error, "overload.capacity.starve_limit must be >= 1");
+      return false;
+    }
+    out.starve_limit = static_cast<int>(starve->as_int());
+  }
+  if (const Json* squeezes = json.find("squeezes")) {
+    if (!squeezes->is_array()) {
+      set_error(error, "overload.capacity.squeezes must be an array");
+      return false;
+    }
+    for (const Json& entry : squeezes->elements()) {
+      if (!entry.is_object() ||
+          !check_keys(entry, "overload.capacity.squeezes[]",
+                      {"start", "end", "factor"}, error))
+        return false;
+      feed::CapacitySqueeze squeeze;
+      if (!read_number(entry, "start", squeeze.start,
+                       "overload.capacity.squeezes[]", error) ||
+          !read_number(entry, "end", squeeze.end,
+                       "overload.capacity.squeezes[]", error) ||
+          !read_number(entry, "factor", squeeze.factor,
+                       "overload.capacity.squeezes[]", error))
+        return false;
+      if (squeeze.start < 0.0 || squeeze.end < squeeze.start) {
+        set_error(error,
+                  "overload.capacity.squeezes[] need 0 <= start <= end");
+        return false;
+      }
+      if (squeeze.factor <= 0.0 || squeeze.factor > 1.0) {
+        set_error(error,
+                  "overload.capacity.squeezes[].factor must be in (0, 1]");
+        return false;
+      }
+      out.squeezes.push_back(squeeze);
+    }
+  }
+  return true;
+}
+
+bool parse_overload_section(const Json& json, Scenario& out,
+                            std::string* error) {
+  if (!json.is_object()) {
+    set_error(error, "\"overload\" must be an object");
+    return false;
+  }
+  if (!check_keys(json, "overload", {"admission", "capacity", "join_storm"},
+                  error))
+    return false;
+  if (const Json* admission = json.find("admission"))
+    if (!parse_admission_subsection(*admission, out.overload.admission, error))
+      return false;
+  if (const Json* capacity = json.find("capacity"))
+    if (!parse_capacity_subsection(*capacity, out.overload.capacity, error))
+      return false;
+  if (const Json* storm = json.find("join_storm")) {
+    if (!storm->is_object() ||
+        !check_keys(*storm, "overload.join_storm", {"at", "fraction"}, error))
+      return false;
+    // A join storm needs the parked crowd intact until it fires and a
+    // clean absorption read afterwards; background churn would blur
+    // both, so the two are mutually exclusive.
+    if (out.has_churn) {
+      set_error(error,
+                "overload.join_storm and \"churn\" are mutually exclusive");
+      return false;
+    }
+    out.overload.has_join_storm = true;
+    if (!read_number(*storm, "at", out.overload.join_storm_at,
+                     "overload.join_storm", error) ||
+        !read_fraction(*storm, "fraction", out.overload.join_storm_fraction,
+                       "overload.join_storm", error))
+      return false;
+    if (out.overload.join_storm_at < 1.0) {
+      set_error(error, "overload.join_storm.at must be >= 1");
+      return false;
+    }
+    if (out.overload.join_storm_fraction <= 0.0 ||
+        out.overload.join_storm_fraction >= 1.0) {
+      set_error(error,
+                "overload.join_storm.fraction must be in (0, 1)");
+      return false;
+    }
+  }
+  if (out.overload.empty()) {
+    set_error(error, "\"overload\" must declare admission, capacity, or"
+                     " join_storm");
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 bool parse_scenario(const Json& json, Scenario& out, std::string* error) {
@@ -403,7 +584,7 @@ bool parse_scenario(const Json& json, Scenario& out, std::string* error) {
   if (!check_keys(json, "scenario",
                   {"schema", "name", "engine", "algorithm", "oracle", "seed",
                    "trials", "horizon", "workload", "churn", "faults",
-                   "domains", "adversary", "defense", "feed"},
+                   "domains", "adversary", "defense", "feed", "overload"},
                   error))
     return false;
   const Json* schema = json.find("schema");
@@ -486,6 +667,8 @@ bool parse_scenario(const Json& json, Scenario& out, std::string* error) {
     if (!parse_defense_section(*defense, out, error)) return false;
   if (const Json* feed = json.find("feed"))
     if (!parse_feed_section(*feed, out, error)) return false;
+  if (const Json* overload = json.find("overload"))
+    if (!parse_overload_section(*overload, out, error)) return false;
   return true;
 }
 
@@ -556,6 +739,7 @@ void run_feed_phase(const Scenario& scenario, const Overlay& overlay,
   config.base.seed = seed;
   config.base.source.seed = seed;
   config.base.source.publish_period = scenario.feed.publish_period;
+  config.base.capacity = scenario.overload.capacity;
   config.push_loss = scenario.feed.push_loss;
   config.enable_recovery = scenario.feed.recovery;
   config.recovery_period = scenario.feed.recovery_period;
@@ -570,6 +754,29 @@ void run_feed_phase(const Scenario& scenario, const Overlay& overlay,
                         : static_cast<double>(report.late_deliveries) /
                               static_cast<double>(applications);
   result.feed_withheld_pushes = report.withheld_pushes;
+  result.feed_shed_pushes = report.shed_pushes;
+}
+
+/// Consumers parked offline for the join storm: the tail of the id
+/// space, so membership is deterministic and independent of the engine.
+NodeId storm_crowd_size(const Scenario& scenario, std::size_t peers) {
+  const auto crowd = static_cast<NodeId>(
+      static_cast<double>(peers) * scenario.overload.join_storm_fraction);
+  return std::min<NodeId>(std::max<NodeId>(crowd, 1),
+                          static_cast<NodeId>(peers) - 1);
+}
+
+template <typename EngineT>
+void collect_overload_counters(const EngineT& engine,
+                               ScenarioTrialResult& result) {
+  if (const AdmissionController* control = engine.admission()) {
+    result.oracle_admitted = control->admitted();
+    result.oracle_rejected = control->rejected();
+    result.oracle_breaker_trips = control->breaker_trips();
+  }
+  if (const AdmittedOracle* oracle = engine.admitted_oracle())
+    result.oracle_stale_served = oracle->stale_served();
+  result.starvation_detaches = engine.starvation_detaches();
 }
 
 template <typename EngineT>
@@ -611,14 +818,25 @@ ScenarioTrialResult run_scenario_trial(const Scenario& scenario, int trial) {
     config.faults = faults;
     config.adversary = adversary;
     config.defense = scenario.defense;
+    config.admission = scenario.overload.admission;
     AsyncEngine engine(std::move(population), config);
     if (scenario.has_churn)
       engine.set_churn(std::make_unique<BernoulliChurn>(scenario.churn_leave,
                                                         scenario.churn_join));
+    if (scenario.overload.has_join_storm) {
+      const NodeId crowd = storm_crowd_size(scenario, params.peers);
+      result.storm_joiners = crowd;
+      for (NodeId id = static_cast<NodeId>(params.peers) - crowd + 1;
+           id <= static_cast<NodeId>(params.peers); ++id)
+        engine.park_offline(id);
+      engine.set_churn(std::make_unique<FlashCrowdChurn>(
+          static_cast<Round>(scenario.overload.join_storm_at)));
+    }
     result.satisfied_fraction = engine.run_for(scenario.horizon);
     result.converged = engine.overlay().all_satisfied();
     result.audit_violations = engine.audit_violations();
     collect_defense_counters(engine, result);
+    collect_overload_counters(engine, result);
     if (faults != nullptr)
       result.domain_crashes = faults->stats().domain_crashes;
     if (scenario.feed.enabled)
@@ -631,10 +849,20 @@ ScenarioTrialResult run_scenario_trial(const Scenario& scenario, int trial) {
     config.faults = faults;
     config.adversary = adversary;
     config.defense = scenario.defense;
+    config.admission = scenario.overload.admission;
     Engine engine(std::move(population), config);
     if (scenario.has_churn)
       engine.set_churn(std::make_unique<BernoulliChurn>(scenario.churn_leave,
                                                         scenario.churn_join));
+    if (scenario.overload.has_join_storm) {
+      const NodeId crowd = storm_crowd_size(scenario, params.peers);
+      result.storm_joiners = crowd;
+      for (NodeId id = static_cast<NodeId>(params.peers) - crowd + 1;
+           id <= static_cast<NodeId>(params.peers); ++id)
+        engine.overlay().set_offline(id);
+      engine.set_churn(std::make_unique<FlashCrowdChurn>(
+          static_cast<Round>(scenario.overload.join_storm_at)));
+    }
     const Round rounds =
         std::max<Round>(1, static_cast<Round>(std::ceil(scenario.horizon)));
     RoundStats stats;
@@ -643,6 +871,7 @@ ScenarioTrialResult run_scenario_trial(const Scenario& scenario, int trial) {
     result.converged = engine.overlay().all_satisfied();
     result.audit_violations = engine.audit_violations();
     collect_defense_counters(engine, result);
+    collect_overload_counters(engine, result);
     if (faults != nullptr)
       result.domain_crashes = faults->stats().domain_crashes;
     if (scenario.feed.enabled)

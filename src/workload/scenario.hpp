@@ -46,7 +46,19 @@
 //                 "delay_verification": true, "receipt_audit": true},
 //     "feed": {"duration": 300.0, "push_loss": 0.05,
 //              "recovery": true, "recovery_period": 2.0,
-//              "publish_period": 3.0}
+//              "publish_period": 3.0},
+//     "overload": {                             // overload resilience
+//       "admission": {"rate_limit": 20, "window": 5.0,
+//                     "retry_after": 2.0, "breaker_trip_windows": 3,
+//                     "breaker_cooldown": 20.0,
+//                     "breaker_close_windows": 2, "serve_stale": true},
+//       "capacity": {"relay_budget": 4, "queue_limit": 16,
+//                    "shedding": true, "fanout_factor": 0.5,
+//                    "recovery_ticks": 3, "starve_limit": 3,
+//                    "squeezes": [{"start": 100, "end": 200,
+//                                  "factor": 0.5}]},
+//       "join_storm": {"at": 50, "fraction": 0.5}  // excludes "churn"
+//     }
 //   }
 //
 // Determinism: a scenario names every seed it uses, so two runs of the
@@ -59,8 +71,10 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "core/admission.hpp"
 #include "core/types.hpp"
 #include "fault/byzantine.hpp"
+#include "feed/overload.hpp"
 #include "fault/domains.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
@@ -88,6 +102,21 @@ struct ScenarioFeed {
   double publish_period = 3.0;
 };
 
+/// Optional overload section: Oracle admission control, per-relay feed
+/// capacity limits, and/or a flash-crowd join storm (a fraction of the
+/// consumers parked offline until they all join at once).
+struct ScenarioOverload {
+  AdmissionConfig admission;      ///< empty() when not declared
+  feed::CapacityConfig capacity;  ///< empty() when not declared
+  bool has_join_storm = false;
+  double join_storm_at = 0.0;        ///< ticks/rounds into the run
+  double join_storm_fraction = 0.5;  ///< consumers parked offline
+
+  bool empty() const noexcept {
+    return admission.empty() && capacity.empty() && !has_join_storm;
+  }
+};
+
 /// A parsed "lagover.scenario.v1" document.
 struct Scenario {
   std::string name;
@@ -107,6 +136,7 @@ struct Scenario {
   fault::ByzantineSpec adversary;  ///< empty() when no adversary section
   health::DefenseConfig defense;
   ScenarioFeed feed;
+  ScenarioOverload overload;
 
   bool has_faults() const noexcept {
     return !fault_plan.empty() || !domains.empty();
@@ -158,6 +188,14 @@ struct ScenarioTrialResult {
   double feed_delivery_ratio = -1.0;
   double feed_late_fraction = -1.0;
   std::uint64_t feed_withheld_pushes = 0;
+  // Overload counters (0 when the scenario has no overload section).
+  std::uint64_t oracle_admitted = 0;
+  std::uint64_t oracle_rejected = 0;
+  std::uint64_t oracle_stale_served = 0;
+  std::uint64_t oracle_breaker_trips = 0;
+  std::uint64_t starvation_detaches = 0;
+  std::uint64_t feed_shed_pushes = 0;
+  std::uint64_t storm_joiners = 0;
 };
 
 /// Runs one trial of the scenario (trial index shifts the seed

@@ -227,6 +227,50 @@ TEST(InspectPostmortemTest, ForcedViolationDumpsAndReplays) {
   }
 }
 
+TEST(InspectShedTest, ShedDropsAttributedInGoldenBundle) {
+  TelemetryGuard guard;
+  WorkloadParams params;
+  params.peers = 40;
+  params.seed = 23;
+  EngineConfig config;
+  config.seed = 23;
+  Engine engine(generate_workload(WorkloadKind::kBiUnCorr, params), config);
+  ASSERT_TRUE(engine.run_until_converged(3000).has_value());
+
+  telemetry::FlightRecorder::Config capacity;
+  capacity.span_capacity = 1 << 20;
+  capacity.event_capacity = 1 << 20;
+  telemetry::FlightRecorder recorder(capacity);
+  recorder.set_repro(23, "--peers 40 --seed 23");
+  recorder.note_snapshot(0.0, to_snapshot(engine.overlay()));
+
+  // A starved relay budget with shedding on: overload spans must be
+  // recorded with the "shed" cause, distinct from plain push loss, and
+  // the inspect queries must surface them.
+  feed::LossyConfig lossy;
+  lossy.base.seed = 23;
+  lossy.base.capacity.relay_budget = 1;
+  lossy.base.capacity.shedding = true;
+  lossy.push_loss = 0.1;
+  lossy.enable_recovery = true;
+  lossy.repair = feed::RepairMode::kNack;
+  const auto report =
+      feed::run_lossy_dissemination(engine.overlay(), lossy, 60.0);
+  ASSERT_GT(report.shed_pushes, 0u);
+
+  TempFile file("test_inspect_shed.json");
+  ASSERT_TRUE(recorder.dump(file.path(), "shed-golden"));
+  tools::Bundle bundle;
+  std::string error;
+  ASSERT_TRUE(tools::load_bundle(file.path(), bundle, &error)) << error;
+
+  std::size_t shed_spans = 0;
+  for (const auto& [cause, count] : tools::drop_causes(bundle))
+    if (cause == "shed") shed_spans = count;
+  EXPECT_EQ(shed_spans, report.shed_pushes);
+  EXPECT_NE(tools::summary(bundle).find("shed: "), std::string::npos);
+}
+
 TEST(InspectJsonlTest, LoadsRawSpanStream) {
   // A --spans-out style stream (no bundle wrapper) must load too.
   TempFile file("test_inspect_spans.jsonl");

@@ -167,6 +167,68 @@ TEST(ScenarioParseTest, RejectsBadEnumsAndRanges) {
                   "feed": {"push_loss": 1.0}})");
 }
 
+TEST(ScenarioParseTest, OverloadSectionRoundTrips) {
+  const Scenario s = parse_ok(R"({
+    "schema": "lagover.scenario.v1", "name": "crowd",
+    "overload": {
+      "admission": {"rate_limit": 12, "window": 4.0, "retry_after": 1.5,
+                    "breaker_trip_windows": 2, "breaker_cooldown": 10.0,
+                    "breaker_close_windows": 3, "serve_stale": false},
+      "capacity": {"relay_budget": 4, "queue_limit": 16, "shedding": true,
+                   "fanout_factor": 0.5, "recovery_ticks": 3,
+                   "starve_limit": 20,
+                   "squeezes": [{"start": 50, "end": 80, "factor": 0.25}]},
+      "join_storm": {"at": 60, "fraction": 0.5}
+    }
+  })");
+  EXPECT_FALSE(s.overload.empty());
+  EXPECT_DOUBLE_EQ(s.overload.admission.rate_limit, 12.0);
+  EXPECT_DOUBLE_EQ(s.overload.admission.window, 4.0);
+  EXPECT_EQ(s.overload.admission.breaker_trip_windows, 2);
+  EXPECT_EQ(s.overload.admission.breaker_close_windows, 3);
+  EXPECT_FALSE(s.overload.admission.serve_stale);
+  EXPECT_EQ(s.overload.capacity.relay_budget, 4u);
+  EXPECT_EQ(s.overload.capacity.queue_limit, 16u);
+  EXPECT_TRUE(s.overload.capacity.shedding);
+  EXPECT_EQ(s.overload.capacity.starve_limit, 20);
+  ASSERT_EQ(s.overload.capacity.squeezes.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.overload.capacity.squeezes[0].factor, 0.25);
+  EXPECT_TRUE(s.overload.has_join_storm);
+  EXPECT_DOUBLE_EQ(s.overload.join_storm_at, 60.0);
+  EXPECT_DOUBLE_EQ(s.overload.join_storm_fraction, 0.5);
+}
+
+TEST(ScenarioParseTest, OverloadRejectsBadShapes) {
+  // An empty overload section declares nothing — that's a typo.
+  parse_error(R"({"schema": "lagover.scenario.v1", "name": "x",
+                  "overload": {}})");
+  parse_error(R"({"schema": "lagover.scenario.v1", "name": "x",
+                  "overload": {"admission": {"rate_limit": 0}}})");
+  parse_error(R"({"schema": "lagover.scenario.v1", "name": "x",
+                  "overload": {"capacity": {"relay_budget": 2,
+                    "squeezes": [{"start": 10, "end": 5,
+                                  "factor": 0.5}]}}})");
+  parse_error(R"({"schema": "lagover.scenario.v1", "name": "x",
+                  "overload": {"capacity": {"relay_budget": 2,
+                    "squeezes": [{"start": 0, "end": 5,
+                                  "factor": 1.5}]}}})");
+  parse_error(R"({"schema": "lagover.scenario.v1", "name": "x",
+                  "overload": {"join_storm": {"at": 60,
+                                              "fraction": 1.0}}})");
+  // Unknown keys fail loudly, as everywhere else in the schema.
+  EXPECT_NE(parse_error(R"({"schema": "lagover.scenario.v1", "name": "x",
+                            "overload": {"admision": {"rate_limit": 5}}})")
+                .find("admision"),
+            std::string::npos);
+  parse_error(R"({"schema": "lagover.scenario.v1", "name": "x",
+                  "overload": {"capacity": {"budget": 4}}})");
+  // A storm needs the parked crowd undisturbed; churn would blur it.
+  parse_error(R"({"schema": "lagover.scenario.v1", "name": "x",
+                  "churn": {"leave_probability": 0.01},
+                  "overload": {"join_storm": {"at": 60,
+                                              "fraction": 0.5}}})");
+}
+
 TEST(ScenarioBuildTest, BuildersMaterializeDeclaredSections) {
   const Scenario empty =
       parse_ok(R"({"schema": "lagover.scenario.v1", "name": "x"})");
@@ -201,7 +263,8 @@ TEST(ScenarioBuildTest, BuildersMaterializeDeclaredSections) {
 TEST(ScenarioFileTest, CheckedInExamplesLoad) {
   for (const char* name :
        {"/examples/scenario_byzantine.json",
-        "/examples/scenario_rack_outage.json"}) {
+        "/examples/scenario_rack_outage.json",
+        "/examples/scenario_overload.json"}) {
     Scenario scenario;
     std::string error;
     ASSERT_TRUE(workload::load_scenario_file(
@@ -210,12 +273,49 @@ TEST(ScenarioFileTest, CheckedInExamplesLoad) {
     EXPECT_FALSE(scenario.name.empty());
     EXPECT_TRUE(scenario.feed.enabled);
   }
-  Scenario scenario;
+  // The overload example actually declares all three subsections.
+  Scenario overload;
   std::string error;
+  ASSERT_TRUE(workload::load_scenario_file(
+      std::string(LAGOVER_SOURCE_DIR) + "/examples/scenario_overload.json",
+      overload, &error))
+      << error;
+  EXPECT_FALSE(overload.overload.empty());
+  EXPECT_FALSE(overload.overload.admission.empty());
+  EXPECT_FALSE(overload.overload.capacity.empty());
+  EXPECT_TRUE(overload.overload.has_join_storm);
+
+  Scenario scenario;
   EXPECT_FALSE(workload::load_scenario_file(
       std::string(LAGOVER_SOURCE_DIR) + "/examples/no_such.json", scenario,
       &error));
   EXPECT_FALSE(error.empty());
+}
+
+TEST(ScenarioRunTest, OverloadTrialPopulatesCountersDeterministically) {
+  const Scenario scenario = parse_ok(R"({
+    "schema": "lagover.scenario.v1", "name": "overload-run",
+    "seed": 33, "horizon": 120,
+    "workload": {"peers": 40},
+    "overload": {
+      "admission": {"rate_limit": 2, "window": 5.0},
+      "capacity": {"relay_budget": 1, "shedding": true},
+      "join_storm": {"at": 30, "fraction": 0.5}
+    },
+    "feed": {"duration": 60, "publish_period": 1.0}
+  })");
+  const ScenarioTrialResult a = workload::run_scenario_trial(scenario, 0);
+  const ScenarioTrialResult b = workload::run_scenario_trial(scenario, 0);
+  EXPECT_GT(a.oracle_admitted, 0u);
+  EXPECT_GT(a.storm_joiners, 0u);
+  EXPECT_EQ(a.oracle_admitted, b.oracle_admitted);
+  EXPECT_EQ(a.oracle_rejected, b.oracle_rejected);
+  EXPECT_EQ(a.oracle_stale_served, b.oracle_stale_served);
+  EXPECT_EQ(a.oracle_breaker_trips, b.oracle_breaker_trips);
+  EXPECT_EQ(a.starvation_detaches, b.starvation_detaches);
+  EXPECT_EQ(a.feed_shed_pushes, b.feed_shed_pushes);
+  EXPECT_EQ(a.storm_joiners, b.storm_joiners);
+  EXPECT_DOUBLE_EQ(a.feed_delivery_ratio, b.feed_delivery_ratio);
 }
 
 TEST(ScenarioRunTest, TrialsAreDeterministic) {
