@@ -31,6 +31,7 @@ Outcome run_once(WorkloadKind kind, AlgorithmKind algorithm,
   Engine engine(generate_workload(kind, params), config);
 
   Outcome outcome;
+  const telemetry::PerfPhase perf_phase("construction");
   for (Round r = 0; r < max_rounds; ++r) {
     engine.run_round();
     const TreeMetrics metrics = compute_tree_metrics(engine.overlay());

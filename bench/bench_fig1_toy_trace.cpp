@@ -57,6 +57,7 @@ int run(int argc, char** argv) {
   });
 
   Round converged_round = 0;
+  const telemetry::PerfPhase perf_phase("construction");
   for (Round round = 1; round <= options.max_rounds; ++round) {
     engine.run_round();
     telemetry_export.sample(static_cast<double>(round));

@@ -56,7 +56,10 @@ int run(int argc, char** argv) {
         engine.set_churn(
             std::make_unique<FlashCrowdChurn>(engine.round() + 1));
         const Round before = engine.round();
-        engine.run_round();  // the crowd arrives here
+        {
+          const telemetry::PerfPhase perf_crowd("construction");
+          engine.run_round();  // the crowd arrives here
+        }
         const auto converged = engine.run_until_converged(options.max_rounds);
         if (!converged.has_value()) {
           ++failures;

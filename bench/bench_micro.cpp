@@ -204,6 +204,11 @@ int main(int argc, char** argv) {
   for (const auto& run : reporter.captured) {
     bench_json.add_scalar(run.name + ".real_ns", run.real_ns);
     bench_json.add_scalar(run.name + ".cpu_ns", run.cpu_ns);
+    // With --perf the same scalars land in the "lagover.perf.v1"
+    // section under "micro", so perf_compare.py sees one schema.
+    if (telemetry_export.perf() != nullptr)
+      telemetry_export.perf()->note_micro(run.name, run.real_ns,
+                                          run.cpu_ns);
   }
   bench_json.add_count("benchmarks_run", ran);
   telemetry_export.finish(bench_json);

@@ -15,6 +15,7 @@
 #include "metrics/experiment.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/flight_recorder.hpp"
+#include "telemetry/perf.hpp"
 #include "workload/constraints.hpp"
 
 namespace lagover::bench {
@@ -41,6 +42,10 @@ namespace lagover::bench {
 ///                     "lagover.postmortem.v1" bundle on the first
 ///                     invariant violation (or on explicit request);
 ///                     implies --telemetry
+///   --perf            record a "perf" section ("lagover.perf.v1") in
+///                     the bench JSON: wall time, rounds/sec, peak
+///                     RSS, allocation counts, message complexity,
+///                     per-phase splits; implies --telemetry
 ///   --log-level L     logger threshold: trace|debug|info|warn|error|off
 struct BenchOptions {
   std::size_t peers = 120;
@@ -55,6 +60,7 @@ struct BenchOptions {
   std::string events_out;      ///< "" = no JSONL stream
   std::string spans_out;       ///< "" = no span JSONL stream
   std::string postmortem_out;  ///< "" = no flight recorder
+  bool perf = false;           ///< record the "lagover.perf.v1" section
   /// The run's argv flags joined by spaces — embedded in post-mortem
   /// bundles so a dump carries its own repro command line.
   std::string argv_flags;
@@ -75,7 +81,11 @@ struct BenchOptions {
     options.events_out = flags.get_string("events-out", "");
     options.spans_out = flags.get_string("spans-out", "");
     options.postmortem_out = flags.get_string("postmortem-out", "");
+    options.perf = flags.get_bool("perf", false);
+    // --perf implies --telemetry: rounds and message complexity are
+    // read as deltas of the metrics-registry counters.
     options.telemetry = flags.get_bool("telemetry", false) ||
+                        options.perf ||
                         !options.trace_out.empty() ||
                         !options.events_out.empty() ||
                         !options.spans_out.empty() ||
@@ -171,6 +181,14 @@ class BenchJson {
     metrics_ = std::move(metrics);
   }
 
+  /// Embeds the "lagover.perf.v1" block (recorded with --perf): wall
+  /// time, peak RSS, allocation counts, per-phase rounds/sec, and
+  /// per-round message complexity. See docs/PERFORMANCE.md.
+  void set_perf(Json perf) {
+    has_perf_ = true;
+    perf_ = std::move(perf);
+  }
+
   /// Writes to the path implied by the options ("-" disables; empty
   /// selects "<bench>.bench.json"). Returns false on I/O failure.
   bool write(const BenchOptions& options) {
@@ -181,6 +199,7 @@ class BenchJson {
     root_.set("summary", summary_);
     root_.set("tables", tables_);
     if (has_metrics_) root_.set("metrics", metrics_);
+    if (has_perf_) root_.set("perf", perf_);
     std::ofstream out(path);
     if (!out) return false;
     out << root_.dump_pretty() << '\n';
@@ -194,7 +213,9 @@ class BenchJson {
   Json summary_;
   Json tables_;
   Json metrics_;
+  Json perf_;
   bool has_metrics_ = false;
+  bool has_perf_ = false;
 };
 
 /// RAII bundle of the telemetry exporters a bench needs: builds the
@@ -222,7 +243,21 @@ class TelemetryExport {
       recorder_->set_repro(options.seed, options.argv_flags);
       recorder_->set_dump_on_violation(options.postmortem_out);
     }
+    if (options.perf) {
+      // Created after the registry reset above so the recorder's
+      // baseline round/message snapshot starts from zero.
+      telemetry::set_alloc_tracking(true);
+      perf_ = std::make_unique<telemetry::PerfRecorder>();
+      telemetry::PerfRecorder::set_active(perf_.get());
+    }
   }
+
+  ~TelemetryExport() {
+    if (perf_ != nullptr) telemetry::set_alloc_tracking(false);
+  }
+
+  TelemetryExport(const TelemetryExport&) = delete;
+  TelemetryExport& operator=(const TelemetryExport&) = delete;
 
   /// Snapshot every counter/gauge at time t (per round / sim tick).
   void sample(double t) {
@@ -234,10 +269,19 @@ class TelemetryExport {
   /// violations (via attach_flight_recorder on an engine's audit bus).
   telemetry::FlightRecorder* recorder() noexcept { return recorder_.get(); }
 
+  /// The perf recorder, or nullptr without --perf. (Benches normally
+  /// talk to it through telemetry::PerfPhase scopes instead.)
+  telemetry::PerfRecorder* perf() noexcept { return perf_.get(); }
+
   /// Writes the Chrome trace (when requested) and embeds the metrics
   /// summary. Call once, after the run and before json.write().
   void finish(BenchJson& json) {
     if (!options_.telemetry) return;
+    if (perf_ != nullptr) {
+      telemetry::set_alloc_tracking(false);
+      perf_->finish();
+      json.set_perf(perf_->to_json());
+    }
     json.set_metrics(
         telemetry::metrics_summary_json(sampler_.get()));
     if (trace_ != nullptr) {
@@ -269,6 +313,7 @@ class TelemetryExport {
   std::unique_ptr<telemetry::JsonlEventWriter> events_;
   std::unique_ptr<telemetry::JsonlEventWriter> spans_;
   std::unique_ptr<telemetry::FlightRecorder> recorder_;
+  std::unique_ptr<telemetry::PerfRecorder> perf_;
 };
 
 inline void print_table(const std::string& title, const Table& table,

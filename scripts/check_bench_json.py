@@ -4,7 +4,10 @@
 Autodetects the kind of each file passed on the command line:
 
   * "lagover.bench.v1"   — a bench summary (optionally embedding a
-    "metrics" block with schema "lagover.metrics.v1"),
+    "metrics" block with schema "lagover.metrics.v1" and/or a "perf"
+    block with schema "lagover.perf.v1"),
+  * "lagover.perf.trajectory.v1" — a merged perf trajectory, as
+    written by scripts/perf_compare.py --collect,
   * "lagover.scenario.v1" — a declarative scenario document, as run by
     bench_scenario (strict keys, mirroring src/workload/scenario.cpp),
   * "lagover.postmortem.v1" — a flight-recorder dump, as written by
@@ -61,6 +64,72 @@ def check_metrics_block(path, metrics):
             fail(path, f"timeseries {name!r} is not time-sorted")
 
 
+def check_perf_block(path, perf):
+    if perf.get("schema") != "lagover.perf.v1":
+        fail(path, f"perf schema is {perf.get('schema')!r}, "
+                   "expected 'lagover.perf.v1'")
+    for key in ("wall_time_s", "peak_rss_kb", "rounds", "rounds_per_sec",
+                "messages", "messages_per_round", "alloc", "phases",
+                "scopes"):
+        if key not in perf:
+            fail(path, f"perf block missing '{key}'")
+    for key in ("wall_time_s", "peak_rss_kb", "rounds", "rounds_per_sec",
+                "messages", "messages_per_round"):
+        value = perf[key]
+        if not isinstance(value, NUMERIC) or value < 0:
+            fail(path, f"perf {key!r} is not a non-negative number")
+    for key in ("rounds", "messages", "peak_rss_kb"):
+        if not isinstance(perf[key], int):
+            fail(path, f"perf {key!r} is not an integer")
+    alloc = perf["alloc"]
+    if not isinstance(alloc.get("supported"), bool):
+        fail(path, "perf alloc.supported is not a boolean")
+    for key in ("count", "bytes", "frees"):
+        if not isinstance(alloc.get(key), int) or alloc[key] < 0:
+            fail(path, f"perf alloc.{key} is not a non-negative integer")
+    if not alloc["supported"] and alloc["count"] != 0:
+        fail(path, "perf alloc.count nonzero without the hook compiled in")
+    # rounds_per_sec must be consistent with rounds / wall_time_s
+    # (1% slack for the double round-trip through JSON).
+    if perf["wall_time_s"] > 0 and perf["rounds"] > 0:
+        implied = perf["rounds"] / perf["wall_time_s"]
+        if abs(implied - perf["rounds_per_sec"]) > 0.01 * implied:
+            fail(path, f"perf rounds_per_sec {perf['rounds_per_sec']:g} "
+                       f"inconsistent with rounds/wall {implied:g}")
+    if perf["rounds"] > 0:
+        implied = perf["messages"] / perf["rounds"]
+        if abs(implied - perf["messages_per_round"]) > \
+                0.01 * max(implied, 1e-9):
+            fail(path, "perf messages_per_round inconsistent with "
+                       "messages/rounds")
+    for name, phase in perf["phases"].items():
+        for key in ("wall_s", "rounds", "rounds_per_sec", "messages",
+                    "messages_per_round", "allocs", "alloc_bytes"):
+            if key not in phase:
+                fail(path, f"perf phase {name!r} missing '{key}'")
+            if not isinstance(phase[key], NUMERIC) or phase[key] < 0:
+                fail(path, f"perf phase {name!r}.{key} is not a "
+                           "non-negative number")
+        if phase["rounds"] > perf["rounds"]:
+            fail(path, f"perf phase {name!r} has more rounds than the run")
+    for name, times in perf.get("micro", {}).items():
+        for key in ("real_ns", "cpu_ns"):
+            if not isinstance(times.get(key), NUMERIC) or times[key] < 0:
+                fail(path, f"perf micro {name!r}.{key} is not a "
+                           "non-negative number")
+
+
+def check_perf_trajectory(path, doc):
+    benches = doc.get("benches")
+    if not isinstance(benches, dict) or not benches:
+        fail(path, "trajectory needs a non-empty 'benches' object")
+    for name, entry in benches.items():
+        if "perf" not in entry:
+            fail(path, f"trajectory bench {name!r} missing 'perf'")
+        check_perf_block(path, entry["perf"])
+    return f"perf trajectory ({len(benches)} benches)"
+
+
 def check_bench(path, doc):
     if doc.get("schema") != "lagover.bench.v1":
         fail(path, f"schema is {doc.get('schema')!r}")
@@ -83,7 +152,10 @@ def check_bench(path, doc):
                            f"header width {width}")
     if "metrics" in doc:
         check_metrics_block(path, doc["metrics"])
-    return "bench json" + (" + metrics" if "metrics" in doc else "")
+    if "perf" in doc:
+        check_perf_block(path, doc["perf"])
+    extras = [key for key in ("metrics", "perf") if key in doc]
+    return "bench json" + "".join(f" + {key}" for key in extras)
 
 
 # --- lagover.scenario.v1 -------------------------------------------------
@@ -432,6 +504,12 @@ def check_file(path):
         return check_postmortem(path, doc)
     if isinstance(doc, dict) and doc.get("schema") == "lagover.scenario.v1":
         return check_scenario(path, doc)
+    if isinstance(doc, dict) and \
+            doc.get("schema") == "lagover.perf.trajectory.v1":
+        return check_perf_trajectory(path, doc)
+    if isinstance(doc, dict) and doc.get("schema") == "lagover.perf.v1":
+        check_perf_block(path, doc)
+        return "perf json"
     if isinstance(doc, dict):
         return check_bench(path, doc)
     return check_jsonl(path, text)

@@ -1,0 +1,298 @@
+#!/usr/bin/env python3
+"""Diff two perf trajectories and gate on regressions.
+
+A *trajectory* is a "lagover.perf.trajectory.v1" document mapping
+bench names to their "lagover.perf.v1" sections (plus the options the
+bench ran with). Inputs may be:
+
+  * a trajectory JSON file (as written by --collect),
+  * a directory of "*.bench.json" files carrying "perf" sections,
+  * a single bench JSON file with a "perf" section.
+
+Modes:
+
+  perf_compare.py BASELINE CURRENT [thresholds...]
+      Print a regression table; exit 1 when any metric regresses
+      beyond its threshold.
+
+  perf_compare.py --collect DIR_OR_FILES... -o OUT
+      Merge bench JSONs into one trajectory document (BENCH_PERF.json).
+
+  perf_compare.py --self-test
+      Prove the gate fires: a synthetic 2x wall-time slowdown must
+      regress, and an identical trajectory must pass.
+
+Metrics and their default thresholds (fraction over baseline that
+counts as a regression; override with the flags shown):
+
+  wall_time_s      10%   --wall-threshold     timing, machine-sensitive
+  peak_rss_kb       5%   --rss-threshold
+  alloc.count       5%   --count-threshold    deterministic-ish
+  rounds            2%   --count-threshold    deterministic
+  messages          2%   --count-threshold    deterministic
+
+Timing metrics only gate runs recorded on comparable hardware (the CI
+job pins one runner class and keeps its own baseline); the count
+metrics are deterministic for a given seed and catch real complexity
+regressions anywhere. Improvements are reported, never fatal.
+
+Exit codes: 0 clean, 1 regressions (or failed self-test), 2 usage.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+TRAJECTORY_SCHEMA = "lagover.perf.trajectory.v1"
+PERF_SCHEMA = "lagover.perf.v1"
+
+
+def load_perf_section(path):
+    """(bench_name, options, perf) from one bench/perf JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if doc.get("schema") == PERF_SCHEMA:
+        name = os.path.basename(path).split(".")[0]
+        return name, {}, doc
+    perf = doc.get("perf")
+    if perf is None:
+        return None
+    return doc.get("bench", os.path.basename(path)), \
+        doc.get("options", {}), perf
+
+
+def collect(paths):
+    """Merge bench JSONs (files or directories) into a trajectory."""
+    benches = {}
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            files.extend(
+                os.path.join(path, name)
+                for name in sorted(os.listdir(path))
+                if name.endswith(".json"))
+        else:
+            files.append(path)
+    for path in files:
+        entry = load_perf_section(path)
+        if entry is None:
+            print(f"note: {path} has no perf section, skipped",
+                  file=sys.stderr)
+            continue
+        name, options, perf = entry
+        benches[name] = {"options": options, "perf": perf}
+    return {"schema": TRAJECTORY_SCHEMA, "benches": benches}
+
+
+def load_trajectory(path):
+    if os.path.isdir(path):
+        return collect([path])
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if doc.get("schema") == TRAJECTORY_SCHEMA:
+        return doc
+    entry = load_perf_section(path)
+    if entry is None:
+        raise ValueError(f"{path}: neither a trajectory nor a bench "
+                         "JSON with a perf section")
+    name, options, perf = entry
+    return {"schema": TRAJECTORY_SCHEMA,
+            "benches": {name: {"options": options, "perf": perf}}}
+
+
+def metric_specs(args):
+    """(label, path-into-perf-dict, threshold) per gated metric."""
+    return [
+        ("wall_time_s", ("wall_time_s",), args.wall_threshold),
+        ("peak_rss_kb", ("peak_rss_kb",), args.rss_threshold),
+        ("alloc.count", ("alloc", "count"), args.count_threshold),
+        ("rounds", ("rounds",), args.count_threshold),
+        ("messages", ("messages",), args.count_threshold),
+    ]
+
+
+def dig(doc, path):
+    for key in path:
+        if not isinstance(doc, dict) or key not in doc:
+            return None
+        doc = doc[key]
+    return doc
+
+
+def compare(baseline, current, args):
+    """Returns (rows, regressions). Rows are display tuples."""
+    rows = []
+    regressions = []
+    base_benches = baseline.get("benches", {})
+    cur_benches = current.get("benches", {})
+    for name in sorted(set(base_benches) | set(cur_benches)):
+        if name not in cur_benches:
+            rows.append((name, "-", "missing from current", "", "WARN"))
+            continue
+        if name not in base_benches:
+            rows.append((name, "-", "new bench (no baseline)", "", "NEW"))
+            continue
+        base_entry = base_benches[name]
+        cur_entry = cur_benches[name]
+        base_opts = base_entry.get("options", {})
+        cur_opts = cur_entry.get("options", {})
+        if base_opts and cur_opts and base_opts != cur_opts:
+            rows.append((name, "-", "options differ; not comparable",
+                         "", "WARN"))
+            continue
+        for label, path, threshold in metric_specs(args):
+            base_value = dig(base_entry.get("perf", {}), path)
+            cur_value = dig(cur_entry.get("perf", {}), path)
+            if not base_value or cur_value is None:
+                continue  # zero/absent baselines gate nothing
+            delta = (cur_value - base_value) / base_value
+            status = "ok"
+            if delta > threshold:
+                status = "REGRESSION"
+                regressions.append(
+                    f"{name}:{label} +{delta * 100.0:.1f}% "
+                    f"(limit +{threshold * 100.0:.0f}%)")
+            elif delta < -threshold:
+                status = "improved"
+            rows.append((name, label,
+                         f"{base_value:g} -> {cur_value:g}",
+                         f"{delta * 100.0:+.1f}%", status))
+    return rows, regressions
+
+
+def print_table(rows, markdown):
+    header = ("bench", "metric", "baseline -> current", "delta", "status")
+    if markdown:
+        print("| " + " | ".join(header) + " |")
+        print("|" + "---|" * len(header))
+        for row in rows:
+            print("| " + " | ".join(str(cell) for cell in row) + " |")
+        return
+    widths = [max(len(str(row[i])) for row in rows + [header])
+              for i in range(len(header))]
+    for row in [header] + rows:
+        print("  ".join(str(cell).ljust(width)
+                        for cell, width in zip(row, widths)).rstrip())
+
+
+def run_compare(args):
+    baseline = load_trajectory(args.baseline)
+    current = load_trajectory(args.current)
+    rows, regressions = compare(baseline, current, args)
+    if not rows:
+        print("perf_compare: no comparable benches", file=sys.stderr)
+        return 1
+    print_table(rows, args.markdown)
+    if regressions:
+        print()
+        for regression in regressions:
+            print(f"REGRESSION  {regression}")
+        print(f"perf_compare: {len(regressions)} regression(s)")
+        return 1
+    print("\nperf_compare: no regressions")
+    return 0
+
+
+def self_test():
+    base_perf = {
+        "schema": PERF_SCHEMA,
+        "wall_time_s": 1.0,
+        "peak_rss_kb": 50000,
+        "rounds": 1000,
+        "messages": 9000,
+        "alloc": {"count": 400000, "bytes": 1 << 24, "frees": 400000},
+        "phases": {},
+        "scopes": {},
+    }
+    def trajectory(perf):
+        return {"schema": TRAJECTORY_SCHEMA,
+                "benches": {"bench_x": {"options": {"peers": 40},
+                                        "perf": perf}}}
+    args = parse_args(["base", "current"])  # defaults only
+
+    slow = dict(base_perf, wall_time_s=2.0)  # the injected 2x slowdown
+    _, regressions = compare(trajectory(base_perf), trajectory(slow), args)
+    if not any("wall_time_s" in r for r in regressions):
+        print("self-test FAILED: 2x wall slowdown not flagged")
+        return 1
+
+    _, regressions = compare(trajectory(base_perf),
+                             trajectory(dict(base_perf)), args)
+    if regressions:
+        print(f"self-test FAILED: identical trajectories "
+              f"regressed: {regressions}")
+        return 1
+
+    hungry = dict(base_perf,
+                  alloc={"count": 500000, "bytes": 1 << 25, "frees": 0})
+    _, regressions = compare(trajectory(base_perf), trajectory(hungry),
+                             args)
+    if not any("alloc.count" in r for r in regressions):
+        print("self-test FAILED: +25% allocation growth not flagged")
+        return 1
+
+    jitter = dict(base_perf, wall_time_s=1.05)  # 5% < 10% threshold
+    _, regressions = compare(trajectory(base_perf), trajectory(jitter),
+                             args)
+    if regressions:
+        print(f"self-test FAILED: 5% wall jitter flagged: {regressions}")
+        return 1
+
+    print("self-test OK: gate fires on 2x wall and +25% allocs, "
+          "tolerates 5% jitter")
+    return 0
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="perf_compare.py",
+        description="diff lagover.perf.v1 trajectories and gate CI")
+    parser.add_argument("baseline", nargs="?",
+                        help="baseline trajectory/bench JSON or directory")
+    parser.add_argument("current", nargs="?",
+                        help="current trajectory/bench JSON or directory")
+    parser.add_argument("--collect", nargs="+", metavar="PATH",
+                        help="merge bench JSONs into a trajectory")
+    parser.add_argument("-o", "--output", default="BENCH_PERF.json",
+                        help="output path for --collect")
+    parser.add_argument("--wall-threshold", type=float, default=0.10,
+                        help="wall-time regression fraction (default 0.10)")
+    parser.add_argument("--rss-threshold", type=float, default=0.05,
+                        help="peak-RSS regression fraction (default 0.05)")
+    parser.add_argument("--count-threshold", type=float, default=0.05,
+                        help="count-metric regression fraction "
+                             "(default 0.05)")
+    parser.add_argument("--markdown", action="store_true",
+                        help="emit a GitHub-flavored markdown table")
+    parser.add_argument("--self-test", action="store_true",
+                        help="prove the gate fires on a synthetic "
+                             "2x slowdown")
+    return parser.parse_args(argv)
+
+
+def main(argv):
+    args = parse_args(argv)
+    if args.self_test:
+        return self_test()
+    if args.collect:
+        trajectory = collect(args.collect)
+        if not trajectory["benches"]:
+            print("perf_compare: --collect found no perf sections",
+                  file=sys.stderr)
+            return 1
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(trajectory, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output} "
+              f"({len(trajectory['benches'])} benches)")
+        return 0
+    if not args.baseline or not args.current:
+        print("usage: perf_compare.py BASELINE CURRENT "
+              "(or --collect/--self-test)", file=sys.stderr)
+        return 2
+    return run_compare(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

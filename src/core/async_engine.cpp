@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "fault/faulty_oracle.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/perf.hpp"
 #include "telemetry/profiler.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -274,6 +275,7 @@ void AsyncEngine::apply_churn() {
 }
 
 double AsyncEngine::run_for(SimTime duration) {
+  const telemetry::PerfPhase perf_phase("construction");
   started_ = true;
   const SimTime horizon = sim_.now() + duration;
   while (sim_.step(horizon)) {
@@ -585,6 +587,7 @@ void AsyncEngine::escalate_starvation(NodeId child) {
 }
 
 std::optional<SimTime> AsyncEngine::run_until_converged(SimTime horizon) {
+  const telemetry::PerfPhase perf_phase("construction");
   started_ = true;
   if (overlay_.all_satisfied()) return sim_.now();
   while (!converged_ && sim_.step(horizon)) {

@@ -9,6 +9,7 @@
 #include "core/hybrid.hpp"
 #include "fault/faulty_oracle.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/perf.hpp"
 #include "telemetry/profiler.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -567,6 +568,7 @@ void Engine::audit_round() {
 }
 
 std::optional<Round> Engine::run_until_converged(Round max_rounds) {
+  const telemetry::PerfPhase perf_phase("construction");
   if (overlay_.all_satisfied()) return round_;
   for (Round r = 0; r < max_rounds; ++r) {
     run_round();

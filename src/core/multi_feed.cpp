@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "telemetry/perf.hpp"
 
 namespace lagover {
 
@@ -113,6 +114,7 @@ void MultiFeedSystem::run_round() {
 }
 
 std::optional<Round> MultiFeedSystem::run_until_converged(Round max_rounds) {
+  const telemetry::PerfPhase perf_phase("construction");
   auto all_done = [&] {
     for (const auto& engine : engines_)
       if (!engine->overlay().all_satisfied()) return false;

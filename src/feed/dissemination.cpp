@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/perf.hpp"
 #include "telemetry/span.hpp"
 
 namespace lagover::feed {
@@ -257,6 +258,7 @@ class Dissemination {
 DisseminationReport run_dissemination(const Overlay& overlay,
                                       const DisseminationConfig& config,
                                       SimTime duration) {
+  const telemetry::PerfPhase perf_phase("dissemination");
   Dissemination dissemination(overlay, config);
   return dissemination.run(duration);
 }

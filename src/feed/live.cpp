@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/perf.hpp"
 #include "telemetry/span.hpp"
 
 namespace lagover::feed {
@@ -24,6 +25,7 @@ std::size_t degraded_fanout(const Overlay& overlay, NodeId relay,
 
 LiveReport run_live_dissemination(const Population& population,
                                   const LiveConfig& config) {
+  const telemetry::PerfPhase perf_phase("dissemination");
   LAGOVER_EXPECTS(config.publish_every >= 1);
   Engine engine(population, config.engine);
   if (config.churn) engine.set_churn(config.churn());

@@ -7,6 +7,7 @@
 #include "common/rng.hpp"
 #include "feed/feed.hpp"
 #include "metrics/tree_metrics.hpp"
+#include "telemetry/perf.hpp"
 #include "telemetry/span.hpp"
 
 namespace lagover::feed {
@@ -346,6 +347,7 @@ class LossyDissemination {
 LossyReport run_lossy_dissemination(const Overlay& overlay,
                                     const LossyConfig& config,
                                     SimTime duration) {
+  const telemetry::PerfPhase perf_phase("dissemination");
   LAGOVER_EXPECTS(config.push_loss >= 0.0 && config.push_loss < 1.0);
   LAGOVER_EXPECTS(config.recovery_period > 0.0);
   LAGOVER_EXPECTS(config.duplicate_probability >= 0.0 &&

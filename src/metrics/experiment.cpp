@@ -1,10 +1,12 @@
 #include "metrics/experiment.hpp"
 
 #include "common/error.hpp"
+#include "telemetry/perf.hpp"
 
 namespace lagover {
 
 ExperimentResult run_experiment(const ExperimentSpec& spec) {
+  const telemetry::PerfPhase perf_phase("construction");
   LAGOVER_EXPECTS(spec.population != nullptr);
   LAGOVER_EXPECTS(spec.trials >= 1);
 

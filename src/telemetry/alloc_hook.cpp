@@ -1,0 +1,131 @@
+// Counting operator new/delete hook behind the LAGOVER_ALLOC_HOOK
+// compile definition (a CMake option, on by default, forced off under
+// sanitizers so their own allocator interposition stays undisturbed).
+// While tracking is off the replacement costs one relaxed atomic load
+// per allocation; with the definition absent the default operators are
+// untouched and the query functions below report "unsupported".
+//
+// The counters are process-global relaxed atomics: the simulators are
+// single-threaded, and perf runs only need eventually-consistent
+// totals, not a happens-before edge.
+#include "telemetry/perf.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace lagover::telemetry {
+namespace {
+
+std::atomic<bool> g_tracking{false};
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+std::atomic<std::uint64_t> g_bytes{0};
+
+}  // namespace
+
+bool alloc_hook_compiled() noexcept {
+#if defined(LAGOVER_ALLOC_HOOK)
+  return true;
+#else
+  return false;
+#endif
+}
+
+void set_alloc_tracking(bool on) noexcept {
+  g_tracking.store(on && alloc_hook_compiled(),
+                   std::memory_order_relaxed);
+}
+
+bool alloc_tracking() noexcept {
+  return g_tracking.load(std::memory_order_relaxed);
+}
+
+AllocStats alloc_stats() noexcept {
+  AllocStats stats;
+  stats.allocs = g_allocs.load(std::memory_order_relaxed);
+  stats.frees = g_frees.load(std::memory_order_relaxed);
+  stats.bytes = g_bytes.load(std::memory_order_relaxed);
+  return stats;
+}
+
+namespace detail {
+
+inline void note_alloc(std::size_t size) noexcept {
+  if (!g_tracking.load(std::memory_order_relaxed)) return;
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+}
+
+inline void note_free(void* pointer) noexcept {
+  if (pointer == nullptr) return;
+  if (!g_tracking.load(std::memory_order_relaxed)) return;
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void* counted_alloc(std::size_t size) {
+  // malloc(0) may return null; allocate a distinct byte instead, as
+  // operator new must hand out unique non-null pointers.
+  void* pointer = std::malloc(size == 0 ? 1 : size);
+  if (pointer != nullptr) note_alloc(size);
+  return pointer;
+}
+
+}  // namespace detail
+}  // namespace lagover::telemetry
+
+#if defined(LAGOVER_ALLOC_HOOK)
+
+namespace ltd = lagover::telemetry::detail;
+
+void* operator new(std::size_t size) {
+  void* pointer = ltd::counted_alloc(size);
+  if (pointer == nullptr) throw std::bad_alloc();
+  return pointer;
+}
+
+void* operator new[](std::size_t size) {
+  void* pointer = ltd::counted_alloc(size);
+  if (pointer == nullptr) throw std::bad_alloc();
+  return pointer;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return ltd::counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return ltd::counted_alloc(size);
+}
+
+void operator delete(void* pointer) noexcept {
+  ltd::note_free(pointer);
+  std::free(pointer);
+}
+
+void operator delete[](void* pointer) noexcept {
+  ltd::note_free(pointer);
+  std::free(pointer);
+}
+
+void operator delete(void* pointer, std::size_t) noexcept {
+  ltd::note_free(pointer);
+  std::free(pointer);
+}
+
+void operator delete[](void* pointer, std::size_t) noexcept {
+  ltd::note_free(pointer);
+  std::free(pointer);
+}
+
+void operator delete(void* pointer, const std::nothrow_t&) noexcept {
+  ltd::note_free(pointer);
+  std::free(pointer);
+}
+
+void operator delete[](void* pointer, const std::nothrow_t&) noexcept {
+  ltd::note_free(pointer);
+  std::free(pointer);
+}
+
+#endif  // LAGOVER_ALLOC_HOOK

@@ -72,6 +72,10 @@ class EventBus {
                  keep.end() - static_cast<std::ptrdiff_t>(capacity));
     capacity_ = capacity;
     ring_ = std::move(keep);
+    // Preallocate the whole ring up front: once retention is set,
+    // publish() reuses slots by assignment and never reallocates on
+    // the hot path.
+    ring_.reserve(capacity_);
     head_ = 0;
     // A full ring restarts overwriting at slot 0, which is the oldest
     // retained event — exactly the ring invariant.

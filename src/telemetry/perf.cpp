@@ -1,0 +1,246 @@
+#include "telemetry/perf.hpp"
+
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <utility>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/telemetry.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace lagover::telemetry {
+namespace {
+
+/// Reads one "Vm...:  N kB" line of /proc/self/status, in bytes.
+/// Returns 0 off Linux or when the field is absent.
+std::uint64_t proc_status_bytes(const std::string& field) {
+  std::ifstream status("/proc/self/status");
+  if (!status) return 0;
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind(field, 0) != 0) continue;
+    std::istringstream fields(line.substr(field.size()));
+    std::uint64_t kilobytes = 0;
+    fields >> kilobytes;
+    return kilobytes * 1024;
+  }
+  return 0;
+}
+
+/// The counters that make up "simulated rounds": synchronous engine
+/// rounds plus asynchronous wake-ups.
+constexpr const char* kRoundCounters[] = {"engine.rounds", "async.wakes"};
+
+/// The counters that make up "protocol messages" — the per-round
+/// message-complexity numerator: overlay maintenance traffic, feed
+/// pushes, source polls, and Oracle queries.
+constexpr const char* kMessageCounters[] = {
+    "net.messages_sent",
+    "feed.push_messages",
+    "feed.source_requests",
+    "oracle.queries",
+};
+
+std::uint64_t counters_total(const char* const* names, std::size_t count) {
+  std::uint64_t total = 0;
+  const MetricsRegistry& registry = MetricsRegistry::instance();
+  // for_each avoids find-or-create: snapshotting must not add entries
+  // to the registry (the metrics JSON lists every registered name).
+  registry.for_each_counter(
+      [&](const std::string& name, const Counter& counter) {
+        for (std::size_t i = 0; i < count; ++i)
+          if (name == names[i]) total += counter.value();
+      });
+  return total;
+}
+
+std::uint64_t rounds_total() {
+  return counters_total(kRoundCounters, std::size(kRoundCounters));
+}
+
+std::uint64_t messages_total() {
+  return counters_total(kMessageCounters, std::size(kMessageCounters));
+}
+
+double per_second(std::uint64_t count, std::uint64_t wall_ns) {
+  if (wall_ns == 0) return 0.0;
+  return static_cast<double>(count) /
+         (static_cast<double>(wall_ns) * 1e-9);
+}
+
+double per_round(std::uint64_t count, std::uint64_t rounds) {
+  if (rounds == 0) return 0.0;
+  return static_cast<double>(count) / static_cast<double>(rounds);
+}
+
+Json integer_json(std::uint64_t value) {
+  return Json::integer(static_cast<std::int64_t>(value));
+}
+
+}  // namespace
+
+std::uint64_t peak_rss_bytes() {
+  if (const std::uint64_t peak = proc_status_bytes("VmHWM:"); peak != 0)
+    return peak;
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0 && usage.ru_maxrss > 0) {
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes
+#else
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // kB
+#endif
+  }
+#endif
+  return 0;
+}
+
+std::uint64_t current_rss_bytes() { return proc_status_bytes("VmRSS:"); }
+
+// ------------------------------------------------------------ recorder
+
+namespace {
+
+PerfRecorder*& active_recorder() noexcept {
+  static PerfRecorder* recorder = nullptr;
+  return recorder;
+}
+
+}  // namespace
+
+PerfRecorder* PerfRecorder::active() noexcept { return active_recorder(); }
+
+void PerfRecorder::set_active(PerfRecorder* recorder) noexcept {
+  active_recorder() = recorder;
+}
+
+PerfRecorder::Mark PerfRecorder::mark_now() {
+  Mark mark;
+  mark.wall_ns = wall_nanos();
+  mark.rounds = rounds_total();
+  mark.messages = messages_total();
+  mark.alloc = alloc_stats();
+  return mark;
+}
+
+PerfRecorder::PerfRecorder() : start_(mark_now()) {}
+
+PerfRecorder::~PerfRecorder() {
+  if (active_recorder() == this) active_recorder() = nullptr;
+}
+
+PerfPhaseStats& PerfRecorder::phase_slot(const std::string& name) {
+  for (PerfPhaseStats& phase : phases_)
+    if (phase.name == name) return phase;
+  phases_.push_back(PerfPhaseStats{name, 0, 0, 0, 0, 0});
+  return phases_.back();
+}
+
+void PerfRecorder::phase_begin(const std::string& name) {
+  if (finished_) return;
+  phase_slot(name);  // reserve the display slot in first-open order
+  OpenPhase& open = open_[name];
+  if (++open.depth == 1) open.mark = mark_now();
+}
+
+void PerfRecorder::phase_end(const std::string& name) {
+  const auto it = open_.find(name);
+  if (it == open_.end()) return;  // unmatched end: ignore
+  if (--it->second.depth > 0) return;  // inner same-name scope
+  const Mark begin = it->second.mark;
+  const Mark end = mark_now();
+  PerfPhaseStats& phase = phase_slot(name);
+  phase.wall_ns += end.wall_ns - begin.wall_ns;
+  phase.rounds += end.rounds - begin.rounds;
+  phase.messages += end.messages - begin.messages;
+  phase.allocs += end.alloc.allocs - begin.alloc.allocs;
+  phase.alloc_bytes += end.alloc.bytes - begin.alloc.bytes;
+  // Erase last: `name` may alias the key (see finish()).
+  open_.erase(it);
+}
+
+void PerfRecorder::note_micro(const std::string& name, double real_ns,
+                              double cpu_ns) {
+  micro_[name] = {real_ns, cpu_ns};
+}
+
+void PerfRecorder::finish() {
+  if (finished_) return;
+  while (!open_.empty()) {
+    auto it = open_.begin();
+    it->second.depth = 1;  // force the close whatever the nesting
+    phase_end(it->first);
+  }
+  const Mark end = mark_now();
+  total_wall_ns_ = end.wall_ns - start_.wall_ns;
+  total_rounds_ = end.rounds - start_.rounds;
+  total_messages_ = end.messages - start_.messages;
+  total_alloc_.allocs = end.alloc.allocs - start_.alloc.allocs;
+  total_alloc_.frees = end.alloc.frees - start_.alloc.frees;
+  total_alloc_.bytes = end.alloc.bytes - start_.alloc.bytes;
+  peak_rss_ = peak_rss_bytes();
+  finished_ = true;
+}
+
+Json PerfRecorder::to_json(bool include_scopes) {
+  finish();
+  Json perf = Json::object();
+  perf.set("schema", Json::string("lagover.perf.v1"));
+  perf.set("wall_time_s",
+           Json::number(static_cast<double>(total_wall_ns_) * 1e-9));
+  perf.set("peak_rss_kb", integer_json(peak_rss_ / 1024));
+  perf.set("rounds", integer_json(total_rounds_));
+  perf.set("rounds_per_sec",
+           Json::number(per_second(total_rounds_, total_wall_ns_)));
+  perf.set("messages", integer_json(total_messages_));
+  perf.set("messages_per_round",
+           Json::number(per_round(total_messages_, total_rounds_)));
+
+  Json alloc = Json::object();
+  alloc.set("supported", Json::boolean(alloc_hook_compiled()));
+  alloc.set("count", integer_json(total_alloc_.allocs));
+  alloc.set("bytes", integer_json(total_alloc_.bytes));
+  alloc.set("frees", integer_json(total_alloc_.frees));
+  perf.set("alloc", std::move(alloc));
+
+  Json phases = Json::object();
+  for (const PerfPhaseStats& phase : phases_) {
+    Json entry = Json::object();
+    entry.set("wall_s",
+              Json::number(static_cast<double>(phase.wall_ns) * 1e-9));
+    entry.set("rounds", integer_json(phase.rounds));
+    entry.set("rounds_per_sec",
+              Json::number(per_second(phase.rounds, phase.wall_ns)));
+    entry.set("messages", integer_json(phase.messages));
+    entry.set("messages_per_round",
+              Json::number(per_round(phase.messages, phase.rounds)));
+    entry.set("allocs", integer_json(phase.allocs));
+    entry.set("alloc_bytes", integer_json(phase.alloc_bytes));
+    phases.set(phase.name, std::move(entry));
+  }
+  perf.set("phases", std::move(phases));
+
+  // TELEM_SCOPE totals, so the Chrome-trace hotspots and the JSON
+  // trajectory agree on where the time goes.
+  perf.set("scopes",
+           include_scopes ? Profiler::instance().to_json() : Json::object());
+
+  if (!micro_.empty()) {
+    Json micro = Json::object();
+    for (const auto& [name, times] : micro_) {
+      Json entry = Json::object();
+      entry.set("real_ns", Json::number(times.first));
+      entry.set("cpu_ns", Json::number(times.second));
+      micro.set(name, std::move(entry));
+    }
+    perf.set("micro", std::move(micro));
+  }
+  return perf;
+}
+
+}  // namespace lagover::telemetry

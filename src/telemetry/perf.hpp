@@ -1,0 +1,176 @@
+// Performance observability on top of the telemetry substrate: the
+// PerfRecorder captures per-phase wall time, simulated rounds/sec,
+// peak RSS, global allocation counts (via the opt-in counting
+// operator new hook in alloc_hook.cpp), and protocol message totals
+// drawn from the metrics registry. Benches embed its to_json() output
+// as the "perf" section ("lagover.perf.v1") of their bench JSON;
+// scripts/perf_compare.py diffs two such sections and gates CI.
+//
+// Cost model, matching the rest of the layer: no recorder active means
+// PerfPhase construction is a single pointer load and branch; the
+// allocation hook, when compiled in, adds one relaxed atomic load per
+// operator new while tracking is off. Nothing here touches simulation
+// state, so perf-off runs stay byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace lagover::telemetry {
+
+// ---------------------------------------------------------------------
+// Allocation counting (implemented in alloc_hook.cpp; all functions
+// are safe to call whether or not the hook was compiled in).
+
+/// Totals since process start. `allocs`/`bytes` count operator new
+/// calls and requested sizes, `frees` counts operator delete calls
+/// with a non-null pointer. All zero when the hook is compiled out.
+struct AllocStats {
+  std::uint64_t allocs = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Was the counting operator new/delete hook compiled into this
+/// binary (CMake option LAGOVER_ALLOC_HOOK)?
+bool alloc_hook_compiled() noexcept;
+
+/// Turns allocation counting on/off. A no-op (tracking stays off)
+/// when the hook is compiled out.
+void set_alloc_tracking(bool on) noexcept;
+bool alloc_tracking() noexcept;
+
+/// Current counter totals (monotonic; callers diff snapshots).
+AllocStats alloc_stats() noexcept;
+
+// ---------------------------------------------------------------------
+// Process memory (implemented in perf.cpp).
+
+/// Peak resident set size in bytes: /proc/self/status VmHWM where
+/// available, getrusage(ru_maxrss) as the portable fallback, 0 when
+/// neither source exists.
+std::uint64_t peak_rss_bytes();
+
+/// Current resident set size in bytes (VmRSS), 0 when unknown.
+std::uint64_t current_rss_bytes();
+
+// ---------------------------------------------------------------------
+// The recorder.
+
+/// One named phase's accumulated deltas. Re-entering a phase name
+/// (benches loop over trials) accumulates into the same entry.
+struct PerfPhaseStats {
+  std::string name;
+  std::uint64_t wall_ns = 0;
+  std::uint64_t rounds = 0;    ///< engine rounds + async wakes
+  std::uint64_t messages = 0;  ///< protocol messages (see perf.cpp)
+  std::uint64_t allocs = 0;
+  std::uint64_t alloc_bytes = 0;
+};
+
+/// Records a bench run's perf profile. Construction stamps the start
+/// (wall clock, allocation counters, registry message/round totals);
+/// finish() stamps the end and freezes the totals; to_json() renders
+/// the "lagover.perf.v1" section. Rounds and messages are read as
+/// deltas of the existing metrics registry counters, so the recorder
+/// needs telemetry enabled to see non-zero values — benches pass
+/// --perf, which implies --telemetry.
+class PerfRecorder {
+ public:
+  PerfRecorder();
+
+  PerfRecorder(const PerfRecorder&) = delete;
+  PerfRecorder& operator=(const PerfRecorder&) = delete;
+  ~PerfRecorder();
+
+  /// Opens / closes a named phase; deltas accumulate per name.
+  /// Re-entrant per name (a "construction" scope inside another
+  /// "construction" scope counts once — the library entry points and
+  /// a bench-local scope may overlap); unbalanced calls are tolerated
+  /// (an unmatched end is ignored, finish() closes anything left
+  /// open).
+  void phase_begin(const std::string& name);
+  void phase_end(const std::string& name);
+
+  /// A named microbenchmark result (bench_micro's google-benchmark
+  /// scalars, normalized to nanoseconds), emitted under "micro".
+  void note_micro(const std::string& name, double real_ns, double cpu_ns);
+
+  /// Freezes the run totals (idempotent; to_json() calls it).
+  void finish();
+  bool finished() const noexcept { return finished_; }
+
+  /// Phase stats in first-open order.
+  const std::vector<PerfPhaseStats>& phases() const noexcept {
+    return phases_;
+  }
+  std::uint64_t total_wall_ns() const noexcept { return total_wall_ns_; }
+  std::uint64_t total_rounds() const noexcept { return total_rounds_; }
+  std::uint64_t total_messages() const noexcept { return total_messages_; }
+
+  /// The "lagover.perf.v1" JSON section. Includes the profiler's
+  /// per-scope aggregates under "scopes" (so Chrome-trace hotspots
+  /// and the trajectory agree) unless `include_scopes` is false.
+  Json to_json(bool include_scopes = true);
+
+  /// The recorder PerfPhase scopes attach to (nullptr = inactive,
+  /// every PerfPhase is then a no-op).
+  static PerfRecorder* active() noexcept;
+  static void set_active(PerfRecorder* recorder) noexcept;
+
+ private:
+  struct Mark {
+    std::uint64_t wall_ns = 0;
+    std::uint64_t rounds = 0;
+    std::uint64_t messages = 0;
+    AllocStats alloc;
+  };
+
+  struct OpenPhase {
+    Mark mark;
+    int depth = 0;
+  };
+
+  static Mark mark_now();
+  PerfPhaseStats& phase_slot(const std::string& name);
+
+  Mark start_;
+  std::vector<PerfPhaseStats> phases_;
+  std::map<std::string, OpenPhase> open_;
+  std::map<std::string, std::pair<double, double>> micro_;
+  std::uint64_t total_wall_ns_ = 0;
+  std::uint64_t total_rounds_ = 0;
+  std::uint64_t total_messages_ = 0;
+  AllocStats total_alloc_;
+  std::uint64_t peak_rss_ = 0;
+  bool finished_ = false;
+};
+
+/// RAII phase scope against the active recorder; free when none is
+/// active. Benches mark their construction / dissemination stages:
+///
+///   { PerfPhase phase("construction"); engine.run_until_converged(n); }
+class PerfPhase {
+ public:
+  explicit PerfPhase(const char* name) : name_(name) {
+    if (PerfRecorder::active() == nullptr) name_ = nullptr;
+    if (name_ != nullptr) PerfRecorder::active()->phase_begin(name_);
+  }
+
+  PerfPhase(const PerfPhase&) = delete;
+  PerfPhase& operator=(const PerfPhase&) = delete;
+
+  ~PerfPhase() {
+    if (name_ != nullptr && PerfRecorder::active() != nullptr)
+      PerfRecorder::active()->phase_end(name_);
+  }
+
+ private:
+  const char* name_;
+};
+
+}  // namespace lagover::telemetry

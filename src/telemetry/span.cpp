@@ -28,19 +28,43 @@ bool is_receipt(SpanKind kind) noexcept {
          kind == SpanKind::kRepair;
 }
 
+constexpr std::size_t kSpanKinds =
+    static_cast<std::size_t>(SpanKind::kDuplicate) + 1;
+
+/// Every metric the span path records into, resolved once per process.
+/// Registry entries are never erased — reset() zeroes them in place —
+/// so the cached pointers stay valid for the process lifetime and the
+/// per-span hot path is free of string building and map walks.
+struct SpanMetrics {
+  Counter* kind_counters[kSpanKinds] = {};
+  LogHistogram* delivery_latency = nullptr;
+  Counter* deadline_misses = nullptr;
+};
+
+const SpanMetrics& span_metrics() {
+  static const SpanMetrics metrics = [] {
+    MetricsRegistry& registry = MetricsRegistry::instance();
+    SpanMetrics resolved;
+    for (std::size_t i = 0; i < kSpanKinds; ++i)
+      resolved.kind_counters[i] = &registry.counter(
+          std::string("span.") + to_string(static_cast<SpanKind>(i)));
+    resolved.delivery_latency = &registry.histogram("feed.delivery_latency");
+    resolved.deadline_misses = &registry.counter("feed.deadline_misses");
+    return resolved;
+  }();
+  return metrics;
+}
+
 }  // namespace
 
 void record_span(const ItemSpan& span) {
   if (!enabled()) return;
-  MetricsRegistry& registry = MetricsRegistry::instance();
-  // The name varies per span kind, so the registry is hit directly
-  // instead of through the site-cached TELEM_COUNT macro.
-  registry.counter(std::string("span.") + to_string(span.kind)).inc();
+  const SpanMetrics& metrics = span_metrics();
+  metrics.kind_counters[static_cast<std::size_t>(span.kind)]->inc();
   if (is_receipt(span.kind)) {
-    registry.histogram("feed.delivery_latency")
-        .add(span.ts - span.published_at);
+    metrics.delivery_latency->add(span.ts - span.published_at);
     if (missed_deadline(span.published_at, span.ts, span.deadline))
-      registry.counter("feed.deadline_misses").inc();
+      metrics.deadline_misses->inc();
   }
   span_bus().publish(span);
 }
