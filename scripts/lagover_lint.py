@@ -27,6 +27,29 @@ keep the guarantee true (see docs/STATIC_ANALYSIS.md):
                   non-const alias and then mutate state behind a reader
                   API.
 
+Concurrency-readiness rules (see docs/STATIC_ANALYSIS.md, "Concurrency
+readiness"). These enforce the LAGOVER_THREAD_SAFE /
+LAGOVER_THREAD_HOSTILE contract from common/thread_annotations.hpp —
+the lint collects marked type names in a pre-pass over the scanned
+tree, then checks:
+
+  mutable-global    no non-const static data at namespace or function
+                    scope unless it is const/constexpr/thread_local, a
+                    std::atomic, a sync primitive, or a type marked
+                    LAGOVER_THREAD_SAFE. (Class-body static members are
+                    out of scope; statics of HOSTILE types are owned by
+                    hostile-escape.)
+  unannotated-mutex a mutex member whose name never appears in a
+                    LAGOVER_GUARDED_BY / _REQUIRES / _ACQUIRE /
+                    _EXCLUDES annotation inside its class: a lock that
+                    provably guards nothing the clang analysis can see.
+  hostile-escape    a LAGOVER_THREAD_HOSTILE type placed in static
+                    storage outside src/telemetry/, or mentioned at all
+                    inside src/parallel/ (the future multi-threaded
+                    round engine).
+  raw-thread        std::thread / std::jthread / pthread_create /
+                    no-arg .detach() outside src/parallel/ and tests/.
+
 Suppression is ONLY possible through scripts/lint_allowlist.txt, and
 every entry must carry a justification; stale entries (matching no
 current finding) fail the run so the allowlist cannot rot.
@@ -75,6 +98,19 @@ RULES = {
                    "platform sensitive; use integer Delay or double",
     "const-bracket": "map operator[] inserts; in a const-intent path use "
                      "find()/at() instead",
+    "mutable-global": "non-const static data is shared mutable state; "
+                      "make it const/constexpr, a std::atomic, or a "
+                      "LAGOVER_THREAD_SAFE type",
+    "unannotated-mutex": "mutex member never named in a LAGOVER_GUARDED_BY"
+                         "/_REQUIRES/_ACQUIRE/_EXCLUDES annotation; the "
+                         "thread-safety analysis cannot see what it "
+                         "guards — use lagover::Mutex and annotate",
+    "hostile-escape": "LAGOVER_THREAD_HOSTILE type escaping its single-"
+                      "thread confinement (static storage outside "
+                      "src/telemetry/, or any use in src/parallel/)",
+    "raw-thread": "direct thread spawn/detach outside src/parallel/ and "
+                  "tests/; threaded code belongs behind the annotated "
+                  "parallel layer",
 }
 
 
@@ -244,6 +280,216 @@ TOKEN_CHECKS = (check_rand_time, check_unordered, check_float,
                 check_const_bracket)
 
 
+# --- concurrency-readiness rules (token engine) -------------------------
+#
+# These rules consult the LAGOVER_THREAD_SAFE / LAGOVER_THREAD_HOSTILE
+# markers from common/thread_annotations.hpp, collected in a pre-pass
+# over the whole scanned tree (collect_markers) so a type declared in
+# one header is recognised at every use site.
+
+MARKER_PATTERN = re.compile(
+    r"\b(?:class|struct)\s+LAGOVER_THREAD_(HOSTILE|SAFE)\s+(\w+)")
+
+# Synchronisation primitives are internally safe to place in static
+# storage; treat them like LAGOVER_THREAD_SAFE types.
+SYNC_PRIMITIVE_TYPES = frozenset({
+    "Mutex", "MutexLock", "mutex", "shared_mutex", "recursive_mutex",
+    "timed_mutex", "once_flag", "condition_variable",
+})
+
+
+def collect_markers(root, dirs):
+    """Returns (hostile_types, safe_types): type names marked
+    LAGOVER_THREAD_HOSTILE / LAGOVER_THREAD_SAFE anywhere in the tree."""
+    hostile, safe = set(), set()
+    for path in iter_source_files(root, dirs):
+        with open(path, encoding="utf-8") as handle:
+            stripped = strip_comments_and_strings(handle.read())
+        for kind, name in MARKER_PATTERN.findall(stripped):
+            (hostile if kind == "HOSTILE" else safe).add(name)
+    return hostile, safe
+
+
+CLASS_SPAN_PATTERN = re.compile(r"\b(class|struct|union|enum)\b[^;{}()]*\{")
+
+
+def class_spans(stripped):
+    """Brace-matched (start, end, match) spans of every class/struct/
+    union/enum body. Nested types yield overlapping spans."""
+    spans = []
+    for match in CLASS_SPAN_PATTERN.finditer(stripped):
+        depth = 0
+        i = match.end() - 1
+        while i < len(stripped):
+            if stripped[i] == "{":
+                depth += 1
+            elif stripped[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        spans.append((match.start(), i + 1, match))
+    return spans
+
+
+STATIC_TOKEN = re.compile(r"\bstatic\b")
+
+
+def iter_static_data_decls(stripped, skip_spans=()):
+    """Yields (offset, head) for each `static` token that begins a data
+    declaration (not a function declaration/definition). `head` is the
+    declaration text up to the initializer brace or terminating
+    semicolon — enough to classify the declared type."""
+    for match in STATIC_TOKEN.finditer(stripped):
+        if any(s < match.start() < e for s, e in skip_spans):
+            continue
+        semi = stripped.find(";", match.end())
+        brace = stripped.find("{", match.end())
+        if semi == -1:
+            continue
+        if brace != -1 and brace < semi:
+            head = stripped[match.start():brace]
+            # `static T x{...};` is a data decl; a `(` before the brace
+            # means a function definition body.
+            if "(" in head:
+                continue
+        else:
+            head = stripped[match.start():semi]
+            if "(" in head:
+                eq = head.find("=")
+                # Parens without a preceding `=` make this a function
+                # declaration (or ctor-paren init, which this repo's
+                # style avoids in favour of braces).
+                if eq == -1 or head.find("(") < eq:
+                    continue
+        yield match.start(), head
+
+
+MUTABLE_GLOBAL_EXEMPT = re.compile(
+    r"\b(?:const|constexpr|constinit|thread_local)\b|\batomic\b")
+
+
+def check_mutable_global(root, path, stripped, markers):
+    """Non-const static data at namespace or function scope. Class-body
+    static members are out of scope (per docs/STATIC_ANALYSIS.md), and
+    statics of HOSTILE-marked types are reported by hostile-escape
+    instead, so each site gets exactly one finding."""
+    relpath = rel(root, path)
+    hostile, safe = markers
+    spans = [(s, e) for s, e, _ in class_spans(stripped)]
+    findings = []
+    for offset, head in iter_static_data_decls(stripped, spans):
+        if MUTABLE_GLOBAL_EXEMPT.search(head):
+            continue
+        names = set(re.findall(r"\w+", head))
+        if names & safe or names & SYNC_PRIMITIVE_TYPES:
+            continue
+        if names & hostile:
+            continue  # hostile-escape owns hostile-type statics
+        findings.append(Finding(
+            "mutable-global", relpath, line_of(stripped, offset),
+            RULES["mutable-global"]))
+    return findings
+
+
+MUTEX_MEMBER_PATTERN = re.compile(
+    r"(?:\bmutable\s+)?(?:(?:std|lagover)\s*::\s*)?"
+    r"\b(?:mutex|shared_mutex|recursive_mutex|timed_mutex|Mutex)\s+"
+    r"(\w+)\s*(?:;|\{\s*\}\s*;)")
+ANNOTATION_MACROS = (
+    "LAGOVER_GUARDED_BY", "LAGOVER_PT_GUARDED_BY", "LAGOVER_REQUIRES",
+    "LAGOVER_ACQUIRE", "LAGOVER_RELEASE", "LAGOVER_TRY_ACQUIRE",
+    "LAGOVER_EXCLUDES", "LAGOVER_RETURN_CAPABILITY",
+)
+
+
+def check_unannotated_mutex(root, path, stripped, markers):
+    """A mutex member whose name never appears inside a thread-safety
+    annotation in its class guards nothing the analysis can see."""
+    del markers
+    relpath = rel(root, path)
+    if relpath == "src/common/mutex.hpp":
+        return []  # the annotated wrapper around std::mutex itself
+    findings = []
+    seen = set()
+    for start, end, match in class_spans(stripped):
+        if match.group(1) not in ("class", "struct"):
+            continue
+        body = stripped[start:end]
+        for member in MUTEX_MEMBER_PATTERN.finditer(body):
+            name = member.group(1)
+            line = line_of(stripped, start + member.start())
+            if (name, line) in seen:
+                continue  # nested class spans overlap their parents
+            seen.add((name, line))
+            annotated = re.search(
+                r"(?:%s)\s*\(\s*%s\s*[,)]" % (
+                    "|".join(ANNOTATION_MACROS), re.escape(name)), body)
+            if not annotated:
+                findings.append(Finding(
+                    "unannotated-mutex", relpath, line,
+                    f"{name}: {RULES['unannotated-mutex']}"))
+    return findings
+
+
+def check_hostile_escape(root, path, stripped, markers):
+    """LAGOVER_THREAD_HOSTILE types are single-thread confined: no
+    static storage outside src/telemetry/, and no mention at all in
+    src/parallel/ (reserved for genuinely multi-threaded code)."""
+    hostile, _ = markers
+    if not hostile:
+        return []
+    relpath = rel(root, path)
+    name_pattern = re.compile(
+        r"\b(?:%s)\b" % "|".join(sorted(re.escape(n) for n in hostile)))
+    findings = []
+    if relpath.startswith("src/parallel/"):
+        for match in name_pattern.finditer(stripped):
+            findings.append(Finding(
+                "hostile-escape", relpath, line_of(stripped, match.start()),
+                f"{match.group(0)}: {RULES['hostile-escape']}"))
+        return findings
+    if relpath.startswith("src/telemetry/"):
+        return []
+    # Static members of hostile types escape too, so class bodies are
+    # NOT skipped here (unlike mutable-global).
+    for offset, head in iter_static_data_decls(stripped):
+        match = name_pattern.search(head)
+        if match:
+            findings.append(Finding(
+                "hostile-escape", relpath, line_of(stripped, offset),
+                f"static {match.group(0)}: {RULES['hostile-escape']}"))
+    return findings
+
+
+RAW_THREAD_PATTERNS = [
+    (re.compile(r"\bstd\s*::\s*j?thread\b"), "std::thread"),
+    (re.compile(r"\bpthread_create\b"), "pthread_create"),
+    (re.compile(r"\.\s*detach\s*\(\s*\)"), ".detach()"),
+]
+
+
+def check_raw_thread(root, path, stripped, markers):
+    """Raw thread spawns outside the sanctioned homes: tests/ (which
+    exercise the thread-safe telemetry core directly) and src/parallel/
+    (the annotated threaded layer)."""
+    del markers
+    relpath = rel(root, path)
+    if relpath.startswith(("tests/", "src/parallel/")):
+        return []
+    findings = []
+    for pattern, label in RAW_THREAD_PATTERNS:
+        for match in pattern.finditer(stripped):
+            findings.append(Finding(
+                "raw-thread", relpath, line_of(stripped, match.start()),
+                f"{label}: {RULES['raw-thread']}"))
+    return findings
+
+
+CONCURRENCY_CHECKS = (check_mutable_global, check_unannotated_mutex,
+                      check_hostile_escape, check_raw_thread)
+
+
 # --- libclang engine (optional upgrade for unordered-iter) --------------
 
 def libclang_available():
@@ -364,7 +610,11 @@ def apply_allowlist(findings, entries):
 
 # --- driver ------------------------------------------------------------
 
-def run_lint(root, engine, compile_commands, verbose=False):
+DEFAULT_DIRS = ("src", "bench", "tests", "examples")
+
+
+def run_lint(root, engine, compile_commands, verbose=False,
+             dirs=DEFAULT_DIRS):
     findings = []
     libclang = engine == "libclang" or (
         engine == "auto" and libclang_available() and compile_commands
@@ -373,9 +623,11 @@ def run_lint(root, engine, compile_commands, verbose=False):
         print("error: --engine libclang requested but python3-clang "
               "is not importable", file=sys.stderr)
         return None, None
+    # Pre-pass: the concurrency rules need the THREAD_SAFE/HOSTILE
+    # marker sets from the whole tree before any per-file scan.
+    markers = collect_markers(root, dirs)
     scanned = 0
-    for path in iter_source_files(root, ("src", "bench", "tests",
-                                         "examples")):
+    for path in iter_source_files(root, dirs):
         with open(path, encoding="utf-8") as handle:
             stripped = strip_comments_and_strings(handle.read())
         scanned += 1
@@ -387,10 +639,13 @@ def run_lint(root, engine, compile_commands, verbose=False):
                                 else check(root, path, stripped))
             else:
                 findings.extend(check(root, path, stripped))
+        for check in CONCURRENCY_CHECKS:
+            findings.extend(check(root, path, stripped, markers))
     if verbose:
         mode = "libclang" if libclang else "token"
         print(f"scanned {scanned} files ({mode} engine for "
-              f"unordered-iter)")
+              f"unordered-iter; {len(markers[1])} THREAD_SAFE / "
+              f"{len(markers[0])} THREAD_HOSTILE marked types)")
     return findings, scanned
 
 
@@ -410,12 +665,90 @@ def self_test(root):
             "  int get(int k) const { return table_[k]; }\n"
             "  mutable std::map<int, int> table_;\n"
             "};\n",
+        "mutable-global":
+            "inline int& call_count() {\n"
+            "  static int calls = 0;\n"
+            "  return calls;\n"
+            "}\n",
+        "unannotated-mutex":
+            "#include <mutex>\n"
+            "class Queue {\n"
+            "  std::mutex mutex_;\n"
+            "  int depth_ = 0;\n"
+            "};\n",
+        "hostile-escape":
+            "class LAGOVER_THREAD_HOSTILE Widget { int x_ = 0; };\n"
+            "inline Widget& widget() {\n"
+            "  static Widget w;\n"
+            "  return w;\n"
+            "}\n",
+        "raw-thread":
+            "#include <thread>\n"
+            "inline void spawn() {\n"
+            "  std::thread worker([] {});\n"
+            "  worker.detach();\n"
+            "}\n",
     }
     destinations = {
         "rand-time": "src/core/injected_rand.hpp",
         "unordered-iter": "src/sim/injected_unordered.hpp",
         "float-delay": "src/core/injected_float.hpp",
         "const-bracket": "src/net/injected_bracket.hpp",
+        "mutable-global": "src/core/injected_global.hpp",
+        "unannotated-mutex": "src/core/injected_mutex.hpp",
+        "hostile-escape": "src/core/injected_hostile.hpp",
+        "raw-thread": "src/core/injected_thread.hpp",
+    }
+    # Files that must produce NO finding: each exercises an exemption
+    # that, if broken, would bury the tree in false positives.
+    negatives = {
+        "src/net/injected_const_static.hpp":
+            "const-static data (like net/network.hpp's TrafficCounters "
+            "kEmpty) is immutable, not shared mutable state",
+        "src/core/injected_atomic_static.hpp":
+            "static std::atomic is the sanctioned lock-free form",
+        "src/core/injected_safe_static.hpp":
+            "statics of LAGOVER_THREAD_SAFE types are internally "
+            "synchronized",
+        "src/telemetry/injected_hostile_local.hpp":
+            "hostile statics are permitted inside src/telemetry/",
+        "tests/injected_test_thread.cpp":
+            "tests/ may spawn raw threads to exercise the telemetry core",
+        "src/parallel/injected_parallel_thread.cpp":
+            "src/parallel/ is the sanctioned home for threaded code",
+        "src/core/injected_annotated_mutex.hpp":
+            "a mutex named by LAGOVER_GUARDED_BY is annotated",
+    }
+    negative_samples = {
+        "src/net/injected_const_static.hpp":
+            "struct TrafficCounters { long sent = 0; };\n"
+            "static const TrafficCounters kEmpty{};\n",
+        "src/core/injected_atomic_static.hpp":
+            "#include <atomic>\n"
+            "static std::atomic<int> g_admitted{0};\n",
+        "src/core/injected_safe_static.hpp":
+            "class LAGOVER_THREAD_SAFE Registry { int v_ = 0; };\n"
+            "inline Registry& instance() {\n"
+            "  static Registry r;\n"
+            "  return r;\n"
+            "}\n",
+        "src/telemetry/injected_hostile_local.hpp":
+            "class LAGOVER_THREAD_HOSTILE Scratch { int v_ = 0; };\n"
+            "inline Scratch& scratch() {\n"
+            "  static Scratch s;\n"
+            "  return s;\n"
+            "}\n",
+        "tests/injected_test_thread.cpp":
+            "#include <thread>\n"
+            "void hammer() { std::thread t([] {}); t.join(); }\n",
+        "src/parallel/injected_parallel_thread.cpp":
+            "#include <thread>\n"
+            "void fan_out() { std::thread t([] {}); t.join(); }\n",
+        "src/core/injected_annotated_mutex.hpp":
+            "class Guarded {\n"
+            "  mutable Mutex mutex_;\n"
+            "  int value_ LAGOVER_GUARDED_BY(mutex_) = 0;\n"
+            "};\n",
     }
     failures = []
     with tempfile.TemporaryDirectory(prefix="lagover_lint_") as scratch:
@@ -428,13 +761,31 @@ def self_test(root):
         fired = {f.rule for f in findings}
         for rule in RULES:
             if rule in fired:
-                print(f"self-test: rule {rule:15s} fires  ... ok")
+                print(f"self-test: rule {rule:17s} fires  ... ok")
             else:
                 failures.append(rule)
-                print(f"self-test: rule {rule:15s} MISSED its synthetic "
+                print(f"self-test: rule {rule:17s} MISSED its synthetic "
                       f"violation")
-        # The exemptions must hold too: entropy use inside telemetry/
-        # must NOT fire.
+        # hostile-escape must also fire on a mere *mention* inside
+        # src/parallel/ — that path is checked separately from statics.
+        parallel = os.path.join(scratch,
+                                "src/parallel/injected_mention.cpp")
+        os.makedirs(os.path.dirname(parallel), exist_ok=True)
+        with open(parallel, "w", encoding="utf-8") as handle:
+            handle.write("class Widget;\nWidget* borrowed = nullptr;\n")
+        findings, _ = run_lint(scratch, "token", None)
+        if any(f.rule == "hostile-escape" and
+               f.path == "src/parallel/injected_mention.cpp"
+               for f in findings):
+            print("self-test: hostile-escape fires in src/parallel/ "
+                  "... ok")
+        else:
+            failures.append("hostile-escape-parallel")
+            print("self-test: hostile-escape MISSED a hostile mention "
+                  "in src/parallel/")
+        os.remove(parallel)
+        # The exemptions must hold too, starting with entropy use
+        # inside telemetry/.
         exempt = os.path.join(scratch, "src/telemetry/wall.hpp")
         os.makedirs(os.path.dirname(exempt), exist_ok=True)
         with open(exempt, "w", encoding="utf-8") as handle:
@@ -447,6 +798,24 @@ def self_test(root):
                   "positive)")
         else:
             print("self-test: telemetry/ exemption holds ... ok")
+        for relpath, why in negatives.items():
+            target = os.path.join(scratch, relpath)
+            os.makedirs(os.path.dirname(target), exist_ok=True)
+            with open(target, "w", encoding="utf-8") as handle:
+                handle.write(negative_samples[relpath])
+        findings, _ = run_lint(scratch, "token", None)
+        by_path = {}
+        for finding in findings:
+            by_path.setdefault(finding.path, []).append(finding)
+        for relpath, why in negatives.items():
+            hits = by_path.get(relpath, [])
+            if hits:
+                failures.append(f"negative:{relpath}")
+                print(f"self-test: exemption BROKEN ({why}): "
+                      f"{hits[0]}")
+            else:
+                short = relpath.rsplit("/", 1)[-1]
+                print(f"self-test: exemption holds for {short} ... ok")
     if failures:
         print(f"self-test FAILED: {', '.join(failures)}")
         return 1
@@ -469,6 +838,9 @@ def main():
                         default="auto")
     parser.add_argument("--allowlist", default=None,
                         help="override the allowlist path")
+    parser.add_argument("--dirs", default=",".join(DEFAULT_DIRS),
+                        help="comma-separated top-level directories to "
+                             "scan (default: %(default)s)")
     parser.add_argument("--self-test", action="store_true",
                         help="verify each rule fires on a synthetic "
                              "violation, then exit")
@@ -495,8 +867,13 @@ def main():
 
     compile_commands = args.compile_commands or os.path.join(
         root, "build", "compile_commands.json")
+    dirs = tuple(d.strip() for d in args.dirs.split(",") if d.strip())
+    if not dirs:
+        print("error: --dirs needs at least one directory",
+              file=sys.stderr)
+        return 2
     findings, _ = run_lint(root, args.engine, compile_commands,
-                           args.verbose)
+                           args.verbose, dirs)
     if findings is None:
         return 2
 

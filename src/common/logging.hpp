@@ -2,28 +2,38 @@
 // silence output and benches can raise verbosity with a flag.
 #pragma once
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <string>
 
+#include "common/thread_annotations.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace lagover {
 
 enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
-/// Process-wide logger. Not thread-safe by design: the simulators are
-/// single-threaded and the benches run sequentially.
-class Logger {
+/// Process-wide logger. Thread-safe: the level is a relaxed atomic
+/// (coordinators can retune verbosity while workers log), each
+/// emission builds its line in a stack buffer, fprintf(stderr) is
+/// atomic per call under POSIX, and the log-bus mirror is an
+/// internally-locked EventBus publish. Lines from concurrent threads
+/// interleave whole, never torn.
+class LAGOVER_THREAD_SAFE Logger {
  public:
   static Logger& instance() noexcept {
     static Logger logger;
     return logger;
   }
 
-  void set_level(LogLevel level) noexcept { level_ = level; }
-  LogLevel level() const noexcept { return level_; }
-  bool enabled(LogLevel level) const noexcept { return level >= level_; }
+  void set_level(LogLevel level) noexcept {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel level() const noexcept {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  bool enabled(LogLevel level) const noexcept { return level >= this->level(); }
 
   void log(LogLevel level, const char* fmt, ...)
       __attribute__((format(printf, 3, 4))) {
@@ -61,7 +71,7 @@ class Logger {
     return "?";
   }
 
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<int> level_{static_cast<int>(LogLevel::kWarn)};
 };
 
 /// Parses a --log-level flag value ("trace", "debug", "info", "warn",

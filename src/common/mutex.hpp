@@ -1,0 +1,48 @@
+// Annotated mutex wrapper. libstdc++'s std::mutex carries no clang
+// capability attributes, so guarding data with it leaves the
+// -Wthread-safety analysis blind; lagover::Mutex is the same
+// std::mutex wearing LAGOVER_CAPABILITY, and lagover::MutexLock is the
+// scoped acquire/release the analysis can follow. All guarded state in
+// the tree uses these (the `unannotated-mutex` lint rule flags a raw
+// or unguarding mutex member).
+#pragma once
+
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace lagover {
+
+/// std::mutex as a clang capability. Prefer MutexLock over manual
+/// lock()/unlock() pairs so the analysis sees balanced scopes.
+class LAGOVER_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() LAGOVER_ACQUIRE() { mutex_.lock(); }
+  void unlock() LAGOVER_RELEASE() { mutex_.unlock(); }
+  bool try_lock() LAGOVER_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// RAII scope holding a Mutex for its lifetime.
+class LAGOVER_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mutex) LAGOVER_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_->lock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  ~MutexLock() LAGOVER_RELEASE() { mutex_->unlock(); }
+
+ private:
+  Mutex* const mutex_;
+};
+
+}  // namespace lagover

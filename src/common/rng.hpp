@@ -13,12 +13,13 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace lagover {
 
 /// SplitMix64: tiny, passes BigCrush, ideal for expanding one 64-bit seed
 /// into generator state or for independent low-cost streams.
-class SplitMix64 {
+class LAGOVER_THREAD_HOSTILE SplitMix64 {
  public:
   explicit SplitMix64(std::uint64_t seed) noexcept : state_{seed} {}
 
@@ -37,7 +38,7 @@ class SplitMix64 {
 /// Satisfies UniformRandomBitGenerator so it can also be handed to
 /// standard algorithms, though the helpers below are preferred for
 /// cross-platform determinism.
-class Rng {
+class LAGOVER_THREAD_HOSTILE Rng {
  public:
   using result_type = std::uint64_t;
 

@@ -1,0 +1,87 @@
+// Clang thread-safety annotation macros (LAGOVER_CAPABILITY,
+// LAGOVER_GUARDED_BY, LAGOVER_REQUIRES, ...) plus the repo's two
+// concurrency-contract markers (LAGOVER_THREAD_SAFE /
+// LAGOVER_THREAD_HOSTILE) that scripts/lagover_lint.py keys on.
+//
+// The macros expand to clang's capability attributes, so a build with
+// -Wthread-safety -Wthread-safety-beta (CMake option
+// LAGOVER_THREAD_SAFETY, CI job `thread-safety`) turns the locking
+// discipline documented here into compiler-checked fact: reading a
+// LAGOVER_GUARDED_BY member without holding its mutex is a -Werror
+// diagnostic, not a latent race. Under GCC (which has no capability
+// analysis) every macro expands to nothing, so the annotations cost
+// non-clang builds exactly zero.
+//
+// See docs/STATIC_ANALYSIS.md ("Concurrency readiness") for the full
+// contract and how to read the analysis' diagnostics.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define LAGOVER_TSA_(x) __attribute__((x))
+#else
+#define LAGOVER_TSA_(x)  // no-op outside clang
+#endif
+
+/// A type that IS a synchronization capability (e.g. the Mutex wrapper
+/// in common/mutex.hpp). `x` is the capability kind ("mutex").
+#define LAGOVER_CAPABILITY(x) LAGOVER_TSA_(capability(x))
+
+/// An RAII type that acquires a capability in its constructor and
+/// releases it in its destructor (e.g. MutexLock).
+#define LAGOVER_SCOPED_CAPABILITY LAGOVER_TSA_(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define LAGOVER_GUARDED_BY(x) LAGOVER_TSA_(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define LAGOVER_PT_GUARDED_BY(x) LAGOVER_TSA_(pt_guarded_by(x))
+
+/// Function that acquires the capability (and does not release it).
+#define LAGOVER_ACQUIRE(...) LAGOVER_TSA_(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the capability.
+#define LAGOVER_RELEASE(...) LAGOVER_TSA_(release_capability(__VA_ARGS__))
+
+/// Function that may acquire the capability; `...` starts with the
+/// success value returned when it did.
+#define LAGOVER_TRY_ACQUIRE(...) \
+  LAGOVER_TSA_(try_acquire_capability(__VA_ARGS__))
+
+/// Function whose caller must already hold the capability.
+#define LAGOVER_REQUIRES(...) LAGOVER_TSA_(requires_capability(__VA_ARGS__))
+
+/// Function whose caller must NOT hold the capability (it acquires the
+/// lock itself, so a holding caller would self-deadlock).
+#define LAGOVER_EXCLUDES(...) LAGOVER_TSA_(locks_excluded(__VA_ARGS__))
+
+/// Function returning a reference to the capability guarding its
+/// result.
+#define LAGOVER_RETURN_CAPABILITY(x) LAGOVER_TSA_(lock_returned(x))
+
+/// Escape hatch: the function's locking is deliberately invisible to
+/// the analysis. Use only with a comment explaining why.
+#define LAGOVER_NO_THREAD_SAFETY_ANALYSIS \
+  LAGOVER_TSA_(no_thread_safety_analysis)
+
+// ---------------------------------------------------------------------
+// Concurrency-contract markers. These expand to nothing on every
+// compiler — they exist for humans and for scripts/lagover_lint.py,
+// which collects the marked type names and enforces:
+//
+//   * mutable-global: a non-const static may only exist if it is a
+//     std::atomic, a LAGOVER_THREAD_SAFE type, or (inside
+//     src/telemetry/ only) a LAGOVER_THREAD_HOSTILE type.
+//   * hostile-escape: a LAGOVER_THREAD_HOSTILE type must not be placed
+//     in static storage outside src/telemetry/ and must not appear at
+//     all in src/parallel/ (the future multi-threaded round engine).
+
+/// The type is internally synchronized: every public member function
+/// is safe to call from any thread concurrently. Apply only when the
+/// clang thread-safety build proves the claim.
+#define LAGOVER_THREAD_SAFE
+
+/// The type is DELIBERATELY single-threaded (per-run simulation state,
+/// deterministic RNG streams, ...). Instances must stay confined to
+/// one thread; the lint bans them from static storage outside
+/// src/telemetry/ and from src/parallel/ entirely.
+#define LAGOVER_THREAD_HOSTILE

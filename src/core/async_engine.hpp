@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/admission.hpp"
 #include "core/construction_core.hpp"
 #include "core/engine.hpp"
@@ -87,7 +88,7 @@ struct AsyncConfig {
 
 /// Runs construction on the event kernel and reports the simulated time
 /// at which every online consumer became satisfied.
-class AsyncEngine {
+class LAGOVER_THREAD_HOSTILE AsyncEngine {
  public:
   AsyncEngine(Population population, AsyncConfig config);
 

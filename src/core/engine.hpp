@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/admission.hpp"
 #include "core/construction_core.hpp"
 #include "core/oracle.hpp"
@@ -103,7 +104,7 @@ class ChurnModel {
 };
 
 /// Drives one LagOver construction run.
-class Engine {
+class LAGOVER_THREAD_HOSTILE Engine {
  public:
   Engine(Population population, EngineConfig config);
 

@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/types.hpp"
 #include "fault/domains.hpp"
 #include "fault/fault_plan.hpp"
@@ -32,7 +33,7 @@ struct FaultStats {
   std::uint64_t domain_crashes = 0;
 };
 
-class FaultInjector {
+class LAGOVER_THREAD_HOSTILE FaultInjector {
  public:
   explicit FaultInjector(FaultPlan plan, std::uint64_t seed = 0x5eed);
 

@@ -12,6 +12,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
 #include "net/latency_model.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/metrics.hpp"
@@ -55,7 +56,7 @@ struct CapacityLimits {
 /// messages (no registered handler at arrival time) are dropped and
 /// counted, modelling crashes mid-flight.
 template <typename Message>
-class Network {
+class LAGOVER_THREAD_HOSTILE Network {
  public:
   using Handler = std::function<void(Address from, const Message&)>;
 

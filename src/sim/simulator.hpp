@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace lagover {
 
@@ -25,7 +26,7 @@ using EventId = std::uint64_t;
 /// Single-threaded discrete-event simulator. Events scheduled for the
 /// same timestamp fire in scheduling order (stable), which keeps runs
 /// reproducible.
-class Simulator {
+class LAGOVER_THREAD_HOSTILE Simulator {
  public:
   using Action = std::function<void()>;
 

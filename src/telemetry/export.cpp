@@ -62,18 +62,21 @@ JsonlEventWriter::~JsonlEventWriter() {
 }
 
 void JsonlEventWriter::on_event(const EventRecord& record) {
+  MutexLock lock(&mutex_);
   if (!out_) return;
   out_ << event_to_json(record).dump() << '\n';
   ++lines_;
 }
 
 void JsonlEventWriter::on_span(const ItemSpan& span) {
+  MutexLock lock(&mutex_);
   if (!out_) return;
   out_ << span_to_json(span).dump() << '\n';
   ++lines_;
 }
 
 void JsonlEventWriter::on_log(const LogRecord& record) {
+  MutexLock lock(&mutex_);
   if (!out_) return;
   out_ << log_to_json(record).dump() << '\n';
   ++lines_;
@@ -126,6 +129,7 @@ ChromeTraceWriter::~ChromeTraceWriter() {
 }
 
 void ChromeTraceWriter::on_event(const EventRecord& record) {
+  MutexLock lock(&mutex_);
   Json args = Json::object();
   args.set("node", Json::integer(record.subject));
   args.set("partner", Json::integer(record.partner));
@@ -145,6 +149,7 @@ void ChromeTraceWriter::on_event(const EventRecord& record) {
 }
 
 void ChromeTraceWriter::on_span(const ItemSpan& span) {
+  MutexLock lock(&mutex_);
   Json args = Json::object();
   args.set("trace_id", Json::integer(static_cast<std::int64_t>(span.item)));
   args.set("node", Json::integer(span.node));
@@ -183,6 +188,7 @@ void ChromeTraceWriter::on_span(const ItemSpan& span) {
 }
 
 void ChromeTraceWriter::on_log(const LogRecord& record) {
+  MutexLock lock(&mutex_);
   Json args = Json::object();
   args.set("message", Json::string(record.message));
   args.set("level", Json::integer(record.level));
@@ -202,6 +208,7 @@ void ChromeTraceWriter::scope_complete(const ProfileSite& site,
                                        std::uint64_t start_wall_ns,
                                        std::uint64_t duration_ns,
                                        double sim_time) {
+  MutexLock lock(&mutex_);
   Json args = Json::object();
   args.set("sim_time", Json::number(sim_time));
   Json event = Json::object();
@@ -217,6 +224,7 @@ void ChromeTraceWriter::scope_complete(const ProfileSite& site,
 }
 
 bool ChromeTraceWriter::write(const std::string& path) const {
+  MutexLock lock(&mutex_);
   std::ofstream out(path);
   if (!out) return false;
   Json trace_events = Json::array();

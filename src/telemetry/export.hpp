@@ -18,6 +18,8 @@
 #include <string>
 
 #include "common/json.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "stats/timeseries.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/profiler.hpp"
@@ -60,7 +62,12 @@ class TimeseriesSampler {
 /// Subscribes on construction, unsubscribes on destruction. With
 /// `spans_only` set it captures just the span bus — the shape
 /// `--spans-out` wants next to a full `--events-out` dump.
-class JsonlEventWriter {
+///
+/// Subscribed to three independent buses, so two handlers can fire
+/// concurrently from different publisher threads: the output stream is
+/// guarded by the writer's own mutex (lines interleave whole, never
+/// torn).
+class LAGOVER_THREAD_SAFE JsonlEventWriter {
  public:
   explicit JsonlEventWriter(const std::string& path, bool spans_only = false);
   ~JsonlEventWriter();
@@ -68,16 +75,23 @@ class JsonlEventWriter {
   JsonlEventWriter(const JsonlEventWriter&) = delete;
   JsonlEventWriter& operator=(const JsonlEventWriter&) = delete;
 
-  bool ok() const { return static_cast<bool>(out_); }
-  std::uint64_t lines() const noexcept { return lines_; }
+  bool ok() const LAGOVER_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return static_cast<bool>(out_);
+  }
+  std::uint64_t lines() const LAGOVER_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return lines_;
+  }
 
  private:
-  void on_event(const EventRecord& record);
-  void on_span(const ItemSpan& span);
-  void on_log(const LogRecord& record);
+  void on_event(const EventRecord& record) LAGOVER_EXCLUDES(mutex_);
+  void on_span(const ItemSpan& span) LAGOVER_EXCLUDES(mutex_);
+  void on_log(const LogRecord& record) LAGOVER_EXCLUDES(mutex_);
 
-  std::ofstream out_;
-  std::uint64_t lines_ = 0;
+  mutable Mutex mutex_;
+  std::ofstream out_ LAGOVER_GUARDED_BY(mutex_);
+  std::uint64_t lines_ LAGOVER_GUARDED_BY(mutex_) = 0;
   EventBus<EventRecord>::SubscriptionId event_sub_ = 0;
   SpanBus::SubscriptionId span_sub_ = 0;
   EventBus<LogRecord>::SubscriptionId log_sub_ = 0;
@@ -89,7 +103,7 @@ class JsonlEventWriter {
 /// trace_event JSON file. Timestamps: simulated events use sim time
 /// scaled to microseconds (1 time unit = 1s) on pid 1 ("sim");
 /// profiler scopes use wall microseconds on pid 2 ("wall").
-class ChromeTraceWriter final : public ScopeSink {
+class LAGOVER_THREAD_SAFE ChromeTraceWriter final : public ScopeSink {
  public:
   ChromeTraceWriter();
   ~ChromeTraceWriter() override;
@@ -97,21 +111,26 @@ class ChromeTraceWriter final : public ScopeSink {
   ChromeTraceWriter(const ChromeTraceWriter&) = delete;
   ChromeTraceWriter& operator=(const ChromeTraceWriter&) = delete;
 
-  std::size_t event_count() const noexcept { return events_.size(); }
+  std::size_t event_count() const LAGOVER_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return events_.size();
+  }
 
   /// Writes {"traceEvents": [...], "displayTimeUnit": "ms"}; false on
   /// I/O failure.
-  bool write(const std::string& path) const;
+  bool write(const std::string& path) const LAGOVER_EXCLUDES(mutex_);
 
   void scope_complete(const ProfileSite& site, std::uint64_t start_wall_ns,
-                      std::uint64_t duration_ns, double sim_time) override;
+                      std::uint64_t duration_ns, double sim_time)
+      LAGOVER_EXCLUDES(mutex_) override;
 
  private:
-  void on_event(const EventRecord& record);
-  void on_span(const ItemSpan& span);
-  void on_log(const LogRecord& record);
+  void on_event(const EventRecord& record) LAGOVER_EXCLUDES(mutex_);
+  void on_span(const ItemSpan& span) LAGOVER_EXCLUDES(mutex_);
+  void on_log(const LogRecord& record) LAGOVER_EXCLUDES(mutex_);
 
-  std::vector<Json> events_;
+  mutable Mutex mutex_;
+  std::vector<Json> events_ LAGOVER_GUARDED_BY(mutex_);
   EventBus<EventRecord>::SubscriptionId event_sub_ = 0;
   SpanBus::SubscriptionId span_sub_ = 0;
   EventBus<LogRecord>::SubscriptionId log_sub_ = 0;

@@ -53,13 +53,19 @@ Json log_to_json(const LogRecord& record) {
 FlightRecorder::FlightRecorder() : FlightRecorder(Config()) {}
 
 FlightRecorder::FlightRecorder(Config config) : config_(config) {
+  // The handlers run under their bus's lock on whichever thread
+  // published, so each takes the recorder mutex (order: bus -> flight
+  // recorder, never the reverse).
   event_sub_ = event_bus().subscribe([this](const EventRecord& record) {
+    MutexLock lock(&mutex_);
     retain(events_, config_.event_capacity, record);
   });
   span_sub_ = span_bus().subscribe([this](const ItemSpan& span) {
+    MutexLock lock(&mutex_);
     retain(spans_, config_.span_capacity, span);
   });
   log_sub_ = log_bus().subscribe([this](const LogRecord& record) {
+    MutexLock lock(&mutex_);
     retain(logs_, config_.log_capacity, record);
   });
 }
@@ -71,6 +77,7 @@ FlightRecorder::~FlightRecorder() {
 }
 
 void FlightRecorder::note_snapshot(double t, const std::string& snapshot_text) {
+  MutexLock lock(&mutex_);
   // Delta retention: an unchanged overlay never consumes a ring slot,
   // so the window covers the last N *state changes*, not the last N
   // sampling ticks.
@@ -80,13 +87,23 @@ void FlightRecorder::note_snapshot(double t, const std::string& snapshot_text) {
 }
 
 void FlightRecorder::note_violation(const ViolationNote& note) {
-  retain(violations_, config_.violation_capacity, note);
-  ++violations_total_;
-  if (violations_total_ == 1 && !dump_path_.empty())
-    dumped_ = dump(dump_path_, "invariant_violation");
+  // Decide under the lock, dump outside it: dump() re-enters to_json()
+  // (which takes this mutex) and the metrics registry.
+  std::string dump_to;
+  {
+    MutexLock lock(&mutex_);
+    retain(violations_, config_.violation_capacity, note);
+    ++violations_total_;
+    if (violations_total_ == 1 && !dump_path_.empty()) dump_to = dump_path_;
+  }
+  if (dump_to.empty()) return;
+  const bool ok = dump(dump_to, "invariant_violation");
+  MutexLock lock(&mutex_);
+  dumped_ = ok;
 }
 
 Json FlightRecorder::to_json(const std::string& reason) const {
+  MutexLock lock(&mutex_);
   Json root = Json::object();
   root.set("schema", Json::string("lagover.postmortem.v1"));
   root.set("reason", Json::string(reason));

@@ -20,6 +20,8 @@
 #include <string>
 
 #include "common/json.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "telemetry/event_bus.hpp"
 #include "telemetry/span.hpp"
 #include "telemetry/telemetry.hpp"
@@ -40,7 +42,14 @@ struct ViolationNote {
 /// Bounded retention ring over the global event/span/log buses plus
 /// snapshot and violation intakes; dumps "lagover.postmortem.v1"
 /// bundles. Subscribes on construction, unsubscribes on destruction.
-class FlightRecorder {
+///
+/// Internally locked: the bus handlers may fire from any publishing
+/// thread, so every ring sits behind the recorder's mutex. The
+/// violation auto-dump decides under the lock but WRITES the bundle
+/// outside it (the dump reads the rings through to_json's own lock and
+/// the metrics registry through its own — holding ours across that
+/// would nest three locks for no benefit).
+class LAGOVER_THREAD_SAFE FlightRecorder {
  public:
   struct Config {
     std::size_t event_capacity = 4096;
@@ -58,50 +67,75 @@ class FlightRecorder {
   FlightRecorder& operator=(const FlightRecorder&) = delete;
 
   // --- repro metadata (embedded verbatim in the bundle) ---------------
-  void set_repro(std::uint64_t seed, std::string flags) {
+  void set_repro(std::uint64_t seed, std::string flags)
+      LAGOVER_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
     seed_ = seed;
     flags_ = std::move(flags);
   }
   /// Human-readable fault-plan digest (FaultPlan::to_string()).
-  void set_fault_plan(std::string digest) { fault_plan_ = std::move(digest); }
+  void set_fault_plan(std::string digest) LAGOVER_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    fault_plan_ = std::move(digest);
+  }
 
   // --- intakes --------------------------------------------------------
   /// Retains an overlay snapshot (core/snapshot.hpp text) taken at sim
   /// time t. Consecutive identical snapshots are collapsed (delta
   /// retention): only state changes consume ring slots.
-  void note_snapshot(double t, const std::string& snapshot_text);
+  void note_snapshot(double t, const std::string& snapshot_text)
+      LAGOVER_EXCLUDES(mutex_);
 
   /// Retains a violation; on the FIRST one, triggers the auto-dump when
   /// armed via set_dump_on_violation().
-  void note_violation(const ViolationNote& note);
+  void note_violation(const ViolationNote& note) LAGOVER_EXCLUDES(mutex_);
 
   /// Arms auto-dump: the first note_violation() writes the bundle to
   /// `path` (empty disarms).
-  void set_dump_on_violation(std::string path) {
+  void set_dump_on_violation(std::string path) LAGOVER_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
     dump_path_ = std::move(path);
   }
 
   // --- state ----------------------------------------------------------
-  bool violation_seen() const noexcept { return violations_total_ > 0; }
-  std::uint64_t violations_total() const noexcept {
+  bool violation_seen() const LAGOVER_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return violations_total_ > 0;
+  }
+  std::uint64_t violations_total() const LAGOVER_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
     return violations_total_;
   }
-  std::size_t retained_events() const noexcept { return events_.size(); }
-  std::size_t retained_spans() const noexcept { return spans_.size(); }
-  std::size_t retained_logs() const noexcept { return logs_.size(); }
-  std::size_t retained_snapshots() const noexcept {
+  std::size_t retained_events() const LAGOVER_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return events_.size();
+  }
+  std::size_t retained_spans() const LAGOVER_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return spans_.size();
+  }
+  std::size_t retained_logs() const LAGOVER_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return logs_.size();
+  }
+  std::size_t retained_snapshots() const LAGOVER_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
     return snapshots_.size();
   }
   /// Did the armed auto-dump fire (and succeed)?
-  bool dumped() const noexcept { return dumped_; }
+  bool dumped() const LAGOVER_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return dumped_;
+  }
 
   // --- bundle ---------------------------------------------------------
   /// The full "lagover.postmortem.v1" document. `reason` is typically
   /// "invariant_violation" or "explicit".
-  Json to_json(const std::string& reason) const;
+  Json to_json(const std::string& reason) const LAGOVER_EXCLUDES(mutex_);
 
   /// Writes the bundle; false on I/O failure.
-  bool dump(const std::string& path, const std::string& reason) const;
+  bool dump(const std::string& path, const std::string& reason) const
+      LAGOVER_EXCLUDES(mutex_);
 
  private:
   struct SnapshotRecord {
@@ -116,23 +150,25 @@ class FlightRecorder {
     ring.push_back(std::move(value));
   }
 
+  // Set once in the constructor, then immutable.
   Config config_;
   EventBus<EventRecord>::SubscriptionId event_sub_ = 0;
   SpanBus::SubscriptionId span_sub_ = 0;
   EventBus<LogRecord>::SubscriptionId log_sub_ = 0;
 
-  std::deque<EventRecord> events_;
-  std::deque<ItemSpan> spans_;
-  std::deque<LogRecord> logs_;
-  std::deque<SnapshotRecord> snapshots_;
-  std::deque<ViolationNote> violations_;
-  std::uint64_t violations_total_ = 0;
+  mutable Mutex mutex_;
+  std::deque<EventRecord> events_ LAGOVER_GUARDED_BY(mutex_);
+  std::deque<ItemSpan> spans_ LAGOVER_GUARDED_BY(mutex_);
+  std::deque<LogRecord> logs_ LAGOVER_GUARDED_BY(mutex_);
+  std::deque<SnapshotRecord> snapshots_ LAGOVER_GUARDED_BY(mutex_);
+  std::deque<ViolationNote> violations_ LAGOVER_GUARDED_BY(mutex_);
+  std::uint64_t violations_total_ LAGOVER_GUARDED_BY(mutex_) = 0;
 
-  std::uint64_t seed_ = 0;
-  std::string flags_;
-  std::string fault_plan_;
-  std::string dump_path_;
-  bool dumped_ = false;
+  std::uint64_t seed_ LAGOVER_GUARDED_BY(mutex_) = 0;
+  std::string flags_ LAGOVER_GUARDED_BY(mutex_);
+  std::string fault_plan_ LAGOVER_GUARDED_BY(mutex_);
+  std::string dump_path_ LAGOVER_GUARDED_BY(mutex_);
+  bool dumped_ LAGOVER_GUARDED_BY(mutex_) = false;
 };
 
 /// Serializers shared by the JSONL exporter and the bundle writer, so

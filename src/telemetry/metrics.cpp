@@ -2,19 +2,47 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "common/error.hpp"
 
 namespace lagover::telemetry {
 
 LogHistogram::LogHistogram(double lo, double base, std::size_t buckets)
-    : lo_(lo), base_(base), counts_(buckets, 0) {
+    : lo_(lo), base_(base), num_buckets_(buckets), counts_(buckets, 0) {
   LAGOVER_EXPECTS(lo > 0.0);
   LAGOVER_EXPECTS(base > 1.0);
   LAGOVER_EXPECTS(buckets > 0);
 }
 
+LogHistogram::LogHistogram(const LogHistogram& other)
+    : lo_(other.lo_), base_(other.base_), num_buckets_(other.num_buckets_) {
+  State s = other.snapshot();
+  counts_ = std::move(s.counts);
+  underflow_ = s.underflow;
+  overflow_ = s.overflow;
+  count_ = s.count;
+  sum_ = s.sum;
+  min_ = s.min;
+  max_ = s.max;
+}
+
+LogHistogram::State LogHistogram::snapshot() const {
+  MutexLock lock(&mutex_);
+  State s;
+  s.counts = counts_;
+  s.underflow = underflow_;
+  s.overflow = overflow_;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min_;
+  s.max = max_;
+  return s;
+}
+
 void LogHistogram::add(double x) noexcept {
+  MutexLock lock(&mutex_);
   if (count_ == 0) {
     min_ = x;
     max_ = x;
@@ -33,8 +61,8 @@ void LogHistogram::add(double x) noexcept {
   // bucket high (x exactly equal to a bucket lower bound must fall in
   // that bucket).
   auto bucket = static_cast<std::size_t>(std::log(x / lo_) / std::log(base_));
-  if (bucket < counts_.size() && x < bucket_lower(bucket)) --bucket;
-  if (bucket >= counts_.size()) {
+  if (bucket < num_buckets_ && x < bucket_lower(bucket)) --bucket;
+  if (bucket >= num_buckets_) {
     ++overflow_;
     return;
   }
@@ -42,21 +70,27 @@ void LogHistogram::add(double x) noexcept {
 }
 
 std::uint64_t LogHistogram::count_in_bucket(std::size_t bucket) const {
-  LAGOVER_EXPECTS(bucket < counts_.size());
+  LAGOVER_EXPECTS(bucket < num_buckets_);
+  MutexLock lock(&mutex_);
   return counts_[bucket];
 }
 
 double LogHistogram::bucket_lower(std::size_t bucket) const {
-  LAGOVER_EXPECTS(bucket < counts_.size());
+  LAGOVER_EXPECTS(bucket < num_buckets_);
   return lo_ * std::pow(base_, static_cast<double>(bucket));
 }
 
 double LogHistogram::bucket_upper(std::size_t bucket) const {
-  LAGOVER_EXPECTS(bucket < counts_.size());
+  LAGOVER_EXPECTS(bucket < num_buckets_);
   return lo_ * std::pow(base_, static_cast<double>(bucket + 1));
 }
 
 double LogHistogram::percentile(double q) const {
+  MutexLock lock(&mutex_);
+  return percentile_locked(q);
+}
+
+double LogHistogram::percentile_locked(double q) const {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(count_);
@@ -81,24 +115,29 @@ double LogHistogram::percentile(double q) const {
 
 void LogHistogram::merge(const LogHistogram& other) {
   LAGOVER_EXPECTS(other.lo_ == lo_ && other.base_ == base_ &&
-                  other.counts_.size() == counts_.size());
-  if (other.count_ == 0) return;
+                  other.num_buckets_ == num_buckets_);
+  // Snapshot under other's lock, apply under ours: the two locks are
+  // never held together, so merging in both directions concurrently
+  // cannot deadlock (and self-merge degenerates safely).
+  const State s = other.snapshot();
+  if (s.count == 0) return;
+  MutexLock lock(&mutex_);
   if (count_ == 0) {
-    min_ = other.min_;
-    max_ = other.max_;
+    min_ = s.min;
+    max_ = s.max;
   } else {
-    min_ = std::min(min_, other.min_);
-    max_ = std::max(max_, other.max_);
+    min_ = std::min(min_, s.min);
+    max_ = std::max(max_, s.max);
   }
-  count_ += other.count_;
-  sum_ += other.sum_;
-  underflow_ += other.underflow_;
-  overflow_ += other.overflow_;
-  for (std::size_t b = 0; b < counts_.size(); ++b)
-    counts_[b] += other.counts_[b];
+  count_ += s.count;
+  sum_ += s.sum;
+  underflow_ += s.underflow;
+  overflow_ += s.overflow;
+  for (std::size_t b = 0; b < counts_.size(); ++b) counts_[b] += s.counts[b];
 }
 
 void LogHistogram::reset() noexcept {
+  MutexLock lock(&mutex_);
   std::fill(counts_.begin(), counts_.end(), 0);
   underflow_ = 0;
   overflow_ = 0;
@@ -114,15 +153,18 @@ MetricsRegistry& MetricsRegistry::instance() {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
+  MutexLock lock(&mutex_);
   return counters_[name];
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
+  MutexLock lock(&mutex_);
   return gauges_[name];
 }
 
 LogHistogram& MetricsRegistry::histogram(const std::string& name, double lo,
                                          double base, std::size_t buckets) {
+  MutexLock lock(&mutex_);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return it->second;
   return histograms_.emplace(name, LogHistogram(lo, base, buckets))
@@ -130,26 +172,45 @@ LogHistogram& MetricsRegistry::histogram(const std::string& name, double lo,
 }
 
 bool MetricsRegistry::has_counter(const std::string& name) const {
+  MutexLock lock(&mutex_);
   return counters_.count(name) != 0;
 }
 bool MetricsRegistry::has_gauge(const std::string& name) const {
+  MutexLock lock(&mutex_);
   return gauges_.count(name) != 0;
 }
 bool MetricsRegistry::has_histogram(const std::string& name) const {
+  MutexLock lock(&mutex_);
   return histograms_.count(name) != 0;
 }
 
 void MetricsRegistry::reset() {
+  MutexLock lock(&mutex_);
   for (auto& [name, c] : counters_) c.reset();
   for (auto& [name, g] : gauges_) g.reset();
   for (auto& [name, h] : histograms_) h.reset();
 }
 
 void MetricsRegistry::merge_from(const MetricsRegistry& other) {
-  for (const auto& [name, c] : other.counters_)
-    counters_[name].inc(c.value());
-  for (const auto& [name, g] : other.gauges_) gauges_[name].set(g.value());
-  for (const auto& [name, h] : other.histograms_) {
+  // Snapshot `other` under its lock, then apply under ours. Sequential
+  // (never nested) locking means two registries merging into each
+  // other concurrently cannot deadlock.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, LogHistogram>> histograms;
+  {
+    MutexLock lock(&other.mutex_);
+    for (const auto& [name, c] : other.counters_)
+      counters.emplace_back(name, c.value());
+    for (const auto& [name, g] : other.gauges_)
+      gauges.emplace_back(name, g.value());
+    for (const auto& [name, h] : other.histograms_)
+      histograms.emplace_back(name, h);
+  }
+  MutexLock lock(&mutex_);
+  for (const auto& [name, v] : counters) counters_[name].inc(v);
+  for (const auto& [name, v] : gauges) gauges_[name].set(v);
+  for (const auto& [name, h] : histograms) {
     const auto it = histograms_.find(name);
     if (it == histograms_.end()) {
       histograms_.emplace(name, h);
@@ -162,21 +223,25 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
 void MetricsRegistry::for_each_counter(
     const std::function<void(const std::string&, const Counter&)>& fn)
     const {
+  MutexLock lock(&mutex_);
   for (const auto& [name, c] : counters_) fn(name, c);
 }
 
 void MetricsRegistry::for_each_gauge(
     const std::function<void(const std::string&, const Gauge&)>& fn) const {
+  MutexLock lock(&mutex_);
   for (const auto& [name, g] : gauges_) fn(name, g);
 }
 
 void MetricsRegistry::for_each_histogram(
     const std::function<void(const std::string&, const LogHistogram&)>& fn)
     const {
+  MutexLock lock(&mutex_);
   for (const auto& [name, h] : histograms_) fn(name, h);
 }
 
 Json MetricsRegistry::to_json(bool include_buckets) const {
+  MutexLock lock(&mutex_);
   Json counters = Json::object();
   for (const auto& [name, c] : counters_)
     counters.set(name, Json::integer(static_cast<std::int64_t>(c.value())));

@@ -4,38 +4,58 @@
 // enabled() branch plus one increment; with telemetry off it is the
 // branch alone. Values survive reset() as registered-but-zero entries,
 // so cached site pointers never dangle.
+//
+// Concurrency: Counter and Gauge are relaxed atomics (hot-path
+// increments from parallel shards never lock); LogHistogram and
+// MetricsRegistry are internally synchronized with an annotated Mutex.
+// The never-erase contract is what makes the cached site references
+// thread-safe: a reference handed out under the registry lock stays
+// valid forever, and the referent is itself safe to hit concurrently.
+// Lock order: registry mutex before any histogram mutex.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
 
 #include "common/json.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace lagover::telemetry {
 
-/// Monotonic event counter.
-class Counter {
+/// Monotonic event counter. Relaxed atomic: concurrent inc()s never
+/// lose updates, and nothing orders against the count itself.
+class LAGOVER_THREAD_SAFE Counter {
  public:
-  void inc(std::uint64_t delta = 1) noexcept { value_ += delta; }
-  std::uint64_t value() const noexcept { return value_; }
-  void reset() noexcept { value_ = 0; }
+  void inc(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Last-written-wins instantaneous value.
-class Gauge {
+class LAGOVER_THREAD_SAFE Gauge {
  public:
-  void set(double value) noexcept { value_ = value; }
-  double value() const noexcept { return value_; }
-  void reset() noexcept { value_ = 0.0; }
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Histogram with geometrically growing buckets: bucket i covers
@@ -45,26 +65,54 @@ class Gauge {
 /// alongside, so means are exact and only quantiles are bucket-
 /// resolution approximations. Log-scale buckets keep wide-dynamic-range
 /// distributions (latencies, slacks, queue depths) compact.
-class LogHistogram {
+///
+/// Internally locked: add() takes the histogram's own mutex, so the
+/// count/sum/min/max aggregate stays consistent with the buckets even
+/// under concurrent recording. Geometry (lo, base, bucket count) is
+/// immutable after construction and readable without the lock.
+class LAGOVER_THREAD_SAFE LogHistogram {
  public:
   explicit LogHistogram(double lo = 1.0, double base = 2.0,
                         std::size_t buckets = 24);
 
+  /// Copies a consistent snapshot of `other` (taken under its lock).
+  LogHistogram(const LogHistogram& other);
+  LogHistogram& operator=(const LogHistogram&) = delete;
+
   void add(double x) noexcept;
 
-  std::uint64_t count() const noexcept { return count_; }
-  double sum() const noexcept { return sum_; }
+  std::uint64_t count() const noexcept {
+    MutexLock lock(&mutex_);
+    return count_;
+  }
+  double sum() const noexcept {
+    MutexLock lock(&mutex_);
+    return sum_;
+  }
   /// Smallest / largest recorded value; only meaningful when count > 0.
-  double min() const noexcept { return min_; }
-  double max() const noexcept { return max_; }
+  double min() const noexcept {
+    MutexLock lock(&mutex_);
+    return min_;
+  }
+  double max() const noexcept {
+    MutexLock lock(&mutex_);
+    return max_;
+  }
   double mean() const noexcept {
+    MutexLock lock(&mutex_);
     return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
   }
 
-  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::size_t bucket_count() const noexcept { return num_buckets_; }
   std::uint64_t count_in_bucket(std::size_t bucket) const;
-  std::uint64_t underflow() const noexcept { return underflow_; }
-  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::uint64_t underflow() const noexcept {
+    MutexLock lock(&mutex_);
+    return underflow_;
+  }
+  std::uint64_t overflow() const noexcept {
+    MutexLock lock(&mutex_);
+    return overflow_;
+  }
   double bucket_lower(std::size_t bucket) const;
   double bucket_upper(std::size_t bucket) const;
 
@@ -74,7 +122,9 @@ class LogHistogram {
   double percentile(double q) const;
 
   /// Adds another histogram's observations. Precondition: identical
-  /// geometry (lo, base, bucket count).
+  /// geometry (lo, base, bucket count). Snapshots `other` under its
+  /// lock, then applies under this lock — no nested locking, so
+  /// cross-registry merges cannot deadlock.
   void merge(const LogHistogram& other);
 
   /// Zeroes every bucket and the exact aggregates; geometry is kept.
@@ -84,71 +134,103 @@ class LogHistogram {
   double base() const noexcept { return base_; }
 
  private:
+  /// Plain (unlocked) copy of the mutable state, for snapshot-then-
+  /// apply operations.
+  struct State {
+    std::vector<std::uint64_t> counts;
+    std::uint64_t underflow = 0;
+    std::uint64_t overflow = 0;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  State snapshot() const;
+  double percentile_locked(double q) const LAGOVER_REQUIRES(mutex_);
+
+  // Geometry: set once in the constructor, never mutated — safe to
+  // read without the lock.
   double lo_;
   double base_;
-  std::vector<std::uint64_t> counts_;
-  std::uint64_t underflow_ = 0;
-  std::uint64_t overflow_ = 0;
-  std::uint64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  std::size_t num_buckets_;
+
+  mutable Mutex mutex_;
+  std::vector<std::uint64_t> counts_ LAGOVER_GUARDED_BY(mutex_);
+  std::uint64_t underflow_ LAGOVER_GUARDED_BY(mutex_) = 0;
+  std::uint64_t overflow_ LAGOVER_GUARDED_BY(mutex_) = 0;
+  std::uint64_t count_ LAGOVER_GUARDED_BY(mutex_) = 0;
+  double sum_ LAGOVER_GUARDED_BY(mutex_) = 0.0;
+  double min_ LAGOVER_GUARDED_BY(mutex_) = 0.0;
+  double max_ LAGOVER_GUARDED_BY(mutex_) = 0.0;
 };
 
 /// Name -> metric registry. The process-wide instance() is what the
 /// TELEM_* macros record into; independent instances exist for tests
 /// and for merging per-shard registries.
-class MetricsRegistry {
+///
+/// The registry mutex guards only the maps; the returned references
+/// outlive the lock because entries are never erased (reset() zeroes
+/// in place), and each referent is itself thread-safe.
+class LAGOVER_THREAD_SAFE MetricsRegistry {
  public:
   static MetricsRegistry& instance();
 
   /// Finds or creates; references stay valid for the registry's
   /// lifetime (reset() zeroes values but never removes entries).
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
+  Counter& counter(const std::string& name) LAGOVER_EXCLUDES(mutex_);
+  Gauge& gauge(const std::string& name) LAGOVER_EXCLUDES(mutex_);
   LogHistogram& histogram(const std::string& name, double lo = 1.0,
-                          double base = 2.0, std::size_t buckets = 24);
+                          double base = 2.0, std::size_t buckets = 24)
+      LAGOVER_EXCLUDES(mutex_);
 
-  bool has_counter(const std::string& name) const;
-  bool has_gauge(const std::string& name) const;
-  bool has_histogram(const std::string& name) const;
+  bool has_counter(const std::string& name) const LAGOVER_EXCLUDES(mutex_);
+  bool has_gauge(const std::string& name) const LAGOVER_EXCLUDES(mutex_);
+  bool has_histogram(const std::string& name) const LAGOVER_EXCLUDES(mutex_);
 
   /// Zeroes every registered metric (entries and their addresses are
   /// preserved, so cached recording sites stay valid).
-  void reset();
+  void reset() LAGOVER_EXCLUDES(mutex_);
 
   /// Adds `other`'s counters and histogram observations into this
   /// registry; gauges take `other`'s value (last-written-wins).
   /// Metrics missing here are created. Histogram merges require
-  /// matching geometry.
-  void merge_from(const MetricsRegistry& other);
+  /// matching geometry. Snapshots `other` first, then applies — the
+  /// two registry locks are never held together.
+  void merge_from(const MetricsRegistry& other) LAGOVER_EXCLUDES(mutex_);
 
+  /// Iteration runs under the registry lock: `fn` must not call back
+  /// into this registry (find-or-create, reset, merge) or it will
+  /// self-deadlock. Reading the passed metric is always safe.
   void for_each_counter(
       const std::function<void(const std::string&, const Counter&)>& fn)
-      const;
+      const LAGOVER_EXCLUDES(mutex_);
   void for_each_gauge(
-      const std::function<void(const std::string&, const Gauge&)>& fn) const;
+      const std::function<void(const std::string&, const Gauge&)>& fn) const
+      LAGOVER_EXCLUDES(mutex_);
   void for_each_histogram(
       const std::function<void(const std::string&, const LogHistogram&)>& fn)
-      const;
+      const LAGOVER_EXCLUDES(mutex_);
 
   /// The "lagover.metrics.v1" JSON fragment for this registry's
   /// counters / gauges / histograms (see docs/OBSERVABILITY.md). The
   /// profiler and timeseries sections are appended by the export layer.
-  Json to_json(bool include_buckets = true) const;
+  Json to_json(bool include_buckets = true) const LAGOVER_EXCLUDES(mutex_);
 
  private:
+  mutable Mutex mutex_;
   // std::map: node-stable addresses under later insertions.
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Gauge> gauges_;
-  std::map<std::string, LogHistogram> histograms_;
+  std::map<std::string, Counter> counters_ LAGOVER_GUARDED_BY(mutex_);
+  std::map<std::string, Gauge> gauges_ LAGOVER_GUARDED_BY(mutex_);
+  std::map<std::string, LogHistogram> histograms_ LAGOVER_GUARDED_BY(mutex_);
 };
 
 }  // namespace lagover::telemetry
 
 // Recording-site macros. Each expands to its own block, so the cached
 // static reference cannot collide across sites; the value expression is
-// only evaluated when telemetry is enabled.
+// only evaluated when telemetry is enabled. The static initialization
+// is a C++ magic static (thread-safe once-init), and the cached
+// reference stays valid under the registry's never-erase contract.
 #define TELEM_COUNT(name, delta)                                        \
   do {                                                                  \
     if (::lagover::telemetry::enabled()) {                              \

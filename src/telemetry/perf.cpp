@@ -1,5 +1,6 @@
 #include "telemetry/perf.hpp"
 
+#include <atomic>
 #include <fstream>
 #include <iterator>
 #include <sstream>
@@ -106,17 +107,19 @@ std::uint64_t current_rss_bytes() { return proc_status_bytes("VmRSS:"); }
 
 namespace {
 
-PerfRecorder*& active_recorder() noexcept {
-  static PerfRecorder* recorder = nullptr;
+std::atomic<PerfRecorder*>& active_recorder() noexcept {
+  static std::atomic<PerfRecorder*> recorder{nullptr};
   return recorder;
 }
 
 }  // namespace
 
-PerfRecorder* PerfRecorder::active() noexcept { return active_recorder(); }
+PerfRecorder* PerfRecorder::active() noexcept {
+  return active_recorder().load(std::memory_order_acquire);
+}
 
 void PerfRecorder::set_active(PerfRecorder* recorder) noexcept {
-  active_recorder() = recorder;
+  active_recorder().store(recorder, std::memory_order_release);
 }
 
 PerfRecorder::Mark PerfRecorder::mark_now() {
@@ -131,10 +134,14 @@ PerfRecorder::Mark PerfRecorder::mark_now() {
 PerfRecorder::PerfRecorder() : start_(mark_now()) {}
 
 PerfRecorder::~PerfRecorder() {
-  if (active_recorder() == this) active_recorder() = nullptr;
+  // Only deactivate if we are still the active recorder (another one
+  // may have been installed since).
+  PerfRecorder* expected = this;
+  active_recorder().compare_exchange_strong(expected, nullptr,
+                                            std::memory_order_acq_rel);
 }
 
-PerfPhaseStats& PerfRecorder::phase_slot(const std::string& name) {
+PerfPhaseStats& PerfRecorder::phase_slot_locked(const std::string& name) {
   for (PerfPhaseStats& phase : phases_)
     if (phase.name == name) return phase;
   phases_.push_back(PerfPhaseStats{name, 0, 0, 0, 0, 0});
@@ -142,19 +149,27 @@ PerfPhaseStats& PerfRecorder::phase_slot(const std::string& name) {
 }
 
 void PerfRecorder::phase_begin(const std::string& name) {
+  // mark_now() reads the metrics registry; taken before our own lock
+  // would invert the perf -> registry order, so it runs inside.
+  MutexLock lock(&mutex_);
   if (finished_) return;
-  phase_slot(name);  // reserve the display slot in first-open order
+  phase_slot_locked(name);  // reserve the display slot in first-open order
   OpenPhase& open = open_[name];
   if (++open.depth == 1) open.mark = mark_now();
 }
 
 void PerfRecorder::phase_end(const std::string& name) {
+  MutexLock lock(&mutex_);
+  phase_end_locked(name);
+}
+
+void PerfRecorder::phase_end_locked(const std::string& name) {
   const auto it = open_.find(name);
   if (it == open_.end()) return;  // unmatched end: ignore
   if (--it->second.depth > 0) return;  // inner same-name scope
   const Mark begin = it->second.mark;
   const Mark end = mark_now();
-  PerfPhaseStats& phase = phase_slot(name);
+  PerfPhaseStats& phase = phase_slot_locked(name);
   phase.wall_ns += end.wall_ns - begin.wall_ns;
   phase.rounds += end.rounds - begin.rounds;
   phase.messages += end.messages - begin.messages;
@@ -166,15 +181,21 @@ void PerfRecorder::phase_end(const std::string& name) {
 
 void PerfRecorder::note_micro(const std::string& name, double real_ns,
                               double cpu_ns) {
+  MutexLock lock(&mutex_);
   micro_[name] = {real_ns, cpu_ns};
 }
 
 void PerfRecorder::finish() {
+  MutexLock lock(&mutex_);
+  finish_locked();
+}
+
+void PerfRecorder::finish_locked() {
   if (finished_) return;
   while (!open_.empty()) {
     auto it = open_.begin();
     it->second.depth = 1;  // force the close whatever the nesting
-    phase_end(it->first);
+    phase_end_locked(it->first);
   }
   const Mark end = mark_now();
   total_wall_ns_ = end.wall_ns - start_.wall_ns;
@@ -188,7 +209,8 @@ void PerfRecorder::finish() {
 }
 
 Json PerfRecorder::to_json(bool include_scopes) {
-  finish();
+  MutexLock lock(&mutex_);
+  finish_locked();
   Json perf = Json::object();
   perf.set("schema", Json::string("lagover.perf.v1"));
   perf.set("wall_time_s",

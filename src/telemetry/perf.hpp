@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace lagover::telemetry {
 
@@ -79,7 +81,13 @@ struct PerfPhaseStats {
 /// deltas of the existing metrics registry counters, so the recorder
 /// needs telemetry enabled to see non-zero values — benches pass
 /// --perf, which implies --telemetry.
-class PerfRecorder {
+///
+/// Internally locked: the active recorder is installed via an
+/// acquire/release atomic (set_active on one thread is safely visible
+/// to PerfPhase marks on another), and the phase stack / totals sit
+/// behind the recorder's mutex so concurrent phase scopes cannot
+/// corrupt the open-phase bookkeeping.
+class LAGOVER_THREAD_SAFE PerfRecorder {
  public:
   PerfRecorder();
 
@@ -93,32 +101,48 @@ class PerfRecorder {
   /// a bench-local scope may overlap); unbalanced calls are tolerated
   /// (an unmatched end is ignored, finish() closes anything left
   /// open).
-  void phase_begin(const std::string& name);
-  void phase_end(const std::string& name);
+  void phase_begin(const std::string& name) LAGOVER_EXCLUDES(mutex_);
+  void phase_end(const std::string& name) LAGOVER_EXCLUDES(mutex_);
 
   /// A named microbenchmark result (bench_micro's google-benchmark
   /// scalars, normalized to nanoseconds), emitted under "micro".
-  void note_micro(const std::string& name, double real_ns, double cpu_ns);
+  void note_micro(const std::string& name, double real_ns, double cpu_ns)
+      LAGOVER_EXCLUDES(mutex_);
 
   /// Freezes the run totals (idempotent; to_json() calls it).
-  void finish();
-  bool finished() const noexcept { return finished_; }
+  void finish() LAGOVER_EXCLUDES(mutex_);
+  bool finished() const LAGOVER_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return finished_;
+  }
 
-  /// Phase stats in first-open order.
-  const std::vector<PerfPhaseStats>& phases() const noexcept {
+  /// Snapshot of the phase stats in first-open order.
+  std::vector<PerfPhaseStats> phases() const LAGOVER_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
     return phases_;
   }
-  std::uint64_t total_wall_ns() const noexcept { return total_wall_ns_; }
-  std::uint64_t total_rounds() const noexcept { return total_rounds_; }
-  std::uint64_t total_messages() const noexcept { return total_messages_; }
+  std::uint64_t total_wall_ns() const LAGOVER_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return total_wall_ns_;
+  }
+  std::uint64_t total_rounds() const LAGOVER_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return total_rounds_;
+  }
+  std::uint64_t total_messages() const LAGOVER_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return total_messages_;
+  }
 
   /// The "lagover.perf.v1" JSON section. Includes the profiler's
   /// per-scope aggregates under "scopes" (so Chrome-trace hotspots
   /// and the trajectory agree) unless `include_scopes` is false.
-  Json to_json(bool include_scopes = true);
+  Json to_json(bool include_scopes = true) LAGOVER_EXCLUDES(mutex_);
 
   /// The recorder PerfPhase scopes attach to (nullptr = inactive,
-  /// every PerfPhase is then a no-op).
+  /// every PerfPhase is then a no-op). Acquire/release: everything the
+  /// installing thread did before set_active() is visible to a thread
+  /// that observes the recorder through active().
   static PerfRecorder* active() noexcept;
   static void set_active(PerfRecorder* recorder) noexcept;
 
@@ -136,18 +160,24 @@ class PerfRecorder {
   };
 
   static Mark mark_now();
-  PerfPhaseStats& phase_slot(const std::string& name);
+  PerfPhaseStats& phase_slot_locked(const std::string& name)
+      LAGOVER_REQUIRES(mutex_);
+  void phase_end_locked(const std::string& name) LAGOVER_REQUIRES(mutex_);
+  void finish_locked() LAGOVER_REQUIRES(mutex_);
 
-  Mark start_;
-  std::vector<PerfPhaseStats> phases_;
-  std::map<std::string, OpenPhase> open_;
-  std::map<std::string, std::pair<double, double>> micro_;
-  std::uint64_t total_wall_ns_ = 0;
-  std::uint64_t total_rounds_ = 0;
-  std::uint64_t total_messages_ = 0;
-  AllocStats total_alloc_;
-  std::uint64_t peak_rss_ = 0;
-  bool finished_ = false;
+  const Mark start_;  ///< stamped once at construction, then immutable
+
+  mutable Mutex mutex_;
+  std::vector<PerfPhaseStats> phases_ LAGOVER_GUARDED_BY(mutex_);
+  std::map<std::string, OpenPhase> open_ LAGOVER_GUARDED_BY(mutex_);
+  std::map<std::string, std::pair<double, double>> micro_
+      LAGOVER_GUARDED_BY(mutex_);
+  std::uint64_t total_wall_ns_ LAGOVER_GUARDED_BY(mutex_) = 0;
+  std::uint64_t total_rounds_ LAGOVER_GUARDED_BY(mutex_) = 0;
+  std::uint64_t total_messages_ LAGOVER_GUARDED_BY(mutex_) = 0;
+  AllocStats total_alloc_ LAGOVER_GUARDED_BY(mutex_);
+  std::uint64_t peak_rss_ LAGOVER_GUARDED_BY(mutex_) = 0;
+  bool finished_ LAGOVER_GUARDED_BY(mutex_) = false;
 };
 
 /// RAII phase scope against the active recorder; free when none is
@@ -157,16 +187,21 @@ class PerfRecorder {
 class PerfPhase {
  public:
   explicit PerfPhase(const char* name) : name_(name) {
-    if (PerfRecorder::active() == nullptr) name_ = nullptr;
-    if (name_ != nullptr) PerfRecorder::active()->phase_begin(name_);
+    PerfRecorder* recorder = PerfRecorder::active();
+    if (recorder == nullptr) {
+      name_ = nullptr;
+      return;
+    }
+    recorder->phase_begin(name_);
   }
 
   PerfPhase(const PerfPhase&) = delete;
   PerfPhase& operator=(const PerfPhase&) = delete;
 
   ~PerfPhase() {
-    if (name_ != nullptr && PerfRecorder::active() != nullptr)
-      PerfRecorder::active()->phase_end(name_);
+    if (name_ == nullptr) return;
+    if (PerfRecorder* recorder = PerfRecorder::active())
+      recorder->phase_end(name_);
   }
 
  private:

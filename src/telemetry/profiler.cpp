@@ -8,6 +8,7 @@ Profiler& Profiler::instance() {
 }
 
 ProfileSite& Profiler::site(const std::string& name) {
+  MutexLock lock(&mutex_);
   const auto it = sites_.find(name);
   if (it != sites_.end()) return it->second;
   ProfileSite& site = sites_[name];
@@ -16,31 +17,36 @@ ProfileSite& Profiler::site(const std::string& name) {
 }
 
 void Profiler::reset() {
+  MutexLock lock(&mutex_);
   for (auto& [name, site] : sites_) {
-    site.calls = 0;
-    site.total_ns = 0;
-    site.max_ns = 0;
+    site.calls.store(0, std::memory_order_relaxed);
+    site.total_ns.store(0, std::memory_order_relaxed);
+    site.max_ns.store(0, std::memory_order_relaxed);
   }
 }
 
 void Profiler::for_each(
     const std::function<void(const ProfileSite&)>& fn) const {
+  MutexLock lock(&mutex_);
   for (const auto& [name, site] : sites_) fn(site);
 }
 
 Json Profiler::to_json() const {
+  MutexLock lock(&mutex_);
   Json root = Json::object();
   for (const auto& [name, site] : sites_) {
-    if (site.calls == 0) continue;
+    const std::uint64_t calls = site.calls.load(std::memory_order_relaxed);
+    if (calls == 0) continue;
+    const std::uint64_t total_ns =
+        site.total_ns.load(std::memory_order_relaxed);
     Json entry = Json::object();
-    entry.set("calls", Json::integer(static_cast<std::int64_t>(site.calls)));
-    entry.set("total_ns",
-              Json::integer(static_cast<std::int64_t>(site.total_ns)));
-    entry.set("mean_ns",
-              Json::number(static_cast<double>(site.total_ns) /
-                           static_cast<double>(site.calls)));
+    entry.set("calls", Json::integer(static_cast<std::int64_t>(calls)));
+    entry.set("total_ns", Json::integer(static_cast<std::int64_t>(total_ns)));
+    entry.set("mean_ns", Json::number(static_cast<double>(total_ns) /
+                                      static_cast<double>(calls)));
     entry.set("max_ns",
-              Json::integer(static_cast<std::int64_t>(site.max_ns)));
+              Json::integer(static_cast<std::int64_t>(
+                  site.max_ns.load(std::memory_order_relaxed))));
     root.set(name, std::move(entry));
   }
   return root;

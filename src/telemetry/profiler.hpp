@@ -6,31 +6,40 @@
 // summary embeds the aggregate so regressions are diffable.
 //
 // Cost model: telemetry off = one predicted branch per scope; on = two
-// steady_clock reads plus a handful of adds. A scope sink (the Chrome
+// steady_clock reads plus a handful of relaxed atomic adds — scopes on
+// parallel shards never contend on a lock. A scope sink (the Chrome
 // trace writer) can additionally capture every individual scope as a
 // duration event.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
 
 #include "common/json.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace lagover::telemetry {
 
-/// Aggregate for one profiled site.
-struct ProfileSite {
-  std::string name;
-  std::uint64_t calls = 0;
-  std::uint64_t total_ns = 0;
-  std::uint64_t max_ns = 0;
+/// Aggregate for one profiled site. The counters are relaxed atomics:
+/// concurrent scopes on the same site lose no calls or nanoseconds,
+/// though a reader can observe calls/total_ns from slightly different
+/// moments (fine for aggregate reporting).
+struct LAGOVER_THREAD_SAFE ProfileSite {
+  std::string name;  ///< set once at registration, immutable after
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> total_ns{0};
+  std::atomic<std::uint64_t> max_ns{0};
 };
 
 /// Receives every completed scope when attached (exporters implement
-/// this to emit per-scope duration events).
+/// this to emit per-scope duration events). May be called from any
+/// thread that runs a TELEM_SCOPE, so implementations must be
+/// internally synchronized.
 class ScopeSink {
  public:
   virtual ~ScopeSink() = default;
@@ -40,29 +49,39 @@ class ScopeSink {
 };
 
 /// Name -> aggregate registry for profiled scopes.
-class Profiler {
+class LAGOVER_THREAD_SAFE Profiler {
  public:
   static Profiler& instance();
 
   /// Finds or creates; addresses are stable (reset() zeroes, never
   /// erases), so TELEM_SCOPE can cache them in function-local statics.
-  ProfileSite& site(const std::string& name);
+  ProfileSite& site(const std::string& name) LAGOVER_EXCLUDES(mutex_);
 
-  void reset();
+  void reset() LAGOVER_EXCLUDES(mutex_);
 
+  /// Runs under the profiler lock; `fn` must not call back into the
+  /// profiler (site/reset) or it will self-deadlock.
   void for_each(
-      const std::function<void(const ProfileSite&)>& fn) const;
+      const std::function<void(const ProfileSite&)>& fn) const
+      LAGOVER_EXCLUDES(mutex_);
 
   /// {"<site>": {"calls": N, "total_ns": N, "mean_ns": x, "max_ns": N}}
-  Json to_json() const;
+  Json to_json() const LAGOVER_EXCLUDES(mutex_);
 
   /// Installs (or clears, with nullptr) the per-scope sink.
-  void set_sink(ScopeSink* sink) noexcept { sink_ = sink; }
-  ScopeSink* sink() const noexcept { return sink_; }
+  /// Release/acquire so the sink's setup is visible to whichever
+  /// thread's scope first fires it.
+  void set_sink(ScopeSink* sink) noexcept {
+    sink_.store(sink, std::memory_order_release);
+  }
+  ScopeSink* sink() const noexcept {
+    return sink_.load(std::memory_order_acquire);
+  }
 
  private:
-  std::map<std::string, ProfileSite> sites_;
-  ScopeSink* sink_ = nullptr;
+  mutable Mutex mutex_;
+  std::map<std::string, ProfileSite> sites_ LAGOVER_GUARDED_BY(mutex_);
+  std::atomic<ScopeSink*> sink_{nullptr};
 };
 
 /// RAII scope: records into `site` on destruction. A null site (the
@@ -79,9 +98,15 @@ class ScopedTimer {
     if (site_ == nullptr) return;
     const std::uint64_t end_ns = wall_nanos();
     const std::uint64_t duration = end_ns - start_ns_;
-    ++site_->calls;
-    site_->total_ns += duration;
-    if (duration > site_->max_ns) site_->max_ns = duration;
+    site_->calls.fetch_add(1, std::memory_order_relaxed);
+    site_->total_ns.fetch_add(duration, std::memory_order_relaxed);
+    // Monotonic max via CAS: only ever raises, so concurrent scopes
+    // settle on the true maximum.
+    std::uint64_t seen = site_->max_ns.load(std::memory_order_relaxed);
+    while (duration > seen &&
+           !site_->max_ns.compare_exchange_weak(seen, duration,
+                                                std::memory_order_relaxed)) {
+    }
     if (ScopeSink* sink = Profiler::instance().sink())
       sink->scope_complete(*site_, start_ns_, duration, sim_now());
   }

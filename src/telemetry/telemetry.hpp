@@ -9,6 +9,7 @@
 // touched, and every recording site collapses to one predicted branch.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -18,36 +19,48 @@
 namespace lagover::telemetry {
 
 // ---------------------------------------------------------------------
-// Enable switch.
+// Enable switch. An atomic so a coordinator thread can flip telemetry
+// on/off while workers are mid-round; relaxed order suffices because
+// the flag gates only whether sites record, never what they record.
 
-inline bool& enabled_flag() noexcept {
-  static bool flag = false;
+inline std::atomic<bool>& enabled_flag() noexcept {
+  static std::atomic<bool> flag{false};
   return flag;
 }
 
 /// Is the telemetry layer recording? All TELEM_* macros and publishing
 /// helpers early-return when this is false.
-inline bool enabled() noexcept { return enabled_flag(); }
+inline bool enabled() noexcept {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
 
-inline void set_enabled(bool on) noexcept { enabled_flag() = on; }
+inline void set_enabled(bool on) noexcept {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
 
 // ---------------------------------------------------------------------
 // Clocks. Simulated time is pushed by whichever engine is currently
-// running (a plain global double — no callback, so no dangling
+// running (a plain atomic double — no callback, so no dangling
 // captures); wall time is monotonic nanoseconds since the first use in
 // the process.
 
-inline double& sim_now_ref() noexcept {
-  static double now = 0.0;
+inline std::atomic<double>& sim_now_ref() noexcept {
+  static std::atomic<double> now{0.0};
   return now;
 }
 
 /// Latest simulated time any instrumented engine reported.
-inline double sim_now() noexcept { return sim_now_ref(); }
+inline double sim_now() noexcept {
+  return sim_now_ref().load(std::memory_order_relaxed);
+}
 
 /// Engines call this (guarded by enabled()) at round / wake boundaries
 /// so log lines and profiler scopes can carry simulated timestamps.
-inline void note_sim_time(double t) noexcept { sim_now_ref() = t; }
+/// With several engines running in parallel "latest" is last-writer-
+/// wins — fine for timestamping, which only needs a plausible now.
+inline void note_sim_time(double t) noexcept {
+  sim_now_ref().store(t, std::memory_order_relaxed);
+}
 
 inline std::chrono::steady_clock::time_point wall_origin() noexcept {
   static const auto origin = std::chrono::steady_clock::now();

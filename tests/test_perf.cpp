@@ -128,8 +128,10 @@ TEST(PerfRecorderTest, PhasesAccumulateAcrossReentry) {
     engine.run_until_converged(2000);
   }
   recorder.finish();
-  ASSERT_EQ(recorder.phases().size(), 1u);
-  const telemetry::PerfPhaseStats& phase = recorder.phases().front();
+  // phases() snapshots under the recorder lock; hold the copy.
+  const std::vector<telemetry::PerfPhaseStats> phases = recorder.phases();
+  ASSERT_EQ(phases.size(), 1u);
+  const telemetry::PerfPhaseStats& phase = phases.front();
   EXPECT_EQ(phase.name, "construction");
   EXPECT_GT(phase.rounds, 0u);
   // Nested same-name scopes must count once, not twice: the phase's
