@@ -4,6 +4,7 @@
 // high variance; we print per-trial values, order statistics, and an
 // ASCII histogram. The paper's takeaway — repeat 5x and use the median —
 // is exactly why the other benches do so.
+#include <cstdint>
 #include <iostream>
 
 #include "bench/bench_util.hpp"
@@ -28,7 +29,16 @@ int run(int argc, char** argv) {
   Table table({"workload", "trials", "min", "q25", "median", "q75", "max",
                "stddev"});
   Sample all;
+  Sample tracker_all;
+  std::uint64_t tracker_dnc = 0;
   for (auto kind : kAllWorkloads) {
+    // With --health, slice this cell's runs out of the observatory to
+    // embed the paper's Fig 2 quantity — the tracker-latched
+    // convergence round — first-class per workload.
+    const std::size_t runs_before =
+        telemetry_export.health() != nullptr
+            ? telemetry_export.health()->completed_run_count()
+            : 0;
     ExperimentSpec spec;
     spec.population = bench::population_factory(kind, options.peers);
     spec.config.algorithm = AlgorithmKind::kGreedy;
@@ -51,6 +61,23 @@ int run(int argc, char** argv) {
                           rounds.median());
     bench_json.add_scalar(std::string(to_string(kind)) + ".stddev_rounds",
                           rounds.stddev());
+    if (auto* health = telemetry_export.health()) {
+      Sample tracked;
+      const auto completed = health->completed_runs();
+      for (std::size_t i = runs_before; i < completed.size(); ++i) {
+        if (completed[i].convergence_round < 0) {
+          ++tracker_dnc;
+          continue;
+        }
+        const auto round = static_cast<double>(completed[i].convergence_round);
+        tracked.add(round);
+        tracker_all.add(round);
+      }
+      if (tracked.size() > 0)
+        bench_json.add_scalar(
+            std::string(to_string(kind)) + ".convergence_round",
+            tracked.median());
+    }
     // Coarse per-cell metric snapshots (these benches drive engines
     // through run_experiment and have no per-round hook).
     telemetry_export.sample(cell += 1.0);
@@ -69,6 +96,11 @@ int run(int argc, char** argv) {
 
   bench_json.add_scalar("pooled_median_rounds", all.median());
   bench_json.add_scalar("pooled_stddev_rounds", all.stddev());
+  if (telemetry_export.health() != nullptr) {
+    if (tracker_all.size() > 0)
+      bench_json.add_scalar("convergence_round", tracker_all.median());
+    bench_json.add_count("convergence_dnc", tracker_dnc);
+  }
   bench_json.add_table("fig2", table);
   telemetry_export.finish(bench_json);
   bench_json.write(options);

@@ -2,6 +2,7 @@
 // paper's default experiment parameters, and table printing.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -15,6 +16,7 @@
 #include "metrics/experiment.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/flight_recorder.hpp"
+#include "telemetry/health.hpp"
 #include "telemetry/perf.hpp"
 #include "workload/constraints.hpp"
 
@@ -46,6 +48,15 @@ namespace lagover::bench {
 ///                     the bench JSON: wall time, rounds/sec, peak
 ///                     RSS, allocation counts, message complexity,
 ///                     per-phase splits; implies --telemetry
+///   --health          activate the overlay health observatory
+///                     (telemetry/health.hpp): incremental tree-quality
+///                     aggregates + convergence tracking, embedded as a
+///                     "health" block in the bench JSON; implies
+///                     --telemetry
+///   --health-out PATH stream per-round health samples as
+///                     "lagover.health.v1" JSONL; implies --health
+///   --stability-rounds N  consecutive converged samples required to
+///                     latch a run's convergence round (default 1)
 ///   --log-level L     logger threshold: trace|debug|info|warn|error|off
 struct BenchOptions {
   std::size_t peers = 120;
@@ -61,6 +72,9 @@ struct BenchOptions {
   std::string spans_out;       ///< "" = no span JSONL stream
   std::string postmortem_out;  ///< "" = no flight recorder
   bool perf = false;           ///< record the "lagover.perf.v1" section
+  bool health = false;         ///< activate the overlay health observatory
+  std::string health_out;      ///< "" = no health JSONL stream
+  int stability_rounds = 1;    ///< convergence-tracker stability window
   /// The run's argv flags joined by spaces — embedded in post-mortem
   /// bundles so a dump carries its own repro command line.
   std::string argv_flags;
@@ -82,10 +96,17 @@ struct BenchOptions {
     options.spans_out = flags.get_string("spans-out", "");
     options.postmortem_out = flags.get_string("postmortem-out", "");
     options.perf = flags.get_bool("perf", false);
+    options.health_out = flags.get_string("health-out", "");
+    // --health-out implies --health: a stream needs the recorder.
+    options.health =
+        flags.get_bool("health", false) || !options.health_out.empty();
+    options.stability_rounds =
+        static_cast<int>(flags.get_int("stability-rounds", 1));
     // --perf implies --telemetry: rounds and message complexity are
-    // read as deltas of the metrics-registry counters.
+    // read as deltas of the metrics-registry counters. --health does
+    // too: the observatory rides the telemetry edge-event stream.
     options.telemetry = flags.get_bool("telemetry", false) ||
-                        options.perf ||
+                        options.perf || options.health ||
                         !options.trace_out.empty() ||
                         !options.events_out.empty() ||
                         !options.spans_out.empty() ||
@@ -189,6 +210,14 @@ class BenchJson {
     perf_ = std::move(perf);
   }
 
+  /// Embeds the "lagover.health.v1" block (recorded with --health):
+  /// per-run convergence rounds and the final tree-quality sample. See
+  /// docs/OBSERVABILITY.md, "Overlay health timeline".
+  void set_health(Json health) {
+    has_health_ = true;
+    health_ = std::move(health);
+  }
+
   /// Writes to the path implied by the options ("-" disables; empty
   /// selects "<bench>.bench.json"). Returns false on I/O failure.
   bool write(const BenchOptions& options) {
@@ -200,6 +229,7 @@ class BenchJson {
     root_.set("tables", tables_);
     if (has_metrics_) root_.set("metrics", metrics_);
     if (has_perf_) root_.set("perf", perf_);
+    if (has_health_) root_.set("health", health_);
     std::ofstream out(path);
     if (!out) return false;
     out << root_.dump_pretty() << '\n';
@@ -214,8 +244,10 @@ class BenchJson {
   Json tables_;
   Json metrics_;
   Json perf_;
+  Json health_;
   bool has_metrics_ = false;
   bool has_perf_ = false;
+  bool has_health_ = false;
 };
 
 /// RAII bundle of the telemetry exporters a bench needs: builds the
@@ -250,6 +282,20 @@ class TelemetryExport {
       perf_ = std::make_unique<telemetry::PerfRecorder>();
       telemetry::PerfRecorder::set_active(perf_.get());
     }
+    if (options.health) {
+      telemetry::OverlayHealthRecorder::Config config;
+      config.stability_rounds = std::max(1, options.stability_rounds);
+      health_ = std::make_unique<telemetry::OverlayHealthRecorder>(config);
+      if (!options.health_out.empty() &&
+          !health_->set_stream(options.health_out))
+        std::cerr << "failed to open " << options.health_out << '\n';
+      if (recorder_ != nullptr)
+        health_->set_sample_mirror(
+            [recorder = recorder_.get()](const Json& sample) {
+              recorder->note_health(sample);
+            });
+      telemetry::OverlayHealthRecorder::set_active(health_.get());
+    }
   }
 
   ~TelemetryExport() {
@@ -273,6 +319,12 @@ class TelemetryExport {
   /// talk to it through telemetry::PerfPhase scopes instead.)
   telemetry::PerfRecorder* perf() noexcept { return perf_.get(); }
 
+  /// The health observatory, or nullptr without --health. Benches read
+  /// completed_runs() to embed per-cell convergence scalars.
+  telemetry::OverlayHealthRecorder* health() noexcept {
+    return health_.get();
+  }
+
   /// Writes the Chrome trace (when requested) and embeds the metrics
   /// summary. Call once, after the run and before json.write().
   void finish(BenchJson& json) {
@@ -281,6 +333,12 @@ class TelemetryExport {
       telemetry::set_alloc_tracking(false);
       perf_->finish();
       json.set_perf(perf_->to_json());
+    }
+    if (health_ != nullptr) {
+      json.set_health(health_->to_json());
+      if (!options_.health_out.empty())
+        std::cout << "wrote " << options_.health_out << " ("
+                  << health_->stream_lines() << " lines)\n";
     }
     json.set_metrics(
         telemetry::metrics_summary_json(sampler_.get()));
@@ -314,6 +372,7 @@ class TelemetryExport {
   std::unique_ptr<telemetry::JsonlEventWriter> spans_;
   std::unique_ptr<telemetry::FlightRecorder> recorder_;
   std::unique_ptr<telemetry::PerfRecorder> perf_;
+  std::unique_ptr<telemetry::OverlayHealthRecorder> health_;
 };
 
 inline void print_table(const std::string& title, const Table& table,

@@ -11,11 +11,13 @@ Autodetects the kind of each file passed on the command line:
   * "lagover.scenario.v1" — a declarative scenario document, as run by
     bench_scenario (strict keys, mirroring src/workload/scenario.cpp),
   * "lagover.postmortem.v1" — a flight-recorder dump, as written by
-    --postmortem-out on an invariant violation,
+    --postmortem-out on an invariant violation (optionally retaining a
+    "health" ring of "lagover.health.v1" sample lines),
   * a Chrome trace_event file — top-level "traceEvents" list, as
     written by --trace-out (Perfetto / chrome://tracing loadable),
   * a JSONL event/span stream — one JSON object per line, as written
-    by --events-out / --spans-out ("lagover.spans.v1" span lines).
+    by --events-out / --spans-out ("lagover.spans.v1" span lines) or
+    --health-out ("lagover.health.v1" run/sample/run_end lines).
 
 Exits non-zero with a per-file report on any violation, so CI can gate
 on the schemas without golden files.
@@ -119,6 +121,101 @@ def check_perf_block(path, perf):
                            "non-negative number")
 
 
+HEALTH_SAMPLE_NESTED = {
+    "depth": ("max", "mean", "p50", "p90", "p99"),
+    "slack": ("min", "mean", "deepest", "violated"),
+    "fanout": ("edges", "capacity", "saturated", "utilization"),
+    "churn": ("attaches", "detaches", "offlines", "onlines"),
+}
+
+
+def check_health_sample(path, where, sample):
+    for key in ("round", "online", "orphans", "satisfied", "unsatisfied",
+                "converged"):
+        if key not in sample:
+            fail(path, f"{where}: health sample missing '{key}'")
+    for outer, keys in HEALTH_SAMPLE_NESTED.items():
+        block = sample.get(outer)
+        if not isinstance(block, dict):
+            fail(path, f"{where}: health sample missing '{outer}' object")
+        for key in keys:
+            if not isinstance(block.get(key), NUMERIC):
+                fail(path, f"{where}: health sample {outer}.{key} is not "
+                           "numeric")
+    for key in ("online", "orphans", "satisfied", "unsatisfied"):
+        if not isinstance(sample[key], int) or sample[key] < 0:
+            fail(path, f"{where}: health sample {key!r} is not a "
+                       "non-negative integer")
+    if sample["satisfied"] + sample["unsatisfied"] != sample["online"]:
+        fail(path, f"{where}: health satisfied + unsatisfied != online")
+    if sample["orphans"] > sample["online"]:
+        fail(path, f"{where}: health orphans exceed online consumers")
+    if sample["converged"] != (sample["unsatisfied"] == 0):
+        fail(path, f"{where}: health converged flag disagrees with "
+                   "unsatisfied count")
+    fanout = sample["fanout"]
+    if fanout["capacity"] > 0:
+        implied = fanout["edges"] / fanout["capacity"]
+        if abs(implied - fanout["utilization"]) > 0.01 * max(implied, 1e-9):
+            fail(path, f"{where}: health fanout.utilization inconsistent "
+                       "with edges/capacity")
+    depth = sample["depth"]
+    if not depth["p50"] <= depth["p90"] <= depth["p99"] <= depth["max"]:
+        fail(path, f"{where}: health depth percentiles are not ordered")
+    for name, value in sample.get("messages", {}).items():
+        if not isinstance(value, int) or value < 1:
+            fail(path, f"{where}: health messages[{name!r}] is not a "
+                       "positive integer")
+
+
+def check_health_line(path, i, record):
+    if record.get("schema") != "lagover.health.v1":
+        fail(path, f"line {i}: health schema is {record.get('schema')!r}")
+    kind = record["kind"]
+    if not isinstance(record.get("run"), int) or record["run"] < 1:
+        fail(path, f"line {i}: health {kind} run is not a positive integer")
+    if kind == "run":
+        for key in ("t", "nodes", "consumers", "stability_rounds"):
+            if key not in record:
+                fail(path, f"line {i}: health run header missing '{key}'")
+    elif kind == "sample":
+        check_health_sample(path, f"line {i}", record)
+    elif kind == "run_end":
+        for key in ("rounds", "converged", "convergence_round", "samples",
+                    "stride"):
+            if key not in record:
+                fail(path, f"line {i}: health run_end missing '{key}'")
+        if record["converged"] != (record["convergence_round"] >= 0):
+            fail(path, f"line {i}: health run_end converged flag disagrees "
+                       "with convergence_round")
+        if "final" in record:
+            check_health_sample(path, f"line {i} final", record["final"])
+
+
+def check_health_block(path, health):
+    if health.get("schema") != "lagover.health.v1":
+        fail(path, f"health schema is {health.get('schema')!r}, "
+                   "expected 'lagover.health.v1'")
+    for key in ("stability_rounds", "runs", "converged_runs", "samples",
+                "stream_lines"):
+        if not isinstance(health.get(key), int) or health[key] < 0:
+            fail(path, f"health block {key!r} is not a non-negative integer")
+    if health["converged_runs"] > health["runs"]:
+        fail(path, "health block converged_runs exceeds runs")
+    if health["converged_runs"] > 0:
+        stats = health.get("convergence_round")
+        if not isinstance(stats, dict):
+            fail(path, "health block with converged runs needs a "
+                       "'convergence_round' object")
+        for key in ("min", "median", "max"):
+            if not isinstance(stats.get(key), NUMERIC):
+                fail(path, f"health convergence_round.{key} is not numeric")
+        if not stats["min"] <= stats["median"] <= stats["max"]:
+            fail(path, "health convergence_round min/median/max not ordered")
+    if "final" in health:
+        check_health_sample(path, "health final", health["final"])
+
+
 def check_perf_trajectory(path, doc):
     benches = doc.get("benches")
     if not isinstance(benches, dict) or not benches:
@@ -154,7 +251,9 @@ def check_bench(path, doc):
         check_metrics_block(path, doc["metrics"])
     if "perf" in doc:
         check_perf_block(path, doc["perf"])
-    extras = [key for key in ("metrics", "perf") if key in doc]
+    if "health" in doc:
+        check_health_block(path, doc["health"])
+    extras = [key for key in ("metrics", "perf", "health") if key in doc]
     return "bench json" + "".join(f" + {key}" for key in extras)
 
 
@@ -436,6 +535,8 @@ def check_postmortem(path, doc):
                 fail(path, f"violation {i} missing '{key}'")
     if doc["violations_total"] < len(doc["violations"]):
         fail(path, "violations_total below the retained violation count")
+    for i, sample in enumerate(doc.get("health", []), 1):
+        check_health_line(path, i, sample)
     if "metrics" in doc:
         check_metrics_block(path, doc["metrics"])
     return (f"postmortem bundle ({len(doc['spans'])} spans, "
@@ -483,6 +584,8 @@ def check_jsonl(path, text):
                     fail(path, f"line {i}: log missing '{key}'")
         elif kind == "span":
             check_span_line(path, i, record)
+        elif kind in ("run", "sample", "run_end"):
+            check_health_line(path, i, record)
         else:
             fail(path, f"line {i}: unknown kind {kind!r}")
     return f"jsonl events ({len(lines)} lines)"

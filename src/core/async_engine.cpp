@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "fault/faulty_oracle.hpp"
+#include "telemetry/health.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/perf.hpp"
 #include "telemetry/profiler.hpp"
@@ -78,14 +79,56 @@ AsyncEngine::AsyncEngine(Population population, AsyncConfig config)
   // mutates nothing, so the construction trajectory is unchanged.
   sim_.schedule_periodic(1.0, [this] { audit_tick(); });
 #endif
+  register_health_run();
   // Stagger the first wake-ups so nodes are desynchronized from t = 0.
   for (NodeId id = 1; id < overlay_.node_count(); ++id)
     schedule_node(id, draw_duration());
 }
 
+AsyncEngine::~AsyncEngine() {
+  if (health_run_ == 0) return;
+  if (auto* recorder = telemetry::OverlayHealthRecorder::active())
+    recorder->end_run(health_run_);
+}
+
+void AsyncEngine::register_health_run() {
+  auto* recorder = telemetry::OverlayHealthRecorder::active();
+  if (recorder == nullptr) return;
+  // Flatten the constraints: telemetry/ sits below core/ and cannot see
+  // Overlay.
+  const std::size_t n = overlay_.node_count();
+  std::vector<int> fanout(n, 0);
+  std::vector<int> latency(n, 0);
+  for (NodeId id = 0; id < n; ++id) {
+    fanout[id] = overlay_.fanout_of(id);
+    latency[id] = overlay_.latency_of(id);
+  }
+  health_run_ = recorder->begin_run(fanout, latency);
+  // Sample once per simulated time unit — the audit tick's cadence.
+  // Read-only and RNG-free, so the construction trajectory is unchanged;
+  // the event only exists when a recorder is active, keeping default
+  // runs byte-identical.
+  sim_.schedule_periodic(1.0, [this] {
+    if (health_run_ == 0) return;
+    if (auto* active = telemetry::OverlayHealthRecorder::active())
+      active->note_round(health_run_, sim_.now());
+  });
+}
+
 void AsyncEngine::audit_tick() {
-  const InvariantReport report =
+  InvariantReport report =
       audit_invariants(overlay_, config_.algorithm, &epochs_);
+  if (health_run_ != 0) {
+    // Cross-check the observatory's incremental mirror against this
+    // audit's independent recompute; mismatches ride the same bus (and
+    // the same zero-violation CI gates) as paper-invariant violations.
+    if (auto* recorder = telemetry::OverlayHealthRecorder::active()) {
+      InvariantReport health =
+          crosscheck_health(overlay_, *recorder, health_run_);
+      for (InvariantViolation& violation : health.violations)
+        report.violations.push_back(std::move(violation));
+    }
+  }
   audit_violations_ +=
       publish(report, audit_bus_, static_cast<Round>(sim_.now()));
 }

@@ -91,6 +91,8 @@ struct AsyncConfig {
 class LAGOVER_THREAD_HOSTILE AsyncEngine {
  public:
   AsyncEngine(Population population, AsyncConfig config);
+  /// Closes the health-observatory run, when one was registered.
+  ~AsyncEngine();
 
   // The construction core and scheduled events reference this object,
   // so it is pinned in place.
@@ -249,6 +251,10 @@ class LAGOVER_THREAD_HOSTILE AsyncEngine {
   /// and publishes violations (scheduled once per simulated time unit
   /// in LAGOVER_AUDIT builds).
   void audit_tick();
+  /// Registers this run with the active OverlayHealthRecorder, if any,
+  /// and schedules the per-time-unit sampling tick. No recorder = no
+  /// scheduled event, so default runs stay byte-identical.
+  void register_health_run();
   double draw_duration();
   double backoff_delay(NodeId id);
 
@@ -263,6 +269,8 @@ class LAGOVER_THREAD_HOSTILE AsyncEngine {
   TraceBus::SubscriptionId trace_subscription_ = 0;
   AuditBus audit_bus_;
   std::uint64_t audit_violations_ = 0;
+  /// Health-observatory run id (0 = no recorder active at construction).
+  std::uint64_t health_run_ = 0;
   Simulator sim_;
   Rng rng_;
   Round churn_ticks_ = 0;

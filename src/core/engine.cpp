@@ -8,6 +8,7 @@
 #include "core/greedy.hpp"
 #include "core/hybrid.hpp"
 #include "fault/faulty_oracle.hpp"
+#include "telemetry/health.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/perf.hpp"
 #include "telemetry/profiler.hpp"
@@ -86,6 +87,29 @@ Engine::Engine(Population population, EngineConfig config)
   install_fault_hooks();
   install_core_hooks();
   install_adversary_hooks();
+  register_health_run();
+}
+
+Engine::~Engine() {
+  if (health_run_ == 0) return;
+  if (auto* recorder = telemetry::OverlayHealthRecorder::active())
+    recorder->end_run(health_run_);
+}
+
+void Engine::register_health_run() {
+  auto* recorder = telemetry::OverlayHealthRecorder::active();
+  if (recorder == nullptr) return;
+  // Flatten the constraints: telemetry/ sits below core/ and cannot see
+  // Overlay. The mirror starts from the same everyone-online, everyone-
+  // parentless state the overlay starts from.
+  const std::size_t n = overlay_.node_count();
+  std::vector<int> fanout(n, 0);
+  std::vector<int> latency(n, 0);
+  for (NodeId id = 0; id < n; ++id) {
+    fanout[id] = overlay_.fanout_of(id);
+    latency[id] = overlay_.latency_of(id);
+  }
+  health_run_ = recorder->begin_run(fanout, latency);
 }
 
 void Engine::install_admission_oracle() {
@@ -555,6 +579,10 @@ RoundStats Engine::run_round() {
   TELEM_GAUGE("engine.orphan_roots", static_cast<double>(stats.orphan_roots));
   TELEM_GAUGE("engine.satisfied_fraction", stats.satisfied_fraction);
   if (record_history_) history_.push_back(stats);
+  if (health_run_ != 0) {
+    if (auto* recorder = telemetry::OverlayHealthRecorder::active())
+      recorder->note_round(health_run_, static_cast<double>(round_));
+  }
 #ifdef LAGOVER_AUDIT
   audit_round();
 #endif
@@ -562,8 +590,19 @@ RoundStats Engine::run_round() {
 }
 
 void Engine::audit_round() {
-  const InvariantReport report =
+  InvariantReport report =
       audit_invariants(overlay_, config_.algorithm, &epochs_);
+  if (health_run_ != 0) {
+    // Cross-check the observatory's incremental mirror against this
+    // audit's independent recompute; mismatches ride the same bus (and
+    // the same zero-violation CI gates) as paper-invariant violations.
+    if (auto* recorder = telemetry::OverlayHealthRecorder::active()) {
+      InvariantReport health =
+          crosscheck_health(overlay_, *recorder, health_run_);
+      for (InvariantViolation& violation : health.violations)
+        report.violations.push_back(std::move(violation));
+    }
+  }
   audit_violations_ += publish(report, audit_bus_, round_);
 }
 

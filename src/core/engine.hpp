@@ -107,6 +107,8 @@ class ChurnModel {
 class LAGOVER_THREAD_HOSTILE Engine {
  public:
   Engine(Population population, EngineConfig config);
+  /// Closes the health-observatory run, when one was registered.
+  ~Engine();
 
   // The construction core holds references into this object, so the
   // engine is pinned in place (heap-allocate it to hand it around).
@@ -254,6 +256,9 @@ class LAGOVER_THREAD_HOSTILE Engine {
   /// Runs the paper-invariant audit against the current overlay state
   /// and publishes violations (called per round in LAGOVER_AUDIT builds).
   void audit_round();
+  /// Registers this run with the active OverlayHealthRecorder, if any
+  /// (no recorder = no detour; default runs stay byte-identical).
+  void register_health_run();
 
   EngineConfig config_;
   Overlay overlay_;
@@ -266,6 +271,8 @@ class LAGOVER_THREAD_HOSTILE Engine {
   TraceBus::SubscriptionId trace_subscription_ = 0;
   AuditBus audit_bus_;
   std::uint64_t audit_violations_ = 0;
+  /// Health-observatory run id (0 = no recorder active at construction).
+  std::uint64_t health_run_ = 0;
   Rng rng_;
 
   Round round_ = 0;

@@ -13,6 +13,7 @@
 #include "health/lease.hpp"
 #include "telemetry/event_bus.hpp"
 #include "telemetry/flight_recorder.hpp"
+#include "telemetry/health.hpp"
 
 namespace lagover {
 
@@ -87,6 +88,9 @@ enum class Invariant {
   kGreedyOrder,
   kDelayDepth,   ///< DelayAt(i) equals the independently recomputed depth
   kEpochLease,   ///< every edge's lease names the parent's current epoch
+  /// The health observatory's incremental mirror (telemetry/health.hpp)
+  /// agrees with an independent BFS recompute of the overlay.
+  kHealthMirror,
 };
 
 /// Stable lower_snake name ("acyclic", "fanout_bound", ...).
@@ -130,6 +134,17 @@ using AuditBus = telemetry::EventBus<InvariantViolation>;
 /// live edge). Non-fatal: violations are collected, never aborted on.
 InvariantReport audit_invariants(const Overlay& overlay, AlgorithmKind mode,
                                  const health::EpochBook* epochs = nullptr);
+
+/// Diffs the health observatory's incrementally-maintained mirror of
+/// `run` against an independent BFS recompute over `overlay`: per-node
+/// liveness/parent/connectivity/DelayAt, plus the derived aggregates
+/// (online consumers, orphans, satisfied, edges, capacity, saturated
+/// nodes). Every disagreement becomes a kHealthMirror violation with
+/// cause "health_mismatch". Empty report when `run` is not the
+/// recorder's open run (nothing to check). Read-only on both sides.
+InvariantReport crosscheck_health(
+    const Overlay& overlay, const telemetry::OverlayHealthRecorder& recorder,
+    std::uint64_t run);
 
 /// Stamps `round` on every violation, publishes each to `bus`, and
 /// bumps the "audit.violations" telemetry counter. Returns the number

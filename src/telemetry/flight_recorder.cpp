@@ -86,6 +86,11 @@ void FlightRecorder::note_snapshot(double t, const std::string& snapshot_text) {
          SnapshotRecord{t, snapshot_text});
 }
 
+void FlightRecorder::note_health(const Json& sample) {
+  MutexLock lock(&mutex_);
+  retain(health_, config_.health_capacity, sample);
+}
+
 void FlightRecorder::note_violation(const ViolationNote& note) {
   // Decide under the lock, dump outside it: dump() re-enters to_json()
   // (which takes this mutex) and the metrics registry.
@@ -152,6 +157,10 @@ Json FlightRecorder::to_json(const std::string& reason) const {
   root.set("violations", std::move(violations));
   root.set("violations_total",
            Json::integer(static_cast<std::int64_t>(violations_total_)));
+
+  Json health = Json::array();
+  for (const Json& sample : health_) health.push_back(sample);
+  root.set("health", std::move(health));
 
   root.set("metrics", metrics_summary_json());
   return root;

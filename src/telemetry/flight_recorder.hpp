@@ -57,6 +57,7 @@ class LAGOVER_THREAD_SAFE FlightRecorder {
     std::size_t log_capacity = 1024;
     std::size_t snapshot_capacity = 8;
     std::size_t violation_capacity = 256;
+    std::size_t health_capacity = 64;
   };
 
   FlightRecorder();
@@ -90,6 +91,11 @@ class LAGOVER_THREAD_SAFE FlightRecorder {
   /// armed via set_dump_on_violation().
   void note_violation(const ViolationNote& note) LAGOVER_EXCLUDES(mutex_);
 
+  /// Retains an overlay-health sample line ("lagover.health.v1",
+  /// OverlayHealthRecorder::set_sample_mirror feeds this) so bundles
+  /// carry the last K structural snapshots leading up to a failure.
+  void note_health(const Json& sample) LAGOVER_EXCLUDES(mutex_);
+
   /// Arms auto-dump: the first note_violation() writes the bundle to
   /// `path` (empty disarms).
   void set_dump_on_violation(std::string path) LAGOVER_EXCLUDES(mutex_) {
@@ -121,6 +127,10 @@ class LAGOVER_THREAD_SAFE FlightRecorder {
   std::size_t retained_snapshots() const LAGOVER_EXCLUDES(mutex_) {
     MutexLock lock(&mutex_);
     return snapshots_.size();
+  }
+  std::size_t retained_health() const LAGOVER_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return health_.size();
   }
   /// Did the armed auto-dump fire (and succeed)?
   bool dumped() const LAGOVER_EXCLUDES(mutex_) {
@@ -162,6 +172,7 @@ class LAGOVER_THREAD_SAFE FlightRecorder {
   std::deque<LogRecord> logs_ LAGOVER_GUARDED_BY(mutex_);
   std::deque<SnapshotRecord> snapshots_ LAGOVER_GUARDED_BY(mutex_);
   std::deque<ViolationNote> violations_ LAGOVER_GUARDED_BY(mutex_);
+  std::deque<Json> health_ LAGOVER_GUARDED_BY(mutex_);
   std::uint64_t violations_total_ LAGOVER_GUARDED_BY(mutex_) = 0;
 
   std::uint64_t seed_ LAGOVER_GUARDED_BY(mutex_) = 0;

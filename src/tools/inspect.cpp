@@ -1,6 +1,7 @@
 #include "tools/inspect.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -70,6 +71,8 @@ void ingest_line(const Json& line, Bundle& bundle) {
     bundle.events.push_back(decode_event(line));
   else if (kind == "log")
     ++bundle.log_lines;
+  else if (kind == "run" || kind == "sample" || kind == "run_end")
+    bundle.health.push_back(line);  // "lagover.health.v1" stream lines
 }
 
 void ingest_document(const Json& document, Bundle& bundle) {
@@ -98,6 +101,8 @@ void ingest_document(const Json& document, Bundle& bundle) {
     bundle.violations = *violations;
   if (const Json* metrics = document.find("metrics"); metrics != nullptr)
     bundle.metrics = *metrics;
+  if (const Json* health = document.find("health"); health != nullptr)
+    for (const Json& line : health->elements()) bundle.health.push_back(line);
 }
 
 bool load_bundle(const std::string& path, Bundle& bundle,
@@ -338,6 +343,135 @@ std::string timeline(const Bundle& bundle, NodeId node) {
   return out.str();
 }
 
+namespace {
+
+/// bundle.health lines of one run, in stream order.
+struct HealthRun {
+  std::int64_t run = 0;
+  std::int64_t nodes = -1;           ///< from the "run" header, -1 unknown
+  const Json* end = nullptr;         ///< the "run_end" line, when present
+  std::vector<const Json*> samples;  ///< the "sample" lines
+};
+
+std::int64_t nested_int(const Json& line, const char* outer,
+                        const char* inner, std::int64_t fallback) {
+  const Json* object = line.find(outer);
+  return object == nullptr ? fallback : int_or(*object, inner, fallback);
+}
+
+double nested_number(const Json& line, const char* outer, const char* inner,
+                     double fallback) {
+  const Json* object = line.find(outer);
+  return object == nullptr ? fallback : number_or(*object, inner, fallback);
+}
+
+/// Groups bundle.health by run id, preserving stream order. Lines with
+/// no run field (foreign input) land in run 0.
+std::vector<HealthRun> health_runs(const Bundle& bundle) {
+  std::vector<HealthRun> runs;
+  const auto run_for = [&runs](std::int64_t id) -> HealthRun& {
+    for (HealthRun& run : runs)
+      if (run.run == id) return run;
+    runs.push_back(HealthRun{});
+    runs.back().run = id;
+    return runs.back();
+  };
+  for (const Json& line : bundle.health) {
+    const std::string kind = string_or(line, "kind");
+    HealthRun& run = run_for(int_or(line, "run", 0));
+    if (kind == "run")
+      run.nodes = int_or(line, "nodes", -1);
+    else if (kind == "sample")
+      run.samples.push_back(&line);
+    else if (kind == "run_end")
+      run.end = &line;
+  }
+  return runs;
+}
+
+/// The line holding a run's final sample: the run_end's embedded
+/// "final", or the last streamed sample.
+const Json* final_sample(const HealthRun& run) {
+  if (run.end != nullptr)
+    if (const Json* final = run.end->find("final"); final != nullptr)
+      return final;
+  return run.samples.empty() ? nullptr : run.samples.back();
+}
+
+}  // namespace
+
+std::string health_report(const Bundle& bundle) {
+  std::ostringstream out;
+  if (bundle.health.empty()) {
+    out << "no health data in this dump (run the bench with --health-out, "
+           "or inspect a bundle recorded with --health)\n";
+    return out.str();
+  }
+  const std::vector<HealthRun> runs = health_runs(bundle);
+  out << "overlay health (lagover.health.v1): " << runs.size()
+      << " run(s)\n";
+  for (const HealthRun& run : runs) {
+    out << "\nrun " << run.run;
+    if (run.nodes >= 0) out << " (" << run.nodes << " node(s))";
+    out << '\n';
+    if (!run.samples.empty()) {
+      // Thin long timelines: at most 40 rows, evenly strided, always
+      // keeping the final sample.
+      constexpr std::size_t kMaxRows = 40;
+      const std::size_t stride =
+          (run.samples.size() + kMaxRows - 1) / kMaxRows;
+      if (stride > 1)
+        out << "  (showing every " << stride << ". of "
+            << run.samples.size() << " samples)\n";
+      out << "  round  unsat  orphan  depth  slack  util  churn\n";
+      for (std::size_t i = 0; i < run.samples.size(); ++i) {
+        if (i % stride != 0 && i + 1 != run.samples.size()) continue;
+        const Json& sample = *run.samples[i];
+        const std::int64_t churn =
+            nested_int(sample, "churn", "attaches", 0) +
+            nested_int(sample, "churn", "detaches", 0) +
+            nested_int(sample, "churn", "offlines", 0) +
+            nested_int(sample, "churn", "onlines", 0);
+        char util[16];
+        std::snprintf(util, sizeof(util), "%.2f",
+                      nested_number(sample, "fanout", "utilization", 0.0));
+        out << "  " << int_or(sample, "round", 0) << '\t'
+            << int_or(sample, "unsatisfied", 0) << '\t'
+            << int_or(sample, "orphans", 0) << '\t'
+            << nested_int(sample, "depth", "max", 0) << '\t'
+            << nested_int(sample, "slack", "min", 0) << '\t' << util << '\t'
+            << churn;
+        const Json* converged = sample.find("converged");
+        if (converged != nullptr && converged->as_bool()) out << "  *";
+        out << '\n';
+      }
+      out << "  (* = all constraints held that round)\n";
+    }
+    if (run.end != nullptr) {
+      const std::int64_t convergence_round =
+          int_or(*run.end, "convergence_round", -1);
+      if (convergence_round >= 0)
+        out << "  converged at round " << convergence_round;
+      else
+        out << "  did not converge";
+      out << " (" << int_or(*run.end, "rounds", 0) << " round(s), "
+          << int_or(*run.end, "samples", 0) << " sample(s))\n";
+    }
+    if (const Json* final = final_sample(run); final != nullptr) {
+      out << "  final: " << int_or(*final, "satisfied", 0) << '/'
+          << int_or(*final, "online", 0) << " satisfied, "
+          << int_or(*final, "orphans", 0) << " orphan(s), max depth "
+          << nested_int(*final, "depth", "max", 0) << ", deepest slack "
+          << nested_int(*final, "slack", "deepest", 0) << ", utilization ";
+      char util[16];
+      std::snprintf(util, sizeof(util), "%.2f",
+                    nested_number(*final, "fanout", "utilization", 0.0));
+      out << util << '\n';
+    }
+  }
+  return out.str();
+}
+
 std::string summary(const Bundle& bundle) {
   std::ostringstream out;
   if (bundle.is_postmortem()) {
@@ -379,6 +513,27 @@ std::string summary(const Bundle& bundle) {
   out << "  log lines:  " << bundle.log_lines << '\n';
   out << "  snapshots:  " << bundle.snapshots.size() << '\n';
   out << "  deadline misses: " << deadline_misses(bundle) << '\n';
+  if (!bundle.health.empty()) {
+    const std::vector<HealthRun> runs = health_runs(bundle);
+    out << "  health:     " << bundle.health.size() << " line(s), "
+        << runs.size() << " run(s)\n";
+    for (const HealthRun& run : runs) {
+      out << "    run " << run.run << ": ";
+      const std::int64_t convergence_round =
+          run.end == nullptr ? -1
+                             : int_or(*run.end, "convergence_round", -1);
+      if (convergence_round >= 0)
+        out << "converged at round " << convergence_round;
+      else
+        out << "did not converge";
+      if (const Json* final = final_sample(run); final != nullptr)
+        out << ", final orphans " << int_or(*final, "orphans", 0)
+            << ", unsatisfied " << int_or(*final, "unsatisfied", 0)
+            << ", deepest slack "
+            << nested_int(*final, "slack", "deepest", 0);
+      out << '\n';
+    }
+  }
   return out.str();
 }
 
@@ -469,6 +624,58 @@ bool self_check(std::string* error) {
     return fail("summary: miss count missing");
   if (overview.find("drop: 1 (shed: 1)") == std::string::npos)
     return fail("summary: drop-cause breakdown missing");
+
+  // Health stream: one run that converges at round 3, fed through
+  // ingest_line (the --health-out path) and rendered by both
+  // health_report and the summary health section.
+  const char* health_lines[] = {
+      "{\"schema\":\"lagover.health.v1\",\"kind\":\"run\",\"run\":1,"
+      "\"t\":0.0,\"nodes\":3,\"consumers\":2,\"stability_rounds\":2}",
+      "{\"schema\":\"lagover.health.v1\",\"kind\":\"sample\",\"run\":1,"
+      "\"round\":1,\"t\":1.0,\"online\":3,\"orphans\":1,\"satisfied\":1,"
+      "\"unsatisfied\":1,\"converged\":false,"
+      "\"depth\":{\"max\":1,\"mean\":1.0,\"p50\":1,\"p90\":1,\"p99\":1},"
+      "\"slack\":{\"min\":1,\"mean\":1.0,\"deepest\":1,\"violated\":0},"
+      "\"fanout\":{\"edges\":1,\"capacity\":4,\"saturated\":0,"
+      "\"utilization\":0.25},"
+      "\"churn\":{\"attaches\":1,\"detaches\":0,\"offlines\":0,"
+      "\"onlines\":0},\"messages\":{}}",
+      "{\"schema\":\"lagover.health.v1\",\"kind\":\"sample\",\"run\":1,"
+      "\"round\":3,\"t\":3.0,\"online\":3,\"orphans\":0,\"satisfied\":2,"
+      "\"unsatisfied\":0,\"converged\":true,"
+      "\"depth\":{\"max\":2,\"mean\":1.5,\"p50\":1,\"p90\":2,\"p99\":2},"
+      "\"slack\":{\"min\":0,\"mean\":1.0,\"deepest\":2,\"violated\":0},"
+      "\"fanout\":{\"edges\":2,\"capacity\":4,\"saturated\":0,"
+      "\"utilization\":0.5},"
+      "\"churn\":{\"attaches\":1,\"detaches\":0,\"offlines\":0,"
+      "\"onlines\":0},\"messages\":{}}",
+      "{\"schema\":\"lagover.health.v1\",\"kind\":\"run_end\",\"run\":1,"
+      "\"rounds\":4,\"converged\":true,\"convergence_round\":3,"
+      "\"samples\":4,\"stride\":1,\"final\":{\"round\":4,\"online\":3,"
+      "\"orphans\":0,\"satisfied\":2,\"unsatisfied\":0,\"converged\":true,"
+      "\"depth\":{\"max\":2},\"slack\":{\"min\":0,\"deepest\":2},"
+      "\"fanout\":{\"utilization\":0.5}}}",
+  };
+  Bundle health_bundle;
+  for (const char* text : health_lines) {
+    Json line;
+    if (!Json::parse(text, line, &parse_error))
+      return fail("health line does not parse: " + parse_error);
+    ingest_line(line, health_bundle);
+  }
+  if (health_bundle.health.size() != 4)
+    return fail("health: lines not ingested");
+  const std::string health = health_report(health_bundle);
+  if (health.find("converged at round 3") == std::string::npos)
+    return fail("health_report: convergence round missing");
+  if (health.find("round  unsat") == std::string::npos)
+    return fail("health_report: timeline header missing");
+  if (health.find("deepest slack 2") == std::string::npos)
+    return fail("health_report: final sample missing");
+  const std::string health_overview = summary(health_bundle);
+  if (health_overview.find("converged at round 3") == std::string::npos ||
+      health_overview.find("deepest slack 2") == std::string::npos)
+    return fail("summary: health section missing");
   return true;
 }
 

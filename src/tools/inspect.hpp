@@ -9,6 +9,9 @@
 //                    replay,
 //   * laggards     — receipts that blew their latency budget l_i,
 //   * timeline     — everything that happened at one node, in order,
+//   * health       — convergence timeline + final tree-quality summary
+//                    from "lagover.health.v1" lines or a bundle's
+//                    retained health ring,
 //   * summary      — what the dump contains.
 //
 // The query core is a library so tests can assert on structured
@@ -71,6 +74,9 @@ struct Bundle {
   std::vector<std::pair<double, std::string>> snapshots;
   Json violations = Json::array();
   Json metrics;  ///< null when the dump carries no metrics block
+  /// "lagover.health.v1" lines in stream order (kinds "run", "sample",
+  /// "run_end"), from a --health-out stream or a bundle's health ring.
+  std::vector<Json> health;
 
   bool is_postmortem() const noexcept { return !schema.empty(); }
 };
@@ -140,6 +146,12 @@ std::size_t deadline_misses(const Bundle& bundle);
 
 /// Human-readable per-node merged timeline (events + spans by ts).
 std::string timeline(const Bundle& bundle, NodeId node);
+
+/// Human-readable overlay-health view: per-run convergence timeline
+/// (sampled unsatisfied/orphan/depth/slack trajectory, long runs
+/// thinned to fit) plus each run's convergence round and final
+/// tree-quality sample.
+std::string health_report(const Bundle& bundle);
 
 /// Human-readable dump overview.
 std::string summary(const Bundle& bundle);

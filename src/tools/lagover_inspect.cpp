@@ -5,6 +5,7 @@
 //   lagover_inspect <dump> ancestry <node> --at <t>
 //   lagover_inspect <dump> laggards [item]
 //   lagover_inspect <dump> timeline <node>
+//   lagover_inspect <dump> health
 //   lagover_inspect <dump> summary
 //   lagover_inspect --self-check
 //
@@ -33,6 +34,7 @@ int usage() {
          "  ancestry <node> --at t  the node's path-to-root at sim time t\n"
          "  laggards [item]         receipts that missed their deadline\n"
          "  timeline <node>         everything at one node, in order\n"
+         "  health                  convergence timeline + tree quality\n"
          "  summary                 what the dump contains\n";
   return 2;
 }
@@ -146,6 +148,10 @@ int main(int argc, char** argv) {
     std::cout << timeline(bundle,
                           static_cast<NodeId>(std::stoul(positional[2])));
     return 0;
+  }
+  if (query == "health") {
+    std::cout << health_report(bundle);
+    return bundle.health.empty() ? 1 : 0;
   }
   if (query == "summary") {
     std::cout << summary(bundle);

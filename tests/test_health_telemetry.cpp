@@ -1,0 +1,268 @@
+// Tests for the overlay health observatory (telemetry/health): the
+// property at its heart is that the recorder's incremental mirror —
+// maintained in O(changed nodes) from edge events — agrees with an
+// independent BFS recompute (crosscheck_health) after EVERY round of a
+// seeded greedy and hybrid sweep under churn and chaos. Plus: the
+// byte-identical guard (an active recorder changes no engine decision),
+// convergence-tracker semantics, stream stride doubling, and the shape
+// of the embedded bench-JSON health block.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/async_engine.hpp"
+#include "core/engine.hpp"
+#include "core/snapshot.hpp"
+#include "core/validator.hpp"
+#include "fault/fault_injector.hpp"
+#include "telemetry/health.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+#include "workload/churn.hpp"
+#include "workload/constraints.hpp"
+
+namespace lagover {
+namespace {
+
+using telemetry::OverlayHealthRecorder;
+
+/// Scoped telemetry enable that restores the previous state and leaves
+/// the global registries clean (mirrors test_telemetry.cpp).
+class TelemetryGuard {
+ public:
+  explicit TelemetryGuard(bool on) : previous_(telemetry::enabled()) {
+    telemetry::MetricsRegistry::instance().reset();
+    telemetry::set_enabled(on);
+  }
+  ~TelemetryGuard() {
+    telemetry::set_enabled(previous_);
+    telemetry::MetricsRegistry::instance().reset();
+  }
+
+ private:
+  bool previous_;
+};
+
+/// Scoped health-recorder activation; deactivates on exit.
+class HealthGuard {
+ public:
+  explicit HealthGuard(OverlayHealthRecorder::Config config = {})
+      : recorder_(std::make_unique<OverlayHealthRecorder>(config)) {
+    OverlayHealthRecorder::set_active(recorder_.get());
+  }
+  ~HealthGuard() { OverlayHealthRecorder::set_active(nullptr); }
+
+  OverlayHealthRecorder& recorder() { return *recorder_; }
+
+ private:
+  std::unique_ptr<OverlayHealthRecorder> recorder_;
+};
+
+Population population(WorkloadKind kind, std::size_t peers,
+                      std::uint64_t seed) {
+  WorkloadParams params;
+  params.peers = peers;
+  params.seed = seed;
+  return generate_workload(kind, params);
+}
+
+// ------------------------------------------------- the core property
+
+// Greedy and hybrid construction under Bernoulli churn, several seeds:
+// after every round the incremental aggregates must match the
+// independent recompute exactly — zero "health_mismatch" violations.
+TEST(HealthPropertyTest, MirrorMatchesBfsRecomputeEveryRoundUnderChurn) {
+  for (auto algorithm : {AlgorithmKind::kGreedy, AlgorithmKind::kHybrid}) {
+    for (std::uint64_t seed : {3u, 17u, 29u}) {
+      TelemetryGuard telemetry_guard(true);
+      HealthGuard health_guard;
+      EngineConfig config;
+      config.algorithm = algorithm;
+      config.seed = seed;
+      Engine engine(population(WorkloadKind::kBiCorr, 60, seed), config);
+      engine.set_churn(std::make_unique<BernoulliChurn>(0.02, 0.2));
+      const std::uint64_t run = health_guard.recorder().current_run();
+      ASSERT_NE(run, 0u);
+      std::size_t rounds_checked = 0;
+      for (int round = 0; round < 150; ++round) {
+        engine.run_round();
+        const InvariantReport report = crosscheck_health(
+            engine.overlay(), health_guard.recorder(), run);
+        ASSERT_TRUE(report.ok())
+            << "algorithm=" << static_cast<int>(algorithm)
+            << " seed=" << seed << " round=" << round << "\n"
+            << report.to_string();
+        rounds_checked += report.nodes_checked > 0 ? 1 : 0;
+      }
+      // The sweep must not pass vacuously.
+      EXPECT_EQ(rounds_checked, 150u);
+    }
+  }
+}
+
+// Same property through the async engine under a chaos fault plan
+// (crashes take nodes offline and back online mid-run).
+TEST(HealthPropertyTest, MirrorMatchesRecomputeUnderAsyncChaos) {
+  TelemetryGuard telemetry_guard(true);
+  HealthGuard health_guard;
+  AsyncConfig config;
+  config.algorithm = AlgorithmKind::kHybrid;
+  config.seed = 41;
+  fault::FaultPlan plan;
+  plan.add(fault::FaultPlan::crashes(5.0, 60.0, 0.03, 5.0))
+      .add(fault::FaultPlan::drop(20.0, 50.0, 0.2));
+  config.faults = std::make_shared<fault::FaultInjector>(plan);
+  AsyncEngine engine(population(WorkloadKind::kRand, 50, 13), config);
+  const std::uint64_t run = health_guard.recorder().current_run();
+  ASSERT_NE(run, 0u);
+  for (int window = 0; window < 20; ++window) {
+    engine.run_for(5.0);
+    const InvariantReport report = crosscheck_health(
+        engine.overlay(), health_guard.recorder(), run);
+    ASSERT_TRUE(report.ok()) << "window=" << window << "\n"
+                             << report.to_string();
+    ASSERT_GT(report.nodes_checked, 0u);
+  }
+  EXPECT_GT(health_guard.recorder().samples_total(), 0u);
+}
+
+// ----------------------------------------------- byte-identical guard
+
+std::string converged_snapshot(AlgorithmKind algorithm) {
+  EngineConfig config;
+  config.algorithm = algorithm;
+  config.seed = 23;
+  Engine engine(population(WorkloadKind::kRand, 48, 11), config);
+  engine.run_until_converged(3000);
+  return to_snapshot(engine.overlay());
+}
+
+// The observatory is read-only: recording on vs everything off must
+// produce byte-identical overlays. This is the in-process half of the
+// CI guarantee that default runs match pre-observatory output.
+TEST(HealthDefaultOffTest, RecorderChangesNoEngineDecision) {
+  for (auto algorithm : {AlgorithmKind::kGreedy, AlgorithmKind::kHybrid}) {
+    std::string with_recorder;
+    {
+      TelemetryGuard telemetry_guard(true);
+      HealthGuard health_guard;
+      with_recorder = converged_snapshot(algorithm);
+      EXPECT_GT(health_guard.recorder().samples_total(), 0u);
+    }
+    std::string without;
+    {
+      TelemetryGuard telemetry_guard(false);
+      without = converged_snapshot(algorithm);
+    }
+    EXPECT_EQ(with_recorder, without);
+  }
+}
+
+// With no active recorder, engines must not register runs at all, even
+// when the rest of telemetry is on.
+TEST(HealthDefaultOffTest, NoRecorderMeansNoRuns) {
+  TelemetryGuard telemetry_guard(true);
+  OverlayHealthRecorder bystander;  // constructed but never set_active
+  EngineConfig config;
+  config.seed = 7;
+  Engine engine(population(WorkloadKind::kRand, 24, 7), config);
+  engine.run_until_converged(2000);
+  EXPECT_EQ(bystander.current_run(), 0u);
+  EXPECT_EQ(bystander.samples_total(), 0u);
+}
+
+// --------------------------------------------- convergence semantics
+
+// With stability_rounds=1 the tracker must latch exactly the engine's
+// first all-satisfied round.
+TEST(HealthConvergenceTest, LatchesFirstAllSatisfiedRound) {
+  TelemetryGuard telemetry_guard(true);
+  HealthGuard health_guard;
+  EngineConfig config;
+  config.algorithm = AlgorithmKind::kGreedy;
+  config.seed = 9;
+  std::int64_t engine_round = -1;
+  {
+    Engine engine(population(WorkloadKind::kRand, 40, 5), config);
+    const auto converged = engine.run_until_converged(3000);
+    ASSERT_TRUE(converged.has_value());
+    engine_round = static_cast<std::int64_t>(*converged);
+  }  // dtor ends the run
+  const auto runs = health_guard.recorder().completed_runs();
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_TRUE(runs.front().converged);
+  EXPECT_EQ(runs.front().convergence_round, engine_round);
+  EXPECT_EQ(runs.front().final.unsatisfied, 0);
+  EXPECT_EQ(runs.front().final.orphans, 0);
+}
+
+// stability_rounds > the run length must not latch: a run that stops
+// the moment it converges has no stability window to observe.
+TEST(HealthConvergenceTest, StabilityWindowRejectsTransientConvergence) {
+  TelemetryGuard telemetry_guard(true);
+  OverlayHealthRecorder::Config recorder_config;
+  recorder_config.stability_rounds = 1000000;
+  HealthGuard health_guard(recorder_config);
+  EngineConfig config;
+  config.seed = 9;
+  {
+    Engine engine(population(WorkloadKind::kRand, 40, 5), config);
+    ASSERT_TRUE(engine.run_until_converged(3000).has_value());
+  }
+  const auto runs = health_guard.recorder().completed_runs();
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_FALSE(runs.front().converged);
+  EXPECT_EQ(runs.front().convergence_round, -1);
+}
+
+// ------------------------------------------------- stream and JSON
+
+// The stream stays within its budget by stride doubling, while the
+// in-memory sample count keeps every round.
+TEST(HealthStreamTest, StrideDoublingBoundsEmittedSamples) {
+  TelemetryGuard telemetry_guard(true);
+  OverlayHealthRecorder::Config recorder_config;
+  recorder_config.stream_budget = 8;
+  recorder_config.ring_capacity = 4;
+  HealthGuard health_guard(recorder_config);
+  auto& recorder = health_guard.recorder();
+  const std::vector<int> fanout(16, 2);
+  const std::vector<int> latency(16, 4);
+  const std::uint64_t run = recorder.begin_run(fanout, latency);
+  for (int round = 1; round <= 200; ++round)
+    recorder.note_round(run, static_cast<double>(round));
+  recorder.end_run(run);
+  EXPECT_EQ(recorder.samples_total(), 200u);
+  // Emitted samples: at most budget per stride generation, log2(200/8)
+  // generations — far fewer than 200.
+  EXPECT_LE(recorder.stream_lines(), 2u + 8u * 6u);
+  EXPECT_EQ(recorder.recent_samples().size(), 4u);
+}
+
+// The embedded bench block carries run/convergence statistics.
+TEST(HealthStreamTest, ToJsonSummarizesRuns) {
+  TelemetryGuard telemetry_guard(true);
+  HealthGuard health_guard;
+  for (std::uint64_t seed : {1u, 2u}) {
+    EngineConfig config;
+    config.seed = seed;
+    Engine engine(population(WorkloadKind::kRand, 32, seed), config);
+    ASSERT_TRUE(engine.run_until_converged(3000).has_value());
+  }
+  const Json block = health_guard.recorder().to_json();
+  EXPECT_EQ(block.find("schema")->as_string(), "lagover.health.v1");
+  EXPECT_EQ(block.find("runs")->as_int(), 2);
+  EXPECT_EQ(block.find("converged_runs")->as_int(), 2);
+  const Json* stats = block.find("convergence_round");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GE(stats->find("min")->as_int(), 0);
+  EXPECT_LE(stats->find("min")->as_int(), stats->find("max")->as_int());
+  const Json* final = block.find("final");
+  ASSERT_NE(final, nullptr);
+  EXPECT_EQ(final->find("unsatisfied")->as_int(), 0);
+}
+
+}  // namespace
+}  // namespace lagover
